@@ -1,0 +1,373 @@
+(* The pytfhe command-line driver: compile, inspect, estimate and run TFHE
+   programs from the workload registry or from assembled binaries. *)
+
+open Cmdliner
+module Pipeline = Pytfhe_core.Pipeline
+module Server = Pytfhe_core.Server
+module Client = Pytfhe_core.Client
+module Suite = Pytfhe_vipbench.Suite
+module W = Pytfhe_vipbench.Workload
+module Binary = Pytfhe_circuit.Binary
+module Stats = Pytfhe_circuit.Stats
+module Cost_model = Pytfhe_backend.Cost_model
+
+let workload_conv =
+  let parse s =
+    match Suite.find s with
+    | Some w -> Ok w
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown workload %S (try `pytfhe list')" s))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.W.name)
+
+let backend_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "single" | "single-core" -> Ok Server.Single_core
+    | "a5000" -> Ok (Server.Gpu Cost_model.gpu_a5000)
+    | "4090" | "rtx4090" -> Ok (Server.Gpu Cost_model.gpu_4090)
+    | "cufhe" | "cufhe-a5000" -> Ok (Server.Gpu_cufhe Cost_model.gpu_a5000)
+    | s -> (
+      match String.split_on_char ':' s with
+      | [ "dist"; n ] | [ "distributed"; n ] -> (
+        match int_of_string_opt n with
+        | Some nodes when nodes > 0 -> Ok (Server.Distributed { nodes })
+        | Some _ | None -> Error (`Msg "node count must be a positive integer"))
+      | _ -> Error (`Msg (Printf.sprintf "unknown backend %S (single | dist:N | a5000 | 4090 | cufhe)" s)))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Server.backend_name b))
+
+let workload_arg =
+  Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,pytfhe list)).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run verbose =
+    Format.printf "%-20s %-6s %s@." "NAME" "CLASS" "DESCRIPTION";
+    List.iter
+      (fun w ->
+        let cls =
+          match w.W.parallelism with W.Wide -> "wide" | W.Serial -> "serial" | W.Mixed -> "mixed"
+        in
+        Format.printf "%-20s %-6s %s%s@." w.W.name cls w.W.description
+          (if w.W.heavy then "  [heavy]" else "");
+        if verbose && not w.W.heavy then begin
+          let s = Stats.compute (w.W.circuit ()) in
+          Format.printf "  %d gates, depth %d@." s.Stats.gates s.Stats.depth
+        end)
+      Suite.all
+  in
+  let verbose = Arg.(value & flag & info [ "stats" ] ~doc:"Also print gate counts (light workloads only).") in
+  Cmd.v (Cmd.info "list" ~doc:"List the registered workloads") Term.(const run $ verbose)
+
+let compile_cmd =
+  let run w out no_opt =
+    let t0 = Unix.gettimeofday () in
+    let compiled = Pipeline.compile ~optimize:(not no_opt) ~name:w.W.name (w.W.circuit ()) in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    Format.printf "compiled in %.2fs@." (Unix.gettimeofday () -. t0);
+    match out with
+    | Some path ->
+      Binary.write_file path compiled.Pipeline.binary;
+      Format.printf "wrote %s (%d bytes)@." path (Bytes.length compiled.Pipeline.binary)
+    | None -> ()
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the PyTFHE binary here.") in
+  let no_opt = Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the synthesis optimization passes.") in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a workload to a PyTFHE binary")
+    Term.(const run $ workload_arg $ out $ no_opt)
+
+let disasm_cmd =
+  let run path limit =
+    let bytes = Binary.read_file path in
+    let insts = Binary.disassemble bytes in
+    let total = List.length insts in
+    List.iteri
+      (fun i inst -> if i < limit then Format.printf "%6d: %a@." i Binary.pp_instruction inst)
+      insts;
+    if total > limit then Format.printf "... (%d more instructions)@." (total - limit)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembled PyTFHE binary.") in
+  let limit = Arg.(value & opt int 64 & info [ "n"; "limit" ] ~doc:"Maximum instructions to print.") in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a PyTFHE binary") Term.(const run $ path $ limit)
+
+let stat_cmd =
+  let run w =
+    let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    Format.printf "gate distribution:@.%a" Stats.pp_distribution compiled.Pipeline.stats
+  in
+  Cmd.v (Cmd.info "stat" ~doc:"Print statistics for a compiled workload") Term.(const run $ workload_arg)
+
+let estimate_cmd =
+  let run w backends =
+    let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+    Format.printf "%s: %d bootstrapped gates@." w.W.name compiled.Pipeline.stats.Stats.bootstraps;
+    let backends =
+      if backends = [] then
+        [ Server.Single_core; Server.Distributed { nodes = 1 }; Server.Distributed { nodes = 4 };
+          Server.Gpu_cufhe Cost_model.gpu_a5000; Server.Gpu Cost_model.gpu_a5000;
+          Server.Gpu Cost_model.gpu_4090 ]
+      else backends
+    in
+    List.iter
+      (fun b ->
+        Format.printf "  %-28s %12.2f s  (%.1fx single core)@." (Server.backend_name b)
+          (Server.estimate b compiled)
+          (Server.speedup_over_single_core b compiled))
+      backends
+  in
+  let backends = Arg.(value & opt_all backend_conv [] & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Backend to price (repeatable).") in
+  Cmd.v (Cmd.info "estimate" ~doc:"Estimate runtimes on the paper's platforms")
+    Term.(const run $ workload_arg $ backends)
+
+let run_cmd =
+  let run w seed encrypted =
+    let rng = Pytfhe_util.Rng.create ~seed () in
+    if encrypted then begin
+      if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
+      Format.printf "generating keys (test parameters)...@.";
+      let client, cloud = Client.keygen ~params:Pytfhe_tfhe.Params.test ~seed () in
+      let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+      let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
+      let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
+      let cts = Client.encrypt_bits client ins in
+      Format.printf "evaluating %d gates homomorphically...@." compiled.Pipeline.stats.Stats.gates;
+      let outs, stats = Server.evaluate cloud compiled cts in
+      let bits = Client.decrypt_bits client outs in
+      let expected = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist ins in
+      let ok = List.for_all2 (fun (_, e) g -> e = g) expected (Array.to_list bits) in
+      Format.printf "bootstraps: %d, wall time: %.1fs (%.1f ms/gate), outputs %s@."
+        stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed stats.Pytfhe_backend.Tfhe_eval.wall_time
+        (1000.0 *. stats.Pytfhe_backend.Tfhe_eval.wall_time
+        /. float_of_int (max 1 stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed))
+        (if ok then "MATCH plaintext reference" else "MISMATCH")
+    end
+    else begin
+      Format.printf "functional verification of %s: %!" w.W.name;
+      let ok = w.W.verify rng in
+      Format.printf "%s@." (if ok then "PASS" else "FAIL");
+      if not ok then exit 1
+    end
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let encrypted = Arg.(value & flag & info [ "encrypted" ] ~doc:"Run for real on TFHE ciphertexts (test parameters).") in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
+    Term.(const run $ workload_arg $ seed $ encrypted)
+
+let verilog_cmd =
+  let run w out =
+    let text = Pytfhe_synth.Verilog.export ~module_name:w.W.name (w.W.circuit ()) in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.printf "wrote %s (%d bytes)@." path (String.length text)
+    | None -> print_string text
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write the Verilog here (default: stdout).") in
+  Cmd.v (Cmd.info "verilog" ~doc:"Export a workload as structural Verilog") Term.(const run $ workload_arg $ out)
+
+let synth_cmd =
+  let run path out =
+    let ic = open_in path in
+    let source = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic)) in
+    let net =
+      if Filename.check_suffix path ".json" then
+        try Pytfhe_synth.Yosys_json.import source
+        with Pytfhe_synth.Yosys_json.Import_error message -> failwith (path ^ ": " ^ message)
+      else
+        try Pytfhe_synth.Verilog.parse source
+        with Pytfhe_synth.Verilog.Parse_error { line; message } ->
+          failwith (Printf.sprintf "%s:%d: %s" path line message)
+    in
+    let compiled = Pipeline.compile ~name:(Filename.basename path) net in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    match out with
+    | Some bin ->
+      Binary.write_file bin compiled.Pipeline.binary;
+      Format.printf "wrote %s@." bin
+    | None -> ()
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.v" ~doc:"Structural Verilog source.") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Also assemble a PyTFHE binary.") in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize a structural Verilog or Yosys-JSON file into a TFHE program") Term.(const run $ path $ out)
+
+let json_cmd =
+  let run w out =
+    let text = Pytfhe_synth.Yosys_json.export ~module_name:w.W.name (w.W.circuit ()) in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.printf "wrote %s (%d bytes)@." path (String.length text)
+    | None -> print_string text
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write the Yosys JSON here (default: stdout).") in
+  Cmd.v (Cmd.info "json" ~doc:"Export a workload as a Yosys JSON netlist") Term.(const run $ workload_arg $ out)
+
+let dot_cmd =
+  let run w out =
+    let net = w.W.circuit () in
+    let text =
+      try Pytfhe_circuit.Dot.export ~graph_name:w.W.name net
+      with Invalid_argument msg -> failwith (msg ^ " (use a smaller workload)")
+    in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write the DOT graph here (default: stdout).") in
+  Cmd.v (Cmd.info "dot" ~doc:"Export a small workload's DAG as Graphviz DOT") Term.(const run $ workload_arg $ out)
+
+(* Load a circuit from any supported on-disk format. *)
+let load_design path =
+  if Filename.check_suffix path ".json" then
+    Pytfhe_synth.Yosys_json.import
+      (let ic = open_in path in
+       Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic)))
+  else if Filename.check_suffix path ".v" then
+    Pytfhe_synth.Verilog.parse
+      (let ic = open_in path in
+       Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic)))
+  else Binary.parse (Binary.read_file path)
+
+let equiv_cmd =
+  let run a b trials =
+    let net_a = load_design a and net_b = load_design b in
+    if Pytfhe_synth.Opt.equivalent ~trials net_a net_b then begin
+      let how = if Pytfhe_circuit.Netlist.input_count net_a <= 16 then "exhaustively" else Printf.sprintf "on %d random vectors" trials in
+      Format.printf "EQUIVALENT (checked %s)@." how
+    end
+    else begin
+      Format.printf "NOT EQUIVALENT@.";
+      exit 1
+    end
+  in
+  let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"First design (.v, .json, or PyTFHE binary).") in
+  let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"Second design.") in
+  let trials = Arg.(value & opt int 1024 & info [ "trials" ] ~doc:"Random vectors for large circuits.") in
+  Cmd.v (Cmd.info "equiv" ~doc:"Check functional equivalence of two designs (any supported format)")
+    Term.(const run $ a $ b $ trials)
+
+let vcd_cmd =
+  let run w vectors seed out =
+    let net = w.W.circuit () in
+    let n = Pytfhe_circuit.Netlist.input_count net in
+    let rng = Pytfhe_util.Rng.create ~seed () in
+    let vecs = List.init vectors (fun _ -> Array.init n (fun _ -> Pytfhe_util.Rng.bool rng)) in
+    let text = Pytfhe_backend.Vcd.of_evaluation net vecs in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Format.printf "wrote %s (%d timesteps)@." path vectors
+    | None -> print_string text
+  in
+  let vectors = Arg.(value & opt int 8 & info [ "vectors" ] ~doc:"Number of random input vectors.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed for the vectors.") in
+  let out = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write the VCD here (default: stdout).") in
+  Cmd.v (Cmd.info "vcd" ~doc:"Evaluate a workload on random vectors and dump a VCD waveform")
+    Term.(const run $ workload_arg $ vectors $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* The file-based client/server protocol (Fig. 1): keygen -> encrypt on
+   the client; eval on the (untrusted) server; decrypt on the client.    *)
+(* ------------------------------------------------------------------ *)
+
+let params_conv =
+  let parse = function
+    | "test" -> Ok Pytfhe_tfhe.Params.test
+    | "default" | "default-128" -> Ok Pytfhe_tfhe.Params.default_128
+    | s -> Error (`Msg (Printf.sprintf "unknown parameter set %S (test | default)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Pytfhe_tfhe.Params.pp fmt p)
+
+let keygen_cmd =
+  let run params dir seed =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Format.printf "generating keys for %a ...@." Pytfhe_tfhe.Params.pp params;
+    let t0 = Unix.gettimeofday () in
+    let client, cloud = Client.keygen ~params ~seed () in
+    let secret_path = Filename.concat dir "secret.key" in
+    let cloud_path = Filename.concat dir "cloud.key" in
+    Client.save client secret_path;
+    Server.save_cloud_keyset cloud cloud_path;
+    Format.printf "wrote %s (keep private) and %s (ship to the server) in %.1fs@." secret_path
+      cloud_path (Unix.gettimeofday () -. t0);
+    Format.printf "cloud key: %.1f MB on disk@."
+      (float_of_int (Unix.stat cloud_path).Unix.st_size /. 1048576.0)
+  in
+  let dir = Arg.(value & opt string "keys" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.") in
+  let params = Arg.(value & opt params_conv Pytfhe_tfhe.Params.test & info [ "params" ] ~doc:"Parameter set (test | default).") in
+  let seed = Arg.(value & opt int 0xC11E47 & info [ "seed" ] ~doc:"Key generation seed.") in
+  Cmd.v (Cmd.info "keygen" ~doc:"Generate a secret/cloud keyset pair") Term.(const run $ params $ dir $ seed)
+
+let bits_of_string s =
+  String.to_seq s
+  |> Seq.filter_map (function '0' -> Some false | '1' -> Some true | _ -> None)
+  |> Array.of_seq
+
+let encrypt_cmd =
+  let run secret bits out =
+    let client = Client.load secret in
+    let plain = bits_of_string bits in
+    if Array.length plain = 0 then failwith "--bits must contain at least one 0/1";
+    let cts = Client.encrypt_bits client plain in
+    Pytfhe_core.Ciphertext_file.write out cts;
+    Format.printf "encrypted %d bits -> %s (%d bytes)@." (Array.length plain) out
+      (Unix.stat out).Unix.st_size
+  in
+  let secret = Arg.(required & opt (some file) None & info [ "secret" ] ~docv:"FILE" ~doc:"Secret keyset.") in
+  let bits = Arg.(required & opt (some string) None & info [ "bits" ] ~docv:"BITS" ~doc:"Plaintext bits, e.g. 10110 (LSB-first for integer inputs).") in
+  let out = Arg.(value & opt string "input.ct" & info [ "o" ] ~docv:"FILE" ~doc:"Ciphertext bundle output.") in
+  Cmd.v (Cmd.info "encrypt" ~doc:"Encrypt plaintext bits with the secret key") Term.(const run $ secret $ bits $ out)
+
+let eval_cmd =
+  let run cloud program input out =
+    let keyset = Server.load_cloud_keyset cloud in
+    let bytes = Binary.read_file program in
+    let cts = Pytfhe_core.Ciphertext_file.read input in
+    Format.printf "evaluating %d instructions on %d input ciphertexts ...@."
+      (Binary.instruction_count bytes) (Array.length cts);
+    let t0 = Unix.gettimeofday () in
+    (* the paper's executor: stream the 128-bit instructions directly *)
+    let outs = Pytfhe_backend.Stream_exec.run_encrypted keyset bytes cts in
+    Pytfhe_core.Ciphertext_file.write out outs;
+    Format.printf "done in %.1fs -> %s@." (Unix.gettimeofday () -. t0) out
+  in
+  let cloud = Arg.(required & opt (some file) None & info [ "cloud" ] ~docv:"FILE" ~doc:"Cloud keyset (no secrets inside).") in
+  let program = Arg.(required & opt (some file) None & info [ "program" ] ~docv:"FILE" ~doc:"Assembled PyTFHE binary.") in
+  let input = Arg.(required & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc:"Input ciphertext bundle.") in
+  let out = Arg.(value & opt string "output.ct" & info [ "o" ] ~docv:"FILE" ~doc:"Output ciphertext bundle.") in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Homomorphically evaluate a PyTFHE binary on a ciphertext bundle (server side)")
+    Term.(const run $ cloud $ program $ input $ out)
+
+let decrypt_cmd =
+  let run secret input =
+    let client = Client.load secret in
+    let cts = Pytfhe_core.Ciphertext_file.read input in
+    let bits = Client.decrypt_bits client cts in
+    let s = String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0') in
+    Format.printf "%s@." s
+  in
+  let secret = Arg.(required & opt (some file) None & info [ "secret" ] ~docv:"FILE" ~doc:"Secret keyset.") in
+  let input = Arg.(required & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc:"Ciphertext bundle.") in
+  Cmd.v (Cmd.info "decrypt" ~doc:"Decrypt a ciphertext bundle with the secret key") Term.(const run $ secret $ input)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "pytfhe" ~version:"1.0.0" ~doc:"End-to-end TFHE compilation and execution framework" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd; compile_cmd; disasm_cmd; stat_cmd; estimate_cmd; run_cmd; verilog_cmd; json_cmd; dot_cmd; vcd_cmd; equiv_cmd;
+            synth_cmd; keygen_cmd;
+            encrypt_cmd; eval_cmd; decrypt_cmd;
+          ]))

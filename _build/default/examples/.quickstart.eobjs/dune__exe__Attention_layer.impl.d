@@ -1,0 +1,1 @@
+examples/attention_layer.ml: Array Attention Dtype Format List Pipeline Printf Pytfhe_backend Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_core Pytfhe_util Server Sys Tensor Unix

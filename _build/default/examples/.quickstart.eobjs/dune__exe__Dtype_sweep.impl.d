@@ -1,0 +1,1 @@
+examples/dtype_sweep.ml: Array Dtype Format List Nn Pipeline Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_core Pytfhe_util Server

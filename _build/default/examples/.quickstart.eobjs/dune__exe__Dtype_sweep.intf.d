@@ -1,0 +1,1 @@
+examples/dtype_sweep.mli:

@@ -1,0 +1,1 @@
+examples/lut_demo.ml: Array Format Gates Params Pytfhe_tfhe Pytfhe_util

@@ -1,0 +1,1 @@
+examples/lut_demo.mli:

@@ -1,0 +1,1 @@
+examples/mnist_inference.ml: Array Dtype Format List Pipeline Printf Pytfhe_backend Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_core Pytfhe_util Pytfhe_vipbench Server String Sys Unix

@@ -1,0 +1,1 @@
+examples/private_query.ml: Array Client Format List Option Pipeline Pytfhe_backend Pytfhe_circuit Pytfhe_core Pytfhe_tfhe Pytfhe_vipbench Server Unix

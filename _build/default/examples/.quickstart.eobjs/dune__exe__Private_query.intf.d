@@ -1,0 +1,1 @@
+examples/private_query.mli:

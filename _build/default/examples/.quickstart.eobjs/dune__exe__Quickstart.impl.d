@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arith Array Bus Client Format Pipeline Pytfhe_backend Pytfhe_circuit Pytfhe_core Pytfhe_hdl Pytfhe_tfhe Server Sys Unix

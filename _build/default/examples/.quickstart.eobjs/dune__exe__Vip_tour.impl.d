@@ -1,0 +1,1 @@
+examples/vip_tour.ml: Format List Pytfhe_circuit Pytfhe_util Pytfhe_vipbench

@@ -1,0 +1,1 @@
+examples/vip_tour.mli:

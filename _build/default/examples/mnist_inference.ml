@@ -1,0 +1,69 @@
+(* Privacy-preserving MNIST inference — the paper's headline application.
+
+     dune exec examples/mnist_inference.exe [-- --size s|m|l]
+
+   Builds the MNIST CNN with the ChiselTorch frontend (PyTorch-style layer
+   list, Fixed(8,4) data type), compiles it to a TFHE program, runs a
+   functional inference on a synthetic image, and prices the program on
+   every backend of the paper's evaluation. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Stats = Pytfhe_circuit.Stats
+module Rng = Pytfhe_util.Rng
+open Pytfhe_core
+open Pytfhe_chiseltorch
+
+let () =
+  let size =
+    match Array.to_list Sys.argv with
+    | _ :: "--size" :: s :: _ -> s
+    | _ -> "s"
+  in
+  let name = "mnist_" ^ size in
+  let workload =
+    match Pytfhe_vipbench.Suite.find name with
+    | Some w -> w
+    | None -> failwith ("unknown size: " ^ size)
+  in
+  Format.printf "= ChiselTorch MNIST (%s) =@." name;
+  Format.printf
+    "model: Conv2d -> ReLU -> MaxPool2d(3,1) -> Flatten -> Linear(.,10), dtype Fixed(8,4)@.@.";
+
+  let t0 = Unix.gettimeofday () in
+  let compiled = Pipeline.compile_workload workload in
+  Format.printf "%a" Pipeline.pp_summary compiled;
+  Format.printf "frontend+synthesis+assembly: %.1fs@.@." (Unix.gettimeofday () -. t0);
+
+  (* Functional inference on a synthetic image (see DESIGN.md: runtime and
+     gate counts are shape-driven; pixel values never change them). *)
+  let rng = Rng.create ~seed:7 () in
+  let dtype = Dtype.Fixed { width = 8; frac = 4 } in
+  let n_inputs = Netlist.input_count compiled.Pipeline.netlist in
+  let image = Array.init (n_inputs / 8) (fun _ -> Rng.int rng 256) in
+  let bits = Array.concat (Array.to_list (Array.map (fun p -> Array.init 8 (fun i -> (p asr i) land 1 = 1)) image)) in
+  let outputs = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist bits in
+  let logits =
+    List.init 10 (fun k ->
+        let v = ref 0 in
+        List.iteri (fun i (_, bit) -> if i / 8 = k && bit then v := !v lor (1 lsl (i mod 8))) outputs;
+        Dtype.decode dtype !v)
+  in
+  let best = ref 0 in
+  List.iteri (fun i l -> if l > List.nth logits !best then best := i) logits;
+  Format.printf "logits: %s@." (String.concat " " (List.map (Printf.sprintf "%+.2f") logits));
+  Format.printf "predicted class: %d@.@." !best;
+
+  Format.printf "backend estimates (paper-calibrated cost model):@.";
+  List.iter
+    (fun backend ->
+      Format.printf "  %-28s %10.1f s  (%6.1fx single core)@." (Server.backend_name backend)
+        (Server.estimate backend compiled)
+        (Server.speedup_over_single_core backend compiled))
+    [
+      Server.Single_core;
+      Server.Distributed { nodes = 1 };
+      Server.Distributed { nodes = 4 };
+      Server.Gpu_cufhe Pytfhe_backend.Cost_model.gpu_a5000;
+      Server.Gpu Pytfhe_backend.Cost_model.gpu_a5000;
+      Server.Gpu Pytfhe_backend.Cost_model.gpu_4090;
+    ]

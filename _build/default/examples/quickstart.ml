@@ -1,0 +1,58 @@
+(* Quickstart: the full privacy-preserving computation flow of the paper's
+   Fig. 1 on a small circuit, with real TFHE ciphertexts.
+
+     dune exec examples/quickstart.exe
+
+   A client encrypts two 8-bit numbers; the server — holding only the cloud
+   keyset — homomorphically evaluates an adder compiled through the PyTFHE
+   pipeline; the client decrypts the sum.  Test parameters keep this fast;
+   pass --paper-params to use the 128-bit-secure set (≈0.3 s per gate on
+   this OCaml implementation). *)
+
+module Netlist = Pytfhe_circuit.Netlist
+open Pytfhe_core
+open Pytfhe_hdl
+
+let () =
+  let params =
+    if Array.exists (( = ) "--paper-params") Sys.argv then Pytfhe_tfhe.Params.default_128
+    else Pytfhe_tfhe.Params.test
+  in
+  Format.printf "= PyTFHE quickstart =@.";
+  Format.printf "parameters: %a@.@." Pytfhe_tfhe.Params.pp params;
+
+  (* 1. Describe the computation as a circuit (here: an 8-bit adder built
+     from the HDL layer; ChiselTorch models compile the same way). *)
+  let net = Netlist.create () in
+  let a = Bus.input net "a" 8 in
+  let b = Bus.input net "b" 8 in
+  Bus.output net "sum" (Arith.add net a b);
+
+  (* 2. Compile: optimize, levelize, assemble the PyTFHE binary. *)
+  let compiled = Pipeline.compile ~name:"add8" net in
+  Format.printf "%a@." Pipeline.pp_summary compiled;
+
+  (* 3. Client side: key generation and encryption. *)
+  let client, cloud_keyset = Client.keygen ~params () in
+  let x = 57 and y = 164 in
+  let bits v = Array.init 8 (fun i -> (v asr i) land 1 = 1) in
+  let ciphertexts = Client.encrypt_bits client (Array.append (bits x) (bits y)) in
+  Format.printf "client: encrypted %d and %d (%d ciphertexts, %d bytes each)@." x y
+    (Array.length ciphertexts)
+    (Pytfhe_tfhe.Lwe.ciphertext_bytes ~n:params.Pytfhe_tfhe.Params.lwe.Pytfhe_tfhe.Params.n);
+
+  (* 4. Server side: homomorphic evaluation with the cloud keyset only. *)
+  let t0 = Unix.gettimeofday () in
+  let outputs, stats = Server.evaluate cloud_keyset compiled ciphertexts in
+  Format.printf "server: %d bootstrapped gates in %.2fs (%.1f ms/gate)@."
+    stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed
+    (Unix.gettimeofday () -. t0)
+    (1000.0 *. stats.Pytfhe_backend.Tfhe_eval.wall_time
+    /. float_of_int (max 1 stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed));
+
+  (* 5. Client decrypts. *)
+  let out_bits = Client.decrypt_bits client outputs in
+  let result = ref 0 in
+  Array.iteri (fun i bit -> if bit then result := !result lor (1 lsl i)) out_bits;
+  Format.printf "client: decrypted sum = %d (expected %d) -> %s@." !result ((x + y) land 0xFF)
+    (if !result = (x + y) land 0xFF then "OK" else "WRONG")

@@ -1,0 +1,28 @@
+(* A tour of the VIP-Bench workload suite: verify every light benchmark
+   against its plaintext reference and print the program shape that drives
+   the paper's scheduling results (gate count, depth, width profile).
+
+     dune exec examples/vip_tour.exe  *)
+
+module W = Pytfhe_vipbench.Workload
+module Stats = Pytfhe_circuit.Stats
+module Levelize = Pytfhe_circuit.Levelize
+module Rng = Pytfhe_util.Rng
+
+let () =
+  Format.printf "%-20s %-9s %9s %7s %8s %8s  %s@." "WORKLOAD" "CLASS" "GATES" "DEPTH" "MAXWIDTH"
+    "AVGWIDTH" "VERIFY";
+  List.iter
+    (fun w ->
+      let rng = Rng.create ~seed:99 () in
+      let ok = w.W.verify rng in
+      let net = w.W.circuit () in
+      let s = Stats.compute net in
+      let cls =
+        match w.W.parallelism with W.Wide -> "wide" | W.Serial -> "serial" | W.Mixed -> "mixed"
+      in
+      Format.printf "%-20s %-9s %9d %7d %8d %8.1f  %s@." w.W.name cls s.Stats.gates s.Stats.depth
+        s.Stats.max_width s.Stats.average_width
+        (if ok then "PASS" else "FAIL"))
+    Pytfhe_vipbench.Suite.light;
+  Format.printf "@.(heavy workloads — mnist_s/m/l, attention_s/l — are exercised by the bench harness)@."

@@ -1,0 +1,1 @@
+lib/backend/plain_eval.ml: Array List Pytfhe_circuit

@@ -1,0 +1,1 @@
+lib/backend/plain_eval.mli: Pytfhe_circuit

@@ -1,0 +1,1 @@
+lib/backend/sched_cpu.ml: Array Cost_model Float Format Pytfhe_circuit

@@ -1,0 +1,1 @@
+lib/backend/sched_cpu.mli: Cost_model Format Pytfhe_circuit

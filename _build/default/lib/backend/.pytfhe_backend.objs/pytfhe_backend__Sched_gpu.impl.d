@@ -1,0 +1,1 @@
+lib/backend/sched_gpu.ml: Array Cost_model Float Format Fun Hashtbl List Option Pytfhe_circuit

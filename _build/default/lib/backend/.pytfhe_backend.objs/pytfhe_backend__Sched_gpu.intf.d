@@ -1,0 +1,1 @@
+lib/backend/sched_gpu.mli: Cost_model Format Pytfhe_circuit

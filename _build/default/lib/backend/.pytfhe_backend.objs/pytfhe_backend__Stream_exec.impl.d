@@ -1,0 +1,1 @@
+lib/backend/stream_exec.ml: Array List Pytfhe_circuit Tfhe_eval

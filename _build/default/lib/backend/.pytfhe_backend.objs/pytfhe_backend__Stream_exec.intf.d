@@ -1,0 +1,1 @@
+lib/backend/stream_exec.mli: Pytfhe_circuit Pytfhe_tfhe

@@ -1,0 +1,1 @@
+lib/backend/tfhe_eval.ml: Array Gates List Lwe Option Pytfhe_circuit Pytfhe_tfhe Unix

@@ -1,0 +1,1 @@
+lib/backend/tfhe_eval.mli: Pytfhe_circuit Pytfhe_tfhe

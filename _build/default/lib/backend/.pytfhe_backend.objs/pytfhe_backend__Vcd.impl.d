@@ -1,0 +1,1 @@
+lib/backend/vcd.ml: Array Bool Buffer Char List Printf Pytfhe_circuit String

@@ -1,0 +1,1 @@
+lib/backend/vcd.mli: Pytfhe_circuit

@@ -1,0 +1,75 @@
+type cpu = {
+  gate_time : float;
+  blind_rotation_fraction : float;
+  key_switch_fraction : float;
+  comm_time : float;
+  submit_time : float;
+  sync_time : float;
+  startup_time : float;
+  workers_per_node : int;
+}
+
+type gpu = {
+  gpu_name : string;
+  slots : int;
+  kernel_time : float;
+  h2d_time : float;
+  d2h_time : float;
+  launch_time : float;
+  graph_node_time : float;
+}
+
+(* Fig. 7: ~15 ms per gate on a Xeon Gold 5215 core, blind rotation
+   dominating, key switching most of the rest, communication 0.094 %. *)
+let paper_cpu =
+  {
+    gate_time = 14.8e-3;
+    blind_rotation_fraction = 0.81;
+    key_switch_fraction = 0.18;
+    comm_time = 14e-6;
+    submit_time = 0.20e-3;
+    sync_time = 0.5e-3;
+    startup_time = 1.5;
+    workers_per_node = 18;
+  }
+
+let calibrated_cpu ~measured_gate_time = { paper_cpu with gate_time = measured_gate_time }
+
+(* The GPU constants are fitted to the paper's speedups: Table IV gives the
+   A5000 at ~71x and the 4090 at ~143x a single CPU core on MNIST_S, and
+   Fig. 11 tops out around 61.5x over the per-gate cuFHE executor. *)
+let gpu_a5000 =
+  {
+    gpu_name = "NVIDIA RTX A5000";
+    slots = 64;
+    kernel_time = 13.3e-3;
+    h2d_time = 0.4e-3;
+    d2h_time = 0.4e-3;
+    launch_time = 0.1e-3;
+    graph_node_time = 2.0e-6;
+  }
+
+let gpu_4090 =
+  {
+    gpu_name = "NVIDIA RTX 4090";
+    slots = 128;
+    kernel_time = 13.3e-3;
+    h2d_time = 0.3e-3;
+    d2h_time = 0.3e-3;
+    launch_time = 0.1e-3;
+    graph_node_time = 1.0e-6;
+  }
+
+let single_core_throughput cpu = 1.0 /. cpu.gate_time
+
+let pp_cpu fmt c =
+  Format.fprintf fmt
+    "cpu model: gate=%.2f ms (blind rotation %.0f%%, key switch %.0f%%), comm=%.0f us, submit=%.0f us, %d workers/node"
+    (c.gate_time *. 1e3)
+    (100.0 *. c.blind_rotation_fraction)
+    (100.0 *. c.key_switch_fraction)
+    (c.comm_time *. 1e6) (c.submit_time *. 1e6) c.workers_per_node
+
+let pp_gpu fmt g =
+  Format.fprintf fmt "%s: %d slots, kernel=%.2f ms, h2d=%.2f ms, d2h=%.2f ms" g.gpu_name g.slots
+    (g.kernel_time *. 1e3) (g.h2d_time *. 1e3) (g.d2h_time *. 1e3)

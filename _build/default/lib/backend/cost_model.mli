@@ -1,0 +1,48 @@
+(** Timing models for the execution backends.
+
+    No Xeon cluster, A5000/4090 GPU or gigabit fabric exists in this
+    container, so the distributed-CPU and GPU backends are discrete-event
+    simulators over the real program DAG.  The constants here are the
+    calibration: the defaults come from the paper's own measurements
+    (Fig. 7: ≈15 ms per bootstrapped gate on one Xeon core with 0.094 %
+    communication overhead; Fig. 8: serialized H2D/kernel/D2H in cuFHE;
+    Table II/III platforms).  [calibrated_cpu] instead derives the gate time
+    from a live measurement of this repository's own TFHE implementation, so
+    every simulated figure can also be reproduced against real local
+    numbers. *)
+
+type cpu = {
+  gate_time : float;  (** Seconds per bootstrapped gate on one core. *)
+  blind_rotation_fraction : float;  (** Share of [gate_time] (Fig. 7). *)
+  key_switch_fraction : float;
+  comm_time : float;  (** Per-task ciphertext transfer time (Fig. 7). *)
+  submit_time : float;  (** Central scheduler dispatch cost per task. *)
+  sync_time : float;  (** Per-wave barrier latency. *)
+  startup_time : float;  (** Actor launch + public-key broadcast. *)
+  workers_per_node : int;  (** 18 usable workers per node (Fig. 10). *)
+}
+
+type gpu = {
+  gpu_name : string;
+  slots : int;  (** Concurrent bootstrapping slots (≈ SMs). *)
+  kernel_time : float;  (** Seconds per bootstrapping kernel. *)
+  h2d_time : float;  (** Host-to-device copy per ciphertext set. *)
+  d2h_time : float;  (** Device-to-host copy per result. *)
+  launch_time : float;  (** Per-launch driver overhead. *)
+  graph_node_time : float;  (** CUDA-Graph build cost per node. *)
+}
+
+val paper_cpu : cpu
+(** Calibrated to the paper's Xeon Gold 5215 platform. *)
+
+val calibrated_cpu : measured_gate_time:float -> cpu
+(** [paper_cpu] with the gate time replaced by a local measurement. *)
+
+val gpu_a5000 : gpu
+val gpu_4090 : gpu
+
+val single_core_throughput : cpu -> float
+(** Bootstrapped gates per second on one core. *)
+
+val pp_cpu : Format.formatter -> cpu -> unit
+val pp_gpu : Format.formatter -> gpu -> unit

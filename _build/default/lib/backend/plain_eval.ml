@@ -1,0 +1,19 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Binary = Pytfhe_circuit.Binary
+
+let run net ins = Netlist.eval_outputs net ins
+
+let run_binary bytes ins =
+  let net = Binary.parse bytes in
+  List.map snd (Netlist.eval_outputs net ins) |> Array.of_list
+
+let run_named net bindings =
+  let ins =
+    List.map
+      (fun (name, _) ->
+        match List.assoc_opt name bindings with
+        | Some v -> v
+        | None -> raise Not_found)
+      (Netlist.inputs net)
+  in
+  Netlist.eval_outputs net (Array.of_list ins)

@@ -1,0 +1,17 @@
+(** Functional (plaintext) execution of TFHE programs.
+
+    The simulated backends use this evaluator for the values while the cost
+    model accounts for the time; it is also the reference the encrypted
+    backend is checked against.  Works on netlists and on assembled PyTFHE
+    binaries. *)
+
+val run : Pytfhe_circuit.Netlist.t -> bool array -> (string * bool) list
+(** Evaluate a netlist on inputs in declaration order. *)
+
+val run_binary : bytes -> bool array -> bool array
+(** Execute an assembled PyTFHE binary: inputs in instruction order, outputs
+    in output-instruction order. *)
+
+val run_named : Pytfhe_circuit.Netlist.t -> (string * bool) list -> (string * bool) list
+(** Evaluate with inputs given by name; raises [Not_found] if an input is
+    missing from the bindings. *)

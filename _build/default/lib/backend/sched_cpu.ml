@@ -1,0 +1,198 @@
+module Levelize = Pytfhe_circuit.Levelize
+
+type config = { nodes : int; cost : Cost_model.cpu }
+
+type result = {
+  workers : int;
+  single_thread_time : float;
+  makespan : float;
+  speedup : float;
+  ideal_speedup : float;
+  compute_time : float;
+  dispatch_time : float;
+  sync_time : float;
+  startup_time : float;
+}
+
+let simulate config sched =
+  let cost = config.cost in
+  let workers = config.nodes * cost.workers_per_node in
+  if workers <= 0 then invalid_arg "Sched_cpu.simulate: no workers";
+  let gate = cost.gate_time +. cost.comm_time in
+  let single_thread_time = float_of_int sched.Levelize.total_bootstraps *. cost.gate_time in
+  let compute = ref 0.0 and dispatch = ref 0.0 and sync = ref 0.0 in
+  Array.iter
+    (fun width ->
+      if width > 0 then begin
+        let rounds = (width + workers - 1) / workers in
+        (* A wave takes the longer of: the compute rounds on the workers, or
+           the serialized submission of all its tasks by the scheduler. *)
+        let wave_compute = float_of_int rounds *. gate in
+        let wave_dispatch = float_of_int width *. cost.submit_time in
+        if wave_dispatch > wave_compute then begin
+          dispatch := !dispatch +. wave_dispatch;
+          compute := !compute +. 0.0
+        end
+        else compute := !compute +. wave_compute;
+        sync := !sync +. cost.sync_time
+      end)
+    sched.Levelize.widths;
+  let makespan = cost.startup_time +. !compute +. !dispatch +. !sync in
+  {
+    workers;
+    single_thread_time;
+    makespan;
+    speedup = (if makespan > 0.0 then single_thread_time /. makespan else 0.0);
+    ideal_speedup = float_of_int workers;
+    compute_time = !compute;
+    dispatch_time = !dispatch;
+    sync_time = !sync;
+    startup_time = cost.startup_time;
+  }
+
+let run config net ins =
+  let sched = Levelize.run net in
+  let outputs = Pytfhe_circuit.Netlist.eval_outputs net ins in
+  (outputs, simulate config sched)
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "workers=%d single=%.2fs makespan=%.2fs speedup=%.1fx (ideal %.0fx) [compute %.2fs, dispatch %.2fs, sync %.2fs, startup %.2fs]"
+    r.workers r.single_thread_time r.makespan r.speedup r.ideal_speedup r.compute_time
+    r.dispatch_time r.sync_time r.startup_time
+
+let simulate_asap config net =
+  let cost = config.cost in
+  let workers = config.nodes * cost.Cost_model.workers_per_node in
+  if workers <= 0 then invalid_arg "Sched_cpu.simulate_asap: no workers";
+  let gate_time = cost.Cost_model.gate_time +. cost.Cost_model.comm_time in
+  let module N = Pytfhe_circuit.Netlist in
+  let module G = Pytfhe_circuit.Gate in
+  let n = N.node_count net in
+  (* Reverse adjacency and indegrees over the gate DAG (counting both
+     fan-ins, including duplicated ones for NOT). *)
+  let child_count = Array.make n 0 in
+  N.iter_gates net (fun _ _ a b ->
+      child_count.(a) <- child_count.(a) + 1;
+      child_count.(b) <- child_count.(b) + 1);
+  let child_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    child_off.(i + 1) <- child_off.(i) + child_count.(i)
+  done;
+  let children = Array.make (max child_off.(n) 1) 0 in
+  let fill = Array.copy child_off in
+  let pending = Array.make n 0 in
+  N.iter_gates net (fun id _ a b ->
+      children.(fill.(a)) <- id;
+      fill.(a) <- fill.(a) + 1;
+      children.(fill.(b)) <- id;
+      fill.(b) <- fill.(b) + 1;
+      pending.(id) <- 2);
+  let finish = Array.make n 0.0 in
+  (* Ready-event min-heap of (time, node). *)
+  let heap_t = Array.make (max n 1) 0.0 in
+  let heap_id = Array.make (max n 1) 0 in
+  let heap_len = ref 0 in
+  let swap i j =
+    let t = heap_t.(i) in
+    heap_t.(i) <- heap_t.(j);
+    heap_t.(j) <- t;
+    let d = heap_id.(i) in
+    heap_id.(i) <- heap_id.(j);
+    heap_id.(j) <- d
+  in
+  let push time id =
+    heap_t.(!heap_len) <- time;
+    heap_id.(!heap_len) <- id;
+    let i = ref !heap_len in
+    incr heap_len;
+    while !i > 0 && heap_t.((!i - 1) / 2) > heap_t.(!i) do
+      swap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    let time = heap_t.(0) and id = heap_id.(0) in
+    decr heap_len;
+    heap_t.(0) <- heap_t.(!heap_len);
+    heap_id.(0) <- heap_id.(!heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < !heap_len && heap_t.(l) < heap_t.(!m) then m := l;
+      if r < !heap_len && heap_t.(r) < heap_t.(!m) then m := r;
+      if !m <> !i then begin
+        swap !i !m;
+        i := !m
+      end
+      else continue := false
+    done;
+    (time, id)
+  in
+  (* Worker pool as a second min-heap of free times. *)
+  let pool = Array.make workers cost.Cost_model.startup_time in
+  let pool_swap i j =
+    let t = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- t
+  in
+  let rec pool_sift i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < workers && pool.(l) < pool.(!m) then m := l;
+    if r < workers && pool.(r) < pool.(!m) then m := r;
+    if !m <> i then begin
+      pool_swap i !m;
+      pool_sift !m
+    end
+  in
+  let bootstraps = ref 0 in
+  let makespan = ref cost.Cost_model.startup_time in
+  let complete id t =
+    finish.(id) <- t;
+    if t > !makespan then makespan := t;
+    for c = child_off.(id) to child_off.(id + 1) - 1 do
+      let child = children.(c) in
+      pending.(child) <- pending.(child) - 1;
+      if pending.(child) = 0 then
+        (* ready = max over fan-in finishes = now (this was the last). *)
+        push t child
+    done
+  in
+  (* Seed: inputs and constants are available immediately. *)
+  for id = 0 to n - 1 do
+    match N.kind net id with
+    | N.Input _ | N.Const _ -> complete id 0.0
+    | N.Gate _ -> ()
+  done;
+  (* Serialized submission: the dispatcher issues tasks as they become
+     ready, paying submit_time each. *)
+  let dispatcher = ref cost.Cost_model.startup_time in
+  while !heap_len > 0 do
+    let ready, id = pop () in
+    match N.kind net id with
+    | N.Gate (g, _, _) when G.is_unary g -> complete id ready
+    | N.Gate _ ->
+      incr bootstraps;
+      dispatcher := Float.max !dispatcher ready +. cost.Cost_model.submit_time;
+      let start = Float.max (Float.max ready pool.(0)) !dispatcher in
+      let f = start +. gate_time in
+      pool.(0) <- f;
+      pool_sift 0;
+      complete id f
+    | N.Input _ | N.Const _ -> ()
+  done;
+  let single = float_of_int !bootstraps *. cost.Cost_model.gate_time in
+  {
+    workers;
+    single_thread_time = single;
+    makespan = !makespan;
+    speedup = (if !makespan > 0.0 then single /. !makespan else 0.0);
+    ideal_speedup = float_of_int workers;
+    compute_time = !makespan -. cost.Cost_model.startup_time;
+    dispatch_time = 0.0;
+    sync_time = 0.0;
+    startup_time = cost.Cost_model.startup_time;
+  }

@@ -1,0 +1,151 @@
+module Levelize = Pytfhe_circuit.Levelize
+
+type timeline_segment = { label : string; t_start : float; t_end : float }
+
+type result = {
+  gpu : Cost_model.gpu;
+  policy : string;
+  makespan : float;
+  speedup_vs_single_core : float;
+  timeline : timeline_segment list;
+}
+
+let timeline_gate_limit = 8
+
+let simulate_cufhe (gpu : Cost_model.gpu) ~(cpu : Cost_model.cpu) sched =
+  let n = sched.Levelize.total_bootstraps in
+  let per_gate = gpu.launch_time +. gpu.h2d_time +. gpu.kernel_time +. gpu.d2h_time in
+  let makespan = float_of_int n *. per_gate in
+  let timeline =
+    if n > timeline_gate_limit then []
+    else
+      List.concat_map
+        (fun i ->
+          let base = float_of_int i *. per_gate in
+          [
+            { label = "H2D"; t_start = base; t_end = base +. gpu.h2d_time };
+            {
+              label = "Kernel";
+              t_start = base +. gpu.h2d_time;
+              t_end = base +. gpu.h2d_time +. gpu.kernel_time;
+            };
+            {
+              label = "D2H";
+              t_start = base +. gpu.h2d_time +. gpu.kernel_time;
+              t_end = per_gate +. base;
+            };
+          ])
+        (List.init n Fun.id)
+  in
+  let single = float_of_int n *. cpu.gate_time in
+  {
+    gpu;
+    policy = "cuFHE per-gate";
+    makespan;
+    speedup_vs_single_core = (if makespan > 0.0 then single /. makespan else 0.0);
+    timeline;
+  }
+
+(* Pack waves greedily into CUDA-Graph batches bounded by GPU memory. *)
+let batches_of ~max_batch_nodes sched =
+  let batches = ref [] and current = ref [] and current_nodes = ref 0 in
+  Array.iter
+    (fun width ->
+      if width > 0 then begin
+        if !current_nodes > 0 && !current_nodes + width > max_batch_nodes then begin
+          batches := List.rev !current :: !batches;
+          current := [];
+          current_nodes := 0
+        end;
+        current := width :: !current;
+        current_nodes := !current_nodes + width
+      end)
+    sched.Levelize.widths;
+  if !current <> [] then batches := List.rev !current :: !batches;
+  List.rev !batches
+
+let simulate_pytfhe ?(max_batch_nodes = 200_000) (gpu : Cost_model.gpu) ~(cpu : Cost_model.cpu)
+    sched =
+  let batches = batches_of ~max_batch_nodes sched in
+  let exec_time widths =
+    gpu.launch_time
+    +. List.fold_left
+         (fun acc width -> acc +. (float_of_int ((width + gpu.slots - 1) / gpu.slots) *. gpu.kernel_time))
+         0.0 widths
+  in
+  let build_time widths =
+    float_of_int (List.fold_left ( + ) 0 widths) *. gpu.graph_node_time
+  in
+  let timeline = ref [] in
+  let emit label t_start t_end = timeline := { label; t_start; t_end } :: !timeline in
+  (* The input copy and the first graph construction are exposed; afterwards
+     batch b+1 is built on the CPU while batch b executes on the GPU. *)
+  let t = ref gpu.h2d_time in
+  emit "H2D" 0.0 !t;
+  (match batches with
+  | [] -> ()
+  | first :: _ ->
+    let b0 = build_time first in
+    emit "Graph build" !t (!t +. b0);
+    t := !t +. b0);
+  let rec execute = function
+    | [] -> ()
+    | widths :: rest ->
+      let e = exec_time widths in
+      emit "Kernel (graph)" !t (!t +. e);
+      (match rest with
+      | next :: _ ->
+        let b = build_time next in
+        emit "Graph build (overlapped)" !t (!t +. b);
+        t := !t +. Float.max e b
+      | [] -> t := !t +. e);
+      execute rest
+  in
+  execute batches;
+  emit "D2H" !t (!t +. gpu.d2h_time);
+  t := !t +. gpu.d2h_time;
+  let n = sched.Levelize.total_bootstraps in
+  let single = float_of_int n *. cpu.gate_time in
+  {
+    gpu;
+    policy = "PyTFHE CUDA graphs";
+    makespan = !t;
+    speedup_vs_single_core = (if !t > 0.0 then single /. !t else 0.0);
+    timeline = (if n > 4 * timeline_gate_limit then [] else List.rev !timeline);
+  }
+
+let speedup_over_cufhe gpu ~cpu sched =
+  let baseline = simulate_cufhe gpu ~cpu sched in
+  let ours = simulate_pytfhe gpu ~cpu sched in
+  if ours.makespan > 0.0 then baseline.makespan /. ours.makespan else 0.0
+
+let pp_result fmt r =
+  Format.fprintf fmt "%s on %s: makespan=%.3fs (%.1fx single core)" r.policy
+    r.gpu.Cost_model.gpu_name r.makespan r.speedup_vs_single_core
+
+let simulate_cufhe_batched (gpu : Cost_model.gpu) ~(cpu : Cost_model.cpu) net =
+  let sched = Levelize.run net in
+  (* Count gates per (wave, type): each group is one synchronous batch. *)
+  let groups : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  Pytfhe_circuit.Netlist.iter_gates net (fun id g _ _ ->
+      if not (Pytfhe_circuit.Gate.is_unary g) then begin
+        let key = (sched.Levelize.level.(id), Pytfhe_circuit.Gate.to_code g) in
+        Hashtbl.replace groups key (1 + Option.value ~default:0 (Hashtbl.find_opt groups key))
+      end);
+  let makespan = ref 0.0 in
+  Hashtbl.iter
+    (fun _ count ->
+      let kernels = (count + gpu.slots - 1) / gpu.slots in
+      makespan :=
+        !makespan +. gpu.launch_time
+        +. (float_of_int count *. (gpu.h2d_time +. gpu.d2h_time))
+        +. (float_of_int kernels *. gpu.kernel_time))
+    groups;
+  let single = float_of_int sched.Levelize.total_bootstraps *. cpu.gate_time in
+  {
+    gpu;
+    policy = "cuFHE same-type batches";
+    makespan = !makespan;
+    speedup_vs_single_core = (if !makespan > 0.0 then single /. !makespan else 0.0);
+    timeline = [];
+  }

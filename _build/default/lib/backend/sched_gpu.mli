@@ -1,0 +1,49 @@
+(** The GPU backend and its cuFHE baseline (paper §IV-E, Figs. 8, 9, 11).
+
+    Two scheduling policies over the same levelized DAG and the same kernel
+    cost:
+
+    - {b cuFHE per-gate} (Fig. 8): every gate pays host-to-device copy,
+      a blocking kernel launch, and a device-to-host copy, fully serialized
+      on the CPU thread — the behaviour of the cuFHE gate API.
+    - {b PyTFHE CUDA-Graph batches} (Fig. 9): each BFS wave becomes part of
+      a fused graph; gates within a wave run [slots]-wide, copies happen
+      once per program, and the next batch's construction overlaps the
+      current batch's execution. *)
+
+type timeline_segment = {
+  label : string;  (** e.g. "H2D", "Kernel", "D2H", "Graph build". *)
+  t_start : float;
+  t_end : float;
+}
+
+type result = {
+  gpu : Cost_model.gpu;
+  policy : string;
+  makespan : float;
+  speedup_vs_single_core : float;
+  timeline : timeline_segment list;  (** Only populated for small programs. *)
+}
+
+val simulate_cufhe :
+  Cost_model.gpu -> cpu:Cost_model.cpu -> Pytfhe_circuit.Levelize.schedule -> result
+
+val simulate_pytfhe :
+  ?max_batch_nodes:int ->
+  Cost_model.gpu -> cpu:Cost_model.cpu -> Pytfhe_circuit.Levelize.schedule -> result
+(** [max_batch_nodes] bounds a CUDA graph's size (GPU memory bound); waves
+    are packed greedily into batches up to that size. *)
+
+val speedup_over_cufhe :
+  Cost_model.gpu -> cpu:Cost_model.cpu -> Pytfhe_circuit.Levelize.schedule -> float
+(** Fig. 11's quantity: cuFHE makespan / PyTFHE makespan on the same GPU. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val simulate_cufhe_batched :
+  Cost_model.gpu -> cpu:Cost_model.cpu -> Pytfhe_circuit.Netlist.t -> result
+(** The middle ground the paper describes (§IV-E): cuFHE's own batching,
+    which can vectorize independent gates *of the same type* within a wave
+    but blocks the CPU between batches and still copies every ciphertext in
+    and out.  Sits between the per-gate executor and the CUDA-Graph
+    backend. *)

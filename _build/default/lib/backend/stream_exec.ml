@@ -1,0 +1,67 @@
+module Binary = Pytfhe_circuit.Binary
+module Gate = Pytfhe_circuit.Gate
+
+type 'v ops = {
+  v_gate : Gate.t -> 'v -> 'v -> 'v;
+  v_input : int -> 'v;
+}
+
+let run ops bytes =
+  (* One pass over the instruction stream; the value table is indexed by
+     the sequential gate numbering, so lookups are array reads.  The table
+     grows geometrically: the header only declares the gate count, not the
+     input count. *)
+  let table = ref [||] in
+  let next = ref 1 in
+  let input_ordinal = ref 0 in
+  let gate_total = ref (-1) in
+  let seen_gates = ref 0 in
+  let first = ref true in
+  let outputs = ref [] in
+  let ensure index =
+    if Array.length !table <= index then begin
+      let bigger = Array.make (max (2 * Array.length !table) (index + 16)) None in
+      Array.blit !table 0 bigger 0 (Array.length !table);
+      table := bigger
+    end
+  in
+  let fetch index =
+    if index < 1 || index >= !next then failwith "Stream_exec: reference to an unassigned index";
+    match !table.(index) with
+    | Some v -> v
+    | None -> failwith "Stream_exec: reference to an unassigned index"
+  in
+  Binary.iter bytes (fun inst ->
+      match inst with
+      | Binary.Header { gate_total = g } ->
+        if not !first then failwith "Stream_exec: duplicate header";
+        first := false;
+        gate_total := g
+      | Binary.Input_decl { index } ->
+        if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+        if index <> !next then failwith "Stream_exec: non-sequential input index";
+        ensure index;
+        !table.(index) <- Some (ops.v_input !input_ordinal);
+        incr input_ordinal;
+        incr next
+      | Binary.Gate_inst { gate; in0; in1 } ->
+        if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+        incr seen_gates;
+        if !seen_gates > !gate_total then
+          failwith "Stream_exec: more gates than the header declared";
+        ensure !next;
+        !table.(!next) <- Some (ops.v_gate gate (fetch in0) (fetch in1));
+        incr next
+      | Binary.Output_decl { index } -> outputs := fetch index :: !outputs);
+  if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+  Array.of_list (List.rev !outputs)
+
+let run_bits bytes ins =
+  let ops = { v_gate = Gate.eval; v_input = (fun i -> ins.(i)) } in
+  run ops bytes
+
+let run_encrypted cloud bytes cts =
+  let ops =
+    { v_gate = (fun g a b -> Tfhe_eval.gate_of g cloud a b); v_input = (fun i -> cts.(i)) }
+  in
+  run ops bytes

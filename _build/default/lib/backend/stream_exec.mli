@@ -1,0 +1,27 @@
+(** Streaming execution of PyTFHE binaries.
+
+    The paper's executor never builds a graph structure: the sequential
+    index "naming" of Fig. 5 lets it scan the 128-bit instruction stream
+    once, keeping a value table indexed by gate number (§IV-C's "fast TFHE
+    program DAG traversal").  This module is that executor, for both
+    plaintext bits and real ciphertexts — unlike {!Plain_eval.run_binary},
+    no netlist is materialised, so memory is one value per instruction. *)
+
+type 'v ops = {
+  v_gate : Pytfhe_circuit.Gate.t -> 'v -> 'v -> 'v;
+  v_input : int -> 'v;  (** Fetch input [i] (in input-instruction order). *)
+}
+
+val run : 'v ops -> bytes -> 'v array
+(** Execute an assembled binary over any value domain; returns the outputs
+    in output-instruction order.  Raises [Failure] on malformed streams
+    (bad magic sizes, forward references, missing header). *)
+
+val run_bits : bytes -> bool array -> bool array
+(** Plaintext-bit instantiation. *)
+
+val run_encrypted :
+  Pytfhe_tfhe.Gates.cloud_keyset -> bytes -> Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array
+(** Homomorphic instantiation: each gate instruction triggers one
+    bootstrapped-gate evaluation. *)

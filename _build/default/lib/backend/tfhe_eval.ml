@@ -1,0 +1,47 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+open Pytfhe_tfhe
+
+type stats = { bootstraps_executed : int; nots_executed : int; wall_time : float }
+
+let gate_of g =
+  match g with
+  | Gate.Nand -> Gates.nand_gate
+  | Gate.And -> Gates.and_gate
+  | Gate.Or -> Gates.or_gate
+  | Gate.Nor -> Gates.nor_gate
+  | Gate.Xnor -> Gates.xnor_gate
+  | Gate.Xor -> Gates.xor_gate
+  | Gate.Not -> fun ck a _ -> Gates.not_gate ck a
+  | Gate.Andny -> Gates.andny_gate
+  | Gate.Andyn -> Gates.andyn_gate
+  | Gate.Orny -> Gates.orny_gate
+  | Gate.Oryn -> Gates.oryn_gate
+
+let run cloud net inputs =
+  let input_list = Netlist.inputs net in
+  if Array.length inputs <> List.length input_list then
+    invalid_arg "Tfhe_eval.run: input arity mismatch";
+  let start = Unix.gettimeofday () in
+  let n = Netlist.node_count net in
+  let values : Lwe.sample option array = Array.make n None in
+  List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
+  let bootstraps = ref 0 and nots = ref 0 in
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Input _ -> ()
+    | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
+    | Netlist.Gate (g, a, b) ->
+      let va = Option.get values.(a) and vb = Option.get values.(b) in
+      if Gate.is_unary g then incr nots else incr bootstraps;
+      values.(id) <- Some (gate_of g cloud va vb)
+  done;
+  let outputs =
+    Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list
+  in
+  ( outputs,
+    {
+      bootstraps_executed = !bootstraps;
+      nots_executed = !nots;
+      wall_time = Unix.gettimeofday () -. start;
+    } )

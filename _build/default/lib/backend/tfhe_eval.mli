@@ -1,0 +1,26 @@
+(** The reference encrypted backend: evaluate a TFHE program gate by gate on
+    real LWE ciphertexts with the cloud keyset.
+
+    This is the single-core executor every other backend's numbers are
+    normalised to; the test suite runs whole compiled circuits through it
+    and checks the decrypted outputs against {!Plain_eval}. *)
+
+type stats = {
+  bootstraps_executed : int;
+  nots_executed : int;
+  wall_time : float;  (** Seconds of real local compute. *)
+}
+
+val run :
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pytfhe_circuit.Netlist.t ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** [run cloud net inputs] homomorphically evaluates every gate in
+    topological order.  [inputs] follow the netlist's input declaration
+    order; outputs follow the output declaration order. *)
+
+val gate_of : Pytfhe_circuit.Gate.t ->
+  Pytfhe_tfhe.Gates.cloud_keyset -> Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample ->
+  Pytfhe_tfhe.Lwe.sample
+(** The bootstrapped-gate implementation behind each IR gate type. *)

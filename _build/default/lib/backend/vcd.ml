@@ -1,0 +1,53 @@
+module Netlist = Pytfhe_circuit.Netlist
+
+(* Short printable VCD identifiers starting at '!' (code 33), switching to
+   two-character codes past 94 signals. *)
+let ident k =
+  let alphabet = 94 in
+  let rec go k acc =
+    let c = Char.chr (33 + (k mod alphabet)) in
+    let acc = String.make 1 c ^ acc in
+    if k < alphabet then acc else go ((k / alphabet) - 1) acc
+  in
+  go k ""
+
+let of_evaluation net vectors =
+  (match vectors with [] -> invalid_arg "Vcd.of_evaluation: no input vectors" | _ -> ());
+  let inputs = Netlist.inputs net in
+  let outputs = Netlist.outputs net in
+  let signals =
+    List.mapi (fun i (name, _) -> (name, `Input i)) inputs
+    @ List.mapi (fun i (name, _) -> (name, `Output i)) outputs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date pytfhe $end\n$timescale 1ns $end\n$scope module top $end\n";
+  List.iteri
+    (fun k (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "$var wire 1 %s %s $end\n" (ident k) name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let previous : bool option array = Array.make (List.length signals) None in
+  List.iteri
+    (fun step ins ->
+      let out_values = Netlist.eval_outputs net ins in
+      let values =
+        List.mapi
+          (fun k (_, role) ->
+            match role with
+            | `Input i ->
+              if i >= Array.length ins then invalid_arg "Vcd.of_evaluation: arity mismatch";
+              (k, ins.(i))
+            | `Output i -> (k, snd (List.nth out_values i)))
+          signals
+      in
+      let changes = List.filter (fun (k, v) -> previous.(k) <> Some v) values in
+      if changes <> [] || step = 0 then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" step);
+        List.iter
+          (fun (k, v) ->
+            previous.(k) <- Some v;
+            Buffer.add_string buf (Printf.sprintf "%d%s\n" (Bool.to_int v) (ident k)))
+          changes
+      end)
+    vectors;
+  Buffer.contents buf

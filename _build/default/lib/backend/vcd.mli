@@ -1,0 +1,12 @@
+(** Value-change-dump (VCD) export of circuit evaluations.
+
+    Evaluates a netlist over a sequence of input vectors and renders the
+    input/output activity as a standard VCD waveform (viewable in GTKWave),
+    one timestep per vector — the conventional way to debug a combinational
+    design that is about to be burned into a few million bootstrapped
+    gates. *)
+
+val of_evaluation : Pytfhe_circuit.Netlist.t -> bool array list -> string
+(** [of_evaluation net vectors] runs the circuit on each input vector (in
+    declaration order) and dumps the primary inputs and outputs.  Raises
+    [Invalid_argument] on an arity mismatch or an empty vector list. *)

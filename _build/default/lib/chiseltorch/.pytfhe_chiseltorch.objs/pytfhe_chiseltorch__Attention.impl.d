@@ -1,0 +1,1 @@
+lib/chiseltorch/attention.ml: Array Pytfhe_util Tensor

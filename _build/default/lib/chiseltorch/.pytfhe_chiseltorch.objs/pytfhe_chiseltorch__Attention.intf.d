@@ -1,0 +1,1 @@
+lib/chiseltorch/attention.mli: Pytfhe_circuit Pytfhe_util Tensor

@@ -1,0 +1,1 @@
+lib/chiseltorch/dtype.ml: Float Format Pytfhe_hdl String

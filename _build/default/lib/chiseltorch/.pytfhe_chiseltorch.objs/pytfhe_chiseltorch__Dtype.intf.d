@@ -1,0 +1,1 @@
+lib/chiseltorch/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/chiseltorch/nn.ml: Array Dtype Fun List Printf Pytfhe_circuit Scalar Tensor

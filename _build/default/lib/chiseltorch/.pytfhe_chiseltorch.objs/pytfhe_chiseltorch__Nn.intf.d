@@ -1,0 +1,1 @@
+lib/chiseltorch/nn.mli: Dtype Netlist Pytfhe_circuit Tensor

@@ -1,0 +1,1 @@
+lib/chiseltorch/scalar.ml: Arith Bus Dtype Float Float_repr Float_unit Pytfhe_circuit Pytfhe_hdl

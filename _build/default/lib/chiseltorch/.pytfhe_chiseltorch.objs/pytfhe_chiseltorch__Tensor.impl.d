@@ -1,0 +1,1 @@
+lib/chiseltorch/tensor.ml: Array Bus Dtype Printf Pytfhe_circuit Pytfhe_hdl Scalar

@@ -1,0 +1,1 @@
+lib/chiseltorch/tensor.mli: Bus Dtype Netlist Pytfhe_circuit Pytfhe_hdl

@@ -1,0 +1,29 @@
+(** Self-attention built from ChiselTorch tensor primitives — the paper's
+    demonstration that non-native layers compose from [reshape]/[matmul]
+    (§V-A: Attention_S with hidden size 32, Attention_L with 64).
+
+    Substitution note: softmax requires exponentials and a data-dependent
+    divide, which have no practical gate-level realisation; following the
+    common FHE practice the score normalisation is replaced by a scaled
+    ReLU.  The layer shape, the Q/K/V projections, the score matrix and the
+    value aggregation — i.e. everything that determines the circuit's size
+    and structure — are unchanged. *)
+
+type config = {
+  seq_len : int;  (** Number of tokens. *)
+  hidden : int;  (** Hidden dimension (Attention_S: 32, Attention_L: 64). *)
+}
+
+type weights = {
+  wq : float array array;  (** hidden × hidden *)
+  wk : float array array;
+  wv : float array array;
+}
+
+val random_weights : Pytfhe_util.Rng.t -> config -> weights
+(** Synthetic projection matrices (the evaluation is shape-driven; see
+    DESIGN.md on the data substitution). *)
+
+val build : Pytfhe_circuit.Netlist.t -> config -> weights -> Tensor.t -> Tensor.t
+(** [build net cfg w x] applies one self-attention layer to the
+    [seq_len × hidden] input tensor. *)

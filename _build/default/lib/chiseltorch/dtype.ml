@@ -1,0 +1,75 @@
+module Float_repr = Pytfhe_hdl.Float_repr
+
+type t = UInt of int | SInt of int | Fixed of { width : int; frac : int } | Float of { e : int; m : int }
+
+let width = function
+  | UInt w | SInt w -> w
+  | Fixed { width; _ } -> width
+  | Float { e; m } -> e + m + 1
+
+let is_signed = function UInt _ -> false | SInt _ | Fixed _ | Float _ -> true
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let encode t v =
+  match t with
+  | UInt w ->
+    let max_v = (1 lsl w) - 1 in
+    clamp 0 max_v (int_of_float (Float.round v))
+  | SInt w ->
+    let half = 1 lsl (w - 1) in
+    mask w (clamp (-half) (half - 1) (int_of_float (Float.round v)))
+  | Fixed { width; frac } ->
+    let half = 1 lsl (width - 1) in
+    let scaled = int_of_float (Float.round (v *. float_of_int (1 lsl frac))) in
+    mask width (clamp (-half) (half - 1) scaled)
+  | Float { e; m } -> Float_repr.encode ~e ~m v
+
+let decode t bits =
+  match t with
+  | UInt w -> float_of_int (mask w bits)
+  | SInt w ->
+    let v = mask w bits in
+    float_of_int (if v >= 1 lsl (w - 1) then v - (1 lsl w) else v)
+  | Fixed { width; frac } ->
+    let v = mask width bits in
+    let signed = if v >= 1 lsl (width - 1) then v - (1 lsl width) else v in
+    float_of_int signed /. float_of_int (1 lsl frac)
+  | Float { e; m } -> Float_repr.decode ~e ~m bits
+
+let resolution = function
+  | UInt _ | SInt _ -> 1.0
+  | Fixed { frac; _ } -> 1.0 /. float_of_int (1 lsl frac)
+  | Float { e = _; m } -> 1.0 /. float_of_int (1 lsl m)
+
+let of_string s =
+  let parse_dims prefix constructor =
+    let len = String.length prefix in
+    if String.length s > len && String.sub s 0 len = prefix then
+      match String.split_on_char '.' (String.sub s len (String.length s - len)) with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b when a > 0 && b >= 0 -> Some (constructor a b)
+        | _, _ -> None)
+      | [ a ] -> (
+        match int_of_string_opt a with Some a when a > 0 -> Some (constructor a 0) | _ -> None)
+      | _ -> None
+    else None
+  in
+  match parse_dims "fixed" (fun w f -> Fixed { width = w; frac = f }) with
+  | Some _ as r -> r
+  | None -> (
+    match parse_dims "float" (fun e m -> Float { e; m }) with
+    | Some _ as r -> r
+    | None -> (
+      match parse_dims "uint" (fun w _ -> UInt w) with
+      | Some _ as r -> r
+      | None -> parse_dims "sint" (fun w _ -> SInt w)))
+
+let pp fmt = function
+  | UInt w -> Format.fprintf fmt "UInt(%d)" w
+  | SInt w -> Format.fprintf fmt "SInt(%d)" w
+  | Fixed { width; frac } -> Format.fprintf fmt "Fixed(%d,%d)" width frac
+  | Float { e; m } -> Format.fprintf fmt "Float(%d,%d)" e m

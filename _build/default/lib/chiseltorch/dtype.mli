@@ -1,0 +1,37 @@
+(** ChiselTorch data types (paper §IV-B).
+
+    TFHE circuits are bit-level, so data types are not limited to byte or
+    word alignment: integers and fixed-point values of arbitrary width, and
+    floating point with arbitrary exponent/mantissa split.  [Float (8, 8)]
+    is the paper's bfloat16-style example; [Float (5, 11)] a half-precision
+    analogue.  Choosing a cheaper type shrinks the generated TFHE program —
+    the quantization/performance knob the frontend exposes. *)
+
+type t =
+  | UInt of int  (** Unsigned integer of the given bit width. *)
+  | SInt of int  (** Two's-complement signed integer. *)
+  | Fixed of { width : int; frac : int }
+      (** Signed fixed point: [width] total bits, [frac] fraction bits. *)
+  | Float of { e : int; m : int }  (** See {!Pytfhe_hdl.Float_repr}. *)
+
+val width : t -> int
+(** Bits per element on the wire. *)
+
+val is_signed : t -> bool
+
+val encode : t -> float -> int
+(** Quantize a real number to a bit pattern (round to nearest for integer
+    and fixed-point types, saturating at the representable range). *)
+
+val decode : t -> int -> float
+(** Real value of a bit pattern. *)
+
+val resolution : t -> float
+(** Smallest positive increment (integer/fixed types) or the ulp at 1.0
+    (float types); tests use it for tolerances. *)
+
+val of_string : string -> t option
+(** Parse ["sint8"], ["uint4"], ["fixed8.4"], ["float8.8"]-style names (the
+    CLI's dtype flags). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+module Netlist = Pytfhe_circuit.Netlist
+
+type layer =
+  | Conv1d of { in_ch : int; out_ch : int; kernel : int; stride : int; weights : float array; bias : float array option }
+  | Conv2d of { in_ch : int; out_ch : int; kernel : int; stride : int; padding : int; weights : float array; bias : float array option }
+  | Linear of { in_features : int; out_features : int; weights : float array; bias : float array option }
+  | Relu
+  | Hardtanh
+  | Hardsigmoid
+  | MaxPool1d of { kernel : int; stride : int }
+  | AvgPool1d of { kernel : int; stride : int }
+  | MaxPool2d of { kernel : int; stride : int }
+  | AvgPool2d of { kernel : int; stride : int }
+  | BatchNorm1d of { gamma : float array; beta : float array; mean : float array; var : float array; eps : float }
+  | BatchNorm2d of { gamma : float array; beta : float array; mean : float array; var : float array; eps : float }
+  | Flatten
+
+type model = layer list
+
+let layer_name = function
+  | Conv1d _ -> "Conv1d"
+  | Conv2d _ -> "Conv2d"
+  | Linear _ -> "Linear"
+  | Relu -> "ReLU"
+  | Hardtanh -> "Hardtanh"
+  | Hardsigmoid -> "Hardsigmoid"
+  | MaxPool1d _ -> "MaxPool1d"
+  | AvgPool1d _ -> "AvgPool1d"
+  | MaxPool2d _ -> "MaxPool2d"
+  | AvgPool2d _ -> "AvgPool2d"
+  | BatchNorm1d _ -> "BatchNorm1d"
+  | BatchNorm2d _ -> "BatchNorm2d"
+  | Flatten -> "Flatten"
+
+let conv_out size kernel stride padding = ((size + (2 * padding) - kernel) / stride) + 1
+
+let output_shape layer shape =
+  let fail () =
+    invalid_arg (Printf.sprintf "Nn.%s: unsupported input rank %d" (layer_name layer) (Array.length shape))
+  in
+  match (layer, shape) with
+  | Conv1d { in_ch; out_ch; kernel; stride; _ }, [| c; l |] when c = in_ch ->
+    [| out_ch; conv_out l kernel stride 0 |]
+  | Conv2d { in_ch; out_ch; kernel; stride; padding; _ }, [| c; h; w |] when c = in_ch ->
+    [| out_ch; conv_out h kernel stride padding; conv_out w kernel stride padding |]
+  | Linear { in_features; out_features; _ }, [| n |] when n = in_features -> [| out_features |]
+  | (Relu | Hardtanh | Hardsigmoid), s -> s
+  | MaxPool1d { kernel; stride }, [| c; l |] | AvgPool1d { kernel; stride }, [| c; l |] ->
+    [| c; conv_out l kernel stride 0 |]
+  | MaxPool2d { kernel; stride }, [| c; h; w |] | AvgPool2d { kernel; stride }, [| c; h; w |] ->
+    [| c; conv_out h kernel stride 0; conv_out w kernel stride 0 |]
+  | BatchNorm1d { gamma; _ }, [| c; _ |] when Array.length gamma = c -> shape
+  | BatchNorm2d { gamma; _ }, [| c; _; _ |] when Array.length gamma = c -> shape
+  | Flatten, s when Array.length s >= 1 -> [| Array.fold_left ( * ) 1 s |]
+  | (Conv1d _ | Conv2d _ | Linear _ | MaxPool1d _ | AvgPool1d _ | MaxPool2d _ | AvgPool2d _
+    | BatchNorm1d _ | BatchNorm2d _ | Flatten), _ ->
+    fail ()
+
+let model_output_shape model shape = List.fold_left (fun s l -> output_shape l s) shape model
+
+(* Per-channel affine scale/shift used by batch norm at inference time. *)
+let batch_norm_coeffs ~gamma ~beta ~mean ~var ~eps c =
+  let a = gamma.(c) /. sqrt (var.(c) +. eps) in
+  let b = beta.(c) -. (a *. mean.(c)) in
+  (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit instantiation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Both the circuit and the reference interpreter are written against this
+   tiny algebra, which guarantees they perform the same operations in the
+   same order. *)
+type ('v, 'ctx) ops = {
+  o_const : 'ctx -> float -> 'v;
+  o_add : 'ctx -> 'v -> 'v -> 'v;
+  o_mul_scalar : 'ctx -> 'v -> float -> 'v;
+  o_relu : 'ctx -> 'v -> 'v;
+  o_max : 'ctx -> 'v -> 'v -> 'v;
+  o_div_const : 'ctx -> 'v -> int -> 'v;
+  o_zero_pattern : 'v;  (* padding value (encoded zero) *)
+  o_clamp : 'ctx -> 'v -> float -> float -> 'v;  (* saturate to a public interval *)
+  o_copy : 'ctx -> 'v -> 'v;  (* identity for free wiring; buffer gates otherwise *)
+}
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let apply_generic (type v ctx) (ops : (v, ctx) ops) (ctx : ctx) layer (shape : int array)
+    (data : v array) : v array =
+  let out_shape = output_shape layer shape in
+  match layer with
+  | Relu -> Array.map (ops.o_relu ctx) data
+  | Hardtanh -> Array.map (fun v -> ops.o_clamp ctx v (-1.0) 1.0) data
+  | Hardsigmoid ->
+    Array.map
+      (fun v ->
+        ops.o_clamp ctx (ops.o_add ctx (ops.o_mul_scalar ctx v (1.0 /. 6.0)) (ops.o_const ctx 0.5)) 0.0 1.0)
+      data
+  | Flatten -> Array.map (ops.o_copy ctx) data
+  | Conv1d { in_ch; kernel; stride; weights; bias; out_ch } ->
+    let l = shape.(1) in
+    let out_l = out_shape.(1) in
+    Array.init (out_ch * out_l) (fun flat ->
+        let o = flat / out_l and i = flat mod out_l in
+        let init = ops.o_const ctx (match bias with Some b -> b.(o) | None -> 0.0) in
+        let acc = ref init in
+        for c = 0 to in_ch - 1 do
+          for d = 0 to kernel - 1 do
+            let x = data.((c * l) + (i * stride) + d) in
+            let w = weights.((o * in_ch * kernel) + (c * kernel) + d) in
+            acc := ops.o_add ctx !acc (ops.o_mul_scalar ctx x w)
+          done
+        done;
+        !acc)
+  | Conv2d { in_ch; kernel; stride; padding; weights; bias; out_ch = _ } ->
+    let h = shape.(1) + (2 * padding) and w = shape.(2) + (2 * padding) in
+    let padded =
+      if padding = 0 then data
+      else
+        Array.init (in_ch * h * w) (fun flat ->
+            let c = flat / (h * w) in
+            let rem = flat mod (h * w) in
+            let i = (rem / w) - padding and j = (rem mod w) - padding in
+            if i < 0 || i >= shape.(1) || j < 0 || j >= shape.(2) then ops.o_zero_pattern
+            else data.((c * shape.(1) * shape.(2)) + (i * shape.(2)) + j))
+    in
+    let out_h = out_shape.(1) and out_w = out_shape.(2) in
+    Array.init (out_shape.(0) * out_h * out_w) (fun flat ->
+        let o = flat / (out_h * out_w) in
+        let rem = flat mod (out_h * out_w) in
+        let i = rem / out_w and j = rem mod out_w in
+        let init = ops.o_const ctx (match bias with Some b -> b.(o) | None -> 0.0) in
+        let acc = ref init in
+        for c = 0 to in_ch - 1 do
+          for di = 0 to kernel - 1 do
+            for dj = 0 to kernel - 1 do
+              let x = padded.((c * h * w) + (((i * stride) + di) * w) + (j * stride) + dj) in
+              let wt = weights.((o * in_ch * kernel * kernel) + (c * kernel * kernel) + (di * kernel) + dj) in
+              acc := ops.o_add ctx !acc (ops.o_mul_scalar ctx x wt)
+            done
+          done
+        done;
+        !acc)
+  | Linear { in_features; out_features; weights; bias } ->
+    Array.init out_features (fun o ->
+        let init = ops.o_const ctx (match bias with Some b -> b.(o) | None -> 0.0) in
+        let acc = ref init in
+        for i = 0 to in_features - 1 do
+          acc := ops.o_add ctx !acc (ops.o_mul_scalar ctx data.(i) weights.((o * in_features) + i))
+        done;
+        !acc)
+  | MaxPool1d { kernel; stride } | AvgPool1d { kernel; stride } ->
+    let c_n = shape.(0) and l = shape.(1) in
+    let out_l = out_shape.(1) in
+    let is_max = match layer with MaxPool1d _ -> true | _ -> false in
+    Array.init (c_n * out_l) (fun flat ->
+        let c = flat / out_l and i = flat mod out_l in
+        let window = List.init kernel (fun d -> data.((c * l) + (i * stride) + d)) in
+        match window with
+        | first :: rest ->
+          let combined =
+            List.fold_left (fun acc v -> if is_max then ops.o_max ctx acc v else ops.o_add ctx acc v) first rest
+          in
+          if is_max then combined else ops.o_div_const ctx combined kernel
+        | [] -> assert false)
+  | MaxPool2d { kernel; stride } | AvgPool2d { kernel; stride } ->
+    let c_n = shape.(0) and h = shape.(1) and w = shape.(2) in
+    let out_h = out_shape.(1) and out_w = out_shape.(2) in
+    let is_max = match layer with MaxPool2d _ -> true | _ -> false in
+    Array.init (c_n * out_h * out_w) (fun flat ->
+        let c = flat / (out_h * out_w) in
+        let rem = flat mod (out_h * out_w) in
+        let i = rem / out_w and j = rem mod out_w in
+        let window =
+          List.concat_map
+            (fun di ->
+              List.init kernel (fun dj ->
+                  data.((c * h * w) + (((i * stride) + di) * w) + (j * stride) + dj)))
+            (List.init kernel Fun.id)
+        in
+        match window with
+        | first :: rest ->
+          let combined =
+            List.fold_left (fun acc v -> if is_max then ops.o_max ctx acc v else ops.o_add ctx acc v) first rest
+          in
+          if is_max then combined else ops.o_div_const ctx combined (kernel * kernel)
+        | [] -> assert false)
+  | BatchNorm1d { gamma; beta; mean; var; eps } ->
+    let l = shape.(1) in
+    Array.mapi
+      (fun flat x ->
+        let c = flat / l in
+        let a, b = batch_norm_coeffs ~gamma ~beta ~mean ~var ~eps c in
+        ops.o_add ctx (ops.o_mul_scalar ctx x a) (ops.o_const ctx b))
+      data
+  | BatchNorm2d { gamma; beta; mean; var; eps } ->
+    let hw = shape.(1) * shape.(2) in
+    Array.mapi
+      (fun flat x ->
+        let c = flat / hw in
+        let a, b = batch_norm_coeffs ~gamma ~beta ~mean ~var ~eps c in
+        ops.o_add ctx (ops.o_mul_scalar ctx x a) (ops.o_const ctx b))
+      data
+
+let circuit_ops dtype =
+  {
+    o_const = (fun net v -> Scalar.const net dtype v);
+    o_add = (fun net a b -> Scalar.add net dtype a b);
+    o_mul_scalar = (fun net a c -> Scalar.mul_scalar net dtype a c);
+    o_relu = (fun net a -> Scalar.relu net dtype a);
+    o_max = (fun net a b -> Scalar.max_ net dtype a b);
+    o_div_const = (fun net a n -> Scalar.div_const net dtype a n);
+    o_zero_pattern = [||];
+    o_clamp = (fun net v lo hi -> Scalar.clamp net dtype v ~lo ~hi);
+    o_copy = (fun _ v -> v);
+  }
+
+let apply net layer x =
+  let dtype = Tensor.dtype x in
+  let ops = { (circuit_ops dtype) with o_zero_pattern = Scalar.const net dtype 0.0 } in
+  let data = Array.init (Tensor.numel x) (Tensor.get_flat x) in
+  let out = apply_generic ops net layer (Tensor.shape x) data in
+  Tensor.create dtype (output_shape layer (Tensor.shape x)) out
+
+let run net model x = List.fold_left (fun acc layer -> apply net layer acc) x model
+
+let reference_ops dtype =
+  {
+    o_const = (fun () v -> Dtype.encode dtype v);
+    o_add = (fun () a b -> Scalar.ref_add dtype a b);
+    o_mul_scalar = (fun () a c -> Scalar.ref_mul_scalar dtype a c);
+    o_relu = (fun () a -> Scalar.ref_relu dtype a);
+    o_max = (fun () a b -> Scalar.ref_max dtype a b);
+    o_div_const = (fun () a n -> Scalar.ref_div_const dtype a n);
+    o_zero_pattern = 0;
+    o_clamp = (fun () v lo hi -> Scalar.ref_clamp dtype v ~lo ~hi);
+    o_copy = (fun () v -> v);
+  }
+
+let reference model dtype shape input =
+  if Array.length input <> numel shape then invalid_arg "Nn.reference: input size mismatch";
+  let ops = { (reference_ops dtype) with o_zero_pattern = Dtype.encode dtype 0.0 } in
+  let _, out =
+    List.fold_left
+      (fun (s, d) layer -> (output_shape layer s, apply_generic ops () layer s d))
+      (shape, input) model
+  in
+  out

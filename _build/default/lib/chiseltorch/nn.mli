@@ -1,0 +1,74 @@
+(** PyTorch-compatible neural-network layers (paper Table I / Fig. 4).
+
+    A model is a sequence of layers applied to an input tensor; weights are
+    public (server-side inference) and folded into the circuit as constants,
+    which is what lets the frontend emit constant-aware multipliers.
+
+    [reference] is a bit-exact plaintext interpreter for the same model —
+    the test suite compiles a model to gates, evaluates both on the same
+    quantized input, and compares. *)
+
+open Pytfhe_circuit
+
+type layer =
+  | Conv1d of { in_ch : int; out_ch : int; kernel : int; stride : int; weights : float array; bias : float array option }
+  | Conv2d of { in_ch : int; out_ch : int; kernel : int; stride : int; padding : int; weights : float array; bias : float array option }
+  | Linear of { in_features : int; out_features : int; weights : float array; bias : float array option }
+  | Relu
+  | Hardtanh  (** clamp(x, −1, 1) — the piecewise-linear tanh used in FHE practice. *)
+  | Hardsigmoid  (** clamp(x/6 + 1/2, 0, 1). *)
+  | MaxPool1d of { kernel : int; stride : int }
+  | AvgPool1d of { kernel : int; stride : int }
+  | MaxPool2d of { kernel : int; stride : int }
+  | AvgPool2d of { kernel : int; stride : int }
+  | BatchNorm1d of { gamma : float array; beta : float array; mean : float array; var : float array; eps : float }
+  | BatchNorm2d of { gamma : float array; beta : float array; mean : float array; var : float array; eps : float }
+  | Flatten
+
+type model = layer list
+(** nn.Sequential. *)
+
+val layer_name : layer -> string
+
+val output_shape : layer -> int array -> int array
+(** Shape after applying one layer; raises [Invalid_argument] on a shape the
+    layer cannot accept. *)
+
+val model_output_shape : model -> int array -> int array
+
+type ('v, 'ctx) ops = {
+  o_const : 'ctx -> float -> 'v;
+  o_add : 'ctx -> 'v -> 'v -> 'v;
+  o_mul_scalar : 'ctx -> 'v -> float -> 'v;
+  o_relu : 'ctx -> 'v -> 'v;
+  o_max : 'ctx -> 'v -> 'v -> 'v;
+  o_div_const : 'ctx -> 'v -> int -> 'v;
+  o_zero_pattern : 'v;
+  o_clamp : 'ctx -> 'v -> float -> float -> 'v;
+      (** [o_clamp ctx v lo hi] saturates to the public interval [lo, hi]
+          (the Hardtanh/Hardsigmoid building block). *)
+  o_copy : 'ctx -> 'v -> 'v;
+      (** Applied to every element of shape-only layers ([Flatten]).  The
+          ChiselTorch lowering uses the identity (free wiring); the
+          Transpiler baseline emits buffer gates here, reproducing the
+          paper's "gates for the Flatten layer" observation. *)
+}
+(** The value algebra the layer math is written against.  Instantiating it
+    with circuit scalars yields the compiler; with plaintext bit patterns,
+    the reference interpreter; the baseline framework models instantiate it
+    with their own (less optimizing) lowerings. *)
+
+val apply_generic : ('v, 'ctx) ops -> 'ctx -> layer -> int array -> 'v array -> 'v array
+(** One layer over an arbitrary value algebra. *)
+
+val apply : Netlist.t -> layer -> Tensor.t -> Tensor.t
+(** Instantiate the layer's circuit. *)
+
+val run : Netlist.t -> model -> Tensor.t -> Tensor.t
+(** Instantiate a whole model. *)
+
+val reference : model -> Dtype.t -> int array -> int array -> int array
+(** [reference model dtype shape input_patterns] evaluates the model on
+    plaintext bit patterns with the exact wrap/quantization semantics of the
+    generated circuit (integer and fixed-point dtypes are bit-exact; float
+    dtypes agree up to rounding of intermediate results). *)

@@ -1,0 +1,199 @@
+open Pytfhe_hdl
+module Netlist = Pytfhe_circuit.Netlist
+
+let fmt_of = function Dtype.Float { e; m } -> { Float_unit.e; m } | _ -> invalid_arg "fmt_of"
+
+let const net dtype v = Bus.const net ~width:(Dtype.width dtype) (Dtype.encode dtype v)
+
+let add net dtype a b =
+  match dtype with
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> Arith.add net a b
+  | Dtype.Float _ -> Float_unit.add net (fmt_of dtype) a b
+
+let sub net dtype a b =
+  match dtype with
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> Arith.sub net a b
+  | Dtype.Float _ -> Float_unit.sub net (fmt_of dtype) a b
+
+let neg net dtype a =
+  match dtype with
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> Arith.neg net a
+  | Dtype.Float _ -> Float_unit.neg net (fmt_of dtype) a
+
+let mul net dtype a b =
+  match dtype with
+  | Dtype.UInt w -> Arith.mul_u net ~out_width:w a b
+  | Dtype.SInt w -> Arith.mul_s net ~out_width:w a b
+  | Dtype.Fixed { width; frac } ->
+    let product = Arith.mul_s net ~out_width:(width + frac) a b in
+    Bus.slice product ~lo:frac ~hi:(frac + width - 1)
+  | Dtype.Float _ -> Float_unit.mul net (fmt_of dtype) a b
+
+let mul_scalar net dtype a c =
+  match dtype with
+  | Dtype.UInt w ->
+    let a' = Bus.resize_u net a w in
+    Arith.mul_const_s net ~out_width:w a' (int_of_float (Float.round c))
+  | Dtype.SInt w -> Arith.mul_const_s net ~out_width:w a (int_of_float (Float.round c))
+  | Dtype.Fixed { width; frac } ->
+    let c_fixed = int_of_float (Float.round (c *. float_of_int (1 lsl frac))) in
+    let product = Arith.mul_const_s net ~out_width:(width + frac) a c_fixed in
+    Bus.slice product ~lo:frac ~hi:(frac + width - 1)
+  | Dtype.Float _ -> Float_unit.mul_const net (fmt_of dtype) a c
+
+let recip_q = 8
+
+let div_const net dtype a n =
+  if n <= 0 then invalid_arg "Scalar.div_const: divisor must be positive";
+  match dtype with
+  | Dtype.Fixed _ | Dtype.Float _ -> mul_scalar net dtype a (1.0 /. float_of_int n)
+  | Dtype.UInt w ->
+    let recip = int_of_float (Float.round (float_of_int (1 lsl recip_q) /. float_of_int n)) in
+    let a' = Bus.resize_u net a (w + recip_q) in
+    let product = Arith.mul_const_s net ~out_width:(w + recip_q) a' recip in
+    Bus.slice product ~lo:recip_q ~hi:(recip_q + w - 1)
+  | Dtype.SInt w ->
+    let recip = int_of_float (Float.round (float_of_int (1 lsl recip_q) /. float_of_int n)) in
+    let product = Arith.mul_const_s net ~out_width:(w + recip_q) a recip in
+    Bus.slice product ~lo:recip_q ~hi:(recip_q + w - 1)
+
+let relu net dtype a =
+  match dtype with
+  | Dtype.UInt _ -> a
+  | Dtype.SInt _ | Dtype.Fixed _ ->
+    Bus.mux net (Bus.msb a) (Bus.const net ~width:(Bus.width a) 0) a
+  | Dtype.Float _ -> Float_unit.relu net (fmt_of dtype) a
+
+let eq_ net dtype a b =
+  match dtype with
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ | Dtype.Float _ -> Arith.eq net a b
+
+let ne_ net dtype a b = Netlist.not_ net (eq_ net dtype a b)
+
+let lt net dtype a b =
+  match dtype with
+  | Dtype.UInt _ -> Arith.lt_u net a b
+  | Dtype.SInt _ | Dtype.Fixed _ -> Arith.lt_s net a b
+  | Dtype.Float _ -> Float_unit.lt net (fmt_of dtype) a b
+
+let gt net dtype a b = lt net dtype b a
+let le net dtype a b = Netlist.not_ net (gt net dtype a b)
+let ge net dtype a b = Netlist.not_ net (lt net dtype a b)
+
+let max_ net dtype a b = Bus.mux net (lt net dtype a b) b a
+let min_ net dtype a b = Bus.mux net (lt net dtype a b) a b
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let signed w bits =
+  let v = mask w bits in
+  if v >= 1 lsl (w - 1) then v - (1 lsl w) else v
+
+let ref_add dtype a b =
+  match dtype with
+  | Dtype.Float { e; m } ->
+    Float_repr.encode ~e ~m (Float_repr.decode ~e ~m a +. Float_repr.decode ~e ~m b)
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> mask (Dtype.width dtype) (a + b)
+
+let ref_sub dtype a b =
+  match dtype with
+  | Dtype.Float { e; m } ->
+    Float_repr.encode ~e ~m (Float_repr.decode ~e ~m a -. Float_repr.decode ~e ~m b)
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> mask (Dtype.width dtype) (a - b)
+
+let ref_neg dtype a =
+  match dtype with
+  | Dtype.Float { e; m } -> Float_repr.encode ~e ~m (-.Float_repr.decode ~e ~m a)
+  | Dtype.UInt _ | Dtype.SInt _ | Dtype.Fixed _ -> mask (Dtype.width dtype) (-a)
+
+let ref_mul dtype a b =
+  match dtype with
+  | Dtype.UInt w -> mask w (mask w a * mask w b)
+  | Dtype.SInt w -> mask w (signed w a * signed w b)
+  | Dtype.Fixed { width; frac } -> mask width ((signed width a * signed width b) asr frac)
+  | Dtype.Float { e; m } ->
+    Float_repr.encode ~e ~m (Float_repr.decode ~e ~m a *. Float_repr.decode ~e ~m b)
+
+let ref_mul_scalar dtype a c =
+  match dtype with
+  | Dtype.UInt w -> mask w (mask w a * int_of_float (Float.round c))
+  | Dtype.SInt w -> mask w (signed w a * int_of_float (Float.round c))
+  | Dtype.Fixed { width; frac } ->
+    let c_fixed = int_of_float (Float.round (c *. float_of_int (1 lsl frac))) in
+    mask width ((signed width a * c_fixed) asr frac)
+  | Dtype.Float { e; m } -> Float_repr.encode ~e ~m (Float_repr.decode ~e ~m a *. c)
+
+let ref_relu dtype a =
+  match dtype with
+  | Dtype.UInt _ -> a
+  | Dtype.SInt w -> if signed w a < 0 then 0 else mask w a
+  | Dtype.Fixed { width; frac = _ } -> if signed width a < 0 then 0 else mask width a
+  | Dtype.Float { e; m } -> if Float_repr.decode ~e ~m a < 0.0 then 0 else a
+
+let ref_div_const dtype a n =
+  if n <= 0 then invalid_arg "Scalar.ref_div_const: divisor must be positive";
+  match dtype with
+  | Dtype.Fixed _ | Dtype.Float _ -> ref_mul_scalar dtype a (1.0 /. float_of_int n)
+  | Dtype.UInt w ->
+    let recip = int_of_float (Float.round (float_of_int (1 lsl recip_q) /. float_of_int n)) in
+    mask w ((mask w a * recip) asr recip_q)
+  | Dtype.SInt w ->
+    let recip = int_of_float (Float.round (float_of_int (1 lsl recip_q) /. float_of_int n)) in
+    mask w ((signed w a * recip) asr recip_q)
+
+let ref_lt dtype a b =
+  match dtype with
+  | Dtype.UInt w -> mask w a < mask w b
+  | Dtype.SInt w -> signed w a < signed w b
+  | Dtype.Fixed { width; frac = _ } -> signed width a < signed width b
+  | Dtype.Float { e; m } -> Float_repr.decode ~e ~m a < Float_repr.decode ~e ~m b
+
+let ref_max dtype a b = if ref_lt dtype a b then b else a
+
+let div net dtype a b =
+  match dtype with
+  | Dtype.UInt _ -> fst (Arith.div_u net a b)
+  | Dtype.SInt _ -> Arith.div_s net a b
+  | Dtype.Fixed { width; frac } ->
+    (* (a << frac) / b at width+frac, truncated back. *)
+    let wide = width + frac in
+    let a_ext = Bus.shift_left net (Bus.resize_s net a wide) frac in
+    let b_ext = Bus.resize_s net b wide in
+    Bus.slice (Arith.div_s net a_ext b_ext) ~lo:0 ~hi:(width - 1)
+  | Dtype.Float _ -> Float_unit.div net (fmt_of dtype) a b
+
+let ref_div dtype a b =
+  (* Mirrors the circuit exactly, including wrap-around of |min_int| and the
+     all-ones quotient on division by zero. *)
+  let int_div w a b =
+    let abs_w v = if signed w v < 0 then mask w (-v) else mask w v in
+    let aa = abs_w a and ab = abs_w b in
+    let q = if ab = 0 then (1 lsl w) - 1 else aa / ab in
+    if (signed w a < 0) <> (signed w b < 0) then mask w (-q) else mask w q
+  in
+  match dtype with
+  | Dtype.UInt w ->
+    let b = mask w b in
+    if b = 0 then (1 lsl w) - 1 else mask w a / b
+  | Dtype.SInt w -> int_div w a b
+  | Dtype.Fixed { width; frac } ->
+    let wide = width + frac in
+    let a_ext = mask wide ((signed width a) lsl frac) in
+    let b_ext = mask wide (signed width b) in
+    mask width (int_div wide a_ext b_ext)
+  | Dtype.Float { e; m } ->
+    Float_repr.encode ~e ~m (Float_repr.decode ~e ~m a /. Float_repr.decode ~e ~m b)
+
+let clamp net dtype a ~lo ~hi =
+  let lo_c = const net dtype lo and hi_c = const net dtype hi in
+  min_ net dtype (max_ net dtype a lo_c) hi_c
+
+let ref_min dtype a b = if ref_lt dtype a b then a else b
+
+let ref_clamp dtype a ~lo ~hi =
+  let lo_p = Dtype.encode dtype lo and hi_p = Dtype.encode dtype hi in
+  ref_min dtype (ref_max dtype a lo_p) hi_p

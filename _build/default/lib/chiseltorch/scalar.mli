@@ -1,0 +1,61 @@
+(** Dtype-dispatched scalar circuit operations.
+
+    Every tensor operation maps one of these over its elements.  The [ref_*]
+    functions give the exact plaintext semantics on bit patterns (wrapping
+    two's-complement arithmetic for integer/fixed types); the test suite
+    checks the circuits against them bit-for-bit. *)
+
+open Pytfhe_circuit
+open Pytfhe_hdl
+
+val const : Netlist.t -> Dtype.t -> float -> Bus.t
+val add : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+val sub : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+val neg : Netlist.t -> Dtype.t -> Bus.t -> Bus.t
+val mul : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+
+val mul_scalar : Netlist.t -> Dtype.t -> Bus.t -> float -> Bus.t
+(** Multiply by a public constant — the constant-aware path that makes
+    ChiselTorch circuits small (weights are public in inference). *)
+
+val relu : Netlist.t -> Dtype.t -> Bus.t -> Bus.t
+
+val div_const : Netlist.t -> Dtype.t -> Bus.t -> int -> Bus.t
+(** Divide by a small public positive integer (average pooling).  Fixed and
+    float types multiply by the reciprocal; integer types multiply by a
+    q8-quantized reciprocal and shift, so results are rounded toward −∞. *)
+
+val eq_ : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+val ne_ : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+val lt : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+val le : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+val gt : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+val ge : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Netlist.id
+
+val max_ : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+val min_ : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+
+(** Reference plaintext semantics on bit patterns. *)
+
+val ref_add : Dtype.t -> int -> int -> int
+val ref_sub : Dtype.t -> int -> int -> int
+val ref_neg : Dtype.t -> int -> int
+val ref_mul : Dtype.t -> int -> int -> int
+val ref_mul_scalar : Dtype.t -> int -> float -> int
+val ref_relu : Dtype.t -> int -> int
+val ref_div_const : Dtype.t -> int -> int -> int
+val ref_lt : Dtype.t -> int -> int -> bool
+val ref_max : Dtype.t -> int -> int -> int
+
+val div : Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t
+(** Encrypted/encrypted division (Table I's [/]): truncating integer
+    division for [UInt]/[SInt], fixed-point long division for [Fixed],
+    Newton-Raphson reciprocal for [Float] (approximate — bit-exactness
+    against [ref_div] holds for the integer and fixed dtypes only). *)
+
+val ref_div : Dtype.t -> int -> int -> int
+
+val clamp : Netlist.t -> Dtype.t -> Bus.t -> lo:float -> hi:float -> Bus.t
+(** Saturate to a public interval: min(max(x, lo), hi). *)
+
+val ref_clamp : Dtype.t -> int -> lo:float -> hi:float -> int

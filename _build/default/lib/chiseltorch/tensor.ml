@@ -1,0 +1,184 @@
+open Pytfhe_hdl
+module Netlist = Pytfhe_circuit.Netlist
+
+type t = { dtype : Dtype.t; shape : int array; data : Bus.t array }
+
+let numel_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let create dtype shape data =
+  let n = numel_of_shape shape in
+  if Array.length data <> n then invalid_arg "Tensor.create: element count mismatch";
+  let w = Dtype.width dtype in
+  Array.iter (fun b -> if Bus.width b <> w then invalid_arg "Tensor.create: bus width mismatch") data;
+  { dtype; shape; data }
+
+let dtype t = t.dtype
+let shape t = t.shape
+let numel t = Array.length t.data
+
+let input net name dtype shape =
+  let n = numel_of_shape shape in
+  let w = Dtype.width dtype in
+  let data = Array.init n (fun i -> Bus.input net (Printf.sprintf "%s.%d" name i) w) in
+  { dtype; shape; data }
+
+let of_consts net dtype shape values =
+  let n = numel_of_shape shape in
+  if Array.length values <> n then invalid_arg "Tensor.of_consts: element count mismatch";
+  let data = Array.map (fun v -> Scalar.const net dtype v) values in
+  { dtype; shape; data }
+
+let output net name t =
+  Array.iteri (fun i bus -> Bus.output net (Printf.sprintf "%s.%d" name i) bus) t.data
+
+let flat_index shape idx =
+  if Array.length idx <> Array.length shape then invalid_arg "Tensor: rank mismatch";
+  let flat = ref 0 in
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= shape.(d) then invalid_arg "Tensor: index out of bounds";
+      flat := (!flat * shape.(d)) + i)
+    idx;
+  !flat
+
+let get t idx = t.data.(flat_index t.shape idx)
+let get_flat t i = t.data.(i)
+
+let reshape t shape =
+  if numel_of_shape shape <> numel t then invalid_arg "Tensor.reshape: element count mismatch";
+  { t with shape }
+
+let flatten t = reshape t [| numel t |]
+
+let transpose t =
+  match t.shape with
+  | [| r; c |] ->
+    let data = Array.init (r * c) (fun i -> t.data.(((i mod r) * c) + (i / r))) in
+    { t with shape = [| c; r |]; data }
+  | _ -> invalid_arg "Tensor.transpose: 2-D tensors only"
+
+let pad2d net t k v =
+  let rank = Array.length t.shape in
+  if rank < 2 then invalid_arg "Tensor.pad2d: rank must be at least 2";
+  let h = t.shape.(rank - 2) and w = t.shape.(rank - 1) in
+  let outer = numel t / (h * w) in
+  let h' = h + (2 * k) and w' = w + (2 * k) in
+  let fill = Scalar.const net t.dtype v in
+  let data =
+    Array.init (outer * h' * w') (fun flat ->
+        let o = flat / (h' * w') in
+        let rem = flat mod (h' * w') in
+        let i = (rem / w') - k and j = (rem mod w') - k in
+        if i < 0 || i >= h || j < 0 || j >= w then fill
+        else t.data.((o * h * w) + (i * w) + j))
+  in
+  let shape = Array.copy t.shape in
+  shape.(rank - 2) <- h';
+  shape.(rank - 1) <- w';
+  { t with shape; data }
+
+let map net f t = { t with data = Array.map (fun b -> f net t.dtype b) t.data }
+
+let map2 net f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor: shape mismatch";
+  if a.dtype <> b.dtype then invalid_arg "Tensor: dtype mismatch";
+  { a with data = Array.map2 (fun x y -> f net a.dtype x y) a.data b.data }
+
+let add net = map2 net Scalar.add
+let sub net = map2 net Scalar.sub
+let mul net = map2 net Scalar.mul
+let neg net = map net Scalar.neg
+let relu net = map net Scalar.relu
+let mul_scalar net t c = map net (fun net dtype b -> Scalar.mul_scalar net dtype b c) t
+
+let compare_op op net a b =
+  if a.shape <> b.shape then invalid_arg "Tensor: shape mismatch";
+  let data = Array.map2 (fun x y -> [| op net a.dtype x y |]) a.data b.data in
+  { dtype = Dtype.UInt 1; shape = a.shape; data }
+
+let eq_t net = compare_op Scalar.eq_ net
+let lt_t net = compare_op Scalar.lt net
+let le_t net = compare_op Scalar.le net
+let gt_t net = compare_op Scalar.gt net
+let ge_t net = compare_op Scalar.ge net
+
+let reduce op net t =
+  if numel t = 0 then invalid_arg "Tensor.reduce: empty tensor";
+  (* Balanced tree keeps the circuit depth logarithmic. *)
+  let rec level = function
+    | [ single ] -> single
+    | items ->
+      let rec pair = function
+        | a :: b :: rest -> op net t.dtype a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      level (pair items)
+  in
+  { t with shape = [||]; data = [| level (Array.to_list t.data) |] }
+
+let sum net = reduce Scalar.add net
+let prod net = reduce Scalar.mul net
+let max_t net = reduce Scalar.max_ net
+let min_t net = reduce Scalar.min_ net
+
+let index_width n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  go 1
+
+let arg_select better net t =
+  let n = numel t in
+  if n = 0 then invalid_arg "Tensor.argmax: empty tensor";
+  let iw = index_width n in
+  let best_val = ref t.data.(0) in
+  let best_idx = ref (Bus.const net ~width:iw 0) in
+  for i = 1 to n - 1 do
+    let candidate = t.data.(i) in
+    let take = better net t.dtype !best_val candidate in
+    best_val := Bus.mux net take candidate !best_val;
+    best_idx := Bus.mux net take (Bus.const net ~width:iw i) !best_idx
+  done;
+  { dtype = Dtype.UInt iw; shape = [||]; data = [| !best_idx |] }
+
+(* Strict comparison keeps the first occurrence on ties, matching
+   [torch.argmax]'s documented tie-breaking for 1-D inputs. *)
+let argmax net t = arg_select Scalar.lt net t
+let argmin net t = arg_select Scalar.gt net t
+
+let dot net a b =
+  match (a.shape, b.shape) with
+  | [| n |], [| m |] when n = m -> sum net (mul net a b)
+  | _ -> invalid_arg "Tensor.dot: 1-D tensors of equal length"
+
+let matmul net a b =
+  match (a.shape, b.shape) with
+  | [| n; k |], [| k'; m |] when k = k' ->
+    let data =
+      Array.init (n * m) (fun flat ->
+          let i = flat / m and j = flat mod m in
+          let row = Array.init k (fun x -> a.data.((i * k) + x)) in
+          let col = Array.init k (fun x -> b.data.((x * m) + j)) in
+          let products = Array.map2 (fun x y -> Scalar.mul net a.dtype x y) row col in
+          (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
+    in
+    { a with shape = [| n; m |]; data }
+  | _ -> invalid_arg "Tensor.matmul: inner dimensions must agree"
+
+let matmul_const net a weights =
+  match a.shape with
+  | [| n; k |] ->
+    let rows = Array.length weights in
+    if rows <> k then invalid_arg "Tensor.matmul_const: inner dimensions must agree";
+    let m = Array.length weights.(0) in
+    let data =
+      Array.init (n * m) (fun flat ->
+          let i = flat / m and j = flat mod m in
+          let products =
+            Array.init k (fun x -> Scalar.mul_scalar net a.dtype a.data.((i * k) + x) weights.(x).(j))
+          in
+          (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
+    in
+    { a with shape = [| n; m |]; data }
+  | _ -> invalid_arg "Tensor.matmul_const: 2-D tensor expected"
+
+let div net = map2 net Scalar.div

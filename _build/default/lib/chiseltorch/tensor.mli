@@ -1,0 +1,88 @@
+(** Tensors of encrypted scalars — the data model of the ChiselTorch API.
+
+    A tensor is a shape plus one bus per element (row-major).  All the
+    primitive tensor operations of the paper's Table I are provided:
+    [matmul], [dot], the comparison family, [view]/[reshape]/[transpose]/
+    [pad] (free wiring — zero gates), [sum]/[prod], [argmax]/[argmin],
+    element-wise arithmetic, and [max]/[min] reductions. *)
+
+open Pytfhe_circuit
+open Pytfhe_hdl
+
+type t = private { dtype : Dtype.t; shape : int array; data : Bus.t array }
+
+val create : Dtype.t -> int array -> Bus.t array -> t
+(** Wrap existing buses; validates widths and element count. *)
+
+val dtype : t -> Dtype.t
+val shape : t -> int array
+val numel : t -> int
+
+val input : Netlist.t -> string -> Dtype.t -> int array -> t
+(** Declare an encrypted input tensor. *)
+
+val of_consts : Netlist.t -> Dtype.t -> int array -> float array -> t
+(** Quantize public values (weights) into the circuit. *)
+
+val output : Netlist.t -> string -> t -> unit
+(** Mark every element as a primary output ([name.<flat-index>]). *)
+
+val get : t -> int array -> Bus.t
+(** Element at a multi-dimensional index. *)
+
+val get_flat : t -> int -> Bus.t
+
+val reshape : t -> int array -> t
+(** Free: same data, new shape (element count must match). *)
+
+val flatten : t -> t
+(** Free: collapse to 1-D. *)
+
+val transpose : t -> t
+(** Free wiring for a 2-D tensor: swap the axes. *)
+
+val pad2d : Netlist.t -> t -> int -> float -> t
+(** Pad the two trailing axes by [k] on each side with a constant. *)
+
+val map : Netlist.t -> (Netlist.t -> Dtype.t -> Bus.t -> Bus.t) -> t -> t
+val map2 : Netlist.t -> (Netlist.t -> Dtype.t -> Bus.t -> Bus.t -> Bus.t) -> t -> t -> t
+
+val add : Netlist.t -> t -> t -> t
+val sub : Netlist.t -> t -> t -> t
+val mul : Netlist.t -> t -> t -> t
+val neg : Netlist.t -> t -> t
+val relu : Netlist.t -> t -> t
+val mul_scalar : Netlist.t -> t -> float -> t
+
+val eq_t : Netlist.t -> t -> t -> t
+(** Element-wise comparison; result dtype UInt(1). *)
+
+val lt_t : Netlist.t -> t -> t -> t
+val le_t : Netlist.t -> t -> t -> t
+val gt_t : Netlist.t -> t -> t -> t
+val ge_t : Netlist.t -> t -> t -> t
+
+val sum : Netlist.t -> t -> t
+(** Scalar (shape [||]) tensor: balanced-tree reduction. *)
+
+val prod : Netlist.t -> t -> t
+val max_t : Netlist.t -> t -> t
+val min_t : Netlist.t -> t -> t
+
+val argmax : Netlist.t -> t -> t
+(** Index of the maximum (first on ties), as a UInt of minimal width. *)
+
+val argmin : Netlist.t -> t -> t
+
+val dot : Netlist.t -> t -> t -> t
+(** Inner product of two 1-D tensors. *)
+
+val matmul : Netlist.t -> t -> t -> t
+(** 2-D × 2-D matrix product. *)
+
+val matmul_const : Netlist.t -> t -> float array array -> t
+(** Multiply by a public weight matrix (rows × cols, applied on the right):
+    uses constant multipliers. *)
+
+val div : Netlist.t -> t -> t -> t
+(** Element-wise encrypted division (see {!Scalar.div} for semantics). *)

@@ -1,0 +1,1 @@
+lib/circuit/binary.ml: Array Buffer Bytes Format Fun Gate Hashtbl Int64 List Netlist Printf

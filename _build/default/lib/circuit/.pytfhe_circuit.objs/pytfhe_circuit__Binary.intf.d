@@ -1,0 +1,1 @@
+lib/circuit/binary.mli: Format Gate Netlist

@@ -1,0 +1,1 @@
+lib/circuit/dot.ml: Bool Buffer Gate List Netlist Printf

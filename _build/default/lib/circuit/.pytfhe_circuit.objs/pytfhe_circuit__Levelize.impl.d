@@ -1,0 +1,1 @@
+lib/circuit/levelize.ml: Array Gate Netlist Pytfhe_util

@@ -1,0 +1,1 @@
+lib/circuit/levelize.mli: Netlist

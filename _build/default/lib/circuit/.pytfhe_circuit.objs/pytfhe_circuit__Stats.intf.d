@@ -1,0 +1,1 @@
+lib/circuit/stats.mli: Format Gate Netlist

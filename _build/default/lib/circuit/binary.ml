@@ -1,0 +1,176 @@
+type instruction =
+  | Header of { gate_total : int }
+  | Input_decl of { index : int }
+  | Gate_inst of { gate : Gate.t; in0 : int; in1 : int }
+  | Output_decl of { index : int }
+
+let all_ones_62 = 0x3FFFFFFFFFFFFFFF
+let tag_header = 0x0
+let tag_input = 0xF
+let tag_output = 0x3
+
+let encode_words a b tag =
+  let b64 = Int64.of_int b in
+  let lo = Int64.logor (Int64.shift_left b64 4) (Int64.of_int (tag land 0xF)) in
+  let hi =
+    Int64.logor (Int64.shift_left (Int64.of_int a) 2) (Int64.shift_right_logical b64 60)
+  in
+  (lo, hi)
+
+let decode_words lo hi =
+  let tag = Int64.to_int (Int64.logand lo 0xFL) in
+  let b =
+    Int64.to_int
+      (Int64.logand
+         (Int64.logor (Int64.shift_right_logical lo 4) (Int64.shift_left hi 60))
+         0x3FFFFFFFFFFFFFFFL)
+  in
+  let a = Int64.to_int (Int64.logand (Int64.shift_right_logical hi 2) 0x3FFFFFFFFFFFFFFFL) in
+  (a, b, tag)
+
+let instruction_words = function
+  | Header { gate_total } -> encode_words 0 gate_total tag_header
+  | Input_decl { index } -> encode_words all_ones_62 index tag_input
+  | Gate_inst { gate; in0; in1 } -> encode_words in0 in1 (Gate.to_code gate)
+  | Output_decl { index } -> encode_words all_ones_62 index tag_output
+
+let instruction_of_words lo hi =
+  let a, b, tag = decode_words lo hi in
+  if tag = tag_header && a = 0 then Header { gate_total = b }
+  else if tag = tag_input && a = all_ones_62 then Input_decl { index = b }
+  else if tag = tag_output && a = all_ones_62 then Output_decl { index = b }
+  else
+    match Gate.of_code tag with
+    | Some gate -> Gate_inst { gate; in0 = a; in1 = b }
+    | None -> failwith (Printf.sprintf "Binary.disassemble: unknown instruction tag %d" tag)
+
+let pp_instruction fmt = function
+  | Header { gate_total } -> Format.fprintf fmt "header  gates=%d" gate_total
+  | Input_decl { index } -> Format.fprintf fmt "input   -> %d" index
+  | Gate_inst { gate; in0; in1 } -> Format.fprintf fmt "%-7s %d, %d" (Gate.name gate) in0 in1
+  | Output_decl { index } -> Format.fprintf fmt "output  <- %d" index
+
+let emit buf inst =
+  let lo, hi = instruction_words inst in
+  Buffer.add_int64_le buf lo;
+  Buffer.add_int64_le buf hi
+
+let assemble net =
+  let n = Netlist.node_count net in
+  (* Liveness of constant nodes: they need materialisation only if used. *)
+  let used = Array.make n false in
+  Netlist.iter_gates net (fun _ _ a b ->
+      used.(a) <- true;
+      used.(b) <- true);
+  List.iter (fun (_, id) -> used.(id) <- true) (Netlist.outputs net);
+  let index_of = Array.make n (-1) in
+  let next = ref 1 in
+  let assign id =
+    index_of.(id) <- !next;
+    incr next
+  in
+  let buf = Buffer.create 1024 in
+  let inputs = Netlist.inputs net in
+  let const_gates = ref [] in
+  let materialise_const id value =
+    if used.(id) then begin
+      match inputs with
+      | [] -> failwith "Binary.assemble: live constants but no inputs to derive them from"
+      | (_, first_input) :: _ ->
+        (* XOR(i,i) = 0, XNOR(i,i) = 1. *)
+        let g = if value then Gate.Xnor else Gate.Xor in
+        let src = index_of.(first_input) in
+        assign id;
+        const_gates := Gate_inst { gate = g; in0 = src; in1 = src } :: !const_gates
+    end
+  in
+  List.iter (fun (_, id) -> assign id) inputs;
+  (* Constants come right after the inputs so every later gate can refer to
+     them. *)
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const v -> materialise_const id v
+    | Netlist.Input _ | Netlist.Gate _ -> ()
+  done;
+  let gate_insts = ref (List.rev !const_gates) in
+  let tail = ref [] in
+  Netlist.iter_gates net (fun id g a b ->
+      assign id;
+      tail := Gate_inst { gate = g; in0 = index_of.(a); in1 = index_of.(b) } :: !tail);
+  let gate_insts = !gate_insts @ List.rev !tail in
+  emit buf (Header { gate_total = List.length gate_insts });
+  List.iter (fun (_, id) -> emit buf (Input_decl { index = index_of.(id) })) inputs;
+  List.iter (emit buf) gate_insts;
+  List.iter (fun (_, id) -> emit buf (Output_decl { index = index_of.(id) })) (Netlist.outputs net);
+  Buffer.to_bytes buf
+
+let instruction_count bytes =
+  let len = Bytes.length bytes in
+  if len mod 16 <> 0 then failwith "Binary: truncated instruction stream";
+  len / 16
+
+let disassemble bytes =
+  let count = instruction_count bytes in
+  if count = 0 then failwith "Binary.disassemble: empty stream";
+  let insts =
+    List.init count (fun i ->
+        instruction_of_words (Bytes.get_int64_le bytes (16 * i)) (Bytes.get_int64_le bytes ((16 * i) + 8)))
+  in
+  (match insts with
+  | Header _ :: _ -> ()
+  | _ -> failwith "Binary.disassemble: missing header instruction");
+  insts
+
+let parse bytes =
+  let insts = disassemble bytes in
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let table = Hashtbl.create 1024 in
+  let resolve index =
+    match Hashtbl.find_opt table index with
+    | Some id -> id
+    | None -> failwith (Printf.sprintf "Binary.parse: forward or dangling reference %d" index)
+  in
+  let next = ref 1 in
+  let n_inputs = ref 0 and n_outputs = ref 0 in
+  List.iter
+    (fun inst ->
+      match inst with
+      | Header _ -> ()
+      | Input_decl { index } ->
+        if index <> !next then failwith "Binary.parse: non-sequential input index";
+        let id = Netlist.input net (Printf.sprintf "in%d" !n_inputs) in
+        incr n_inputs;
+        Hashtbl.add table index id;
+        incr next
+      | Gate_inst { gate; in0; in1 } ->
+        let id = Netlist.gate net gate (resolve in0) (resolve in1) in
+        Hashtbl.add table !next id;
+        incr next
+      | Output_decl { index } ->
+        Netlist.mark_output net (Printf.sprintf "out%d" !n_outputs) (resolve index);
+        incr n_outputs)
+    insts;
+  net
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc bytes)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let bytes = Bytes.create len in
+      really_input ic bytes 0 len;
+      bytes)
+
+let iter bytes f =
+  let count = instruction_count bytes in
+  if count = 0 then failwith "Binary.iter: empty stream";
+  for i = 0 to count - 1 do
+    f (instruction_of_words (Bytes.get_int64_le bytes (16 * i)) (Bytes.get_int64_le bytes ((16 * i) + 8)))
+  done

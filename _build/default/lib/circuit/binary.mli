@@ -1,0 +1,48 @@
+(** The PyTFHE binary format (paper Fig. 5/6).
+
+    Every instruction is 128 bits, stored as two little-endian 64-bit words
+    (low word first).  Bit layout over the 128-bit value: bits 127–66 hold
+    field A (62 bits), bits 65–4 field B (62 bits), bits 3–0 the type tag.
+
+    - {b header} (first instruction): A = 0, B = total gate count, tag 0x0.
+    - {b input}: A = all-ones, B = the reserved index, tag 0xF.
+    - {b gate}: A = fan-in 0 index, B = fan-in 1 index, tag = gate code
+      (1–11; XOR = 0110 as in the paper).
+    - {b output}: A = all-ones, B = producing index, tag 0x3 — distinguished
+      from an OR gate by the all-ones A field, which can never be a valid
+      fan-in index.
+
+    Indices are assigned sequentially from 1 (inputs first, then gates), the
+    "naming" scheme that makes DAG traversal a linear scan. *)
+
+type instruction =
+  | Header of { gate_total : int }
+  | Input_decl of { index : int }
+  | Gate_inst of { gate : Gate.t; in0 : int; in1 : int }
+  | Output_decl of { index : int }
+
+val assemble : Netlist.t -> bytes
+(** Serialize a netlist.  Constant nodes are materialised from the first
+    input (XOR(i,i) / XNOR(i,i)); raises [Failure] if the netlist has live
+    constants but no inputs. *)
+
+val disassemble : bytes -> instruction list
+(** Decode an instruction stream.  Raises [Failure] on malformed input
+    (bad length, missing header, unknown tag, index out of range). *)
+
+val parse : bytes -> Netlist.t
+(** Rebuild a netlist (with construction-time optimizations disabled, so
+    the program round-trips bit-for-bit). *)
+
+val instruction_count : bytes -> int
+(** Number of 128-bit instructions. *)
+
+val pp_instruction : Format.formatter -> instruction -> unit
+
+val write_file : string -> bytes -> unit
+val read_file : string -> bytes
+
+val iter : bytes -> (instruction -> unit) -> unit
+(** Streaming decode: apply the callback to each instruction in order
+    without materialising a list (used by the streaming executor on
+    multi-million-gate programs). *)

@@ -1,0 +1,32 @@
+let export ?(max_nodes = 5000) ?(graph_name = "pytfhe") net =
+  if Netlist.node_count net > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Dot.export: %d nodes exceeds the limit %d" (Netlist.node_count net) max_nodes);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" graph_name);
+  List.iter
+    (fun (name, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=box, style=filled, fillcolor=lightblue, label=%S];\n" id name))
+    (Netlist.inputs net);
+  for id = 0 to Netlist.node_count net - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=box, style=filled, fillcolor=gray, label=\"%d\"];\n" id
+           (Bool.to_int b))
+    | Netlist.Gate (g, a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [shape=ellipse, label=%S];\n" id (Gate.name g));
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a id);
+      if not (Gate.is_unary g) then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" b id)
+    | Netlist.Input _ -> ()
+  done;
+  List.iteri
+    (fun i (name, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  o%d [shape=box, style=filled, fillcolor=lightgreen, label=%S];\n  n%d -> o%d;\n" i
+           name id i))
+    (Netlist.outputs net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

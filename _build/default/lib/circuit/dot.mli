@@ -1,0 +1,10 @@
+(** Graphviz export of TFHE program DAGs.
+
+    Renders a netlist in DOT format for visual inspection of the structures
+    the schedulers exploit (wave widths, serial chains).  Intended for small
+    circuits; [max_nodes] guards against accidentally dumping an MNIST-scale
+    graph. *)
+
+val export : ?max_nodes:int -> ?graph_name:string -> Netlist.t -> string
+(** Raises [Invalid_argument] if the netlist exceeds [max_nodes]
+    (default 5000). *)

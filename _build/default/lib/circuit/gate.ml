@@ -1,0 +1,78 @@
+type t = Nand | And | Or | Nor | Xnor | Xor | Not | Andny | Andyn | Orny | Oryn
+
+let all = [ Nand; And; Or; Nor; Xnor; Xor; Not; Andny; Andyn; Orny; Oryn ]
+
+let name = function
+  | Nand -> "nand"
+  | And -> "and"
+  | Or -> "or"
+  | Nor -> "nor"
+  | Xnor -> "xnor"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Andny -> "andny"
+  | Andyn -> "andyn"
+  | Orny -> "orny"
+  | Oryn -> "oryn"
+
+let to_code = function
+  | Nand -> 1
+  | And -> 2
+  | Or -> 3
+  | Nor -> 4
+  | Xnor -> 5
+  | Xor -> 6
+  | Not -> 7
+  | Andny -> 8
+  | Andyn -> 9
+  | Orny -> 10
+  | Oryn -> 11
+
+let of_code = function
+  | 1 -> Some Nand
+  | 2 -> Some And
+  | 3 -> Some Or
+  | 4 -> Some Nor
+  | 5 -> Some Xnor
+  | 6 -> Some Xor
+  | 7 -> Some Not
+  | 8 -> Some Andny
+  | 9 -> Some Andyn
+  | 10 -> Some Orny
+  | 11 -> Some Oryn
+  | _ -> None
+
+let eval g a b =
+  match g with
+  | Nand -> not (a && b)
+  | And -> a && b
+  | Or -> a || b
+  | Nor -> not (a || b)
+  | Xnor -> a = b
+  | Xor -> a <> b
+  | Not -> not a
+  | Andny -> (not a) && b
+  | Andyn -> a && not b
+  | Orny -> (not a) || b
+  | Oryn -> a || not b
+
+let is_unary = function Not -> true | _ -> false
+
+let is_commutative = function
+  | Nand | And | Or | Nor | Xnor | Xor -> true
+  | Not | Andny | Andyn | Orny | Oryn -> false
+
+let swap = function
+  | Nand -> Some Nand
+  | And -> Some And
+  | Or -> Some Or
+  | Nor -> Some Nor
+  | Xnor -> Some Xnor
+  | Xor -> Some Xor
+  | Not -> None
+  | Andny -> Some Andyn
+  | Andyn -> Some Andny
+  | Orny -> Some Oryn
+  | Oryn -> Some Orny
+
+let pp fmt g = Format.pp_print_string fmt (name g)

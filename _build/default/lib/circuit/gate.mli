@@ -1,0 +1,47 @@
+(** The eleven TFHE gate types.
+
+    These are exactly the bootstrapped gates the backend can evaluate; each
+    costs one bootstrapping except [Not], which is a noiseless negation.
+    The 4-bit encodings match the PyTFHE binary format (XOR = 0110 as in the
+    paper's Fig. 6). *)
+
+type t =
+  | Nand
+  | And
+  | Or
+  | Nor
+  | Xnor
+  | Xor
+  | Not  (** Unary; the second fan-in is ignored. *)
+  | Andny  (** (¬a) ∧ b *)
+  | Andyn  (** a ∧ (¬b) *)
+  | Orny  (** (¬a) ∨ b *)
+  | Oryn  (** a ∨ (¬b) *)
+
+val all : t list
+(** Every gate type, in encoding order. *)
+
+val name : t -> string
+(** Lower-case mnemonic, e.g. ["xor"]. *)
+
+val to_code : t -> int
+(** The 4-bit binary-format encoding (1–11). *)
+
+val of_code : int -> t option
+(** Inverse of {!to_code}. *)
+
+val eval : t -> bool -> bool -> bool
+(** Plaintext semantics. [Not] uses only its first argument. *)
+
+val is_unary : t -> bool
+(** True only for [Not]. *)
+
+val is_commutative : t -> bool
+(** True when swapping fan-ins preserves the function (used for
+    canonicalisation before hash-consing). *)
+
+val swap : t -> t option
+(** [swap g] is the gate [g'] with [g' (b, a) = g (a, b)] when one exists
+    among the eleven types (e.g. [Andny ↔ Andyn]); [None] for [Not]. *)
+
+val pp : Format.formatter -> t -> unit

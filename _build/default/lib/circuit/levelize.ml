@@ -1,0 +1,42 @@
+type schedule = {
+  level : int array;
+  depth : int;
+  widths : int array;
+  total_bootstraps : int;
+}
+
+let run net =
+  let n = Netlist.node_count net in
+  let level = Array.make n 0 in
+  let depth = ref 0 in
+  let counts = Pytfhe_util.Growable.create ~capacity:64 () in
+  let bump l =
+    while Pytfhe_util.Growable.length counts < l do
+      Pytfhe_util.Growable.push counts 0
+    done;
+    Pytfhe_util.Growable.set counts (l - 1) (Pytfhe_util.Growable.get counts (l - 1) + 1)
+  in
+  let total = ref 0 in
+  Netlist.iter_gates net (fun id g a b ->
+      let la = level.(a) and lb = level.(b) in
+      let base = if la > lb then la else lb in
+      if Gate.is_unary g then level.(id) <- base
+      else begin
+        let l = base + 1 in
+        level.(id) <- l;
+        if l > !depth then depth := l;
+        bump l;
+        incr total
+      end);
+  { level; depth = !depth; widths = Pytfhe_util.Growable.to_array counts; total_bootstraps = !total }
+
+let max_width s = Array.fold_left max 0 s.widths
+
+let average_width s =
+  if s.depth = 0 then 0.0 else float_of_int s.total_bootstraps /. float_of_int s.depth
+
+let serial_fraction s =
+  if s.depth = 0 then 0.0
+  else
+    let serial = Array.fold_left (fun acc w -> if w <= 1 then acc + 1 else acc) 0 s.widths in
+    float_of_int serial /. float_of_int s.depth

@@ -1,0 +1,30 @@
+(** BFS levelization of a TFHE program DAG — the paper's Algorithm 1.
+
+    Nodes whose fan-ins are all ready form the next wave of computable
+    gates; the wave index is the node's level.  Level widths are the
+    parallelism profile every backend scheduler consumes: wide levels scale
+    across workers or streaming multiprocessors, narrow ones are the serial
+    tail the paper blames for the modest speedups of NRSolver-style
+    benchmarks.
+
+    [Not] gates are noiseless and evaluated inline, so they do not advance
+    the level and do not count toward widths. *)
+
+type schedule = {
+  level : int array;  (** Wave index per node (inputs and constants: 0). *)
+  depth : int;  (** Number of waves = critical path in bootstrapped gates. *)
+  widths : int array;  (** [widths.(l-1)]: bootstrapped gates in wave [l]. *)
+  total_bootstraps : int;
+}
+
+val run : Netlist.t -> schedule
+(** Levelize a netlist in one topological sweep. *)
+
+val max_width : schedule -> int
+(** Widest wave — the peak exploitable parallelism. *)
+
+val average_width : schedule -> float
+(** Mean bootstrapped gates per wave ([0.] for gate-free circuits). *)
+
+val serial_fraction : schedule -> float
+(** Fraction of waves of width 1 — a proxy for how serial the workload is. *)

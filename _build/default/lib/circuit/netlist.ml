@@ -1,0 +1,224 @@
+module Growable = Pytfhe_util.Growable
+
+type id = int
+
+type kind = Input of int | Const of bool | Gate of Gate.t * id * id
+
+(* kind codes in the dense store *)
+let k_input = -1
+let k_const_false = -2
+let k_const_true = -3
+
+type t = {
+  kinds : Growable.t;  (* gate code, or one of the negative markers *)
+  in0 : Growable.t;  (* fan-in 0; input ordinal for inputs *)
+  in1 : Growable.t;
+  hash_consing : bool;
+  fold_constants : bool;
+  cse : (int * int * int, id) Hashtbl.t;
+  mutable const_false : id;
+  mutable const_true : id;
+  mutable input_names : string list;  (* reversed *)
+  mutable n_inputs : int;
+  mutable outs : (string * id) list;  (* reversed *)
+  mutable n_gates : int;
+  mutable n_bootstraps : int;
+}
+
+let create ?(hash_consing = true) ?(fold_constants = true) () =
+  {
+    kinds = Growable.create ~capacity:1024 ();
+    in0 = Growable.create ~capacity:1024 ();
+    in1 = Growable.create ~capacity:1024 ();
+    hash_consing;
+    fold_constants;
+    cse = Hashtbl.create 1024;
+    const_false = -1;
+    const_true = -1;
+    input_names = [];
+    n_inputs = 0;
+    outs = [];
+    n_gates = 0;
+    n_bootstraps = 0;
+  }
+
+let node_count t = Growable.length t.kinds
+let gate_count t = t.n_gates
+let bootstrap_count t = t.n_bootstraps
+let input_count t = t.n_inputs
+
+let push_node t code a b =
+  let id = node_count t in
+  Growable.push t.kinds code;
+  Growable.push t.in0 a;
+  Growable.push t.in1 b;
+  id
+
+let input t name =
+  let ordinal = t.n_inputs in
+  t.n_inputs <- ordinal + 1;
+  t.input_names <- name :: t.input_names;
+  push_node t k_input ordinal ordinal
+
+let const t b =
+  if b then begin
+    if t.const_true < 0 then t.const_true <- push_node t k_const_true 0 0;
+    t.const_true
+  end
+  else begin
+    if t.const_false < 0 then t.const_false <- push_node t k_const_false 0 0;
+    t.const_false
+  end
+
+let kind t id =
+  if id < 0 || id >= node_count t then invalid_arg "Netlist.kind";
+  match Growable.get t.kinds id with
+  | c when c = k_input -> Input (Growable.get t.in0 id)
+  | c when c = k_const_false -> Const false
+  | c when c = k_const_true -> Const true
+  | code -> (
+    match Gate.of_code code with
+    | Some g -> Gate (g, Growable.get t.in0 id, Growable.get t.in1 id)
+    | None -> assert false)
+
+let const_value t id =
+  match Growable.get t.kinds id with
+  | c when c = k_const_false -> Some false
+  | c when c = k_const_true -> Some true
+  | _ -> None
+
+let is_not t id = Growable.get t.kinds id = Gate.to_code Gate.Not
+
+(* Partial evaluation of gate [g] when one side is the constant [c]: the
+   result is constant, the wire itself, or its negation. *)
+type partial = P_const of bool | P_wire | P_not
+
+let partial_left g c =
+  (* g (c, x) as a function of x *)
+  let f0 = Gate.eval g c false and f1 = Gate.eval g c true in
+  if f0 = f1 then P_const f0 else if f1 then P_wire else P_not
+
+let partial_right g c =
+  let f0 = Gate.eval g false c and f1 = Gate.eval g true c in
+  if f0 = f1 then P_const f0 else if f1 then P_wire else P_not
+
+let rec emit_gate t g a b =
+  let code = Gate.to_code g in
+  (* Canonicalise commutative fan-ins (and the NY/YN mirror pairs) so that
+     structural hashing sees one representative. *)
+  let g, code, a, b =
+    if a > b then
+      if Gate.is_commutative g then (g, code, b, a)
+      else
+        match Gate.swap g with
+        | Some g' -> (g', Gate.to_code g', b, a)
+        | None -> (g, code, a, b)
+    else (g, code, a, b)
+  in
+  ignore g;
+  if t.hash_consing then begin
+    match Hashtbl.find_opt t.cse (code, a, b) with
+    | Some id -> id
+    | None ->
+      let id = push_node t code a b in
+      t.n_gates <- t.n_gates + 1;
+      if code <> Gate.to_code Gate.Not then t.n_bootstraps <- t.n_bootstraps + 1;
+      Hashtbl.add t.cse (code, a, b) id;
+      id
+  end
+  else begin
+    let id = push_node t code a b in
+    t.n_gates <- t.n_gates + 1;
+    if code <> Gate.to_code Gate.Not then t.n_bootstraps <- t.n_bootstraps + 1;
+    id
+  end
+
+and build_not t a =
+  if not t.fold_constants then emit_gate t Gate.Not a a
+  else
+    match const_value t a with
+    | Some v -> const t (not v)
+    | None ->
+      if is_not t a then Growable.get t.in0 a  (* ¬¬x = x *)
+      else emit_gate t Gate.Not a a
+
+and gate t g a b =
+  let n = node_count t in
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Netlist.gate: unknown fan-in";
+  if Gate.is_unary g then build_not t a
+  else if not t.fold_constants then emit_gate t g a b
+  else
+    match (const_value t a, const_value t b) with
+    | Some ca, Some cb -> const t (Gate.eval g ca cb)
+    | Some ca, None -> (
+      match partial_left g ca with
+      | P_const v -> const t v
+      | P_wire -> b
+      | P_not -> build_not t b)
+    | None, Some cb -> (
+      match partial_right g cb with
+      | P_const v -> const t v
+      | P_wire -> a
+      | P_not -> build_not t a)
+    | None, None ->
+      if a = b then begin
+        (* g (x, x) is constant, x, or ¬x. *)
+        let f0 = Gate.eval g false false and f1 = Gate.eval g true true in
+        if f0 = f1 then const t f0 else if f1 then a else build_not t a
+      end
+      else emit_gate t g a b
+
+let not_ t a = gate t Gate.Not a a
+
+let mux t s x y =
+  let sx = gate t Gate.And s x in
+  let nsy = gate t Gate.Andny s y in
+  gate t Gate.Or sx nsy
+
+let mark_output t name id =
+  if id < 0 || id >= node_count t then invalid_arg "Netlist.mark_output: unknown node";
+  t.outs <- (name, id) :: t.outs
+
+let inputs t =
+  let names = List.rev t.input_names in
+  let rec collect i acc names =
+    if i >= node_count t then List.rev acc
+    else
+      match (Growable.get t.kinds i, names) with
+      | c, name :: rest when c = k_input -> collect (i + 1) ((name, i) :: acc) rest
+      | c, [] when c = k_input -> assert false
+      | _, _ -> collect (i + 1) acc names
+  in
+  collect 0 [] names
+
+let outputs t = List.rev t.outs
+
+let iter_gates t f =
+  for id = 0 to node_count t - 1 do
+    let code = Growable.get t.kinds id in
+    if code > 0 then
+      match Gate.of_code code with
+      | Some g -> f id g (Growable.get t.in0 id) (Growable.get t.in1 id)
+      | None -> assert false
+  done
+
+let eval t ins =
+  if Array.length ins <> t.n_inputs then invalid_arg "Netlist.eval: input arity mismatch";
+  let n = node_count t in
+  let values = Array.make n false in
+  for id = 0 to n - 1 do
+    let code = Growable.get t.kinds id in
+    if code = k_input then values.(id) <- ins.(Growable.get t.in0 id)
+    else if code = k_const_false then values.(id) <- false
+    else if code = k_const_true then values.(id) <- true
+    else
+      match Gate.of_code code with
+      | Some g ->
+        values.(id) <- Gate.eval g values.(Growable.get t.in0 id) values.(Growable.get t.in1 id)
+      | None -> assert false
+  done;
+  values
+
+let eval_outputs t ins =
+  let values = eval t ins in
+  List.map (fun (name, id) -> (name, values.(id))) (outputs t)

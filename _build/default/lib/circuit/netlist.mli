@@ -1,0 +1,73 @@
+(** The gate-level intermediate representation: a DAG of TFHE gates.
+
+    Nodes are dense integer ids in construction order, so every gate's
+    fan-ins have smaller ids than the gate itself — the topological order is
+    free.  The store is a struct-of-arrays over unboxed int vectors and
+    scales to multi-million-gate neural networks.
+
+    The builder can optionally perform the two construction-time
+    optimizations ChiselTorch relies on: constant folding (including
+    same-input and double-negation simplification) and structural hashing.
+    Baseline framework models disable them to reproduce their gate
+    inflation. *)
+
+type t
+type id = int
+
+type kind =
+  | Input of int  (** Ordinal among the circuit's inputs. *)
+  | Const of bool  (** A public constant. *)
+  | Gate of Gate.t * id * id  (** [Not] stores its fan-in twice. *)
+
+val create : ?hash_consing:bool -> ?fold_constants:bool -> unit -> t
+(** Fresh empty netlist; both optimizations default to [true]. *)
+
+val input : t -> string -> id
+(** Declare a primary input. *)
+
+val const : t -> bool -> id
+(** The constant node for [true] or [false] (shared per netlist). *)
+
+val gate : t -> Gate.t -> id -> id -> id
+(** Add a gate over two existing nodes (subject to the enabled
+    construction-time optimizations). *)
+
+val not_ : t -> id -> id
+(** Convenience for [gate t Not a a]. *)
+
+val mux : t -> id -> id -> id -> id
+(** [mux t s x y] = if s then x else y, lowered onto the 11-gate cell
+    library as OR(AND(s,x), ANDNY(s,y)). *)
+
+val mark_output : t -> string -> id -> unit
+(** Register a named primary output. *)
+
+val node_count : t -> int
+(** Total nodes including inputs and constants. *)
+
+val gate_count : t -> int
+(** Gates only (the quantity every PyTFHE experiment reports). *)
+
+val bootstrap_count : t -> int
+(** Gates that cost a bootstrapping (everything but [Not]). *)
+
+val input_count : t -> int
+
+val kind : t -> id -> kind
+(** Classify a node. Raises [Invalid_argument] on an unknown id. *)
+
+val inputs : t -> (string * id) list
+(** Primary inputs in declaration order. *)
+
+val outputs : t -> (string * id) list
+(** Primary outputs in declaration order. *)
+
+val iter_gates : t -> (id -> Gate.t -> id -> id -> unit) -> unit
+(** Visit every gate in topological (id) order. *)
+
+val eval : t -> bool array -> bool array
+(** [eval t ins] evaluates the whole DAG on plaintext bits ([ins] in input
+    declaration order) and returns the value of every node. *)
+
+val eval_outputs : t -> bool array -> (string * bool) list
+(** Like {!eval} but projected onto the primary outputs. *)

@@ -1,0 +1,48 @@
+type t = {
+  nodes : int;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  bootstraps : int;
+  per_gate : (Gate.t * int) list;
+  depth : int;
+  max_width : int;
+  average_width : float;
+  serial_fraction : float;
+}
+
+let compute net =
+  let counts = Array.make 12 0 in
+  Netlist.iter_gates net (fun _ g _ _ ->
+      let c = Gate.to_code g in
+      counts.(c) <- counts.(c) + 1);
+  let per_gate = List.map (fun g -> (g, counts.(Gate.to_code g))) Gate.all in
+  let sched = Levelize.run net in
+  {
+    nodes = Netlist.node_count net;
+    inputs = Netlist.input_count net;
+    outputs = List.length (Netlist.outputs net);
+    gates = Netlist.gate_count net;
+    bootstraps = Netlist.bootstrap_count net;
+    per_gate;
+    depth = sched.Levelize.depth;
+    max_width = Levelize.max_width sched;
+    average_width = Levelize.average_width sched;
+    serial_fraction = Levelize.serial_fraction sched;
+  }
+
+let pp_distribution fmt t =
+  let total = max t.gates 1 in
+  List.iter
+    (fun (g, c) ->
+      if c > 0 then
+        Format.fprintf fmt "  %-6s %9d  (%5.1f%%)@." (Gate.name g) c
+          (100.0 *. float_of_int c /. float_of_int total))
+    t.per_gate
+
+let pp fmt t =
+  Format.fprintf fmt
+    "nodes=%d inputs=%d outputs=%d gates=%d bootstraps=%d depth=%d max_width=%d avg_width=%.1f serial=%.1f%%@."
+    t.nodes t.inputs t.outputs t.gates t.bootstraps t.depth t.max_width t.average_width
+    (100.0 *. t.serial_fraction);
+  pp_distribution fmt t

@@ -1,0 +1,25 @@
+(** Netlist statistics: the quantities the paper's evaluation reports
+    (gate totals, per-type distribution for Fig. 14, depth and width for the
+    scheduling discussion). *)
+
+type t = {
+  nodes : int;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  bootstraps : int;  (** Gates that cost a bootstrapping (all but NOT). *)
+  per_gate : (Gate.t * int) list;  (** Count per gate type, encoding order. *)
+  depth : int;  (** Critical path in bootstrapped gates. *)
+  max_width : int;
+  average_width : float;
+  serial_fraction : float;
+}
+
+val compute : Netlist.t -> t
+(** Single pass over the netlist plus a levelization. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)
+
+val pp_distribution : Format.formatter -> t -> unit
+(** One line per gate type with count and percentage (Fig. 14 style). *)

@@ -1,0 +1,1 @@
+lib/core/ciphertext_file.ml: Buffer Pytfhe_tfhe Pytfhe_util

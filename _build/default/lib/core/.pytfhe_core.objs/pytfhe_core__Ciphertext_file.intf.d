@@ -1,0 +1,1 @@
+lib/core/ciphertext_file.mli: Pytfhe_tfhe

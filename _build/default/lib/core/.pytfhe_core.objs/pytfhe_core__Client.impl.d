@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Bootstrap Buffer Gates Keyswitch Params Pytfhe_chiseltorch Pytfhe_tfhe Pytfhe_util

@@ -1,0 +1,1 @@
+lib/core/client.mli: Gates Lwe Params Pytfhe_chiseltorch Pytfhe_tfhe

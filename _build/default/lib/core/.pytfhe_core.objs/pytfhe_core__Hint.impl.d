@@ -1,0 +1,1 @@
+lib/core/hint.ml: Array Gates Lwe Pytfhe_tfhe

@@ -1,0 +1,1 @@
+lib/core/hint.mli: Gates Lwe Pytfhe_tfhe

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bytes Float Format Nn Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_synth Pytfhe_tfhe Pytfhe_vipbench Tensor

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_synth Pytfhe_tfhe Pytfhe_vipbench

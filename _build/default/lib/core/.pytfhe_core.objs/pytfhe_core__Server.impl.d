@@ -1,0 +1,1 @@
+lib/core/server.ml: Buffer Cost_model Pipeline Printf Pytfhe_backend Pytfhe_circuit Pytfhe_tfhe Pytfhe_util Sched_cpu Sched_gpu Tfhe_eval

@@ -1,0 +1,1 @@
+lib/core/server.mli: Pipeline Pytfhe_backend Pytfhe_tfhe

@@ -1,0 +1,12 @@
+module Wire = Pytfhe_util.Wire
+
+let write path samples =
+  let buf = Buffer.create 4096 in
+  Wire.write_magic buf "CTXS";
+  Wire.write_array buf Pytfhe_tfhe.Lwe.write_sample samples;
+  Wire.to_file path buf
+
+let read path =
+  let r = Wire.of_file path in
+  Wire.read_magic r "CTXS";
+  Wire.read_array r Pytfhe_tfhe.Lwe.read_sample

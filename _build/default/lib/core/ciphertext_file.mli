@@ -1,0 +1,7 @@
+(** Ciphertext bundles on disk: the client→server request and server→client
+    response payloads of the Fig. 1 protocol (arrays of LWE samples,
+    ~2.46 KB each at the default parameters). *)
+
+val write : string -> Pytfhe_tfhe.Lwe.sample array -> unit
+val read : string -> Pytfhe_tfhe.Lwe.sample array
+(** Raises [Pytfhe_util.Wire.Corrupt] on malformed input. *)

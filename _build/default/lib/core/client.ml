@@ -1,0 +1,51 @@
+module Rng = Pytfhe_util.Rng
+open Pytfhe_tfhe
+
+type t = { secret : Gates.secret_keyset; rng : Rng.t; keyswitch : Keyswitch.key }
+
+let keygen ?(params = Params.default_128) ?(seed = 0xC11E47) () =
+  let rng = Rng.create ~seed () in
+  let secret, cloud = Gates.key_gen rng params in
+  ({ secret; rng; keyswitch = cloud.Gates.keyswitch_key }, cloud)
+
+let params t = t.secret.Gates.params
+
+let encrypt_bit t b = Gates.encrypt_bit t.rng t.secret b
+let decrypt_bit t c = Gates.decrypt_bit t.secret c
+
+let encrypt_bits t bits = Array.map (encrypt_bit t) bits
+let decrypt_bits t cs = Array.map (decrypt_bit t) cs
+
+let encrypt_value t dtype v =
+  let pattern = Pytfhe_chiseltorch.Dtype.encode dtype v in
+  let w = Pytfhe_chiseltorch.Dtype.width dtype in
+  encrypt_bits t (Array.init w (fun i -> (pattern asr i) land 1 = 1))
+
+let decrypt_value t dtype cs =
+  let bits = decrypt_bits t cs in
+  let pattern = ref 0 in
+  Array.iteri (fun i b -> if b then pattern := !pattern lor (1 lsl i)) bits;
+  Pytfhe_chiseltorch.Dtype.decode dtype !pattern
+
+let cloud_key_bytes t =
+  Bootstrap.key_bytes (params t) + Keyswitch.table_bytes t.keyswitch
+
+module Wire = Pytfhe_util.Wire
+
+let save t path =
+  let buf = Buffer.create 4096 in
+  Gates.write_secret_keyset buf t.secret;
+  Wire.to_file path buf
+
+let load path =
+  let r = Wire.of_file path in
+  let secret = Gates.read_secret_keyset r in
+  (* The key-switch table is part of the cloud keyset; clients reloaded
+     from disk only need it for size reporting, so regenerate lazily is not
+     worth it — recompute it from the secret keys deterministically. *)
+  let rng = Rng.create ~seed:0xC11E47 () in
+  let keyswitch =
+    Keyswitch.key_gen rng secret.Gates.params ~in_key:secret.Gates.extracted_key
+      ~out_key:secret.Gates.lwe_key
+  in
+  { secret; rng; keyswitch }

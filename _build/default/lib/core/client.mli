@@ -1,0 +1,38 @@
+(** The client side of the protocol (paper Fig. 1): key generation,
+    encryption of typed values into bit-level ciphertexts, decryption of
+    results.  The secret keyset never leaves this module's values; the
+    server only ever sees the cloud keyset and ciphertexts. *)
+
+open Pytfhe_tfhe
+
+type t
+(** Client state: secret keys plus the encryption randomness stream. *)
+
+val keygen : ?params:Params.t -> ?seed:int -> unit -> t * Gates.cloud_keyset
+(** Generate the client keys and the evaluation keyset to ship to the
+    server.  Defaults to {!Params.default_128}. *)
+
+val params : t -> Params.t
+
+val encrypt_bit : t -> bool -> Lwe.sample
+val decrypt_bit : t -> Lwe.sample -> bool
+
+val encrypt_bits : t -> bool array -> Lwe.sample array
+val decrypt_bits : t -> Lwe.sample array -> bool array
+
+val encrypt_value : t -> Pytfhe_chiseltorch.Dtype.t -> float -> Lwe.sample array
+(** Quantize a number with the dtype and encrypt its bits (LSB first) —
+    matching the wire order of a ChiselTorch tensor element. *)
+
+val decrypt_value : t -> Pytfhe_chiseltorch.Dtype.t -> Lwe.sample array -> float
+
+val cloud_key_bytes : t -> int
+(** Serialized size of the public evaluation keys (bootstrapping plus key
+    switching) — the "few megabytes" the paper contrasts with CKKS rotation
+    keys. *)
+
+val save : t -> string -> unit
+(** Persist the secret keyset (keep it on the client!). *)
+
+val load : string -> t
+(** Raises [Pytfhe_util.Wire.Corrupt] on malformed input. *)

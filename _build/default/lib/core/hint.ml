@@ -1,0 +1,115 @@
+open Pytfhe_tfhe
+
+type t = Lwe.sample array
+
+let counter = ref 0
+
+let gate_count () = !counter
+
+(* Wrap the gate API with instrumentation. *)
+let g2 f ck a b =
+  incr counter;
+  f ck a b
+
+let xor_g = g2 Gates.xor_gate
+let and_g = g2 Gates.and_gate
+let or_g = g2 Gates.or_gate
+let xnor_g = g2 Gates.xnor_gate
+
+let mux1 ck s x y =
+  counter := !counter + 2;
+  (* bootsMUX costs two bootstrappings *)
+  Gates.mux_gate ck s x y
+
+let width = Array.length
+let of_samples samples = Array.copy samples
+let to_samples t = Array.copy t
+
+let constant ck ~width v = Array.init width (fun i -> Gates.constant ck ((v asr i) land 1 = 1))
+
+let msb t = t.(width t - 1)
+
+let resize ck t w =
+  let current = width t in
+  if w <= current then Array.sub t 0 w
+  else begin
+    ignore ck;
+    Array.init w (fun i -> if i < current then t.(i) else msb t)
+  end
+
+let full_adder ck a b c =
+  let axb = xor_g ck a b in
+  let sum = xor_g ck axb c in
+  let carry = or_g ck (and_g ck a b) (and_g ck axb c) in
+  (sum, carry)
+
+let add_with_carry ck cin a b =
+  let w = width a in
+  if width b <> w then invalid_arg "Hint: width mismatch";
+  let carry = ref cin in
+  let sum =
+    Array.init w (fun i ->
+        let s, c = full_adder ck a.(i) b.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let add ck a b = fst (add_with_carry ck (Gates.constant ck false) a b)
+
+let sub ck a b =
+  let nb = Array.map (Gates.not_gate ck) b in
+  fst (add_with_carry ck (Gates.constant ck true) a nb)
+
+let neg ck a = sub ck (constant ck ~width:(width a) 0) a
+
+let mux ck s x y =
+  if width x <> width y then invalid_arg "Hint.mux: width mismatch";
+  Array.init (width x) (fun i -> mux1 ck s x.(i) y.(i))
+
+let mul ck a b =
+  let w = width a in
+  if width b <> w then invalid_arg "Hint.mul: width mismatch";
+  let zero = constant ck ~width:w 0 in
+  let acc = ref zero in
+  for i = 0 to w - 1 do
+    (* partial product: (a << i) AND b_i, truncated to w bits *)
+    let shifted =
+      Array.init w (fun j -> if j < i then Gates.constant ck false else a.(j - i))
+    in
+    let pp = Array.map (fun bit -> and_g ck bit b.(i)) shifted in
+    acc := add ck !acc pp
+  done;
+  !acc
+
+let eq ck a b =
+  if width a <> width b then invalid_arg "Hint.eq: width mismatch";
+  let bits = Array.init (width a) (fun i -> xnor_g ck a.(i) b.(i)) in
+  (* balanced AND reduction *)
+  let rec level = function
+    | [ single ] -> single
+    | items ->
+      let rec pair = function
+        | x :: y :: rest -> and_g ck x y :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      level (pair items)
+  in
+  level (Array.to_list bits)
+
+let lt_with extend ck a b =
+  let w = width a + 1 in
+  let a' = extend ck a w and b' = extend ck b w in
+  msb (sub ck a' b')
+
+let zero_extend ck t w =
+  Array.init w (fun i -> if i < width t then t.(i) else Gates.constant ck false)
+
+let lt_u ck a b = lt_with zero_extend ck a b
+let lt_s ck a b = lt_with resize ck a b
+
+let min_s ck a b = mux ck (lt_s ck a b) a b
+let max_s ck a b = mux ck (lt_s ck a b) b a
+
+let relu ck a = mux ck (msb a) (constant ck ~width:(width a) 0) a

@@ -1,0 +1,55 @@
+(** Homomorphic integers: Cingulata/E3-style encrypted arithmetic evaluated
+    *directly* on ciphertexts, gate by gate, with no circuit compilation
+    step.
+
+    Each value is a vector of LWE samples (LSB first).  Operations drive the
+    bootstrapped gates of {!Pytfhe_tfhe.Gates} immediately — convenient for
+    interactive or data-dependent server code; for large fixed computations
+    the compiled pipeline is far cheaper to schedule.  All operations need
+    only the cloud keyset: the server never sees plaintexts. *)
+
+open Pytfhe_tfhe
+
+type t
+(** An encrypted two's-complement integer. *)
+
+val width : t -> int
+
+val of_samples : Lwe.sample array -> t
+(** Wrap ciphertext bits (e.g. from {!Client.encrypt_value}); LSB first. *)
+
+val to_samples : t -> Lwe.sample array
+
+val constant : Gates.cloud_keyset -> width:int -> int -> t
+(** Noiseless public constant. *)
+
+val resize : Gates.cloud_keyset -> t -> int -> t
+(** Sign-extend or truncate. *)
+
+val add : Gates.cloud_keyset -> t -> t -> t
+(** Ripple-carry addition; widths must match; wraps. *)
+
+val sub : Gates.cloud_keyset -> t -> t -> t
+val neg : Gates.cloud_keyset -> t -> t
+
+val mul : Gates.cloud_keyset -> t -> t -> t
+(** Shift-add multiplication truncated to the operand width. *)
+
+val eq : Gates.cloud_keyset -> t -> t -> Lwe.sample
+val lt_s : Gates.cloud_keyset -> t -> t -> Lwe.sample
+(** Signed comparison. *)
+
+val lt_u : Gates.cloud_keyset -> t -> t -> Lwe.sample
+
+val mux : Gates.cloud_keyset -> Lwe.sample -> t -> t -> t
+(** [mux ck s x y] selects [x] when [s] encrypts true. *)
+
+val min_s : Gates.cloud_keyset -> t -> t -> t
+val max_s : Gates.cloud_keyset -> t -> t -> t
+
+val relu : Gates.cloud_keyset -> t -> t
+(** max(x, 0). *)
+
+val gate_count : unit -> int
+(** Bootstrapped gates executed by this module since the program started
+    (instrumentation for cost reporting). *)

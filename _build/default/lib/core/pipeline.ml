@@ -1,0 +1,61 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Stats = Pytfhe_circuit.Stats
+module Levelize = Pytfhe_circuit.Levelize
+module Binary = Pytfhe_circuit.Binary
+module Opt = Pytfhe_synth.Opt
+open Pytfhe_chiseltorch
+
+type compiled = {
+  prog_name : string;
+  netlist : Netlist.t;
+  binary : bytes;
+  stats : Stats.t;
+  schedule : Levelize.schedule;
+  opt_report : Opt.report option;
+}
+
+let compile ?(optimize = true) ~name net =
+  let netlist, opt_report =
+    if optimize then
+      let optimized, report = Opt.optimize net in
+      (optimized, Some report)
+    else (net, None)
+  in
+  {
+    prog_name = name;
+    netlist;
+    binary = Binary.assemble netlist;
+    stats = Stats.compute netlist;
+    schedule = Levelize.run netlist;
+    opt_report;
+  }
+
+let compile_model ~name ~dtype ~input_shape model =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dtype input_shape in
+  Tensor.output net "y" (Nn.run net model x);
+  compile ~name net
+
+let compile_workload (w : Pytfhe_vipbench.Workload.t) =
+  compile ~name:w.Pytfhe_vipbench.Workload.name (w.Pytfhe_vipbench.Workload.circuit ())
+
+let pp_summary fmt c =
+  Format.fprintf fmt "%s: %d gates (%d bootstrapped), depth %d, %d instructions (%d bytes)@."
+    c.prog_name c.stats.Stats.gates c.stats.Stats.bootstraps c.stats.Stats.depth
+    (Bytes.length c.binary / 16) (Bytes.length c.binary);
+  (match c.opt_report with
+  | Some r -> Format.fprintf fmt "  synthesis: %a@." Opt.pp_report r
+  | None -> ());
+  Format.fprintf fmt "  schedule: %d waves, max width %d, avg width %.1f@." c.schedule.Levelize.depth
+    (Levelize.max_width c.schedule)
+    (Levelize.average_width c.schedule)
+
+let failure_probability c params =
+  let p_gate = Pytfhe_tfhe.Noise.gate_failure_probability params in
+  let n = float_of_int c.stats.Stats.bootstraps in
+  (* 1 - (1-p)^n, computed stably for tiny p. *)
+  -.Float.expm1 (n *. Float.log1p (-.p_gate))
+
+let check_correctness c params =
+  let p = failure_probability c params in
+  if p <= 2.0 ** -20.0 then `Ok p else `Risky p

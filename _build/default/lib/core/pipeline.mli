@@ -1,0 +1,43 @@
+(** The end-to-end PyTFHE compilation pipeline (paper Fig. 2):
+
+    frontend (ChiselTorch model or hand-built circuit)
+    → synthesis optimization (the Yosys role)
+    → PyTFHE assembler (128-bit binary format)
+    → any execution backend.
+
+    A {!compiled} program carries every artifact later stages need: the
+    optimized netlist, the binary, statistics and the BFS schedule. *)
+
+type compiled = {
+  prog_name : string;
+  netlist : Pytfhe_circuit.Netlist.t;  (** After optimization. *)
+  binary : bytes;  (** Assembled PyTFHE binary (Fig. 5). *)
+  stats : Pytfhe_circuit.Stats.t;
+  schedule : Pytfhe_circuit.Levelize.schedule;
+  opt_report : Pytfhe_synth.Opt.report option;  (** [None] if unoptimized. *)
+}
+
+val compile : ?optimize:bool -> name:string -> Pytfhe_circuit.Netlist.t -> compiled
+(** Optimize (default [true]), levelize and assemble a circuit. *)
+
+val compile_model :
+  name:string -> dtype:Pytfhe_chiseltorch.Dtype.t -> input_shape:int array ->
+  Pytfhe_chiseltorch.Nn.model -> compiled
+(** The ChiselTorch path: PyTorch-style model → circuit → binary.  Inputs
+    are the flattened tensor elements ([x.<i>]), outputs the result
+    elements ([y.<i>]). *)
+
+val compile_workload : Pytfhe_vipbench.Workload.t -> compiled
+(** Compile a registered benchmark. *)
+
+val pp_summary : Format.formatter -> compiled -> unit
+
+val failure_probability : compiled -> Pytfhe_tfhe.Params.t -> float
+(** Probability that at least one of the program's bootstrapped gates
+    decides the wrong sign under the given parameters — the end-to-end
+    correctness bound a deployment should check before shipping a cloud
+    key ([1 − (1 − p_gate)^bootstraps], from {!Pytfhe_tfhe.Noise}). *)
+
+val check_correctness :
+  compiled -> Pytfhe_tfhe.Params.t -> [ `Ok of float | `Risky of float ]
+(** [`Risky] when the whole-program failure probability exceeds 2⁻²⁰. *)

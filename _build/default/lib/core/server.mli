@@ -1,0 +1,33 @@
+(** The server side: execute compiled TFHE programs on ciphertexts.
+
+    [evaluate] is the real thing — every gate is a genuine bootstrapping
+    over LWE ciphertexts, single-core.  [estimate] prices a program on any
+    of the paper's platforms through the calibrated cost models (see
+    DESIGN.md for why the cluster and the GPUs are simulated). *)
+
+type backend =
+  | Single_core
+  | Distributed of { nodes : int }
+  | Gpu of Pytfhe_backend.Cost_model.gpu
+  | Gpu_cufhe of Pytfhe_backend.Cost_model.gpu  (** The cuFHE baseline executor. *)
+
+val backend_name : backend -> string
+
+val evaluate :
+  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Tfhe_eval.stats
+(** Homomorphic evaluation (inputs/outputs in declaration order). *)
+
+val estimate :
+  ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
+(** Simulated wall-clock seconds for the program on the given backend
+    (default CPU calibration: the paper's). *)
+
+val speedup_over_single_core :
+  ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
+
+val save_cloud_keyset : Pytfhe_tfhe.Gates.cloud_keyset -> string -> unit
+(** Persist the evaluation keys the client ships to the server. *)
+
+val load_cloud_keyset : string -> Pytfhe_tfhe.Gates.cloud_keyset
+(** Raises [Pytfhe_util.Wire.Corrupt] on malformed input. *)

@@ -1,0 +1,1 @@
+lib/fft/complex_fft.ml: Array Float Hashtbl

@@ -1,0 +1,1 @@
+lib/fft/negacyclic.ml: Array Complex_fft Float Hashtbl

@@ -1,0 +1,107 @@
+type tables = { cos : float array; sin : float array; rev : int array }
+
+let table_cache : (int, tables) Hashtbl.t = Hashtbl.create 8
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let make_tables n =
+  let half = n / 2 in
+  let cos_t = Array.make (max half 1) 0.0 in
+  let sin_t = Array.make (max half 1) 0.0 in
+  for k = 0 to half - 1 do
+    let angle = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+    cos_t.(k) <- cos angle;
+    sin_t.(k) <- sin angle
+  done;
+  let rev = Array.make n 0 in
+  let bits =
+    let rec count b m = if m = 1 then b else count (b + 1) (m lsr 1) in
+    count 0 n
+  in
+  for i = 0 to n - 1 do
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    rev.(i) <- !r
+  done;
+  { cos = cos_t; sin = sin_t; rev }
+
+let tables n =
+  match Hashtbl.find_opt table_cache n with
+  | Some t -> t
+  | None ->
+    let t = make_tables n in
+    Hashtbl.add table_cache n t;
+    t
+
+let transform ~re ~im ~invert =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Complex_fft.transform: length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Complex_fft.transform: length not a power of two";
+  if n = 1 then ()
+  else begin
+    let t = tables n in
+    for i = 0 to n - 1 do
+      let j = t.rev.(i) in
+      if i < j then begin
+        let tr = re.(i) in
+        re.(i) <- re.(j);
+        re.(j) <- tr;
+        let ti = im.(i) in
+        im.(i) <- im.(j);
+        im.(j) <- ti
+      end
+    done;
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let step = n / !len in
+      let base = ref 0 in
+      while !base < n do
+        for j = 0 to half - 1 do
+          let k = j * step in
+          let wr = t.cos.(k) in
+          let wi = if invert then t.sin.(k) else -.t.sin.(k) in
+          let a = !base + j in
+          let b = a + half in
+          let xr = re.(b) and xi = im.(b) in
+          let vr = (xr *. wr) -. (xi *. wi) in
+          let vi = (xr *. wi) +. (xi *. wr) in
+          let ur = re.(a) and ui = im.(a) in
+          re.(a) <- ur +. vr;
+          im.(a) <- ui +. vi;
+          re.(b) <- ur -. vr;
+          im.(b) <- ui -. vi
+        done;
+        base := !base + !len
+      done;
+      len := !len * 2
+    done;
+    if invert then begin
+      let scale = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        re.(i) <- re.(i) *. scale;
+        im.(i) <- im.(i) *. scale
+      done
+    end
+  end
+
+let dft_naive ~re ~im ~invert =
+  let n = Array.length re in
+  let out_re = Array.make n 0.0 in
+  let out_im = Array.make n 0.0 in
+  let sign = if invert then 1.0 else -1.0 in
+  for k = 0 to n - 1 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for j = 0 to n - 1 do
+      let angle = sign *. 2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+      let c = cos angle and s = sin angle in
+      sr := !sr +. (re.(j) *. c) -. (im.(j) *. s);
+      si := !si +. (re.(j) *. s) +. (im.(j) *. c)
+    done;
+    let scale = if invert then 1.0 /. float_of_int n else 1.0 in
+    out_re.(k) <- !sr *. scale;
+    out_im.(k) <- !si *. scale
+  done;
+  (out_re, out_im)

@@ -1,0 +1,16 @@
+(** Iterative radix-2 complex FFT over split re/im float arrays.
+
+    Twiddle factors and bit-reversal permutations are computed once per
+    transform size and cached, so repeated transforms (the hot path of TFHE
+    bootstrapping) only pay the butterfly cost. *)
+
+val transform : re:float array -> im:float array -> invert:bool -> unit
+(** [transform ~re ~im ~invert] replaces the complex vector [(re, im)] with
+    its DFT ([invert = false], kernel e^{-2πi jk/n}) or inverse DFT
+    ([invert = true], scaled by 1/n).  The length must be a power of two and
+    [re] and [im] must have equal length.  Raises [Invalid_argument]
+    otherwise. *)
+
+val dft_naive : re:float array -> im:float array -> invert:bool -> float array * float array
+(** Quadratic-time reference DFT used by the test suite to validate
+    [transform].  Returns fresh arrays; the inputs are not modified. *)

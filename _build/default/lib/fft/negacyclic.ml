@@ -1,0 +1,112 @@
+type spectrum = { s_re : float array; s_im : float array }
+
+(* The folded representation: a real polynomial p of N coefficients is
+   packed into N/2 complex values q_j = p_j + i·p_{j+N/2}, twisted by the
+   2N-th root ω^j (ω = e^{iπ/N}), and transformed with an N/2-point FFT.
+   The resulting bins are the evaluations of p at the odd 2N-th roots
+   ω^{1−4k} — one representative per conjugate pair, which is exactly the
+   information a negacyclic product needs.  Half the butterflies and half
+   the memory of the naive N-point embedding. *)
+
+type twist = { t_cos : float array; t_sin : float array }
+
+let twist_cache : (int, twist) Hashtbl.t = Hashtbl.create 8
+
+let twist n =
+  (* e^{iπ j / n} for j < n/2 *)
+  match Hashtbl.find_opt twist_cache n with
+  | Some t -> t
+  | None ->
+    let half = n / 2 in
+    let t_cos = Array.make (max half 1) 0.0 in
+    let t_sin = Array.make (max half 1) 0.0 in
+    for j = 0 to half - 1 do
+      let angle = Float.pi *. float_of_int j /. float_of_int n in
+      t_cos.(j) <- cos angle;
+      t_sin.(j) <- sin angle
+    done;
+    let t = { t_cos; t_sin } in
+    Hashtbl.add twist_cache n t;
+    t
+
+let spectrum_create n =
+  if n < 2 || n land (n - 1) <> 0 then invalid_arg "Negacyclic.spectrum_create";
+  { s_re = Array.make (n / 2) 0.0; s_im = Array.make (n / 2) 0.0 }
+
+let spectrum_copy s = { s_re = Array.copy s.s_re; s_im = Array.copy s.s_im }
+
+let spectrum_zero s =
+  Array.fill s.s_re 0 (Array.length s.s_re) 0.0;
+  Array.fill s.s_im 0 (Array.length s.s_im) 0.0
+
+let forward_into s p =
+  let n = Array.length p in
+  let half = n / 2 in
+  if Array.length s.s_re <> half then invalid_arg "Negacyclic.forward_into: size mismatch";
+  let t = twist n in
+  for j = 0 to half - 1 do
+    (* (p_j + i p_{j+half}) · e^{iπ j/n} *)
+    let re = Array.unsafe_get p j in
+    let im = Array.unsafe_get p (j + half) in
+    let c = Array.unsafe_get t.t_cos j and sn = Array.unsafe_get t.t_sin j in
+    Array.unsafe_set s.s_re j ((re *. c) -. (im *. sn));
+    Array.unsafe_set s.s_im j ((re *. sn) +. (im *. c))
+  done;
+  Complex_fft.transform ~re:s.s_re ~im:s.s_im ~invert:false
+
+let forward p =
+  let s = spectrum_create (Array.length p) in
+  forward_into s p;
+  s
+
+let backward_into p s =
+  let n = Array.length p in
+  let half = n / 2 in
+  if Array.length s.s_re <> half then invalid_arg "Negacyclic.backward_into: size mismatch";
+  Complex_fft.transform ~re:s.s_re ~im:s.s_im ~invert:true;
+  let t = twist n in
+  (* Untwist by e^{-iπ j/n} and unfold the complex packing. *)
+  for j = 0 to half - 1 do
+    let re = Array.unsafe_get s.s_re j and im = Array.unsafe_get s.s_im j in
+    let c = Array.unsafe_get t.t_cos j and sn = Array.unsafe_get t.t_sin j in
+    Array.unsafe_set p j ((re *. c) +. (im *. sn));
+    Array.unsafe_set p (j + half) ((im *. c) -. (re *. sn))
+  done
+
+let backward s =
+  let p = Array.make (2 * Array.length s.s_re) 0.0 in
+  backward_into p (spectrum_copy s);
+  p
+
+let mul_add_into acc a b =
+  let n = Array.length acc.s_re in
+  for j = 0 to n - 1 do
+    let ar = Array.unsafe_get a.s_re j and ai = Array.unsafe_get a.s_im j in
+    let br = Array.unsafe_get b.s_re j and bi = Array.unsafe_get b.s_im j in
+    Array.unsafe_set acc.s_re j (Array.unsafe_get acc.s_re j +. ((ar *. br) -. (ai *. bi)));
+    Array.unsafe_set acc.s_im j (Array.unsafe_get acc.s_im j +. ((ar *. bi) +. (ai *. br)))
+  done
+
+let polymul a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Negacyclic.polymul: size mismatch";
+  let sa = forward a in
+  let sb = forward b in
+  let acc = spectrum_create n in
+  mul_add_into acc sa sb;
+  let p = Array.make n 0.0 in
+  backward_into p acc;
+  p
+
+let polymul_naive a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Negacyclic.polymul_naive: size mismatch";
+  let c = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      if k < n then c.(k) <- c.(k) +. (a.(i) *. b.(j))
+      else c.(k - n) <- c.(k - n) -. (a.(i) *. b.(j))
+    done
+  done;
+  c

@@ -1,0 +1,45 @@
+(** Negacyclic polynomial convolution: products in ℝ[X]/(Xᴺ + 1).
+
+    TFHE multiplies small-integer polynomials (gadget-decomposition digits)
+    with torus polynomials modulo Xᴺ + 1.  We realise this with the classic
+    twisting trick: multiply coefficient j by ωʲ where ω = e^{iπ/N} is a
+    primitive 2N-th root of unity, take an N-point cyclic FFT, multiply
+    pointwise, invert, and untwist.  All buffers are caller-provided in the
+    [_into] variants so the bootstrapping hot loop allocates nothing. *)
+
+type spectrum = { s_re : float array; s_im : float array }
+(** Frequency-domain representation of a real polynomial of degree < N. *)
+
+val spectrum_create : int -> spectrum
+(** [spectrum_create n] allocates a zero spectrum for polynomials of
+    [n] coefficients ([n] must be a power of two). *)
+
+val spectrum_copy : spectrum -> spectrum
+(** Deep copy. *)
+
+val spectrum_zero : spectrum -> unit
+(** Reset all bins to zero. *)
+
+val forward_into : spectrum -> float array -> unit
+(** [forward_into s p] writes the twisted FFT of polynomial [p] into [s]. *)
+
+val forward : float array -> spectrum
+(** Allocating variant of {!forward_into}. *)
+
+val backward_into : float array -> spectrum -> unit
+(** [backward_into p s] writes the polynomial whose spectrum is [s] into
+    [p].  [s] is left unspecified (it is used as scratch space). *)
+
+val backward : spectrum -> float array
+(** Allocating variant of {!backward_into}. *)
+
+val mul_add_into : spectrum -> spectrum -> spectrum -> unit
+(** [mul_add_into acc a b] accumulates the pointwise product [a · b] into
+    [acc]: the spectral form of fused multiply-add of polynomials. *)
+
+val polymul : float array -> float array -> float array
+(** [polymul a b] is the negacyclic product [a · b mod Xᴺ + 1] computed via
+    the FFT path.  Arrays must share a power-of-two length. *)
+
+val polymul_naive : float array -> float array -> float array
+(** Schoolbook negacyclic product, O(N²); the reference for tests. *)

@@ -1,0 +1,1 @@
+lib/frameworks/profile.ml: Arith Array Bus Dtype Float Format List Nn Printf Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_hdl Pytfhe_synth Scalar

@@ -1,0 +1,1 @@
+lib/frameworks/profile.mli: Format Pytfhe_chiseltorch Pytfhe_circuit

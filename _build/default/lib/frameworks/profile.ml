@@ -1,0 +1,126 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+module Opt = Pytfhe_synth.Opt
+open Pytfhe_hdl
+open Pytfhe_chiseltorch
+
+type const_mult = Csd | Binary | Generic
+
+type t = {
+  name : string;
+  hash_consing : bool;
+  fold_constants : bool;
+  run_opt : bool;
+  const_mult : const_mult;
+  free_wiring : bool;
+  data_width : int;
+  frac_bits : int;
+}
+
+let pytfhe =
+  {
+    name = "PyTFHE";
+    hash_consing = true;
+    fold_constants = true;
+    run_opt = true;
+    const_mult = Csd;
+    free_wiring = true;
+    data_width = 8;
+    frac_bits = 4;
+  }
+
+let cingulata =
+  {
+    name = "Cingulata";
+    hash_consing = false;
+    fold_constants = true;
+    run_opt = false;
+    const_mult = Binary;
+    free_wiring = true;
+    data_width = 8;
+    frac_bits = 4;
+  }
+
+let e3 =
+  {
+    name = "E3";
+    hash_consing = false;
+    fold_constants = false;
+    run_opt = false;
+    const_mult = Binary;
+    free_wiring = true;
+    data_width = 8;
+    frac_bits = 4;
+  }
+
+let transpiler =
+  {
+    name = "Transpiler";
+    hash_consing = false;
+    fold_constants = false;
+    run_opt = false;
+    const_mult = Generic;
+    free_wiring = false;
+    data_width = 16;
+    frac_bits = 4;
+  }
+
+let all = [ e3; cingulata; transpiler; pytfhe ]
+
+let ops profile net =
+  let w = profile.data_width and f = profile.frac_bits in
+  let dtype = Dtype.Fixed { width = w; frac = f } in
+  let fixed_mul_const recoding x c =
+    let c_fixed = int_of_float (Float.round (c *. float_of_int (1 lsl f))) in
+    let product = Arith.mul_const_s net ~recoding ~out_width:(w + f) x c_fixed in
+    Bus.slice product ~lo:f ~hi:(f + w - 1)
+  in
+  let mul_scalar x c =
+    match profile.const_mult with
+    | Csd -> fixed_mul_const `Csd x c
+    | Binary -> fixed_mul_const `Binary x c
+    | Generic ->
+      (* The constant is materialised as a bus and fed to a full array
+         multiplier — the shape an HLS toolchain produces when the weight
+         flows through memory. *)
+      let c_bus = Scalar.const net dtype c in
+      let product = Arith.mul_s net ~out_width:(w + f) x c_bus in
+      Bus.slice product ~lo:f ~hi:(f + w - 1)
+  in
+  let copy x =
+    if profile.free_wiring then x
+    else Array.map (fun bit -> Netlist.gate net Gate.And bit bit) x
+  in
+  {
+    Nn.o_const = (fun () v -> Scalar.const net dtype v);
+    o_add = (fun () a b -> Arith.add net a b);
+    o_mul_scalar = (fun () x c -> mul_scalar x c);
+    o_relu = (fun () x -> Scalar.relu net dtype x);
+    o_max = (fun () a b -> Arith.max_s net a b);
+    o_div_const = (fun () x n -> Scalar.div_const net dtype x n);
+    o_zero_pattern = Scalar.const net dtype 0.0;
+    o_clamp = (fun () x lo hi -> Scalar.clamp net dtype x ~lo ~hi);
+    o_copy = (fun () x -> copy x);
+  }
+
+let build_model profile model ~input_shape =
+  let net = Netlist.create ~hash_consing:profile.hash_consing ~fold_constants:profile.fold_constants () in
+  let ops = ops profile net in
+  let n = Array.fold_left ( * ) 1 input_shape in
+  let data = Array.init n (fun i -> Bus.input net (Printf.sprintf "x.%d" i) profile.data_width) in
+  let _, out =
+    List.fold_left
+      (fun (shape, d) layer -> (Nn.output_shape layer shape, Nn.apply_generic ops () layer shape d))
+      (input_shape, data) model
+  in
+  Array.iteri (fun i bus -> Bus.output net (Printf.sprintf "y.%d" i) bus) out;
+  if profile.run_opt then fst (Opt.optimize net) else net
+
+let pp fmt p =
+  Format.fprintf fmt "%s: %s%s%s mult=%s wiring=%s width=%d.%d" p.name
+    (if p.hash_consing then "cse " else "")
+    (if p.fold_constants then "fold " else "")
+    (if p.run_opt then "opt " else "")
+    (match p.const_mult with Csd -> "csd" | Binary -> "binary" | Generic -> "generic")
+    (if p.free_wiring then "free" else "gates")
+    p.data_width p.frac_bits

@@ -1,0 +1,50 @@
+(** Baseline TFHE-framework models: Google Transpiler, Cingulata, E3.
+
+    The paper compares gate counts (Fig. 14) and runtimes (Fig. 13,
+    Table IV) of the same MNIST model compiled by four toolchains, and
+    itself estimates baseline runtimes as gate count ÷ single-core
+    throughput (footnote 1).  We reproduce that methodology: each baseline
+    is a circuit generator with the documented lowering characteristics of
+    its framework, run over the *same* layer math as ChiselTorch
+    ({!Pytfhe_chiseltorch.Nn.apply_generic}), so gate-count differences come
+    only from the lowering:
+
+    - {b PyTFHE/ChiselTorch}: structural hashing, constant folding, CSD
+      constant multipliers, free shape wiring, arbitrary bit widths,
+      post-synthesis optimization.
+    - {b Cingulata}: DSL with constant folding but no sharing; plain binary
+      shift-add constant multipliers.
+    - {b E3}: hardcoded gate patterns — no folding, no sharing, binary
+      constant multipliers.
+    - {b Transpiler}: C-native data types (16-bit arithmetic), generic
+      array multipliers (weights flow through C arrays the HLS cannot
+      specialize), no cross-statement sharing, and real gates emitted for
+      the [Flatten] layer (the paper's §V-C observation). *)
+
+type const_mult = Csd | Binary | Generic
+
+type t = {
+  name : string;
+  hash_consing : bool;
+  fold_constants : bool;
+  run_opt : bool;  (** Run the synthesis optimization pipeline afterwards. *)
+  const_mult : const_mult;
+  free_wiring : bool;  (** Shape ops cost zero gates. *)
+  data_width : int;
+  frac_bits : int;
+}
+
+val pytfhe : t
+val cingulata : t
+val e3 : t
+val transpiler : t
+
+val all : t list
+(** In the paper's comparison order. *)
+
+val build_model :
+  t -> Pytfhe_chiseltorch.Nn.model -> input_shape:int array -> Pytfhe_circuit.Netlist.t
+(** Compile a model with this framework's lowering; the circuit interface is
+    one input per data bit ([x.<i>[<b>]]) and one output per result bit. *)
+
+val pp : Format.formatter -> t -> unit

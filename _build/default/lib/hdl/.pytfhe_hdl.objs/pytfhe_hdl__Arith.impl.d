@@ -1,0 +1,1 @@
+lib/hdl/arith.ml: Array Bus List Pytfhe_circuit Stdlib

@@ -1,0 +1,1 @@
+lib/hdl/arith.mli: Bus Pytfhe_circuit

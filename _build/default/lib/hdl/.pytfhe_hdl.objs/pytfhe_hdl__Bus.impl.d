@@ -1,0 +1,1 @@
+lib/hdl/bus.ml: Array Printf Pytfhe_circuit

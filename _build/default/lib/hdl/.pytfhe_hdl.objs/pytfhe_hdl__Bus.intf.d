@@ -1,0 +1,1 @@
+lib/hdl/bus.mli: Pytfhe_circuit

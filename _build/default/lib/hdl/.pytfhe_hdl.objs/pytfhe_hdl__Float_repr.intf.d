@@ -1,0 +1,1 @@
+lib/hdl/float_repr.mli:

@@ -1,0 +1,1 @@
+lib/hdl/float_unit.ml: Arith Array Bus Float_repr List Pytfhe_circuit

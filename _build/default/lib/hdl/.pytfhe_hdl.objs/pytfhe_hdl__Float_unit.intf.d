@@ -1,0 +1,1 @@
+lib/hdl/float_unit.mli: Bus Pytfhe_circuit

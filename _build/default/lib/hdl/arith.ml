@@ -1,0 +1,182 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+
+type recoding = [ `Csd | `Binary ]
+
+let full_adder net a b c =
+  let axb = Netlist.gate net Gate.Xor a b in
+  let sum = Netlist.gate net Gate.Xor axb c in
+  let carry = Netlist.gate net Gate.Or (Netlist.gate net Gate.And a b) (Netlist.gate net Gate.And axb c) in
+  (sum, carry)
+
+let add_carry net ?cin a b =
+  let w = Bus.width a in
+  if Bus.width b <> w then invalid_arg "Arith.add_carry: width mismatch";
+  let carry = ref (match cin with Some c -> c | None -> Netlist.const net false) in
+  let sum =
+    Array.init w (fun i ->
+        let s, c = full_adder net a.(i) b.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let add net a b = fst (add_carry net a b)
+
+let sub net a b =
+  let nb = Bus.bnot net b in
+  fst (add_carry net ~cin:(Netlist.const net true) a nb)
+
+let neg net a = sub net (Bus.const net ~width:(Bus.width a) 0) a
+
+let eq net a b =
+  if Bus.width a <> Bus.width b then invalid_arg "Arith.eq: width mismatch";
+  let xnors = Array.map2 (fun x y -> Netlist.gate net Gate.Xnor x y) a b in
+  Bus.reduce_and net xnors
+
+let ne net a b = Netlist.not_ net (eq net a b)
+
+(* a < b computed as the sign of the (width+1)-bit difference. *)
+let lt_with extend net a b =
+  let w = Bus.width a + 1 in
+  let a' = extend net a w and b' = extend net b w in
+  Bus.msb (sub net a' b')
+
+let lt_u net a b = lt_with Bus.zero_extend net a b
+let lt_s net a b = lt_with Bus.sign_extend net a b
+let gt_s net a b = lt_s net b a
+let le_s net a b = Netlist.not_ net (gt_s net a b)
+let ge_s net a b = Netlist.not_ net (lt_s net a b)
+
+let min_s net a b = Bus.mux net (lt_s net a b) a b
+let max_s net a b = Bus.mux net (lt_s net a b) b a
+
+let abs net a =
+  let negated = neg net a in
+  Bus.mux net (Bus.msb a) negated a
+
+let partial_product net ~out_width multiplicand bit shift =
+  (* (multiplicand AND bit) << shift, truncated; the builder's constant
+     folding trims the zero-filled low bits out of the adders. *)
+  let gated = Array.map (fun w -> Netlist.gate net Gate.And w bit) multiplicand in
+  Bus.shift_left net (Bus.resize_u net gated out_width) shift
+
+let mul_generic net ~out_width a_ext b_ext =
+  let acc = ref (Bus.const net ~width:out_width 0) in
+  Array.iteri
+    (fun i bit -> if i < out_width then acc := add net !acc (partial_product net ~out_width a_ext bit i))
+    b_ext;
+  !acc
+
+let mul_u net ~out_width a b =
+  mul_generic net ~out_width (Bus.resize_u net a out_width) (Bus.resize_u net b out_width)
+
+let mul_s net ~out_width a b =
+  mul_generic net ~out_width (Bus.resize_s net a out_width) (Bus.resize_s net b out_width)
+
+let csd_digits c =
+  let rec go c shift acc =
+    if c = 0 then List.rev acc
+    else if c land 1 = 0 then go (c asr 1) (shift + 1) acc
+    else
+      let digit = if c land 3 = 1 then 1 else -1 in
+      go ((c - digit) asr 1) (shift + 1) ((shift, digit) :: acc)
+  in
+  go c 0 []
+
+let binary_digits c =
+  (* Plain binary recoding of |c| with a global sign. *)
+  let sign = if c < 0 then -1 else 1 in
+  let rec go c shift acc =
+    if c = 0 then List.rev acc
+    else if c land 1 = 1 then go (c asr 1) (shift + 1) ((shift, sign) :: acc)
+    else go (c asr 1) (shift + 1) acc
+  in
+  go (Stdlib.abs c) 0 []
+
+let mul_const_s net ?(recoding = `Csd) ~out_width a c =
+  let digits = match recoding with `Csd -> csd_digits c | `Binary -> binary_digits c in
+  let a_ext = Bus.resize_s net a out_width in
+  let zero = Bus.const net ~width:out_width 0 in
+  List.fold_left
+    (fun acc (shift, sign) ->
+      let term = Bus.shift_left net a_ext shift in
+      if sign > 0 then add net acc term else sub net acc term)
+    zero digits
+
+let div_u net a b =
+  let w = Bus.width a in
+  if Bus.width b <> w then invalid_arg "Arith.div_u: width mismatch";
+  (* Restoring division: shift the dividend in MSB-first, subtract, keep the
+     difference when it does not borrow. *)
+  let zero = Bus.const net ~width:w 0 in
+  let quotient = Array.make w (Netlist.const net false) in
+  let remainder = ref zero in
+  for i = w - 1 downto 0 do
+    let shifted = Array.append [| a.(i) |] (Array.sub !remainder 0 (w - 1)) in
+    let wide_r = Bus.zero_extend net shifted (w + 1) in
+    let wide_b = Bus.zero_extend net b (w + 1) in
+    let diff = sub net wide_r wide_b in
+    let no_borrow = Netlist.not_ net (Bus.msb diff) in
+    quotient.(i) <- no_borrow;
+    remainder := Bus.mux net no_borrow (Array.sub diff 0 w) shifted
+  done;
+  (quotient, !remainder)
+
+let add_fast net ?cin a b =
+  let w = Bus.width a in
+  if Bus.width b <> w then invalid_arg "Arith.add_fast: width mismatch";
+  (* Generate/propagate pairs, combined with the Kogge-Stone prefix tree:
+     (G2, P2) o (G1, P1) = (G2 | P2 & G1, P2 & P1). *)
+  let g = Array.init w (fun i -> Netlist.gate net Gate.And a.(i) b.(i)) in
+  let p = Array.init w (fun i -> Netlist.gate net Gate.Xor a.(i) b.(i)) in
+  let gk = Array.copy g and pk = Array.copy p in
+  (* Fold the carry-in into position 0 before the prefix pass. *)
+  (match cin with
+  | Some c ->
+    gk.(0) <- Netlist.gate net Gate.Or gk.(0) (Netlist.gate net Gate.And pk.(0) c);
+    pk.(0) <- Netlist.const net false
+  | None -> ());
+  let dist = ref 1 in
+  while !dist < w do
+    for i = w - 1 downto !dist do
+      let j = i - !dist in
+      gk.(i) <- Netlist.gate net Gate.Or gk.(i) (Netlist.gate net Gate.And pk.(i) gk.(j));
+      pk.(i) <- Netlist.gate net Gate.And pk.(i) pk.(j)
+    done;
+    dist := !dist * 2
+  done;
+  (* Bit i's carry-in is the prefix generate below it (or the external
+     carry for bit 0). *)
+  Array.init w (fun i ->
+      let carry_in =
+        if i = 0 then match cin with Some c -> c | None -> Netlist.const net false
+        else gk.(i - 1)
+      in
+      Netlist.gate net Gate.Xor p.(i) carry_in)
+
+let shift_var direction net a amount =
+  let w = Bus.width a in
+  let result = ref a in
+  let too_big = ref (Netlist.const net false) in
+  Array.iteri
+    (fun i bit ->
+      if 1 lsl i >= w then too_big := Netlist.gate net Gate.Or !too_big bit
+      else
+        let shifted =
+          match direction with
+          | `Left -> Bus.shift_left net !result (1 lsl i)
+          | `Right -> Bus.shift_right_logical net !result (1 lsl i)
+        in
+        result := Bus.mux net bit shifted !result)
+    amount;
+  Bus.mux net !too_big (Bus.const net ~width:w 0) !result
+
+let shift_left_var net a amount = shift_var `Left net a amount
+let shift_right_var net a amount = shift_var `Right net a amount
+
+let div_s net a b =
+  let abs_a = abs net a and abs_b = abs net b in
+  let q, _ = div_u net abs_a abs_b in
+  let sign = Netlist.gate net Gate.Xor (Bus.msb a) (Bus.msb b) in
+  Bus.mux net sign (neg net q) q

@@ -1,0 +1,74 @@
+(** Combinational integer arithmetic over buses.
+
+    These are the pre-built, validated building blocks the ChiselTorch
+    frontend instantiates (paper §IV-B).  Everything is two's complement;
+    unsigned variants exist where the semantics differ.
+
+    The constant multiplier is the frontend's key gate-count optimization:
+    model weights are public, so a multiplication by a weight lowers to a
+    canonical-signed-digit shift-add network instead of a full array
+    multiplier.  The [`Binary] recoding and the generic multiplier are kept
+    for the baseline framework models (Fig. 14's ablation). *)
+
+type recoding = [ `Csd  (** Canonical signed digit: fewest add/subs. *) | `Binary ]
+
+val add : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Ripple-carry addition; equal widths; wraps. *)
+
+val add_carry :
+  Pytfhe_circuit.Netlist.t -> ?cin:Pytfhe_circuit.Netlist.id -> Bus.t -> Bus.t ->
+  Bus.t * Pytfhe_circuit.Netlist.id
+(** Sum and carry-out. *)
+
+val sub : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+val neg : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t
+
+val abs : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t
+(** |a| for a signed bus (two's complement; min-int maps to itself). *)
+
+val eq : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+val ne : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+
+val lt_u : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+val lt_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+val le_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+val gt_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+val ge_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+
+val min_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+val max_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+
+val mul_u : Pytfhe_circuit.Netlist.t -> out_width:int -> Bus.t -> Bus.t -> Bus.t
+(** Unsigned array multiplier, truncated to [out_width]. *)
+
+val mul_s : Pytfhe_circuit.Netlist.t -> out_width:int -> Bus.t -> Bus.t -> Bus.t
+(** Signed multiplier (operands sign-extended to [out_width]). *)
+
+val mul_const_s :
+  Pytfhe_circuit.Netlist.t -> ?recoding:recoding -> out_width:int -> Bus.t -> int -> Bus.t
+(** Multiply a signed bus by a public integer constant via shift-add. *)
+
+val div_u : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t * Bus.t
+(** Restoring division: (quotient, remainder).  Division by zero yields
+    all-ones quotient, as in hardware dividers. *)
+
+val csd_digits : int -> (int * int) list
+(** CSD recoding of a constant: (shift, ±1) terms, exposed for tests. *)
+
+val add_fast : Pytfhe_circuit.Netlist.t -> ?cin:Pytfhe_circuit.Netlist.id -> Bus.t -> Bus.t -> Bus.t
+(** Kogge-Stone parallel-prefix addition: O(w log w) gates but O(log w)
+    depth, against the ripple adder's O(w) gates and O(w) depth.  TFHE
+    runtime on a single core tracks gate count, but the distributed and GPU
+    backends track *depth* — the ablation bench quantifies the trade. *)
+
+val shift_left_var : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Barrel shifter: shift [a] left by the unsigned amount bus; amounts at or
+    beyond the width yield zero. *)
+
+val shift_right_var : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Logical right barrel shift with the same saturation. *)
+
+val div_s : Pytfhe_circuit.Netlist.t -> Bus.t -> Bus.t -> Bus.t
+(** Signed division with truncation toward zero (C semantics); division by
+    zero yields the all-ones pattern of {!div_u} with the quotient's sign
+    applied. *)

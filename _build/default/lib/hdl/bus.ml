@@ -1,0 +1,82 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+
+type t = Netlist.id array
+
+let width = Array.length
+
+let input net name w =
+  Array.init w (fun i -> Netlist.input net (Printf.sprintf "%s[%d]" name i))
+
+let output net name b =
+  Array.iteri (fun i wire -> Netlist.mark_output net (Printf.sprintf "%s[%d]" name i) wire) b
+
+let const net ~width v = Array.init width (fun i -> Netlist.const net ((v asr i) land 1 = 1))
+
+let bit b i = b.(i)
+let msb b = b.(Array.length b - 1)
+
+let slice b ~lo ~hi =
+  if lo < 0 || hi >= Array.length b || lo > hi then invalid_arg "Bus.slice";
+  Array.sub b lo (hi - lo + 1)
+
+let concat low high = Array.append low high
+
+let zero_extend net b w =
+  if w < width b then invalid_arg "Bus.zero_extend: narrower than the bus";
+  Array.init w (fun i -> if i < width b then b.(i) else Netlist.const net false)
+
+let sign_extend net b w =
+  if w < width b then invalid_arg "Bus.sign_extend: narrower than the bus";
+  ignore net;
+  Array.init w (fun i -> if i < width b then b.(i) else msb b)
+
+let resize_u net b w = if w <= width b then Array.sub b 0 w else zero_extend net b w
+let resize_s net b w = if w <= width b then Array.sub b 0 w else sign_extend net b w
+
+let bnot net b = Array.map (fun wire -> Netlist.not_ net wire) b
+
+let map2 net g a b =
+  if width a <> width b then invalid_arg "Bus: width mismatch";
+  Array.map2 (fun x y -> Netlist.gate net g x y) a b
+
+let band net = map2 net Gate.And
+let bor net = map2 net Gate.Or
+let bxor net = map2 net Gate.Xor
+
+let reduce net g b =
+  if width b = 0 then invalid_arg "Bus.reduce: empty bus";
+  (* Balanced tree keeps the depth logarithmic. *)
+  let rec level wires =
+    match wires with
+    | [ single ] -> single
+    | _ ->
+      let rec pair = function
+        | a :: b :: rest -> Netlist.gate net g a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      level (pair wires)
+  in
+  level (Array.to_list b)
+
+let reduce_and net b = reduce net Gate.And b
+let reduce_or net b = reduce net Gate.Or b
+let reduce_xor net b = reduce net Gate.Xor b
+
+let mux net s x y =
+  if width x <> width y then invalid_arg "Bus.mux: width mismatch";
+  Array.map2 (fun xb yb -> Netlist.mux net s xb yb) x y
+
+let shift_left net b k =
+  let w = width b in
+  Array.init w (fun i -> if i < k then Netlist.const net false else b.(i - k))
+
+let shift_right_logical net b k =
+  let w = width b in
+  Array.init w (fun i -> if i + k < w then b.(i + k) else Netlist.const net false)
+
+let shift_right_arith net b k =
+  ignore net;
+  let w = width b in
+  Array.init w (fun i -> if i + k < w then b.(i + k) else msb b)

@@ -1,0 +1,61 @@
+(** Buses: ordered bundles of netlist wires, LSB first.
+
+    This is the combinational hardware-construction layer standing in for
+    Chisel: everything ChiselTorch emits is built from these primitives.
+    Shape manipulations (slice, concat, extend, constant shifts) are pure
+    wiring and cost zero gates — the property that lets the frontend compile
+    [Flatten]/[reshape] away (paper §V-C). *)
+
+type t = Pytfhe_circuit.Netlist.id array
+(** Bit [0] is the least significant. *)
+
+val width : t -> int
+
+val input : Pytfhe_circuit.Netlist.t -> string -> int -> t
+(** [input net name w] declares a [w]-bit primary input; individual wires
+    are named [name.[i]]. *)
+
+val output : Pytfhe_circuit.Netlist.t -> string -> t -> unit
+(** Mark every bit of the bus as a primary output. *)
+
+val const : Pytfhe_circuit.Netlist.t -> width:int -> int -> t
+(** Two's-complement constant, truncated to [width] bits. *)
+
+val bit : t -> int -> Pytfhe_circuit.Netlist.id
+(** [bit b i] extracts wire [i]. *)
+
+val msb : t -> Pytfhe_circuit.Netlist.id
+(** The top (sign) bit. *)
+
+val slice : t -> lo:int -> hi:int -> t
+(** Wires [lo..hi] inclusive; free. *)
+
+val concat : t -> t -> t
+(** [concat low high]; free. *)
+
+val zero_extend : Pytfhe_circuit.Netlist.t -> t -> int -> t
+val sign_extend : Pytfhe_circuit.Netlist.t -> t -> int -> t
+
+val resize_u : Pytfhe_circuit.Netlist.t -> t -> int -> t
+(** Zero-extend or truncate to the requested width. *)
+
+val resize_s : Pytfhe_circuit.Netlist.t -> t -> int -> t
+(** Sign-extend or truncate to the requested width. *)
+
+val bnot : Pytfhe_circuit.Netlist.t -> t -> t
+val band : Pytfhe_circuit.Netlist.t -> t -> t -> t
+val bor : Pytfhe_circuit.Netlist.t -> t -> t -> t
+val bxor : Pytfhe_circuit.Netlist.t -> t -> t -> t
+
+val reduce_and : Pytfhe_circuit.Netlist.t -> t -> Pytfhe_circuit.Netlist.id
+val reduce_or : Pytfhe_circuit.Netlist.t -> t -> Pytfhe_circuit.Netlist.id
+val reduce_xor : Pytfhe_circuit.Netlist.t -> t -> Pytfhe_circuit.Netlist.id
+
+val mux : Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.id -> t -> t -> t
+(** [mux net s x y] selects [x] when [s] is true, bitwise. *)
+
+val shift_left : Pytfhe_circuit.Netlist.t -> t -> int -> t
+(** Constant left shift within the same width (zeros in, free wiring). *)
+
+val shift_right_logical : Pytfhe_circuit.Netlist.t -> t -> int -> t
+val shift_right_arith : Pytfhe_circuit.Netlist.t -> t -> int -> t

@@ -1,0 +1,49 @@
+let total_width ~e ~m = e + m + 1
+let bias ~e = (1 lsl (e - 1)) - 1
+
+let max_exp_field ~e = (1 lsl e) - 1
+
+let max_value ~e ~m =
+  let exp = max_exp_field ~e - bias ~e in
+  let mant = 2.0 -. (1.0 /. float_of_int (1 lsl m)) in
+  mant *. (2.0 ** float_of_int exp)
+
+let encode ~e ~m v =
+  let sign = if v < 0.0 || (v = 0.0 && 1.0 /. v < 0.0) then 1 else 0 in
+  let av = Float.abs v in
+  if av = 0.0 || Float.is_nan v then 0
+  else if av >= max_value ~e ~m then
+    (* Saturate to the largest finite value. *)
+    (sign lsl (e + m)) lor (max_exp_field ~e lsl m) lor ((1 lsl m) - 1)
+  else begin
+    let frac, exp2 = Float.frexp av in
+    (* frexp: av = frac · 2^exp2 with frac ∈ [0.5, 1); normalise to
+       [1, 2) · 2^{exp2 - 1}. *)
+    let exponent = exp2 - 1 in
+    let field = exponent + bias ~e in
+    if field <= 0 then 0 (* flush to zero *)
+    else begin
+      let mant = int_of_float (Float.of_int (1 lsl (m + 1)) *. frac) - (1 lsl m) in
+      let mant = max 0 (min mant ((1 lsl m) - 1)) in
+      (sign lsl (e + m)) lor (field lsl m) lor mant
+    end
+  end
+
+let decode ~e ~m bits =
+  let sign = (bits lsr (e + m)) land 1 in
+  let field = (bits lsr m) land max_exp_field ~e in
+  let mant = bits land ((1 lsl m) - 1) in
+  if field = 0 then 0.0
+  else
+    let value =
+      (1.0 +. (float_of_int mant /. float_of_int (1 lsl m)))
+      *. (2.0 ** float_of_int (field - bias ~e))
+    in
+    if sign = 1 then -.value else value
+
+let ulp_at ~e ~m v =
+  let av = Float.abs v in
+  if av = 0.0 then 2.0 ** float_of_int (1 - bias ~e)
+  else
+    let _, exp2 = Float.frexp av in
+    2.0 ** float_of_int (exp2 - 1 - m)

@@ -1,0 +1,29 @@
+(** Plaintext encoding of the parametric Float(e, m) format.
+
+    Layout (LSB first on a bus): m mantissa bits, e exponent bits, 1 sign
+    bit — total e+m+1.  Biased exponent with bias 2^{e−1}−1, hidden leading
+    one, no subnormals (flush to zero), no NaN/infinity (saturate), truncation
+    rounding.  [Float (5, 11)] is an IEEE-half-like format; [Float (8, 8)]
+    matches the paper's bfloat16-style example.
+
+    These functions are the reference semantics: the circuit datapath in
+    {!Float_unit} is tested against them. *)
+
+val total_width : e:int -> m:int -> int
+(** e + m + 1. *)
+
+val bias : e:int -> int
+
+val encode : e:int -> m:int -> float -> int
+(** Nearest representable bit pattern (truncation; saturates on overflow,
+    flushes to zero on underflow). *)
+
+val decode : e:int -> m:int -> int -> float
+(** Real value of a bit pattern. *)
+
+val max_value : e:int -> m:int -> float
+(** Largest finite representable magnitude. *)
+
+val ulp_at : e:int -> m:int -> float -> float
+(** The spacing of representable values around [v] — the tolerance tests
+    use when comparing against real-arithmetic references. *)

@@ -1,0 +1,203 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+
+type fmt = { e : int; m : int }
+
+let width fmt = fmt.e + fmt.m + 1
+
+let const net fmt v = Bus.const net ~width:(width fmt) (Float_repr.encode ~e:fmt.e ~m:fmt.m v)
+
+let sign_bit fmt (x : Bus.t) = x.(fmt.e + fmt.m)
+let exp_field fmt x = Bus.slice x ~lo:fmt.m ~hi:(fmt.m + fmt.e - 1)
+let mant_field fmt x = Bus.slice x ~lo:0 ~hi:(fmt.m - 1)
+
+let is_zero net fmt x = Netlist.not_ net (Bus.reduce_or net (exp_field fmt x))
+
+let neg net fmt x =
+  Array.mapi (fun i w -> if i = fmt.e + fmt.m then Netlist.not_ net w else w) x
+
+(* Significand with the hidden bit: m mantissa bits plus ¬zero on top. *)
+let significand net fmt x =
+  let hidden = Bus.reduce_or net (exp_field fmt x) in
+  Array.append (mant_field fmt x) [| hidden |]
+
+(* Clamp a signed extended exponent and assemble the final value.
+   zero_flag forces the canonical zero encoding; underflow flushes to zero;
+   overflow saturates to the largest finite value. *)
+let finalize net fmt ~sign ~exp_s ~mant ~zero_flag =
+  let e = fmt.e in
+  let underflow = Arith.lt_s net exp_s (Bus.const net ~width:(Bus.width exp_s) 1) in
+  let overflow = Arith.ge_s net exp_s (Bus.const net ~width:(Bus.width exp_s) (1 lsl e)) in
+  let dead = Netlist.gate net Gate.Or zero_flag underflow in
+  let field = Bus.slice exp_s ~lo:0 ~hi:(e - 1) in
+  let ones_e = Bus.const net ~width:e ((1 lsl e) - 1) in
+  let zeros_e = Bus.const net ~width:e 0 in
+  let field = Bus.mux net overflow ones_e field in
+  let field = Bus.mux net dead zeros_e field in
+  let ones_m = Bus.const net ~width:fmt.m ((1 lsl fmt.m) - 1) in
+  let zeros_m = Bus.const net ~width:fmt.m 0 in
+  let mant = Bus.mux net overflow ones_m mant in
+  let mant = Bus.mux net dead zeros_m mant in
+  Array.append mant (Array.append field [| sign |])
+
+(* Variable logical right shift, saturating to zero once the amount reaches
+   the bus width. *)
+let shift_right_var net value amount =
+  let w = Bus.width value in
+  let result = ref value in
+  let too_big = ref (Netlist.const net false) in
+  Array.iteri
+    (fun i bit ->
+      if 1 lsl i >= w then too_big := Netlist.gate net Gate.Or !too_big bit
+      else result := Bus.mux net bit (Bus.shift_right_logical net !result (1 lsl i)) !result)
+    amount;
+  Bus.mux net !too_big (Bus.const net ~width:w 0) !result
+
+(* Left-normalize so the MSB carries the leading one (for nonzero input);
+   returns the normalized value and the shift amount. *)
+let normalize net value =
+  let w = Bus.width value in
+  let stages =
+    let rec powers k acc = if 1 lsl k >= w then acc else powers (k + 1) (k :: acc) in
+    powers 0 []  (* descending *)
+  in
+  let lz_width = List.length stages + 1 in
+  let lz = Array.make lz_width (Netlist.const net false) in
+  let value = ref value in
+  List.iter
+    (fun k ->
+      let s = 1 lsl k in
+      let top = Bus.slice !value ~lo:(w - s) ~hi:(w - 1) in
+      let cond = Netlist.not_ net (Bus.reduce_or net top) in
+      lz.(k) <- cond;
+      value := Bus.mux net cond (Bus.shift_left net !value s) !value)
+    stages;
+  (!value, lz)
+
+let guard = 2
+
+let add net fmt x y =
+  let e = fmt.e and m = fmt.m in
+  let sx = sign_bit fmt x and sy = sign_bit fmt y in
+  let ex = exp_field fmt x and ey = exp_field fmt y in
+  let fx = significand net fmt x and fy = significand net fmt y in
+  (* Order the operands by magnitude: the concatenated (mantissa, exponent)
+     field compares like the magnitude for normalized values. *)
+  let key_x = Bus.slice x ~lo:0 ~hi:(e + m - 1) in
+  let key_y = Bus.slice y ~lo:0 ~hi:(e + m - 1) in
+  let swap = Arith.lt_u net key_x key_y in
+  let e_large = Bus.mux net swap ey ex in
+  let e_small = Bus.mux net swap ex ey in
+  let f_large = Bus.mux net swap fy fx in
+  let f_small = Bus.mux net swap fx fy in
+  let s_large = Netlist.mux net swap sy sx in
+  let s_small = Netlist.mux net swap sx sy in
+  let ediff = Arith.sub net e_large e_small in
+  let wl = m + 1 + guard in
+  let widen f = Array.append (Array.make guard (Netlist.const net false)) f in
+  let fl = widen f_large in
+  let fs = shift_right_var net (widen f_small) ediff in
+  let fl1 = Bus.zero_extend net fl (wl + 1) in
+  let fs1 = Bus.zero_extend net fs (wl + 1) in
+  let different = Netlist.gate net Gate.Xor s_large s_small in
+  let mag = Bus.mux net different (Arith.sub net fl1 fs1) (Arith.add net fl1 fs1) in
+  let w2 = wl + 1 in
+  let norm, lz = normalize net mag in
+  (* Value = mag · 2^{e_large − bias − m − guard}; after normalization the
+     leading one sits at bit w2−1, so the exponent is e_large + 1 − lz. *)
+  let exp_w = e + 2 in
+  let exp_s =
+    Arith.sub net
+      (Arith.add net (Bus.zero_extend net e_large exp_w) (Bus.const net ~width:exp_w 1))
+      (Bus.resize_u net lz exp_w)
+  in
+  let mant = Bus.slice norm ~lo:(w2 - 1 - m) ~hi:(w2 - 2) in
+  let zero_flag = Netlist.not_ net (Bus.reduce_or net mag) in
+  finalize net fmt ~sign:s_large ~exp_s ~mant ~zero_flag
+
+let sub net fmt x y = add net fmt x (neg net fmt y)
+
+let mul net fmt x y =
+  let e = fmt.e and m = fmt.m in
+  let sx = sign_bit fmt x and sy = sign_bit fmt y in
+  let zx = is_zero net fmt x and zy = is_zero net fmt y in
+  let fx = significand net fmt x and fy = significand net fmt y in
+  let w2 = 2 * (m + 1) in
+  let product = Arith.mul_u net ~out_width:w2 fx fy in
+  let top = Bus.bit product (w2 - 1) in
+  let mant_hi = Bus.slice product ~lo:(w2 - 1 - m) ~hi:(w2 - 2) in
+  let mant_lo = Bus.slice product ~lo:(w2 - 2 - m) ~hi:(w2 - 3) in
+  let mant = Bus.mux net top mant_hi mant_lo in
+  let exp_w = e + 2 in
+  let bias = Float_repr.bias ~e in
+  let exp_sum = Arith.add net (Bus.zero_extend net (exp_field fmt x) exp_w)
+      (Bus.zero_extend net (exp_field fmt y) exp_w) in
+  let exp_sum = Arith.sub net exp_sum (Bus.const net ~width:exp_w bias) in
+  let top_bus = Bus.zero_extend net [| top |] exp_w in
+  let exp_s = Arith.add net exp_sum top_bus in
+  let zero_flag = Netlist.gate net Gate.Or zx zy in
+  let sign = Netlist.gate net Gate.Xor sx sy in
+  finalize net fmt ~sign ~exp_s ~mant ~zero_flag
+
+let mul_const net fmt x c = mul net fmt x (const net fmt c)
+
+let relu net fmt x =
+  let zero = const net fmt 0.0 in
+  Bus.mux net (sign_bit fmt x) zero x
+
+let lt net fmt x y =
+  let e = fmt.e and m = fmt.m in
+  let sx = sign_bit fmt x and sy = sign_bit fmt y in
+  let key_x = Bus.slice x ~lo:0 ~hi:(e + m - 1) in
+  let key_y = Bus.slice y ~lo:0 ~hi:(e + m - 1) in
+  let lt_mag = Arith.lt_u net key_x key_y in
+  let gt_mag = Arith.lt_u net key_y key_x in
+  let zx = is_zero net fmt x and zy = is_zero net fmt y in
+  let both_zero = Netlist.gate net Gate.And zx zy in
+  let signs_differ = Netlist.gate net Gate.Xor sx sy in
+  (* Signs differ: x < y iff x is the negative one (unless both zero).
+     Same sign: compare magnitudes, flipped when both negative. *)
+  let when_differ = Netlist.gate net Gate.Andyn sx both_zero in
+  let when_same = Netlist.mux net sx gt_mag lt_mag in
+  Netlist.mux net signs_differ when_differ when_same
+
+let max_f net fmt x y = Bus.mux net (lt net fmt x y) y x
+let min_f net fmt x y = Bus.mux net (lt net fmt x y) x y
+
+let recip net fmt x =
+  let e = fmt.e and m = fmt.m in
+  let bias = Float_repr.bias ~e in
+  (* Write x = s · m' · 2^{E+1} with m' ∈ [0.5, 1): the mantissa with its
+     exponent field forced to bias − 1. *)
+  let mant_half =
+    Array.concat
+      [ mant_field fmt x; Bus.const net ~width:e (bias - 1); [| Netlist.const net false |] ]
+  in
+  (* Newton-Raphson for 1/m': y <- y (2 - m' y), seeded with the classic
+     linear estimate 48/17 − 32/17·m' (max relative error 1/17 on
+     [0.5, 1]). *)
+  let y0 =
+    sub net fmt (const net fmt (48.0 /. 17.0)) (mul_const net fmt mant_half (32.0 /. 17.0))
+  in
+  let two = const net fmt 2.0 in
+  let iterate y = mul net fmt y (sub net fmt two (mul net fmt mant_half y)) in
+  let y = iterate (iterate (iterate y0)) in
+  (* Scale by 2^{−E−1}: a power of two whose exponent field is
+     2·bias − 1 − field(x).  finalize clamps the out-of-range cases (x = 0
+     -> overflow saturation, huge x -> flush to zero). *)
+  let exp_w = e + 2 in
+  let scale_exp =
+    Arith.sub net
+      (Bus.const net ~width:exp_w ((2 * bias) - 1))
+      (Bus.zero_extend net (exp_field fmt x) exp_w)
+  in
+  let zero_flag = is_zero net fmt x in
+  let scale =
+    finalize net fmt ~sign:(Netlist.const net false) ~exp_s:scale_exp
+      ~mant:(Bus.const net ~width:m 0) ~zero_flag
+  in
+  let magnitude = mul net fmt y scale in
+  (* reapply the sign of x *)
+  Array.mapi (fun i w -> if i = e + m then sign_bit fmt x else w) magnitude
+
+let div net fmt x y = mul net fmt x (recip net fmt y)

@@ -1,0 +1,45 @@
+(** Combinational datapaths for the parametric Float(e, m) format.
+
+    Semantics follow {!Float_repr}: hidden leading one, flush-to-zero,
+    saturation instead of infinity, truncation rounding.  These are the
+    pre-built modules behind ChiselTorch's [Float (e, m)] data type. *)
+
+type fmt = { e : int; m : int }
+
+val width : fmt -> int
+(** Bus width of a value in this format. *)
+
+val const : Pytfhe_circuit.Netlist.t -> fmt -> float -> Bus.t
+(** Encode a public constant. *)
+
+val neg : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t
+(** Sign flip; one gate. *)
+
+val add : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+val sub : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+val mul : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+
+val mul_const : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> float -> Bus.t
+(** Multiply by a public constant: the exponent addition folds away and the
+    mantissa product becomes a constant multiplier. *)
+
+val relu : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t
+(** max(x, 0): zero out negative inputs. *)
+
+val is_zero : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Pytfhe_circuit.Netlist.id
+
+val lt : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Pytfhe_circuit.Netlist.id
+(** Signed-magnitude comparison; −0 and +0 compare equal. *)
+
+val max_f : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+val min_f : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+
+val recip : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t
+(** Approximate reciprocal by Newton-Raphson iteration on the mantissa
+    (three iterations from a linear seed; relative error well below 1e-4,
+    i.e. a few ulp for mantissas up to ~11 bits).  Division by zero and
+    reciprocals overflowing the exponent range saturate/flush per the
+    format's semantics. *)
+
+val div : Pytfhe_circuit.Netlist.t -> fmt -> Bus.t -> Bus.t -> Bus.t
+(** x / y as x · recip y. *)

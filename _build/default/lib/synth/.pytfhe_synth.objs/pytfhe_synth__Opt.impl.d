@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Array Format List Pytfhe_circuit Pytfhe_util

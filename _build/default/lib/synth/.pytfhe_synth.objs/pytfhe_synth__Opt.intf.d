@@ -1,0 +1,1 @@
+lib/synth/opt.mli: Format Pytfhe_circuit

@@ -1,0 +1,1 @@
+lib/synth/verilog.ml: Buffer Hashtbl List Printf Pytfhe_circuit String

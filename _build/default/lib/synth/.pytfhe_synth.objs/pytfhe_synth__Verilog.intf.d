@@ -1,0 +1,1 @@
+lib/synth/verilog.mli: Pytfhe_circuit

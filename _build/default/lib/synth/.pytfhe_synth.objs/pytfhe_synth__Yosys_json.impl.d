@@ -1,0 +1,1 @@
+lib/synth/yosys_json.ml: Float Hashtbl List Option Printf Pytfhe_circuit Pytfhe_util

@@ -1,0 +1,1 @@
+lib/synth/yosys_json.mli: Pytfhe_circuit

@@ -1,0 +1,135 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+
+type report = {
+  gates_before : int;
+  gates_after : int;
+  bootstraps_before : int;
+  bootstraps_after : int;
+}
+
+(* g' such that g' (x, b) = g (¬x, b); the 11-gate library is closed under
+   input negation, which is what makes inverter absorption free. *)
+let negate_left = function
+  | Gate.And -> Gate.Andny
+  | Gate.Or -> Gate.Orny
+  | Gate.Xor -> Gate.Xnor
+  | Gate.Xnor -> Gate.Xor
+  | Gate.Nand -> Gate.Oryn
+  | Gate.Nor -> Gate.Andyn
+  | Gate.Andny -> Gate.And
+  | Gate.Andyn -> Gate.Nor
+  | Gate.Orny -> Gate.Or
+  | Gate.Oryn -> Gate.Nand
+  | Gate.Not -> Gate.Not
+
+let negate_right = function
+  | Gate.And -> Gate.Andyn
+  | Gate.Or -> Gate.Oryn
+  | Gate.Xor -> Gate.Xnor
+  | Gate.Xnor -> Gate.Xor
+  | Gate.Nand -> Gate.Orny
+  | Gate.Nor -> Gate.Andny
+  | Gate.Andny -> Gate.Nor
+  | Gate.Andyn -> Gate.And
+  | Gate.Orny -> Gate.Nand
+  | Gate.Oryn -> Gate.Or
+  | Gate.Not -> Gate.Not
+
+let rebuild ?(hash_consing = true) ?(fold_constants = true) ?(absorb_not = true) ?(dce = true) net =
+  let n = Netlist.node_count net in
+  (* Backward reachability from the outputs for dead-gate elimination. *)
+  let live = Array.make n (not dce) in
+  if dce then begin
+    List.iter (fun (_, id) -> live.(id) <- true) (Netlist.outputs net);
+    for id = n - 1 downto 0 do
+      if live.(id) then
+        match Netlist.kind net id with
+        | Netlist.Gate (_, a, b) ->
+          live.(a) <- true;
+          live.(b) <- true
+        | Netlist.Input _ | Netlist.Const _ -> ()
+    done
+  end;
+  let fresh = Netlist.create ~hash_consing ~fold_constants () in
+  let map = Array.make n (-1) in
+  let input_names = Array.make n "" in
+  List.iter (fun (name, id) -> input_names.(id) <- name) (Netlist.inputs net);
+  let not_input id =
+    (* If the (new) node is a NOT gate, return what it negates. *)
+    match Netlist.kind fresh id with
+    | Netlist.Gate (Gate.Not, x, _) -> Some x
+    | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> None
+  in
+  let emit g a b =
+    if not absorb_not then Netlist.gate fresh g a b
+    else begin
+      let g, a =
+        match not_input a with
+        | Some x when not (Gate.is_unary g) -> (negate_left g, x)
+        | Some _ | None -> (g, a)
+      in
+      let g, b =
+        match not_input b with
+        | Some x when not (Gate.is_unary g) -> (negate_right g, x)
+        | Some _ | None -> (g, b)
+      in
+      Netlist.gate fresh g a b
+    end
+  in
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Input _ ->
+      (* Inputs are always preserved to keep the interface stable. *)
+      map.(id) <- Netlist.input fresh input_names.(id)
+    | Netlist.Const v -> if live.(id) then map.(id) <- Netlist.const fresh v
+    | Netlist.Gate (g, a, b) -> if live.(id) then map.(id) <- emit g map.(a) map.(b)
+  done;
+  List.iter (fun (name, id) -> Netlist.mark_output fresh name map.(id)) (Netlist.outputs net);
+  fresh
+
+let optimize net =
+  (* Two sweeps: inverter absorption in the first pass can orphan the NOT
+     gates it folded away; the second pass removes them. *)
+  let optimized = rebuild (rebuild net) in
+  ( optimized,
+    {
+      gates_before = Netlist.gate_count net;
+      gates_after = Netlist.gate_count optimized;
+      bootstraps_before = Netlist.bootstrap_count net;
+      bootstraps_after = Netlist.bootstrap_count optimized;
+    } )
+
+let pp_report fmt r =
+  let pct before after =
+    if before = 0 then 0.0 else 100.0 *. float_of_int (before - after) /. float_of_int before
+  in
+  Format.fprintf fmt "gates %d -> %d (-%.1f%%), bootstraps %d -> %d (-%.1f%%)" r.gates_before
+    r.gates_after
+    (pct r.gates_before r.gates_after)
+    r.bootstraps_before r.bootstraps_after
+    (pct r.bootstraps_before r.bootstraps_after)
+
+let equivalent ?(trials = 256) ?(seed = 0x51AC) a b =
+  let n = Netlist.input_count a in
+  if Netlist.input_count b <> n then false
+  else if List.length (Netlist.outputs a) <> List.length (Netlist.outputs b) then false
+  else begin
+    let agree ins =
+      List.map snd (Netlist.eval_outputs a ins) = List.map snd (Netlist.eval_outputs b ins)
+    in
+    if n <= 16 then
+      let all = ref true in
+      for v = 0 to (1 lsl n) - 1 do
+        if !all then all := agree (Array.init n (fun i -> (v lsr i) land 1 = 1))
+      done;
+      !all
+    else begin
+      let rng = Pytfhe_util.Rng.create ~seed () in
+      let all = ref true in
+      for _ = 1 to trials do
+        if !all then all := agree (Array.init n (fun _ -> Pytfhe_util.Rng.bool rng))
+      done;
+      !all
+    end
+  end

@@ -1,0 +1,43 @@
+(** Boolean optimization passes over netlists — the role Yosys plays in the
+    paper's flow (step 2): reduce the gate count of the combinational design
+    before assembly, since TFHE execution time is proportional to the number
+    of bootstrapped gates.
+
+    Passes:
+    - {b constant folding} — gates with constant or duplicate fan-ins
+      collapse to constants, wires, or negations;
+    - {b structural hashing (CSE)} — identical gates (up to commutative and
+      NY/YN-mirror canonicalisation) are shared;
+    - {b inverter absorption} — a NOT feeding a binary gate is folded into
+      the gate using the ANDNY/ANDYN/ORNY/ORYN family, e.g.
+      AND(¬a, b) → ANDNY(a, b);
+    - {b dead-gate elimination} — gates not reachable from any output are
+      dropped.
+
+    All passes preserve the input/output interface and the boolean function
+    computed at every output. *)
+
+type report = {
+  gates_before : int;
+  gates_after : int;
+  bootstraps_before : int;
+  bootstraps_after : int;
+}
+
+val rebuild :
+  ?hash_consing:bool -> ?fold_constants:bool -> ?absorb_not:bool -> ?dce:bool ->
+  Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.t
+(** Re-emit a netlist through an optimizing builder; each optimization can
+    be toggled independently (for the ablation benches). *)
+
+val optimize : Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.t * report
+(** Run all passes and report the gate-count change. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val equivalent :
+  ?trials:int -> ?seed:int -> Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.t -> bool
+(** Functional equivalence check.  Circuits with at most 16 inputs are
+    compared exhaustively; larger ones by [trials] random input vectors
+    (sound rejections, probabilistic acceptance).  Interfaces must match
+    (same input and output counts). *)

@@ -1,0 +1,312 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | '[' | '.' -> Buffer.add_char b '_'
+      | ']' -> ()
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" || match s.[0] with '0' .. '9' -> true | _ -> false then "w_" ^ s else s
+
+let expr_of_gate g a b =
+  match g with
+  | Gate.And -> Printf.sprintf "%s & %s" a b
+  | Gate.Or -> Printf.sprintf "%s | %s" a b
+  | Gate.Xor -> Printf.sprintf "%s ^ %s" a b
+  | Gate.Nand -> Printf.sprintf "~(%s & %s)" a b
+  | Gate.Nor -> Printf.sprintf "~(%s | %s)" a b
+  | Gate.Xnor -> Printf.sprintf "~(%s ^ %s)" a b
+  | Gate.Not -> Printf.sprintf "~%s" a
+  | Gate.Andny -> Printf.sprintf "~%s & %s" a b
+  | Gate.Andyn -> Printf.sprintf "%s & ~%s" a b
+  | Gate.Orny -> Printf.sprintf "~%s | %s" a b
+  | Gate.Oryn -> Printf.sprintf "%s | ~%s" a b
+
+let export ?(module_name = "pytfhe_top") net =
+  let buf = Buffer.create 4096 in
+  let names = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let assign_name id base =
+    let candidate = sanitize base in
+    let final =
+      if Hashtbl.mem used candidate then Printf.sprintf "%s_%d" candidate id else candidate
+    in
+    Hashtbl.replace used final ();
+    Hashtbl.replace names id final;
+    final
+  in
+  let inputs = List.map (fun (name, id) -> (assign_name id name, id)) (Netlist.inputs net) in
+  (* Outputs get their own ports driven by assigns from whatever node they
+     alias, so output naming never clashes with internal wires. *)
+  let outputs =
+    List.map
+      (fun (name, id) ->
+        let port = sanitize ("out_" ^ name) in
+        let port = if Hashtbl.mem used port then Printf.sprintf "%s_o%d" port id else port in
+        Hashtbl.replace used port ();
+        (port, id))
+      (Netlist.outputs net)
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n" module_name);
+  List.iter (fun (n, _) -> Buffer.add_string buf (Printf.sprintf "  input wire %s,\n" n)) inputs;
+  let rec ports = function
+    | [] -> ()
+    | [ (n, _) ] -> Buffer.add_string buf (Printf.sprintf "  output wire %s\n" n)
+    | (n, _) :: rest ->
+      Buffer.add_string buf (Printf.sprintf "  output wire %s,\n" n);
+      ports rest
+  in
+  ports outputs;
+  Buffer.add_string buf ");\n";
+  let node_ref id =
+    match Hashtbl.find_opt names id with
+    | Some n -> n
+    | None -> (
+      match Netlist.kind net id with
+      | Netlist.Const false -> "1'b0"
+      | Netlist.Const true -> "1'b1"
+      | Netlist.Input _ | Netlist.Gate _ -> Printf.sprintf "n%d" id)
+  in
+  Netlist.iter_gates net (fun id _ _ _ ->
+      Buffer.add_string buf (Printf.sprintf "  wire n%d;\n" id));
+  Netlist.iter_gates net (fun id g a b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign n%d = %s;\n" id (expr_of_gate g (node_ref a) (node_ref b))));
+  List.iter
+    (fun (port, id) -> Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" port (node_ref id)))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parse (structural subset)                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of { line : int; message : string }
+
+type token =
+  | Ident of string
+  | Const_bit of bool
+  | Kw_module | Kw_endmodule | Kw_input | Kw_output | Kw_wire | Kw_assign
+  | Lparen | Rparen | Comma | Semi | Equal | Amp | Bar | Caret | Tilde
+
+let tokenize source =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length source in
+  let fail message = raise (Parse_error { line = !line; message }) in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !i < n do
+    let c = source.[!i] in
+    (match c with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '/' when !i + 1 < n && source.[!i + 1] = '/' ->
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    | '(' -> push Lparen; incr i
+    | ')' -> push Rparen; incr i
+    | ',' -> push Comma; incr i
+    | ';' -> push Semi; incr i
+    | '=' -> push Equal; incr i
+    | '&' -> push Amp; incr i
+    | '|' -> push Bar; incr i
+    | '^' -> push Caret; incr i
+    | '~' -> push Tilde; incr i
+    | '1' when !i + 3 < n && String.sub source !i 4 = "1'b0" ->
+      push (Const_bit false);
+      i := !i + 4
+    | '1' when !i + 3 < n && String.sub source !i 4 = "1'b1" ->
+      push (Const_bit true);
+      i := !i + 4
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let start = !i in
+      while
+        !i < n
+        && match source.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false
+      do
+        incr i
+      done;
+      let word = String.sub source start (!i - start) in
+      push
+        (match word with
+        | "module" -> Kw_module
+        | "endmodule" -> Kw_endmodule
+        | "input" -> Kw_input
+        | "output" -> Kw_output
+        | "wire" -> Kw_wire
+        | "assign" -> Kw_assign
+        | _ -> Ident word)
+    | _ -> fail (Printf.sprintf "unexpected character %C" c));
+    ()
+  done;
+  List.rev !tokens
+
+type parser_state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+let line_of st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+
+let fail st message = raise (Parse_error { line = line_of st; message })
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  match st.toks with
+  | (tok, _) :: rest when tok = t -> st.toks <- rest
+  | _ -> fail st ("expected " ^ what)
+
+let expect_ident st what =
+  match st.toks with
+  | (Ident name, _) :: rest ->
+    st.toks <- rest;
+    name
+  | _ -> fail st ("expected identifier: " ^ what)
+
+(* expression grammar (weakest first): or_expr := xor_expr (('|') xor_expr)*
+   xor_expr := and_expr ('^' and_expr)* ; and_expr := unary ('&' unary)* ;
+   unary := '~' unary | '(' or_expr ')' | ident | const *)
+let parse_expr st net env =
+  let lookup name =
+    match Hashtbl.find_opt env name with
+    | Some id -> id
+    | None -> fail st (Printf.sprintf "use of undeclared wire %s" name)
+  in
+  let rec or_expr () =
+    let acc = ref (xor_expr ()) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some Bar ->
+        advance st;
+        acc := Netlist.gate net Gate.Or !acc (xor_expr ())
+      | _ -> continue := false
+    done;
+    !acc
+  and xor_expr () =
+    let acc = ref (and_expr ()) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some Caret ->
+        advance st;
+        acc := Netlist.gate net Gate.Xor !acc (and_expr ())
+      | _ -> continue := false
+    done;
+    !acc
+  and and_expr () =
+    let acc = ref (unary ()) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some Amp ->
+        advance st;
+        acc := Netlist.gate net Gate.And !acc (unary ())
+      | _ -> continue := false
+    done;
+    !acc
+  and unary () =
+    match peek st with
+    | Some Tilde ->
+      advance st;
+      Netlist.not_ net (unary ())
+    | Some Lparen ->
+      advance st;
+      let e = or_expr () in
+      expect st Rparen ")";
+      e
+    | Some (Ident name) ->
+      advance st;
+      lookup name
+    | Some (Const_bit b) ->
+      advance st;
+      Netlist.const net b
+    | _ -> fail st "expected an expression"
+  in
+  or_expr ()
+
+let parse source =
+  let st = { toks = tokenize source } in
+  let net = Netlist.create () in
+  let env : (string, Netlist.id) Hashtbl.t = Hashtbl.create 64 in
+  let output_ports = ref [] in
+  expect st Kw_module "module";
+  let _module_name = expect_ident st "module name" in
+  expect st Lparen "(";
+  let parse_port () =
+    match peek st with
+    | Some Kw_input ->
+      advance st;
+      (match peek st with Some Kw_wire -> advance st | _ -> ());
+      let name = expect_ident st "input port name" in
+      Hashtbl.replace env name (Netlist.input net name)
+    | Some Kw_output ->
+      advance st;
+      (match peek st with Some Kw_wire -> advance st | _ -> ());
+      let name = expect_ident st "output port name" in
+      output_ports := name :: !output_ports
+    | _ -> fail st "expected input or output port declaration"
+  in
+  parse_port ();
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some Comma ->
+      advance st;
+      parse_port ()
+    | _ -> continue := false
+  done;
+  expect st Rparen ")";
+  expect st Semi ";";
+  let body_done = ref false in
+  while not !body_done do
+    match peek st with
+    | Some Kw_wire ->
+      advance st;
+      (* wire declarations only reserve names; drivers come from assigns *)
+      let _name = expect_ident st "wire name" in
+      let more = ref true in
+      while !more do
+        match peek st with
+        | Some Comma ->
+          advance st;
+          ignore (expect_ident st "wire name")
+        | _ -> more := false
+      done;
+      expect st Semi ";"
+    | Some Kw_assign ->
+      advance st;
+      let lhs = expect_ident st "assign target" in
+      expect st Equal "=";
+      let id = parse_expr st net env in
+      expect st Semi ";";
+      if Hashtbl.mem env lhs && not (List.mem lhs !output_ports) then
+        fail st (Printf.sprintf "wire %s assigned twice" lhs)
+      else Hashtbl.replace env lhs id
+    | Some Kw_endmodule ->
+      advance st;
+      body_done := true
+    | Some _ -> fail st "expected wire, assign or endmodule"
+    | None -> fail st "unexpected end of file"
+  done;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt env name with
+      | Some id -> Netlist.mark_output net name id
+      | None -> raise (Parse_error { line = 0; message = "output port " ^ name ^ " is never driven" }))
+    (List.rev !output_ports);
+  net

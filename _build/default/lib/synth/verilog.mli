@@ -1,0 +1,21 @@
+(** Structural Verilog interchange.
+
+    In the paper's flow the frontend emits Verilog and Yosys returns a gate
+    netlist (Fig. 2, steps 1–2).  This module closes the same loop for this
+    repository: [export] renders a netlist as a single combinational module
+    of [assign] statements, and [parse] reads that structural subset back
+    (one-bit wires; expressions over [~ & | ^] and the constants
+    [1'b0]/[1'b1]) — enough to import designs written by hand or by other
+    tools in the same style. *)
+
+val export : ?module_name:string -> Pytfhe_circuit.Netlist.t -> string
+(** Render a netlist as a synthesizable combinational Verilog module.
+    Port names are sanitized identifiers derived from the netlist's
+    input/output names; internal wires are [n<id>]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Pytfhe_circuit.Netlist.t
+(** Parse the structural subset back into a netlist (construction-time
+    optimizations enabled: parsing acts as a synthesis step).  Raises
+    {!Parse_error} on anything outside the subset. *)

@@ -1,0 +1,212 @@
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+module Json = Pytfhe_util.Json
+
+exception Import_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Import_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bit_of_node net id =
+  match Netlist.kind net id with
+  | Netlist.Const false -> Json.String "0"
+  | Netlist.Const true -> Json.String "1"
+  | Netlist.Input _ | Netlist.Gate _ -> Json.Number (float_of_int (id + 2))
+
+let cell_of_gate g =
+  (* (yosys type, input port bindings given fan-ins a b) *)
+  match g with
+  | Gate.And -> ("$_AND_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Or -> ("$_OR_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Xor -> ("$_XOR_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Nand -> ("$_NAND_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Nor -> ("$_NOR_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Xnor -> ("$_XNOR_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Not -> ("$_NOT_", fun a _ -> [ ("A", a) ])
+  | Gate.Andyn -> ("$_ANDNOT_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Andny -> ("$_ANDNOT_", fun a b -> [ ("A", b); ("B", a) ])
+  | Gate.Oryn -> ("$_ORNOT_", fun a b -> [ ("A", a); ("B", b) ])
+  | Gate.Orny -> ("$_ORNOT_", fun a b -> [ ("A", b); ("B", a) ])
+
+let export ?(module_name = "pytfhe_top") net =
+  let ports =
+    List.map
+      (fun (name, id) ->
+        ( name,
+          Json.Obj
+            [ ("direction", Json.String "input"); ("bits", Json.List [ bit_of_node net id ]) ] ))
+      (Netlist.inputs net)
+    @ List.map
+        (fun (name, id) ->
+          ( name,
+            Json.Obj
+              [ ("direction", Json.String "output"); ("bits", Json.List [ bit_of_node net id ]) ]
+          ))
+        (Netlist.outputs net)
+  in
+  let cells = ref [] in
+  Netlist.iter_gates net (fun id g a b ->
+      let cell_type, bind = cell_of_gate g in
+      let inputs = bind (bit_of_node net a) (bit_of_node net b) in
+      let connections = inputs @ [ ("Y", Json.Number (float_of_int (id + 2))) ] in
+      let directions =
+        List.map (fun (port, _) -> (port, Json.String (if port = "Y" then "output" else "input")))
+          connections
+      in
+      cells :=
+        ( Printf.sprintf "g%d" id,
+          Json.Obj
+            [
+              ("hide_name", Json.Number 1.0);
+              ("type", Json.String cell_type);
+              ("port_directions", Json.Obj directions);
+              ("connections", Json.Obj (List.map (fun (p, b) -> (p, Json.List [ b ])) connections));
+            ] )
+        :: !cells);
+  let doc =
+    Json.Obj
+      [
+        ("creator", Json.String "pytfhe");
+        ( "modules",
+          Json.Obj
+            [
+              ( module_name,
+                Json.Obj [ ("ports", Json.Obj ports); ("cells", Json.Obj (List.rev !cells)) ] );
+            ] );
+      ]
+  in
+  Json.to_string ~indent:true doc
+
+(* ------------------------------------------------------------------ *)
+(* Import                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type bit = Net of int | Const_bit of bool
+
+let bit_of_json = function
+  | Json.Number f when Float.is_integer f -> Net (int_of_float f)
+  | Json.String "0" -> Const_bit false
+  | Json.String "1" -> Const_bit true
+  | Json.String s -> fail "unsupported constant bit %S" s
+  | _ -> fail "malformed bit"
+
+let obj_members label = function
+  | Json.Obj members -> members
+  | _ -> fail "expected an object for %s" label
+
+let get label json key =
+  match Json.member key json with Some v -> v | None -> fail "missing %s.%s" label key
+
+let import source =
+  let doc = Json.parse source in
+  let modules = obj_members "modules" (get "document" doc "modules") in
+  let module_name, module_json =
+    match modules with
+    | [ m ] -> m
+    | [] -> fail "no modules in document"
+    | _ -> fail "expected exactly one module"
+  in
+  ignore module_name;
+  let ports = obj_members "ports" (get "module" module_json "ports") in
+  let cells =
+    match Json.member "cells" module_json with
+    | Some c -> obj_members "cells" c
+    | None -> []
+  in
+  let net = Netlist.create () in
+  (* Index the nets: inputs map directly; cells map via their output port. *)
+  let resolved : (int, Netlist.id) Hashtbl.t = Hashtbl.create 256 in
+  let driver : (int, string * Json.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (cell_name, cell) ->
+      let connections = obj_members "connections" (get "cell" cell "connections") in
+      match List.assoc_opt "Y" connections with
+      | Some (Json.List [ y ]) -> (
+        match bit_of_json y with
+        | Net n ->
+          if Hashtbl.mem driver n then fail "net %d has multiple drivers" n;
+          Hashtbl.replace driver n (cell_name, cell)
+        | Const_bit _ -> fail "cell %s drives a constant bit" cell_name)
+      | Some _ -> fail "cell %s must drive exactly one Y bit" cell_name
+      | None -> fail "cell %s has no Y output" cell_name)
+    cells;
+  (* Input ports first (declaration order defines the input order). *)
+  List.iter
+    (fun (port_name, port) ->
+      match Json.to_str (get "port" port "direction") with
+      | Some "input" ->
+        let bits = Option.value ~default:[] (Json.to_list (get "port" port "bits")) in
+        let many = List.length bits > 1 in
+        List.iteri
+          (fun i b ->
+            match bit_of_json b with
+            | Net n ->
+              let name = if many then Printf.sprintf "%s[%d]" port_name i else port_name in
+              if Hashtbl.mem resolved n then fail "net %d driven by two ports" n;
+              Hashtbl.replace resolved n (Netlist.input net name)
+            | Const_bit _ -> fail "input port %s lists a constant bit" port_name)
+          bits
+      | Some "output" -> ()
+      | Some d -> fail "unsupported port direction %S" d
+      | None -> fail "port %s has no direction" port_name)
+    ports;
+  let in_progress = Hashtbl.create 64 in
+  let rec resolve b =
+    match b with
+    | Const_bit v -> Netlist.const net v
+    | Net n -> (
+      match Hashtbl.find_opt resolved n with
+      | Some id -> id
+      | None -> (
+        if Hashtbl.mem in_progress n then fail "combinational cycle through net %d" n;
+        Hashtbl.replace in_progress n ();
+        match Hashtbl.find_opt driver n with
+        | None -> fail "net %d has no driver" n
+        | Some (cell_name, cell) ->
+          let id = build_cell cell_name cell in
+          Hashtbl.remove in_progress n;
+          Hashtbl.replace resolved n id;
+          id))
+  and cell_input cell cell_name port =
+    let connections = obj_members "connections" (get "cell" cell "connections") in
+    match List.assoc_opt port connections with
+    | Some (Json.List [ b ]) -> resolve (bit_of_json b)
+    | Some _ | None -> fail "cell %s: missing 1-bit port %s" cell_name port
+  and build_cell cell_name cell =
+    let cell_type = Option.value ~default:"?" (Json.to_str (get "cell" cell "type")) in
+    let a () = cell_input cell cell_name "A" in
+    let b () = cell_input cell cell_name "B" in
+    match cell_type with
+    | "$_NOT_" -> Netlist.not_ net (a ())
+    | "$_BUF_" -> a ()
+    | "$_AND_" -> Netlist.gate net Gate.And (a ()) (b ())
+    | "$_OR_" -> Netlist.gate net Gate.Or (a ()) (b ())
+    | "$_XOR_" -> Netlist.gate net Gate.Xor (a ()) (b ())
+    | "$_NAND_" -> Netlist.gate net Gate.Nand (a ()) (b ())
+    | "$_NOR_" -> Netlist.gate net Gate.Nor (a ()) (b ())
+    | "$_XNOR_" -> Netlist.gate net Gate.Xnor (a ()) (b ())
+    | "$_ANDNOT_" -> Netlist.gate net Gate.Andyn (a ()) (b ())
+    | "$_ORNOT_" -> Netlist.gate net Gate.Oryn (a ()) (b ())
+    | "$_MUX_" ->
+      (* Yosys $_MUX_: Y = S ? B : A. *)
+      let s = cell_input cell cell_name "S" in
+      Netlist.mux net s (b ()) (a ())
+    | t -> fail "unsupported cell type %S (run `abc -g simple` first)" t
+  in
+  List.iter
+    (fun (port_name, port) ->
+      match Json.to_str (get "port" port "direction") with
+      | Some "output" ->
+        let bits = Option.value ~default:[] (Json.to_list (get "port" port "bits")) in
+        let many = List.length bits > 1 in
+        List.iteri
+          (fun i b ->
+            let name = if many then Printf.sprintf "%s[%d]" port_name i else port_name in
+            Netlist.mark_output net name (resolve (bit_of_json b)))
+          bits
+      | Some _ | None -> ())
+    ports;
+  net

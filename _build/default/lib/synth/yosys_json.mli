@@ -1,0 +1,23 @@
+(** Yosys JSON netlist interchange.
+
+    The paper's flow hands the frontend's Verilog to Yosys and consumes a
+    gate netlist (Fig. 2, step 2); Yosys's native machine-readable format is
+    `write_json`/`read_json`.  [export] renders a netlist in that format
+    over the simple-gate cell library ($_AND_, $_XOR_, $_ANDNOT_, …), and
+    [import] reads the same subset back — so designs synthesized by a real
+    Yosys with `abc -g simple` can be executed on this framework's backends,
+    and vice versa. *)
+
+val export : ?module_name:string -> Pytfhe_circuit.Netlist.t -> string
+(** Serialize as a Yosys JSON document with one module.  Net numbering
+    starts at 2 (Yosys convention); constants appear as the string bits
+    ["0"]/["1"]. *)
+
+exception Import_error of string
+
+val import : string -> Pytfhe_circuit.Netlist.t
+(** Parse a Yosys JSON document containing exactly one module over the
+    simple-gate cell library ($_NOT_, $_AND_, $_NAND_, $_OR_, $_NOR_,
+    $_XOR_, $_XNOR_, $_ANDNOT_, $_ORNOT_, $_MUX_, $_BUF_).  Multi-bit ports
+    are supported; cells may appear in any order.  Raises {!Import_error}
+    (or [Pytfhe_util.Json.Parse_error]) on anything outside the subset. *)

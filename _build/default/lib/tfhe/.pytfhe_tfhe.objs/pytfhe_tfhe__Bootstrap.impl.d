@@ -1,0 +1,1 @@
+lib/tfhe/bootstrap.ml: Array Lwe Params Poly Pytfhe_util Tgsw Tlwe Torus

@@ -1,0 +1,1 @@
+lib/tfhe/bootstrap.mli: Lwe Params Poly Pytfhe_util Tlwe Torus

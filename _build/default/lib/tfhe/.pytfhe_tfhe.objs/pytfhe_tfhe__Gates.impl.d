@@ -1,0 +1,1 @@
+lib/tfhe/gates.ml: Array Bootstrap Keyswitch Lwe Params Pytfhe_util Tlwe Torus

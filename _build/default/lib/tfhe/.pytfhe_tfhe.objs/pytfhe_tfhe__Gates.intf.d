@@ -1,0 +1,1 @@
+lib/tfhe/gates.mli: Bootstrap Keyswitch Lwe Params Pytfhe_util Tlwe

@@ -1,0 +1,1 @@
+lib/tfhe/keyswitch.ml: Array Lwe Params Pytfhe_util Torus

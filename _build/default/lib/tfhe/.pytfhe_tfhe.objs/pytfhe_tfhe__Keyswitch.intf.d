@@ -1,0 +1,1 @@
+lib/tfhe/keyswitch.mli: Lwe Params Pytfhe_util

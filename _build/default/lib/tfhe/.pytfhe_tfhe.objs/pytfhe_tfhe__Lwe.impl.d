@@ -1,0 +1,1 @@
+lib/tfhe/lwe.ml: Array Pytfhe_util Torus

@@ -1,0 +1,1 @@
+lib/tfhe/lwe.mli: Pytfhe_util Torus

@@ -1,0 +1,1 @@
+lib/tfhe/noise.ml: Float Params

@@ -1,0 +1,1 @@
+lib/tfhe/noise.mli: Params

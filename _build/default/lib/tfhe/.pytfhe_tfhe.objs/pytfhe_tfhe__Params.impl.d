@@ -1,0 +1,1 @@
+lib/tfhe/params.ml: Format Pytfhe_util Torus

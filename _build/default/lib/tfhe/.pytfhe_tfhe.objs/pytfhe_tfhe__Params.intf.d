@@ -1,0 +1,1 @@
+lib/tfhe/params.mli: Format Pytfhe_util Torus

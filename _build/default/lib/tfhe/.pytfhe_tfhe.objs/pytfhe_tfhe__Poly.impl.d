@@ -1,0 +1,1 @@
+lib/tfhe/poly.ml: Array Float Int64 Pytfhe_fft Torus

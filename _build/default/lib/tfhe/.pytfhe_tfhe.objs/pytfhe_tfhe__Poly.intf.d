@@ -1,0 +1,1 @@
+lib/tfhe/poly.mli:

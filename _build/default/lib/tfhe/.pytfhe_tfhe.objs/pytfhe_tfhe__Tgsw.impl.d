@@ -1,0 +1,1 @@
+lib/tfhe/tgsw.ml: Array Params Poly Pytfhe_fft Pytfhe_util Tlwe Torus

@@ -1,0 +1,1 @@
+lib/tfhe/tgsw.mli: Params Poly Pytfhe_util Tlwe

@@ -1,0 +1,1 @@
+lib/tfhe/tlwe.ml: Array Lwe Params Poly Pytfhe_util Torus

@@ -1,0 +1,1 @@
+lib/tfhe/tlwe.mli: Lwe Params Poly Pytfhe_util

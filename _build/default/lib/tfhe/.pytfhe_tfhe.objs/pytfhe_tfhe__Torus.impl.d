@@ -1,0 +1,1 @@
+lib/tfhe/torus.ml: Float Int64 Pytfhe_util

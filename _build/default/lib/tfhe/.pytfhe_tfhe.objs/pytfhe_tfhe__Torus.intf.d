@@ -1,0 +1,1 @@
+lib/tfhe/torus.mli: Pytfhe_util

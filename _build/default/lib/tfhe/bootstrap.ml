@@ -1,0 +1,50 @@
+type key = { bsk : Tgsw.fft_sample array; workspace : Tgsw.workspace }
+
+let key_gen rng (p : Params.t) ~lwe_key ~tlwe_key =
+  let encrypt_bit b = Tgsw.to_fft p (Tgsw.encrypt_int rng p tlwe_key b) in
+  let bsk = Array.map encrypt_bit lwe_key.Lwe.bits in
+  { bsk; workspace = Tgsw.workspace_create p }
+
+let blind_rotate (p : Params.t) key ~testvect (s : Lwe.sample) =
+  let n2 = 2 * p.tlwe.ring_n in
+  let barb = Torus.mod_switch_from s.b ~msize:n2 in
+  let start = Poly.mul_by_xai ((n2 - barb) mod n2) testvect in
+  let acc = ref (Tlwe.trivial p start) in
+  for i = 0 to Array.length s.a - 1 do
+    let barai = Torus.mod_switch_from s.a.(i) ~msize:n2 in
+    if barai <> 0 then
+      acc := Tgsw.cmux p key.workspace key.bsk.(i) (Tlwe.mul_by_xai barai !acc) !acc
+  done;
+  !acc
+
+let bootstrap_wo_keyswitch p key ~mu s =
+  let testvect = Array.make p.Params.tlwe.ring_n mu in
+  let rotated = blind_rotate p key ~testvect s in
+  Tlwe.extract_lwe p rotated
+
+let key_bytes (p : Params.t) =
+  let rows = (p.tlwe.k + 1) * p.tgsw.l in
+  p.lwe.n * rows * (p.tlwe.k + 1) * p.tlwe.ring_n * 4
+
+module Wire = Pytfhe_util.Wire
+
+let write buf k =
+  Wire.write_magic buf "BSKY";
+  Wire.write_array buf Tgsw.write_fft k.bsk
+
+let read p r =
+  Wire.read_magic r "BSKY";
+  let bsk = Wire.read_array r Tgsw.read_fft in
+  { bsk; workspace = Tgsw.workspace_create p }
+
+let programmable (p : Params.t) key ~msize f s =
+  let n = p.Params.tlwe.ring_n in
+  if msize <= 0 || n mod msize <> 0 then
+    invalid_arg "Bootstrap.programmable: msize must divide the ring degree";
+  let slot = n / msize in
+  let testvect = Array.init n (fun j -> f (j / slot)) in
+  (* Centre the phase inside its slot so symmetric noise cannot push it
+     across a slot boundary. *)
+  let centred = { s with Lwe.b = Torus.add s.Lwe.b (Torus.mod_switch_to 1 ~msize:(4 * msize)) } in
+  let rotated = blind_rotate p key ~testvect centred in
+  Tlwe.extract_lwe p rotated

@@ -1,0 +1,34 @@
+(** Programmable bootstrapping: blind rotation + sample extraction.
+
+    The bootstrapping key encrypts each bit of the LWE key as a TGSW sample;
+    blind rotation then homomorphically rotates a test polynomial by the
+    (mod-switched) phase of the input ciphertext, refreshing its noise while
+    applying a negacyclic lookup table. *)
+
+type key
+(** Bootstrapping key: n TGSW encryptions (stored in FFT form) of the LWE
+    key bits under the ring key, plus a reusable workspace. *)
+
+val key_gen : Pytfhe_util.Rng.t -> Params.t -> lwe_key:Lwe.key -> tlwe_key:Tlwe.key -> key
+
+val blind_rotate : Params.t -> key -> testvect:Poly.torus_poly -> Lwe.sample -> Tlwe.sample
+(** Rotate [testvect] by X^{−phase·2N} under encryption. *)
+
+val bootstrap_wo_keyswitch : Params.t -> key -> mu:Torus.t -> Lwe.sample -> Lwe.sample
+(** Refresh a ciphertext to an encryption of ±[mu] (sign of the input
+    phase) under the *extracted* key of dimension k·N. *)
+
+val key_bytes : Params.t -> int
+(** Serialized size of the bootstrapping key at 32 bits per torus element. *)
+
+val write : Pytfhe_util.Wire.writer -> key -> unit
+val read : Params.t -> Pytfhe_util.Wire.reader -> key
+(** The parameter set recreates the scratch workspace on load. *)
+
+val programmable :
+  Params.t -> key -> msize:int -> (int -> Torus.t) -> Lwe.sample -> Lwe.sample
+(** Programmable bootstrapping (paper §II-B): refresh the ciphertext while
+    applying an arbitrary lookup table.  The input must encrypt a message
+    μ ∈ [0, msize) in the half-torus encoding μ/(2·msize); the result (under
+    the extracted key) carries the torus value [f μ].  [msize] must divide
+    the ring degree N. *)

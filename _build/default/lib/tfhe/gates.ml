@@ -1,0 +1,128 @@
+module Rng = Pytfhe_util.Rng
+
+type secret_keyset = {
+  params : Params.t;
+  lwe_key : Lwe.key;
+  tlwe_key : Tlwe.key;
+  extracted_key : Lwe.key;
+}
+
+type cloud_keyset = {
+  cloud_params : Params.t;
+  bootstrap_key : Bootstrap.key;
+  keyswitch_key : Keyswitch.key;
+}
+
+let key_gen rng (p : Params.t) =
+  let lwe_key = Lwe.key_gen rng ~n:p.lwe.n in
+  let tlwe_key = Tlwe.key_gen rng p in
+  let extracted_key = Tlwe.extract_key tlwe_key in
+  let bootstrap_key = Bootstrap.key_gen rng p ~lwe_key ~tlwe_key in
+  let keyswitch_key = Keyswitch.key_gen rng p ~in_key:extracted_key ~out_key:lwe_key in
+  ( { params = p; lwe_key; tlwe_key; extracted_key },
+    { cloud_params = p; bootstrap_key; keyswitch_key } )
+
+let mu8 sign = Torus.mod_switch_to (if sign then 1 else 7) ~msize:8
+let quarter sign = Torus.mod_switch_to (if sign then 1 else 3) ~msize:4
+
+let encrypt_bit rng ks bit =
+  Lwe.encrypt rng ks.lwe_key ~stdev:ks.params.lwe.lwe_stdev (mu8 bit)
+
+let decrypt_bit ks c = Lwe.decrypt_bit ks.lwe_key c
+
+let constant ck bit = Lwe.trivial ~n:ck.cloud_params.lwe.n (mu8 bit)
+
+let not_gate _ck c = Lwe.neg c
+
+let bootstrap ck combined =
+  let p = ck.cloud_params in
+  let extracted = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu:(Params.mu p) combined in
+  Keyswitch.apply ck.keyswitch_key extracted
+
+let binary_gate ck ~const ~sign_a ~sign_b a b =
+  let n = ck.cloud_params.lwe.n in
+  let acc = Lwe.trivial ~n const in
+  let acc = if sign_a > 0 then Lwe.add acc a else Lwe.sub acc a in
+  let acc = if sign_b > 0 then Lwe.add acc b else Lwe.sub acc b in
+  bootstrap ck acc
+
+let nand_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:(-1) ~sign_b:(-1) a b
+let and_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:1 ~sign_b:1 a b
+let or_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:1 ~sign_b:1 a b
+let nor_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:(-1) ~sign_b:(-1) a b
+let andny_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:(-1) ~sign_b:1 a b
+let andyn_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:1 ~sign_b:(-1) a b
+let orny_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:(-1) ~sign_b:1 a b
+let oryn_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:1 ~sign_b:(-1) a b
+
+let xor_gate ck a b =
+  let n = ck.cloud_params.lwe.n in
+  let acc = Lwe.trivial ~n (quarter true) in
+  let acc = Lwe.add acc (Lwe.scale 2 (Lwe.add a b)) in
+  bootstrap ck acc
+
+let xnor_gate ck a b =
+  let n = ck.cloud_params.lwe.n in
+  let acc = Lwe.trivial ~n (quarter false) in
+  let acc = Lwe.sub acc (Lwe.scale 2 (Lwe.add a b)) in
+  bootstrap ck acc
+
+let mux_gate ck s x y =
+  let p = ck.cloud_params in
+  let n = p.lwe.n in
+  let mu = Params.mu p in
+  (* u1 = bootstrap(s AND x), u2 = bootstrap(¬s AND y), both under the
+     extracted key; their sum plus 1/8 re-encodes the selected bit, and a
+     single key switch brings it home. *)
+  let and_sx = Lwe.add (Lwe.add (Lwe.trivial ~n (mu8 false)) s) x in
+  let u1 = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu and_sx in
+  let andny_sy = Lwe.add (Lwe.sub (Lwe.trivial ~n (mu8 false)) s) y in
+  let u2 = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu andny_sy in
+  let extracted_n = Params.extracted_n p in
+  let sum = Lwe.add (Lwe.add u1 u2) (Lwe.trivial ~n:extracted_n (mu8 true)) in
+  Keyswitch.apply ck.keyswitch_key sum
+
+module Wire = Pytfhe_util.Wire
+
+let write_secret_keyset buf sk =
+  Wire.write_magic buf "SKST";
+  Params.write buf sk.params;
+  Lwe.write_key buf sk.lwe_key;
+  Tlwe.write_key buf sk.tlwe_key
+
+let read_secret_keyset r =
+  Wire.read_magic r "SKST";
+  let params = Params.read r in
+  let lwe_key = Lwe.read_key r in
+  let tlwe_key = Tlwe.read_key r in
+  { params; lwe_key; tlwe_key; extracted_key = Tlwe.extract_key tlwe_key }
+
+let write_cloud_keyset buf ck =
+  Wire.write_magic buf "CKST";
+  Params.write buf ck.cloud_params;
+  Bootstrap.write buf ck.bootstrap_key;
+  Keyswitch.write buf ck.keyswitch_key
+
+let read_cloud_keyset r =
+  Wire.read_magic r "CKST";
+  let cloud_params = Params.read r in
+  let bootstrap_key = Bootstrap.read cloud_params r in
+  let keyswitch_key = Keyswitch.read r in
+  { cloud_params; bootstrap_key; keyswitch_key }
+
+let half_torus_encode ~msize v = Torus.mod_switch_to v ~msize:(2 * msize)
+
+let encrypt_message rng sk ~msize v =
+  if v < 0 || v >= msize then invalid_arg "Gates.encrypt_message: message out of range";
+  Lwe.encrypt rng sk.lwe_key ~stdev:sk.params.Params.lwe.Params.lwe_stdev
+    (half_torus_encode ~msize v)
+
+let decrypt_message sk ~msize c =
+  Torus.mod_switch_from (Lwe.phase sk.lwe_key c) ~msize:(2 * msize) mod msize
+
+let apply_lut ck ~msize ~table c =
+  if Array.length table <> msize then invalid_arg "Gates.apply_lut: table arity mismatch";
+  let p = ck.cloud_params in
+  let f mu = half_torus_encode ~msize (((table.(mu) mod msize) + msize) mod msize) in
+  let extracted = Bootstrap.programmable p ck.bootstrap_key ~msize f c in
+  Keyswitch.apply ck.keyswitch_key extracted

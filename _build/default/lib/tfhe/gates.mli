@@ -1,0 +1,80 @@
+(** Bootstrapped boolean gates — the TFHE-library-style public API.
+
+    The client holds a {!secret_keyset} (encrypt/decrypt); the server holds
+    the {!cloud_keyset} (bootstrapping + key-switching keys) and evaluates
+    gates on ciphertexts it cannot read.  Every two-input gate performs one
+    bootstrapping; [not_gate] and [constant] are noiseless. *)
+
+type secret_keyset = {
+  params : Params.t;
+  lwe_key : Lwe.key;
+  tlwe_key : Tlwe.key;
+  extracted_key : Lwe.key;
+}
+
+type cloud_keyset = {
+  cloud_params : Params.t;
+  bootstrap_key : Bootstrap.key;
+  keyswitch_key : Keyswitch.key;
+}
+
+val key_gen : Pytfhe_util.Rng.t -> Params.t -> secret_keyset * cloud_keyset
+(** Generate the client/server key pair. *)
+
+val encrypt_bit : Pytfhe_util.Rng.t -> secret_keyset -> bool -> Lwe.sample
+(** Encrypt a boolean as ±1/8 with fresh noise. *)
+
+val decrypt_bit : secret_keyset -> Lwe.sample -> bool
+(** Recover a boolean from a gate output. *)
+
+val constant : cloud_keyset -> bool -> Lwe.sample
+(** Noiseless trivial encryption of a public constant. *)
+
+val not_gate : cloud_keyset -> Lwe.sample -> Lwe.sample
+(** Negation; noiseless, no bootstrapping. *)
+
+val and_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val or_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val xor_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val nand_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val nor_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val xnor_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+
+val andny_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** [andny a b] = (¬a) ∧ b. *)
+
+val andyn_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** [andyn a b] = a ∧ (¬b). *)
+
+val orny_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** [orny a b] = (¬a) ∨ b. *)
+
+val oryn_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** [oryn a b] = a ∨ (¬b). *)
+
+val mux_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** [mux s x y] = if s then x else y; two bootstrappings and one key
+    switch, as in the reference library. *)
+
+val write_secret_keyset : Pytfhe_util.Wire.writer -> secret_keyset -> unit
+val read_secret_keyset : Pytfhe_util.Wire.reader -> secret_keyset
+
+val write_cloud_keyset : Pytfhe_util.Wire.writer -> cloud_keyset -> unit
+(** The evaluation keys the client ships to the server (bootstrapping key +
+    key-switching key + parameters). *)
+
+val read_cloud_keyset : Pytfhe_util.Wire.reader -> cloud_keyset
+
+(** {2 Multi-value messages via programmable bootstrapping}
+
+    Beyond boolean gates, TFHE can carry a small integer μ ∈ [0, msize) in
+    the half-torus encoding μ/(2·msize) and apply an arbitrary table lookup
+    during a single bootstrapping. *)
+
+val encrypt_message : Pytfhe_util.Rng.t -> secret_keyset -> msize:int -> int -> Lwe.sample
+val decrypt_message : secret_keyset -> msize:int -> Lwe.sample -> int
+
+val apply_lut : cloud_keyset -> msize:int -> table:int array -> Lwe.sample -> Lwe.sample
+(** [apply_lut ck ~msize ~table c] returns an encryption of
+    [table.(μ) mod msize] with fresh noise (one bootstrapping + one key
+    switch).  [Array.length table] must equal [msize]. *)

@@ -1,0 +1,75 @@
+module Rng = Pytfhe_util.Rng
+
+type key = {
+  ks_t : int;
+  base_bit : int;
+  out_n : int;
+  in_n : int;
+  table : Lwe.sample array array array;  (* in_n × t × base *)
+}
+
+let key_gen rng (p : Params.t) ~in_key ~out_key =
+  let ks_t = p.ks.t in
+  let base_bit = p.ks.base_bit in
+  let base = 1 lsl base_bit in
+  let in_n = in_key.Lwe.key_n in
+  let stdev = p.lwe.lwe_stdev in
+  let entry i j u =
+    (* Encryption of u · s_in[i] / 2^{(j+1)·base_bit}. *)
+    let message =
+      Torus.mul_int (u * in_key.Lwe.bits.(i)) (1 lsl (32 - ((j + 1) * base_bit)) land 0xFFFFFFFF)
+    in
+    Lwe.encrypt rng out_key ~stdev message
+  in
+  let table =
+    Array.init in_n (fun i -> Array.init ks_t (fun j -> Array.init base (fun u -> entry i j u)))
+  in
+  { ks_t; base_bit; out_n = out_key.Lwe.key_n; in_n; table }
+
+let apply key (s : Lwe.sample) =
+  let base = 1 lsl key.base_bit in
+  let prec_offset = 1 lsl (32 - 1 - (key.base_bit * key.ks_t)) in
+  let acc_a = Array.make key.out_n 0 in
+  let acc_b = ref s.b in
+  for i = 0 to key.in_n - 1 do
+    let ai = (s.a.(i) + prec_offset) land 0xFFFFFFFF in
+    for j = 0 to key.ks_t - 1 do
+      let aij = (ai lsr (32 - ((j + 1) * key.base_bit))) land (base - 1) in
+      if aij <> 0 then begin
+        let e = key.table.(i).(j).(aij) in
+        for u = 0 to key.out_n - 1 do
+          acc_a.(u) <- Torus.sub acc_a.(u) e.Lwe.a.(u)
+        done;
+        acc_b := Torus.sub !acc_b e.Lwe.b
+      end
+    done
+  done;
+  { Lwe.a = acc_a; b = !acc_b }
+
+let table_bytes key =
+  let base = 1 lsl key.base_bit in
+  key.in_n * key.ks_t * base * 4 * (key.out_n + 1)
+
+module Wire = Pytfhe_util.Wire
+
+let write buf k =
+  Wire.write_magic buf "KSWK";
+  Wire.write_i64 buf k.ks_t;
+  Wire.write_i64 buf k.base_bit;
+  Wire.write_i64 buf k.out_n;
+  Wire.write_i64 buf k.in_n;
+  Wire.write_array buf
+    (fun buf row -> Wire.write_array buf (fun buf col -> Wire.write_array buf Lwe.write_sample col) row)
+    k.table
+
+let read r =
+  Wire.read_magic r "KSWK";
+  let ks_t = Wire.read_i64 r in
+  let base_bit = Wire.read_i64 r in
+  let out_n = Wire.read_i64 r in
+  let in_n = Wire.read_i64 r in
+  let table =
+    Wire.read_array r (fun r -> Wire.read_array r (fun r -> Wire.read_array r Lwe.read_sample))
+  in
+  if Array.length table <> in_n then raise (Wire.Corrupt "key-switch table size mismatch");
+  { ks_t; base_bit; out_n; in_n; table }

@@ -1,0 +1,23 @@
+(** LWE key switching.
+
+    After blind rotation and sample extraction, ciphertexts live under the
+    large extracted key (dimension k·N); the key-switch brings them back to
+    the small in/out key (dimension n) so gates compose. *)
+
+type key
+(** Key-switching material from an input key to an output key. *)
+
+val key_gen :
+  Pytfhe_util.Rng.t -> Params.t -> in_key:Lwe.key -> out_key:Lwe.key -> key
+(** Encrypt every input key bit at every decomposition position under the
+    output key. *)
+
+val apply : key -> Lwe.sample -> Lwe.sample
+(** Re-encrypt a sample from the input key to the output key. *)
+
+val table_bytes : key -> int
+(** Serialized size of the key-switch table at 32 bits per torus element;
+    part of the public "cloud key" the client ships to the server. *)
+
+val write : Pytfhe_util.Wire.writer -> key -> unit
+val read : Pytfhe_util.Wire.reader -> key

@@ -1,0 +1,78 @@
+type budget = { variance : float }
+
+let fresh (p : Params.t) =
+  let s = p.lwe.lwe_stdev in
+  { variance = s *. s }
+
+let add a b = { variance = a.variance +. b.variance }
+
+let scale k b = { variance = float_of_int (k * k) *. b.variance }
+
+let mod_switch (p : Params.t) b =
+  (* Rounding each of the n mask coefficients (scaled by a key bit with
+     mean 1/2) plus the body to a multiple of 1/2N adds a uniform error of
+     width 1/2N each: variance 1/(12·(2N)²) per rounded coefficient. *)
+  let n2 = float_of_int (2 * p.tlwe.ring_n) in
+  let per_coeff = 1.0 /. (12.0 *. n2 *. n2) in
+  let effective = (float_of_int p.lwe.n /. 2.0) +. 1.0 in
+  { variance = b.variance +. (effective *. per_coeff) }
+
+let blind_rotation (p : Params.t) =
+  (* Standard CGGI bound: each of the n CMux steps contributes
+     (k+1)·l·N·β²·σ_bk² from the TGSW noise plus (1+kN)·ε² from the gadget
+     rounding, with β = Bg/2 and ε = Bg^{-l}/2. *)
+  let n = float_of_int p.lwe.n in
+  let big_n = float_of_int p.tlwe.ring_n in
+  let k = float_of_int p.tlwe.k in
+  let l = float_of_int p.tgsw.l in
+  let beta = float_of_int (Params.bg p) /. 2.0 in
+  let eps = 0.5 /. (float_of_int (Params.bg p) ** l) in
+  let sigma_bk = p.tlwe.tlwe_stdev in
+  let per_step =
+    ((k +. 1.0) *. l *. big_n *. beta *. beta *. sigma_bk *. sigma_bk)
+    +. ((1.0 +. (k *. big_n)) *. eps *. eps)
+  in
+  { variance = n *. per_step }
+
+let key_switch (p : Params.t) b =
+  (* N_in·t encryptions of noise σ_ks plus the dropped-precision rounding of
+     each of the N_in coefficients. *)
+  let n_in = float_of_int (Params.extracted_n p) in
+  let t = float_of_int p.ks.t in
+  let sigma = p.lwe.lwe_stdev in
+  let dropped = 2.0 ** float_of_int (-(p.ks.t * p.ks.base_bit)) in
+  let rounding = dropped *. dropped /. 12.0 in
+  { variance = b.variance +. (n_in *. t *. sigma *. sigma) +. (n_in /. 2.0 *. rounding) }
+
+let gate_output p = key_switch p (blind_rotation p)
+
+let worst_gate_input p =
+  (* Two gate outputs feed the next gate; XOR-style combinations scale the
+     pair by 2 before bootstrapping, and the mod switch adds its rounding. *)
+  let out = gate_output p in
+  mod_switch p (scale 2 (add out out))
+
+(* Complementary error function, Abramowitz & Stegun 7.1.26 (|err| < 1.5e-7). *)
+let erfc x =
+  let ax = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. ax)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let r = poly *. exp (-.ax *. ax) in
+  if x >= 0.0 then r else 2.0 -. r
+
+let failure_probability ~margin b =
+  if b.variance <= 0.0 then 0.0
+  else erfc (margin /. (sqrt b.variance *. sqrt 2.0))
+
+let gate_failure_probability p =
+  (* Messages sit at ±1/8; the bootstrap decides on the sign, so the margin
+     to the decision boundary is 1/8. *)
+  failure_probability ~margin:0.125 (worst_gate_input p)
+
+let check p =
+  let prob = gate_failure_probability p in
+  if prob < 2.0 ** -32.0 then `Ok prob else `Unsafe prob

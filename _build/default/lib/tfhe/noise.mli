@@ -1,0 +1,52 @@
+(** Average-case noise analysis for the CGGI gate-bootstrapping pipeline.
+
+    Tracks predicted phase-error *variance* through the operations a gate
+    performs (linear combination → mod switch → blind rotation → sample
+    extraction → key switch) using the standard worst-case-independent
+    variance bounds of the TFHE paper.  The test suite validates the
+    predictions against empirically measured phases of this repository's
+    implementation, and [check] is the guard a parameter-set designer uses:
+    it reports the per-gate decryption-failure probability. *)
+
+type budget = { variance : float }
+(** Phase-error variance (torus units squared). *)
+
+val fresh : Params.t -> budget
+(** A fresh client encryption. *)
+
+val add : budget -> budget -> budget
+(** Variance of the sum of two independent ciphertexts. *)
+
+val scale : int -> budget -> budget
+(** Variance after multiplying the ciphertext by an integer constant. *)
+
+val mod_switch : Params.t -> budget -> budget
+(** Variance after switching to the 2N rotation modulus. *)
+
+val blind_rotation : Params.t -> budget
+(** Variance of a freshly blind-rotated (and extracted) sample; independent
+    of the input noise — this is what "bootstrapping refreshes noise"
+    means. *)
+
+val key_switch : Params.t -> budget -> budget
+(** Added variance of the key switch back to the small key. *)
+
+val gate_output : Params.t -> budget
+(** Predicted variance of any bootstrapped gate's output. *)
+
+val worst_gate_input : Params.t -> budget
+(** Worst-case variance at the sign decision of the bootstrap across the
+    gate types (XOR doubles the ciphertexts' coefficients, quadrupling the
+    variance). *)
+
+val failure_probability : margin:float -> budget -> float
+(** Probability that a Gaussian phase error exceeds [margin] in absolute
+    value. *)
+
+val gate_failure_probability : Params.t -> float
+(** Per-gate probability that the bootstrap reads the wrong sign — the
+    end-to-end correctness metric of a parameter set. *)
+
+val check : Params.t -> [ `Ok of float | `Unsafe of float ]
+(** [`Ok p] when the per-gate failure probability [p] is below 2⁻³²;
+    [`Unsafe p] otherwise. *)

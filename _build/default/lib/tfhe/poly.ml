@@ -1,0 +1,80 @@
+module Negacyclic = Pytfhe_fft.Negacyclic
+
+type torus_poly = int array
+type int_poly = int array
+
+let zero n = Array.make n 0
+
+let add a b = Array.map2 Torus.add a b
+
+let add_to dst src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- Torus.add dst.(i) src.(i)
+  done
+
+let sub a b = Array.map2 Torus.sub a b
+
+let sub_to dst src =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- Torus.sub dst.(i) src.(i)
+  done
+
+let neg a = Array.map Torus.neg a
+
+let mul_by_xai a p =
+  let n = Array.length p in
+  if a < 0 || a >= 2 * n then invalid_arg "Poly.mul_by_xai: exponent out of [0, 2N)";
+  let out = Array.make n 0 in
+  if a < n then begin
+    (* Coefficient j of p lands at j + a; wrapping past N flips sign. *)
+    for j = 0 to n - 1 - a do
+      out.(j + a) <- p.(j)
+    done;
+    for j = n - a to n - 1 do
+      if j >= 0 then out.(j + a - n) <- Torus.neg p.(j)
+    done
+  end
+  else begin
+    let a' = a - n in
+    for j = 0 to n - 1 - a' do
+      out.(j + a') <- Torus.neg p.(j)
+    done;
+    for j = n - a' to n - 1 do
+      if j >= 0 then out.(j + a' - n) <- p.(j)
+    done
+  end;
+  out
+
+let mul_by_xai_minus_one a p =
+  let rotated = mul_by_xai a p in
+  sub rotated p
+
+let to_floats ~centred p =
+  if centred then Array.map (fun v -> float_of_int (Torus.to_signed v)) p
+  else Array.map float_of_int p
+
+let of_floats f =
+  Array.map
+    (fun x ->
+      let r = Float.rem (Float.round x) 4294967296.0 in
+      Torus.of_signed (Int64.to_int (Int64.of_float r)))
+    f
+
+let mul_int_torus ip tp =
+  let a = to_floats ~centred:false ip in
+  let b = to_floats ~centred:true tp in
+  of_floats (Negacyclic.polymul a b)
+
+let mul_int_torus_naive ip tp =
+  let n = Array.length ip in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if ip.(i) <> 0 then
+      for j = 0 to n - 1 do
+        let k = i + j in
+        let term = Torus.mul_int ip.(i) tp.(j) in
+        if k < n then out.(k) <- Torus.add out.(k) term
+        else out.(k - n) <- Torus.sub out.(k - n) term
+      done
+  done;
+  out

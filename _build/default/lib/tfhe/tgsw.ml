@@ -1,0 +1,156 @@
+module Rng = Pytfhe_util.Rng
+module Negacyclic = Pytfhe_fft.Negacyclic
+
+type sample = { rows : Tlwe.sample array }
+
+type fft_sample = { frows : Negacyclic.spectrum array array }
+(* frows.(r).(c): spectrum of component c (k masks then body) of row r. *)
+
+type workspace = {
+  dec : Poly.int_poly array;  (* (k+1)*l decomposition digit polynomials *)
+  dec_float : float array;  (* staging buffer for the forward transform *)
+  dec_spectrum : Negacyclic.spectrum;
+  acc_spectra : Negacyclic.spectrum array;  (* k+1 accumulators *)
+  result_float : float array;
+}
+
+let rows_count (p : Params.t) = (p.tlwe.k + 1) * p.tgsw.l
+
+let encrypt_int rng (p : Params.t) key m =
+  let l = p.tgsw.l in
+  let bg_bit = p.tgsw.bg_bit in
+  let rows =
+    Array.init (rows_count p) (fun r ->
+        let i = r / l and j = r mod l in
+        let z = Tlwe.zero_sample rng p key in
+        (* Add m/Bg^{j+1}: the torus element m · 2^{32 − (j+1)·bg_bit}. *)
+        let h = Torus.mul_int m (1 lsl (32 - ((j + 1) * bg_bit)) land 0xFFFFFFFF) in
+        let target = if i < p.tlwe.k then z.mask.(i) else z.body in
+        target.(0) <- Torus.add target.(0) h;
+        z)
+  in
+  { rows }
+
+let to_fft (p : Params.t) s =
+  let components (row : Tlwe.sample) =
+    let polys = Array.append row.mask [| row.body |] in
+    Array.map (fun poly -> Negacyclic.forward (Poly.to_floats ~centred:true poly)) polys
+  in
+  ignore p;
+  { frows = Array.map components s.rows }
+
+let decompose (p : Params.t) (c : Tlwe.sample) =
+  let n = p.tlwe.ring_n in
+  let l = p.tgsw.l in
+  let bg_bit = p.tgsw.bg_bit in
+  let bg = 1 lsl bg_bit in
+  let half_bg = bg / 2 in
+  let mask_bg = bg - 1 in
+  let offset =
+    let o = ref 0 in
+    for j = 1 to l do
+      o := !o + (half_bg lsl (32 - (j * bg_bit)))
+    done;
+    !o land 0xFFFFFFFF
+  in
+  let out = Array.init ((p.tlwe.k + 1) * l) (fun _ -> Array.make n 0) in
+  let polys = Array.append c.mask [| c.body |] in
+  Array.iteri
+    (fun i poly ->
+      for t = 0 to n - 1 do
+        let v = (poly.(t) + offset) land 0xFFFFFFFF in
+        for j = 0 to l - 1 do
+          let digit = (v lsr (32 - ((j + 1) * bg_bit))) land mask_bg in
+          out.((i * l) + j).(t) <- digit - half_bg
+        done
+      done)
+    polys;
+  out
+
+let workspace_create (p : Params.t) =
+  let n = p.tlwe.ring_n in
+  {
+    dec = Array.init (rows_count p) (fun _ -> Array.make n 0);
+    dec_float = Array.make n 0.0;
+    dec_spectrum = Negacyclic.spectrum_create n;
+    acc_spectra = Array.init (p.tlwe.k + 1) (fun _ -> Negacyclic.spectrum_create n);
+    result_float = Array.make n 0.0;
+  }
+
+(* In-place decomposition into the workspace to avoid per-call allocation. *)
+let decompose_into (p : Params.t) ws (c : Tlwe.sample) =
+  let n = p.tlwe.ring_n in
+  let l = p.tgsw.l in
+  let bg_bit = p.tgsw.bg_bit in
+  let bg = 1 lsl bg_bit in
+  let half_bg = bg / 2 in
+  let mask_bg = bg - 1 in
+  let offset =
+    let o = ref 0 in
+    for j = 1 to l do
+      o := !o + (half_bg lsl (32 - (j * bg_bit)))
+    done;
+    !o land 0xFFFFFFFF
+  in
+  let decompose_poly i (poly : Poly.torus_poly) =
+    for t = 0 to n - 1 do
+      let v = (Array.unsafe_get poly t + offset) land 0xFFFFFFFF in
+      for j = 0 to l - 1 do
+        let digit = (v lsr (32 - ((j + 1) * bg_bit))) land mask_bg in
+        Array.unsafe_set ws.dec.((i * l) + j) t (digit - half_bg)
+      done
+    done
+  in
+  Array.iteri decompose_poly c.mask;
+  decompose_poly p.tlwe.k c.body
+
+let external_product (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample) =
+  let n = p.tlwe.ring_n in
+  let k = p.tlwe.k in
+  decompose_into p ws c;
+  Array.iter Negacyclic.spectrum_zero ws.acc_spectra;
+  for r = 0 to rows_count p - 1 do
+    let digits = ws.dec.(r) in
+    for t = 0 to n - 1 do
+      ws.dec_float.(t) <- float_of_int (Array.unsafe_get digits t)
+    done;
+    Negacyclic.forward_into ws.dec_spectrum ws.dec_float;
+    for comp = 0 to k do
+      Negacyclic.mul_add_into ws.acc_spectra.(comp) ws.dec_spectrum g.frows.(r).(comp)
+    done
+  done;
+  let component comp =
+    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
+    Poly.of_floats ws.result_float
+  in
+  {
+    Tlwe.mask = Array.init k component;
+    body = component k;
+  }
+
+let cmux p ws g d1 d0 =
+  let diff = Tlwe.copy d1 in
+  Tlwe.sub_to diff d0;
+  let prod = external_product p ws g diff in
+  Tlwe.add_to prod d0;
+  prod
+
+module Wire = Pytfhe_util.Wire
+
+let write_fft buf s =
+  Wire.write_magic buf "GFFT";
+  let write_spectrum buf (sp : Negacyclic.spectrum) =
+    Wire.write_f64_array buf sp.Negacyclic.s_re;
+    Wire.write_f64_array buf sp.Negacyclic.s_im
+  in
+  Wire.write_array buf (fun buf row -> Wire.write_array buf write_spectrum row) s.frows
+
+let read_fft r =
+  Wire.read_magic r "GFFT";
+  let read_spectrum r =
+    let s_re = Wire.read_f64_array r in
+    let s_im = Wire.read_f64_array r in
+    if Array.length s_re <> Array.length s_im then raise (Wire.Corrupt "spectrum length mismatch");
+    { Negacyclic.s_re; s_im }
+  in
+  { frows = Wire.read_array r (fun r -> Wire.read_array r read_spectrum) }

@@ -1,0 +1,43 @@
+(** TGSW samples, gadget decomposition and the external product.
+
+    A TGSW sample encrypts a small integer m as (k+1)·l TRLWE rows
+    Z + m·H, where H is the gadget matrix with entries 1/Bgʲ.  The external
+    product TGSW ⊡ TRLWE — the engine of the CMux and hence of blind
+    rotation — is evaluated in the FFT domain. *)
+
+type sample = { rows : Tlwe.sample array }
+(** (k+1)·l TRLWE rows, row i·l+j carrying m/Bg^{j+1} on component i. *)
+
+type fft_sample
+(** A TGSW sample with every row polynomial pre-transformed; this is how
+    bootstrapping keys are stored. *)
+
+type workspace
+(** Pre-allocated scratch buffers so the external product in the hot
+    bootstrapping loop performs no large allocations. *)
+
+val encrypt_int : Pytfhe_util.Rng.t -> Params.t -> Tlwe.key -> int -> sample
+(** Fresh TGSW encryption of a small integer message. *)
+
+val to_fft : Params.t -> sample -> fft_sample
+(** Pre-transform all row polynomials. *)
+
+val decompose : Params.t -> Tlwe.sample -> Poly.int_poly array
+(** Signed gadget decomposition of every component into l digits each in
+    [−Bg/2, Bg/2). *)
+
+val workspace_create : Params.t -> workspace
+
+val external_product : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample
+(** [external_product p ws g c] computes g ⊡ c: a TRLWE sample whose phase
+    is (approximately) m · phase(c). *)
+
+val cmux : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample -> Tlwe.sample
+(** [cmux p ws g d1 d0] homomorphically selects [d1] when [g] encrypts 1 and
+    [d0] when it encrypts 0: d0 + g ⊡ (d1 − d0). *)
+
+val write_fft : Pytfhe_util.Wire.writer -> fft_sample -> unit
+(** Bootstrapping-key rows in their frequency-domain form; doubles are
+    serialized bit-exactly so roundtrips are lossless. *)
+
+val read_fft : Pytfhe_util.Wire.reader -> fft_sample

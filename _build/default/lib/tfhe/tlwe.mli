@@ -1,0 +1,48 @@
+(** TRLWE (ring) samples: LWE over 𝕋[X]/(Xᴺ+1).
+
+    A sample under key s = (s₁…s_k) (binary polynomials) is
+    (a₁…a_k, b) with b = Σ aᵢ·sᵢ + μ + e.  The blind-rotation accumulator of
+    bootstrapping lives here. *)
+
+type key = { polys : Poly.int_poly array (** k binary polynomials. *) }
+
+type sample = {
+  mask : Poly.torus_poly array;  (** The k mask polynomials a₁…a_k. *)
+  body : Poly.torus_poly;  (** The body polynomial b. *)
+}
+
+val key_gen : Pytfhe_util.Rng.t -> Params.t -> key
+(** Sample k uniform binary polynomials of degree < N. *)
+
+val zero_sample : Pytfhe_util.Rng.t -> Params.t -> key -> sample
+(** Fresh encryption of the zero polynomial. *)
+
+val encrypt_poly : Pytfhe_util.Rng.t -> Params.t -> key -> Poly.torus_poly -> sample
+(** Fresh encryption of a torus polynomial message. *)
+
+val trivial : Params.t -> Poly.torus_poly -> sample
+(** Noiseless sample (0,…,0, μ). *)
+
+val phase : key -> sample -> Poly.torus_poly
+(** b − Σ aᵢ·sᵢ. *)
+
+val copy : sample -> sample
+(** Deep copy (the bootstrapping accumulator is mutated in place). *)
+
+val add_to : sample -> sample -> unit
+(** [add_to dst src] accumulates [src] into [dst] component-wise. *)
+
+val sub_to : sample -> sample -> unit
+(** [sub_to dst src] subtracts [src] from [dst] component-wise. *)
+
+val mul_by_xai : int -> sample -> sample
+(** Rotate every component by X^a (a ∈ [0, 2N)). *)
+
+val extract_lwe : Params.t -> sample -> Lwe.sample
+(** Extract the constant coefficient as an LWE sample of dimension k·N. *)
+
+val extract_key : key -> Lwe.key
+(** The LWE key matching {!extract_lwe}: the ring key's coefficients. *)
+
+val write_key : Pytfhe_util.Wire.writer -> key -> unit
+val read_key : Pytfhe_util.Wire.reader -> key

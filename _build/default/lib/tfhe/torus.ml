@@ -1,0 +1,46 @@
+type t = int
+
+let mask = 0xFFFFFFFF
+let two32 = 4294967296.0
+
+let zero = 0
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let neg a = -a land mask
+let mul_int k t = k * t land mask
+
+let of_double d =
+  (* Round d·2^32 to the nearest integer; Int64 conversion handles the
+     negative case, after which masking reduces modulo 2^32. *)
+  Int64.to_int (Int64.of_float (Float.round (d *. two32))) land mask
+
+let to_double t =
+  let centred = if t >= 0x80000000 then t - 0x100000000 else t in
+  float_of_int centred /. two32
+
+let of_signed v = v land mask
+
+let to_signed t = if t >= 0x80000000 then t - 0x100000000 else t
+
+let mod_switch_to mu ~msize =
+  let interval = 0x100000000 / msize in
+  mu * interval land mask
+
+let mod_switch_from t ~msize =
+  (* round(t · msize / 2^32) mod msize, computed exactly in 63-bit ints when
+     possible and via Int64 otherwise. *)
+  let product = Int64.add (Int64.mul (Int64.of_int t) (Int64.of_int msize)) 0x80000000L in
+  Int64.to_int (Int64.shift_right_logical product 32) mod msize
+
+let approx_phase t ~msize =
+  let interval = 0x100000000 / msize in
+  let half = interval / 2 in
+  (t + half) / interval * interval land mask
+
+let add_gaussian rng ~stdev t =
+  let noise = Pytfhe_util.Rng.gaussian rng ~stdev in
+  add t (of_double noise)
+
+let distance a b =
+  let d = Float.abs (to_double (sub a b)) in
+  Float.min d (1.0 -. d)

@@ -1,0 +1,56 @@
+(** Discretised torus arithmetic.
+
+    TFHE works over the real torus 𝕋 = ℝ/ℤ, discretised to 32 bits: a torus
+    element is an integer in [0, 2³²) standing for the fraction t/2³².  We
+    carry these in native OCaml [int]s (63-bit) masked to 32 bits, so torus
+    arrays are unboxed and arithmetic is branch-free. *)
+
+type t = int
+(** A torus element; invariant: [0 <= t < 2^32]. *)
+
+val zero : t
+
+val add : t -> t -> t
+(** Addition modulo 1. *)
+
+val sub : t -> t -> t
+(** Subtraction modulo 1. *)
+
+val neg : t -> t
+(** Negation modulo 1. *)
+
+val mul_int : int -> t -> t
+(** [mul_int k t] is the external product [k · t] for a (possibly negative)
+    integer [k]. *)
+
+val of_double : float -> t
+(** Nearest torus element to the real number (taken modulo 1). *)
+
+val to_double : t -> float
+(** Centred representative in [-1/2, 1/2). *)
+
+val of_signed : int -> t
+(** Reduce an arbitrary (two's complement) integer into the torus range;
+    used when converting FFT results back to torus coefficients. *)
+
+val to_signed : t -> int
+(** Centred integer representative in [-2^31, 2^31). *)
+
+val mod_switch_to : int -> msize:int -> t
+(** [mod_switch_to mu ~msize] embeds message [mu ∈ ℤ/msize] as the torus
+    element [mu/msize] (TFHE's modSwitchToTorus32). *)
+
+val mod_switch_from : t -> msize:int -> int
+(** [mod_switch_from t ~msize] rounds [t] to the nearest multiple of
+    [1/msize] and returns its index in [0, msize) (modSwitchFromTorus32). *)
+
+val approx_phase : t -> msize:int -> t
+(** Round to the nearest element of the [msize]-element message space. *)
+
+val add_gaussian : Pytfhe_util.Rng.t -> stdev:float -> t -> t
+(** Add centred Gaussian noise of the given standard deviation (as a
+    fraction of the torus). *)
+
+val distance : t -> t -> float
+(** Torus distance |a − b| as a real in [0, 1/2]; used by tests to check
+    that decrypted phases sit near their expected message. *)

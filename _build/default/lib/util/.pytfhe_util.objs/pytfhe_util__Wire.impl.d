@@ -1,0 +1,1 @@
+lib/util/wire.ml: Array Bool Buffer Bytes Char Fun Int32 Int64 Printf String Sys

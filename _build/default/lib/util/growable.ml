@@ -1,0 +1,35 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let check t i name = if i < 0 || i >= t.len then invalid_arg ("Growable." ^ name)
+
+let get t i =
+  check t i "get";
+  Array.unsafe_get t.data i
+
+let set t i x =
+  check t i "set";
+  Array.unsafe_set t.data i x
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let clear t = t.len <- 0

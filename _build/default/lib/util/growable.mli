@@ -1,0 +1,31 @@
+(** Growable arrays of unboxed integers.
+
+    The netlist representation stores millions of gates; a struct-of-arrays
+    layout over these vectors keeps it compact and cache-friendly. *)
+
+type t
+(** A growable [int] vector. *)
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty vector. *)
+
+val length : t -> int
+(** Number of elements currently stored. *)
+
+val get : t -> int -> int
+(** [get v i] reads element [i]; raises [Invalid_argument] out of bounds. *)
+
+val set : t -> int -> int -> unit
+(** [set v i x] writes element [i]; raises [Invalid_argument] out of bounds. *)
+
+val push : t -> int -> unit
+(** Append one element, growing the backing store as needed. *)
+
+val to_array : t -> int array
+(** Snapshot of the contents as a fresh array. *)
+
+val iteri : (int -> int -> unit) -> t -> unit
+(** [iteri f v] applies [f index value] in index order. *)
+
+val clear : t -> unit
+(** Remove all elements (capacity is retained). *)

@@ -1,0 +1,218 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; message : string }
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> st.pos <- st.pos + 1
+  | Some got -> fail st.pos "expected %C, found %C" c got
+  | None -> fail st.pos "expected %C, found end of input" c
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos "invalid literal"
+
+let parse_string_raw st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st.pos "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if st.pos >= String.length st.src then fail st.pos "unterminated escape";
+      let e = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      match e with
+      | '"' -> Buffer.add_char buf '"'; go ()
+      | '\\' -> Buffer.add_char buf '\\'; go ()
+      | '/' -> Buffer.add_char buf '/'; go ()
+      | 'n' -> Buffer.add_char buf '\n'; go ()
+      | 't' -> Buffer.add_char buf '\t'; go ()
+      | 'r' -> Buffer.add_char buf '\r'; go ()
+      | 'b' -> Buffer.add_char buf '\b'; go ()
+      | 'f' -> Buffer.add_char buf '\012'; go ()
+      | 'u' ->
+        if st.pos + 4 > String.length st.src then fail st.pos "bad unicode escape";
+        let hex = String.sub st.src st.pos 4 in
+        st.pos <- st.pos + 4;
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+        | Some _ -> Buffer.add_char buf '?' (* non-ASCII: placeholder *)
+        | None -> fail st.pos "bad unicode escape");
+        go ()
+      | _ -> fail st.pos "unknown escape \\%c" e)
+    | _ -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while st.pos < String.length st.src && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> Number f
+  | None -> fail start "invalid number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string_raw st in
+        skip_ws st;
+        expect st ':';
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ((key, value) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((key, value) :: acc)
+        | _ -> fail st.pos "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let value = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elements (value :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (value :: acc)
+        | _ -> fail st.pos "expected ',' or ']'"
+      in
+      List (elements [])
+    end
+  | Some '"' -> String (parse_string_raw st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail st.pos "trailing garbage";
+  v
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 1024 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let number f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Number f -> Buffer.add_string buf (number f)
+    | String s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl ();
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl ();
+          pad (depth + 1);
+          Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape k));
+          go (depth + 1) v)
+        members;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let member key = function Obj members -> List.assoc_opt key members | _ -> None
+
+let to_int = function
+  | Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,26 @@
+(** A minimal JSON reader/writer — enough for Yosys netlist interchange.
+
+    Numbers are carried as floats (Yosys bit indices are small integers, so
+    this is lossless in practice); object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; message : string }
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val to_string : ?indent:bool -> t -> string
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

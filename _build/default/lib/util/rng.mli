@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the framework flows through this module so that every
+    experiment is reproducible from a seed.  The generator is xoshiro256++
+    seeded through splitmix64, which is fast and has no measurable bias for
+    the purposes of this simulator (cryptographic quality is irrelevant for a
+    reproduction: the security of TFHE is not under evaluation here). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a fresh generator.  The default seed is a fixed
+    constant, so two runs of the same program draw identical streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams of
+    the parent and child are independent for practical purposes. *)
+
+val bits64 : t -> int64
+(** 64 uniformly random bits. *)
+
+val bits32 : t -> int
+(** 32 uniformly random bits in the range [0, 2^32). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** A uniformly random boolean. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val gaussian : t -> stdev:float -> float
+(** A sample from a centred normal distribution with standard deviation
+    [stdev] (Box–Muller). *)

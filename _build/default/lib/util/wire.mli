@@ -1,0 +1,64 @@
+(** Minimal binary serialization: length-prefixed, little-endian, with
+    per-structure magic tags.  Every persistent artifact of the framework
+    (keys, ciphertexts, programs) goes through this module so formats stay
+    consistent and versioned. *)
+
+type writer = Buffer.t
+
+type reader
+(** A cursor over an immutable byte string. *)
+
+exception Corrupt of string
+(** Raised by any read that fails validation. *)
+
+val reader_of_string : string -> reader
+val reader_of_bytes : bytes -> reader
+
+val remaining : reader -> int
+(** Bytes left to read. *)
+
+val write_magic : writer -> string -> unit
+(** Emit a 4-byte structure tag. *)
+
+val read_magic : reader -> string -> unit
+(** Consume and check a tag; raises {!Corrupt} on mismatch. *)
+
+val write_u8 : writer -> int -> unit
+val read_u8 : reader -> int
+
+val write_i64 : writer -> int -> unit
+(** Full OCaml int as a little-endian 64-bit value. *)
+
+val read_i64 : reader -> int
+
+val write_u32 : writer -> int -> unit
+(** Lower 32 bits only — the torus element representation. *)
+
+val read_u32 : reader -> int
+
+val write_f64 : writer -> float -> unit
+val read_f64 : reader -> float
+
+val write_bool : writer -> bool -> unit
+val read_bool : reader -> bool
+
+val write_string : writer -> string -> unit
+val read_string : reader -> string
+
+val write_u32_array : writer -> int array -> unit
+(** Length-prefixed array of 32-bit values (torus polynomials, LWE masks,
+    binary key bits). *)
+
+val read_u32_array : reader -> int array
+
+val write_f64_array : writer -> float array -> unit
+val read_f64_array : reader -> float array
+
+val write_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+val read_array : reader -> (reader -> 'a) -> 'a array
+
+val to_file : string -> writer -> unit
+(** Write the buffer to a file atomically enough for this tool (temp name +
+    rename). *)
+
+val of_file : string -> reader

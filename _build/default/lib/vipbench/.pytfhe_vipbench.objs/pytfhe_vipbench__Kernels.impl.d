@@ -1,0 +1,1 @@
+lib/vipbench/kernels.ml: Arith Array Bool Bus Dtype List Nn Printf Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_hdl Pytfhe_util Scalar Tensor Workload

@@ -1,0 +1,1 @@
+lib/vipbench/networks.ml: Array Attention Dtype List Nn Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_util Scalar Tensor Workload

@@ -1,0 +1,1 @@
+lib/vipbench/suite.ml: Kernels List Networks String Workload

@@ -1,0 +1,1 @@
+lib/vipbench/suite.mli: Workload

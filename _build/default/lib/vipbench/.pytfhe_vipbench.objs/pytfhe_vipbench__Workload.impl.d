@@ -1,0 +1,1 @@
+lib/vipbench/workload.ml: Array Bool List Pytfhe_circuit Pytfhe_util

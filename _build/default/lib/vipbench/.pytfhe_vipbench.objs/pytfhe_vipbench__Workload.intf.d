@@ -1,0 +1,1 @@
+lib/vipbench/workload.mli: Pytfhe_circuit Pytfhe_util

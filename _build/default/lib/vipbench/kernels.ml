@@ -1,0 +1,855 @@
+(* The non-neural VIP-Bench workloads: each pairs a circuit generator with a
+   plaintext reference used by [verify].  Sizes are chosen to span the same
+   orders of magnitude as the paper's Fig. 10/11 x-axis. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+open Pytfhe_hdl
+open Pytfhe_chiseltorch
+module Rng = Pytfhe_util.Rng
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let trials = 4
+
+let check_cases rng ~net ~in_widths ~out_widths ~gen ~reference =
+  let ok = ref true in
+  for _ = 1 to trials do
+    let in_values = gen rng in
+    let got = Workload.eval_packed net ~in_widths ~in_values ~out_widths in
+    if got <> reference in_values then ok := false
+  done;
+  !ok
+
+(* Unsigned compare-and-swap, the bubble-sort cell. *)
+let min_max_u net a b =
+  let lt = Arith.lt_u net a b in
+  (Bus.mux net lt a b, Bus.mux net lt b a)
+
+let popcount net bus =
+  let rec level = function
+    | [ single ] -> single
+    | items ->
+      let rec pair = function
+        | a :: b :: rest ->
+          let w = max (Bus.width a) (Bus.width b) + 1 in
+          Arith.add net (Bus.zero_extend net a w) (Bus.zero_extend net b w) :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      level (pair items)
+  in
+  level (Array.to_list (Array.map (fun bit -> [| bit |]) bus))
+
+(* ------------------------------------------------------------------ *)
+
+let hamming_distance =
+  let n = 32 in
+  let circuit () =
+    let net = Netlist.create () in
+    let a = Bus.input net "a" n in
+    let b = Bus.input net "b" n in
+    Bus.output net "dist" (popcount net (Bus.bxor net a b));
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ n; n ]
+      ~out_widths:[ 6 ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl n); Rng.int rng (1 lsl n) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ a; b ] ->
+          let x = a lxor b in
+          let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+          [ pop x ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"hamming_distance" ~description:"popcount of the XOR of two 32-bit vectors"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let dot_product =
+  let n = 8 and w = 8 and out = 16 in
+  let circuit () =
+    let net = Netlist.create () in
+    let xs = Array.init n (fun i -> Bus.input net (Printf.sprintf "x%d" i) w) in
+    let ys = Array.init n (fun i -> Bus.input net (Printf.sprintf "y%d" i) w) in
+    let products = Array.map2 (fun x y -> Arith.mul_s net ~out_width:out x y) xs ys in
+    let total = Array.fold_left (fun acc p -> Arith.add net acc p) (Bus.const net ~width:out 0) products in
+    Bus.output net "dot" total;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (2 * n) (fun _ -> w))
+      ~out_widths:[ out ]
+      ~gen:(fun rng -> List.init (2 * n) (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs ->
+        let signed v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        let xs = List.filteri (fun i _ -> i < n) vs in
+        let ys = List.filteri (fun i _ -> i >= n) vs in
+        [ mask out (List.fold_left2 (fun acc x y -> acc + (signed x * signed y)) 0 xs ys) ])
+  in
+  Workload.make ~name:"dot_product" ~description:"inner product of two 8-element SInt(8) vectors"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let bubble_sort =
+  let n = 8 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let xs = Array.init n (fun i -> Bus.input net (Printf.sprintf "x%d" i) w) in
+    for i = 0 to n - 2 do
+      for j = 0 to n - 2 - i do
+        let lo, hi = min_max_u net xs.(j) xs.(j + 1) in
+        xs.(j) <- lo;
+        xs.(j + 1) <- hi
+      done
+    done;
+    Array.iteri (fun i x -> Bus.output net (Printf.sprintf "s%d" i) x) xs;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init n (fun _ -> w))
+      ~out_widths:(List.init n (fun _ -> w))
+      ~gen:(fun rng -> List.init n (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs -> List.sort compare vs)
+  in
+  Workload.make ~name:"bubble_sort" ~description:"bubble sort network over 8 UInt(8) values"
+    ~parallelism:Workload.Mixed ~circuit ~verify ()
+
+let distinctness =
+  let n = 8 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let xs = Array.init n (fun i -> Bus.input net (Printf.sprintf "x%d" i) w) in
+    let dup = ref (Netlist.const net false) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        dup := Netlist.gate net Gate.Or !dup (Arith.eq net xs.(i) xs.(j))
+      done
+    done;
+    Netlist.mark_output net "dup" !dup;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init n (fun _ -> w))
+      ~out_widths:[ 1 ]
+      ~gen:(fun rng -> List.init n (fun _ -> Rng.int rng 16))
+      (* narrow range to actually hit duplicates *)
+      ~reference:(fun vs ->
+        let sorted = List.sort compare vs in
+        let rec has_dup = function
+          | a :: b :: rest -> a = b || has_dup (b :: rest)
+          | _ -> false
+        in
+        [ Bool.to_int (has_dup sorted) ])
+  in
+  Workload.make ~name:"distinctness" ~description:"detect duplicates among 8 UInt(8) values"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let edit_distance =
+  let n = 6 and sym_w = 2 and cell_w = 4 in
+  let circuit () =
+    let net = Netlist.create () in
+    let s = Array.init n (fun i -> Bus.input net (Printf.sprintf "s%d" i) sym_w) in
+    let t = Array.init n (fun i -> Bus.input net (Printf.sprintf "t%d" i) sym_w) in
+    let const v = Bus.const net ~width:cell_w v in
+    let one = const 1 in
+    let min3 a b c =
+      let m1 = Bus.mux net (Arith.lt_u net a b) a b in
+      Bus.mux net (Arith.lt_u net m1 c) m1 c
+    in
+    let d = Array.make_matrix (n + 1) (n + 1) (const 0) in
+    for i = 0 to n do
+      d.(i).(0) <- const i;
+      d.(0).(i) <- const i
+    done;
+    for i = 1 to n do
+      for j = 1 to n do
+        let subst_cost = Bus.zero_extend net [| Arith.ne net s.(i - 1) t.(j - 1) |] cell_w in
+        let del = Arith.add net d.(i - 1).(j) one in
+        let ins = Arith.add net d.(i).(j - 1) one in
+        let sub = Arith.add net d.(i - 1).(j - 1) subst_cost in
+        d.(i).(j) <- min3 del ins sub
+      done
+    done;
+    Bus.output net "dist" d.(n).(n);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (2 * n) (fun _ -> sym_w))
+      ~out_widths:[ cell_w ]
+      ~gen:(fun rng -> List.init (2 * n) (fun _ -> Rng.int rng 4))
+      ~reference:(fun vs ->
+        let s = Array.of_list (List.filteri (fun i _ -> i < n) vs) in
+        let t = Array.of_list (List.filteri (fun i _ -> i >= n) vs) in
+        let d = Array.make_matrix (n + 1) (n + 1) 0 in
+        for i = 0 to n do
+          d.(i).(0) <- i;
+          d.(0).(i) <- i
+        done;
+        for i = 1 to n do
+          for j = 1 to n do
+            let cost = if s.(i - 1) = t.(j - 1) then 0 else 1 in
+            d.(i).(j) <- min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
+          done
+        done;
+        [ d.(n).(n) ])
+  in
+  Workload.make ~name:"edit_distance" ~description:"Levenshtein DP over two length-6 strings"
+    ~parallelism:Workload.Mixed ~circuit ~verify ()
+
+(* Shared by the iterative fixed-point benchmarks. *)
+let fixed = Dtype.Fixed { width = 16; frac = 8 }
+let fixed_w = 16
+
+let eulers_approx =
+  (* e^x by a degree-7 Taylor series in Horner form: a long serial chain of
+     encrypted multiplications, matching the paper's "mostly serial". *)
+  let degree = 7 in
+  let coeff k =
+    let rec fact n = if n <= 1 then 1.0 else float_of_int n *. fact (n - 1) in
+    1.0 /. fact k
+  in
+  let circuit () =
+    let net = Netlist.create () in
+    let x = Bus.input net "x" fixed_w in
+    let acc = ref (Scalar.const net fixed (coeff degree)) in
+    for k = degree - 1 downto 0 do
+      acc := Scalar.add net fixed (Scalar.mul net fixed !acc x) (Scalar.const net fixed (coeff k))
+    done;
+    Bus.output net "exp" !acc;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ fixed_w ] ~out_widths:[ fixed_w ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl fixed_w) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ x ] ->
+          let acc = ref (Dtype.encode fixed (coeff degree)) in
+          for k = degree - 1 downto 0 do
+            acc := Scalar.ref_add fixed (Scalar.ref_mul fixed !acc x) (Dtype.encode fixed (coeff k))
+          done;
+          [ !acc ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"eulers_approx" ~description:"e^x Taylor approximation in Fixed(16,8)"
+    ~parallelism:Workload.Serial ~circuit ~verify ()
+
+let nr_solver =
+  (* Newton-Raphson reciprocal: x <- x (2 - a x), five iterations. *)
+  let iters = 5 in
+  let circuit () =
+    let net = Netlist.create () in
+    let a = Bus.input net "a" fixed_w in
+    let two = Scalar.const net fixed 2.0 in
+    let x = ref (Scalar.const net fixed 1.0) in
+    for _ = 1 to iters do
+      let ax = Scalar.mul net fixed a !x in
+      x := Scalar.mul net fixed !x (Scalar.sub net fixed two ax)
+    done;
+    Bus.output net "recip" !x;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ fixed_w ] ~out_widths:[ fixed_w ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl fixed_w) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ a ] ->
+          let two = Dtype.encode fixed 2.0 in
+          let x = ref (Dtype.encode fixed 1.0) in
+          for _ = 1 to iters do
+            let ax = Scalar.ref_mul fixed a !x in
+            x := Scalar.ref_mul fixed !x (Scalar.ref_sub fixed two ax)
+          done;
+          [ !x ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"nr_solver" ~description:"Newton-Raphson reciprocal, 5 iterations"
+    ~parallelism:Workload.Serial ~circuit ~verify ()
+
+let gradient_descent =
+  let iters = 8 in
+  let rate = 0.25 in
+  let circuit () =
+    let net = Netlist.create () in
+    let target = Bus.input net "t" fixed_w in
+    let x = ref (Scalar.const net fixed 0.0) in
+    for _ = 1 to iters do
+      let diff = Scalar.sub net fixed target !x in
+      x := Scalar.add net fixed !x (Scalar.mul_scalar net fixed diff rate)
+    done;
+    Bus.output net "x" !x;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ fixed_w ] ~out_widths:[ fixed_w ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl fixed_w) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ t ] ->
+          let x = ref (Dtype.encode fixed 0.0) in
+          for _ = 1 to iters do
+            let diff = Scalar.ref_sub fixed t !x in
+            x := Scalar.ref_add fixed !x (Scalar.ref_mul_scalar fixed diff rate)
+          done;
+          [ !x ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"gradient_descent" ~description:"gradient descent on a quadratic, 8 steps"
+    ~parallelism:Workload.Serial ~circuit ~verify ()
+
+let parrondo =
+  let rounds = 16 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let coins = Bus.input net "coins" rounds in
+    let capital = ref (Bus.const net ~width:w 0) in
+    for r = 0 to rounds - 1 do
+      let coin = Bus.bit coins r in
+      let delta =
+        if r mod 2 = 0 then
+          (* game A: win +1, lose -1 *)
+          Bus.mux net coin (Bus.const net ~width:w 1) (Bus.const net ~width:w (-1))
+        else begin
+          (* game B: payout depends on the capital's parity *)
+          let even = Netlist.not_ net (Bus.bit !capital 0) in
+          let if_even = Bus.mux net coin (Bus.const net ~width:w 2) (Bus.const net ~width:w (-1)) in
+          let if_odd = Bus.mux net coin (Bus.const net ~width:w 1) (Bus.const net ~width:w (-2)) in
+          Bus.mux net even if_even if_odd
+        end
+      in
+      capital := Arith.add net !capital delta
+    done;
+    Bus.output net "capital" !capital;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ rounds ] ~out_widths:[ w ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl rounds) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ coins ] ->
+          let capital = ref 0 in
+          for r = 0 to rounds - 1 do
+            let coin = (coins asr r) land 1 = 1 in
+            let delta =
+              if r mod 2 = 0 then if coin then 1 else -1
+              else if mask w !capital land 1 = 0 then if coin then 2 else -1
+              else if coin then 1
+              else -2
+            in
+            capital := mask w (!capital + delta)
+          done;
+          [ !capital ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"parrondo" ~description:"Parrondo's paradox over 16 encrypted coin flips"
+    ~parallelism:Workload.Serial ~circuit ~verify ()
+
+let image_dim = 8
+
+let rc_edge_detection =
+  let d = image_dim and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let px = Array.init (d * d) (fun i -> Bus.input net (Printf.sprintf "p%d" i) w) in
+    let at i j = px.((i * d) + j) in
+    for i = 0 to d - 2 do
+      for j = 0 to d - 2 do
+        let wide b = Bus.zero_extend net b (w + 1) in
+        let gx = Arith.abs net (Arith.sub net (wide (at i j)) (wide (at (i + 1) (j + 1)))) in
+        let gy = Arith.abs net (Arith.sub net (wide (at (i + 1) j)) (wide (at i (j + 1)))) in
+        let mag = Arith.add net (Bus.zero_extend net gx (w + 2)) (Bus.zero_extend net gy (w + 2)) in
+        Bus.output net (Printf.sprintf "e_%d_%d" i j) mag
+      done
+    done;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (d * d) (fun _ -> w))
+      ~out_widths:(List.init ((d - 1) * (d - 1)) (fun _ -> w + 2))
+      ~gen:(fun rng -> List.init (d * d) (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs ->
+        let px = Array.of_list vs in
+        let at i j = px.((i * d) + j) in
+        List.concat
+          (List.init (d - 1) (fun i ->
+               List.init (d - 1) (fun j ->
+                   abs (at i j - at (i + 1) (j + 1)) + abs (at (i + 1) j - at i (j + 1))))))
+  in
+  Workload.make ~name:"rc_edge_detection"
+    ~description:"Roberts-Cross edge detection on an 8x8 UInt(8) image" ~parallelism:Workload.Wide
+    ~circuit ~verify ()
+
+let box_blur =
+  let d = image_dim and w = 8 and out_w = 12 in
+  let circuit () =
+    let net = Netlist.create () in
+    let px = Array.init (d * d) (fun i -> Bus.input net (Printf.sprintf "p%d" i) w) in
+    let at i j = Bus.zero_extend net px.((i * d) + j) out_w in
+    for i = 0 to d - 3 do
+      for j = 0 to d - 3 do
+        let acc = ref (Bus.const net ~width:out_w 0) in
+        for di = 0 to 2 do
+          for dj = 0 to 2 do
+            acc := Arith.add net !acc (at (i + di) (j + dj))
+          done
+        done;
+        Bus.output net (Printf.sprintf "b_%d_%d" i j) (Scalar.div_const net (Dtype.UInt out_w) !acc 9)
+      done
+    done;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (d * d) (fun _ -> w))
+      ~out_widths:(List.init ((d - 2) * (d - 2)) (fun _ -> out_w))
+      ~gen:(fun rng -> List.init (d * d) (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs ->
+        let px = Array.of_list vs in
+        List.concat
+          (List.init (d - 2) (fun i ->
+               List.init (d - 2) (fun j ->
+                   let sum = ref 0 in
+                   for di = 0 to 2 do
+                     for dj = 0 to 2 do
+                       sum := !sum + px.(((i + di) * d) + j + dj)
+                     done
+                   done;
+                   Scalar.ref_div_const (Dtype.UInt out_w) !sum 9))))
+  in
+  Workload.make ~name:"box_blur" ~description:"3x3 box blur over an 8x8 UInt(8) image"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let filtered_query =
+  let n = 16 and vw = 8 and cw = 3 and out_w = 12 in
+  let circuit () =
+    let net = Netlist.create () in
+    let values = Array.init n (fun i -> Bus.input net (Printf.sprintf "v%d" i) vw) in
+    let cats = Array.init n (fun i -> Bus.input net (Printf.sprintf "c%d" i) cw) in
+    let query = Bus.input net "q" cw in
+    let zero = Bus.const net ~width:out_w 0 in
+    let acc = ref zero in
+    for i = 0 to n - 1 do
+      let hit = Arith.eq net cats.(i) query in
+      let contrib = Bus.mux net hit (Bus.zero_extend net values.(i) out_w) zero in
+      acc := Arith.add net !acc contrib
+    done;
+    Bus.output net "sum" !acc;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init n (fun _ -> vw) @ List.init n (fun _ -> cw) @ [ cw ])
+      ~out_widths:[ out_w ]
+      ~gen:(fun rng ->
+        List.init n (fun _ -> Rng.int rng (1 lsl vw))
+        @ List.init n (fun _ -> Rng.int rng (1 lsl cw))
+        @ [ Rng.int rng (1 lsl cw) ])
+      ~reference:(fun vs ->
+        let arr = Array.of_list vs in
+        let q = arr.((2 * n)) in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          if arr.(n + i) = q then sum := !sum + arr.(i)
+        done;
+        [ mask out_w !sum ])
+  in
+  Workload.make ~name:"filtered_query" ~description:"sum of matching records in a 16-row table"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let knn =
+  let n = 8 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let pts = Array.init n (fun i ->
+        (* explicit sequencing: tuple components evaluate right-to-left *)
+        let x = Bus.input net (Printf.sprintf "x%d" i) w in
+        let y = Bus.input net (Printf.sprintf "y%d" i) w in
+        (x, y))
+    in
+    let qx = Bus.input net "qx" w in
+    let qy = Bus.input net "qy" w in
+    let dist (x, y) =
+      let wide b = Bus.sign_extend net b (w + 1) in
+      let dx = Arith.abs net (Arith.sub net (wide x) (wide qx)) in
+      let dy = Arith.abs net (Arith.sub net (wide y) (wide qy)) in
+      Arith.add net (Bus.zero_extend net dx (w + 2)) (Bus.zero_extend net dy (w + 2))
+    in
+    let dists = Array.map dist pts in
+    let best = ref dists.(0) in
+    let best_idx = ref (Bus.const net ~width:3 0) in
+    for i = 1 to n - 1 do
+      let closer = Arith.lt_u net dists.(i) !best in
+      best := Bus.mux net closer dists.(i) !best;
+      best_idx := Bus.mux net closer (Bus.const net ~width:3 i) !best_idx
+    done;
+    Bus.output net "nn" !best_idx;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.concat (List.init n (fun _ -> [ w; w ])) @ [ w; w ])
+      ~out_widths:[ 3 ]
+      ~gen:(fun rng -> List.init ((2 * n) + 2) (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs ->
+        let arr = Array.of_list vs in
+        let signed v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        let qx = signed arr.(2 * n) and qy = signed arr.((2 * n) + 1) in
+        let best = ref max_int and best_i = ref 0 in
+        for i = 0 to n - 1 do
+          let d = abs (signed arr.(2 * i) - qx) + abs (signed arr.((2 * i) + 1) - qy) in
+          if d < !best then begin
+            best := d;
+            best_i := i
+          end
+        done;
+        [ !best_i ])
+  in
+  Workload.make ~name:"knn" ~description:"1-nearest-neighbour among 8 SInt(8) points (L1)"
+    ~parallelism:Workload.Mixed ~circuit ~verify ()
+
+let linear_regression =
+  let n = 8 and w = 8 and out_w = 12 in
+  let circuit () =
+    let net = Netlist.create () in
+    let ys = Array.init n (fun i -> Bus.input net (Printf.sprintf "y%d" i) w) in
+    (* x_i = i; slope numerator = sum (2 x_i - (n-1)) y_i (doubled to stay
+       integral), intercept numerator = sum y_i. *)
+    let num = ref (Bus.const net ~width:out_w 0) in
+    let total = ref (Bus.const net ~width:out_w 0) in
+    Array.iteri
+      (fun i y ->
+        let c = (2 * i) - (n - 1) in
+        num := Arith.add net !num (Arith.mul_const_s net ~out_width:out_w y c);
+        total := Arith.add net !total (Bus.sign_extend net y out_w))
+      ys;
+    Bus.output net "slope_num" !num;
+    Bus.output net "sum" !total;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init n (fun _ -> w))
+      ~out_widths:[ out_w; out_w ]
+      ~gen:(fun rng -> List.init n (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs ->
+        let signed v = if v >= 1 lsl (w - 1) then v - (1 lsl w) else v in
+        let num = ref 0 and total = ref 0 in
+        List.iteri
+          (fun i y ->
+            num := !num + (((2 * i) - (n - 1)) * signed y);
+            total := !total + signed y)
+          vs;
+        [ mask out_w !num; mask out_w !total ])
+  in
+  Workload.make ~name:"linear_regression"
+    ~description:"least-squares slope/intercept numerators over 8 samples" ~parallelism:Workload.Wide
+    ~circuit ~verify ()
+
+let string_search =
+  let hay = 16 and needle = 4 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let h = Array.init hay (fun i -> Bus.input net (Printf.sprintf "h%d" i) w) in
+    let nd = Array.init needle (fun i -> Bus.input net (Printf.sprintf "n%d" i) w) in
+    let windows = hay - needle + 1 in
+    let matches =
+      Array.init windows (fun o ->
+          let eqs = Array.init needle (fun k -> Arith.eq net h.(o + k) nd.(k)) in
+          Bus.reduce_and net eqs)
+    in
+    let found = Bus.reduce_or net matches in
+    let idx = ref (Bus.const net ~width:4 15) in
+    for o = windows - 1 downto 0 do
+      idx := Bus.mux net matches.(o) (Bus.const net ~width:4 o) !idx
+    done;
+    Netlist.mark_output net "found" found;
+    Bus.output net "index" !idx;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (hay + needle) (fun _ -> w))
+      ~out_widths:[ 1; 4 ]
+      ~gen:(fun rng ->
+        (* Small alphabet so matches actually occur. *)
+        List.init (hay + needle) (fun _ -> Rng.int rng 3))
+      ~reference:(fun vs ->
+        let arr = Array.of_list vs in
+        let h = Array.sub arr 0 hay and nd = Array.sub arr hay needle in
+        let found = ref false and idx = ref 15 in
+        for o = hay - needle downto 0 do
+          let m = Array.for_all2 ( = ) (Array.sub h o needle) nd in
+          if m then begin
+            found := true;
+            idx := o
+          end
+        done;
+        [ Bool.to_int !found; !idx ])
+  in
+  Workload.make ~name:"string_search" ~description:"find a 4-byte needle in a 16-byte haystack"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let primality =
+  let w = 7 in
+  let divisors = [ 2; 3; 5; 7; 11 ] in
+  let circuit () =
+    let net = Netlist.create () in
+    let n = Bus.input net "n" w in
+    let mod_const p =
+      let pw =
+        let rec bits v = if v = 0 then 0 else 1 + bits (v / 2) in
+        bits p
+      in
+      let r = ref (Bus.const net ~width:(pw + 1) 0) in
+      for i = w - 1 downto 0 do
+        let shifted = Array.append [| Bus.bit n i |] (Array.sub !r 0 pw) in
+        let ge = Netlist.not_ net (Arith.lt_u net shifted (Bus.const net ~width:(pw + 1) p)) in
+        let reduced = Arith.sub net shifted (Bus.const net ~width:(pw + 1) p) in
+        r := Bus.mux net ge reduced shifted
+      done;
+      !r
+    in
+    let two = Bus.const net ~width:w 2 in
+    let ge2 = Netlist.not_ net (Arith.lt_u net n two) in
+    let checks =
+      List.map
+        (fun p ->
+          let rem = mod_const p in
+          let divisible = Arith.eq net rem (Bus.const net ~width:(Bus.width rem) 0) in
+          let is_p = Arith.eq net n (Bus.const net ~width:w p) in
+          Netlist.gate net Gate.Orny divisible is_p)
+        divisors
+    in
+    let all_pass = Bus.reduce_and net (Array.of_list checks) in
+    Netlist.mark_output net "prime" (Netlist.gate net Gate.And ge2 all_pass);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ w ] ~out_widths:[ 1 ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl w) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ n ] ->
+          let prime =
+            n >= 2 && List.for_all (fun p -> n = p || n mod p <> 0) divisors
+          in
+          [ Bool.to_int prime ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"primality" ~description:"trial-division primality test of a UInt(7)"
+    ~parallelism:Workload.Mixed ~circuit ~verify ()
+
+let tea_cipher =
+  let rounds = 8 in
+  let w = 32 in
+  let key = [| 0x1234ABCD; 0x00F0F0F0; 0xDEADBEEF; 0x0BADF00D |] in
+  let delta = 0x9E3779B9 in
+  let circuit () =
+    let net = Netlist.create () in
+    let v0 = ref (Bus.input net "v0" w) in
+    let v1 = ref (Bus.input net "v1" w) in
+    let const v = Bus.const net ~width:w v in
+    let feistel v sum k0 k1 =
+      let a = Arith.add net (Bus.shift_left net v 4) (const k0) in
+      let b = Arith.add net v (const sum) in
+      let c = Arith.add net (Bus.shift_right_logical net v 5) (const k1) in
+      Bus.bxor net (Bus.bxor net a b) c
+    in
+    let sum = ref 0 in
+    for _ = 1 to rounds do
+      sum := mask w (!sum + delta);
+      v0 := Arith.add net !v0 (feistel !v1 !sum key.(0) key.(1));
+      v1 := Arith.add net !v1 (feistel !v0 !sum key.(2) key.(3))
+    done;
+    Bus.output net "c0" !v0;
+    Bus.output net "c1" !v1;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net ~in_widths:[ w; w ] ~out_widths:[ w; w ]
+      ~gen:(fun rng -> [ Rng.int rng (1 lsl w); Rng.int rng (1 lsl w) ])
+      ~reference:(fun vs ->
+        match vs with
+        | [ a; b ] ->
+          let v0 = ref a and v1 = ref b and sum = ref 0 in
+          let feistel v sum k0 k1 =
+            mask w ((mask w ((v lsl 4) + key.(k0))) lxor (mask w (v + sum)) lxor (mask w ((v lsr 5) + key.(k1))))
+          in
+          for _ = 1 to rounds do
+            sum := mask w (!sum + delta);
+            v0 := mask w (!v0 + feistel !v1 !sum 0 1);
+            v1 := mask w (!v1 + feistel !v0 !sum 2 3)
+          done;
+          [ !v0; !v1 ]
+        | _ -> assert false)
+  in
+  Workload.make ~name:"tea_cipher" ~description:"8 TEA rounds over two encrypted 32-bit halves"
+    ~parallelism:Workload.Serial ~circuit ~verify ()
+
+
+let private_set_intersection =
+  (* Count how many of the client's 8 encrypted items occur in the server's
+     encrypted 8-item set (VIP-Bench-style privacy workload). *)
+  let n = 8 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let xs = Array.init n (fun i -> Bus.input net (Printf.sprintf "a%d" i) w) in
+    let ys = Array.init n (fun i -> Bus.input net (Printf.sprintf "b%d" i) w) in
+    let hits =
+      Array.map
+        (fun x ->
+          let eqs = Array.map (fun y -> Arith.eq net x y) ys in
+          Bus.reduce_or net eqs)
+        xs
+    in
+    Bus.output net "count" (popcount net hits);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init (2 * n) (fun _ -> w))
+      ~out_widths:[ 4 ]
+      ~gen:(fun rng -> List.init (2 * n) (fun _ -> Rng.int rng 12))
+      ~reference:(fun vs ->
+        let arr = Array.of_list vs in
+        let xs = Array.sub arr 0 n and ys = Array.sub arr n n in
+        [ Array.fold_left (fun acc x -> acc + Bool.to_int (Array.mem x ys)) 0 xs ])
+  in
+  Workload.make ~name:"psi" ~description:"private set intersection cardinality (8 vs 8 items)"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let fann_inference =
+  (* VIP-Bench's FANN benchmark: a small fully-connected network, here
+     4 -> 6 -> 2 with ReLU, in Fixed(8,4) via the ChiselTorch layers. *)
+  let dtype = Dtype.Fixed { width = 8; frac = 4 } in
+  let dwidth = Dtype.width dtype in
+  let model =
+    let rng = Rng.create ~seed:771 () in
+    let rf n = Array.init n (fun _ -> (Rng.float rng -. 0.5) /. 2.0) in
+    Nn.[
+      Linear { in_features = 4; out_features = 6; weights = rf 24; bias = Some (rf 6) };
+      Relu;
+      Linear { in_features = 6; out_features = 2; weights = rf 12; bias = Some (rf 2) };
+    ]
+  in
+  let circuit () =
+    let net = Netlist.create () in
+    let x = Tensor.input net "x" dtype [| 4 |] in
+    Tensor.output net "y" (Nn.run net model x);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    let patterns = Array.init 4 (fun _ -> Rng.int rng (1 lsl dwidth)) in
+    let expected = Nn.reference model dtype [| 4 |] patterns in
+    let got =
+      Workload.eval_packed net
+        ~in_widths:(List.init 4 (fun _ -> dwidth))
+        ~in_values:(Array.to_list patterns)
+        ~out_widths:(List.init (Array.length expected) (fun _ -> dwidth))
+    in
+    got = Array.to_list expected
+  in
+  Workload.make ~name:"fann_inference" ~description:"tiny fully-connected network (FANN), 4-6-2"
+    ~parallelism:Workload.Mixed ~circuit ~verify ()
+
+
+let merge_sort =
+  (* Batcher's odd-even mergesort: same function as bubble_sort but with a
+     log^2-depth network — the sorting counterpart of the Kogge-Stone
+     ablation (wide and shallow vs narrow and deep). *)
+  let n = 8 and w = 8 in
+  let circuit () =
+    let net = Netlist.create () in
+    let xs = Array.init n (fun i -> Bus.input net (Printf.sprintf "x%d" i) w) in
+    let compare_swap i j =
+      let lo, hi = min_max_u net xs.(i) xs.(j) in
+      xs.(i) <- lo;
+      xs.(j) <- hi
+    in
+    (* Classic index-based odd-even merge over power-of-two spans. *)
+    let rec odd_even_merge lo len r =
+      let step = r * 2 in
+      if step < len then begin
+        odd_even_merge lo len step;
+        odd_even_merge (lo + r) len step;
+        let i = ref (lo + r) in
+        while !i + r < lo + len do
+          compare_swap !i (!i + r);
+          i := !i + step
+        done
+      end
+      else compare_swap lo (lo + r)
+    in
+    let rec sort lo len =
+      if len > 1 then begin
+        let half = len / 2 in
+        sort lo half;
+        sort (lo + half) half;
+        odd_even_merge lo len 1
+      end
+    in
+    sort 0 n;
+    Array.iteri (fun i x -> Bus.output net (Printf.sprintf "s%d" i) x) xs;
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    check_cases rng ~net
+      ~in_widths:(List.init n (fun _ -> w))
+      ~out_widths:(List.init n (fun _ -> w))
+      ~gen:(fun rng -> List.init n (fun _ -> Rng.int rng (1 lsl w)))
+      ~reference:(fun vs -> List.sort compare vs)
+  in
+  Workload.make ~name:"merge_sort" ~description:"Batcher odd-even mergesort over 8 UInt(8) values"
+    ~parallelism:Workload.Wide ~circuit ~verify ()
+
+let all =
+  [
+    hamming_distance;
+    dot_product;
+    bubble_sort;
+    merge_sort;
+    distinctness;
+    edit_distance;
+    eulers_approx;
+    nr_solver;
+    gradient_descent;
+    parrondo;
+    rc_edge_detection;
+    box_blur;
+    filtered_query;
+    knn;
+    linear_regression;
+    string_search;
+    primality;
+    tea_cipher;
+    private_set_intersection;
+    fann_inference;
+  ]

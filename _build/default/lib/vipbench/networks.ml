@@ -1,0 +1,186 @@
+(* Neural-network workloads: the three MNIST CNNs of §V-A (MNIST_S from
+   VIP-Bench plus the larger MNIST_M/MNIST_L variants) and the two BERT-style
+   self-attention layers (Attention_S/Attention_L).  Weights are synthetic
+   (seeded PRNG): every reported quantity depends only on shapes and dtypes.
+
+   The [_tiny] variants are scaled-down instances used by the fast unit-test
+   sweep; the paper-size instances are flagged [heavy]. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Rng = Pytfhe_util.Rng
+open Pytfhe_chiseltorch
+
+let dtype = Dtype.Fixed { width = 8; frac = 4 }
+let dwidth = Dtype.width dtype
+
+let random_floats rng n scale = Array.init n (fun _ -> (Rng.float rng -. 0.5) *. 2.0 *. scale)
+
+(* The VIP-Bench MNIST model shape (paper Fig. 4): Conv -> ReLU ->
+   MaxPool2d(3,1) -> Flatten -> Linear(..., 10). *)
+let mnist_model ~seed ~image ~conv_ch =
+  let rng = Rng.create ~seed () in
+  let conv_out = image - 2 in
+  let pool_out = conv_out - 2 in
+  let features = conv_ch * pool_out * pool_out in
+  [
+    Nn.Conv2d
+      {
+        in_ch = 1;
+        out_ch = conv_ch;
+        kernel = 3;
+        stride = 1;
+        padding = 0;
+        weights = random_floats rng (conv_ch * 9) 0.5;
+        bias = Some (random_floats rng conv_ch 0.25);
+      };
+    Nn.Relu;
+    Nn.MaxPool2d { kernel = 3; stride = 1 };
+    Nn.Flatten;
+    Nn.Linear
+      {
+        in_features = features;
+        out_features = 10;
+        weights = random_floats rng (features * 10) 0.25;
+        bias = Some (random_floats rng 10 0.25);
+      };
+  ]
+
+let nn_workload ~name ~description ~heavy ~model ~input_shape =
+  let circuit () =
+    let net = Netlist.create () in
+    let x = Tensor.input net "x" dtype input_shape in
+    Tensor.output net "y" (Nn.run net model x);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    let n = Array.fold_left ( * ) 1 input_shape in
+    let ok = ref true in
+    for _ = 1 to 2 do
+      let patterns = Array.init n (fun _ -> Rng.int rng (1 lsl dwidth)) in
+      let expected = Nn.reference model dtype input_shape patterns in
+      let got =
+        Workload.eval_packed net
+          ~in_widths:(List.init n (fun _ -> dwidth))
+          ~in_values:(Array.to_list patterns)
+          ~out_widths:(List.init (Array.length expected) (fun _ -> dwidth))
+      in
+      if got <> Array.to_list expected then ok := false
+    done;
+    !ok
+  in
+  Workload.make ~name ~description ~parallelism:Workload.Wide ~heavy ~circuit ~verify ()
+
+let mnist_s =
+  nn_workload ~name:"mnist_s" ~description:"VIP-Bench MNIST CNN (1 conv kernel, 28x28)" ~heavy:true
+    ~model:(mnist_model ~seed:101 ~image:28 ~conv_ch:1)
+    ~input_shape:[| 1; 28; 28 |]
+
+let mnist_m =
+  nn_workload ~name:"mnist_m" ~description:"MNIST CNN with 2 conv kernels" ~heavy:true
+    ~model:(mnist_model ~seed:102 ~image:28 ~conv_ch:2)
+    ~input_shape:[| 1; 28; 28 |]
+
+let mnist_l =
+  nn_workload ~name:"mnist_l" ~description:"MNIST CNN with 3 conv kernels" ~heavy:true
+    ~model:(mnist_model ~seed:103 ~image:28 ~conv_ch:3)
+    ~input_shape:[| 1; 28; 28 |]
+
+let mnist_tiny =
+  nn_workload ~name:"mnist_tiny" ~description:"scaled-down MNIST CNN for fast functional checks"
+    ~heavy:false
+    ~model:(mnist_model ~seed:104 ~image:8 ~conv_ch:1)
+    ~input_shape:[| 1; 8; 8 |]
+
+(* ------------------------------------------------------------------ *)
+(* Self-attention                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ref_fixed_sum terms =
+  match terms with
+  | [] -> invalid_arg "ref_fixed_sum"
+  | first :: rest -> List.fold_left (fun acc t -> Scalar.ref_add dtype acc t) first rest
+
+let ref_attention (cfg : Attention.config) (w : Attention.weights) patterns =
+  let s = cfg.Attention.seq_len and h = cfg.Attention.hidden in
+  let x i k = patterns.((i * h) + k) in
+  let project weights i j =
+    ref_fixed_sum (List.init h (fun k -> Scalar.ref_mul_scalar dtype (x i k) weights.(k).(j)))
+  in
+  let q = Array.init s (fun i -> Array.init h (project w.Attention.wq i)) in
+  let k_m = Array.init s (fun i -> Array.init h (project w.Attention.wk i)) in
+  let v = Array.init s (fun i -> Array.init h (project w.Attention.wv i)) in
+  let scores =
+    Array.init s (fun i ->
+        Array.init s (fun j ->
+            ref_fixed_sum (List.init h (fun x -> Scalar.ref_mul dtype q.(i).(x) k_m.(j).(x)))))
+  in
+  let scale = 1.0 /. sqrt (float_of_int h) in
+  let attn =
+    Array.map (Array.map (fun p -> Scalar.ref_relu dtype (Scalar.ref_mul_scalar dtype p scale))) scores
+  in
+  Array.init (s * h) (fun flat ->
+      let i = flat / h and j = flat mod h in
+      ref_fixed_sum (List.init s (fun x -> Scalar.ref_mul dtype attn.(i).(x) v.(x).(j))))
+
+let attention_workload ~name ~description ~heavy ~seed ~seq_len ~hidden =
+  let cfg = { Attention.seq_len; hidden } in
+  let weights = Attention.random_weights (Rng.create ~seed ()) cfg in
+  let circuit () =
+    let net = Netlist.create () in
+    let x = Tensor.input net "x" dtype [| seq_len; hidden |] in
+    Tensor.output net "y" (Attention.build net cfg weights x);
+    net
+  in
+  let verify rng =
+    let net = circuit () in
+    let n = seq_len * hidden in
+    let patterns = Array.init n (fun _ -> Rng.int rng (1 lsl dwidth)) in
+    let expected = ref_attention cfg weights patterns in
+    let got =
+      Workload.eval_packed net
+        ~in_widths:(List.init n (fun _ -> dwidth))
+        ~in_values:(Array.to_list patterns)
+        ~out_widths:(List.init (Array.length expected) (fun _ -> dwidth))
+    in
+    got = Array.to_list expected
+  in
+  Workload.make ~name ~description ~parallelism:Workload.Wide ~heavy ~circuit ~verify ()
+
+let attention_s =
+  attention_workload ~name:"attention_s" ~description:"BERT-style self-attention, hidden 32"
+    ~heavy:true ~seed:201 ~seq_len:8 ~hidden:32
+
+let attention_l =
+  attention_workload ~name:"attention_l" ~description:"BERT-style self-attention, hidden 64"
+    ~heavy:true ~seed:202 ~seq_len:8 ~hidden:64
+
+let attention_tiny =
+  attention_workload ~name:"attention_tiny"
+    ~description:"scaled-down self-attention for fast functional checks" ~heavy:false ~seed:203
+    ~seq_len:2 ~hidden:4
+
+
+(* A LeNet-style two-conv CNN — an extension workload beyond the paper's
+   MNIST_S/M/L family, exercising stacked conv + average-pool stages. *)
+let lenet_model =
+  let rng = Rng.create ~seed:301 () in
+  let rf n s = Array.init n (fun _ -> (Rng.float rng -. 0.5) *. 2.0 *. s) in
+  [
+    Nn.Conv2d { in_ch = 1; out_ch = 2; kernel = 5; stride = 1; padding = 0;
+                weights = rf (2 * 25) 0.4; bias = Some (rf 2 0.2) };
+    Nn.Relu;
+    Nn.AvgPool2d { kernel = 2; stride = 2 };
+    Nn.Conv2d { in_ch = 2; out_ch = 4; kernel = 5; stride = 1; padding = 0;
+                weights = rf (4 * 2 * 25) 0.4; bias = Some (rf 4 0.2) };
+    Nn.Relu;
+    Nn.AvgPool2d { kernel = 2; stride = 2 };
+    Nn.Flatten;
+    Nn.Linear { in_features = 64; out_features = 10; weights = rf 640 0.3; bias = Some (rf 10 0.2) };
+  ]
+
+let lenet =
+  nn_workload ~name:"lenet" ~description:"LeNet-style CNN (2 conv + 2 avg-pool stages, 28x28)"
+    ~heavy:true ~model:lenet_model ~input_shape:[| 1; 28; 28 |]
+
+let all = [ mnist_tiny; mnist_s; mnist_m; mnist_l; attention_tiny; attention_s; attention_l; lenet ]

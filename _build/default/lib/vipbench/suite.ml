@@ -1,0 +1,18 @@
+let kernels = Kernels.all
+let networks = Networks.all
+
+let all = kernels @ networks
+
+let light = List.filter (fun w -> not w.Workload.heavy) all
+
+let paper_set =
+  (* The instances the paper's figures evaluate: drop the test-only _tiny
+     variants and the extension workloads that are not in the paper. *)
+  let excluded w =
+    let n = w.Workload.name in
+    n = "lenet"
+    || (String.length n > 5 && String.sub n (String.length n - 5) 5 = "_tiny")
+  in
+  kernels @ List.filter (fun w -> not (excluded w)) networks
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all

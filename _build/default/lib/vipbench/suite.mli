@@ -1,0 +1,19 @@
+(** The benchmark registry: 17 VIP-Bench-style kernels, the MNIST_S/M/L
+    CNNs, the Attention_S/L layers, and scaled-down [_tiny] variants for
+    fast functional testing. *)
+
+val kernels : Workload.t list
+val networks : Workload.t list
+
+val all : Workload.t list
+(** Every workload. *)
+
+val light : Workload.t list
+(** Workloads cheap enough for the unit-test sweep. *)
+
+val paper_set : Workload.t list
+(** The instances the paper's Figs. 10/11 evaluate (kernels + MNIST S/M/L +
+    Attention S/L, no [_tiny] variants). *)
+
+val find : string -> Workload.t option
+(** Look a workload up by name. *)

@@ -1,0 +1,50 @@
+module Netlist = Pytfhe_circuit.Netlist
+
+type parallelism = Wide | Serial | Mixed
+
+type t = {
+  name : string;
+  description : string;
+  parallelism : parallelism;
+  heavy : bool;
+  circuit : unit -> Netlist.t;
+  verify : Pytfhe_util.Rng.t -> bool;
+}
+
+let make ~name ~description ~parallelism ?(heavy = false) ~circuit ~verify () =
+  { name; description; parallelism; heavy; circuit; verify }
+
+let pack ~widths values =
+  if List.length widths <> List.length values then invalid_arg "Workload.pack: arity mismatch";
+  let bits =
+    List.concat_map
+      (fun (w, v) -> List.init w (fun i -> (v asr i) land 1 = 1))
+      (List.combine widths values)
+  in
+  Array.of_list bits
+
+let unpack ~widths outputs =
+  let bits = List.map snd outputs in
+  let rec take n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> invalid_arg "Workload.unpack: not enough output bits"
+      | x :: rest ->
+        let taken, remaining = take (n - 1) rest in
+        (x :: taken, remaining)
+  in
+  let rec go widths bits =
+    match widths with
+    | [] -> if bits = [] then [] else invalid_arg "Workload.unpack: leftover output bits"
+    | w :: rest ->
+      let taken, remaining = take w bits in
+      (* bits are LSB first: fold from the MSB end *)
+      let value = List.fold_left (fun acc b -> (acc * 2) + Bool.to_int b) 0 (List.rev taken) in
+      value :: go rest remaining
+  in
+  go widths bits
+
+let eval_packed net ~in_widths ~in_values ~out_widths =
+  let ins = pack ~widths:in_widths in_values in
+  unpack ~widths:out_widths (Netlist.eval_outputs net ins)

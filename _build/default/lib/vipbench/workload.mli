@@ -1,0 +1,39 @@
+(** Workload registry for the evaluation (paper §V-A).
+
+    Every benchmark is a circuit generator paired with a plaintext reference
+    implementation; [verify] builds the circuit, drives it with random
+    inputs, and compares every output bit against the reference — the same
+    methodology as the pre-built/validated Chisel modules of §IV-B. *)
+
+type parallelism =
+  | Wide  (** Scales across workers/SMs (e.g. image filters, NNs). *)
+  | Serial  (** Mostly sequential dataflow (e.g. NRSolver, Parrondo). *)
+  | Mixed
+
+type t = {
+  name : string;
+  description : string;
+  parallelism : parallelism;
+  heavy : bool;  (** Too large for the default unit-test sweep. *)
+  circuit : unit -> Pytfhe_circuit.Netlist.t;
+  verify : Pytfhe_util.Rng.t -> bool;
+      (** Build + run on random inputs, compare with the reference. *)
+}
+
+val make :
+  name:string -> description:string -> parallelism:parallelism -> ?heavy:bool ->
+  circuit:(unit -> Pytfhe_circuit.Netlist.t) -> verify:(Pytfhe_util.Rng.t -> bool) -> unit -> t
+
+(** Bit-packing helpers shared by benchmark verifiers. *)
+
+val pack : widths:int list -> int list -> bool array
+(** Pack integer values into input bits (LSB first per value, values in
+    declaration order). *)
+
+val unpack : widths:int list -> (string * bool) list -> int list
+(** Group evaluated output bits back into unsigned integers. *)
+
+val eval_packed :
+  Pytfhe_circuit.Netlist.t -> in_widths:int list -> in_values:int list -> out_widths:int list ->
+  int list
+(** Convenience: pack, evaluate, unpack. *)

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Bytes Cost_model Float Lazy List Plain_eval Printf Pytfhe_backend Pytfhe_circuit Pytfhe_tfhe Pytfhe_util Sched_cpu Sched_gpu Str Stream_exec String Tfhe_eval Vcd

@@ -1,0 +1,1 @@
+test/test_chiseltorch.ml: Alcotest Array Bool Dtype Float Format List Nn Printf Pytfhe_chiseltorch Pytfhe_circuit Pytfhe_hdl Pytfhe_util QCheck QCheck_alcotest Scalar Tensor

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Binary Bool Bytes Dot Format Gate Levelize List Netlist Printf Pytfhe_circuit Pytfhe_synth Pytfhe_util QCheck QCheck_alcotest Stats Str String

@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Float Gen List Printf Pytfhe_fft Pytfhe_util QCheck QCheck_alcotest

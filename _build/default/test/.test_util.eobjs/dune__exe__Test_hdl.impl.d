@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Arith Array Bool Bus Float Float_repr Float_unit List Printf Pytfhe_circuit Pytfhe_hdl Pytfhe_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tfhe.ml: Alcotest Array Bool Bootstrap Buffer Float Fun Gates Keyswitch Lazy List Lwe Noise Params Poly Printf Pytfhe_tfhe Pytfhe_util QCheck QCheck_alcotest Tgsw Tlwe Torus

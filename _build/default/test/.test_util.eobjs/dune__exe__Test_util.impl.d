@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Filename Float List Option Pytfhe_util QCheck QCheck_alcotest Sys

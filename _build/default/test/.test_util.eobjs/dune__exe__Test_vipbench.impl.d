@@ -1,0 +1,1 @@
+test/test_vipbench.ml: Alcotest Hashtbl List Pytfhe_circuit Pytfhe_util Pytfhe_vipbench

@@ -1,0 +1,555 @@
+module Rng = Pytfhe_util.Rng
+module Netlist = Pytfhe_circuit.Netlist
+open Pytfhe_chiseltorch
+
+(* ------------------------------------------------------------------ *)
+(* Dtype                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtype_widths () =
+  Alcotest.(check int) "uint" 5 (Dtype.width (Dtype.UInt 5));
+  Alcotest.(check int) "sint" 8 (Dtype.width (Dtype.SInt 8));
+  Alcotest.(check int) "fixed" 12 (Dtype.width (Dtype.Fixed { width = 12; frac = 4 }));
+  Alcotest.(check int) "float(8,8) is 17 bits" 17 (Dtype.width (Dtype.Float { e = 8; m = 8 }))
+
+let test_dtype_roundtrip () =
+  let cases =
+    [
+      (Dtype.UInt 8, [ 0.0; 1.0; 255.0; 100.0 ]);
+      (Dtype.SInt 8, [ 0.0; -1.0; 127.0; -128.0; 42.0 ]);
+      (Dtype.Fixed { width = 8; frac = 4 }, [ 0.0; 1.5; -2.25; 7.9375; -8.0 ]);
+      (Dtype.Float { e = 5; m = 6 }, [ 0.0; 1.0; -3.5; 0.125 ]);
+    ]
+  in
+  List.iter
+    (fun (dt, values) ->
+      List.iter
+        (fun v ->
+          let back = Dtype.decode dt (Dtype.encode dt v) in
+          Alcotest.(check (float 1e-9)) (Format.asprintf "%a %g" Dtype.pp dt v) v back)
+        values)
+    cases
+
+let test_dtype_clamps () =
+  Alcotest.(check (float 1e-9)) "uint8 clamps high" 255.0
+    (Dtype.decode (Dtype.UInt 8) (Dtype.encode (Dtype.UInt 8) 300.0));
+  Alcotest.(check (float 1e-9)) "uint8 clamps low" 0.0
+    (Dtype.decode (Dtype.UInt 8) (Dtype.encode (Dtype.UInt 8) (-5.0)));
+  Alcotest.(check (float 1e-9)) "sint8 clamps" 127.0
+    (Dtype.decode (Dtype.SInt 8) (Dtype.encode (Dtype.SInt 8) 1000.0));
+  Alcotest.(check (float 1e-9)) "fixed clamps" (-8.0)
+    (Dtype.decode (Dtype.Fixed { width = 8; frac = 4 }) (Dtype.encode (Dtype.Fixed { width = 8; frac = 4 }) (-100.0)))
+
+let test_dtype_of_string () =
+  let check s expected =
+    match (Dtype.of_string s, expected) with
+    | Some got, Some e -> Alcotest.(check string) s (Format.asprintf "%a" Dtype.pp e) (Format.asprintf "%a" Dtype.pp got)
+    | None, None -> ()
+    | Some _, None -> Alcotest.failf "%s should not parse" s
+    | None, Some _ -> Alcotest.failf "%s should parse" s
+  in
+  check "sint8" (Some (Dtype.SInt 8));
+  check "uint4" (Some (Dtype.UInt 4));
+  check "fixed8.4" (Some (Dtype.Fixed { width = 8; frac = 4 }));
+  check "float8.8" (Some (Dtype.Float { e = 8; m = 8 }));
+  check "float5.11" (Some (Dtype.Float { e = 5; m = 11 }));
+  check "banana" None;
+  check "sint0" None
+
+(* ------------------------------------------------------------------ *)
+(* Scalar circuit vs reference                                         *)
+(* ------------------------------------------------------------------ *)
+
+let eval_scalar_binop dtype op a_pat b_pat =
+  let w = Dtype.width dtype in
+  let net = Netlist.create () in
+  let a = Pytfhe_hdl.Bus.input net "a" w in
+  let b = Pytfhe_hdl.Bus.input net "b" w in
+  let r = op net dtype a b in
+  let ins = Array.init (2 * w) (fun i -> if i < w then (a_pat asr i) land 1 = 1 else (b_pat asr (i - w)) land 1 = 1) in
+  let values = Netlist.eval net ins in
+  Array.fold_left (fun acc id -> (acc lsl 1) lor Bool.to_int values.(id)) 0
+    (Array.of_list (List.rev (Array.to_list r)))
+
+let eval_scalar_unop dtype op a_pat =
+  let w = Dtype.width dtype in
+  let net = Netlist.create () in
+  let a = Pytfhe_hdl.Bus.input net "a" w in
+  let r = op net dtype a in
+  let ins = Array.init w (fun i -> (a_pat asr i) land 1 = 1) in
+  let values = Netlist.eval net ins in
+  Array.fold_left (fun acc id -> (acc lsl 1) lor Bool.to_int values.(id)) 0
+    (Array.of_list (List.rev (Array.to_list r)))
+
+let int_dtypes =
+  [ Dtype.UInt 8; Dtype.SInt 8; Dtype.Fixed { width = 8; frac = 4 }; Dtype.Fixed { width = 10; frac = 3 } ]
+
+let scalar_binop_test name circuit reference =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1023) (int_range 0 1023))
+    (fun (di, a, b) ->
+      let dtype = List.nth int_dtypes di in
+      let m = (1 lsl Dtype.width dtype) - 1 in
+      let a = a land m and b = b land m in
+      eval_scalar_binop dtype circuit a b = reference dtype a b)
+
+let qcheck_scalar_add = scalar_binop_test "scalar add = ref_add" Scalar.add Scalar.ref_add
+let qcheck_scalar_sub = scalar_binop_test "scalar sub = ref_sub" Scalar.sub Scalar.ref_sub
+let qcheck_scalar_mul = scalar_binop_test "scalar mul = ref_mul" Scalar.mul Scalar.ref_mul
+
+let qcheck_scalar_max =
+  scalar_binop_test "scalar max = ref_max" Scalar.max_ (fun dt a b -> Scalar.ref_max dt a b)
+
+let qcheck_scalar_relu =
+  QCheck.Test.make ~name:"scalar relu = ref_relu" ~count:200
+    QCheck.(pair (int_range 0 3) (int_range 0 1023))
+    (fun (di, a) ->
+      let dtype = List.nth int_dtypes di in
+      let a = a land ((1 lsl Dtype.width dtype) - 1) in
+      eval_scalar_unop dtype Scalar.relu a = Scalar.ref_relu dtype a)
+
+let qcheck_scalar_mul_scalar =
+  QCheck.Test.make ~name:"scalar mul_scalar = ref_mul_scalar" ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1023) (float_range (-10.0) 10.0))
+    (fun (di, a, c) ->
+      let dtype = List.nth int_dtypes di in
+      let a = a land ((1 lsl Dtype.width dtype) - 1) in
+      eval_scalar_unop dtype (fun net dt x -> Scalar.mul_scalar net dt x c) a
+      = Scalar.ref_mul_scalar dtype a c)
+
+let qcheck_scalar_div_const =
+  QCheck.Test.make ~name:"scalar div_const = ref_div_const" ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1023) (int_range 1 16))
+    (fun (di, a, n) ->
+      let dtype = List.nth int_dtypes di in
+      let a = a land ((1 lsl Dtype.width dtype) - 1) in
+      eval_scalar_unop dtype (fun net dt x -> Scalar.div_const net dt x n) a
+      = Scalar.ref_div_const dtype a n)
+
+let qcheck_scalar_lt =
+  QCheck.Test.make ~name:"scalar lt = ref_lt" ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1023) (int_range 0 1023))
+    (fun (di, a, b) ->
+      let dtype = List.nth int_dtypes di in
+      let w = Dtype.width dtype in
+      let a = a land ((1 lsl w) - 1) and b = b land ((1 lsl w) - 1) in
+      let net = Netlist.create () in
+      let ba = Pytfhe_hdl.Bus.input net "a" w in
+      let bb = Pytfhe_hdl.Bus.input net "b" w in
+      let wire = Scalar.lt net dtype ba bb in
+      let ins = Array.init (2 * w) (fun i -> if i < w then (a asr i) land 1 = 1 else (b asr (i - w)) land 1 = 1) in
+      (Netlist.eval net ins).(wire) = Scalar.ref_lt dtype a b)
+
+
+let qcheck_scalar_div =
+  QCheck.Test.make ~name:"scalar div = ref_div" ~count:200
+    QCheck.(triple (int_range 0 3) (int_range 0 1023) (int_range 0 1023))
+    (fun (di, a, b) ->
+      let dtype = List.nth int_dtypes di in
+      let m = (1 lsl Dtype.width dtype) - 1 in
+      let a = a land m and b = b land m in
+      eval_scalar_binop dtype Scalar.div a b = Scalar.ref_div dtype a b)
+
+let test_scalar_div_known_cases () =
+  let check dtype a b expected =
+    Alcotest.(check int)
+      (Format.asprintf "%a: %d / %d" Dtype.pp dtype a b)
+      expected
+      (eval_scalar_binop dtype Scalar.div a b)
+  in
+  check (Dtype.UInt 8) 100 7 14;
+  check (Dtype.SInt 8) (0x100 - 100) 7 (0x100 - 14);
+  (* -100 / 7 = -14 *)
+  check (Dtype.SInt 8) 100 (0x100 - 7) (0x100 - 14);
+  (* fixed 8.4: 3.0 / 1.5 = 2.0 -> pattern 2 * 16 = 32 *)
+  check (Dtype.Fixed { width = 8; frac = 4 }) 48 24 32
+
+let test_scalar_div_float_close () =
+  (* Float division is approximate (Newton-Raphson reciprocal); check it
+     lands within a percent of the real quotient. *)
+  let dtype = Dtype.Float { e = 5; m = 6 } in
+  List.iter
+    (fun (a, b) ->
+      let pa = Dtype.encode dtype a and pb = Dtype.encode dtype b in
+      let got = Dtype.decode dtype (eval_scalar_binop dtype Scalar.div pa pb) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g / %g -> %g" a b got)
+        true
+        (Float.abs (got -. (a /. b)) <= 0.02 *. Float.abs (a /. b) +. 1e-6))
+    [ (1.0, 2.0); (-6.0, 1.5); (10.0, -4.0); (0.75, 3.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Tensor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dt8 = Dtype.SInt 8
+
+let eval_tensor net patterns tensor =
+  let w = Dtype.width (Tensor.dtype tensor) in
+  let ins =
+    Array.concat
+      (List.map (fun p -> Array.init 8 (fun i -> (p asr i) land 1 = 1)) (Array.to_list patterns))
+  in
+  let values = Netlist.eval net ins in
+  Array.init (Tensor.numel tensor) (fun i ->
+      let bus = Tensor.get_flat tensor i in
+      let v = ref 0 in
+      Array.iteri (fun b id -> if values.(id) then v := !v lor (1 lsl b)) bus;
+      ignore w;
+      !v)
+
+let test_tensor_div () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" (Dtype.UInt 8) [| 3 |] in
+  let y = Tensor.input net "y" (Dtype.UInt 8) [| 3 |] in
+  let q = Tensor.div net x y in
+  let got = eval_tensor net [| 100; 81; 7; 7; 9; 2 |] q in
+  Alcotest.(check (array int)) "elementwise division" [| 14; 9; 3 |] got
+
+let test_tensor_shape_ops_are_free () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 2; 3 |] in
+  let before = Netlist.gate_count net in
+  let _ = Tensor.reshape x [| 3; 2 |] in
+  let _ = Tensor.flatten x in
+  let _ = Tensor.transpose x in
+  Alcotest.(check int) "no gates for shape ops" before (Netlist.gate_count net)
+
+let test_tensor_reshape_rejects () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 2; 3 |] in
+  Alcotest.check_raises "bad reshape" (Invalid_argument "Tensor.reshape: element count mismatch")
+    (fun () -> ignore (Tensor.reshape x [| 4; 2 |]))
+
+let test_tensor_transpose_values () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 2; 3 |] in
+  let xt = Tensor.transpose x in
+  Alcotest.(check (array int)) "shape" [| 3; 2 |] (Tensor.shape xt);
+  let patterns = [| 1; 2; 3; 4; 5; 6 |] in
+  let got = eval_tensor net patterns xt in
+  Alcotest.(check (array int)) "transposed" [| 1; 4; 2; 5; 3; 6 |] got
+
+let test_tensor_add_mul () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 4 |] in
+  let y = Tensor.input net "y" dt8 [| 4 |] in
+  let s = Tensor.add net x y in
+  let p = Tensor.mul net x y in
+  let xp = [| 3; 250; 7; 130 |] and yp = [| 5; 10; 256 - 3; 130 |] in
+  let patterns = Array.append xp yp in
+  let ws = eval_tensor net patterns s in
+  let wp = eval_tensor net patterns p in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "add" (Scalar.ref_add dt8 xp.(i) yp.(i)) v)
+    ws;
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "mul" (Scalar.ref_mul dt8 xp.(i) yp.(i)) v)
+    wp
+
+let test_tensor_matmul () =
+  let net = Netlist.create () in
+  let a = Tensor.input net "a" dt8 [| 2; 2 |] in
+  let b = Tensor.input net "b" dt8 [| 2; 2 |] in
+  let c = Tensor.matmul net a b in
+  (* [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50] *)
+  let got = eval_tensor net [| 1; 2; 3; 4; 5; 6; 7; 8 |] c in
+  Alcotest.(check (array int)) "matmul" [| 19; 22; 43; 50 |] got
+
+let test_tensor_sum_and_dot () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 4 |] in
+  let y = Tensor.input net "y" dt8 [| 4 |] in
+  let s = Tensor.sum net x in
+  let d = Tensor.dot net x y in
+  let patterns = [| 1; 2; 3; 4; 2; 2; 2; 2 |] in
+  Alcotest.(check int) "sum" 10 (eval_tensor net patterns s).(0);
+  Alcotest.(check int) "dot" 20 (eval_tensor net patterns d).(0)
+
+let test_tensor_argmax () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 5 |] in
+  let am = Tensor.argmax net x in
+  let check patterns expected =
+    let got = eval_tensor net patterns am in
+    Alcotest.(check int) "argmax" expected got.(0)
+  in
+  (* signed: 0x80 = -128 *)
+  check [| 1; 9; 3; 9; 0 |] 1;
+  (* ties keep the first *)
+  check [| 0x80; 0; 1; 2; 3 |] 4
+
+let test_tensor_argmin () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 4 |] in
+  let am = Tensor.argmin net x in
+  let got = eval_tensor net [| 5; 0x80; 3; 0 |] am in
+  Alcotest.(check int) "argmin picks -128" 1 got.(0)
+
+let test_tensor_pad2d () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 1; 2; 2 |] in
+  let p = Tensor.pad2d net x 1 0.0 in
+  Alcotest.(check (array int)) "padded shape" [| 1; 4; 4 |] (Tensor.shape p);
+  let got = eval_tensor net [| 1; 2; 3; 4 |] p in
+  Alcotest.(check (array int)) "padding zeros"
+    [| 0; 0; 0; 0; 0; 1; 2; 0; 0; 3; 4; 0; 0; 0; 0; 0 |]
+    got
+
+let test_tensor_comparisons () =
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dt8 [| 3 |] in
+  let y = Tensor.input net "y" dt8 [| 3 |] in
+  let lt = Tensor.lt_t net x y in
+  Alcotest.(check bool) "result dtype UInt(1)" true (Tensor.dtype lt = Dtype.UInt 1);
+  let patterns = [| 1; 5; 0xFF; 2; 5; 1 |] in
+  (* signed: 0xFF = -1 < 1 *)
+  let got = eval_tensor net patterns lt in
+  Alcotest.(check (array int)) "lt results" [| 1; 0; 1 |] got
+
+
+let test_matmul_const_matches_matmul () =
+  (* Multiplying by a constant-weight matrix must equal multiplying by the
+     same matrix materialised as a constant tensor. *)
+  let dtype = Dtype.Fixed { width = 8; frac = 4 } in
+  let weights = [| [| 0.5; -1.25 |]; [| 2.0; 0.75 |]; [| -0.5; 1.5 |] |] in
+  let rng = Rng.create ~seed:88 () in
+  for _ = 1 to 5 do
+    let patterns = Array.init 6 (fun _ -> Rng.int rng 256) in
+    let build use_const =
+      let net = Netlist.create () in
+      let x = Tensor.input net "x" dtype [| 2; 3 |] in
+      let y =
+        if use_const then Tensor.matmul_const net x weights
+        else
+          let flat = Array.concat (Array.to_list (Array.map Array.copy weights)) in
+          Tensor.matmul net x (Tensor.of_consts net dtype [| 3; 2 |] flat)
+      in
+      let ins =
+        Array.concat
+          (List.map (fun p -> Array.init 8 (fun i -> (p asr i) land 1 = 1)) (Array.to_list patterns))
+      in
+      let values = Netlist.eval net ins in
+      Array.init (Tensor.numel y) (fun i ->
+          let bus = Tensor.get_flat y i in
+          let v = ref 0 in
+          Array.iteri (fun b id -> if values.(id) then v := !v lor (1 lsl b)) bus;
+          !v)
+    in
+    Alcotest.(check (array int)) "const path = tensor path" (build false) (build true)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Nn layers: circuit matches reference                                *)
+(* ------------------------------------------------------------------ *)
+
+let layer_roundtrip ?(dtype = Dtype.Fixed { width = 8; frac = 4 }) ~shape model seed =
+  let rng = Rng.create ~seed () in
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dtype shape in
+  let y = Nn.run net model x in
+  let n = Array.fold_left ( * ) 1 shape in
+  let w = Dtype.width dtype in
+  let patterns = Array.init n (fun _ -> Rng.int rng (1 lsl w)) in
+  let expected = Nn.reference model dtype shape patterns in
+  let ins =
+    Array.concat
+      (List.map (fun p -> Array.init w (fun i -> (p asr i) land 1 = 1)) (Array.to_list patterns))
+  in
+  let values = Netlist.eval net ins in
+  let got =
+    Array.init (Tensor.numel y) (fun i ->
+        let bus = Tensor.get_flat y i in
+        let v = ref 0 in
+        Array.iteri (fun b id -> if values.(id) then v := !v lor (1 lsl b)) bus;
+        !v)
+  in
+  Alcotest.(check (array int)) "circuit = reference" expected got
+
+let rng_weights seed n = Array.init n (let rng = Rng.create ~seed () in fun _ -> Rng.float rng -. 0.5)
+
+let test_nn_conv2d () =
+  layer_roundtrip ~shape:[| 1; 5; 5 |]
+    [ Nn.Conv2d { in_ch = 1; out_ch = 2; kernel = 3; stride = 1; padding = 0; weights = rng_weights 1 18; bias = Some (rng_weights 2 2) } ]
+    11
+
+let test_nn_conv2d_padding_stride () =
+  layer_roundtrip ~shape:[| 2; 6; 6 |]
+    [ Nn.Conv2d { in_ch = 2; out_ch = 1; kernel = 3; stride = 2; padding = 1; weights = rng_weights 3 18; bias = None } ]
+    12
+
+let test_nn_conv1d () =
+  layer_roundtrip ~shape:[| 2; 8 |]
+    [ Nn.Conv1d { in_ch = 2; out_ch = 2; kernel = 3; stride = 1; weights = rng_weights 4 12; bias = Some (rng_weights 5 2) } ]
+    13
+
+let test_nn_linear () =
+  layer_roundtrip ~shape:[| 6 |]
+    [ Nn.Linear { in_features = 6; out_features = 4; weights = rng_weights 6 24; bias = Some (rng_weights 7 4) } ]
+    14
+
+let test_nn_relu_pools () =
+  layer_roundtrip ~shape:[| 1; 6; 6 |] [ Nn.Relu; Nn.MaxPool2d { kernel = 2; stride = 2 } ] 15;
+  layer_roundtrip ~shape:[| 1; 6; 6 |] [ Nn.AvgPool2d { kernel = 2; stride = 2 } ] 16;
+  layer_roundtrip ~shape:[| 2; 8 |] [ Nn.MaxPool1d { kernel = 2; stride = 2 } ] 17;
+  layer_roundtrip ~shape:[| 2; 8 |] [ Nn.AvgPool1d { kernel = 2; stride = 2 } ] 18
+
+let test_nn_hard_activations () =
+  layer_roundtrip ~shape:[| 2; 4 |] [ Nn.Hardtanh ] 23;
+  layer_roundtrip ~shape:[| 2; 4 |] [ Nn.Hardsigmoid ] 24;
+  layer_roundtrip ~dtype:(Dtype.Fixed { width = 10; frac = 6 }) ~shape:[| 8 |]
+    [ Nn.Hardtanh; Nn.Hardsigmoid ] 25
+
+let test_nn_hardtanh_semantics () =
+  (* Check the actual saturation values, not just circuit-vs-reference. *)
+  let dtype = Dtype.Fixed { width = 8; frac = 4 } in
+  List.iter
+    (fun (v, expected) ->
+      let pattern = Dtype.encode dtype v in
+      let out = Nn.reference [ Nn.Hardtanh ] dtype [| 1 |] [| pattern |] in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "hardtanh %g" v) expected
+        (Dtype.decode dtype out.(0)))
+    [ (0.5, 0.5); (3.0, 1.0); (-2.5, -1.0); (1.0, 1.0); (-1.0, -1.0) ]
+
+let test_nn_batchnorm () =
+  layer_roundtrip ~shape:[| 2; 3; 3 |]
+    [ Nn.BatchNorm2d { gamma = [| 1.5; 0.5 |]; beta = [| 0.25; -0.25 |]; mean = [| 0.5; -0.5 |]; var = [| 1.0; 4.0 |]; eps = 1e-5 } ]
+    19;
+  layer_roundtrip ~shape:[| 2; 4 |]
+    [ Nn.BatchNorm1d { gamma = [| 1.0; 2.0 |]; beta = [| 0.0; 1.0 |]; mean = [| 0.0; 0.0 |]; var = [| 1.0; 1.0 |]; eps = 1e-5 } ]
+    20
+
+let test_nn_full_model () =
+  layer_roundtrip ~shape:[| 1; 6; 6 |]
+    [
+      Nn.Conv2d { in_ch = 1; out_ch = 1; kernel = 3; stride = 1; padding = 0; weights = rng_weights 8 9; bias = None };
+      Nn.Relu;
+      Nn.MaxPool2d { kernel = 2; stride = 1 };
+      Nn.Flatten;
+      Nn.Linear { in_features = 9; out_features = 3; weights = rng_weights 9 27; bias = Some (rng_weights 10 3) };
+    ]
+    21
+
+let test_nn_model_uint_dtype () =
+  layer_roundtrip ~dtype:(Dtype.UInt 8) ~shape:[| 1; 4; 4 |]
+    [ Nn.Relu; Nn.MaxPool2d { kernel = 2; stride = 2 } ]
+    22
+
+let test_nn_output_shapes () =
+  Alcotest.(check (array int)) "conv2d"
+    [| 4; 26; 26 |]
+    (Nn.output_shape
+       (Nn.Conv2d { in_ch = 1; out_ch = 4; kernel = 3; stride = 1; padding = 0; weights = [||]; bias = None })
+       [| 1; 28; 28 |]);
+  Alcotest.(check (array int)) "maxpool"
+    [| 1; 24; 24 |]
+    (Nn.output_shape (Nn.MaxPool2d { kernel = 3; stride = 1 }) [| 1; 26; 26 |]);
+  Alcotest.(check (array int)) "flatten" [| 576 |] (Nn.output_shape Nn.Flatten [| 1; 24; 24 |]);
+  Alcotest.(check (array int)) "mnist_s end to end" [| 10 |]
+    (Nn.model_output_shape
+       [
+         Nn.Conv2d { in_ch = 1; out_ch = 1; kernel = 3; stride = 1; padding = 0; weights = [||]; bias = None };
+         Nn.Relu;
+         Nn.MaxPool2d { kernel = 3; stride = 1 };
+         Nn.Flatten;
+         Nn.Linear { in_features = 576; out_features = 10; weights = [||]; bias = None };
+       ]
+       [| 1; 28; 28 |])
+
+let test_nn_rejects_bad_shapes () =
+  Alcotest.(check bool) "linear needs 1-D" true
+    (try
+       ignore (Nn.output_shape (Nn.Linear { in_features = 4; out_features = 2; weights = [||]; bias = None }) [| 2; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Float dtype through a small model: tolerance-based. *)
+let test_nn_float_dtype_close () =
+  let dtype = Dtype.Float { e = 5; m = 6 } in
+  let model =
+    [ Nn.Linear { in_features = 3; out_features = 2; weights = [| 0.5; -1.0; 2.0; 1.0; 0.25; -0.5 |]; bias = Some [| 0.125; -0.125 |] } ]
+  in
+  let net = Netlist.create () in
+  let x = Tensor.input net "x" dtype [| 3 |] in
+  let y = Nn.run net model x in
+  let w = Dtype.width dtype in
+  let inputs = [| 1.5; -2.0; 0.5 |] in
+  let patterns = Array.map (Dtype.encode dtype) inputs in
+  let ins =
+    Array.concat
+      (List.map (fun p -> Array.init w (fun i -> (p asr i) land 1 = 1)) (Array.to_list patterns))
+  in
+  let values = Netlist.eval net ins in
+  let got =
+    Array.init (Tensor.numel y) (fun i ->
+        let bus = Tensor.get_flat y i in
+        let v = ref 0 in
+        Array.iteri (fun b id -> if values.(id) then v := !v lor (1 lsl b)) bus;
+        Dtype.decode dtype !v)
+  in
+  let expected = [| (0.5 *. 1.5) +. (-1.0 *. -2.0) +. (2.0 *. 0.5) +. 0.125;
+                    (1.0 *. 1.5) +. (0.25 *. -2.0) +. (-0.5 *. 0.5) -. 0.125 |] in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output %d: %g vs %g" i got.(i) e)
+        true
+        (Float.abs (got.(i) -. e) < 0.15))
+    expected
+
+let () =
+  Alcotest.run "chiseltorch"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "widths" `Quick test_dtype_widths;
+          Alcotest.test_case "roundtrip" `Quick test_dtype_roundtrip;
+          Alcotest.test_case "clamps" `Quick test_dtype_clamps;
+          Alcotest.test_case "of_string" `Quick test_dtype_of_string;
+        ] );
+      ( "scalar",
+        [
+          QCheck_alcotest.to_alcotest qcheck_scalar_add;
+          QCheck_alcotest.to_alcotest qcheck_scalar_sub;
+          QCheck_alcotest.to_alcotest qcheck_scalar_mul;
+          QCheck_alcotest.to_alcotest qcheck_scalar_max;
+          QCheck_alcotest.to_alcotest qcheck_scalar_relu;
+          QCheck_alcotest.to_alcotest qcheck_scalar_mul_scalar;
+          QCheck_alcotest.to_alcotest qcheck_scalar_div_const;
+          QCheck_alcotest.to_alcotest qcheck_scalar_lt;
+          QCheck_alcotest.to_alcotest qcheck_scalar_div;
+          Alcotest.test_case "div known cases" `Quick test_scalar_div_known_cases;
+          Alcotest.test_case "div float approximate" `Quick test_scalar_div_float_close;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "shape ops are free" `Quick test_tensor_shape_ops_are_free;
+          Alcotest.test_case "reshape validates" `Quick test_tensor_reshape_rejects;
+          Alcotest.test_case "transpose" `Quick test_tensor_transpose_values;
+          Alcotest.test_case "add/mul" `Quick test_tensor_add_mul;
+          Alcotest.test_case "matmul" `Quick test_tensor_matmul;
+          Alcotest.test_case "sum/dot" `Quick test_tensor_sum_and_dot;
+          Alcotest.test_case "argmax" `Quick test_tensor_argmax;
+          Alcotest.test_case "argmin" `Quick test_tensor_argmin;
+          Alcotest.test_case "pad2d" `Quick test_tensor_pad2d;
+          Alcotest.test_case "comparisons" `Quick test_tensor_comparisons;
+          Alcotest.test_case "division" `Quick test_tensor_div;
+          Alcotest.test_case "matmul_const = matmul" `Quick test_matmul_const_matches_matmul;
+        ] );
+      ( "nn",
+        [
+          Alcotest.test_case "conv2d" `Quick test_nn_conv2d;
+          Alcotest.test_case "conv2d stride+padding" `Quick test_nn_conv2d_padding_stride;
+          Alcotest.test_case "conv1d" `Quick test_nn_conv1d;
+          Alcotest.test_case "linear" `Quick test_nn_linear;
+          Alcotest.test_case "relu + pools" `Quick test_nn_relu_pools;
+          Alcotest.test_case "hard activations" `Quick test_nn_hard_activations;
+          Alcotest.test_case "hardtanh semantics" `Quick test_nn_hardtanh_semantics;
+          Alcotest.test_case "batchnorm" `Quick test_nn_batchnorm;
+          Alcotest.test_case "full model" `Quick test_nn_full_model;
+          Alcotest.test_case "uint dtype" `Quick test_nn_model_uint_dtype;
+          Alcotest.test_case "output shapes" `Quick test_nn_output_shapes;
+          Alcotest.test_case "rejects bad shapes" `Quick test_nn_rejects_bad_shapes;
+          Alcotest.test_case "float dtype model" `Quick test_nn_float_dtype_close;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+module Rng = Pytfhe_util.Rng
+module Complex_fft = Pytfhe_fft.Complex_fft
+module Negacyclic = Pytfhe_fft.Negacyclic
+
+let close ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs a +. Float.abs b)
+
+let check_arrays_close name eps expected actual =
+  Array.iteri
+    (fun i e ->
+      if not (close ~eps e actual.(i)) then
+        Alcotest.failf "%s: index %d: expected %.9g got %.9g" name i e actual.(i))
+    expected
+
+let random_floats rng n scale = Array.init n (fun _ -> (Rng.float rng -. 0.5) *. scale)
+
+let test_fft_matches_naive () =
+  let rng = Rng.create ~seed:11 () in
+  List.iter
+    (fun n ->
+      let re = random_floats rng n 2.0 in
+      let im = random_floats rng n 2.0 in
+      let exp_re, exp_im = Complex_fft.dft_naive ~re ~im ~invert:false in
+      let got_re = Array.copy re and got_im = Array.copy im in
+      Complex_fft.transform ~re:got_re ~im:got_im ~invert:false;
+      check_arrays_close "re" 1e-9 exp_re got_re;
+      check_arrays_close "im" 1e-9 exp_im got_im)
+    [ 1; 2; 4; 8; 16; 64; 256 ]
+
+let test_fft_roundtrip () =
+  let rng = Rng.create ~seed:12 () in
+  List.iter
+    (fun n ->
+      let re = random_floats rng n 100.0 in
+      let im = random_floats rng n 100.0 in
+      let got_re = Array.copy re and got_im = Array.copy im in
+      Complex_fft.transform ~re:got_re ~im:got_im ~invert:false;
+      Complex_fft.transform ~re:got_re ~im:got_im ~invert:true;
+      check_arrays_close "re roundtrip" 1e-9 re got_re;
+      check_arrays_close "im roundtrip" 1e-9 im got_im)
+    [ 2; 32; 1024 ]
+
+let test_fft_linearity () =
+  let rng = Rng.create ~seed:13 () in
+  let n = 128 in
+  let a = random_floats rng n 1.0 and b = random_floats rng n 1.0 in
+  let zero = Array.make n 0.0 in
+  let fa = Array.copy a and fa_i = Array.copy zero in
+  Complex_fft.transform ~re:fa ~im:fa_i ~invert:false;
+  let fb = Array.copy b and fb_i = Array.copy zero in
+  Complex_fft.transform ~re:fb ~im:fb_i ~invert:false;
+  let sum = Array.map2 ( +. ) a b and sum_i = Array.copy zero in
+  Complex_fft.transform ~re:sum ~im:sum_i ~invert:false;
+  check_arrays_close "linear re" 1e-9 (Array.map2 ( +. ) fa fb) sum;
+  check_arrays_close "linear im" 1e-9 (Array.map2 ( +. ) fa_i fb_i) sum_i
+
+let test_fft_rejects_bad_sizes () =
+  let bad n =
+    Alcotest.check_raises
+      (Printf.sprintf "size %d rejected" n)
+      (Invalid_argument "Complex_fft.transform: length not a power of two")
+      (fun () ->
+        Complex_fft.transform ~re:(Array.make n 0.0) ~im:(Array.make n 0.0) ~invert:false)
+  in
+  List.iter bad [ 3; 5; 6; 7; 100 ]
+
+let test_negacyclic_matches_naive () =
+  let rng = Rng.create ~seed:14 () in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> float_of_int (Rng.int rng 128 - 64)) in
+      let b = Array.init n (fun _ -> float_of_int (Rng.int rng 65536 - 32768)) in
+      let expected = Negacyclic.polymul_naive a b in
+      let got = Negacyclic.polymul a b in
+      check_arrays_close "negacyclic" 1e-6 expected got)
+    [ 2; 8; 64; 256 ]
+
+let test_negacyclic_wraparound_sign () =
+  (* X^{N-1} · X = X^N = −1 mod X^N+1. *)
+  let n = 16 in
+  let a = Array.make n 0.0 and b = Array.make n 0.0 in
+  a.(n - 1) <- 1.0;
+  b.(1) <- 1.0;
+  let c = Negacyclic.polymul a b in
+  Alcotest.(check bool) "constant coeff is -1" true (close c.(0) (-1.0));
+  for i = 1 to n - 1 do
+    Alcotest.(check bool) "other coeffs 0" true (close c.(i) 0.0)
+  done
+
+let test_negacyclic_exact_on_integers () =
+  (* Gadget digits (≤ 64) against 32-bit torus values must be exact. *)
+  let rng = Rng.create ~seed:15 () in
+  let n = 1024 in
+  let a = Array.init n (fun _ -> float_of_int (Rng.int rng 129 - 64)) in
+  let b = Array.init n (fun _ -> float_of_int (Rng.int rng 0x40000000 - 0x20000000)) in
+  let expected = Negacyclic.polymul_naive a b in
+  let got = Negacyclic.polymul a b in
+  Array.iteri
+    (fun i e ->
+      let d = Float.abs (e -. got.(i)) in
+      if d > 0.45 then Alcotest.failf "coefficient %d off by %f" i d)
+    expected
+
+let test_spectrum_mul_add_accumulates () =
+  let rng = Rng.create ~seed:16 () in
+  let n = 64 in
+  let a = random_floats rng n 4.0 and b = random_floats rng n 4.0 in
+  let c = random_floats rng n 4.0 and d = random_floats rng n 4.0 in
+  let acc = Negacyclic.spectrum_create n in
+  Negacyclic.mul_add_into acc (Negacyclic.forward a) (Negacyclic.forward b);
+  Negacyclic.mul_add_into acc (Negacyclic.forward c) (Negacyclic.forward d);
+  let got = Array.make n 0.0 in
+  Negacyclic.backward_into got acc;
+  let expected = Array.map2 ( +. ) (Negacyclic.polymul_naive a b) (Negacyclic.polymul_naive c d) in
+  check_arrays_close "fma" 1e-6 expected got
+
+let qcheck_negacyclic_commutes =
+  QCheck.Test.make ~name:"negacyclic product commutes" ~count:50
+    QCheck.(pair (list_of_size (Gen.return 32) (int_range (-50) 50))
+              (list_of_size (Gen.return 32) (int_range (-50) 50)))
+    (fun (la, lb) ->
+      let a = Array.of_list (List.map float_of_int la) in
+      let b = Array.of_list (List.map float_of_int lb) in
+      let ab = Negacyclic.polymul a b in
+      let ba = Negacyclic.polymul b a in
+      Array.for_all2 (fun x y -> close ~eps:1e-6 x y) ab ba)
+
+let qcheck_negacyclic_distributes =
+  QCheck.Test.make ~name:"negacyclic product distributes over +" ~count:50
+    QCheck.(triple (list_of_size (Gen.return 16) (int_range (-20) 20))
+              (list_of_size (Gen.return 16) (int_range (-20) 20))
+              (list_of_size (Gen.return 16) (int_range (-20) 20)))
+    (fun (la, lb, lc) ->
+      let arr l = Array.of_list (List.map float_of_int l) in
+      let a = arr la and b = arr lb and c = arr lc in
+      let lhs = Negacyclic.polymul a (Array.map2 ( +. ) b c) in
+      let rhs = Array.map2 ( +. ) (Negacyclic.polymul a b) (Negacyclic.polymul a c) in
+      Array.for_all2 (fun x y -> close ~eps:1e-6 x y) lhs rhs)
+
+
+let qcheck_negacyclic_roundtrip =
+  QCheck.Test.make ~name:"spectrum forward/backward roundtrip" ~count:100
+    QCheck.(pair (int_range 0 3) (list_of_size (Gen.return 64) (float_range (-1000.0) 1000.0)))
+    (fun (size_idx, values) ->
+      let n = List.nth [ 8; 16; 32; 64 ] size_idx in
+      let p = Array.of_list (List.filteri (fun i _ -> i < n) values) in
+      let p = if Array.length p = n then p else Array.init n (fun i -> if i < Array.length p then p.(i) else 0.0) in
+      let back = Negacyclic.backward (Negacyclic.forward p) in
+      Array.for_all2 (fun a b -> close ~eps:1e-9 a b) p back)
+
+let qcheck_negacyclic_linearity =
+  QCheck.Test.make ~name:"forward transform is linear" ~count:50
+    QCheck.(pair (list_of_size (Gen.return 16) (float_range (-100.0) 100.0))
+              (list_of_size (Gen.return 16) (float_range (-100.0) 100.0)))
+    (fun (la, lb) ->
+      let a = Array.of_list la and b = Array.of_list lb in
+      let sum = Array.map2 ( +. ) a b in
+      let sa = Negacyclic.forward a and sb = Negacyclic.forward b in
+      let ssum = Negacyclic.forward sum in
+      let n2 = Array.length ssum.Negacyclic.s_re in
+      let ok = ref true in
+      for i = 0 to n2 - 1 do
+        if not (close ~eps:1e-9 ssum.Negacyclic.s_re.(i) (sa.Negacyclic.s_re.(i) +. sb.Negacyclic.s_re.(i)))
+        then ok := false;
+        if not (close ~eps:1e-9 ssum.Negacyclic.s_im.(i) (sa.Negacyclic.s_im.(i) +. sb.Negacyclic.s_im.(i)))
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "fft"
+    [
+      ( "complex",
+        [
+          Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_naive;
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+          Alcotest.test_case "rejects bad sizes" `Quick test_fft_rejects_bad_sizes;
+        ] );
+      ( "negacyclic",
+        [
+          Alcotest.test_case "matches schoolbook" `Quick test_negacyclic_matches_naive;
+          Alcotest.test_case "X^N = -1" `Quick test_negacyclic_wraparound_sign;
+          Alcotest.test_case "exact on gadget-range integers" `Quick test_negacyclic_exact_on_integers;
+          Alcotest.test_case "spectral fused multiply-add" `Quick test_spectrum_mul_add_accumulates;
+          QCheck_alcotest.to_alcotest qcheck_negacyclic_commutes;
+          QCheck_alcotest.to_alcotest qcheck_negacyclic_distributes;
+          QCheck_alcotest.to_alcotest qcheck_negacyclic_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_negacyclic_linearity;
+        ] );
+    ]

@@ -1,0 +1,550 @@
+module Rng = Pytfhe_util.Rng
+module Netlist = Pytfhe_circuit.Netlist
+open Pytfhe_hdl
+
+(* Harness: build a circuit over integer inputs, evaluate it on plaintext
+   bits, read back buses as integers. *)
+
+let to_bits v w = Array.init w (fun i -> (v asr i) land 1 = 1)
+
+let of_bits_u bits = Array.to_list bits |> List.rev |> List.fold_left (fun acc b -> (acc * 2) + Bool.to_int b) 0
+
+let of_bits_s bits =
+  let w = Array.length bits in
+  let u = of_bits_u bits in
+  if w > 0 && bits.(w - 1) then u - (1 lsl w) else u
+
+let read_bus values (bus : Bus.t) = Array.map (fun id -> values.(id)) bus
+
+(* Run [f net inputs] where inputs are fresh buses of the given widths, and
+   evaluate on the given integer values. Returns the node-value array and
+   the built circuit. *)
+let run widths values f =
+  let net = Netlist.create () in
+  let buses = List.mapi (fun i w -> Bus.input net (Printf.sprintf "x%d" i) w) widths in
+  let result = f net buses in
+  let bits = List.concat_map (fun (v, w) -> Array.to_list (to_bits v w)) (List.combine values widths) in
+  let node_values = Netlist.eval net (Array.of_list bits) in
+  (node_values, result)
+
+let signed_range w = QCheck.int_range (-(1 lsl (w - 1))) ((1 lsl (w - 1)) - 1)
+let unsigned_range w = QCheck.int_range 0 ((1 lsl w) - 1)
+
+let wrap_s v w =
+  let m = 1 lsl w in
+  let r = ((v mod m) + m) mod m in
+  if r >= m / 2 then r - m else r
+
+(* ------------------------------------------------------------------ *)
+(* Bus                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_const_and_slice () =
+  let values, bus =
+    run [ 1 ] [ 0 ] (fun net _ ->
+        let c = Bus.const net ~width:8 0xA5 in
+        Bus.concat (Bus.slice c ~lo:0 ~hi:3) (Bus.slice c ~lo:4 ~hi:7))
+  in
+  Alcotest.(check int) "slice+concat identity" 0xA5 (of_bits_u (read_bus values bus))
+
+let test_bus_extends () =
+  let values, (z, s) =
+    run [ 4 ] [ 0b1010 ] (fun net -> function
+      | [ x ] -> (Bus.zero_extend net x 8, Bus.sign_extend net x 8)
+      | _ -> assert false)
+  in
+  Alcotest.(check int) "zero extend" 0b1010 (of_bits_u (read_bus values z));
+  Alcotest.(check int) "sign extend" (-6) (of_bits_s (read_bus values s))
+
+let test_bus_shifts () =
+  let values, (l, r, a) =
+    run [ 8 ] [ -50 ] (fun net -> function
+      | [ x ] ->
+        ( Bus.shift_left net x 2,
+          Bus.shift_right_logical net x 2,
+          Bus.shift_right_arith net x 2 )
+      | _ -> assert false)
+  in
+  Alcotest.(check int) "shl" (wrap_s (-50 * 4) 8) (of_bits_s (read_bus values l));
+  Alcotest.(check int) "shr logical" ((-50 land 0xFF) lsr 2) (of_bits_u (read_bus values r));
+  Alcotest.(check int) "shr arith" (-13) (of_bits_s (read_bus values a))
+
+let test_bus_bitwise () =
+  let values, (x_and, x_or, x_xor, x_not) =
+    run [ 8; 8 ] [ 0xCC; 0xAA ] (fun net -> function
+      | [ a; b ] -> (Bus.band net a b, Bus.bor net a b, Bus.bxor net a b, Bus.bnot net a)
+      | _ -> assert false)
+  in
+  Alcotest.(check int) "and" 0x88 (of_bits_u (read_bus values x_and));
+  Alcotest.(check int) "or" 0xEE (of_bits_u (read_bus values x_or));
+  Alcotest.(check int) "xor" 0x66 (of_bits_u (read_bus values x_xor));
+  Alcotest.(check int) "not" 0x33 (of_bits_u (read_bus values x_not))
+
+let test_bus_reduce () =
+  List.iter
+    (fun (v, expect_and, expect_or, expect_xor) ->
+      let values, (ra, ro, rx) =
+        run [ 4 ] [ v ] (fun net -> function
+          | [ x ] -> (Bus.reduce_and net x, Bus.reduce_or net x, Bus.reduce_xor net x)
+          | _ -> assert false)
+      in
+      Alcotest.(check bool) "reduce and" expect_and values.(ra);
+      Alcotest.(check bool) "reduce or" expect_or values.(ro);
+      Alcotest.(check bool) "reduce xor" expect_xor values.(rx))
+    [ (0xF, true, true, false); (0x0, false, false, false); (0x7, false, true, true) ]
+
+let test_bus_mux () =
+  List.iter
+    (fun (s, expected) ->
+      let values, bus =
+        run [ 1; 4; 4 ] [ s; 0x3; 0xC ] (fun net -> function
+          | [ sel; x; y ] -> Bus.mux net (Bus.bit sel 0) x y
+          | _ -> assert false)
+      in
+      Alcotest.(check int) "mux" expected (of_bits_u (read_bus values bus)))
+    [ (1, 0x3); (0, 0xC) ]
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic: qcheck against native ints                              *)
+(* ------------------------------------------------------------------ *)
+
+let w = 8
+
+let binop_test name f reference =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(pair (signed_range w) (signed_range w))
+    (fun (a, b) ->
+      let values, bus =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> f net x y
+          | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = wrap_s (reference a b) w)
+
+let cmp_test name f reference =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(pair (signed_range w) (signed_range w))
+    (fun (a, b) ->
+      let values, wire =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> f net x y
+          | _ -> assert false)
+      in
+      values.(wire) = reference a b)
+
+let qcheck_add = binop_test "add matches int add" Arith.add ( + )
+let qcheck_sub = binop_test "sub matches int sub" Arith.sub ( - )
+let qcheck_min = binop_test "min_s" Arith.min_s min
+let qcheck_max = binop_test "max_s" Arith.max_s max
+
+let qcheck_neg =
+  QCheck.Test.make ~name:"neg matches int neg" ~count:100 (signed_range w) (fun a ->
+      let values, bus =
+        run [ w ] [ a ] (fun net -> function [ x ] -> Arith.neg net x | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = wrap_s (-a) w)
+
+let qcheck_abs =
+  QCheck.Test.make ~name:"abs matches int abs" ~count:100 (signed_range w) (fun a ->
+      let values, bus =
+        run [ w ] [ a ] (fun net -> function [ x ] -> Arith.abs net x | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = wrap_s (abs a) w)
+
+let qcheck_eq = cmp_test "eq" Arith.eq ( = )
+let qcheck_ne = cmp_test "ne" Arith.ne ( <> )
+let qcheck_lt_s = cmp_test "lt_s" Arith.lt_s ( < )
+let qcheck_le_s = cmp_test "le_s" Arith.le_s ( <= )
+let qcheck_gt_s = cmp_test "gt_s" Arith.gt_s ( > )
+let qcheck_ge_s = cmp_test "ge_s" Arith.ge_s ( >= )
+
+let qcheck_lt_u =
+  QCheck.Test.make ~name:"lt_u" ~count:100
+    QCheck.(pair (unsigned_range w) (unsigned_range w))
+    (fun (a, b) ->
+      let values, wire =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.lt_u net x y
+          | _ -> assert false)
+      in
+      values.(wire) = (a < b))
+
+let qcheck_mul_u =
+  QCheck.Test.make ~name:"mul_u full width" ~count:100
+    QCheck.(pair (unsigned_range w) (unsigned_range w))
+    (fun (a, b) ->
+      let values, bus =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.mul_u net ~out_width:(2 * w) x y
+          | _ -> assert false)
+      in
+      of_bits_u (read_bus values bus) = a * b)
+
+let qcheck_mul_s =
+  QCheck.Test.make ~name:"mul_s full width" ~count:100
+    QCheck.(pair (signed_range w) (signed_range w))
+    (fun (a, b) ->
+      let values, bus =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.mul_s net ~out_width:(2 * w) x y
+          | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = a * b)
+
+let qcheck_mul_const recoding name =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(pair (signed_range w) (int_range (-100) 100))
+    (fun (a, c) ->
+      let values, bus =
+        run [ w ] [ a ] (fun net -> function
+          | [ x ] -> Arith.mul_const_s net ~recoding ~out_width:16 x c
+          | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = wrap_s (a * c) 16)
+
+let qcheck_mul_const_csd = qcheck_mul_const `Csd "mul_const CSD"
+let qcheck_mul_const_bin = qcheck_mul_const `Binary "mul_const binary"
+
+let qcheck_div_u =
+  QCheck.Test.make ~name:"div_u quotient and remainder" ~count:60
+    QCheck.(pair (unsigned_range w) (int_range 1 ((1 lsl w) - 1)))
+    (fun (a, b) ->
+      let values, (q, r) =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.div_u net x y
+          | _ -> assert false)
+      in
+      of_bits_u (read_bus values q) = a / b && of_bits_u (read_bus values r) = a mod b)
+
+
+let qcheck_add_fast =
+  QCheck.Test.make ~name:"kogge-stone add matches int add" ~count:200
+    QCheck.(pair (signed_range w) (signed_range w))
+    (fun (a, b) ->
+      let values, bus =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.add_fast net x y
+          | _ -> assert false)
+      in
+      of_bits_s (read_bus values bus) = wrap_s (a + b) w)
+
+let qcheck_add_fast_carry =
+  QCheck.Test.make ~name:"kogge-stone add with carry-in" ~count:200
+    QCheck.(pair (unsigned_range w) (unsigned_range w))
+    (fun (a, b) ->
+      let values, bus =
+        run [ w; w ] [ a; b ] (fun net -> function
+          | [ x; y ] -> Arith.add_fast net ~cin:(Pytfhe_circuit.Netlist.const net true) x y
+          | _ -> assert false)
+      in
+      of_bits_u (read_bus values bus) = (a + b + 1) land ((1 lsl w) - 1))
+
+let test_add_fast_depth_advantage () =
+  (* The point of the prefix adder: logarithmic depth at a gate-count
+     premium — the knob parallel backends care about. *)
+  let build adder =
+    let net = Netlist.create () in
+    let a = Bus.input net "a" 32 in
+    let b = Bus.input net "b" 32 in
+    Bus.output net "s" (adder net a b);
+    net
+  in
+  let ripple = build (fun net a b -> Arith.add net a b) in
+  let fast = build (fun net a b -> Arith.add_fast net a b) in
+  let depth n = (Pytfhe_circuit.Levelize.run n).Pytfhe_circuit.Levelize.depth in
+  Alcotest.(check bool) "kogge-stone much shallower" true (depth fast * 2 < depth ripple);
+  Alcotest.(check bool) "kogge-stone pays gates" true
+    (Netlist.gate_count fast > Netlist.gate_count ripple)
+
+let qcheck_shift_left_var =
+  QCheck.Test.make ~name:"variable left shift" ~count:200
+    QCheck.(pair (unsigned_range w) (int_range 0 15))
+    (fun (a, k) ->
+      let values, bus =
+        run [ w; 4 ] [ a; k ] (fun net -> function
+          | [ x; amt ] -> Arith.shift_left_var net x amt
+          | _ -> assert false)
+      in
+      let expected = if k >= w then 0 else (a lsl k) land ((1 lsl w) - 1) in
+      of_bits_u (read_bus values bus) = expected)
+
+let qcheck_shift_right_var =
+  QCheck.Test.make ~name:"variable right shift" ~count:200
+    QCheck.(pair (unsigned_range w) (int_range 0 15))
+    (fun (a, k) ->
+      let values, bus =
+        run [ w; 4 ] [ a; k ] (fun net -> function
+          | [ x; amt ] -> Arith.shift_right_var net x amt
+          | _ -> assert false)
+      in
+      let expected = if k >= w then 0 else a lsr k in
+      of_bits_u (read_bus values bus) = expected)
+
+
+let qcheck_mul_const_vs_generic =
+  QCheck.Test.make ~name:"constant multiplier = generic multiplier on consts" ~count:100
+    QCheck.(pair (signed_range w) (int_range (-100) 100))
+    (fun (a, c) ->
+      let values, (fast, generic) =
+        run [ w ] [ a ] (fun net -> function
+          | [ x ] ->
+            let fast = Arith.mul_const_s net ~out_width:16 x c in
+            let c_bus = Bus.const net ~width:16 c in
+            let generic = Arith.mul_s net ~out_width:16 (Bus.sign_extend net x 16) c_bus in
+            (fast, generic)
+          | _ -> assert false)
+      in
+      of_bits_s (read_bus values fast) = of_bits_s (read_bus values generic))
+
+let test_csd_digits () =
+  List.iter
+    (fun c ->
+      let digits = Arith.csd_digits c in
+      let total = List.fold_left (fun acc (shift, sign) -> acc + (sign * (1 lsl shift))) 0 digits in
+      Alcotest.(check int) (Printf.sprintf "csd reconstructs %d" c) c total;
+      (* Canonical property: no two adjacent nonzero digits. *)
+      let shifts = List.map fst digits in
+      let rec adjacent = function
+        | a :: b :: rest -> a + 1 = b || adjacent (b :: rest)
+        | _ -> false
+      in
+      Alcotest.(check bool) "nonadjacent" false (adjacent shifts))
+    [ 0; 1; -1; 7; -7; 15; 23; 255; -255; 1000; -999 ]
+
+let test_csd_fewer_terms () =
+  (* 255 = 2^8 - 1: CSD needs 2 terms, binary needs 8. *)
+  Alcotest.(check int) "csd(255) has 2 digits" 2 (List.length (Arith.csd_digits 255))
+
+let test_mul_const_gate_advantage () =
+  let count recoding =
+    let net = Netlist.create () in
+    let x = Bus.input net "x" 8 in
+    let p = Arith.mul_const_s net ~recoding ~out_width:16 x 255 in
+    Bus.output net "p" p;
+    Netlist.gate_count net
+  in
+  Alcotest.(check bool) "CSD beats binary recoding on 255" true (count `Csd < count `Binary)
+
+(* ------------------------------------------------------------------ *)
+(* Float                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fmt = { Float_unit.e = 5; m = 6 }
+
+let enc v = Float_repr.encode ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m v
+let dec bits = Float_repr.decode ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m bits
+
+let test_float_repr_roundtrip () =
+  List.iter
+    (fun v ->
+      let back = dec (enc v) in
+      let ulp = Float_repr.ulp_at ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g encodes within 1 ulp (got %g)" v back)
+        true
+        (Float.abs (back -. v) <= ulp))
+    [ 0.0; 1.0; -1.0; 0.5; 3.14159; -2.71828; 100.0; -0.0625; 1023.0 ]
+
+let test_float_repr_zero_and_saturation () =
+  Alcotest.(check int) "zero encodes as 0" 0 (enc 0.0);
+  Alcotest.(check (float 1e-9)) "decode 0 = 0" 0.0 (dec 0);
+  let huge = dec (enc 1e30) in
+  Alcotest.(check (float 1.0)) "saturates to max"
+    (Float_repr.max_value ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m)
+    huge;
+  Alcotest.(check (float 1e-12)) "underflow flushes" 0.0 (dec (enc 1e-30))
+
+let float_width = Float_unit.width fmt
+
+let run_float_binop op a b =
+  let values, bus =
+    run [ float_width; float_width ] [ enc a; enc b ] (fun net -> function
+      | [ x; y ] -> op net fmt x y
+      | _ -> assert false)
+  in
+  dec (of_bits_u (read_bus values bus))
+
+let float_case_ok op reference a b =
+  let got = run_float_binop op a b in
+  (* Project the real-arithmetic reference through the format: flush-to-zero
+     and saturation are part of the Float(e,m) semantics. *)
+  let expected = dec (enc (reference a b)) in
+  let tol =
+    3.0 *. Float_repr.ulp_at ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m expected
+    +. 3.0 *. Float_repr.ulp_at ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m (Float.max (Float.abs a) (Float.abs b))
+  in
+  Float.abs (got -. expected) <= tol
+
+let float_gen =
+  QCheck.map
+    (fun bits -> dec (bits land ((1 lsl float_width) - 1)))
+    (QCheck.int_range 0 ((1 lsl float_width) - 1))
+
+let qcheck_float_add =
+  QCheck.Test.make ~name:"float add tracks real add" ~count:200 (QCheck.pair float_gen float_gen)
+    (fun (a, b) -> float_case_ok Float_unit.add ( +. ) a b)
+
+let qcheck_float_sub =
+  QCheck.Test.make ~name:"float sub tracks real sub" ~count:200 (QCheck.pair float_gen float_gen)
+    (fun (a, b) -> float_case_ok Float_unit.sub ( -. ) a b)
+
+let qcheck_float_mul =
+  QCheck.Test.make ~name:"float mul tracks real mul" ~count:200 (QCheck.pair float_gen float_gen)
+    (fun (a, b) ->
+      let expected = dec (enc (a *. b)) in
+      let got = run_float_binop Float_unit.mul a b in
+      let tol = 4.0 *. Float_repr.ulp_at ~e:fmt.Float_unit.e ~m:fmt.Float_unit.m expected in
+      Float.abs (got -. expected) <= tol)
+
+let test_float_add_exact_cases () =
+  List.iter
+    (fun (a, b) ->
+      let got = run_float_binop Float_unit.add a b in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%g + %g" a b) (a +. b) got)
+    [ (1.0, 1.0); (2.0, -1.0); (0.0, 3.5); (-4.0, 0.0); (1.5, 2.5); (8.0, -8.0) ]
+
+let test_float_mul_exact_cases () =
+  List.iter
+    (fun (a, b) ->
+      let got = run_float_binop Float_unit.mul a b in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "%g * %g" a b) (a *. b) got)
+    [ (1.0, 1.0); (2.0, -3.0); (0.0, 5.0); (-4.0, 0.0); (0.5, 0.25); (-1.5, -2.0) ]
+
+let test_float_relu () =
+  List.iter
+    (fun v ->
+      let values, bus =
+        run [ float_width ] [ enc v ] (fun net -> function
+          | [ x ] -> Float_unit.relu net fmt x
+          | _ -> assert false)
+      in
+      let got = dec (of_bits_u (read_bus values bus)) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "relu %g" v) (Float.max v 0.0) got)
+    [ 1.5; -1.5; 0.0; -0.001; 42.0 ]
+
+let qcheck_float_lt =
+  QCheck.Test.make ~name:"float lt matches real <" ~count:200 (QCheck.pair float_gen float_gen)
+    (fun (a, b) ->
+      let values, wire =
+        run [ float_width; float_width ] [ enc a; enc b ] (fun net -> function
+          | [ x; y ] -> Float_unit.lt net fmt x y
+          | _ -> assert false)
+      in
+      values.(wire) = (a < b))
+
+let qcheck_float_max =
+  QCheck.Test.make ~name:"float max matches real max" ~count:100 (QCheck.pair float_gen float_gen)
+    (fun (a, b) -> run_float_binop Float_unit.max_f a b = Float.max a b)
+
+let test_float_neg () =
+  List.iter
+    (fun v ->
+      let values, bus =
+        run [ float_width ] [ enc v ] (fun net -> function
+          | [ x ] -> Float_unit.neg net fmt x
+          | _ -> assert false)
+      in
+      Alcotest.(check (float 1e-9)) "neg" (-.v) (dec (of_bits_u (read_bus values bus))))
+    [ 2.5; -3.0; 0.5 ]
+
+let test_float_const () =
+  let values, bus =
+    run [ 1 ] [ 0 ] (fun net _ -> Float_unit.const net fmt 3.25)
+  in
+  Alcotest.(check (float 1e-9)) "const" 3.25 (dec (of_bits_u (read_bus values bus)))
+
+
+let qcheck_float_recip =
+  QCheck.Test.make ~name:"float reciprocal within tolerance" ~count:200 float_gen (fun v ->
+      if Float.abs v < 0.01 || Float.abs v > 100.0 then true
+      else
+        let values, bus =
+          run [ float_width ] [ enc v ] (fun net -> function
+            | [ x ] -> Float_unit.recip net fmt x
+            | _ -> assert false)
+        in
+        let got = dec (of_bits_u (read_bus values bus)) in
+        Float.abs (got -. (1.0 /. v)) <= 0.05 *. Float.abs (1.0 /. v) +. 1e-6)
+
+let qcheck_float_div =
+  QCheck.Test.make ~name:"float division within tolerance" ~count:200
+    (QCheck.pair float_gen float_gen)
+    (fun (a, b) ->
+      if Float.abs b < 0.01 || Float.abs b > 100.0 || Float.abs a > 100.0 then true
+      else
+        let expected = dec (enc (a /. b)) in
+        let got = run_float_binop Float_unit.div a b in
+        Float.abs (got -. expected) <= (0.05 *. Float.abs expected) +. 1e-4)
+
+let test_float_div_exact_cases () =
+  List.iter
+    (fun (a, b) ->
+      let got = run_float_binop Float_unit.div a b in
+      let expected = a /. b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g / %g = %g (got %g)" a b expected got)
+        true
+        (Float.abs (got -. expected) <= 0.02 *. Float.abs expected +. 1e-6))
+    [ (1.0, 2.0); (3.0, 1.5); (-8.0, 4.0); (10.0, -5.0); (1.0, 3.0); (7.5, 2.5) ]
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ( "bus",
+        [
+          Alcotest.test_case "const/slice/concat" `Quick test_bus_const_and_slice;
+          Alcotest.test_case "extends" `Quick test_bus_extends;
+          Alcotest.test_case "shifts" `Quick test_bus_shifts;
+          Alcotest.test_case "bitwise" `Quick test_bus_bitwise;
+          Alcotest.test_case "reductions" `Quick test_bus_reduce;
+          Alcotest.test_case "mux" `Quick test_bus_mux;
+        ] );
+      ( "arith",
+        [
+          QCheck_alcotest.to_alcotest qcheck_add;
+          QCheck_alcotest.to_alcotest qcheck_sub;
+          QCheck_alcotest.to_alcotest qcheck_neg;
+          QCheck_alcotest.to_alcotest qcheck_abs;
+          QCheck_alcotest.to_alcotest qcheck_eq;
+          QCheck_alcotest.to_alcotest qcheck_ne;
+          QCheck_alcotest.to_alcotest qcheck_lt_s;
+          QCheck_alcotest.to_alcotest qcheck_le_s;
+          QCheck_alcotest.to_alcotest qcheck_gt_s;
+          QCheck_alcotest.to_alcotest qcheck_ge_s;
+          QCheck_alcotest.to_alcotest qcheck_lt_u;
+          QCheck_alcotest.to_alcotest qcheck_min;
+          QCheck_alcotest.to_alcotest qcheck_max;
+          QCheck_alcotest.to_alcotest qcheck_mul_u;
+          QCheck_alcotest.to_alcotest qcheck_mul_s;
+          QCheck_alcotest.to_alcotest qcheck_mul_const_csd;
+          QCheck_alcotest.to_alcotest qcheck_mul_const_bin;
+          QCheck_alcotest.to_alcotest qcheck_div_u;
+          QCheck_alcotest.to_alcotest qcheck_add_fast;
+          QCheck_alcotest.to_alcotest qcheck_add_fast_carry;
+          Alcotest.test_case "prefix adder depth" `Quick test_add_fast_depth_advantage;
+          QCheck_alcotest.to_alcotest qcheck_shift_left_var;
+          QCheck_alcotest.to_alcotest qcheck_shift_right_var;
+          QCheck_alcotest.to_alcotest qcheck_mul_const_vs_generic;
+          Alcotest.test_case "csd digits" `Quick test_csd_digits;
+          Alcotest.test_case "csd is shorter" `Quick test_csd_fewer_terms;
+          Alcotest.test_case "csd multiplier is smaller" `Quick test_mul_const_gate_advantage;
+        ] );
+      ( "float",
+        [
+          Alcotest.test_case "repr roundtrip" `Quick test_float_repr_roundtrip;
+          Alcotest.test_case "repr zero/saturation" `Quick test_float_repr_zero_and_saturation;
+          Alcotest.test_case "add exact cases" `Quick test_float_add_exact_cases;
+          Alcotest.test_case "mul exact cases" `Quick test_float_mul_exact_cases;
+          Alcotest.test_case "relu" `Quick test_float_relu;
+          Alcotest.test_case "neg" `Quick test_float_neg;
+          Alcotest.test_case "const" `Quick test_float_const;
+          QCheck_alcotest.to_alcotest qcheck_float_add;
+          QCheck_alcotest.to_alcotest qcheck_float_sub;
+          QCheck_alcotest.to_alcotest qcheck_float_mul;
+          QCheck_alcotest.to_alcotest qcheck_float_lt;
+          QCheck_alcotest.to_alcotest qcheck_float_max;
+          QCheck_alcotest.to_alcotest qcheck_float_recip;
+          QCheck_alcotest.to_alcotest qcheck_float_div;
+          Alcotest.test_case "div exact-ish cases" `Quick test_float_div_exact_cases;
+        ] );
+    ]

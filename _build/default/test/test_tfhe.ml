@@ -1,0 +1,769 @@
+module Rng = Pytfhe_util.Rng
+open Pytfhe_tfhe
+
+let params = Params.test
+
+(* One shared keyset: key generation dominates the cost of this suite. *)
+let keys = lazy (Gates.key_gen (Rng.create ~seed:1001 ()) params)
+let secret () = fst (Lazy.force keys)
+let cloud () = snd (Lazy.force keys)
+
+(* ------------------------------------------------------------------ *)
+(* Torus arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_torus_roundtrip () =
+  List.iter
+    (fun d ->
+      let t = Torus.of_double d in
+      let back = Torus.to_double t in
+      let diff = Float.abs (d -. back) in
+      let diff = Float.min diff (1.0 -. diff) in
+      Alcotest.(check bool) "roundtrip" true (diff < 1e-9))
+    [ 0.0; 0.125; -0.125; 0.25; 0.4999; -0.4999; 0.3333 ]
+
+let test_torus_group_laws () =
+  let rng = Rng.create ~seed:2 () in
+  for _ = 1 to 200 do
+    let a = Rng.bits32 rng and b = Rng.bits32 rng in
+    Alcotest.(check int) "a+b-b=a" a (Torus.sub (Torus.add a b) b);
+    Alcotest.(check int) "a + (-a) = 0" 0 (Torus.add a (Torus.neg a));
+    Alcotest.(check int) "commutes" (Torus.add a b) (Torus.add b a)
+  done
+
+let test_torus_mod_switch () =
+  for msize = 2 to 16 do
+    for mu = 0 to msize - 1 do
+      let t = Torus.mod_switch_to mu ~msize in
+      Alcotest.(check int) "mod switch roundtrip" mu (Torus.mod_switch_from t ~msize)
+    done
+  done
+
+let test_torus_mod_switch_rounds_noise () =
+  let msize = 8 in
+  let t = Torus.mod_switch_to 3 ~msize in
+  let noisy = Torus.add t (Torus.of_double 0.01) in
+  Alcotest.(check int) "small noise rounds away" 3 (Torus.mod_switch_from noisy ~msize);
+  Alcotest.(check int) "approx phase recentres" t (Torus.approx_phase noisy ~msize)
+
+let test_torus_mul_int () =
+  let eighth = Torus.mod_switch_to 1 ~msize:8 in
+  Alcotest.(check int) "2 * 1/8 = 1/4" (Torus.mod_switch_to 1 ~msize:4) (Torus.mul_int 2 eighth);
+  Alcotest.(check int) "-1 * t = neg t" (Torus.neg eighth) (Torus.mul_int (-1) eighth);
+  Alcotest.(check int) "8 * 1/8 = 0" 0 (Torus.mul_int 8 eighth)
+
+let qcheck_torus_signed_roundtrip =
+  QCheck.Test.make ~name:"torus signed representative roundtrips" ~count:1000
+    QCheck.(int_range (-0x7FFFFFFF) 0x7FFFFFFF)
+    (fun v -> Torus.to_signed (Torus.of_signed v) = v)
+
+
+let test_params_custom_and_validate () =
+  let good =
+    Params.custom ~name:"custom" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
+      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2
+  in
+  Alcotest.(check bool) "custom validates" true (Params.validate good = Ok ());
+  Alcotest.(check bool) "matches shipped test set" true (Params.equal good { Params.test with Params.name = "custom" });
+  let rejects label f = Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  rejects "non-power-of-two N" (fun () ->
+      Params.custom ~name:"bad" ~n:64 ~lwe_stdev:1e-5 ~ring_n:300 ~k:1 ~tlwe_stdev:1e-8 ~l:3
+        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2);
+  rejects "gadget too wide" (fun () ->
+      Params.custom ~name:"bad" ~n:64 ~lwe_stdev:1e-5 ~ring_n:256 ~k:1 ~tlwe_stdev:1e-8 ~l:8
+        ~bg_bit:5 ~ks_t:8 ~ks_base_bit:2);
+  rejects "negative noise" (fun () ->
+      Params.custom ~name:"bad" ~n:64 ~lwe_stdev:(-1.0) ~ring_n:256 ~k:1 ~tlwe_stdev:1e-8 ~l:3
+        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2)
+
+let test_params_shipped_sets_validate () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p.Params.name ^ " validates") true (Params.validate p = Ok ()))
+    [ Params.test; Params.default_128 ]
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let random_torus_poly rng n = Array.init n (fun _ -> Rng.bits32 rng)
+
+let test_poly_mul_by_xai_identity () =
+  let rng = Rng.create ~seed:3 () in
+  let p = random_torus_poly rng 32 in
+  Alcotest.(check (array int)) "X^0 is identity" p (Poly.mul_by_xai 0 p)
+
+let test_poly_mul_by_xai_full_turn () =
+  let rng = Rng.create ~seed:4 () in
+  let n = 32 in
+  let p = random_torus_poly rng n in
+  (* X^N ≡ −1, X^{2N} ≡ 1 — but exponent 2N is out of domain, so check
+     composition: rotating by a then by 2N−a returns the original. *)
+  let a = 13 in
+  let rotated = Poly.mul_by_xai (2 * n - a) (Poly.mul_by_xai a p) in
+  Alcotest.(check (array int)) "X^a then X^{2N-a}" p rotated
+
+let test_poly_mul_by_xai_negation () =
+  let rng = Rng.create ~seed:5 () in
+  let n = 32 in
+  let p = random_torus_poly rng n in
+  Alcotest.(check (array int)) "X^N negates" (Poly.neg p) (Poly.mul_by_xai n p)
+
+let test_poly_mul_by_xai_composition () =
+  let rng = Rng.create ~seed:6 () in
+  let n = 64 in
+  let p = random_torus_poly rng n in
+  List.iter
+    (fun (a, b) ->
+      let lhs = Poly.mul_by_xai ((a + b) mod (2 * n)) p in
+      let rhs = Poly.mul_by_xai a (Poly.mul_by_xai b p) in
+      Alcotest.(check (array int)) "rotation composes" lhs rhs)
+    [ (1, 2); (17, 40); (63, 64); (100, 27); (5, 123) ]
+
+let test_poly_mul_xai_minus_one () =
+  let rng = Rng.create ~seed:7 () in
+  let n = 32 in
+  let p = random_torus_poly rng n in
+  let a = 9 in
+  let expected = Poly.sub (Poly.mul_by_xai a p) p in
+  Alcotest.(check (array int)) "(X^a - 1)p" expected (Poly.mul_by_xai_minus_one a p)
+
+let test_poly_fft_mul_matches_naive () =
+  let rng = Rng.create ~seed:8 () in
+  List.iter
+    (fun n ->
+      let ip = Array.init n (fun _ -> Rng.int rng 64 - 32) in
+      let tp = random_torus_poly rng n in
+      let expected = Poly.mul_int_torus_naive ip tp in
+      let got = Poly.mul_int_torus ip tp in
+      Array.iteri
+        (fun i e ->
+          if Torus.distance e got.(i) > 1e-7 then
+            Alcotest.failf "n=%d coeff %d: naive %d fft %d" n i e got.(i))
+        expected)
+    [ 16; 64; 256 ]
+
+let test_poly_mul_by_binary () =
+  (* Multiplying by the constant polynomial 1 is the identity. *)
+  let rng = Rng.create ~seed:9 () in
+  let n = 64 in
+  let one = Array.make n 0 in
+  one.(0) <- 1;
+  let tp = random_torus_poly rng n in
+  let got = Poly.mul_int_torus one tp in
+  Array.iteri
+    (fun i e ->
+      if Torus.distance e got.(i) > 1e-7 then Alcotest.failf "identity product broke at %d" i)
+    tp
+
+(* ------------------------------------------------------------------ *)
+(* LWE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lwe_encrypt_decrypt () =
+  let rng = Rng.create ~seed:10 () in
+  let key = Lwe.key_gen rng ~n:128 in
+  for mu = 0 to 7 do
+    let c = Lwe.encrypt rng key ~stdev:1e-7 (Torus.mod_switch_to mu ~msize:8) in
+    Alcotest.(check int) "decrypts" mu (Lwe.decrypt key ~msize:8 c)
+  done
+
+let test_lwe_homomorphic_add () =
+  let rng = Rng.create ~seed:11 () in
+  let key = Lwe.key_gen rng ~n:128 in
+  let enc mu = Lwe.encrypt rng key ~stdev:1e-8 (Torus.mod_switch_to mu ~msize:16) in
+  let c = Lwe.add (enc 3) (enc 5) in
+  Alcotest.(check int) "3+5=8" 8 (Lwe.decrypt key ~msize:16 c);
+  let d = Lwe.sub (enc 9) (enc 4) in
+  Alcotest.(check int) "9-4=5" 5 (Lwe.decrypt key ~msize:16 d)
+
+let test_lwe_trivial_and_neg () =
+  let rng = Rng.create ~seed:12 () in
+  let key = Lwe.key_gen rng ~n:64 in
+  let t = Lwe.trivial ~n:64 (Torus.mod_switch_to 1 ~msize:8) in
+  Alcotest.(check int) "trivial decrypts under any key" 1 (Lwe.decrypt key ~msize:8 t);
+  let n = Lwe.neg t in
+  Alcotest.(check int) "neg" 7 (Lwe.decrypt key ~msize:8 n)
+
+let test_lwe_scale () =
+  let rng = Rng.create ~seed:13 () in
+  let key = Lwe.key_gen rng ~n:64 in
+  let c = Lwe.encrypt rng key ~stdev:1e-9 (Torus.mod_switch_to 1 ~msize:16) in
+  Alcotest.(check int) "3 * 1/16" 3 (Lwe.decrypt key ~msize:16 (Lwe.scale 3 c))
+
+let test_lwe_ciphertext_bytes () =
+  (* The paper quotes 2.46 KB for a TFHE ciphertext: (630+1)·4 bytes. *)
+  Alcotest.(check int) "2.46 KB" 2524 (Lwe.ciphertext_bytes ~n:630)
+
+let test_lwe_noise_magnitude () =
+  let rng = Rng.create ~seed:14 () in
+  let key = Lwe.key_gen rng ~n:128 in
+  let stdev = Params.test.Params.lwe.lwe_stdev in
+  let worst = ref 0.0 in
+  for _ = 1 to 200 do
+    let c = Lwe.encrypt rng key ~stdev Torus.zero in
+    let e = Float.abs (Torus.to_double (Lwe.phase key c)) in
+    if e > !worst then worst := e
+  done;
+  Alcotest.(check bool) "noise stays tiny" true (!worst < 16.0 *. stdev)
+
+(* ------------------------------------------------------------------ *)
+(* TLWE / TGSW                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tlwe_phase_recovers_message () =
+  let rng = Rng.create ~seed:15 () in
+  let key = Tlwe.key_gen rng params in
+  let n = params.Params.tlwe.ring_n in
+  let msg = Array.init n (fun i -> Torus.mod_switch_to (i mod 8) ~msize:8) in
+  let c = Tlwe.encrypt_poly rng params key msg in
+  let ph = Tlwe.phase key c in
+  Array.iteri
+    (fun i m ->
+      if Torus.distance m ph.(i) > 1e-4 then Alcotest.failf "phase off at %d" i)
+    msg
+
+let test_tlwe_extract () =
+  let rng = Rng.create ~seed:16 () in
+  let key = Tlwe.key_gen rng params in
+  let n = params.Params.tlwe.ring_n in
+  let msg = Array.make n 0 in
+  msg.(0) <- Torus.mod_switch_to 1 ~msize:8;
+  let c = Tlwe.encrypt_poly rng params key msg in
+  let extracted = Tlwe.extract_lwe params c in
+  let ekey = Tlwe.extract_key key in
+  Alcotest.(check int) "extracted coeff 0" 1 (Lwe.decrypt ekey ~msize:8 extracted)
+
+let test_tlwe_add_sub_roundtrip () =
+  let rng = Rng.create ~seed:17 () in
+  let key = Tlwe.key_gen rng params in
+  let a = Tlwe.zero_sample rng params key in
+  let b = Tlwe.encrypt_poly rng params key (Array.make params.Params.tlwe.ring_n 12345678) in
+  let c = Tlwe.copy a in
+  Tlwe.add_to c b;
+  Tlwe.sub_to c b;
+  let pa = Tlwe.phase key a and pc = Tlwe.phase key c in
+  Array.iteri
+    (fun i x ->
+      if Torus.distance x pc.(i) > 1e-9 then Alcotest.failf "add/sub not inverse at %d" i)
+    pa
+
+let test_tgsw_external_product_zero_one () =
+  let rng = Rng.create ~seed:18 () in
+  let key = Tlwe.key_gen rng params in
+  let ws = Tgsw.workspace_create params in
+  let n = params.Params.tlwe.ring_n in
+  let msg = Array.init n (fun i -> Torus.mod_switch_to (i mod 4) ~msize:4) in
+  let c = Tlwe.encrypt_poly rng params key msg in
+  (* m = 1: phases should match the input. *)
+  let g1 = Tgsw.to_fft params (Tgsw.encrypt_int rng params key 1) in
+  let p1 = Tlwe.phase key (Tgsw.external_product params ws g1 c) in
+  Array.iteri
+    (fun i m -> if Torus.distance m p1.(i) > 1e-3 then Alcotest.failf "m=1 phase off at %d" i)
+    msg;
+  (* m = 0: phases should be (near) zero. *)
+  let g0 = Tgsw.to_fft params (Tgsw.encrypt_int rng params key 0) in
+  let p0 = Tlwe.phase key (Tgsw.external_product params ws g0 c) in
+  Array.iteri
+    (fun i v -> if Torus.distance 0 v > 1e-3 then Alcotest.failf "m=0 phase not 0 at %d" i)
+    p0
+
+let test_tgsw_cmux_selects () =
+  let rng = Rng.create ~seed:19 () in
+  let key = Tlwe.key_gen rng params in
+  let ws = Tgsw.workspace_create params in
+  let n = params.Params.tlwe.ring_n in
+  let quarter = Torus.mod_switch_to 1 ~msize:4 in
+  let d1 = Tlwe.encrypt_poly rng params key (Array.make n quarter) in
+  let d0 = Tlwe.encrypt_poly rng params key (Array.make n (Torus.neg quarter)) in
+  let check bit expected =
+    let g = Tgsw.to_fft params (Tgsw.encrypt_int rng params key bit) in
+    let ph = Tlwe.phase key (Tgsw.cmux params ws g d1 d0) in
+    if Torus.distance expected ph.(0) > 1e-3 then
+      Alcotest.failf "cmux bit=%d selected wrong branch" bit
+  in
+  check 1 quarter;
+  check 0 (Torus.neg quarter)
+
+let test_tgsw_decompose_reconstructs () =
+  let rng = Rng.create ~seed:20 () in
+  let key = Tlwe.key_gen rng params in
+  let c = Tlwe.encrypt_poly rng params key (Array.make params.Params.tlwe.ring_n 0x1234567) in
+  let digits = Tgsw.decompose params c in
+  let l = params.Params.tgsw.l in
+  let bg_bit = params.Params.tgsw.bg_bit in
+  let half_bg = 1 lsl (bg_bit - 1) in
+  (* Every digit must be in [−Bg/2, Bg/2) and the weighted recombination
+     must approximate the original coefficient to within the dropped
+     precision. *)
+  Array.iter
+    (Array.iter (fun d ->
+         if d < -half_bg || d >= half_bg then Alcotest.failf "digit %d out of range" d))
+    digits;
+  let polys = Array.append c.Tlwe.mask [| c.Tlwe.body |] in
+  Array.iteri
+    (fun comp poly ->
+      Array.iteri
+        (fun t coeff ->
+          let recon = ref 0 in
+          for j = 0 to l - 1 do
+            let base_pow = 1 lsl (32 - ((j + 1) * bg_bit)) in
+            recon := Torus.add !recon (Torus.mul_int digits.((comp * l) + j).(t) base_pow)
+          done;
+          if Torus.distance coeff !recon > 1.0 /. float_of_int (1 lsl ((l * bg_bit) - 1)) then
+            Alcotest.failf "recombination off at comp %d coeff %d" comp t)
+        poly)
+    polys
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrapping, key switching and gates                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_keyswitch_preserves_message () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:21 () in
+  let mu = Torus.mod_switch_to 1 ~msize:8 in
+  let big = Lwe.encrypt rng sk.Gates.extracted_key ~stdev:1e-8 mu in
+  let small = Keyswitch.apply ck.Gates.keyswitch_key big in
+  Alcotest.(check int) "message survives" 1 (Lwe.decrypt sk.Gates.lwe_key ~msize:8 small)
+
+let test_bootstrap_sign () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:22 () in
+  let mu = Params.mu params in
+  let check input expected =
+    let c = Lwe.encrypt rng sk.Gates.lwe_key ~stdev:params.Params.lwe.lwe_stdev input in
+    let boosted = Bootstrap.bootstrap_wo_keyswitch params ck.Gates.bootstrap_key ~mu c in
+    let got = Torus.to_double (Lwe.phase sk.Gates.extracted_key boosted) > 0.0 in
+    Alcotest.(check bool) "bootstrap sign" expected got
+  in
+  check (Torus.mod_switch_to 1 ~msize:8) true;
+  check (Torus.mod_switch_to 7 ~msize:8) false;
+  check (Torus.mod_switch_to 1 ~msize:4) true;
+  check (Torus.mod_switch_to 3 ~msize:4) false
+
+let test_bootstrap_reduces_noise () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:23 () in
+  let mu = Params.mu params in
+  (* Push input noise near the decryption margin, then check the refreshed
+     ciphertext is much cleaner than 1/16. *)
+  let noisy = Lwe.encrypt rng sk.Gates.lwe_key ~stdev:0.01 mu in
+  let refreshed = Bootstrap.bootstrap_wo_keyswitch params ck.Gates.bootstrap_key ~mu noisy in
+  let phase = Torus.to_double (Lwe.phase sk.Gates.extracted_key refreshed) in
+  Alcotest.(check bool) "refreshed phase near +1/8" true (Float.abs (phase -. 0.125) < 0.02)
+
+let truth_table gate spec () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:24 () in
+  List.iter
+    (fun (a, b) ->
+      let ca = Gates.encrypt_bit rng sk a in
+      let cb = Gates.encrypt_bit rng sk b in
+      let got = Gates.decrypt_bit sk (gate ck ca cb) in
+      Alcotest.(check bool) (Printf.sprintf "(%b,%b)" a b) (spec a b) got)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_not_gate () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:25 () in
+  List.iter
+    (fun v ->
+      let c = Gates.encrypt_bit rng sk v in
+      Alcotest.(check bool) "not" (not v) (Gates.decrypt_bit sk (Gates.not_gate ck c)))
+    [ true; false ]
+
+let test_constant_gate () =
+  let sk = secret () and ck = cloud () in
+  List.iter
+    (fun v -> Alcotest.(check bool) "constant" v (Gates.decrypt_bit sk (Gates.constant ck v)))
+    [ true; false ]
+
+let test_mux_gate () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:26 () in
+  List.iter
+    (fun (s, x, y) ->
+      let cs = Gates.encrypt_bit rng sk s in
+      let cx = Gates.encrypt_bit rng sk x in
+      let cy = Gates.encrypt_bit rng sk y in
+      let got = Gates.decrypt_bit sk (Gates.mux_gate ck cs cx cy) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mux(%b,%b,%b)" s x y)
+        (if s then x else y)
+        got)
+    [
+      (false, false, false); (false, false, true); (false, true, false); (false, true, true);
+      (true, false, false); (true, false, true); (true, true, false); (true, true, true);
+    ]
+
+let test_gate_composition () =
+  (* A 2-bit half adder on ciphertexts: sum = XOR, carry = AND, composed
+     with further gates to check noise behaves across depth. *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:27 () in
+  List.iter
+    (fun (a, b, c) ->
+      let ca = Gates.encrypt_bit rng sk a in
+      let cb = Gates.encrypt_bit rng sk b in
+      let cc = Gates.encrypt_bit rng sk c in
+      let s1 = Gates.xor_gate ck ca cb in
+      let c1 = Gates.and_gate ck ca cb in
+      let sum = Gates.xor_gate ck s1 cc in
+      let c2 = Gates.and_gate ck s1 cc in
+      let carry = Gates.or_gate ck c1 c2 in
+      let expected_sum = (Bool.to_int a + Bool.to_int b + Bool.to_int c) land 1 = 1 in
+      let expected_carry = Bool.to_int a + Bool.to_int b + Bool.to_int c >= 2 in
+      Alcotest.(check bool) "full adder sum" expected_sum (Gates.decrypt_bit sk sum);
+      Alcotest.(check bool) "full adder carry" expected_carry (Gates.decrypt_bit sk carry))
+    [ (false, false, false); (true, false, true); (true, true, true); (false, true, false) ]
+
+let test_gate_output_noise_margin () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:28 () in
+  let ca = Gates.encrypt_bit rng sk true in
+  let cb = Gates.encrypt_bit rng sk true in
+  let out = Gates.and_gate ck ca cb in
+  let phase = Torus.to_double (Lwe.phase sk.Gates.lwe_key out) in
+  Alcotest.(check bool) "phase within 1/16 of 1/8" true (Float.abs (phase -. 0.125) < 0.0625)
+
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Pytfhe_util.Wire
+
+let roundtrip write read v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  read (Wire.reader_of_string (Buffer.contents buf))
+
+let test_serialize_params () =
+  List.iter
+    (fun p ->
+      let p' = roundtrip Params.write Params.read p in
+      Alcotest.(check bool) "params roundtrip" true (Params.equal p p'))
+    [ Params.test; Params.default_128 ]
+
+let test_serialize_lwe_sample () =
+  let rng = Rng.create ~seed:51 () in
+  let key = Lwe.key_gen rng ~n:64 in
+  let c = Lwe.encrypt rng key ~stdev:1e-8 (Torus.mod_switch_to 3 ~msize:8) in
+  let c' = roundtrip Lwe.write_sample Lwe.read_sample c in
+  Alcotest.(check int) "same decryption" 3 (Lwe.decrypt key ~msize:8 c');
+  Alcotest.(check (array int)) "mask identical" c.Lwe.a c'.Lwe.a;
+  Alcotest.(check int) "body identical" c.Lwe.b c'.Lwe.b
+
+let test_serialize_lwe_key () =
+  let rng = Rng.create ~seed:52 () in
+  let key = Lwe.key_gen rng ~n:100 in
+  let key' = roundtrip Lwe.write_key Lwe.read_key key in
+  Alcotest.(check (array int)) "bits" key.Lwe.bits key'.Lwe.bits;
+  (* a sample encrypted under the original decrypts under the reloaded key *)
+  let c = Lwe.encrypt rng key ~stdev:1e-9 (Torus.mod_switch_to 5 ~msize:8) in
+  Alcotest.(check int) "functional" 5 (Lwe.decrypt key' ~msize:8 c)
+
+let test_serialize_keysets_functional () =
+  (* Round-trip both keysets and run a real gate with the reloaded pair. *)
+  let sk, ck = Lazy.force keys in
+  let sk' = roundtrip Gates.write_secret_keyset Gates.read_secret_keyset sk in
+  let ck' = roundtrip Gates.write_cloud_keyset Gates.read_cloud_keyset ck in
+  let rng = Rng.create ~seed:53 () in
+  List.iter
+    (fun (a, b) ->
+      let ca = Gates.encrypt_bit rng sk' a in
+      let cb = Gates.encrypt_bit rng sk' b in
+      let out = Gates.xor_gate ck' ca cb in
+      Alcotest.(check bool) "gate through reloaded keys" (a <> b) (Gates.decrypt_bit sk' out))
+    [ (true, false); (true, true) ]
+
+let test_serialize_rejects_garbage () =
+  Alcotest.(check bool) "corrupt keyset rejected" true
+    (try
+       ignore (Gates.read_cloud_keyset (Wire.reader_of_string "not a keyset at all"));
+       false
+     with Wire.Corrupt _ -> true)
+
+
+(* ------------------------------------------------------------------ *)
+(* Programmable bootstrapping / LUT                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lut_identity () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:61 () in
+  let msize = 8 in
+  for v = 0 to msize - 1 do
+    let c = Gates.encrypt_message rng sk ~msize v in
+    Alcotest.(check int) "plain roundtrip" v (Gates.decrypt_message sk ~msize c);
+    let out = Gates.apply_lut ck ~msize ~table:(Array.init msize Fun.id) c in
+    Alcotest.(check int) "identity lut" v (Gates.decrypt_message sk ~msize out)
+  done
+
+let test_lut_square () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:62 () in
+  let msize = 8 in
+  let table = Array.init msize (fun v -> v * v mod msize) in
+  for v = 0 to msize - 1 do
+    let c = Gates.encrypt_message rng sk ~msize v in
+    let out = Gates.apply_lut ck ~msize ~table c in
+    Alcotest.(check int) (Printf.sprintf "%d^2 mod 8" v) (v * v mod msize)
+      (Gates.decrypt_message sk ~msize out)
+  done
+
+let test_lut_relu_like () =
+  (* A LUT computing max(v - 4, 0): the kind of non-linear table word-wise
+     schemes cannot express (paper §II-C). *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:63 () in
+  let msize = 8 in
+  let table = Array.init msize (fun v -> max (v - 4) 0) in
+  for v = 0 to msize - 1 do
+    let c = Gates.encrypt_message rng sk ~msize v in
+    let out = Gates.apply_lut ck ~msize ~table c in
+    Alcotest.(check int) "relu-like" (max (v - 4) 0) (Gates.decrypt_message sk ~msize out)
+  done
+
+let test_lut_composes () =
+  (* Two chained programmable bootstraps: noise is refreshed each time. *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:64 () in
+  let msize = 4 in
+  let double = Array.init msize (fun v -> 2 * v mod msize) in
+  let succ_t = Array.init msize (fun v -> (v + 1) mod msize) in
+  for v = 0 to msize - 1 do
+    let c = Gates.encrypt_message rng sk ~msize v in
+    let out = Gates.apply_lut ck ~msize ~table:succ_t (Gates.apply_lut ck ~msize ~table:double c) in
+    Alcotest.(check int) "2v+1 mod 4" (((2 * v) + 1) mod msize) (Gates.decrypt_message sk ~msize out)
+  done
+
+let test_lut_validates () =
+  let ck = cloud () in
+  let c = Lwe.trivial ~n:params.Params.lwe.Params.n 0 in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try ignore (Gates.apply_lut ck ~msize:8 ~table:[| 0; 1 |] c); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "msize must divide N" true
+    (try ignore (Gates.apply_lut ck ~msize:7 ~table:(Array.make 7 0) c); false
+     with Invalid_argument _ -> true)
+
+
+(* ------------------------------------------------------------------ *)
+(* Noise analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_noise_basic_algebra () =
+  let f = Noise.fresh params in
+  let two = Noise.add f f in
+  Alcotest.(check (float 1e-18)) "variances add" (2.0 *. f.Noise.variance) two.Noise.variance;
+  let scaled = Noise.scale 2 f in
+  Alcotest.(check (float 1e-18)) "scaling squares" (4.0 *. f.Noise.variance) scaled.Noise.variance;
+  Alcotest.(check bool) "mod switch adds" true
+    ((Noise.mod_switch params f).Noise.variance > f.Noise.variance)
+
+let test_noise_bootstrap_refreshes () =
+  (* Blind-rotation output variance does not depend on the input noise. *)
+  let out = Noise.blind_rotation params in
+  Alcotest.(check bool) "positive" true (out.Noise.variance > 0.0);
+  let gate = Noise.gate_output params in
+  Alcotest.(check bool) "key switch adds" true (gate.Noise.variance > out.Noise.variance)
+
+let test_noise_parameter_sets_are_safe () =
+  List.iter
+    (fun p ->
+      match Noise.check p with
+      | `Ok prob -> Alcotest.(check bool) (p.Params.name ^ " failure negligible") true (prob < 1e-9)
+      | `Unsafe prob -> Alcotest.failf "%s unsafe: %g" p.Params.name prob)
+    [ Params.test; Params.default_128 ]
+
+let test_noise_detects_bad_parameters () =
+  (* Crank the bootstrapping-key noise until gates must fail. *)
+  let bad =
+    { Params.test with
+      Params.name = "broken";
+      tlwe = { Params.test.Params.tlwe with Params.tlwe_stdev = 0.05 } }
+  in
+  match Noise.check bad with
+  | `Unsafe prob -> Alcotest.(check bool) "flagged" true (prob > 1e-6)
+  | `Ok _ -> Alcotest.fail "oversized noise should be flagged"
+
+let test_noise_failure_probability_monotone () =
+  let b = { Noise.variance = 1e-3 } in
+  let p1 = Noise.failure_probability ~margin:0.125 b in
+  let p2 = Noise.failure_probability ~margin:0.0625 b in
+  Alcotest.(check bool) "smaller margin fails more" true (p2 > p1);
+  Alcotest.(check bool) "probabilities in range" true (p1 >= 0.0 && p2 <= 1.0)
+
+let test_noise_prediction_matches_measurement () =
+  (* Empirical gate-output noise should be within a small factor of the
+     average-case prediction (the offset decomposition adds a bias term the
+     variance bound ignores). *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:71 () in
+  let n = 40 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let a = Gates.encrypt_bit rng sk true and b = Gates.encrypt_bit rng sk false in
+    let out = Gates.and_gate ck a b in
+    let err = Torus.to_double (Lwe.phase sk.Gates.lwe_key out) +. 0.125 in
+    sum := !sum +. err;
+    sumsq := !sumsq +. (err *. err)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  let predicted = (Noise.gate_output params).Noise.variance in
+  let ratio = var /. predicted in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured/predicted variance ratio %.1f within [0.05, 50]" ratio)
+    true
+    (ratio > 0.05 && ratio < 50.0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_wrong_key_fails_to_decrypt () =
+  let sk, _ = Lazy.force keys in
+  let rng = Rng.create ~seed:91 () in
+  let other_sk, _ = Gates.key_gen (Rng.create ~seed:9999 ()) params in
+  (* Statistically, decrypting 32 fresh bits with the wrong key must get at
+     least one wrong (probability of all matching ~ 2^-32-ish). *)
+  let mismatches = ref 0 in
+  for _ = 1 to 32 do
+    let c = Gates.encrypt_bit rng sk true in
+    if not (Gates.decrypt_bit other_sk c) then incr mismatches
+  done;
+  Alcotest.(check bool) "wrong key garbles" true (!mismatches > 0)
+
+let test_tampered_ciphertext_decrypts_wrong () =
+  let sk, _ = Lazy.force keys in
+  let rng = Rng.create ~seed:92 () in
+  let c = Gates.encrypt_bit rng sk true in
+  (* Flip the body by half a torus: the phase sign must flip. *)
+  let tampered = { c with Lwe.b = Torus.add c.Lwe.b (Torus.mod_switch_to 1 ~msize:2) } in
+  Alcotest.(check bool) "tampering flips the phase sign" true
+    (Gates.decrypt_bit sk c <> Gates.decrypt_bit sk tampered)
+
+let test_mismatched_input_arity_rejected () =
+  let _, ck = Lazy.force keys in
+  let short = Lwe.trivial ~n:4 0 in
+  Alcotest.(check bool) "keyswitch rejects wrong dimension" true
+    (try
+       ignore (Keyswitch.apply ck.Gates.keyswitch_key short);
+       false
+     with Invalid_argument _ | Failure _ -> true)
+
+let gate_cases =
+  [
+    ("nand", Gates.nand_gate, fun a b -> not (a && b));
+    ("and", Gates.and_gate, ( && ));
+    ("or", Gates.or_gate, ( || ));
+    ("nor", Gates.nor_gate, fun a b -> not (a || b));
+    ("xor", Gates.xor_gate, ( <> ));
+    ("xnor", Gates.xnor_gate, ( = ));
+    ("andny", Gates.andny_gate, fun a b -> (not a) && b);
+    ("andyn", Gates.andyn_gate, fun a b -> a && not b);
+    ("orny", Gates.orny_gate, fun a b -> (not a) || b);
+    ("oryn", Gates.oryn_gate, fun a b -> a || not b);
+  ]
+
+let () =
+  let gate_tests =
+    List.map
+      (fun (name, gate, spec) -> Alcotest.test_case name `Slow (truth_table gate spec))
+      gate_cases
+  in
+  Alcotest.run "tfhe"
+    [
+      ( "torus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_torus_roundtrip;
+          Alcotest.test_case "group laws" `Quick test_torus_group_laws;
+          Alcotest.test_case "mod switch" `Quick test_torus_mod_switch;
+          Alcotest.test_case "mod switch rounds noise" `Quick test_torus_mod_switch_rounds_noise;
+          Alcotest.test_case "integer scaling" `Quick test_torus_mul_int;
+          QCheck_alcotest.to_alcotest qcheck_torus_signed_roundtrip;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "custom + validate" `Quick test_params_custom_and_validate;
+          Alcotest.test_case "shipped sets validate" `Quick test_params_shipped_sets_validate;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "X^0 identity" `Quick test_poly_mul_by_xai_identity;
+          Alcotest.test_case "full turn" `Quick test_poly_mul_by_xai_full_turn;
+          Alcotest.test_case "X^N negates" `Quick test_poly_mul_by_xai_negation;
+          Alcotest.test_case "rotation composes" `Quick test_poly_mul_by_xai_composition;
+          Alcotest.test_case "(X^a - 1)p" `Quick test_poly_mul_xai_minus_one;
+          Alcotest.test_case "fft mul matches naive" `Quick test_poly_fft_mul_matches_naive;
+          Alcotest.test_case "multiply by one" `Quick test_poly_mul_by_binary;
+        ] );
+      ( "lwe",
+        [
+          Alcotest.test_case "encrypt/decrypt" `Quick test_lwe_encrypt_decrypt;
+          Alcotest.test_case "homomorphic add/sub" `Quick test_lwe_homomorphic_add;
+          Alcotest.test_case "trivial and neg" `Quick test_lwe_trivial_and_neg;
+          Alcotest.test_case "scale" `Quick test_lwe_scale;
+          Alcotest.test_case "ciphertext size (2.46 KB)" `Quick test_lwe_ciphertext_bytes;
+          Alcotest.test_case "noise magnitude" `Quick test_lwe_noise_magnitude;
+        ] );
+      ( "tlwe-tgsw",
+        [
+          Alcotest.test_case "tlwe phase" `Quick test_tlwe_phase_recovers_message;
+          Alcotest.test_case "sample extraction" `Quick test_tlwe_extract;
+          Alcotest.test_case "add/sub inverse" `Quick test_tlwe_add_sub_roundtrip;
+          Alcotest.test_case "external product m in {0,1}" `Slow test_tgsw_external_product_zero_one;
+          Alcotest.test_case "cmux selects" `Slow test_tgsw_cmux_selects;
+          Alcotest.test_case "decomposition recombines" `Quick test_tgsw_decompose_reconstructs;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "keyswitch preserves message" `Slow test_keyswitch_preserves_message;
+          Alcotest.test_case "bootstrap sign" `Slow test_bootstrap_sign;
+          Alcotest.test_case "bootstrap reduces noise" `Slow test_bootstrap_reduces_noise;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "wrong key garbles" `Slow test_wrong_key_fails_to_decrypt;
+          Alcotest.test_case "tampered ciphertext" `Slow test_tampered_ciphertext_decrypts_wrong;
+          Alcotest.test_case "arity mismatch rejected" `Quick test_mismatched_input_arity_rejected;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "variance algebra" `Quick test_noise_basic_algebra;
+          Alcotest.test_case "bootstrap refreshes" `Quick test_noise_bootstrap_refreshes;
+          Alcotest.test_case "shipped parameters safe" `Quick test_noise_parameter_sets_are_safe;
+          Alcotest.test_case "detects bad parameters" `Quick test_noise_detects_bad_parameters;
+          Alcotest.test_case "failure probability monotone" `Quick test_noise_failure_probability_monotone;
+          Alcotest.test_case "prediction vs measurement" `Slow test_noise_prediction_matches_measurement;
+        ] );
+      ( "lut",
+        [
+          Alcotest.test_case "identity" `Slow test_lut_identity;
+          Alcotest.test_case "square mod 8" `Slow test_lut_square;
+          Alcotest.test_case "relu-like table" `Slow test_lut_relu_like;
+          Alcotest.test_case "composition refreshes noise" `Slow test_lut_composes;
+          Alcotest.test_case "validates arguments" `Quick test_lut_validates;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "params" `Quick test_serialize_params;
+          Alcotest.test_case "lwe sample" `Quick test_serialize_lwe_sample;
+          Alcotest.test_case "lwe key" `Quick test_serialize_lwe_key;
+          Alcotest.test_case "keysets functional" `Slow test_serialize_keysets_functional;
+          Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+        ] );
+      ( "gates",
+        gate_tests
+        @ [
+            Alcotest.test_case "not" `Slow test_not_gate;
+            Alcotest.test_case "constant" `Quick test_constant_gate;
+            Alcotest.test_case "mux" `Slow test_mux_gate;
+            Alcotest.test_case "full adder composition" `Slow test_gate_composition;
+            Alcotest.test_case "output noise margin" `Slow test_gate_output_noise_margin;
+          ] );
+    ]

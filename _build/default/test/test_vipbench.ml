@@ -1,0 +1,142 @@
+module Rng = Pytfhe_util.Rng
+module W = Pytfhe_vipbench.Workload
+module Suite = Pytfhe_vipbench.Suite
+module Stats = Pytfhe_circuit.Stats
+module Levelize = Pytfhe_circuit.Levelize
+
+let verify_case (w : W.t) () =
+  let rng = Rng.create ~seed:(Hashtbl.hash w.W.name) () in
+  Alcotest.(check bool) (w.W.name ^ " circuit matches reference") true (w.W.verify rng)
+
+let test_registry_names_unique () =
+  let names = List.map (fun w -> w.W.name) Suite.all in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "no duplicate names" (List.length names) (List.length sorted)
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds mnist_s" true (Suite.find "mnist_s" <> None);
+  Alcotest.(check bool) "unknown is None" true (Suite.find "nope" = None)
+
+let test_paper_set_contents () =
+  let names = List.map (fun w -> w.W.name) Suite.paper_set in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " in paper set") true (List.mem expected names))
+    [ "hamming_distance"; "nr_solver"; "parrondo"; "rc_edge_detection"; "mnist_s"; "mnist_m";
+      "mnist_l"; "attention_s"; "attention_l"; "eulers_approx"; "dot_product" ];
+  Alcotest.(check bool) "tiny variants excluded" true (not (List.mem "mnist_tiny" names));
+  Alcotest.(check bool) "at least 18 VIP workloads + networks" true (List.length names >= 18)
+
+let test_workloads_have_io () =
+  List.iter
+    (fun w ->
+      let net = w.W.circuit () in
+      Alcotest.(check bool) (w.W.name ^ " has inputs") true (Pytfhe_circuit.Netlist.input_count net > 0);
+      Alcotest.(check bool) (w.W.name ^ " has outputs") true
+        (List.length (Pytfhe_circuit.Netlist.outputs net) > 0))
+    Suite.light
+
+let test_serial_benchmarks_are_narrow () =
+  (* The paper attributes poor distributed/GPU scaling of NRSolver-style
+     benchmarks to their serial dataflow; check our instances reproduce the
+     structural property. *)
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "%s missing" name
+      | Some w ->
+        let sched = Levelize.run (w.W.circuit ()) in
+        (* narrow = cannot even saturate the 72 workers of the 4-node
+           cluster at any wave *)
+        Alcotest.(check bool) (name ^ " is narrow") true (Levelize.max_width sched < 100))
+    [ "nr_solver"; "eulers_approx"; "gradient_descent"; "parrondo" ]
+
+let test_wide_benchmarks_are_wide () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "%s missing" name
+      | Some w ->
+        let sched = Levelize.run (w.W.circuit ()) in
+        Alcotest.(check bool) (name ^ " is wide") true (Levelize.max_width sched > 100))
+    [ "rc_edge_detection"; "box_blur"; "mnist_tiny" ]
+
+let test_circuits_are_deterministic () =
+  List.iter
+    (fun name ->
+      match Suite.find name with
+      | None -> Alcotest.failf "%s missing" name
+      | Some w ->
+        let a = Stats.compute (w.W.circuit ()) in
+        let b = Stats.compute (w.W.circuit ()) in
+        Alcotest.(check int) (name ^ " same gates") a.Stats.gates b.Stats.gates;
+        Alcotest.(check int) (name ^ " same depth") a.Stats.depth b.Stats.depth)
+    [ "dot_product"; "mnist_tiny"; "attention_tiny" ]
+
+let test_mnist_s_structure () =
+  (* Heavy but important: the headline workload has the documented shape. *)
+  match Suite.find "mnist_s" with
+  | None -> Alcotest.fail "mnist_s missing"
+  | Some w ->
+    let net = w.W.circuit () in
+    Alcotest.(check int) "28x28 inputs of 8 bits" (28 * 28 * 8)
+      (Pytfhe_circuit.Netlist.input_count net);
+    Alcotest.(check int) "10 outputs of 8 bits" 80
+      (List.length (Pytfhe_circuit.Netlist.outputs net));
+    let s = Stats.compute net in
+    Alcotest.(check bool) "hundreds of thousands of gates" true (s.Stats.gates > 100_000)
+
+
+(* Gate-count regression: the raw (pre-synthesis) bootstrap counts of every
+   light workload.  A change here is not necessarily wrong — builder or
+   arithmetic changes legitimately move these — but it must be noticed and
+   re-recorded deliberately. *)
+let golden_bootstraps =
+  [
+    ("hamming_distance", 224); ("dot_product", 5379); ("bubble_sort", 2408);
+    ("merge_sort", 1634); ("distinctness", 447); ("edit_distance", 2255); ("eulers_approx", 6321);
+    ("nr_solver", 12578); ("gradient_descent", 1127); ("parrondo", 617);
+    ("rc_edge_detection", 9800); ("box_blur", 15300); ("filtered_query", 863);
+    ("knn", 2217); ("linear_regression", 1139); ("string_search", 896);
+    ("primality", 510); ("tea_cipher", 6655); ("psi", 1050); ("fann_inference", 1416);
+    ("mnist_tiny", 29148); ("attention_tiny", 14386);
+  ]
+
+let test_golden_gate_counts () =
+  List.iter
+    (fun (name, expected) ->
+      match Suite.find name with
+      | None -> Alcotest.failf "golden workload %s missing" name
+      | Some w ->
+        let s = Stats.compute (w.W.circuit ()) in
+        Alcotest.(check int) (name ^ " bootstrap count") expected s.Stats.bootstraps)
+    golden_bootstraps;
+  (* every light workload is covered by the golden list *)
+  Alcotest.(check int) "golden list covers the light set" (List.length Suite.light)
+    (List.length golden_bootstraps)
+
+let () =
+  let functional =
+    List.map
+      (fun w -> Alcotest.test_case w.W.name `Quick (verify_case w))
+      (List.filter (fun w -> not w.W.heavy) Suite.all)
+  in
+  Alcotest.run "vipbench"
+    [
+      ("functional", functional);
+      ( "registry",
+        [
+          Alcotest.test_case "names unique" `Quick test_registry_names_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "paper set" `Quick test_paper_set_contents;
+          Alcotest.test_case "all have I/O" `Quick test_workloads_have_io;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "serial benchmarks are narrow" `Quick test_serial_benchmarks_are_narrow;
+          Alcotest.test_case "wide benchmarks are wide" `Quick test_wide_benchmarks_are_wide;
+          Alcotest.test_case "deterministic circuits" `Quick test_circuits_are_deterministic;
+          Alcotest.test_case "mnist_s structure" `Slow test_mnist_s_structure;
+          Alcotest.test_case "golden gate counts" `Quick test_golden_gate_counts;
+        ] );
+    ]
