@@ -22,6 +22,9 @@ module Levelize = Pytfhe_circuit.Levelize
 module Cost_model = Pytfhe_backend.Cost_model
 module Sched_cpu = Pytfhe_backend.Sched_cpu
 module Sched_gpu = Pytfhe_backend.Sched_gpu
+module Par_eval = Pytfhe_backend.Par_eval
+module Plain_eval = Pytfhe_backend.Plain_eval
+module Json = Pytfhe_util.Json
 module Profile = Pytfhe_frameworks.Profile
 module W = Pytfhe_vipbench.Workload
 module Suite = Pytfhe_vipbench.Suite
@@ -538,11 +541,118 @@ let params_explorer () =
     "@.the shipped default (l=3, Bg=2^7) sits at the knee: one less level is unsafe,@.";
   Format.printf "one more costs a third more FFT work for no useful noise headroom.@."
 
+(* ------------------------------------------------------------------ *)
+(* Par_eval — real multicore execution vs the Sched_cpu cost model      *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  header "Par — real multicore TFHE execution (Par_eval) vs the Sched_cpu cost model";
+  if !quick then Format.printf "(--quick: skipped — runs real crypto for every worker count)@."
+  else begin
+    let w = Option.get (Suite.find "hamming_distance") in
+    let c = compiled w in
+    let sched = c.Pipeline.schedule in
+    let seed = 4242 in
+    Format.printf "  [generating keys (test parameters) ...]@?";
+    let t0 = Unix.gettimeofday () in
+    let client, cloud = Client.keygen ~params:Params.test ~seed () in
+    Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
+    let rng = Rng.create ~seed:(seed + 1) () in
+    let n_in = Netlist.input_count c.Pipeline.netlist in
+    let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+    let cts = Client.encrypt_bits client ins in
+    Format.printf "  [sequential reference (Tfhe_eval) ...]@?";
+    let seq_out, seq_stats = Server.evaluate cloud c cts in
+    let seq_wall = seq_stats.Pytfhe_backend.Tfhe_eval.wall_time in
+    let bootstraps = seq_stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed in
+    Format.printf " %s (%d bootstraps)@." (human_time seq_wall) bootstraps;
+    let bits = Client.decrypt_bits client seq_out in
+    let expected = Plain_eval.run c.Pipeline.netlist ins in
+    let plain_ok = List.for_all2 (fun (_, e) g -> e = g) expected (Array.to_list bits) in
+    (* Calibrate the distributed-CPU simulator to this machine's measured
+       gate time, then strip the cluster overheads (no NIC, no Ray scheduler
+       here) so it predicts pure shared-memory wave execution. *)
+    let measured_gate_time = seq_wall /. float_of_int (max 1 bootstraps) in
+    let base = Cost_model.calibrated_cpu ~measured_gate_time in
+    let local_cost =
+      { base with Cost_model.comm_time = 0.0; submit_time = 0.0; sync_time = 0.0;
+        startup_time = 0.0; workers_per_node = 1 }
+    in
+    let worker_counts = [ 1; 2; 4; 8 ] in
+    let rows =
+      List.map
+        (fun workers ->
+          let outs, st = Server.evaluate_parallel ~workers cloud c cts in
+          let exact = outs = seq_out in
+          let measured = seq_wall /. st.Par_eval.wall_time in
+          let simulated =
+            (Sched_cpu.simulate { Sched_cpu.nodes = workers; cost = local_cost } sched)
+              .Sched_cpu.speedup
+          in
+          (workers, st, exact, measured, simulated))
+        worker_counts
+    in
+    Format.printf "@.%-8s %10s %10s %11s %8s %10s@."
+      "WORKERS" "WALL" "MEASURED" "SIMULATED" "IDEAL" "BIT-EXACT";
+    List.iter
+      (fun (workers, st, exact, measured, simulated) ->
+        Format.printf "%-8d %10s %9.2fx %10.2fx %7.2fx %10s@." workers
+          (human_time st.Par_eval.wall_time) measured simulated st.Par_eval.ideal_speedup
+          (if exact then "yes" else "NO"))
+      rows;
+    let host_domains = Domain.recommended_domain_count () in
+    Format.printf "@.host offers %d domain%s; with fewer cores than workers the measured@."
+      host_domains (if host_domains = 1 then "" else "s");
+    Format.printf
+      "column saturates at the core count while SIMULATED/IDEAL show what the@.";
+    Format.printf "same wave schedule yields once real cores exist (paper Fig. 10).@.";
+    if not plain_ok then Format.printf "WARNING: decryption disagrees with Plain_eval!@.";
+    let all_exact = List.for_all (fun (_, _, e, _, _) -> e) rows in
+    if not all_exact then Format.printf "WARNING: parallel output differs from Tfhe_eval!@.";
+    let json =
+      Json.Obj
+        [
+          ("workload", Json.String w.W.name);
+          ("params", Json.String "test");
+          ("bootstraps", Json.Number (float_of_int bootstraps));
+          ("depth", Json.Number (float_of_int sched.Levelize.depth));
+          ("sequential_wall_s", Json.Number seq_wall);
+          ("measured_gate_time_s", Json.Number measured_gate_time);
+          ("host_domains", Json.Number (float_of_int host_domains));
+          ("plain_eval_agrees", Json.Bool plain_ok);
+          ( "runs",
+            Json.List
+              (List.map
+                 (fun (workers, st, exact, measured, simulated) ->
+                   Json.Obj
+                     [
+                       ("workers", Json.Number (float_of_int workers));
+                       ("wall_s", Json.Number st.Par_eval.wall_time);
+                       ("measured_speedup", Json.Number measured);
+                       ("simulated_speedup", Json.Number simulated);
+                       ("ideal_speedup", Json.Number st.Par_eval.ideal_speedup);
+                       ("achieved_speedup", Json.Number st.Par_eval.achieved_speedup);
+                       ("bit_exact", Json.Bool exact);
+                       ( "per_domain_bootstraps",
+                         Json.List
+                           (Array.to_list
+                              (Array.map
+                                 (fun b -> Json.Number (float_of_int b))
+                                 st.Par_eval.per_domain_bootstraps)) );
+                     ])
+                 rows) );
+        ]
+    in
+    let path = "BENCH_par_eval.json" in
+    Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+    Format.printf "@.wrote %s@." path
+  end
+
 let all_experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("table4", table4); ("ablation", ablation);
-    ("params", params_explorer); ("micro", micro);
+    ("params", params_explorer); ("micro", micro); ("par", par);
   ]
 
 let () =

@@ -123,7 +123,8 @@ let estimate_cmd =
     Term.(const run $ workload_arg $ backends)
 
 let run_cmd =
-  let run w seed encrypted =
+  let run w seed encrypted workers =
+    if workers < 1 then failwith "--workers must be >= 1";
     let rng = Pytfhe_util.Rng.create ~seed () in
     if encrypted then begin
       if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
@@ -133,15 +134,33 @@ let run_cmd =
       let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
       let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
       let cts = Client.encrypt_bits client ins in
-      Format.printf "evaluating %d gates homomorphically...@." compiled.Pipeline.stats.Stats.gates;
-      let outs, stats = Server.evaluate cloud compiled cts in
+      Format.printf "evaluating %d gates homomorphically on %d domain%s...@."
+        compiled.Pipeline.stats.Stats.gates workers (if workers = 1 then "" else "s");
+      let outs, bootstraps, wall, extra =
+        if workers = 1 then begin
+          let outs, stats = Server.evaluate cloud compiled cts in
+          ( outs,
+            stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed,
+            stats.Pytfhe_backend.Tfhe_eval.wall_time,
+            "" )
+        end
+        else begin
+          let outs, stats = Server.evaluate_parallel ~workers cloud compiled cts in
+          ( outs,
+            stats.Pytfhe_backend.Par_eval.bootstraps_executed,
+            stats.Pytfhe_backend.Par_eval.wall_time,
+            Format.asprintf ", %.2fx parallel (wave-sync ideal %.2fx)"
+              stats.Pytfhe_backend.Par_eval.achieved_speedup
+              stats.Pytfhe_backend.Par_eval.ideal_speedup )
+        end
+      in
       let bits = Client.decrypt_bits client outs in
       let expected = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist ins in
       let ok = List.for_all2 (fun (_, e) g -> e = g) expected (Array.to_list bits) in
-      Format.printf "bootstraps: %d, wall time: %.1fs (%.1f ms/gate), outputs %s@."
-        stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed stats.Pytfhe_backend.Tfhe_eval.wall_time
-        (1000.0 *. stats.Pytfhe_backend.Tfhe_eval.wall_time
-        /. float_of_int (max 1 stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed))
+      Format.printf "bootstraps: %d, wall time: %.1fs (%.1f ms/gate%s), outputs %s@."
+        bootstraps wall
+        (1000.0 *. wall /. float_of_int (max 1 bootstraps))
+        extra
         (if ok then "MATCH plaintext reference" else "MISMATCH")
     end
     else begin
@@ -153,8 +172,12 @@ let run_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let encrypted = Arg.(value & flag & info [ "encrypted" ] ~doc:"Run for real on TFHE ciphertexts (test parameters).") in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Evaluate on $(docv) OCaml domains (with --encrypted; 1 = the sequential reference executor).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
-    Term.(const run $ workload_arg $ seed $ encrypted)
+    Term.(const run $ workload_arg $ seed $ encrypted $ workers)
 
 let verilog_cmd =
   let run w out =

@@ -1,0 +1,233 @@
+(* Real multicore evaluation of TFHE netlists on OCaml 5 domains.
+
+   The gate DAG is cut into waves by Levelize (the paper's Algorithm 1); a
+   wave's bootstrapped gates have all their fan-ins in earlier waves, so
+   they execute concurrently with static chunking across a fork-join domain
+   pool.  Each domain owns a private Gates.context (TGSW workspace, FFT
+   scratch, test-vector buffer); the only shared mutable state is the dense
+   value table, and every wave writes a disjoint slice of it, with the
+   pool's mutex handshake providing the inter-wave happens-before edge.
+
+   The executor is bit-exact with Tfhe_eval.run: each gate performs the
+   identical float/torus operation sequence, only on a different domain. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+module Levelize = Pytfhe_circuit.Levelize
+open Pytfhe_tfhe
+
+type stats = {
+  workers : int;
+  bootstraps_executed : int;
+  nots_executed : int;
+  per_domain_bootstraps : int array;
+  per_domain_busy : float array;
+  wave_wall : float array;
+  wave_width : int array;
+  wall_time : float;
+  achieved_speedup : float;
+  ideal_speedup : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fork-join domain pool                                               *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  helpers : int;  (* worker domains beyond the calling one *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable epoch : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable domains : unit Domain.t array;
+}
+
+let pool_worker pool index =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.epoch = !seen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.epoch;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mutex;
+      let outcome = try job index; None with exn -> Some exn in
+      Mutex.lock pool.mutex;
+      (match outcome with
+      | Some _ when pool.failure = None -> pool.failure <- outcome
+      | Some _ | None -> ());
+      pool.remaining <- pool.remaining - 1;
+      if pool.remaining = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let pool_create helpers =
+  let pool =
+    {
+      helpers;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init helpers (fun i -> Domain.spawn (fun () -> pool_worker pool (i + 1)));
+  pool
+
+(* Run [job d] for every worker index d in [0, helpers]; index 0 executes on
+   the calling domain.  Returns once all indices finish; re-raises the first
+   failure after the barrier so the pool stays consistent. *)
+let pool_run pool job =
+  if pool.helpers = 0 then job 0
+  else begin
+    Mutex.lock pool.mutex;
+    pool.job <- Some job;
+    pool.epoch <- pool.epoch + 1;
+    pool.remaining <- pool.helpers;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    let mine = try job 0; None with exn -> Some exn in
+    Mutex.lock pool.mutex;
+    while pool.remaining > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    let helper_failure = pool.failure in
+    pool.failure <- None;
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    match (mine, helper_failure) with
+    | Some exn, _ | None, Some exn -> raise exn
+    | None, None -> ()
+  end
+
+let pool_shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.domains
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wave-synchronous upper bound on speedup: with unit gate cost, [workers]
+   domains need ceil(width / workers) rounds per wave. *)
+let ideal_speedup (sched : Levelize.schedule) workers =
+  let rounds =
+    Array.fold_left
+      (fun acc w -> if w > 0 then acc + ((w + workers - 1) / workers) else acc)
+      0 sched.Levelize.widths
+  in
+  if rounds = 0 then 1.0 else float_of_int sched.Levelize.total_bootstraps /. float_of_int rounds
+
+let run ?workers cloud net inputs =
+  let workers =
+    match workers with Some w -> w | None -> Domain.recommended_domain_count ()
+  in
+  if workers < 1 then invalid_arg "Par_eval.run: workers must be >= 1";
+  let input_list = Netlist.inputs net in
+  if Array.length inputs <> List.length input_list then
+    invalid_arg "Par_eval.run: input arity mismatch";
+  let start = Unix.gettimeofday () in
+  let sched = Levelize.run net in
+  let waves = Levelize.waves sched net in
+  let n = Netlist.node_count net in
+  let values : Lwe.sample option array = Array.make n None in
+  List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
+    | Netlist.Input _ | Netlist.Gate _ -> ()
+  done;
+  (* One private context per domain: contexts.(0) belongs to the caller. *)
+  let contexts = Array.init workers (fun _ -> Gates.context cloud) in
+  let per_domain_bootstraps = Array.make workers 0 in
+  let per_domain_busy = Array.make workers 0.0 in
+  let nwaves = Array.length waves in
+  let wave_wall = Array.make nwaves 0.0 in
+  let wave_width = Array.map (fun w -> Array.length w.Levelize.parallel) waves in
+  let nots = ref 0 in
+  let eval_chunk gates d =
+    (* Static chunking: domain d owns the contiguous slice [lo, hi). *)
+    let width = Array.length gates in
+    let lo = d * width / workers and hi = (d + 1) * width / workers in
+    if lo < hi then begin
+      let ctx = contexts.(d) in
+      let t0 = Unix.gettimeofday () in
+      for i = lo to hi - 1 do
+        let id = gates.(i) in
+        match Netlist.kind net id with
+        | Netlist.Gate (g, a, b) ->
+          let va = Option.get values.(a) and vb = Option.get values.(b) in
+          values.(id) <- Some (Tfhe_eval.apply_gate ctx g va vb);
+          per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + 1
+        | Netlist.Input _ | Netlist.Const _ -> assert false
+      done;
+      per_domain_busy.(d) <- per_domain_busy.(d) +. (Unix.gettimeofday () -. t0)
+    end
+  in
+  let pool = pool_create (workers - 1) in
+  Fun.protect
+    ~finally:(fun () -> pool_shutdown pool)
+    (fun () ->
+      Array.iteri
+        (fun w wave ->
+          let t0 = Unix.gettimeofday () in
+          if Array.length wave.Levelize.parallel > 0 then
+            pool_run pool (eval_chunk wave.Levelize.parallel);
+          (* Noiseless NOTs ride along on the coordinating domain: they may
+             read this wave's fresh results, and cost one vector negation. *)
+          Array.iter
+            (fun id ->
+              match Netlist.kind net id with
+              | Netlist.Gate (g, a, _) when Gate.is_unary g ->
+                values.(id) <- Some (Lwe.neg (Option.get values.(a)));
+                incr nots
+              | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
+            wave.Levelize.inline;
+          wave_wall.(w) <- Unix.gettimeofday () -. t0)
+        waves);
+  let outputs =
+    Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list
+  in
+  let wall_time = Unix.gettimeofday () -. start in
+  let busy = Array.fold_left ( +. ) 0.0 per_domain_busy in
+  ( outputs,
+    {
+      workers;
+      bootstraps_executed = Array.fold_left ( + ) 0 per_domain_bootstraps;
+      nots_executed = !nots;
+      per_domain_bootstraps;
+      per_domain_busy;
+      wave_wall;
+      wave_width;
+      wall_time;
+      achieved_speedup = (if wall_time > 0.0 then busy /. wall_time else 0.0);
+      ideal_speedup = ideal_speedup sched workers;
+    } )
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "workers=%d bootstraps=%d nots=%d wall=%.3fs speedup=%.2fx (wave-sync ideal %.2fx)@ per-domain bootstraps: %a"
+    s.workers s.bootstraps_executed s.nots_executed s.wall_time s.achieved_speedup
+    s.ideal_speedup
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Format.pp_print_int)
+    (Array.to_list s.per_domain_bootstraps)

@@ -1,0 +1,51 @@
+(** Real multicore TFHE execution on OCaml 5 domains.
+
+    Where {!Sched_cpu} only *prices* the paper's distributed-CPU backend
+    through a cost model, this executor actually runs every bootstrapped
+    gate on LWE ciphertexts across a pool of domains.  The netlist is cut
+    into waves with {!Pytfhe_circuit.Levelize}; each wave's bootstrapped
+    gates are statically chunked over the pool, with unary [Not] gates
+    folded in after each wave's barrier.  Every domain evaluates through a
+    private {!Pytfhe_tfhe.Gates.context}, so no TGSW workspace, FFT scratch
+    or test-vector buffer is shared.
+
+    Outputs are bit-exact with {!Tfhe_eval.run} — same ciphertexts, same
+    declaration-order output array — for any worker count. *)
+
+type stats = {
+  workers : int;  (** Domains used (including the calling one). *)
+  bootstraps_executed : int;
+  nots_executed : int;
+  per_domain_bootstraps : int array;  (** Bootstrap count per domain. *)
+  per_domain_busy : float array;
+      (** Seconds each domain spent inside gate kernels (excludes barrier
+          waits); their sum approximates single-core compute time. *)
+  wave_wall : float array;  (** Wall seconds per wave, index = level. *)
+  wave_width : int array;  (** Bootstrapped gates per wave. *)
+  wall_time : float;  (** End-to-end wall seconds. *)
+  achieved_speedup : float;
+      (** Total busy time / wall time — the parallelism actually realised
+          on this machine. *)
+  ideal_speedup : float;
+      (** Wave-synchronous bound for this DAG and worker count:
+          total bootstraps / Σ ceil(width / workers).  What {!Sched_cpu}
+          predicts with zero overheads. *)
+}
+
+val run :
+  ?workers:int ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pytfhe_circuit.Netlist.t ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** [run ~workers cloud net inputs] evaluates the program wave by wave on
+    [workers] domains (default: [Domain.recommended_domain_count ()]).
+    [workers = 1] degenerates to sequential execution on the calling
+    domain, with no domains spawned.  Raises [Invalid_argument] on input
+    arity mismatch or [workers < 1]. *)
+
+val ideal_speedup : Pytfhe_circuit.Levelize.schedule -> int -> float
+(** The wave-synchronous speedup bound reported in {!stats}, exposed for
+    benches that sweep worker counts without executing. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -18,11 +18,26 @@ let gate_of g =
   | Gate.Orny -> Gates.orny_gate
   | Gate.Oryn -> Gates.oryn_gate
 
+let apply_gate ctx g a b =
+  match g with
+  | Gate.Nand -> Gates.nand_gate_in ctx a b
+  | Gate.And -> Gates.and_gate_in ctx a b
+  | Gate.Or -> Gates.or_gate_in ctx a b
+  | Gate.Nor -> Gates.nor_gate_in ctx a b
+  | Gate.Xnor -> Gates.xnor_gate_in ctx a b
+  | Gate.Xor -> Gates.xor_gate_in ctx a b
+  | Gate.Not -> Lwe.neg a
+  | Gate.Andny -> Gates.andny_gate_in ctx a b
+  | Gate.Andyn -> Gates.andyn_gate_in ctx a b
+  | Gate.Orny -> Gates.orny_gate_in ctx a b
+  | Gate.Oryn -> Gates.oryn_gate_in ctx a b
+
 let run cloud net inputs =
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Tfhe_eval.run: input arity mismatch";
   let start = Unix.gettimeofday () in
+  let ctx = Gates.default_context cloud in
   let n = Netlist.node_count net in
   let values : Lwe.sample option array = Array.make n None in
   List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
@@ -34,7 +49,7 @@ let run cloud net inputs =
     | Netlist.Gate (g, a, b) ->
       let va = Option.get values.(a) and vb = Option.get values.(b) in
       if Gate.is_unary g then incr nots else incr bootstraps;
-      values.(id) <- Some (gate_of g cloud va vb)
+      values.(id) <- Some (apply_gate ctx g va vb)
   done;
   let outputs =
     Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list

@@ -24,3 +24,10 @@ val gate_of : Pytfhe_circuit.Gate.t ->
   Pytfhe_tfhe.Gates.cloud_keyset -> Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample ->
   Pytfhe_tfhe.Lwe.sample
 (** The bootstrapped-gate implementation behind each IR gate type. *)
+
+val apply_gate :
+  Pytfhe_tfhe.Gates.context -> Pytfhe_circuit.Gate.t ->
+  Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample
+(** Same dispatch through an explicit per-thread evaluation context — the
+    primitive {!Par_eval} runs on every worker domain.  [Not] ignores its
+    second operand. *)

@@ -30,6 +30,32 @@ let run net =
       end);
   { level; depth = !depth; widths = Pytfhe_util.Growable.to_array counts; total_bootstraps = !total }
 
+type wave = { parallel : Netlist.id array; inline : Netlist.id array }
+
+let waves s net =
+  let nw = s.depth + 1 in
+  let par_count = Array.make nw 0 in
+  let inl_count = Array.make nw 0 in
+  Netlist.iter_gates net (fun id g _ _ ->
+      let l = s.level.(id) in
+      if Gate.is_unary g then inl_count.(l) <- inl_count.(l) + 1
+      else par_count.(l) <- par_count.(l) + 1);
+  let parallel = Array.init nw (fun w -> Array.make par_count.(w) 0) in
+  let inline = Array.init nw (fun w -> Array.make inl_count.(w) 0) in
+  let par_fill = Array.make nw 0 in
+  let inl_fill = Array.make nw 0 in
+  Netlist.iter_gates net (fun id g _ _ ->
+      let l = s.level.(id) in
+      if Gate.is_unary g then begin
+        inline.(l).(inl_fill.(l)) <- id;
+        inl_fill.(l) <- inl_fill.(l) + 1
+      end
+      else begin
+        parallel.(l).(par_fill.(l)) <- id;
+        par_fill.(l) <- par_fill.(l) + 1
+      end);
+  Array.init nw (fun w -> { parallel = parallel.(w); inline = inline.(w) })
+
 let max_width s = Array.fold_left max 0 s.widths
 
 let average_width s =

@@ -14,6 +14,9 @@ let backend_name = function
 
 let evaluate cloud compiled inputs = Tfhe_eval.run cloud compiled.Pipeline.netlist inputs
 
+let evaluate_parallel ?workers cloud compiled inputs =
+  Par_eval.run ?workers cloud compiled.Pipeline.netlist inputs
+
 let estimate ?(cost = Cost_model.paper_cpu) backend compiled =
   let sched = compiled.Pipeline.schedule in
   match backend with

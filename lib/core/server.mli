@@ -18,6 +18,14 @@ val evaluate :
   Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Tfhe_eval.stats
 (** Homomorphic evaluation (inputs/outputs in declaration order). *)
 
+val evaluate_parallel :
+  ?workers:int ->
+  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Par_eval.stats
+(** Like {!evaluate}, but wave-parallel across OCaml 5 domains
+    ({!Pytfhe_backend.Par_eval}).  Bit-exact with {!evaluate}; default
+    worker count is [Domain.recommended_domain_count ()]. *)
+
 val estimate :
   ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
 (** Simulated wall-clock seconds for the program on the given backend

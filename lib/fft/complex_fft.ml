@@ -1,6 +1,12 @@
 type tables = { cos : float array; sin : float array; rev : int array }
 
-let table_cache : (int, tables) Hashtbl.t = Hashtbl.create 8
+(* Per-size twiddle/bit-reversal tables.  The cache is an immutable
+   association list behind an [Atomic]: readers take a lock-free snapshot,
+   and a miss publishes freshly built tables with compare-and-set.  Worker
+   domains therefore never observe a partially built entry — unlike the
+   Hashtbl this replaces, which was unsafe to mutate mid-bootstrap from
+   several domains at once. *)
+let table_cache : (int * tables) list Atomic.t = Atomic.make []
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -27,13 +33,21 @@ let make_tables n =
   done;
   { cos = cos_t; sin = sin_t; rev }
 
-let tables n =
-  match Hashtbl.find_opt table_cache n with
+let rec assoc_size n = function
+  | [] -> None
+  | (m, t) :: rest -> if m = n then Some t else assoc_size n rest
+
+let rec tables n =
+  let snapshot = Atomic.get table_cache in
+  match assoc_size n snapshot with
   | Some t -> t
   | None ->
     let t = make_tables n in
-    Hashtbl.add table_cache n t;
-    t
+    if Atomic.compare_and_set table_cache snapshot ((n, t) :: snapshot) then t else tables n
+
+let precompute n =
+  if not (is_power_of_two n) then invalid_arg "Complex_fft.precompute: length not a power of two";
+  if n > 1 then ignore (tables n)
 
 let transform ~re ~im ~invert =
   let n = Array.length re in

@@ -2,7 +2,15 @@
 
     Twiddle factors and bit-reversal permutations are computed once per
     transform size and cached, so repeated transforms (the hot path of TFHE
-    bootstrapping) only pay the butterfly cost. *)
+    bootstrapping) only pay the butterfly cost.  The cache is domain-safe:
+    lookups are lock-free snapshots, and publication uses compare-and-set,
+    so transforms may run concurrently from several OCaml 5 domains.
+    Call {!precompute} before fanning work out so no domain builds tables
+    mid-flight. *)
+
+val precompute : int -> unit
+(** [precompute n] builds and caches the tables for [n]-point transforms
+    ([n] must be a power of two).  Raises [Invalid_argument] otherwise. *)
 
 val transform : re:float array -> im:float array -> invert:bool -> unit
 (** [transform ~re ~im ~invert] replaces the complex vector [(re, im)] with

@@ -10,24 +10,40 @@ type spectrum = { s_re : float array; s_im : float array }
 
 type twist = { t_cos : float array; t_sin : float array }
 
-let twist_cache : (int, twist) Hashtbl.t = Hashtbl.create 8
+(* Same lock-free snapshot/CAS scheme as [Complex_fft.table_cache]: worker
+   domains read an immutable list, so the lazily-filled Hashtbl race is
+   gone.  [precompute] populates both this cache and the FFT's twiddle
+   tables before any domain enters the hot loop. *)
+let twist_cache : (int * twist) list Atomic.t = Atomic.make []
 
-let twist n =
+let make_twist n =
   (* e^{iπ j / n} for j < n/2 *)
-  match Hashtbl.find_opt twist_cache n with
+  let half = n / 2 in
+  let t_cos = Array.make (max half 1) 0.0 in
+  let t_sin = Array.make (max half 1) 0.0 in
+  for j = 0 to half - 1 do
+    let angle = Float.pi *. float_of_int j /. float_of_int n in
+    t_cos.(j) <- cos angle;
+    t_sin.(j) <- sin angle
+  done;
+  { t_cos; t_sin }
+
+let rec assoc_size n = function
+  | [] -> None
+  | (m, t) :: rest -> if m = n then Some t else assoc_size n rest
+
+let rec twist n =
+  let snapshot = Atomic.get twist_cache in
+  match assoc_size n snapshot with
   | Some t -> t
   | None ->
-    let half = n / 2 in
-    let t_cos = Array.make (max half 1) 0.0 in
-    let t_sin = Array.make (max half 1) 0.0 in
-    for j = 0 to half - 1 do
-      let angle = Float.pi *. float_of_int j /. float_of_int n in
-      t_cos.(j) <- cos angle;
-      t_sin.(j) <- sin angle
-    done;
-    let t = { t_cos; t_sin } in
-    Hashtbl.add twist_cache n t;
-    t
+    let t = make_twist n in
+    if Atomic.compare_and_set twist_cache snapshot ((n, t) :: snapshot) then t else twist n
+
+let precompute n =
+  if n < 2 || n land (n - 1) <> 0 then invalid_arg "Negacyclic.precompute";
+  ignore (twist n);
+  Complex_fft.precompute (n / 2)
 
 let spectrum_create n =
   if n < 2 || n land (n - 1) <> 0 then invalid_arg "Negacyclic.spectrum_create";

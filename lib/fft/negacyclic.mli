@@ -5,10 +5,20 @@
     twisting trick: multiply coefficient j by ωʲ where ω = e^{iπ/N} is a
     primitive 2N-th root of unity, take an N-point cyclic FFT, multiply
     pointwise, invert, and untwist.  All buffers are caller-provided in the
-    [_into] variants so the bootstrapping hot loop allocates nothing. *)
+    [_into] variants so the bootstrapping hot loop allocates nothing.
+
+    The trigonometric twist cache (and the underlying FFT twiddle cache) is
+    domain-safe: lookups never lock, and {!precompute} fills both caches for
+    a ring degree up front so worker domains running transforms concurrently
+    never build tables mid-flight. *)
 
 type spectrum = { s_re : float array; s_im : float array }
 (** Frequency-domain representation of a real polynomial of degree < N. *)
+
+val precompute : int -> unit
+(** [precompute n] builds the twist table for degree-[n] polynomials and the
+    twiddle tables of the underlying [n/2]-point FFT ([n] must be a power of
+    two ≥ 2).  Raises [Invalid_argument] otherwise. *)
 
 val spectrum_create : int -> spectrum
 (** [spectrum_create n] allocates a zero spectrum for polynomials of

@@ -1,11 +1,18 @@
-type key = { bsk : Tgsw.fft_sample array; workspace : Tgsw.workspace }
+type context = { ws : Tgsw.workspace; testvect : Poly.torus_poly }
+
+let context_create (p : Params.t) =
+  { ws = Tgsw.workspace_create p; testvect = Array.make p.tlwe.ring_n 0 }
+
+type key = { bsk : Tgsw.fft_sample array; ctx : context }
+
+let default_context key = key.ctx
 
 let key_gen rng (p : Params.t) ~lwe_key ~tlwe_key =
   let encrypt_bit b = Tgsw.to_fft p (Tgsw.encrypt_int rng p tlwe_key b) in
   let bsk = Array.map encrypt_bit lwe_key.Lwe.bits in
-  { bsk; workspace = Tgsw.workspace_create p }
+  { bsk; ctx = context_create p }
 
-let blind_rotate (p : Params.t) key ~testvect (s : Lwe.sample) =
+let blind_rotate_with (p : Params.t) ws key ~testvect (s : Lwe.sample) =
   let n2 = 2 * p.tlwe.ring_n in
   let barb = Torus.mod_switch_from s.b ~msize:n2 in
   let start = Poly.mul_by_xai ((n2 - barb) mod n2) testvect in
@@ -13,14 +20,20 @@ let blind_rotate (p : Params.t) key ~testvect (s : Lwe.sample) =
   for i = 0 to Array.length s.a - 1 do
     let barai = Torus.mod_switch_from s.a.(i) ~msize:n2 in
     if barai <> 0 then
-      acc := Tgsw.cmux p key.workspace key.bsk.(i) (Tlwe.mul_by_xai barai !acc) !acc
+      acc := Tgsw.cmux p ws key.bsk.(i) (Tlwe.mul_by_xai barai !acc) !acc
   done;
   !acc
 
-let bootstrap_wo_keyswitch p key ~mu s =
-  let testvect = Array.make p.Params.tlwe.ring_n mu in
-  let rotated = blind_rotate p key ~testvect s in
+let blind_rotate p key ~testvect s = blind_rotate_with p key.ctx.ws key ~testvect s
+
+let bootstrap_with p ctx key ~mu s =
+  (* The sign test vector is constant per call: refill the per-context
+     buffer instead of allocating a ring-degree array on every gate. *)
+  Array.fill ctx.testvect 0 (Array.length ctx.testvect) mu;
+  let rotated = blind_rotate_with p ctx.ws key ~testvect:ctx.testvect s in
   Tlwe.extract_lwe p rotated
+
+let bootstrap_wo_keyswitch p key ~mu s = bootstrap_with p key.ctx key ~mu s
 
 let key_bytes (p : Params.t) =
   let rows = (p.tlwe.k + 1) * p.tgsw.l in
@@ -35,7 +48,7 @@ let write buf k =
 let read p r =
   Wire.read_magic r "BSKY";
   let bsk = Wire.read_array r Tgsw.read_fft in
-  { bsk; workspace = Tgsw.workspace_create p }
+  { bsk; ctx = context_create p }
 
 let programmable (p : Params.t) key ~msize f s =
   let n = p.Params.tlwe.ring_n in

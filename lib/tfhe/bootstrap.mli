@@ -7,16 +7,44 @@
 
 type key
 (** Bootstrapping key: n TGSW encryptions (stored in FFT form) of the LWE
-    key bits under the ring key, plus a reusable workspace. *)
+    key bits under the ring key, plus a default evaluation context for
+    single-threaded use. *)
+
+type context
+(** Per-thread mutable evaluation state: the TGSW workspace plus a reusable
+    ring-degree test-vector buffer.  The key's own {!default_context} serves
+    the sequential executor; a multicore executor creates one context per
+    domain so no scratch memory is shared. *)
+
+val context_create : Params.t -> context
+(** Fresh scratch for one evaluation thread.  Also precomputes the FFT
+    caches for the parameter set's ring degree (via
+    [Tgsw.workspace_create]). *)
+
+val default_context : key -> context
+(** The context embedded in the key — used by the [_wo_keyswitch] wrappers.
+    Never hand it to more than one domain at a time. *)
 
 val key_gen : Pytfhe_util.Rng.t -> Params.t -> lwe_key:Lwe.key -> tlwe_key:Tlwe.key -> key
 
 val blind_rotate : Params.t -> key -> testvect:Poly.torus_poly -> Lwe.sample -> Tlwe.sample
-(** Rotate [testvect] by X^{−phase·2N} under encryption. *)
+(** Rotate [testvect] by X^{−phase·2N} under encryption, using the key's
+    default workspace. *)
+
+val blind_rotate_with :
+  Params.t -> Tgsw.workspace -> key -> testvect:Poly.torus_poly -> Lwe.sample -> Tlwe.sample
+(** Like {!blind_rotate} but with caller-supplied scratch, for concurrent
+    evaluation. *)
 
 val bootstrap_wo_keyswitch : Params.t -> key -> mu:Torus.t -> Lwe.sample -> Lwe.sample
 (** Refresh a ciphertext to an encryption of ±[mu] (sign of the input
-    phase) under the *extracted* key of dimension k·N. *)
+    phase) under the *extracted* key of dimension k·N.  Uses the key's
+    default context. *)
+
+val bootstrap_with : Params.t -> context -> key -> mu:Torus.t -> Lwe.sample -> Lwe.sample
+(** {!bootstrap_wo_keyswitch} through an explicit context: no allocation of
+    the test vector, and safe to call concurrently from several domains as
+    long as each uses its own context. *)
 
 val key_bytes : Params.t -> int
 (** Serialized size of the bootstrapping key at 32 bits per torus element. *)

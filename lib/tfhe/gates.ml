@@ -34,38 +34,58 @@ let constant ck bit = Lwe.trivial ~n:ck.cloud_params.lwe.n (mu8 bit)
 
 let not_gate _ck c = Lwe.neg c
 
-let bootstrap ck combined =
-  let p = ck.cloud_params in
-  let extracted = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu:(Params.mu p) combined in
-  Keyswitch.apply ck.keyswitch_key extracted
+(* Per-thread evaluation context: the keyset is immutable and shared, the
+   bootstrap scratch is private to one domain. *)
+type context = { keyset : cloud_keyset; scratch : Bootstrap.context }
 
-let binary_gate ck ~const ~sign_a ~sign_b a b =
-  let n = ck.cloud_params.lwe.n in
+let context ck = { keyset = ck; scratch = Bootstrap.context_create ck.cloud_params }
+let default_context ck = { keyset = ck; scratch = Bootstrap.default_context ck.bootstrap_key }
+
+let bootstrap_in ctx combined =
+  let p = ctx.keyset.cloud_params in
+  let extracted =
+    Bootstrap.bootstrap_with p ctx.scratch ctx.keyset.bootstrap_key ~mu:(Params.mu p) combined
+  in
+  Keyswitch.apply ctx.keyset.keyswitch_key extracted
+
+let binary_gate_in ctx ~const ~sign_a ~sign_b a b =
+  let n = ctx.keyset.cloud_params.lwe.n in
   let acc = Lwe.trivial ~n const in
   let acc = if sign_a > 0 then Lwe.add acc a else Lwe.sub acc a in
   let acc = if sign_b > 0 then Lwe.add acc b else Lwe.sub acc b in
-  bootstrap ck acc
+  bootstrap_in ctx acc
 
-let nand_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:(-1) ~sign_b:(-1) a b
-let and_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:1 ~sign_b:1 a b
-let or_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:1 ~sign_b:1 a b
-let nor_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:(-1) ~sign_b:(-1) a b
-let andny_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:(-1) ~sign_b:1 a b
-let andyn_gate ck a b = binary_gate ck ~const:(mu8 false) ~sign_a:1 ~sign_b:(-1) a b
-let orny_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:(-1) ~sign_b:1 a b
-let oryn_gate ck a b = binary_gate ck ~const:(mu8 true) ~sign_a:1 ~sign_b:(-1) a b
+let nand_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:(-1) ~sign_b:(-1) a b
+let and_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:1 ~sign_b:1 a b
+let or_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:1 ~sign_b:1 a b
+let nor_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:(-1) ~sign_b:(-1) a b
+let andny_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:(-1) ~sign_b:1 a b
+let andyn_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:1 ~sign_b:(-1) a b
+let orny_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:(-1) ~sign_b:1 a b
+let oryn_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:1 ~sign_b:(-1) a b
 
-let xor_gate ck a b =
-  let n = ck.cloud_params.lwe.n in
+let xor_gate_in ctx a b =
+  let n = ctx.keyset.cloud_params.lwe.n in
   let acc = Lwe.trivial ~n (quarter true) in
   let acc = Lwe.add acc (Lwe.scale 2 (Lwe.add a b)) in
-  bootstrap ck acc
+  bootstrap_in ctx acc
 
-let xnor_gate ck a b =
-  let n = ck.cloud_params.lwe.n in
+let xnor_gate_in ctx a b =
+  let n = ctx.keyset.cloud_params.lwe.n in
   let acc = Lwe.trivial ~n (quarter false) in
   let acc = Lwe.sub acc (Lwe.scale 2 (Lwe.add a b)) in
-  bootstrap ck acc
+  bootstrap_in ctx acc
+
+let nand_gate ck a b = nand_gate_in (default_context ck) a b
+let and_gate ck a b = and_gate_in (default_context ck) a b
+let or_gate ck a b = or_gate_in (default_context ck) a b
+let nor_gate ck a b = nor_gate_in (default_context ck) a b
+let andny_gate ck a b = andny_gate_in (default_context ck) a b
+let andyn_gate ck a b = andyn_gate_in (default_context ck) a b
+let orny_gate ck a b = orny_gate_in (default_context ck) a b
+let oryn_gate ck a b = oryn_gate_in (default_context ck) a b
+let xor_gate ck a b = xor_gate_in (default_context ck) a b
+let xnor_gate ck a b = xnor_gate_in (default_context ck) a b
 
 let mux_gate ck s x y =
   let p = ck.cloud_params in

@@ -56,6 +56,38 @@ val mux_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sam
 (** [mux s x y] = if s then x else y; two bootstrappings and one key
     switch, as in the reference library. *)
 
+(** {2 Per-thread evaluation contexts}
+
+    The [cloud_keyset] variants above route every bootstrapping through the
+    scratch buffers embedded in the key — correct sequentially, but a data
+    race if several domains evaluate gates at once.  A {!context} carries a
+    private copy of that scratch; create one per worker domain and use the
+    [_in] variants.  They are bit-exact with the keyset variants. *)
+
+type context
+
+val context : cloud_keyset -> context
+(** Fresh private scratch (workspace + test-vector buffer) over a shared
+    keyset.  Also precomputes the FFT caches for the ring degree. *)
+
+val default_context : cloud_keyset -> context
+(** The scratch embedded in the bootstrapping key — what the plain keyset
+    variants use.  Single-threaded use only. *)
+
+val bootstrap_in : context -> Lwe.sample -> Lwe.sample
+(** Sign bootstrap + key switch of an already-combined ciphertext. *)
+
+val and_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val or_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val xor_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val nand_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val nor_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val xnor_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val andny_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val andyn_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val orny_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val oryn_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+
 val write_secret_keyset : Pytfhe_util.Wire.writer -> secret_keyset -> unit
 val read_secret_keyset : Pytfhe_util.Wire.reader -> secret_keyset
 

@@ -69,6 +69,10 @@ let decompose (p : Params.t) (c : Tlwe.sample) =
 
 let workspace_create (p : Params.t) =
   let n = p.tlwe.ring_n in
+  (* Fill the trigonometric caches for this ring degree now, while we are
+     still single-threaded: workspaces are per-domain scratch, and the
+     transforms they feed must not fault in shared tables concurrently. *)
+  Negacyclic.precompute n;
   {
     dec = Array.init (rows_count p) (fun _ -> Array.make n 0);
     dec_float = Array.make n 0.0;

@@ -27,6 +27,9 @@ val decompose : Params.t -> Tlwe.sample -> Poly.int_poly array
     [−Bg/2, Bg/2). *)
 
 val workspace_create : Params.t -> workspace
+(** Fresh scratch buffers for one evaluation thread.  Also precomputes the
+    FFT twist/twiddle tables for the parameter set's ring degree, so a
+    workspace handed to a worker domain never mutates shared caches. *)
 
 val external_product : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample
 (** [external_product p ws g c] computes g ⊡ c: a TRLWE sample whose phase

@@ -341,6 +341,105 @@ let test_tfhe_eval_with_constants_and_not () =
         (Pytfhe_tfhe.Gates.decrypt_bit sk outs.(0)))
     [ true; false ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel encrypted execution (Par_eval)                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_netlist seed =
+  let rng = Rng.create ~seed () in
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let nodes = ref [] in
+  for i = 0 to 3 do
+    nodes := Netlist.input net (Printf.sprintf "i%d" i) :: !nodes
+  done;
+  nodes := Netlist.const net (Rng.bool rng) :: !nodes;
+  let pick () = List.nth !nodes (Rng.int rng (List.length !nodes)) in
+  let kinds = Array.of_list Gate.all in
+  for _ = 1 to 10 do
+    let g = kinds.(Rng.int rng (Array.length kinds)) in
+    let a = pick () in
+    let b = if g = Gate.Not then a else pick () in
+    nodes := Netlist.gate net g a b :: !nodes
+  done;
+  (match !nodes with
+  | o1 :: o2 :: o3 :: _ ->
+    Netlist.mark_output net "o1" o1;
+    Netlist.mark_output net "o2" o2;
+    Netlist.mark_output net "o3" o3
+  | _ -> assert false);
+  net
+
+let test_par_eval_matches_sequential =
+  QCheck.Test.make ~name:"par_eval 1/2/4 workers bit-exact with tfhe_eval and plain_eval"
+    ~count:4
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let sk, ck = Lazy.force keys in
+      let net = random_netlist (1 + s1) in
+      let rng = Rng.create ~seed:(1000 + s2) () in
+      let ins = Array.init (Netlist.input_count net) (fun _ -> Rng.bool rng) in
+      let cts = Array.map (Pytfhe_tfhe.Gates.encrypt_bit rng sk) ins in
+      let seq_out, _ = Tfhe_eval.run ck net cts in
+      let plain = Array.of_list (List.map snd (Plain_eval.run net ins)) in
+      let decrypted = Array.map (Pytfhe_tfhe.Gates.decrypt_bit sk) seq_out in
+      if decrypted <> plain then QCheck.Test.fail_report "sequential disagrees with plain_eval";
+      List.for_all
+        (fun workers ->
+          let par_out, st = Par_eval.run ~workers ck net cts in
+          par_out = seq_out && st.Par_eval.workers = workers)
+        [ 1; 2; 4 ])
+
+let test_par_eval_stats () =
+  let sk, ck = Lazy.force keys in
+  let net = wide_netlist ~width:4 ~depth:2 in
+  let rng = Rng.create ~seed:55 () in
+  let ins = Array.init 5 (fun _ -> Rng.bool rng) in
+  let cts = Array.map (Pytfhe_tfhe.Gates.encrypt_bit rng sk) ins in
+  let seq_out, seq_stats = Tfhe_eval.run ck net cts in
+  let outs, st = Par_eval.run ~workers:3 ck net cts in
+  Alcotest.(check bool) "ciphertexts identical" true (outs = seq_out);
+  Alcotest.(check int) "bootstrap totals agree" seq_stats.Tfhe_eval.bootstraps_executed
+    st.Par_eval.bootstraps_executed;
+  Alcotest.(check int) "per-domain counts sum to total" st.Par_eval.bootstraps_executed
+    (Array.fold_left ( + ) 0 st.Par_eval.per_domain_bootstraps);
+  Alcotest.(check int) "one stats entry per domain" 3
+    (Array.length st.Par_eval.per_domain_bootstraps);
+  let sched = Levelize.run net in
+  Alcotest.(check int) "one wave per level" (sched.Levelize.depth + 1)
+    (Array.length st.Par_eval.wave_wall);
+  Alcotest.(check int) "wave widths cover every bootstrap" st.Par_eval.bootstraps_executed
+    (Array.fold_left ( + ) 0 st.Par_eval.wave_width);
+  Alcotest.(check (float 1e-9)) "ideal speedup matches the exposed bound"
+    (Par_eval.ideal_speedup sched 3) st.Par_eval.ideal_speedup;
+  Alcotest.(check bool) "rejects workers < 1" true
+    (try ignore (Par_eval.run ~workers:0 ck net cts); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects input arity mismatch" true
+    (try ignore (Par_eval.run ~workers:2 ck net (Array.sub cts 0 2)); false
+     with Invalid_argument _ -> true)
+
+let test_par_eval_full_adder () =
+  let sk, ck = Lazy.force keys in
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let cin = Netlist.input net "cin" in
+  let axb = Netlist.gate net Gate.Xor a b in
+  Netlist.mark_output net "sum" (Netlist.gate net Gate.Xor axb cin);
+  let c1 = Netlist.gate net Gate.And a b in
+  let c2 = Netlist.gate net Gate.And axb cin in
+  Netlist.mark_output net "cout" (Netlist.gate net Gate.Or c1 c2);
+  let rng = Rng.create ~seed:33 () in
+  List.iter
+    (fun (av, bv, cv) ->
+      let ins = [| av; bv; cv |] in
+      let cts = Array.map (Pytfhe_tfhe.Gates.encrypt_bit rng sk) ins in
+      let outs, stats = Par_eval.run ~workers:4 ck net cts in
+      let decrypted = Array.map (Pytfhe_tfhe.Gates.decrypt_bit sk) outs in
+      let expected = Array.of_list (List.map snd (Plain_eval.run net ins)) in
+      Alcotest.(check (array bool)) "parallel encrypted = plain" expected decrypted;
+      Alcotest.(check int) "bootstraps counted" 5 stats.Par_eval.bootstraps_executed)
+    [ (false, true, false); (true, true, true) ]
+
 let () =
   Alcotest.run "backend"
     [
@@ -384,5 +483,11 @@ let () =
         [
           Alcotest.test_case "full adder encrypted" `Slow test_tfhe_eval_full_adder;
           Alcotest.test_case "constants and NOT" `Slow test_tfhe_eval_with_constants_and_not;
+        ] );
+      ( "par-eval",
+        [
+          QCheck_alcotest.to_alcotest test_par_eval_matches_sequential;
+          Alcotest.test_case "stats invariants" `Slow test_par_eval_stats;
+          Alcotest.test_case "full adder on 4 domains" `Slow test_par_eval_full_adder;
         ] );
     ]
