@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- fig7 fig10 table4 micro
      dune exec bench/main.exe -- --quick all     # skip the slow real-crypto
                                                  # and Transpiler-MNIST parts
+     dune exec bench/main.exe -- micro --smoke   # tiny-parameter micro run
+                                                 # (the @bench-smoke alias)
 
    Absolute numbers come from the calibrated cost models in
    Backend.Cost_model (see DESIGN.md for the substitution rationale); the
@@ -354,62 +356,155 @@ let table4 () =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks of the real primitives                     *)
+(* `micro` — per-primitive timings and allocated words per gate         *)
 (* ------------------------------------------------------------------ *)
 
+let smoke = ref false
+
+(* Deliberately undersized (and insecure) parameters: key generation and a
+   handful of gate iterations finish well under a second, so the smoke run
+   can sit on a dune alias and catch hot-path allocation regressions without
+   the multi-second test-parameter run. *)
+let smoke_params =
+  Params.custom ~name:"micro-smoke" ~n:8 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:64 ~k:1
+    ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:4 ~ks_base_bit:2
+
+(* Wall time and allocated words per call.  A short warmup keeps one-time
+   setup (FFT table construction, lazy initialization) out of the
+   measurement; allocation is the [Gc.allocated_bytes] delta.  The explicit
+   [Gc.minor] around the loop matters: the runtime only folds the live
+   minor-heap region into its allocation counters at collection time, so
+   without the flush short loops under-report by up to a minor heap. *)
+let measure ?(warmup = 2) ~iters f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  Gc.minor ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let wall = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  Gc.minor ();
+  let words =
+    (Gc.allocated_bytes () -. a0) /. float_of_int (Sys.word_size / 8) /. float_of_int iters
+  in
+  (wall, words)
+
 let micro () =
-  header "Micro-benchmarks (Bechamel, real execution of this repository's primitives)";
-  let open Bechamel in
+  header "micro — per-primitive gate profile and allocated words per bootstrapped gate";
   let open Pytfhe_fft in
-  let p = Params.test in
+  let p = if !smoke then smoke_params else Params.test in
+  let iters = if !smoke then 50 else 20 in
+  let fft_iters = if !smoke then 200 else 2000 in
+  let n = p.Params.tlwe.Params.ring_n in
+  Format.printf "parameters: %a@." Params.pp p;
   let rng = Rng.create ~seed:8001 () in
-  let poly = Array.init 1024 (fun _ -> Rng.float rng -. 0.5) in
   let tlwe_key = Tlwe.key_gen rng p in
   let ws = Tgsw.workspace_create p in
   let g = Tgsw.to_fft p (Tgsw.encrypt_int rng p tlwe_key 1) in
-  let c = Tlwe.encrypt_poly rng p tlwe_key (Array.make p.Params.tlwe.Params.ring_n 0) in
+  let c = Tlwe.encrypt_poly rng p tlwe_key (Array.make n 0) in
+  Format.printf "  [generating keys ...]@?";
+  let t0 = Unix.gettimeofday () in
   let sk, ck = Gates.key_gen (Rng.create ~seed:8002 ()) p in
+  Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
   let bit_a = Gates.encrypt_bit rng sk true in
   let bit_b = Gates.encrypt_bit rng sk false in
-  let mnist_tiny = Option.get (Suite.find "mnist_tiny") in
-  let tiny_net = mnist_tiny.W.circuit () in
-  let tiny_inputs = Array.make (Netlist.input_count tiny_net) false in
-  let tests =
+  let ctx = Gates.context ck in
+  let bkey = ck.Gates.bootstrap_key in
+  let mu = Params.mu p in
+  (* Caller-owned buffers for the in-place paths. *)
+  let poly = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let spec = Negacyclic.spectrum_create n in
+  let back = Array.make n 0.0 in
+  let prod = Tlwe.trivial p (Poly.zero n) in
+  let acc = Tlwe.trivial p (Poly.zero n) in
+  let testvect = Array.make n mu in
+  let combined = Lwe.add bit_a bit_b in
+  let ext = Bootstrap.bootstrap_wo_keyswitch p bkey ~mu bit_a in
+  let ks_a = Array.make p.Params.lwe.Params.n 0 in
+  (* The pre-optimization gate: allocating CMux chain, fresh test vector,
+     allocating key switch.  Measured with the same harness so the
+     words-per-gate reduction stays regression-tracked. *)
+  let legacy_gate () =
+    let tv = Array.make n mu in
+    let rotated = Bootstrap.blind_rotate_reference p ws bkey ~testvect:tv combined in
+    ignore (Keyswitch.apply ck.Gates.keyswitch_key (Tlwe.extract_lwe p rotated))
+  in
+  let cases =
     [
-      (* Fig. 7's constituents, at test parameters. *)
-      Test.make ~name:"fft/negacyclic-forward-1024" (Staged.stage (fun () -> Negacyclic.forward poly));
-      Test.make ~name:"tfhe/external-product" (Staged.stage (fun () -> Tgsw.external_product p ws g c));
-      Test.make ~name:"tfhe/bootstrapped-gate" (Staged.stage (fun () -> Gates.nand_gate ck bit_a bit_b));
-      Test.make ~name:"tfhe/keyswitch"
-        (Staged.stage
-           (let ext = Bootstrap.bootstrap_wo_keyswitch p ck.Gates.bootstrap_key ~mu:(Params.mu p) bit_a in
-            fun () -> Keyswitch.apply ck.Gates.keyswitch_key ext));
-      (* The functional-simulation throughput behind Figs. 10-13. *)
-      Test.make ~name:"backend/plain-eval-mnist-tiny"
-        (Staged.stage (fun () -> Netlist.eval tiny_net tiny_inputs));
-      (* The assembler behind Fig. 5/6. *)
-      Test.make ~name:"circuit/assemble-mnist-tiny"
-        (Staged.stage (fun () -> Pytfhe_circuit.Binary.assemble tiny_net));
+      ("fft/forward", fft_iters, fun () -> Negacyclic.forward_into spec poly);
+      ("fft/backward", fft_iters, fun () -> Negacyclic.backward_into back spec);
+      ("tfhe/external-product-into", iters, fun () -> Tgsw.external_product_into p ws g c ~dst:prod);
+      ("tfhe/external-product-alloc", iters, fun () -> ignore (Tgsw.external_product p ws g c));
+      ( "tfhe/blind-rotate-into",
+        iters,
+        fun () -> Bootstrap.blind_rotate_into p ws bkey ~testvect ~acc combined );
+      ( "tfhe/blind-rotate-reference",
+        iters,
+        fun () -> ignore (Bootstrap.blind_rotate_reference p ws bkey ~testvect combined) );
+      ( "tfhe/keyswitch-into",
+        iters,
+        fun () -> ignore (Keyswitch.apply_into ck.Gates.keyswitch_key ext ~a:ks_a) );
+      ("tfhe/gate-nand", iters, fun () -> ignore (Gates.nand_gate_in ctx bit_a bit_b));
+      ("tfhe/gate-nand-legacy", iters, legacy_gate);
     ]
   in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  Format.printf "@.%-34s %12s %16s@." "PRIMITIVE" "TIME/OP" "ALLOC WORDS/OP";
   let results =
-    List.concat_map
-      (fun test ->
-        let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
-        let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
-        let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-        Hashtbl.fold (fun name o acc -> (name, Analyze.OLS.estimates o) :: acc) analyzed [])
-      tests
+    List.map
+      (fun (name, iters, f) ->
+        let wall, words = measure ~iters f in
+        Format.printf "%-34s %12s %16.0f@." name (human_time wall) words;
+        (name, wall, words))
+      cases
   in
-  Format.printf "@.%-36s %16s@." "PRIMITIVE" "TIME/OP";
-  List.iter
-    (fun (name, est) ->
-      match est with
-      | Some (ns :: _) -> Format.printf "%-36s %16s@." name (human_time (ns /. 1e9))
-      | Some [] | None -> Format.printf "%-36s %16s@." name "n/a")
-    (List.sort compare results);
-  Format.printf "@.(test parameters; Fig. 7 reports the default-128 gate at ~0.3 s on this machine)@."
+  let find name =
+    let _, wall, words = List.find (fun (n, _, _) -> n = name) results in
+    (wall, words)
+  in
+  let gate_wall, gate_words = find "tfhe/gate-nand" in
+  let legacy_wall, legacy_words = find "tfhe/gate-nand-legacy" in
+  let reduction = legacy_words /. Float.max gate_words 1.0 in
+  Format.printf "@.allocated words per bootstrapped gate: %.0f (in-place) vs %.0f (pre-change)@."
+    gate_words legacy_words;
+  (* At the smoke parameters the mandatory output ciphertexts dominate the
+     tiny per-gate totals, so the 10x target only applies to the real run. *)
+  Format.printf "allocation reduction: %.1fx%s@." reduction
+    (if !smoke then ""
+     else if reduction >= 10.0 then "  (meets the 10x target)"
+     else "  (BELOW the 10x target!)");
+  if !smoke then Format.printf "(--smoke: skipping BENCH_gate_micro.json)@."
+  else begin
+    let json =
+      Json.Obj
+        [
+          ("params", Json.String p.Params.name);
+          ("ring_n", Json.Number (float_of_int n));
+          ("lwe_n", Json.Number (float_of_int p.Params.lwe.Params.n));
+          ( "primitives",
+            Json.List
+              (List.map
+                 (fun (name, wall, words) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("time_s", Json.Number wall);
+                       ("alloc_words", Json.Number words);
+                     ])
+                 results) );
+          ("gate_time_s", Json.Number gate_wall);
+          ("gate_time_legacy_s", Json.Number legacy_wall);
+          ("gate_alloc_words", Json.Number gate_words);
+          ("gate_alloc_words_legacy", Json.Number legacy_words);
+          ("alloc_reduction", Json.Number reduction);
+        ]
+    in
+    let path = "BENCH_gate_micro.json" in
+    Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+    Format.printf "@.wrote %s@." path
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                  *)
@@ -658,7 +753,8 @@ let all_experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   quick := List.mem "--quick" args;
-  let targets = List.filter (fun a -> a <> "--quick") args in
+  smoke := List.mem "--smoke" args;
+  let targets = List.filter (fun a -> a <> "--quick" && a <> "--smoke") args in
   let targets = if targets = [] || List.mem "all" targets then List.map fst all_experiments else targets in
   Format.printf "PyTFHE evaluation harness — cost model: %a@." Cost_model.pp_cpu cost;
   List.iter

@@ -1,4 +1,12 @@
-type tables = { cos : float array; sin : float array; rev : int array }
+type tables = {
+  rev : int array;
+  st_cos : float array;  (* stage-major twiddles: stage for length len=2^(s+1)
+                            stores its len/2 factors contiguously, so the
+                            butterfly inner loop walks both the data and the
+                            twiddles sequentially. *)
+  st_sin : float array;
+  st_off : int array;  (* offset of stage s inside st_cos/st_sin *)
+}
 
 (* Per-size twiddle/bit-reversal tables.  The cache is an immutable
    association list behind an [Atomic]: readers take a lock-free snapshot,
@@ -11,14 +19,6 @@ let table_cache : (int * tables) list Atomic.t = Atomic.make []
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let make_tables n =
-  let half = n / 2 in
-  let cos_t = Array.make (max half 1) 0.0 in
-  let sin_t = Array.make (max half 1) 0.0 in
-  for k = 0 to half - 1 do
-    let angle = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
-    cos_t.(k) <- cos angle;
-    sin_t.(k) <- sin angle
-  done;
   let rev = Array.make n 0 in
   let bits =
     let rec count b m = if m = 1 then b else count (b + 1) (m lsr 1) in
@@ -31,7 +31,27 @@ let make_tables n =
     done;
     rev.(i) <- !r
   done;
-  { cos = cos_t; sin = sin_t; rev }
+  (* Stage s covers butterflies of span len = 2^{s+1}; its j-th twiddle is
+     e^{2πi·j·(n/len)/n}, the same angle the strided lookup used to read at
+     index j·step, so the numerical values are bit-identical to the old
+     layout — only the memory order changed. *)
+  let st_cos = Array.make (max (n - 1) 1) 0.0 in
+  let st_sin = Array.make (max (n - 1) 1) 0.0 in
+  let st_off = Array.make (max bits 1) 0 in
+  let off = ref 0 in
+  for s = 0 to bits - 1 do
+    st_off.(s) <- !off;
+    let len = 1 lsl (s + 1) in
+    let half = len / 2 in
+    let step = n / len in
+    for j = 0 to half - 1 do
+      let angle = 2.0 *. Float.pi *. float_of_int (j * step) /. float_of_int n in
+      st_cos.(!off + j) <- cos angle;
+      st_sin.(!off + j) <- sin angle
+    done;
+    off := !off + half
+  done;
+  { rev; st_cos; st_sin; st_off }
 
 let rec assoc_size n = function
   | [] -> None
@@ -49,10 +69,56 @@ let precompute n =
   if not (is_power_of_two n) then invalid_arg "Complex_fft.precompute: length not a power of two";
   if n > 1 then ignore (tables n)
 
-let transform ~re ~im ~invert =
+let bit_rev n =
+  if not (is_power_of_two n) then invalid_arg "Complex_fft.bit_rev: length not a power of two";
+  (tables n).rev
+
+let check_lengths name ~re ~im =
   let n = Array.length re in
-  if Array.length im <> n then invalid_arg "Complex_fft.transform: length mismatch";
-  if not (is_power_of_two n) then invalid_arg "Complex_fft.transform: length not a power of two";
+  if Array.length im <> n then invalid_arg (name ^ ": length mismatch");
+  if not (is_power_of_two n) then invalid_arg (name ^ ": length not a power of two");
+  n
+
+(* The butterfly passes shared by both entry points: the input is expected
+   to already be in bit-reversed order. *)
+let butterflies t ~re ~im ~invert n =
+  let sign = if invert then 1.0 else -1.0 in
+  let stage = ref 0 in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let off = t.st_off.(!stage) in
+    let base = ref 0 in
+    while !base < n do
+      for j = 0 to half - 1 do
+        let wr = Array.unsafe_get t.st_cos (off + j) in
+        let wi = sign *. Array.unsafe_get t.st_sin (off + j) in
+        let a = !base + j in
+        let b = a + half in
+        let xr = Array.unsafe_get re b and xi = Array.unsafe_get im b in
+        let vr = (xr *. wr) -. (xi *. wi) in
+        let vi = (xr *. wi) +. (xi *. wr) in
+        let ur = Array.unsafe_get re a and ui = Array.unsafe_get im a in
+        Array.unsafe_set re a (ur +. vr);
+        Array.unsafe_set im a (ui +. vi);
+        Array.unsafe_set re b (ur -. vr);
+        Array.unsafe_set im b (ui -. vi)
+      done;
+      base := !base + !len
+    done;
+    incr stage;
+    len := !len * 2
+  done;
+  if invert then begin
+    let scale = 1.0 /. float_of_int n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set re i (Array.unsafe_get re i *. scale);
+      Array.unsafe_set im i (Array.unsafe_get im i *. scale)
+    done
+  end
+
+let transform ~re ~im ~invert =
+  let n = check_lengths "Complex_fft.transform" ~re ~im in
   if n = 1 then ()
   else begin
     let t = tables n in
@@ -67,39 +133,12 @@ let transform ~re ~im ~invert =
         im.(j) <- ti
       end
     done;
-    let len = ref 2 in
-    while !len <= n do
-      let half = !len / 2 in
-      let step = n / !len in
-      let base = ref 0 in
-      while !base < n do
-        for j = 0 to half - 1 do
-          let k = j * step in
-          let wr = t.cos.(k) in
-          let wi = if invert then t.sin.(k) else -.t.sin.(k) in
-          let a = !base + j in
-          let b = a + half in
-          let xr = re.(b) and xi = im.(b) in
-          let vr = (xr *. wr) -. (xi *. wi) in
-          let vi = (xr *. wi) +. (xi *. wr) in
-          let ur = re.(a) and ui = im.(a) in
-          re.(a) <- ur +. vr;
-          im.(a) <- ui +. vi;
-          re.(b) <- ur -. vr;
-          im.(b) <- ui -. vi
-        done;
-        base := !base + !len
-      done;
-      len := !len * 2
-    done;
-    if invert then begin
-      let scale = 1.0 /. float_of_int n in
-      for i = 0 to n - 1 do
-        re.(i) <- re.(i) *. scale;
-        im.(i) <- im.(i) *. scale
-      done
-    end
+    butterflies t ~re ~im ~invert n
   end
+
+let transform_bitrev ~re ~im ~invert =
+  let n = check_lengths "Complex_fft.transform_bitrev" ~re ~im in
+  if n = 1 then () else butterflies (tables n) ~re ~im ~invert n
 
 let dft_naive ~re ~im ~invert =
   let n = Array.length re in

@@ -2,7 +2,10 @@
 
     Twiddle factors and bit-reversal permutations are computed once per
     transform size and cached, so repeated transforms (the hot path of TFHE
-    bootstrapping) only pay the butterfly cost.  The cache is domain-safe:
+    bootstrapping) only pay the butterfly cost.  Twiddles are stored
+    stage-major: each butterfly stage reads its factors from a contiguous
+    slice, so the inner loop streams both the data and the tables instead of
+    striding.  The cache is domain-safe:
     lookups are lock-free snapshots, and publication uses compare-and-set,
     so transforms may run concurrently from several OCaml 5 domains.
     Call {!precompute} before fanning work out so no domain builds tables
@@ -18,6 +21,18 @@ val transform : re:float array -> im:float array -> invert:bool -> unit
     ([invert = true], scaled by 1/n).  The length must be a power of two and
     [re] and [im] must have equal length.  Raises [Invalid_argument]
     otherwise. *)
+
+val transform_bitrev : re:float array -> im:float array -> invert:bool -> unit
+(** Like {!transform} but the caller promises the input is already in
+    bit-reversed order (see {!bit_rev}), so the permutation pass is skipped.
+    Producers that can scatter their writes — e.g. the negacyclic twist —
+    fuse the reordering into their own single pass this way. *)
+
+val bit_rev : int -> int array
+(** [bit_rev n] is the cached bit-reversal permutation for [n]-point
+    transforms ([n] must be a power of two): writing input element [i] at
+    position [bit_rev n].(i) feeds {!transform_bitrev}.  The returned array
+    is shared — do not mutate it. *)
 
 val dft_naive : re:float array -> im:float array -> invert:bool -> float array * float array
 (** Quadratic-time reference DFT used by the test suite to validate

@@ -60,15 +60,26 @@ let forward_into s p =
   let half = n / 2 in
   if Array.length s.s_re <> half then invalid_arg "Negacyclic.forward_into: size mismatch";
   let t = twist n in
-  for j = 0 to half - 1 do
-    (* (p_j + i p_{j+half}) · e^{iπ j/n} *)
-    let re = Array.unsafe_get p j in
-    let im = Array.unsafe_get p (j + half) in
-    let c = Array.unsafe_get t.t_cos j and sn = Array.unsafe_get t.t_sin j in
-    Array.unsafe_set s.s_re j ((re *. c) -. (im *. sn));
-    Array.unsafe_set s.s_im j ((re *. sn) +. (im *. c))
-  done;
-  Complex_fft.transform ~re:s.s_re ~im:s.s_im ~invert:false
+  if half = 1 then begin
+    s.s_re.(0) <- (p.(0) *. t.t_cos.(0)) -. (p.(1) *. t.t_sin.(0));
+    s.s_im.(0) <- (p.(0) *. t.t_sin.(0)) +. (p.(1) *. t.t_cos.(0))
+  end
+  else begin
+    (* The twist multiply is fused with the FFT's first (bit-reversal)
+       stage: each twisted value is scattered straight to its permuted
+       slot, saving a full read/write pass over both float arrays. *)
+    let rev = Complex_fft.bit_rev half in
+    for j = 0 to half - 1 do
+      (* (p_j + i p_{j+half}) · e^{iπ j/n} *)
+      let re = Array.unsafe_get p j in
+      let im = Array.unsafe_get p (j + half) in
+      let c = Array.unsafe_get t.t_cos j and sn = Array.unsafe_get t.t_sin j in
+      let r = Array.unsafe_get rev j in
+      Array.unsafe_set s.s_re r ((re *. c) -. (im *. sn));
+      Array.unsafe_set s.s_im r ((re *. sn) +. (im *. c))
+    done;
+    Complex_fft.transform_bitrev ~re:s.s_re ~im:s.s_im ~invert:false
+  end
 
 let forward p =
   let s = spectrum_create (Array.length p) in

@@ -1,7 +1,12 @@
-type context = { ws : Tgsw.workspace; testvect : Poly.torus_poly }
+type context = { ws : Tgsw.workspace; testvect : Poly.torus_poly; acc : Tlwe.sample }
 
 let context_create (p : Params.t) =
-  { ws = Tgsw.workspace_create p; testvect = Array.make p.tlwe.ring_n 0 }
+  let n = p.tlwe.ring_n in
+  {
+    ws = Tgsw.workspace_create p;
+    testvect = Array.make n 0;
+    acc = Tlwe.trivial p (Poly.zero n);
+  }
 
 type key = { bsk : Tgsw.fft_sample array; ctx : context }
 
@@ -12,7 +17,33 @@ let key_gen rng (p : Params.t) ~lwe_key ~tlwe_key =
   let bsk = Array.map encrypt_bit lwe_key.Lwe.bits in
   { bsk; ctx = context_create p }
 
+(* The allocation-free core: acc is overwritten with the rotation of
+   [testvect] by X^{−phase·2N}, then folded through the in-place CMux
+   recurrence acc ← acc + bskᵢ ⊡ ((X^{āᵢ} − 1)·acc).  All scratch lives in
+   [ws]; a steady-state call allocates nothing. *)
+let blind_rotate_into (p : Params.t) ws key ~testvect ~(acc : Tlwe.sample) (s : Lwe.sample) =
+  let n = p.tlwe.ring_n in
+  let n2 = 2 * n in
+  let barb = Torus.mod_switch_from s.b ~msize:n2 in
+  Array.iter (fun m -> Array.fill m 0 n 0) acc.Tlwe.mask;
+  Poly.mul_by_xai_into acc.Tlwe.body ((n2 - barb) mod n2) testvect;
+  for i = 0 to Array.length s.a - 1 do
+    let barai = Torus.mod_switch_from s.a.(i) ~msize:n2 in
+    if barai <> 0 then Tgsw.cmux_rotate_into p ws key.bsk.(i) barai acc
+  done
+
 let blind_rotate_with (p : Params.t) ws key ~testvect (s : Lwe.sample) =
+  let acc = Tlwe.trivial p (Poly.zero p.tlwe.ring_n) in
+  blind_rotate_into p ws key ~testvect ~acc s;
+  acc
+
+let blind_rotate p key ~testvect s = blind_rotate_with p key.ctx.ws key ~testvect s
+
+(* The pre-optimization CMux chain, kept as the reference the property tests
+   and the micro benchmark's allocation comparison run against: every
+   iteration allocates the rotated accumulator, the difference copy and the
+   external-product result. *)
+let blind_rotate_reference (p : Params.t) ws key ~testvect (s : Lwe.sample) =
   let n2 = 2 * p.tlwe.ring_n in
   let barb = Torus.mod_switch_from s.b ~msize:n2 in
   let start = Poly.mul_by_xai ((n2 - barb) mod n2) testvect in
@@ -24,14 +55,13 @@ let blind_rotate_with (p : Params.t) ws key ~testvect (s : Lwe.sample) =
   done;
   !acc
 
-let blind_rotate p key ~testvect s = blind_rotate_with p key.ctx.ws key ~testvect s
-
 let bootstrap_with p ctx key ~mu s =
   (* The sign test vector is constant per call: refill the per-context
-     buffer instead of allocating a ring-degree array on every gate. *)
+     buffer instead of allocating a ring-degree array on every gate, and
+     rotate into the context accumulator. *)
   Array.fill ctx.testvect 0 (Array.length ctx.testvect) mu;
-  let rotated = blind_rotate_with p ctx.ws key ~testvect:ctx.testvect s in
-  Tlwe.extract_lwe p rotated
+  blind_rotate_into p ctx.ws key ~testvect:ctx.testvect ~acc:ctx.acc s;
+  Tlwe.extract_lwe p ctx.acc
 
 let bootstrap_wo_keyswitch p key ~mu s = bootstrap_with p key.ctx key ~mu s
 
@@ -47,7 +77,9 @@ let write buf k =
 
 let read p r =
   Wire.read_magic r "BSKY";
-  let bsk = Wire.read_array r Tgsw.read_fft in
+  let bsk = Wire.read_array r (fun r -> Tgsw.read_fft p r) in
+  if Array.length bsk <> p.Params.lwe.Params.n then
+    raise (Wire.Corrupt "bootstrapping key length does not match LWE dimension");
   { bsk; ctx = context_create p }
 
 let programmable (p : Params.t) key ~msize f s =

@@ -3,7 +3,12 @@
     The bootstrapping key encrypts each bit of the LWE key as a TGSW sample;
     blind rotation then homomorphically rotates a test polynomial by the
     (mod-switched) phase of the input ciphertext, refreshing its noise while
-    applying a negacyclic lookup table. *)
+    applying a negacyclic lookup table.
+
+    The hot loop runs the in-place recurrence
+    acc ← acc + bskᵢ ⊡ ((X^{āᵢ} − 1)·acc) through workspace-owned scratch
+    ({!Tgsw.cmux_rotate_into}), so a steady-state bootstrapped gate
+    allocates only its output ciphertext. *)
 
 type key
 (** Bootstrapping key: n TGSW encryptions (stored in FFT form) of the LWE
@@ -11,10 +16,11 @@ type key
     single-threaded use. *)
 
 type context
-(** Per-thread mutable evaluation state: the TGSW workspace plus a reusable
-    ring-degree test-vector buffer.  The key's own {!default_context} serves
-    the sequential executor; a multicore executor creates one context per
-    domain so no scratch memory is shared. *)
+(** Per-thread mutable evaluation state: the TGSW workspace, a reusable
+    ring-degree test-vector buffer and the blind-rotation accumulator.  The
+    key's own {!default_context} serves the sequential executor; a multicore
+    executor creates one context per domain so no scratch memory is
+    shared. *)
 
 val context_create : Params.t -> context
 (** Fresh scratch for one evaluation thread.  Also precomputes the FFT
@@ -34,7 +40,27 @@ val blind_rotate : Params.t -> key -> testvect:Poly.torus_poly -> Lwe.sample -> 
 val blind_rotate_with :
   Params.t -> Tgsw.workspace -> key -> testvect:Poly.torus_poly -> Lwe.sample -> Tlwe.sample
 (** Like {!blind_rotate} but with caller-supplied scratch, for concurrent
-    evaluation. *)
+    evaluation.  Allocates the returned accumulator; the hot path uses
+    {!blind_rotate_into}. *)
+
+val blind_rotate_into :
+  Params.t ->
+  Tgsw.workspace ->
+  key ->
+  testvect:Poly.torus_poly ->
+  acc:Tlwe.sample ->
+  Lwe.sample ->
+  unit
+(** Allocation-free blind rotation: overwrites [acc] (which must have the
+    parameter set's shape and not alias workspace scratch) with the rotated
+    test vector.  This is the per-gate hot path. *)
+
+val blind_rotate_reference :
+  Params.t -> Tgsw.workspace -> key -> testvect:Poly.torus_poly -> Lwe.sample -> Tlwe.sample
+(** The pre-optimization CMux chain (allocating a rotated copy, a difference
+    and a product per iteration).  Bit-exact with {!blind_rotate_with};
+    kept as the regression reference for the property tests and for the
+    micro benchmark's words-per-gate comparison. *)
 
 val bootstrap_wo_keyswitch : Params.t -> key -> mu:Torus.t -> Lwe.sample -> Lwe.sample
 (** Refresh a ciphertext to an encryption of ±[mu] (sign of the input
@@ -42,16 +68,19 @@ val bootstrap_wo_keyswitch : Params.t -> key -> mu:Torus.t -> Lwe.sample -> Lwe.
     default context. *)
 
 val bootstrap_with : Params.t -> context -> key -> mu:Torus.t -> Lwe.sample -> Lwe.sample
-(** {!bootstrap_wo_keyswitch} through an explicit context: no allocation of
-    the test vector, and safe to call concurrently from several domains as
-    long as each uses its own context. *)
+(** {!bootstrap_wo_keyswitch} through an explicit context: no allocation
+    beyond the extracted output ciphertext, and safe to call concurrently
+    from several domains as long as each uses its own context. *)
 
 val key_bytes : Params.t -> int
 (** Serialized size of the bootstrapping key at 32 bits per torus element. *)
 
 val write : Pytfhe_util.Wire.writer -> key -> unit
+
 val read : Params.t -> Pytfhe_util.Wire.reader -> key
-(** The parameter set recreates the scratch workspace on load. *)
+(** The parameter set recreates the scratch workspace on load and validates
+    the key's shape (row/component/spectrum counts and the LWE dimension)
+    against it, raising [Wire.Corrupt] on mismatch. *)
 
 val programmable :
   Params.t -> key -> msize:int -> (int -> Torus.t) -> Lwe.sample -> Lwe.sample

@@ -5,46 +5,77 @@ type key = {
   base_bit : int;
   out_n : int;
   in_n : int;
-  table : Lwe.sample array array array;  (* in_n × t × base *)
+  flat : int array;
+      (* One contiguous buffer replacing the old in_n × t × base array of
+         LWE records: entry (i, j, u) occupies the (out_n + 1)-slot stride at
+         ((i·t + j)·base + u)·(out_n+1) — out_n mask coefficients, then the
+         body.  The accumulation loop therefore streams one flat array
+         instead of chasing three levels of pointers. *)
 }
+
+let stride key = key.out_n + 1
+
+let entry_off key i j u = (((i * key.ks_t) + j) * (1 lsl key.base_bit) + u) * stride key
 
 let key_gen rng (p : Params.t) ~in_key ~out_key =
   let ks_t = p.ks.t in
   let base_bit = p.ks.base_bit in
   let base = 1 lsl base_bit in
   let in_n = in_key.Lwe.key_n in
+  let out_n = out_key.Lwe.key_n in
   let stdev = p.lwe.lwe_stdev in
-  let entry i j u =
-    (* Encryption of u · s_in[i] / 2^{(j+1)·base_bit}. *)
-    let message =
-      Torus.mul_int (u * in_key.Lwe.bits.(i)) (1 lsl (32 - ((j + 1) * base_bit)) land 0xFFFFFFFF)
-    in
-    Lwe.encrypt rng out_key ~stdev message
-  in
-  let table =
-    Array.init in_n (fun i -> Array.init ks_t (fun j -> Array.init base (fun u -> entry i j u)))
-  in
-  { ks_t; base_bit; out_n = out_key.Lwe.key_n; in_n; table }
+  let key = { ks_t; base_bit; out_n; in_n; flat = Array.make (in_n * ks_t * base * (out_n + 1)) 0 } in
+  for i = 0 to in_n - 1 do
+    for j = 0 to ks_t - 1 do
+      for u = 0 to base - 1 do
+        (* Encryption of u · s_in[i] / 2^{(j+1)·base_bit}.  The u = 0 entries
+           are never read by [apply] (zero digits are skipped) but are
+           generated anyway so the RNG stream and the wire format match the
+           previous nested layout exactly. *)
+        let message =
+          Torus.mul_int (u * in_key.Lwe.bits.(i))
+            (1 lsl (32 - ((j + 1) * base_bit)) land 0xFFFFFFFF)
+        in
+        let e = Lwe.encrypt rng out_key ~stdev message in
+        let off = entry_off key i j u in
+        Array.blit e.Lwe.a 0 key.flat off out_n;
+        key.flat.(off + out_n) <- e.Lwe.b
+      done
+    done
+  done;
+  key
 
-let apply key (s : Lwe.sample) =
+let apply_into key (s : Lwe.sample) ~a =
+  if Array.length s.a <> key.in_n then
+    invalid_arg "Keyswitch.apply_into: input dimension mismatch";
+  if Array.length a <> key.out_n then
+    invalid_arg "Keyswitch.apply_into: output buffer dimension mismatch";
   let base = 1 lsl key.base_bit in
   let prec_offset = 1 lsl (32 - 1 - (key.base_bit * key.ks_t)) in
-  let acc_a = Array.make key.out_n 0 in
+  let out_n = key.out_n in
+  let flat = key.flat in
+  Array.fill a 0 out_n 0;
   let acc_b = ref s.b in
   for i = 0 to key.in_n - 1 do
-    let ai = (s.a.(i) + prec_offset) land 0xFFFFFFFF in
+    let ai = (Array.unsafe_get s.a i + prec_offset) land 0xFFFFFFFF in
     for j = 0 to key.ks_t - 1 do
       let aij = (ai lsr (32 - ((j + 1) * key.base_bit))) land (base - 1) in
       if aij <> 0 then begin
-        let e = key.table.(i).(j).(aij) in
-        for u = 0 to key.out_n - 1 do
-          acc_a.(u) <- Torus.sub acc_a.(u) e.Lwe.a.(u)
+        let off = entry_off key i j aij in
+        for u = 0 to out_n - 1 do
+          Array.unsafe_set a u
+            (Torus.sub (Array.unsafe_get a u) (Array.unsafe_get flat (off + u)))
         done;
-        acc_b := Torus.sub !acc_b e.Lwe.b
+        acc_b := Torus.sub !acc_b (Array.unsafe_get flat (off + out_n))
       end
     done
   done;
-  { Lwe.a = acc_a; b = !acc_b }
+  !acc_b
+
+let apply key (s : Lwe.sample) =
+  let a = Array.make key.out_n 0 in
+  let b = apply_into key s ~a in
+  { Lwe.a; b }
 
 let table_bytes key =
   let base = 1 lsl key.base_bit in
@@ -52,15 +83,28 @@ let table_bytes key =
 
 module Wire = Pytfhe_util.Wire
 
+(* The wire format is the pre-flattening one — nested arrays of LWE
+   samples — so serialized keys stay compatible across the layout change. *)
+
+let entry_sample key i j u =
+  let off = entry_off key i j u in
+  { Lwe.a = Array.sub key.flat off key.out_n; b = key.flat.(off + key.out_n) }
+
 let write buf k =
   Wire.write_magic buf "KSWK";
   Wire.write_i64 buf k.ks_t;
   Wire.write_i64 buf k.base_bit;
   Wire.write_i64 buf k.out_n;
   Wire.write_i64 buf k.in_n;
+  let base = 1 lsl k.base_bit in
   Wire.write_array buf
-    (fun buf row -> Wire.write_array buf (fun buf col -> Wire.write_array buf Lwe.write_sample col) row)
-    k.table
+    (fun buf i ->
+      Wire.write_array buf
+        (fun buf j ->
+          Wire.write_array buf (fun buf u -> Lwe.write_sample buf (entry_sample k i j u))
+            (Array.init base Fun.id))
+        (Array.init k.ks_t Fun.id))
+    (Array.init k.in_n Fun.id)
 
 let read r =
   Wire.read_magic r "KSWK";
@@ -68,8 +112,29 @@ let read r =
   let base_bit = Wire.read_i64 r in
   let out_n = Wire.read_i64 r in
   let in_n = Wire.read_i64 r in
+  if ks_t <= 0 || base_bit <= 0 || ks_t * base_bit > 31 then
+    raise (Wire.Corrupt "key-switch decomposition parameters out of range");
+  if out_n <= 0 || in_n <= 0 then raise (Wire.Corrupt "key-switch dimensions out of range");
+  let base = 1 lsl base_bit in
+  let key = { ks_t; base_bit; out_n; in_n; flat = Array.make (in_n * ks_t * base * (out_n + 1)) 0 } in
   let table =
     Wire.read_array r (fun r -> Wire.read_array r (fun r -> Wire.read_array r Lwe.read_sample))
   in
   if Array.length table <> in_n then raise (Wire.Corrupt "key-switch table size mismatch");
-  { ks_t; base_bit; out_n; in_n; table }
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> ks_t then raise (Wire.Corrupt "key-switch digit count mismatch");
+      Array.iteri
+        (fun j col ->
+          if Array.length col <> base then raise (Wire.Corrupt "key-switch base count mismatch");
+          Array.iteri
+            (fun u (e : Lwe.sample) ->
+              if Array.length e.Lwe.a <> out_n then
+                raise (Wire.Corrupt "key-switch entry dimension mismatch");
+              let off = entry_off key i j u in
+              Array.blit e.Lwe.a 0 key.flat off out_n;
+              key.flat.(off + out_n) <- e.Lwe.b)
+            col)
+        row)
+    table;
+  key

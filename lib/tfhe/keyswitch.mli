@@ -2,7 +2,12 @@
 
     After blind rotation and sample extraction, ciphertexts live under the
     large extracted key (dimension k·N); the key-switch brings them back to
-    the small in/out key (dimension n) so gates compose. *)
+    the small in/out key (dimension n) so gates compose.
+
+    The table is stored as one contiguous flat array (entry (i, j, u) at
+    stride out_n+1) rather than nested per-sample records, so the
+    accumulation loop streams memory instead of chasing pointers.  The wire
+    format is unchanged from the nested layout. *)
 
 type key
 (** Key-switching material from an input key to an output key. *)
@@ -15,9 +20,19 @@ val key_gen :
 val apply : key -> Lwe.sample -> Lwe.sample
 (** Re-encrypt a sample from the input key to the output key. *)
 
+val apply_into : key -> Lwe.sample -> a:int array -> Torus.t
+(** Allocation-free {!apply}: fills the caller-provided mask buffer [a]
+    (length out_n) and returns the body.  Raises [Invalid_argument] when
+    the input or the buffer dimension does not match the key. *)
+
 val table_bytes : key -> int
 (** Serialized size of the key-switch table at 32 bits per torus element;
     part of the public "cloud key" the client ships to the server. *)
 
 val write : Pytfhe_util.Wire.writer -> key -> unit
+
 val read : Pytfhe_util.Wire.reader -> key
+(** Validates every dimension of the serialized table (decomposition depth,
+    base, entry count and per-entry LWE dimension) and raises
+    [Wire.Corrupt] on mismatch instead of failing later with an index
+    error. *)

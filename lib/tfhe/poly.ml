@@ -21,44 +21,122 @@ let sub_to dst src =
 
 let neg a = Array.map Torus.neg a
 
-let mul_by_xai a p =
+let check_rotation name a n =
+  if a < 0 || a >= 2 * n then invalid_arg (name ^ ": exponent out of [0, 2N)")
+
+let mul_by_xai_into dst a p =
   let n = Array.length p in
-  if a < 0 || a >= 2 * n then invalid_arg "Poly.mul_by_xai: exponent out of [0, 2N)";
-  let out = Array.make n 0 in
-  if a < n then begin
+  check_rotation "Poly.mul_by_xai_into" a n;
+  if Array.length dst <> n then invalid_arg "Poly.mul_by_xai_into: size mismatch";
+  if dst == p then invalid_arg "Poly.mul_by_xai_into: dst must not alias p";
+  if a = 0 then Array.blit p 0 dst 0 n
+  else if a < n then begin
     (* Coefficient j of p lands at j + a; wrapping past N flips sign. *)
     for j = 0 to n - 1 - a do
-      out.(j + a) <- p.(j)
+      Array.unsafe_set dst (j + a) (Array.unsafe_get p j)
     done;
     for j = n - a to n - 1 do
-      if j >= 0 then out.(j + a - n) <- Torus.neg p.(j)
+      Array.unsafe_set dst (j + a - n) (Torus.neg (Array.unsafe_get p j))
     done
   end
   else begin
     let a' = a - n in
     for j = 0 to n - 1 - a' do
-      out.(j + a') <- Torus.neg p.(j)
+      Array.unsafe_set dst (j + a') (Torus.neg (Array.unsafe_get p j))
     done;
     for j = n - a' to n - 1 do
-      if j >= 0 then out.(j + a' - n) <- p.(j)
+      Array.unsafe_set dst (j + a' - n) (Array.unsafe_get p j)
     done
-  end;
-  out
+  end
+
+let mul_by_xai a p =
+  let n = Array.length p in
+  check_rotation "Poly.mul_by_xai" a n;
+  if a = 0 then Array.copy p
+  else begin
+    let out = Array.make n 0 in
+    mul_by_xai_into out a p;
+    out
+  end
+
+let mul_by_xai_minus_one_into dst a p =
+  let n = Array.length p in
+  check_rotation "Poly.mul_by_xai_minus_one_into" a n;
+  if Array.length dst <> n then invalid_arg "Poly.mul_by_xai_minus_one_into: size mismatch";
+  if dst == p then invalid_arg "Poly.mul_by_xai_minus_one_into: dst must not alias p";
+  (* dst_t = (X^a·p)_t − p_t, fused so the rotation needs no staging copy. *)
+  if a = 0 then Array.fill dst 0 n 0
+  else if a < n then begin
+    for j = 0 to n - 1 - a do
+      let t = j + a in
+      Array.unsafe_set dst t (Torus.sub (Array.unsafe_get p j) (Array.unsafe_get p t))
+    done;
+    for j = n - a to n - 1 do
+      let t = j + a - n in
+      Array.unsafe_set dst t (Torus.sub (Torus.neg (Array.unsafe_get p j)) (Array.unsafe_get p t))
+    done
+  end
+  else begin
+    let a' = a - n in
+    for j = 0 to n - 1 - a' do
+      let t = j + a' in
+      Array.unsafe_set dst t (Torus.sub (Torus.neg (Array.unsafe_get p j)) (Array.unsafe_get p t))
+    done;
+    for j = n - a' to n - 1 do
+      let t = j + a' - n in
+      Array.unsafe_set dst t (Torus.sub (Array.unsafe_get p j) (Array.unsafe_get p t))
+    done
+  end
 
 let mul_by_xai_minus_one a p =
-  let rotated = mul_by_xai a p in
-  sub rotated p
+  let out = Array.make (Array.length p) 0 in
+  mul_by_xai_minus_one_into out a p;
+  out
+
+let to_floats_into ~centred dst p =
+  let n = Array.length p in
+  if Array.length dst <> n then invalid_arg "Poly.to_floats_into: size mismatch";
+  if centred then
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (float_of_int (Torus.to_signed (Array.unsafe_get p i)))
+    done
+  else
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (float_of_int (Array.unsafe_get p i))
+    done
 
 let to_floats ~centred p =
-  if centred then Array.map (fun v -> float_of_int (Torus.to_signed v)) p
-  else Array.map float_of_int p
+  let dst = Array.make (Array.length p) 0.0 in
+  to_floats_into ~centred dst p;
+  dst
+
+(* Inlined into the conversion loops below: as a plain call the float
+   argument (and the Int64 intermediates) would be boxed on every
+   coefficient — without flambda that is ~2 words x N per polynomial, the
+   single largest allocation left in the bootstrapped-gate hot path. *)
+let[@inline] torus_of_float x =
+  let r = Float.rem (Float.round x) 4294967296.0 in
+  Torus.of_signed (Int64.to_int (Int64.of_float r))
+
+let of_floats_into dst f =
+  let n = Array.length f in
+  if Array.length dst <> n then invalid_arg "Poly.of_floats_into: size mismatch";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i (torus_of_float (Array.unsafe_get f i))
+  done
 
 let of_floats f =
-  Array.map
-    (fun x ->
-      let r = Float.rem (Float.round x) 4294967296.0 in
-      Torus.of_signed (Int64.to_int (Int64.of_float r)))
-    f
+  let dst = Array.make (Array.length f) 0 in
+  of_floats_into dst f;
+  dst
+
+let add_of_floats_to dst f =
+  let n = Array.length f in
+  if Array.length dst <> n then invalid_arg "Poly.add_of_floats_to: size mismatch";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i
+      (Torus.add (Array.unsafe_get dst i) (torus_of_float (Array.unsafe_get f i)))
+  done
 
 let mul_int_torus ip tp =
   let a = to_floats ~centred:false ip in

@@ -6,12 +6,37 @@ type sample = { rows : Tlwe.sample array }
 type fft_sample = { frows : Negacyclic.spectrum array array }
 (* frows.(r).(c): spectrum of component c (k masks then body) of row r. *)
 
+type gadget = {
+  g_l : int;
+  g_bg_bit : int;
+  g_half_bg : int;
+  g_mask_bg : int;
+  g_offset : int;  (* Σⱼ (Bg/2)·2^{32−j·bg_bit}: recentres digits once, hoisted
+                      out of the per-coefficient loop. *)
+}
+
+let gadget (p : Params.t) =
+  let l = p.tgsw.l in
+  let bg_bit = p.tgsw.bg_bit in
+  let bg = 1 lsl bg_bit in
+  let half_bg = bg / 2 in
+  let offset =
+    let o = ref 0 in
+    for j = 1 to l do
+      o := !o + (half_bg lsl (32 - (j * bg_bit)))
+    done;
+    !o land 0xFFFFFFFF
+  in
+  { g_l = l; g_bg_bit = bg_bit; g_half_bg = half_bg; g_mask_bg = bg - 1; g_offset = offset }
+
 type workspace = {
+  wgadget : gadget;  (* decomposition constants, computed once per workspace *)
   dec : Poly.int_poly array;  (* (k+1)*l decomposition digit polynomials *)
   dec_float : float array;  (* staging buffer for the forward transform *)
   dec_spectrum : Negacyclic.spectrum;
   acc_spectra : Negacyclic.spectrum array;  (* k+1 accumulators *)
   result_float : float array;
+  rot : Tlwe.sample;  (* (X^a − 1)·acc scratch for the blind-rotation step *)
 }
 
 let rows_count (p : Params.t) = (p.tlwe.k + 1) * p.tgsw.l
@@ -39,32 +64,31 @@ let to_fft (p : Params.t) s =
   ignore p;
   { frows = Array.map components s.rows }
 
+(* The single decomposition kernel both entry points share: digits of
+   component [i] land in rows [i*l .. i*l + l − 1] of [dst]. *)
+let decompose_component g (dst : Poly.int_poly array) i (poly : Poly.torus_poly) =
+  let n = Array.length poly in
+  let l = g.g_l in
+  let bg_bit = g.g_bg_bit in
+  let half_bg = g.g_half_bg in
+  let mask_bg = g.g_mask_bg in
+  let offset = g.g_offset in
+  for t = 0 to n - 1 do
+    let v = (Array.unsafe_get poly t + offset) land 0xFFFFFFFF in
+    for j = 0 to l - 1 do
+      let digit = (v lsr (32 - ((j + 1) * bg_bit))) land mask_bg in
+      Array.unsafe_set dst.((i * l) + j) t (digit - half_bg)
+    done
+  done
+
+let decompose_rows g k (dst : Poly.int_poly array) (c : Tlwe.sample) =
+  Array.iteri (decompose_component g dst) c.mask;
+  decompose_component g dst k c.body
+
 let decompose (p : Params.t) (c : Tlwe.sample) =
   let n = p.tlwe.ring_n in
-  let l = p.tgsw.l in
-  let bg_bit = p.tgsw.bg_bit in
-  let bg = 1 lsl bg_bit in
-  let half_bg = bg / 2 in
-  let mask_bg = bg - 1 in
-  let offset =
-    let o = ref 0 in
-    for j = 1 to l do
-      o := !o + (half_bg lsl (32 - (j * bg_bit)))
-    done;
-    !o land 0xFFFFFFFF
-  in
-  let out = Array.init ((p.tlwe.k + 1) * l) (fun _ -> Array.make n 0) in
-  let polys = Array.append c.mask [| c.body |] in
-  Array.iteri
-    (fun i poly ->
-      for t = 0 to n - 1 do
-        let v = (poly.(t) + offset) land 0xFFFFFFFF in
-        for j = 0 to l - 1 do
-          let digit = (v lsr (32 - ((j + 1) * bg_bit))) land mask_bg in
-          out.((i * l) + j).(t) <- digit - half_bg
-        done
-      done)
-    polys;
+  let out = Array.init (rows_count p) (fun _ -> Array.make n 0) in
+  decompose_rows (gadget p) p.tlwe.k out c;
   out
 
 let workspace_create (p : Params.t) =
@@ -74,44 +98,27 @@ let workspace_create (p : Params.t) =
      transforms they feed must not fault in shared tables concurrently. *)
   Negacyclic.precompute n;
   {
+    wgadget = gadget p;
     dec = Array.init (rows_count p) (fun _ -> Array.make n 0);
     dec_float = Array.make n 0.0;
     dec_spectrum = Negacyclic.spectrum_create n;
     acc_spectra = Array.init (p.tlwe.k + 1) (fun _ -> Negacyclic.spectrum_create n);
     result_float = Array.make n 0.0;
+    rot = Tlwe.trivial p (Poly.zero n);
   }
 
 (* In-place decomposition into the workspace to avoid per-call allocation. *)
 let decompose_into (p : Params.t) ws (c : Tlwe.sample) =
-  let n = p.tlwe.ring_n in
-  let l = p.tgsw.l in
-  let bg_bit = p.tgsw.bg_bit in
-  let bg = 1 lsl bg_bit in
-  let half_bg = bg / 2 in
-  let mask_bg = bg - 1 in
-  let offset =
-    let o = ref 0 in
-    for j = 1 to l do
-      o := !o + (half_bg lsl (32 - (j * bg_bit)))
-    done;
-    !o land 0xFFFFFFFF
-  in
-  let decompose_poly i (poly : Poly.torus_poly) =
-    for t = 0 to n - 1 do
-      let v = (Array.unsafe_get poly t + offset) land 0xFFFFFFFF in
-      for j = 0 to l - 1 do
-        let digit = (v lsr (32 - ((j + 1) * bg_bit))) land mask_bg in
-        Array.unsafe_set ws.dec.((i * l) + j) t (digit - half_bg)
-      done
-    done
-  in
-  Array.iteri decompose_poly c.mask;
-  decompose_poly p.tlwe.k c.body
+  decompose_rows ws.wgadget p.tlwe.k ws.dec c
 
-let external_product (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample) =
+(* Decompose [src], push every digit row through the forward transform and
+   accumulate the row × bootstrapping-key products in the spectral domain.
+   Shared by all external-product entry points; leaves the k+1 component
+   spectra in [ws.acc_spectra]. *)
+let product_spectra (p : Params.t) ws (g : fft_sample) (src : Tlwe.sample) =
   let n = p.tlwe.ring_n in
   let k = p.tlwe.k in
-  decompose_into p ws c;
+  decompose_into p ws src;
   Array.iter Negacyclic.spectrum_zero ws.acc_spectra;
   for r = 0 to rows_count p - 1 do
     let digits = ws.dec.(r) in
@@ -122,15 +129,40 @@ let external_product (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample) =
     for comp = 0 to k do
       Negacyclic.mul_add_into ws.acc_spectra.(comp) ws.dec_spectrum g.frows.(r).(comp)
     done
-  done;
-  let component comp =
+  done
+
+let external_product_add_into (p : Params.t) ws (g : fft_sample) ~src ~(acc : Tlwe.sample) =
+  product_spectra p ws g src;
+  let k = p.tlwe.k in
+  for comp = 0 to k do
     Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
-    Poly.of_floats ws.result_float
-  in
-  {
-    Tlwe.mask = Array.init k component;
-    body = component k;
-  }
+    let target = if comp < k then acc.Tlwe.mask.(comp) else acc.Tlwe.body in
+    Poly.add_of_floats_to target ws.result_float
+  done
+
+let external_product_into (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample)
+    ~(dst : Tlwe.sample) =
+  product_spectra p ws g c;
+  let k = p.tlwe.k in
+  for comp = 0 to k do
+    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
+    let target = if comp < k then dst.Tlwe.mask.(comp) else dst.Tlwe.body in
+    Poly.of_floats_into target ws.result_float
+  done
+
+let external_product (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample) =
+  let dst = Tlwe.trivial p (Poly.zero p.tlwe.ring_n) in
+  external_product_into p ws g c ~dst;
+  dst
+
+let cmux_rotate_into (p : Params.t) ws (g : fft_sample) a (acc : Tlwe.sample) =
+  (* acc ← acc + g ⊡ ((X^a − 1)·acc): the CMux between acc and X^a·acc,
+     written as the in-place blind-rotation recurrence.  Only workspace
+     scratch is touched — no ring-sized allocation. *)
+  let rot = ws.rot in
+  Array.iteri (fun i m -> Poly.mul_by_xai_minus_one_into rot.Tlwe.mask.(i) a m) acc.Tlwe.mask;
+  Poly.mul_by_xai_minus_one_into rot.Tlwe.body a acc.Tlwe.body;
+  external_product_add_into p ws g ~src:rot ~acc
 
 let cmux p ws g d1 d0 =
   let diff = Tlwe.copy d1 in
@@ -149,12 +181,22 @@ let write_fft buf s =
   in
   Wire.write_array buf (fun buf row -> Wire.write_array buf write_spectrum row) s.frows
 
-let read_fft r =
+let read_fft (p : Params.t) r =
   Wire.read_magic r "GFFT";
+  let half = p.tlwe.ring_n / 2 in
   let read_spectrum r =
     let s_re = Wire.read_f64_array r in
     let s_im = Wire.read_f64_array r in
     if Array.length s_re <> Array.length s_im then raise (Wire.Corrupt "spectrum length mismatch");
+    if Array.length s_re <> half then raise (Wire.Corrupt "spectrum does not match ring degree");
     { Negacyclic.s_re; s_im }
   in
-  { frows = Wire.read_array r (fun r -> Wire.read_array r read_spectrum) }
+  let frows = Wire.read_array r (fun r -> Wire.read_array r read_spectrum) in
+  if Array.length frows <> rows_count p then
+    raise (Wire.Corrupt "TGSW row count does not match parameters");
+  Array.iter
+    (fun row ->
+      if Array.length row <> p.tlwe.k + 1 then
+        raise (Wire.Corrupt "TGSW component count does not match parameters"))
+    frows;
+  { frows }

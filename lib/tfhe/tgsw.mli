@@ -3,7 +3,13 @@
     A TGSW sample encrypts a small integer m as (k+1)·l TRLWE rows
     Z + m·H, where H is the gadget matrix with entries 1/Bgʲ.  The external
     product TGSW ⊡ TRLWE — the engine of the CMux and hence of blind
-    rotation — is evaluated in the FFT domain. *)
+    rotation — is evaluated in the FFT domain.
+
+    The [_into] entry points below are the bootstrapped-gate hot path: every
+    buffer they touch (decomposition digits, FFT staging, spectral
+    accumulators and the TLWE rotation scratch) is owned by the
+    {!workspace}, so a steady-state gate performs no ring-sized
+    allocation. *)
 
 type sample = { rows : Tlwe.sample array }
 (** (k+1)·l TRLWE rows, row i·l+j carrying m/Bg^{j+1} on component i. *)
@@ -12,9 +18,16 @@ type fft_sample
 (** A TGSW sample with every row polynomial pre-transformed; this is how
     bootstrapping keys are stored. *)
 
+type gadget
+(** Precomputed gadget-decomposition constants (offset, Bg/2, digit mask):
+    derived once from a parameter set instead of per decomposition call. *)
+
 type workspace
 (** Pre-allocated scratch buffers so the external product in the hot
     bootstrapping loop performs no large allocations. *)
+
+val gadget : Params.t -> gadget
+(** The decomposition constants of a parameter set. *)
 
 val encrypt_int : Pytfhe_util.Rng.t -> Params.t -> Tlwe.key -> int -> sample
 (** Fresh TGSW encryption of a small integer message. *)
@@ -24,7 +37,11 @@ val to_fft : Params.t -> sample -> fft_sample
 
 val decompose : Params.t -> Tlwe.sample -> Poly.int_poly array
 (** Signed gadget decomposition of every component into l digits each in
-    [−Bg/2, Bg/2). *)
+    [−Bg/2, Bg/2).  Allocating wrapper over the same kernel
+    {!decompose_into} uses. *)
+
+val decompose_into : Params.t -> workspace -> Tlwe.sample -> unit
+(** {!decompose} straight into the workspace digit buffers. *)
 
 val workspace_create : Params.t -> workspace
 (** Fresh scratch buffers for one evaluation thread.  Also precomputes the
@@ -33,7 +50,25 @@ val workspace_create : Params.t -> workspace
 
 val external_product : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample
 (** [external_product p ws g c] computes g ⊡ c: a TRLWE sample whose phase
-    is (approximately) m · phase(c). *)
+    is (approximately) m · phase(c).  Allocates the result; the hot path
+    uses {!external_product_into} / {!cmux_rotate_into} instead. *)
+
+val external_product_into :
+  Params.t -> workspace -> fft_sample -> Tlwe.sample -> dst:Tlwe.sample -> unit
+(** [external_product_into p ws g c ~dst] writes g ⊡ c into [dst] without
+    allocating.  [dst] must not alias [c]. *)
+
+val external_product_add_into :
+  Params.t -> workspace -> fft_sample -> src:Tlwe.sample -> acc:Tlwe.sample -> unit
+(** [external_product_add_into p ws g ~src ~acc] accumulates g ⊡ src into
+    [acc] without allocating.  [src] may be workspace scratch; [acc] must
+    not alias [src]. *)
+
+val cmux_rotate_into : Params.t -> workspace -> fft_sample -> int -> Tlwe.sample -> unit
+(** [cmux_rotate_into p ws g a acc] performs the blind-rotation recurrence
+    acc ← acc + g ⊡ ((X^a − 1)·acc) in place — equivalent to
+    [cmux p ws g (Tlwe.mul_by_xai a acc) acc] with zero allocation.
+    [a] must lie in [0, 2N). *)
 
 val cmux : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample -> Tlwe.sample
 (** [cmux p ws g d1 d0] homomorphically selects [d1] when [g] encrypts 1 and
@@ -43,4 +78,8 @@ val write_fft : Pytfhe_util.Wire.writer -> fft_sample -> unit
 (** Bootstrapping-key rows in their frequency-domain form; doubles are
     serialized bit-exactly so roundtrips are lossless. *)
 
-val read_fft : Pytfhe_util.Wire.reader -> fft_sample
+val read_fft : Params.t -> Pytfhe_util.Wire.reader -> fft_sample
+(** Reads one key row and validates its shape — row count (k+1)·l,
+    component count k+1 and spectrum length N/2 — against the parameter
+    set, raising [Wire.Corrupt] on any mismatch instead of failing later
+    with an index error. *)

@@ -39,6 +39,27 @@ let test_fft_roundtrip () =
       check_arrays_close "im roundtrip" 1e-9 im got_im)
     [ 2; 32; 1024 ]
 
+let test_fft_transform_bitrev_matches () =
+  (* [transform_bitrev] expects input already in bit-reversed order and must
+     then agree bit-for-bit with [transform] on the natural-order input —
+     both run the identical butterfly passes. *)
+  let rng = Rng.create ~seed:14 () in
+  List.iter
+    (fun n ->
+      let re = random_floats rng n 10.0 and im = random_floats rng n 10.0 in
+      let exp_re = Array.copy re and exp_im = Array.copy im in
+      Complex_fft.transform ~re:exp_re ~im:exp_im ~invert:false;
+      let rev = Complex_fft.bit_rev n in
+      let got_re = Array.make n 0.0 and got_im = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        got_re.(rev.(i)) <- re.(i);
+        got_im.(rev.(i)) <- im.(i)
+      done;
+      Complex_fft.transform_bitrev ~re:got_re ~im:got_im ~invert:false;
+      Alcotest.(check bool) "re bit-identical" true (exp_re = got_re);
+      Alcotest.(check bool) "im bit-identical" true (exp_im = got_im))
+    [ 2; 8; 128; 512 ]
+
 let test_fft_linearity () =
   let rng = Rng.create ~seed:13 () in
   let n = 128 in
@@ -173,6 +194,7 @@ let () =
         [
           Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_naive;
           Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "bit-reversed entry point" `Quick test_fft_transform_bitrev_matches;
           Alcotest.test_case "linearity" `Quick test_fft_linearity;
           Alcotest.test_case "rejects bad sizes" `Quick test_fft_rejects_bad_sizes;
         ] );

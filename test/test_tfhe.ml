@@ -656,6 +656,205 @@ let test_mismatched_input_arity_rejected () =
        false
      with Invalid_argument _ | Failure _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* In-place hot path vs allocating reference paths                     *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_mul_by_xai_into_matches =
+  QCheck.Test.make ~name:"mul_by_xai_into matches mul_by_xai" ~count:200
+    QCheck.(pair small_nat (int_range 0 1_000_000))
+    (fun (a, seed) ->
+      let n = 64 in
+      let a = a mod (2 * n) in
+      let rng = Rng.create ~seed () in
+      let p = random_torus_poly rng n in
+      let dst = Array.make n 123 in
+      Poly.mul_by_xai_into dst a p;
+      dst = Poly.mul_by_xai a p)
+
+let qcheck_mul_by_xai_minus_one_into_matches =
+  QCheck.Test.make ~name:"mul_by_xai_minus_one_into matches sub of rotation" ~count:200
+    QCheck.(pair small_nat (int_range 0 1_000_000))
+    (fun (a, seed) ->
+      let n = 64 in
+      let a = a mod (2 * n) in
+      let rng = Rng.create ~seed () in
+      let p = random_torus_poly rng n in
+      let dst = Array.make n 123 in
+      Poly.mul_by_xai_minus_one_into dst a p;
+      dst = Poly.sub (Poly.mul_by_xai a p) p)
+
+let test_poly_into_rejects_aliasing_and_sizes () =
+  let p = Array.make 32 0 in
+  let rejects label f =
+    Alcotest.(check bool) label true (try f (); false with Invalid_argument _ -> true)
+  in
+  rejects "mul_by_xai_into aliasing" (fun () -> Poly.mul_by_xai_into p 3 p);
+  rejects "mul_by_xai_into size" (fun () -> Poly.mul_by_xai_into (Array.make 16 0) 3 p);
+  rejects "mul_by_xai_minus_one_into aliasing" (fun () -> Poly.mul_by_xai_minus_one_into p 3 p);
+  rejects "of_floats_into size" (fun () -> Poly.of_floats_into (Array.make 16 0) (Array.make 32 0.0));
+  rejects "to_floats_into size" (fun () ->
+      Poly.to_floats_into ~centred:true (Array.make 16 0.0) p)
+
+let qcheck_float_conversions_into_match =
+  QCheck.Test.make ~name:"of/to_floats_into match allocating versions" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let n = 64 in
+      let rng = Rng.create ~seed () in
+      let p = random_torus_poly rng n in
+      let f = Array.init n (fun _ -> (Rng.float rng -. 0.5) *. 1e10) in
+      let fdst = Array.make n nan in
+      Poly.to_floats_into ~centred:true fdst p;
+      let ok_to = fdst = Poly.to_floats ~centred:true p in
+      let tdst = Array.make n 987 in
+      Poly.of_floats_into tdst f;
+      let ok_of = tdst = Poly.of_floats f in
+      let acc = random_torus_poly rng n in
+      let expected = Poly.add acc (Poly.of_floats f) in
+      Poly.add_of_floats_to acc f;
+      ok_to && ok_of && acc = expected)
+
+let qcheck_external_product_into_matches =
+  QCheck.Test.make ~name:"external_product_into/add_into match external_product" ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let key = Tlwe.key_gen rng params in
+      let ws = Tgsw.workspace_create params in
+      let n = params.Params.tlwe.ring_n in
+      let c = Tlwe.encrypt_poly rng params key (random_torus_poly rng n) in
+      let g = Tgsw.to_fft params (Tgsw.encrypt_int rng params key (Rng.int rng 2)) in
+      let reference = Tgsw.external_product params ws g c in
+      let dst = Tlwe.trivial params (random_torus_poly rng n) in
+      Tgsw.external_product_into params ws g c ~dst;
+      let acc = Tlwe.encrypt_poly rng params key (random_torus_poly rng n) in
+      let expected_acc = Tlwe.copy acc in
+      Tlwe.add_to expected_acc reference;
+      Tgsw.external_product_add_into params ws g ~src:c ~acc;
+      dst = reference && acc = expected_acc)
+
+let qcheck_cmux_rotate_into_matches =
+  QCheck.Test.make ~name:"cmux_rotate_into matches cmux of rotation" ~count:20
+    QCheck.(pair small_nat (int_range 0 1_000_000))
+    (fun (a, seed) ->
+      let rng = Rng.create ~seed () in
+      let key = Tlwe.key_gen rng params in
+      let ws = Tgsw.workspace_create params in
+      let n = params.Params.tlwe.ring_n in
+      let a = 1 + (a mod ((2 * n) - 1)) in
+      let acc = Tlwe.encrypt_poly rng params key (random_torus_poly rng n) in
+      let g = Tgsw.to_fft params (Tgsw.encrypt_int rng params key (Rng.int rng 2)) in
+      let expected = Tgsw.cmux params ws g (Tlwe.mul_by_xai a acc) acc in
+      Tgsw.cmux_rotate_into params ws g a acc;
+      acc = expected)
+
+let qcheck_blind_rotate_into_matches_reference =
+  QCheck.Test.make ~name:"in-place blind rotation is bit-exact vs reference" ~count:8
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let ck = cloud () in
+      let bkey = ck.Gates.bootstrap_key in
+      let ws = Tgsw.workspace_create params in
+      let rng = Rng.create ~seed () in
+      let n = params.Params.tlwe.ring_n in
+      let testvect = random_torus_poly rng n in
+      let s =
+        { Lwe.a = Array.init params.Params.lwe.Params.n (fun _ -> Rng.bits32 rng);
+          b = Rng.bits32 rng }
+      in
+      let reference = Bootstrap.blind_rotate_reference params ws bkey ~testvect s in
+      let got = Bootstrap.blind_rotate_with params ws bkey ~testvect s in
+      let acc = Tlwe.trivial params (random_torus_poly rng n) in
+      Bootstrap.blind_rotate_into params ws bkey ~testvect ~acc s;
+      got = reference && acc = reference)
+
+let qcheck_keyswitch_apply_into_matches =
+  QCheck.Test.make ~name:"keyswitch apply_into matches apply" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let ck = cloud () in
+      let kk = ck.Gates.keyswitch_key in
+      let rng = Rng.create ~seed () in
+      let s =
+        { Lwe.a = Array.init (Params.extracted_n params) (fun _ -> Rng.bits32 rng);
+          b = Rng.bits32 rng }
+      in
+      let reference = Keyswitch.apply kk s in
+      let a = Array.make params.Params.lwe.Params.n 555 in
+      let b = Keyswitch.apply_into kk s ~a in
+      a = reference.Lwe.a && b = reference.Lwe.b)
+
+let test_keyswitch_serialize_identical_apply () =
+  (* The flat layout must round-trip through the nested wire format and
+     produce bit-identical key switches. *)
+  let ck = cloud () in
+  let kk = ck.Gates.keyswitch_key in
+  let kk' = roundtrip Keyswitch.write Keyswitch.read kk in
+  let rng = Rng.create ~seed:95 () in
+  for _ = 1 to 10 do
+    let s =
+      { Lwe.a = Array.init (Params.extracted_n params) (fun _ -> Rng.bits32 rng);
+        b = Rng.bits32 rng }
+    in
+    let x = Keyswitch.apply kk s and y = Keyswitch.apply kk' s in
+    Alcotest.(check (array int)) "mask identical" x.Lwe.a y.Lwe.a;
+    Alcotest.(check int) "body identical" x.Lwe.b y.Lwe.b
+  done
+
+let test_read_fft_rejects_mismatched_params () =
+  let rng = Rng.create ~seed:96 () in
+  let key = Tlwe.key_gen rng params in
+  let g = Tgsw.to_fft params (Tgsw.encrypt_int rng params key 1) in
+  let buf = Buffer.create 4096 in
+  Tgsw.write_fft buf g;
+  let payload = Buffer.contents buf in
+  let corrupt label p =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Tgsw.read_fft p (Wire.reader_of_string payload));
+         false
+       with Wire.Corrupt _ -> true)
+  in
+  corrupt "wrong ring degree"
+    (Params.custom ~name:"other-ring" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:128 ~k:1
+       ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2);
+  corrupt "wrong gadget depth"
+    (Params.custom ~name:"other-l" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
+       ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2);
+  (* Matching parameters must still read back. *)
+  ignore (Tgsw.read_fft params (Wire.reader_of_string payload))
+
+let test_bootstrap_read_rejects_mismatched_params () =
+  let ck = cloud () in
+  let buf = Buffer.create 4096 in
+  Bootstrap.write buf ck.Gates.bootstrap_key;
+  let payload = Buffer.contents buf in
+  let other =
+    Params.custom ~name:"other-n" ~n:32 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
+      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2
+  in
+  Alcotest.(check bool) "wrong LWE dimension rejected" true
+    (try
+       ignore (Bootstrap.read other (Wire.reader_of_string payload));
+       false
+     with Wire.Corrupt _ -> true)
+
+let test_keyswitch_read_rejects_tampered_header () =
+  let ck = cloud () in
+  let buf = Buffer.create 4096 in
+  Keyswitch.write buf ck.Gates.keyswitch_key;
+  let payload = Bytes.of_string (Buffer.contents buf) in
+  (* Byte 4 is the low byte of the serialized decomposition depth (the
+     4-byte magic comes first): forcing it to 0xFF makes t·base_bit blow
+     past the 31-bit budget, which [read] must flag as corruption. *)
+  Bytes.set payload 4 '\xFF';
+  Alcotest.(check bool) "tampered header rejected" true
+    (try
+       ignore (Keyswitch.read (Wire.reader_of_bytes payload));
+       false
+     with Wire.Corrupt _ -> true)
+
 let gate_cases =
   [
     ("nand", Gates.nand_gate, fun a b -> not (a && b));
@@ -748,6 +947,26 @@ let () =
           Alcotest.test_case "relu-like table" `Slow test_lut_relu_like;
           Alcotest.test_case "composition refreshes noise" `Slow test_lut_composes;
           Alcotest.test_case "validates arguments" `Quick test_lut_validates;
+        ] );
+      ( "in-place-hot-path",
+        [
+          QCheck_alcotest.to_alcotest qcheck_mul_by_xai_into_matches;
+          QCheck_alcotest.to_alcotest qcheck_mul_by_xai_minus_one_into_matches;
+          Alcotest.test_case "into rejects aliasing/sizes" `Quick
+            test_poly_into_rejects_aliasing_and_sizes;
+          QCheck_alcotest.to_alcotest qcheck_float_conversions_into_match;
+          QCheck_alcotest.to_alcotest qcheck_external_product_into_matches;
+          QCheck_alcotest.to_alcotest qcheck_cmux_rotate_into_matches;
+          QCheck_alcotest.to_alcotest qcheck_blind_rotate_into_matches_reference;
+          QCheck_alcotest.to_alcotest qcheck_keyswitch_apply_into_matches;
+          Alcotest.test_case "keyswitch serialize apply-identical" `Quick
+            test_keyswitch_serialize_identical_apply;
+          Alcotest.test_case "read_fft rejects wrong params" `Quick
+            test_read_fft_rejects_mismatched_params;
+          Alcotest.test_case "bootstrap read rejects wrong params" `Quick
+            test_bootstrap_read_rejects_mismatched_params;
+          Alcotest.test_case "keyswitch read rejects tampering" `Quick
+            test_keyswitch_read_rejects_tampered_header;
         ] );
       ( "serialize",
         [
