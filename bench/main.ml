@@ -743,14 +743,164 @@ let par () =
     Format.printf "@.wrote %s@." path
   end
 
+(* ------------------------------------------------------------------ *)
+(* Dist_eval — real multi-process execution: measured dispatch/transfer/
+   compute split vs the Sched_cpu modelled split for the same workload    *)
+(* ------------------------------------------------------------------ *)
+
+module Dist_eval = Pytfhe_backend.Dist_eval
+
+let dist () =
+  header "Dist — real multi-process TFHE execution (Dist_eval) vs the Sched_cpu cost model";
+  if !quick then Format.printf "(--quick: skipped — runs real crypto across worker processes)@."
+  else begin
+    let w = Option.get (Suite.find "hamming_distance") in
+    let c = compiled w in
+    let sched = c.Pipeline.schedule in
+    let seed = 5252 in
+    Format.printf "  [generating keys (test parameters) ...]@?";
+    let t0 = Unix.gettimeofday () in
+    let client, cloud = Client.keygen ~params:Params.test ~seed () in
+    Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
+    let rng = Rng.create ~seed:(seed + 1) () in
+    let n_in = Netlist.input_count c.Pipeline.netlist in
+    let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+    let cts = Client.encrypt_bits client ins in
+    Format.printf "  [sequential reference (Tfhe_eval) ...]@?";
+    let seq_out, seq_stats = Server.evaluate cloud c cts in
+    let seq_wall = seq_stats.Pytfhe_backend.Tfhe_eval.wall_time in
+    let bootstraps = seq_stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed in
+    Format.printf " %s (%d bootstraps)@." (human_time seq_wall) bootstraps;
+    (* The modelled counterpart: the same wave schedule priced by Sched_cpu
+       with this machine's measured gate time, one worker per node so
+       nodes = worker processes. *)
+    let measured_gate_time = seq_wall /. float_of_int (max 1 bootstraps) in
+    let base = Cost_model.calibrated_cpu ~measured_gate_time in
+    let model_cost = { base with Cost_model.workers_per_node = 1 } in
+    let run_once ?(faults = []) workers =
+      let cfg = Dist_eval.config ~faults workers in
+      let outs, st = Server.evaluate_distributed ~config:cfg cloud c cts in
+      (outs = seq_out, st)
+    in
+    let worker_counts = [ 1; 2; 4 ] in
+    let rows =
+      List.map
+        (fun workers ->
+          let exact, st = run_once workers in
+          let model = Sched_cpu.simulate { Sched_cpu.nodes = workers; cost = model_cost } sched in
+          (workers, st, exact, model))
+        worker_counts
+    in
+    Format.printf "@.%-8s %10s %10s %10s %10s %10s %10s@." "WORKERS" "WALL" "DISPATCH"
+      "TRANSFER" "COMPUTE" "SHIPPED" "BIT-EXACT";
+    List.iter
+      (fun (workers, st, exact, _) ->
+        Format.printf "%-8d %10s %10s %10s %10s %9dK %10s@." workers
+          (human_time st.Dist_eval.wall_time)
+          (human_time st.Dist_eval.dispatch_time)
+          (human_time st.Dist_eval.transfer_time)
+          (human_time st.Dist_eval.compute_time)
+          ((st.Dist_eval.bytes_to_workers + st.Dist_eval.bytes_from_workers) / 1024)
+          (if exact then "yes" else "NO"))
+      rows;
+    Format.printf "@.measured vs modelled split (fraction of busy time per category):@.";
+    Format.printf "%-8s %26s %26s@." "" "MEASURED (disp/xfer/comp)" "MODELLED (disp/sync/comp)";
+    List.iter
+      (fun (workers, st, _, model) ->
+        let m_total =
+          Float.max 1e-9
+            (st.Dist_eval.dispatch_time +. st.Dist_eval.transfer_time +. st.Dist_eval.compute_time)
+        in
+        let s_total =
+          Float.max 1e-9
+            (model.Sched_cpu.dispatch_time +. model.Sched_cpu.sync_time
+           +. model.Sched_cpu.compute_time)
+        in
+        Format.printf "%-8d %8.1f%% /%5.1f%% /%5.1f%% %9.1f%% /%5.1f%% /%5.1f%%@." workers
+          (100.0 *. st.Dist_eval.dispatch_time /. m_total)
+          (100.0 *. st.Dist_eval.transfer_time /. m_total)
+          (100.0 *. st.Dist_eval.compute_time /. m_total)
+          (100.0 *. model.Sched_cpu.dispatch_time /. s_total)
+          (100.0 *. model.Sched_cpu.sync_time /. s_total)
+          (100.0 *. model.Sched_cpu.compute_time /. s_total))
+      rows;
+    (* Fault drill: kill one of three workers mid-run; the survivors must
+       absorb its shard and the outputs must stay bit-exact. *)
+    Format.printf "@.  [fault drill: SIGKILL worker 1 of 3 mid-wave ...]@?";
+    let fault_exact, fault_st =
+      run_once ~faults:[ { Dist_eval.victim = 1; after_requests = 2; action = Dist_eval.Crash } ] 3
+    in
+    Format.printf " %s, %d lost, %d reassigned, bit-exact: %s@."
+      (human_time fault_st.Dist_eval.wall_time)
+      fault_st.Dist_eval.workers_lost fault_st.Dist_eval.reassignments
+      (if fault_exact then "yes" else "NO");
+    let all_exact = fault_exact && List.for_all (fun (_, _, e, _) -> e) rows in
+    if not all_exact then Format.printf "WARNING: distributed output differs from Tfhe_eval!@.";
+    let split_json (st : Dist_eval.stats) =
+      [
+        ("wall_s", Json.Number st.Dist_eval.wall_time);
+        ("startup_s", Json.Number st.Dist_eval.startup_time);
+        ("dispatch_s", Json.Number st.Dist_eval.dispatch_time);
+        ("transfer_s", Json.Number st.Dist_eval.transfer_time);
+        ("compute_s", Json.Number st.Dist_eval.compute_time);
+        ("requests", Json.Number (float_of_int st.Dist_eval.requests_sent));
+        ("retries", Json.Number (float_of_int st.Dist_eval.retries));
+        ("reassignments", Json.Number (float_of_int st.Dist_eval.reassignments));
+        ("workers_lost", Json.Number (float_of_int st.Dist_eval.workers_lost));
+        ("keyset_bytes", Json.Number (float_of_int st.Dist_eval.keyset_bytes));
+        ("bytes_to_workers", Json.Number (float_of_int st.Dist_eval.bytes_to_workers));
+        ("bytes_from_workers", Json.Number (float_of_int st.Dist_eval.bytes_from_workers));
+      ]
+    in
+    let json =
+      Json.Obj
+        [
+          ("workload", Json.String w.W.name);
+          ("params", Json.String "test");
+          ("bootstraps", Json.Number (float_of_int bootstraps));
+          ("depth", Json.Number (float_of_int sched.Levelize.depth));
+          ("sequential_wall_s", Json.Number seq_wall);
+          ("measured_gate_time_s", Json.Number measured_gate_time);
+          ( "runs",
+            Json.List
+              (List.map
+                 (fun (workers, st, exact, model) ->
+                   Json.Obj
+                     ([
+                        ("workers", Json.Number (float_of_int workers));
+                        ("bit_exact", Json.Bool exact);
+                        ( "modelled",
+                          Json.Obj
+                            [
+                              ("makespan_s", Json.Number model.Sched_cpu.makespan);
+                              ("dispatch_s", Json.Number model.Sched_cpu.dispatch_time);
+                              ("sync_s", Json.Number model.Sched_cpu.sync_time);
+                              ("compute_s", Json.Number model.Sched_cpu.compute_time);
+                            ] );
+                      ]
+                     @ split_json st))
+                 rows) );
+          ( "fault_run",
+            Json.Obj
+              ([ ("workers", Json.Number 3.0); ("bit_exact", Json.Bool fault_exact) ]
+              @ split_json fault_st) );
+        ]
+    in
+    let path = "BENCH_dist_eval.json" in
+    Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+    Format.printf "@.wrote %s@." path
+  end
+
 let all_experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("table4", table4); ("ablation", ablation);
-    ("params", params_explorer); ("micro", micro); ("par", par);
+    ("params", params_explorer); ("micro", micro); ("par", par); ("dist", dist);
   ]
 
 let () =
+  (* In a process spawned by Dist_eval this serves gates and never returns. *)
+  Dist_eval.worker_entry ();
   let args = List.tl (Array.to_list Sys.argv) in
   quick := List.mem "--quick" args;
   smoke := List.mem "--smoke" args;

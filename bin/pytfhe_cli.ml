@@ -123,8 +123,9 @@ let estimate_cmd =
     Term.(const run $ workload_arg $ backends)
 
 let run_cmd =
-  let run w seed encrypted workers =
+  let run w seed encrypted workers dist_workers =
     if workers < 1 then failwith "--workers must be >= 1";
+    if dist_workers < 0 then failwith "--dist-workers must be >= 1";
     let rng = Pytfhe_util.Rng.create ~seed () in
     if encrypted then begin
       if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
@@ -134,10 +135,26 @@ let run_cmd =
       let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
       let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
       let cts = Client.encrypt_bits client ins in
-      Format.printf "evaluating %d gates homomorphically on %d domain%s...@."
-        compiled.Pipeline.stats.Stats.gates workers (if workers = 1 then "" else "s");
+      if dist_workers > 0 then
+        Format.printf "evaluating %d gates homomorphically on %d worker process%s...@."
+          compiled.Pipeline.stats.Stats.gates dist_workers (if dist_workers = 1 then "" else "es")
+      else
+        Format.printf "evaluating %d gates homomorphically on %d domain%s...@."
+          compiled.Pipeline.stats.Stats.gates workers (if workers = 1 then "" else "s");
       let outs, bootstraps, wall, extra =
-        if workers = 1 then begin
+        if dist_workers > 0 then begin
+          let outs, stats = Server.evaluate_distributed ~workers:dist_workers cloud compiled cts in
+          ( outs,
+            stats.Pytfhe_backend.Dist_eval.bootstraps_executed,
+            stats.Pytfhe_backend.Dist_eval.wall_time,
+            Format.asprintf ", %d requests, %d B out / %d B in, %d worker%s lost"
+              stats.Pytfhe_backend.Dist_eval.requests_sent
+              stats.Pytfhe_backend.Dist_eval.bytes_to_workers
+              stats.Pytfhe_backend.Dist_eval.bytes_from_workers
+              stats.Pytfhe_backend.Dist_eval.workers_lost
+              (if stats.Pytfhe_backend.Dist_eval.workers_lost = 1 then "" else "s") )
+        end
+        else if workers = 1 then begin
           let outs, stats = Server.evaluate cloud compiled cts in
           ( outs,
             stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed,
@@ -176,8 +193,13 @@ let run_cmd =
     Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
            ~doc:"Evaluate on $(docv) OCaml domains (with --encrypted; 1 = the sequential reference executor).")
   in
+  let dist_workers =
+    Arg.(value & opt int 0 & info [ "dist-workers" ] ~docv:"N"
+           ~doc:"Evaluate on $(docv) worker OS processes (with --encrypted; overrides --workers). \
+                 Gate shards and ciphertexts travel over real socketpairs, as in the paper's Ray cluster.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
-    Term.(const run $ workload_arg $ seed $ encrypted $ workers)
+    Term.(const run $ workload_arg $ seed $ encrypted $ workers $ dist_workers)
 
 let verilog_cmd =
   let run w out =
@@ -384,6 +406,8 @@ let decrypt_cmd =
   Cmd.v (Cmd.info "decrypt" ~doc:"Decrypt a ciphertext bundle with the secret key") Term.(const run $ secret $ input)
 
 let () =
+  (* In a process spawned by Dist_eval this serves gates and never returns. *)
+  Pytfhe_backend.Dist_eval.worker_entry ();
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "pytfhe" ~version:"1.0.0" ~doc:"End-to-end TFHE compilation and execution framework" in
   exit

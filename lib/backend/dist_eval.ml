@@ -1,0 +1,723 @@
+(* Real multi-process distributed evaluation of TFHE netlists.
+
+   Where Sched_cpu *prices* the paper's Ray cluster (§IV-D, Fig. 10) through
+   a cost model, this executor actually crosses the process boundary: it
+   spawns N worker processes, ships the cloud keyset once at startup, and
+   then drives the levelized wave schedule by sending each worker a shard
+   of every wave's bootstrapped gates — input ciphertexts serialized
+   through Wire inside length-prefixed frames over Unix socketpairs — and
+   collecting the result ciphertexts at a wave barrier.
+
+   Workers are spawned by re-executing the host binary (create_process /
+   posix_spawn) with PYTFHE_DIST_WORKER set, not by Unix.fork: the OCaml 5
+   runtime permanently forbids fork in any process that has ever created a
+   domain, and Par_eval creates domains.  Host executables opt in by
+   calling [worker_entry] before anything else in main; a spawned worker
+   then serves the gate protocol on its stdin socket and never returns.
+   The DRDY handshake below turns a host that forgot the hook into a
+   prompt, explicit startup failure instead of a recursive process tree.
+
+   The coordinator is built to survive its workers, not just to use them:
+
+   - every outstanding request has a deadline; expiry triggers a bounded
+     number of backoff extensions (a slow worker gets more time) before the
+     worker is declared lost, SIGKILLed and its shard reassigned;
+   - while waiting, the coordinator heartbeats worker processes with
+     waitpid(WNOHANG), so a crashed worker is detected without waiting for
+     the request timeout;
+   - a reply that fails to parse (Wire.Corrupt, truncated payload, wrong
+     arity) is counted, and the request is re-sent — corruption never
+     propagates into the value table and never kills the coordinator;
+   - loss of a worker degrades capacity gracefully: survivors absorb the
+     shard, down to a single worker.  Only losing *every* worker raises.
+
+   Because each gate runs the identical torus operation sequence as
+   Tfhe_eval.apply_gate — only in another address space, with the operands
+   round-tripped through the exact 32-bit wire encoding — the output
+   ciphertexts are bit-exact with Tfhe_eval.run for any worker count and
+   any fault pattern the executor survives. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+module Levelize = Pytfhe_circuit.Levelize
+module Wire = Pytfhe_util.Wire
+open Pytfhe_tfhe
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fault_action =
+  | Crash
+  | Stall of float
+  | Flip_reply
+  | Truncate_reply
+
+type fault = { victim : int; after_requests : int; action : fault_action }
+
+let write_fault buf f =
+  Wire.write_i64 buf f.victim;
+  Wire.write_i64 buf f.after_requests;
+  match f.action with
+  | Crash -> Wire.write_u8 buf 0
+  | Stall s ->
+    Wire.write_u8 buf 1;
+    Wire.write_f64 buf s
+  | Flip_reply -> Wire.write_u8 buf 2
+  | Truncate_reply -> Wire.write_u8 buf 3
+
+let read_fault r =
+  let victim = Wire.read_i64 r in
+  let after_requests = Wire.read_i64 r in
+  let action =
+    match Wire.read_u8 r with
+    | 0 -> Crash
+    | 1 -> Stall (Wire.read_f64 r)
+    | 2 -> Flip_reply
+    | 3 -> Truncate_reply
+    | v -> raise (Wire.Corrupt (Printf.sprintf "Dist_eval: unknown fault action %d" v))
+  in
+  { victim; after_requests; action }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and stats                                             *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;
+  request_timeout : float;
+  max_retries : int;
+  backoff : float;
+  heartbeat_interval : float;
+  faults : fault list;
+}
+
+let config ?(request_timeout = 60.0) ?(max_retries = 2) ?(backoff = 2.0)
+    ?(heartbeat_interval = 0.25) ?(faults = []) workers =
+  if workers < 1 then invalid_arg "Dist_eval.config: workers must be >= 1";
+  if request_timeout <= 0.0 then invalid_arg "Dist_eval.config: request_timeout must be > 0";
+  if max_retries < 0 then invalid_arg "Dist_eval.config: max_retries must be >= 0";
+  if backoff < 1.0 then invalid_arg "Dist_eval.config: backoff must be >= 1";
+  { workers; request_timeout; max_retries; backoff; heartbeat_interval; faults }
+
+type stats = {
+  workers_started : int;
+  workers_lost : int;
+  bootstraps_executed : int;
+  nots_executed : int;
+  requests_sent : int;
+  retries : int;
+  reassignments : int;
+  corrupt_frames : int;
+  keyset_bytes : int;
+  bytes_to_workers : int;
+  bytes_from_workers : int;
+  startup_time : float;
+  dispatch_time : float;
+  transfer_time : float;
+  compute_time : float;
+  wave_wall : float array;
+  wall_time : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Framing: 4-byte magic + 8-byte LE length + payload                  *)
+(* ------------------------------------------------------------------ *)
+
+let frame_magic = "PTFD"
+let max_frame = 1 lsl 30
+
+exception Frame_closed
+exception Frame_timeout
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise Frame_closed
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+(* Read exactly [len] bytes, or raise: [Frame_timeout] once [deadline]
+   passes (the peer stalled mid-frame), [Frame_closed] on EOF (the peer
+   died mid-frame).  [deadline = infinity] blocks indefinitely. *)
+let read_exact ~deadline fd bytes off len =
+  let off = ref off and remaining = ref len in
+  while !remaining > 0 do
+    let ready =
+      if deadline = infinity then true
+      else begin
+        let now = Unix.gettimeofday () in
+        if now >= deadline then raise Frame_timeout;
+        match Unix.select [ fd ] [] [] (Float.min (deadline -. now) 0.5) with
+        | [], _, _ -> false
+        | _ -> true
+      end
+    in
+    if ready then begin
+      let n =
+        try Unix.read fd bytes !off !remaining with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+        | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+      in
+      if n = 0 then raise Frame_closed;
+      if n > 0 then begin
+        off := !off + n;
+        remaining := !remaining - n
+      end
+    end
+  done
+
+let write_frame fd payload =
+  let len = Bytes.length payload in
+  let header = Bytes.create 12 in
+  Bytes.blit_string frame_magic 0 header 0 4;
+  Bytes.set_int64_le header 4 (Int64.of_int len);
+  write_all fd header 0 12;
+  write_all fd payload 0 len;
+  12 + len
+
+let read_frame ?(deadline = infinity) fd =
+  let header = Bytes.create 12 in
+  read_exact ~deadline fd header 0 12;
+  if Bytes.sub_string header 0 4 <> frame_magic then
+    raise (Wire.Corrupt "Dist_eval: bad frame magic");
+  let len = Int64.to_int (Bytes.get_int64_le header 4) in
+  if len < 0 || len > max_frame then
+    raise (Wire.Corrupt (Printf.sprintf "Dist_eval: implausible frame length %d" len));
+  let payload = Bytes.create len in
+  read_exact ~deadline fd payload 0 len;
+  Bytes.unsafe_to_string payload
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The worker is a stateless gate server: after the hello frame (identity,
+   fault schedule, cloud keyset) it answers DREQ frames — each a batch of
+   (gate, input ciphertext, input ciphertext) triples — with DREP frames
+   carrying the result ciphertexts plus the measured compute seconds.  All
+   exits go through Unix._exit: the child must never run the parent's
+   at_exit handlers or flush its inherited stdio buffers. *)
+let worker_main fd =
+  let hello = read_frame fd in
+  let r = Wire.reader_of_string hello in
+  Wire.read_magic r "DHEL";
+  let _index = Wire.read_i64 r in
+  let faults = Array.to_list (Wire.read_array r read_fault) in
+  let ck = Gates.read_cloud_keyset r in
+  let ctx = Gates.context ck in
+  (* ready: the keyset is parsed and the gate context built.  Also the
+     coordinator's proof that the spawned binary really is a worker. *)
+  let rdy = Buffer.create 8 in
+  Wire.write_magic rdy "DRDY";
+  ignore (write_frame fd (Buffer.to_bytes rdy));
+  let served = ref 0 in
+  let rec loop () =
+    let payload = read_frame fd in
+    if String.length payload < 4 then Unix._exit 4;
+    (match String.sub payload 0 4 with
+    | "DBYE" -> Unix._exit 0
+    | "DREQ" ->
+      let r = Wire.reader_of_string payload in
+      Wire.read_magic r "DREQ";
+      let req_id = Wire.read_i64 r in
+      incr served;
+      let due = List.filter (fun f -> f.after_requests = !served) faults in
+      if List.exists (fun f -> f.action = Crash) due then
+        (* a genuine SIGKILL mid-wave: the request dies with us *)
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+      List.iter (fun f -> match f.action with Stall s -> Unix.sleepf s | _ -> ()) due;
+      let gates =
+        Wire.read_array r (fun r ->
+            let code = Wire.read_u8 r in
+            let a = Lwe.read_sample r in
+            let b = Lwe.read_sample r in
+            (code, a, b))
+      in
+      let t0 = Unix.gettimeofday () in
+      let results =
+        Array.map
+          (fun (code, a, b) ->
+            match Gate.of_code code with
+            | Some g -> Tfhe_eval.apply_gate ctx g a b
+            | None -> raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
+          gates
+      in
+      let compute = Unix.gettimeofday () -. t0 in
+      let buf = Buffer.create 4096 in
+      Wire.write_magic buf "DREP";
+      Wire.write_i64 buf req_id;
+      Wire.write_f64 buf compute;
+      Wire.write_array buf Lwe.write_sample results;
+      let reply = Buffer.to_bytes buf in
+      if List.exists (fun f -> f.action = Flip_reply) due then begin
+        (* Framing stays intact; the payload magic is flipped, so the
+           coordinator's parser must reject the frame and re-request. *)
+        Bytes.set reply 0 (Char.chr (Char.code (Bytes.get reply 0) lxor 0x20));
+        ignore (write_frame fd reply)
+      end
+      else if List.exists (fun f -> f.action = Truncate_reply) due then begin
+        (* Announce the full frame, deliver half of it, and die: the
+           coordinator sees EOF mid-frame, never a hang. *)
+        let len = Bytes.length reply in
+        let header = Bytes.create 12 in
+        Bytes.blit_string frame_magic 0 header 0 4;
+        Bytes.set_int64_le header 4 (Int64.of_int len);
+        write_all fd header 0 12;
+        write_all fd reply 0 (len / 2);
+        Unix._exit 3
+      end
+      else ignore (write_frame fd reply)
+    | _ -> Unix._exit 4);
+    loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  w_index : int;
+  pid : int;
+  fd : Unix.file_descr;
+  mutable alive : bool;
+  mutable reaped : bool;
+}
+
+type shard = {
+  gates : Netlist.id array;
+  mutable owner : worker;
+  mutable req_id : int;
+  mutable deadline : float;
+  mutable attempts : int;
+  mutable sent_at : float;
+}
+
+type state = {
+  cfg : config;
+  net : Netlist.t;
+  values : Lwe.sample option array;
+  members : worker array;
+  mutable next_req : int;
+  (* counters *)
+  mutable requests_sent : int;
+  mutable retries : int;
+  mutable reassignments : int;
+  mutable corrupt_frames : int;
+  mutable lost : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable t_dispatch : float;
+  mutable t_transfer : float;
+  mutable t_compute : float;
+}
+
+let live_workers st = Array.to_list st.members |> List.filter (fun w -> w.alive)
+
+let reap w =
+  if not w.reaped then begin
+    (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+    w.reaped <- true
+  end
+
+let kill_worker w =
+  if w.alive then begin
+    w.alive <- false;
+    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try Unix.close w.fd with Unix.Unix_error _ -> ());
+    reap w
+  end
+
+(* waitpid(WNOHANG) heartbeat: true iff the process is still running. *)
+let process_running w =
+  if not w.alive || w.reaped then false
+  else
+    match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+    | 0, _ -> true
+    | _ -> w.reaped <- true; false
+    | exception Unix.Unix_error _ -> w.reaped <- true; false
+
+let worker_env_var = "PYTFHE_DIST_WORKER"
+
+(* Host executables call this before anything else in main.  In a spawned
+   worker it serves the gate protocol on the stdin socket and exits; in
+   every other process it is a no-op. *)
+let worker_entry () =
+  match Sys.getenv_opt worker_env_var with
+  | Some "1" ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* All exits go through Unix._exit: a worker must never run the host
+       program's at_exit handlers or flush inherited stdio buffers. *)
+    (try worker_main Unix.stdin with
+    | Frame_closed -> Unix._exit 0 (* coordinator hung up: normal shutdown *)
+    | _ -> Unix._exit 2)
+  | Some _ | None -> ()
+
+(* Re-exec the host binary with the worker marker set; the worker side of
+   the socketpair becomes the child's stdin (sockets are bidirectional, so
+   it carries replies too).  Stdout maps to our stderr so a stray print in
+   the child can never corrupt the protocol stream.  The coordinator side
+   is close-on-exec, so later spawns don't inherit it and EOF detection on
+   a dead worker's socket stays crisp. *)
+let spawn_worker ~index =
+  let coord_fd, worker_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec coord_fd;
+  let env = Array.append (Unix.environment ()) [| worker_env_var ^ "=1" |] in
+  let exe = Sys.executable_name in
+  let pid = Unix.create_process_env exe [| exe |] env worker_fd Unix.stderr Unix.stderr in
+  Unix.close worker_fd;
+  { w_index = index; pid; fd = coord_fd; alive = true; reaped = false }
+
+let hello_bytes ~index ~faults ~keyset_blob =
+  let buf = Buffer.create (String.length keyset_blob + 256) in
+  Wire.write_magic buf "DHEL";
+  Wire.write_i64 buf index;
+  Wire.write_array buf write_fault (Array.of_list faults);
+  Buffer.add_string buf keyset_blob;
+  Buffer.to_bytes buf
+
+(* Serialize and send one shard request; accounts dispatch time/bytes. *)
+let send_shard st sh =
+  let w = sh.owner in
+  let t0 = Unix.gettimeofday () in
+  st.next_req <- st.next_req + 1;
+  sh.req_id <- st.next_req;
+  let buf = Buffer.create 4096 in
+  Wire.write_magic buf "DREQ";
+  Wire.write_i64 buf sh.req_id;
+  Wire.write_array buf
+    (fun buf id ->
+      match Netlist.kind st.net id with
+      | Netlist.Gate (g, a, b) ->
+        Wire.write_u8 buf (Gate.to_code g);
+        Lwe.write_sample buf (Option.get st.values.(a));
+        Lwe.write_sample buf (Option.get st.values.(b))
+      | Netlist.Input _ | Netlist.Const _ -> assert false)
+    sh.gates;
+  let n = write_frame w.fd (Buffer.to_bytes buf) in
+  let now = Unix.gettimeofday () in
+  st.bytes_out <- st.bytes_out + n;
+  st.t_dispatch <- st.t_dispatch +. (now -. t0);
+  st.requests_sent <- st.requests_sent + 1;
+  sh.sent_at <- now;
+  sh.deadline <- now +. st.cfg.request_timeout
+
+exception All_workers_lost
+
+(* The shard's owner is gone: push the work onto the least-loaded
+   survivor.  Raises All_workers_lost when nobody is left. *)
+let rec reassign st pending sh =
+  let load w = List.length (List.filter (fun q -> q.owner == w) !pending) in
+  match live_workers st with
+  | [] -> raise All_workers_lost
+  | w0 :: rest ->
+    let target =
+      List.fold_left (fun best w -> if load w < load best then w else best) w0 rest
+    in
+    sh.owner <- target;
+    sh.attempts <- 0;
+    st.reassignments <- st.reassignments + 1;
+    (try send_shard st sh
+     with Frame_closed ->
+       st.lost <- st.lost + 1;
+       kill_worker target;
+       (* the pool shrank under us: try the next survivor *)
+       reassign st pending sh)
+
+let declare_lost st pending w =
+  if w.alive then begin
+    st.lost <- st.lost + 1;
+    kill_worker w
+  end;
+  let orphans = List.filter (fun q -> q.owner == w) !pending in
+  List.iter (fun sh -> reassign st pending sh) orphans
+
+(* Deadline expiry: a dead owner is replaced immediately; a live owner is
+   granted [max_retries] backoff extensions (it may merely be slow) before
+   being declared lost. *)
+let on_timeout st pending sh =
+  let w = sh.owner in
+  if not (process_running w) then declare_lost st pending w
+  else if sh.attempts < st.cfg.max_retries then begin
+    sh.attempts <- sh.attempts + 1;
+    st.retries <- st.retries + 1;
+    sh.deadline <-
+      Unix.gettimeofday () +. (st.cfg.request_timeout *. (st.cfg.backoff ** float_of_int sh.attempts))
+  end
+  else declare_lost st pending w
+
+(* A reply arrived on [w.fd].  Parse defensively: any Wire.Corrupt /
+   truncation / arity mismatch re-requests the shard instead of poisoning
+   the value table. *)
+let on_ready st pending w =
+  let resend_corrupt sh =
+    st.corrupt_frames <- st.corrupt_frames + 1;
+    if sh.attempts < st.cfg.max_retries then begin
+      sh.attempts <- sh.attempts + 1;
+      st.retries <- st.retries + 1;
+      try send_shard st sh
+      with Frame_closed -> declare_lost st pending w
+    end
+    else declare_lost st pending w
+  in
+  match
+    let deadline = Unix.gettimeofday () +. st.cfg.request_timeout in
+    let payload = read_frame ~deadline w.fd in
+    st.bytes_in <- st.bytes_in + String.length payload + 12;
+    let r = Wire.reader_of_string payload in
+    Wire.read_magic r "DREP";
+    let req_id = Wire.read_i64 r in
+    let compute = Wire.read_f64 r in
+    let samples = Wire.read_array r Lwe.read_sample in
+    (req_id, compute, samples)
+  with
+  | exception Frame_closed -> declare_lost st pending w
+  | exception Frame_timeout -> declare_lost st pending w
+  | exception Wire.Corrupt _ ->
+    (match List.find_opt (fun q -> q.owner == w) !pending with
+    | Some sh -> resend_corrupt sh
+    | None -> declare_lost st pending w)
+  | req_id, compute, samples -> (
+    match List.find_opt (fun q -> q.owner == w && q.req_id = req_id) !pending with
+    | None -> () (* stale reply from a superseded request: drop *)
+    | Some sh ->
+      if Array.length samples <> Array.length sh.gates then resend_corrupt sh
+      else begin
+        Array.iteri (fun i id -> st.values.(id) <- Some samples.(i)) sh.gates;
+        let now = Unix.gettimeofday () in
+        st.t_compute <- st.t_compute +. compute;
+        st.t_transfer <- st.t_transfer +. Float.max 0.0 (now -. sh.sent_at -. compute);
+        pending := List.filter (fun q -> q != sh) !pending
+      end)
+
+let shards_of gates k =
+  let width = Array.length gates in
+  let k = max 1 (min k width) in
+  Array.init k (fun d ->
+      let lo = d * width / k and hi = (d + 1) * width / k in
+      Array.sub gates lo (hi - lo))
+
+let eval_wave st wave_gates =
+  if Array.length wave_gates > 0 then begin
+    let live = live_workers st in
+    if live = [] then raise All_workers_lost;
+    let chunks = shards_of wave_gates (List.length live) in
+    let owners = Array.of_list live in
+    let pending = ref [] in
+    Array.iteri
+      (fun d gates ->
+        let sh =
+          { gates; owner = owners.(d); req_id = 0; deadline = infinity; attempts = 0;
+            sent_at = 0.0 }
+        in
+        pending := sh :: !pending)
+      chunks;
+    (* Initial sends, tolerating workers that died since the last wave.
+       declare_lost may already have re-sent a shard through reassignment,
+       so only shards still carrying req_id = 0 go out here. *)
+    List.iter
+      (fun sh ->
+        if sh.req_id = 0 then
+          try send_shard st sh
+          with Frame_closed -> declare_lost st pending sh.owner)
+      !pending;
+    while !pending <> [] do
+      let now = Unix.gettimeofday () in
+      List.iter (fun sh -> if now >= sh.deadline then on_timeout st pending sh) !pending;
+      if !pending <> [] then begin
+        let fds =
+          List.sort_uniq compare (List.map (fun sh -> sh.owner.fd) !pending)
+        in
+        let next_deadline =
+          List.fold_left (fun acc sh -> Float.min acc sh.deadline) infinity !pending
+        in
+        let tmo =
+          Float.max 0.005
+            (Float.min st.cfg.heartbeat_interval (next_deadline -. Unix.gettimeofday ()))
+        in
+        match Unix.select fds [] [] tmo with
+        | [], _, _ ->
+          (* heartbeat: catch crashed workers early, before their deadline *)
+          List.iter
+            (fun sh ->
+              if sh.owner.alive && not (process_running sh.owner) then
+                declare_lost st pending sh.owner)
+            !pending
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun sh -> sh.owner.fd = fd && sh.owner.alive) !pending with
+              | Some sh -> on_ready st pending sh.owner
+              | None -> ())
+            ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* a descriptor died under select: sweep for dead owners *)
+          List.iter
+            (fun sh ->
+              if sh.owner.alive && not (process_running sh.owner) then
+                declare_lost st pending sh.owner)
+            !pending
+      end
+    done
+  end
+
+let shutdown members =
+  Array.iter
+    (fun w ->
+      if w.alive then begin
+        let bye = Buffer.create 8 in
+        Wire.write_magic bye "DBYE";
+        (try ignore (write_frame w.fd (Buffer.to_bytes bye)) with _ -> ());
+        (try Unix.close w.fd with Unix.Unix_error _ -> ());
+        w.alive <- false;
+        (* DBYE exits promptly; SIGKILL covers a worker wedged in a fault *)
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        reap w
+      end
+      else reap w)
+    members
+
+let run cfg cloud net inputs =
+  let input_list = Netlist.inputs net in
+  if Array.length inputs <> List.length input_list then
+    invalid_arg "Dist_eval.run: input arity mismatch";
+  let start = Unix.gettimeofday () in
+  let previous_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let restore_sigpipe () =
+    match previous_sigpipe with
+    | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  (* Ship the keyset once: serialize it up front, reuse the blob per worker. *)
+  let keyset_blob =
+    let buf = Buffer.create (1 lsl 20) in
+    Gates.write_cloud_keyset buf cloud;
+    Buffer.contents buf
+  in
+  let members = Array.init cfg.workers (fun i -> spawn_worker ~index:i) in
+  let st =
+    {
+      cfg;
+      net;
+      values = Array.make (Netlist.node_count net) None;
+      members;
+      next_req = 0;
+      requests_sent = 0;
+      retries = 0;
+      reassignments = 0;
+      corrupt_frames = 0;
+      lost = 0;
+      bytes_out = 0;
+      bytes_in = 0;
+      t_dispatch = 0.0;
+      t_transfer = 0.0;
+      t_compute = 0.0;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown members;
+      restore_sigpipe ())
+    (fun () ->
+      (* hello: worker identity + fault schedule + the cloud keyset *)
+      Array.iter
+        (fun w ->
+          let faults = List.filter (fun f -> f.victim = w.w_index) cfg.faults in
+          let hello = hello_bytes ~index:w.w_index ~faults ~keyset_blob in
+          try
+            let n = write_frame w.fd hello in
+            st.bytes_out <- st.bytes_out + n
+          with Frame_closed ->
+            st.lost <- st.lost + 1;
+            kill_worker w)
+        members;
+      (* DRDY barrier: every worker parses the keyset (in parallel) and
+         acknowledges.  A spawned binary that is not actually a worker —
+         the host forgot to call [worker_entry] — answers with garbage or
+         silence and is culled here, before any gate is risked on it. *)
+      let ready_deadline = Unix.gettimeofday () +. Float.max 60.0 cfg.request_timeout in
+      Array.iter
+        (fun w ->
+          if w.alive then
+          match read_frame ~deadline:ready_deadline w.fd with
+          | payload when String.length payload >= 4 && String.sub payload 0 4 = "DRDY" ->
+            st.bytes_in <- st.bytes_in + String.length payload + 12
+          | _ | (exception Frame_closed) | (exception Frame_timeout)
+          | (exception Wire.Corrupt _) ->
+            st.lost <- st.lost + 1;
+            kill_worker w)
+        members;
+      if live_workers st = [] then
+        failwith
+          "Dist_eval.run: no worker came up — does the host executable call \
+           Dist_eval.worker_entry at the start of main?";
+      let startup_time = Unix.gettimeofday () -. start in
+      List.iteri (fun i (_, id) -> st.values.(id) <- Some inputs.(i)) input_list;
+      for id = 0 to Netlist.node_count net - 1 do
+        match Netlist.kind net id with
+        | Netlist.Const b -> st.values.(id) <- Some (Gates.constant cloud b)
+        | Netlist.Input _ | Netlist.Gate _ -> ()
+      done;
+      let sched = Levelize.run net in
+      let waves = Levelize.waves sched net in
+      let wave_wall = Array.make (Array.length waves) 0.0 in
+      let bootstraps = ref 0 and nots = ref 0 in
+      (try
+         Array.iteri
+           (fun i wave ->
+             let t0 = Unix.gettimeofday () in
+             eval_wave st wave.Levelize.parallel;
+             bootstraps := !bootstraps + Array.length wave.Levelize.parallel;
+             Array.iter
+               (fun id ->
+                 match Netlist.kind net id with
+                 | Netlist.Gate (g, a, _) when Gate.is_unary g ->
+                   st.values.(id) <- Some (Lwe.neg (Option.get st.values.(a)));
+                   incr nots
+                 | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
+               wave.Levelize.inline;
+             wave_wall.(i) <- Unix.gettimeofday () -. t0)
+           waves
+       with All_workers_lost ->
+         failwith "Dist_eval.run: all workers lost (crashed or unresponsive)");
+      let outputs =
+        Netlist.outputs net
+        |> List.map (fun (_, id) -> Option.get st.values.(id))
+        |> Array.of_list
+      in
+      ( outputs,
+        {
+          workers_started = cfg.workers;
+          workers_lost = st.lost;
+          bootstraps_executed = !bootstraps;
+          nots_executed = !nots;
+          requests_sent = st.requests_sent;
+          retries = st.retries;
+          reassignments = st.reassignments;
+          corrupt_frames = st.corrupt_frames;
+          keyset_bytes = String.length keyset_blob;
+          bytes_to_workers = st.bytes_out;
+          bytes_from_workers = st.bytes_in;
+          startup_time;
+          dispatch_time = st.t_dispatch;
+          transfer_time = st.t_transfer;
+          compute_time = st.t_compute;
+          wave_wall;
+          wall_time = Unix.gettimeofday () -. start;
+        } ))
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "workers=%d (%d lost) bootstraps=%d nots=%d requests=%d retries=%d reassignments=%d \
+     corrupt=%d wall=%.3fs dispatch=%.3fs transfer=%.3fs compute=%.3fs sent=%dB recv=%dB"
+    s.workers_started s.workers_lost s.bootstraps_executed s.nots_executed s.requests_sent
+    s.retries s.reassignments s.corrupt_frames s.wall_time s.dispatch_time s.transfer_time
+    s.compute_time s.bytes_to_workers s.bytes_from_workers

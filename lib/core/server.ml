@@ -17,6 +17,10 @@ let evaluate cloud compiled inputs = Tfhe_eval.run cloud compiled.Pipeline.netli
 let evaluate_parallel ?workers cloud compiled inputs =
   Par_eval.run ?workers cloud compiled.Pipeline.netlist inputs
 
+let evaluate_distributed ?(workers = 2) ?config cloud compiled inputs =
+  let cfg = match config with Some c -> c | None -> Dist_eval.config workers in
+  Dist_eval.run cfg cloud compiled.Pipeline.netlist inputs
+
 let estimate ?(cost = Cost_model.paper_cpu) backend compiled =
   let sched = compiled.Pipeline.schedule in
   match backend with

@@ -26,6 +26,17 @@ val evaluate_parallel :
     ({!Pytfhe_backend.Par_eval}).  Bit-exact with {!evaluate}; default
     worker count is [Domain.recommended_domain_count ()]. *)
 
+val evaluate_distributed :
+  ?workers:int ->
+  ?config:Pytfhe_backend.Dist_eval.config ->
+  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Dist_eval.stats
+(** Like {!evaluate}, but sharded across real worker OS processes
+    ({!Pytfhe_backend.Dist_eval}).  Bit-exact with {!evaluate}; [workers]
+    defaults to 2 and is ignored when [config] is given.  The calling
+    executable must invoke {!Pytfhe_backend.Dist_eval.worker_entry} at the
+    start of main. *)
+
 val estimate :
   ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
 (** Simulated wall-clock seconds for the program on the given backend

@@ -1,0 +1,60 @@
+(* Shared circuit generators for the test suite.
+
+   The differential suites (cross-backend, par-eval) all need the same
+   three DAG shapes: a wide embarrassingly-parallel layer stack, a serial
+   chain, and a seeded random DAG drawing from the full 11-gate cell
+   library.  Construction-time optimizations are disabled so the generated
+   structure (and therefore the wave schedule) is exactly what the seed
+   dictates. *)
+
+module Netlist = Pytfhe_circuit.Netlist
+module Gate = Pytfhe_circuit.Gate
+module Rng = Pytfhe_util.Rng
+
+(* [width] parallel gates per level for [depth] levels over [width + 1]
+   inputs; every level is one full wave. *)
+let wide ~width ~depth =
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let inputs = Array.init (width + 1) (fun i -> Netlist.input net (Printf.sprintf "i%d" i)) in
+  let layer = ref (Array.init width (fun i -> inputs.(i))) in
+  for _ = 1 to depth do
+    layer :=
+      Array.mapi (fun i x -> Netlist.gate net Gate.Xor x inputs.((i + 1) mod (width + 1))) !layer
+  done;
+  Array.iteri (fun i x -> Netlist.mark_output net (Printf.sprintf "o%d" i) x) !layer;
+  net
+
+(* A fully serial chain of [depth] bootstrapped gates: the worst case for
+   every parallel backend, and the shape noise-accumulation tests need. *)
+let chain ~depth =
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let rec go x n = if n = 0 then x else go (Netlist.gate net Gate.Xor x b) (n - 1) in
+  Netlist.mark_output net "o" (go a depth);
+  net
+
+(* Seeded random DAG: [inputs] primary inputs, one random constant, then
+   [gates] gates whose kinds and fan-ins are drawn uniformly (Not reuses
+   its single fan-in).  The [outputs] most recent nodes become primary
+   outputs, so deep nodes stay live. *)
+let random ?(inputs = 4) ?(gates = 10) ?(outputs = 3) ~seed () =
+  let rng = Rng.create ~seed () in
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let nodes = ref [] in
+  for i = 0 to inputs - 1 do
+    nodes := Netlist.input net (Printf.sprintf "i%d" i) :: !nodes
+  done;
+  nodes := Netlist.const net (Rng.bool rng) :: !nodes;
+  let pick () = List.nth !nodes (Rng.int rng (List.length !nodes)) in
+  let kinds = Array.of_list Gate.all in
+  for _ = 1 to gates do
+    let g = kinds.(Rng.int rng (Array.length kinds)) in
+    let a = pick () in
+    let b = if g = Gate.Not then a else pick () in
+    nodes := Netlist.gate net g a b :: !nodes
+  done;
+  List.iteri
+    (fun i id -> if i < outputs then Netlist.mark_output net (Printf.sprintf "o%d" i) id)
+    !nodes;
+  net

@@ -5,25 +5,10 @@ module Levelize = Pytfhe_circuit.Levelize
 module Binary = Pytfhe_circuit.Binary
 open Pytfhe_backend
 
-(* Synthetic DAG shapes for the scheduler models. *)
+(* Synthetic DAG shapes for the scheduler models (shared with test_dist). *)
 
-let wide_netlist ~width ~depth =
-  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
-  let inputs = Array.init (width + 1) (fun i -> Netlist.input net (Printf.sprintf "i%d" i)) in
-  let layer = ref (Array.init width (fun i -> inputs.(i))) in
-  for _ = 1 to depth do
-    layer := Array.mapi (fun i x -> Netlist.gate net Gate.Xor x inputs.((i + 1) mod (width + 1))) !layer
-  done;
-  Array.iteri (fun i x -> Netlist.mark_output net (Printf.sprintf "o%d" i) x) !layer;
-  net
-
-let chain_netlist ~depth =
-  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
-  let a = Netlist.input net "a" in
-  let b = Netlist.input net "b" in
-  let rec go x n = if n = 0 then x else go (Netlist.gate net Gate.Xor x b) (n - 1) in
-  Netlist.mark_output net "o" (go a depth);
-  net
+let wide_netlist = Gen_circuit.wide
+let chain_netlist = Gen_circuit.chain
 
 (* ------------------------------------------------------------------ *)
 (* Plain evaluation                                                    *)
@@ -265,13 +250,30 @@ let test_stream_exec_handles_constants () =
   Alcotest.(check (array bool)) "other polarity" [| true |]
     (Stream_exec.run_bits bytes [| false |])
 
+(* Raw 128-bit instructions with chosen (a, b, tag) fields — lets the
+   tests reach decoder paths [Binary.assemble] can never emit. *)
+let craft insts =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (a, b, tag) ->
+      let b64 = Int64.of_int b in
+      let lo = Int64.logor (Int64.shift_left b64 4) (Int64.of_int (tag land 0xF)) in
+      let hi =
+        Int64.logor (Int64.shift_left (Int64.of_int a) 2) (Int64.shift_right_logical b64 60)
+      in
+      Buffer.add_int64_le buf lo;
+      Buffer.add_int64_le buf hi)
+    insts;
+  Buffer.to_bytes buf
+
 let test_stream_exec_rejects_malformed () =
-  let reject label bytes =
+  let reject label ins bytes =
     Alcotest.(check bool) label true
-      (try ignore (Stream_exec.run_bits bytes [||]); false with Failure _ -> true)
+      (try ignore (Stream_exec.run_bits bytes ins); false with Failure _ -> true)
   in
-  reject "empty" (Bytes.create 0);
-  reject "truncated" (Bytes.create 8);
+  let reject0 label bytes = reject label [||] bytes in
+  reject0 "empty" (Bytes.create 0);
+  reject0 "truncated" (Bytes.create 8);
   (* valid instructions but no header first: craft by assembling then
      swapping the header with the first input *)
   let net = Netlist.create () in
@@ -281,7 +283,22 @@ let test_stream_exec_rejects_malformed () =
   let swapped = Bytes.copy bytes in
   Bytes.blit bytes 0 swapped 16 16;
   Bytes.blit bytes 16 swapped 0 16;
-  reject "header not first" swapped
+  reject "header not first" [| true |] swapped;
+  (* instruction stream cut mid-instruction: length no longer a multiple
+     of the 16-byte instruction size *)
+  reject "truncated mid-instruction" [| true |] (Bytes.sub bytes 0 (Bytes.length bytes - 8));
+  let all_ones = 0x3FFFFFFFFFFFFFFF in
+  (* tag 0xC is not a gate opcode (gates are 1-11) nor a declaration *)
+  reject0 "unknown instruction tag" (craft [ (0, 0, 0x0); (1, 2, 0xC) ]);
+  (* a gate whose fan-in points past every assigned index *)
+  reject "forward gate reference" [| true |]
+    (craft [ (0, 1, 0x0); (all_ones, 1, 0xF); (5, 1, 6) ]);
+  (* more gates than the header declared *)
+  reject "gate count overflow" [| true |]
+    (craft [ (0, 0, 0x0); (all_ones, 1, 0xF); (1, 1, 6) ]);
+  (* duplicate header mid-stream *)
+  reject "duplicate header" [| true |]
+    (craft [ (0, 1, 0x0); (all_ones, 1, 0xF); (0, 1, 0x0); (1, 1, 6) ])
 
 (* ------------------------------------------------------------------ *)
 (* Real encrypted execution                                            *)
@@ -345,29 +362,7 @@ let test_tfhe_eval_with_constants_and_not () =
 (* Parallel encrypted execution (Par_eval)                             *)
 (* ------------------------------------------------------------------ *)
 
-let random_netlist seed =
-  let rng = Rng.create ~seed () in
-  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
-  let nodes = ref [] in
-  for i = 0 to 3 do
-    nodes := Netlist.input net (Printf.sprintf "i%d" i) :: !nodes
-  done;
-  nodes := Netlist.const net (Rng.bool rng) :: !nodes;
-  let pick () = List.nth !nodes (Rng.int rng (List.length !nodes)) in
-  let kinds = Array.of_list Gate.all in
-  for _ = 1 to 10 do
-    let g = kinds.(Rng.int rng (Array.length kinds)) in
-    let a = pick () in
-    let b = if g = Gate.Not then a else pick () in
-    nodes := Netlist.gate net g a b :: !nodes
-  done;
-  (match !nodes with
-  | o1 :: o2 :: o3 :: _ ->
-    Netlist.mark_output net "o1" o1;
-    Netlist.mark_output net "o2" o2;
-    Netlist.mark_output net "o3" o3
-  | _ -> assert false);
-  net
+let random_netlist seed = Gen_circuit.random ~seed ()
 
 let test_par_eval_matches_sequential =
   QCheck.Test.make ~name:"par_eval 1/2/4 workers bit-exact with tfhe_eval and plain_eval"

@@ -136,6 +136,21 @@ let test_end_to_end_encrypted_add () =
     [ (3, 4); (9, 9); (15, 1) ]
 
 
+let test_evaluate_distributed_matches_sequential () =
+  let client, cloud = Lazy.force client_keys in
+  let net = Netlist.create () in
+  let a = Pytfhe_hdl.Bus.input net "a" 3 in
+  let b = Pytfhe_hdl.Bus.input net "b" 3 in
+  Pytfhe_hdl.Bus.output net "s" (Pytfhe_hdl.Arith.add net a b);
+  let compiled = Pipeline.compile ~name:"add3" net in
+  let cts = Client.encrypt_bits client [| true; false; true; false; true; false |] in
+  let seq_out, _ = Server.evaluate cloud compiled cts in
+  let outs, stats = Server.evaluate_distributed ~workers:2 cloud compiled cts in
+  Alcotest.(check bool) "bit-exact with sequential server path" true (outs = seq_out);
+  Alcotest.(check int) "two worker processes" 2 stats.Pytfhe_backend.Dist_eval.workers_started;
+  Alcotest.(check (array bool)) "decrypts to 5+2=7 (LSB first)" [| true; true; true |]
+    (Client.decrypt_bits client outs)
+
 let test_protocol_files () =
   (* The full CLI protocol through the library API: persist keys, encrypt
      to a file, evaluate from the files only, decrypt. *)
@@ -317,6 +332,10 @@ let test_frameworks_gate_count_ordering () =
   Alcotest.(check bool) "cingulata < e3" true (cin < e3);
   Alcotest.(check bool) "transpiler much larger" true (tr > 5 * py)
 
+(* Must run before anything else: in a spawned worker process this serves
+   the gate protocol and never returns. *)
+let () = Pytfhe_backend.Dist_eval.worker_entry ()
+
 let () =
   Alcotest.run "core"
     [
@@ -335,6 +354,8 @@ let () =
           Alcotest.test_case "typed value roundtrip" `Slow test_client_value_roundtrip;
           Alcotest.test_case "cloud key size" `Slow test_cloud_key_size_reported;
           Alcotest.test_case "end-to-end encrypted add" `Slow test_end_to_end_encrypted_add;
+          Alcotest.test_case "distributed server path" `Slow
+            test_evaluate_distributed_matches_sequential;
           Alcotest.test_case "protocol files" `Slow test_protocol_files;
           Alcotest.test_case "estimate ordering" `Quick test_server_estimates_ordering;
           Alcotest.test_case "backend names" `Quick test_backend_names;

@@ -1,0 +1,167 @@
+(* Differential and fault-injection tests for the multi-process executor.
+
+   The cross-backend suite is the repo's strongest correctness statement:
+   five executors with nothing in common above the gate kernel — plain
+   netlist walk, streamed binary, sequential encrypted, domain-parallel
+   encrypted, and multi-process encrypted — must agree bit-for-bit on
+   seeded random DAGs.  The fault suite then breaks the distributed one on
+   purpose (real SIGKILL, real truncated frames, real stalls) and checks
+   the coordinator recovers without losing bit-exactness. *)
+
+module Rng = Pytfhe_util.Rng
+module Netlist = Pytfhe_circuit.Netlist
+module Binary = Pytfhe_circuit.Binary
+module Gates = Pytfhe_tfhe.Gates
+open Pytfhe_backend
+
+let keys = lazy (Gates.key_gen (Rng.create ~seed:909 ()) Pytfhe_tfhe.Params.test)
+
+let random_bits rng n = Array.init n (fun _ -> Rng.bool rng)
+
+(* Sequential encrypted reference plus plaintext truth for [net]/[ins]. *)
+let reference ck net cts = fst (Tfhe_eval.run ck net cts)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend differential suite                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_backend =
+  QCheck.Test.make ~name:"cross-backend: plain/stream/tfhe/par/dist bit-exact, workers 1/2/4"
+    ~count:3
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let sk, ck = Lazy.force keys in
+      let net = Gen_circuit.random ~seed:(1 + s1) () in
+      let rng = Rng.create ~seed:(2000 + s2) () in
+      let ins = random_bits rng (Netlist.input_count net) in
+      let plain = Array.of_list (List.map snd (Plain_eval.run net ins)) in
+      let stream = Stream_exec.run_bits (Binary.assemble net) ins in
+      if stream <> plain then QCheck.Test.fail_report "stream_exec disagrees with plain_eval";
+      let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+      let seq_out = reference ck net cts in
+      if Array.map (Gates.decrypt_bit sk) seq_out <> plain then
+        QCheck.Test.fail_report "tfhe_eval disagrees with plain_eval";
+      List.for_all
+        (fun workers ->
+          let par_out, _ = Par_eval.run ~workers ck net cts in
+          let dist_out, st = Dist_eval.run (Dist_eval.config workers) ck net cts in
+          par_out = seq_out && dist_out = seq_out
+          && st.Dist_eval.workers_started = workers
+          && st.Dist_eval.workers_lost = 0)
+        [ 1; 2; 4 ])
+
+let test_dist_stats_and_validation () =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:4 ~depth:2 in
+  let rng = Rng.create ~seed:41 () in
+  let ins = random_bits rng 5 in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let seq_out, seq_stats = Tfhe_eval.run ck net cts in
+  let outs, st = Dist_eval.run (Dist_eval.config 2) ck net cts in
+  Alcotest.(check bool) "ciphertexts identical" true (outs = seq_out);
+  Alcotest.(check int) "bootstrap totals agree" seq_stats.Tfhe_eval.bootstraps_executed
+    st.Dist_eval.bootstraps_executed;
+  Alcotest.(check int) "two workers forked" 2 st.Dist_eval.workers_started;
+  Alcotest.(check bool) "at least one request per wave" true
+    (st.Dist_eval.requests_sent >= Array.length st.Dist_eval.wave_wall);
+  Alcotest.(check bool) "keyset shipped" true (st.Dist_eval.keyset_bytes > 0);
+  Alcotest.(check bool) "bytes flowed both ways" true
+    (st.Dist_eval.bytes_to_workers > 0 && st.Dist_eval.bytes_from_workers > 0);
+  Alcotest.(check bool) "worker compute time reported" true (st.Dist_eval.compute_time > 0.0);
+  Alcotest.(check bool) "rejects workers < 1" true
+    (try ignore (Dist_eval.config 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects input arity mismatch" true
+    (try ignore (Dist_eval.run (Dist_eval.config 2) ck net (Array.sub cts 0 2)); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every fault scenario runs the same circuit and demands the same
+   outputs as the sequential executor; only the stats differ. *)
+let run_with_faults ?request_timeout ?max_retries ?backoff ~workers faults =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:6 ~depth:3 in
+  let rng = Rng.create ~seed:42 () in
+  let ins = random_bits rng 7 in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let seq_out = reference ck net cts in
+  let cfg = Dist_eval.config ?request_timeout ?max_retries ?backoff ~faults workers in
+  let outs, st = Dist_eval.run cfg ck net cts in
+  Alcotest.(check bool) "outputs bit-exact despite fault" true (outs = seq_out);
+  st
+
+let test_fault_sigkill_mid_wave () =
+  (* Worker 1 SIGKILLs itself while holding its second shard; the shard
+     must be reassigned to a survivor and the run must stay bit-exact. *)
+  let st =
+    run_with_faults ~workers:3
+      [ { Dist_eval.victim = 1; after_requests = 2; action = Dist_eval.Crash } ]
+  in
+  Alcotest.(check int) "one worker lost" 1 st.Dist_eval.workers_lost;
+  Alcotest.(check bool) "crashed shard reassigned" true (st.Dist_eval.reassignments >= 1)
+
+let test_fault_flipped_frame () =
+  (* A framing-correct reply with a corrupted payload must be rejected and
+     re-requested — never decoded into a wrong ciphertext, never a hang. *)
+  let st =
+    run_with_faults ~workers:2
+      [ { Dist_eval.victim = 0; after_requests = 1; action = Dist_eval.Flip_reply } ]
+  in
+  Alcotest.(check bool) "corrupt frame counted" true (st.Dist_eval.corrupt_frames >= 1);
+  Alcotest.(check bool) "shard re-requested" true (st.Dist_eval.retries >= 1);
+  Alcotest.(check int) "worker survives a flipped frame" 0 st.Dist_eval.workers_lost
+
+let test_fault_truncated_frame () =
+  (* Half a frame then EOF: the coordinator must treat it as a dead
+     worker, not block forever waiting for the missing bytes. *)
+  let st =
+    run_with_faults ~workers:2
+      [ { Dist_eval.victim = 1; after_requests = 1; action = Dist_eval.Truncate_reply } ]
+  in
+  Alcotest.(check int) "truncating worker declared lost" 1 st.Dist_eval.workers_lost;
+  Alcotest.(check bool) "its shard reassigned" true (st.Dist_eval.reassignments >= 1)
+
+let test_fault_stall_retries () =
+  (* A worker that sleeps past the request timeout but eventually answers:
+     the deadline must be extended (retry path), not the worker killed. *)
+  let st =
+    run_with_faults ~workers:2 ~request_timeout:0.15 ~max_retries:3 ~backoff:2.0
+      [ { Dist_eval.victim = 0; after_requests = 1; action = Dist_eval.Stall 0.4 } ]
+  in
+  Alcotest.(check bool) "timeout extended at least once" true (st.Dist_eval.retries >= 1);
+  Alcotest.(check int) "slow worker not declared lost" 0 st.Dist_eval.workers_lost
+
+let test_fault_all_workers_lost () =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:2 ~depth:1 in
+  let rng = Rng.create ~seed:43 () in
+  let cts = Array.map (Gates.encrypt_bit rng sk) (random_bits rng 3) in
+  let cfg =
+    Dist_eval.config ~faults:[ { Dist_eval.victim = 0; after_requests = 1; action = Dist_eval.Crash } ] 1
+  in
+  Alcotest.(check bool) "single worker crash raises Failure" true
+    (try ignore (Dist_eval.run cfg ck net cts); false with Failure _ -> true)
+
+(* Must run before anything else: in a spawned worker process this serves
+   the gate protocol and never returns. *)
+let () = Dist_eval.worker_entry ()
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "cross-backend",
+        [
+          QCheck_alcotest.to_alcotest test_cross_backend;
+          Alcotest.test_case "stats and validation" `Slow test_dist_stats_and_validation;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "sigkill mid-wave" `Slow test_fault_sigkill_mid_wave;
+          Alcotest.test_case "flipped reply frame" `Slow test_fault_flipped_frame;
+          Alcotest.test_case "truncated reply frame" `Slow test_fault_truncated_frame;
+          Alcotest.test_case "stalled worker retries" `Slow test_fault_stall_retries;
+          Alcotest.test_case "all workers lost" `Slow test_fault_all_workers_lost;
+        ] );
+    ]

@@ -855,6 +855,33 @@ let test_keyswitch_read_rejects_tampered_header () =
        false
      with Wire.Corrupt _ -> true)
 
+(* Noise-budget regression: every bootstrapped gate must fully refresh the
+   ciphertext, so an arbitrarily deep chain stays decryptable.  60 gates of
+   mixed kinds, each consuming the previous output, with the plaintext
+   tracked alongside — if a parameter or FFT change erodes the noise
+   budget, the failure localizes to the first wrong step. *)
+let test_noise_budget_deep_gate_chain () =
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:60606 () in
+  let fresh = Gates.encrypt_bit rng sk true in
+  let gates =
+    [| ("xor", Gates.xor_gate, ( <> ));
+       ("nand", Gates.nand_gate, fun a b -> not (a && b));
+       ("or", Gates.or_gate, ( || ));
+       ("andyn", Gates.andyn_gate, fun a b -> a && not b) |]
+  in
+  let ct = ref fresh and pt = ref true in
+  for step = 1 to 60 do
+    let name, gate, spec = gates.(step mod Array.length gates) in
+    let b = Rng.bool rng in
+    let cb = Gates.encrypt_bit rng sk b in
+    ct := gate ck !ct cb;
+    pt := spec !pt b;
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d (%s) decrypts correctly" step name)
+      !pt (Gates.decrypt_bit sk !ct)
+  done
+
 let gate_cases =
   [
     ("nand", Gates.nand_gate, fun a b -> not (a && b));
@@ -930,6 +957,8 @@ let () =
           Alcotest.test_case "wrong key garbles" `Slow test_wrong_key_fails_to_decrypt;
           Alcotest.test_case "tampered ciphertext" `Slow test_tampered_ciphertext_decrypts_wrong;
           Alcotest.test_case "arity mismatch rejected" `Quick test_mismatched_input_arity_rejected;
+          Alcotest.test_case "60-gate chain keeps noise budget" `Slow
+            test_noise_budget_deep_gate_chain;
         ] );
       ( "noise",
         [
