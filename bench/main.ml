@@ -26,6 +26,8 @@ module Sched_cpu = Pytfhe_backend.Sched_cpu
 module Sched_gpu = Pytfhe_backend.Sched_gpu
 module Par_eval = Pytfhe_backend.Par_eval
 module Plain_eval = Pytfhe_backend.Plain_eval
+module Executor = Pytfhe_backend.Executor
+module Trace = Pytfhe_obs.Trace
 module Json = Pytfhe_util.Json
 module Profile = Pytfhe_frameworks.Profile
 module W = Pytfhe_vipbench.Workload
@@ -657,9 +659,9 @@ let par () =
     let ins = Array.init n_in (fun _ -> Rng.bool rng) in
     let cts = Client.encrypt_bits client ins in
     Format.printf "  [sequential reference (Tfhe_eval) ...]@?";
-    let seq_out, seq_stats = Server.evaluate cloud c cts in
-    let seq_wall = seq_stats.Pytfhe_backend.Tfhe_eval.wall_time in
-    let bootstraps = seq_stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed in
+    let seq_out, seq_stats = Server.run Server.Cpu cloud c cts in
+    let seq_wall = seq_stats.Executor.wall_time in
+    let bootstraps = seq_stats.Executor.bootstraps_executed in
     Format.printf " %s (%d bootstraps)@." (human_time seq_wall) bootstraps;
     let bits = Client.decrypt_bits client seq_out in
     let expected = Plain_eval.run c.Pipeline.netlist ins in
@@ -677,7 +679,12 @@ let par () =
     let rows =
       List.map
         (fun workers ->
-          let outs, st = Server.evaluate_parallel ~workers cloud c cts in
+          let outs, est = Server.run (Server.Multicore { workers }) cloud c cts in
+          let st =
+            match est.Executor.detail with
+            | Executor.Multicore_stats p -> p
+            | _ -> assert false
+          in
           let exact = outs = seq_out in
           let measured = seq_wall /. st.Par_eval.wall_time in
           let simulated =
@@ -767,9 +774,9 @@ let dist () =
     let ins = Array.init n_in (fun _ -> Rng.bool rng) in
     let cts = Client.encrypt_bits client ins in
     Format.printf "  [sequential reference (Tfhe_eval) ...]@?";
-    let seq_out, seq_stats = Server.evaluate cloud c cts in
-    let seq_wall = seq_stats.Pytfhe_backend.Tfhe_eval.wall_time in
-    let bootstraps = seq_stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed in
+    let seq_out, seq_stats = Server.run Server.Cpu cloud c cts in
+    let seq_wall = seq_stats.Executor.wall_time in
+    let bootstraps = seq_stats.Executor.bootstraps_executed in
     Format.printf " %s (%d bootstraps)@." (human_time seq_wall) bootstraps;
     (* The modelled counterpart: the same wave schedule priced by Sched_cpu
        with this machine's measured gate time, one worker per node so
@@ -779,7 +786,14 @@ let dist () =
     let model_cost = { base with Cost_model.workers_per_node = 1 } in
     let run_once ?(faults = []) workers =
       let cfg = Dist_eval.config ~faults workers in
-      let outs, st = Server.evaluate_distributed ~config:cfg cloud c cts in
+      let outs, est =
+        Server.run (Server.Multiprocess { workers; config = Some cfg }) cloud c cts
+      in
+      let st =
+        match est.Executor.detail with
+        | Executor.Multiprocess_stats d -> d
+        | _ -> assert false
+      in
       (outs = seq_out, st)
     in
     let worker_counts = [ 1; 2; 4 ] in
@@ -891,11 +905,107 @@ let dist () =
     Format.printf "@.wrote %s@." path
   end
 
+(* ------------------------------------------------------------------ *)
+(* Obs — overhead of the observability layer on the sequential executor *)
+(* ------------------------------------------------------------------ *)
+
+let obs_bench () =
+  header "Obs — tracing overhead: uninstrumented loop vs disabled sink vs enabled sink";
+  let p = if !smoke then smoke_params else Params.test in
+  let chain = if !smoke then 48 else 200 in
+  let reps = if !smoke then 3 else 5 in
+  (* A pure serial chain is the worst case for per-gate probe overhead:
+     nothing amortizes it, and every gate is its own wave when traced. *)
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let kinds = [| Gate.And; Gate.Xor; Gate.Or; Gate.Nand |] in
+  let cur = ref a in
+  for i = 0 to chain - 1 do
+    cur := Netlist.gate net kinds.(i mod Array.length kinds) !cur b
+  done;
+  Netlist.mark_output net "o" !cur;
+  Format.printf "parameters: %a; %d-gate serial chain, best of %d reps@." Params.pp p chain reps;
+  Format.printf "  [generating keys ...]@?";
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create ~seed:6061 () in
+  let sk, cloud = Gates.key_gen rng p in
+  Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
+  let ins = [| Gates.encrypt_bit rng sk true; Gates.encrypt_bit rng sk false |] in
+  (* The pre-observability executor, re-created verbatim: an id-order walk
+     with no sink, no flag check, no stats beyond what the loop needs. *)
+  let baseline () =
+    let ctx = Gates.default_context cloud in
+    let n = Netlist.node_count net in
+    let values : Lwe.sample option array = Array.make n None in
+    List.iteri (fun i (_, id) -> values.(id) <- Some ins.(i)) (Netlist.inputs net);
+    for id = 0 to n - 1 do
+      match Netlist.kind net id with
+      | Netlist.Input _ -> ()
+      | Netlist.Const bv -> values.(id) <- Some (Gates.constant cloud bv)
+      | Netlist.Gate (g, x, y) ->
+        let vx = Option.get values.(x) and vy = Option.get values.(y) in
+        values.(id) <- Some (Pytfhe_backend.Tfhe_eval.apply_gate ctx g vx vy)
+    done
+  in
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      m := Float.min !m (Unix.gettimeofday () -. t0)
+    done;
+    !m
+  in
+  let t_base = best baseline in
+  let t_null = best (fun () -> ignore (Pytfhe_backend.Tfhe_eval.run cloud net ins)) in
+  let last_sink = ref Trace.null in
+  let t_traced =
+    best (fun () ->
+        let s = Trace.create () in
+        last_sink := s;
+        ignore (Pytfhe_backend.Tfhe_eval.run ~obs:s cloud net ins))
+  in
+  let evs = Trace.events !last_sink in
+  let nevents = List.length evs in
+  let nspans = List.length (List.filter (function Trace.Span _ -> true | _ -> false) evs) in
+  let disabled_overhead = (t_null -. t_base) /. t_base in
+  let enabled_overhead = (t_traced -. t_base) /. t_base in
+  Format.printf "@.%-36s %12s %10s@." "EXECUTOR" "WALL" "OVERHEAD";
+  Format.printf "%-36s %12s %10s@." "uninstrumented id-order loop" (human_time t_base) "-";
+  Format.printf "%-36s %12s %+9.2f%%@." "Tfhe_eval.run, sink disabled" (human_time t_null)
+    (100.0 *. disabled_overhead);
+  Format.printf "%-36s %12s %+9.2f%%@." "Tfhe_eval.run, sink enabled" (human_time t_traced)
+    (100.0 *. enabled_overhead);
+  Format.printf "enabled run captured %d events (%d spans over %d waves)@." nevents nspans chain;
+  Format.printf "disabled-sink overhead %s the 2%% budget%s@."
+    (if disabled_overhead < 0.02 then "meets" else "EXCEEDS")
+    (if !smoke then "  (smoke parameters: gate time is tiny, expect jitter)" else "");
+  let json =
+    Json.Obj
+      [
+        ("params", Json.String p.Params.name);
+        ("smoke", Json.Bool !smoke);
+        ("chain_gates", Json.Number (float_of_int chain));
+        ("reps", Json.Number (float_of_int reps));
+        ("baseline_wall_s", Json.Number t_base);
+        ("disabled_sink_wall_s", Json.Number t_null);
+        ("enabled_sink_wall_s", Json.Number t_traced);
+        ("disabled_overhead_fraction", Json.Number disabled_overhead);
+        ("enabled_overhead_fraction", Json.Number enabled_overhead);
+        ("events", Json.Number (float_of_int nevents));
+        ("spans", Json.Number (float_of_int nspans));
+      ]
+  in
+  let path = "BENCH_obs_overhead.json" in
+  Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+  Format.printf "@.wrote %s@." path
+
 let all_experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("table4", table4); ("ablation", ablation);
-    ("params", params_explorer); ("micro", micro); ("par", par); ("dist", dist);
+    ("params", params_explorer); ("micro", micro); ("par", par); ("dist", dist); ("obs", obs_bench);
   ]
 
 let () =

@@ -10,6 +10,36 @@ module W = Pytfhe_vipbench.Workload
 module Binary = Pytfhe_circuit.Binary
 module Stats = Pytfhe_circuit.Stats
 module Cost_model = Pytfhe_backend.Cost_model
+module Executor = Pytfhe_backend.Executor
+module Trace = Pytfhe_obs.Trace
+module Metrics = Pytfhe_obs.Metrics
+
+(* Shared --trace/--metrics plumbing: an enabled sink only when at least
+   one export was requested, and the writes afterwards. *)
+let sink_for ~trace ~metrics =
+  if trace <> None || metrics <> None then Trace.create () else Trace.null
+
+let export_obs obs ~trace ~metrics ~extra =
+  (match trace with
+  | Some path ->
+    Trace.write_chrome obs path;
+    Format.printf "wrote Chrome trace %s (open in chrome://tracing or ui.perfetto.dev)@." path
+  | None -> ());
+  match metrics with
+  | Some path ->
+    Metrics.write ~extra obs path;
+    Format.printf "wrote metrics %s@." path
+  | None -> ()
+
+let trace_arg =
+  Cmdliner.Arg.(value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON of the run here (Perfetto-compatible).")
+
+let metrics_arg =
+  Cmdliner.Arg.(value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a flat metrics JSON (counters/gauges/span totals) here.")
 
 let workload_conv =
   let parse s =
@@ -20,7 +50,7 @@ let workload_conv =
   in
   Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.W.name)
 
-let backend_conv =
+let platform_conv =
   let parse s =
     match String.lowercase_ascii s with
     | "single" | "single-core" -> Ok Server.Single_core
@@ -33,9 +63,9 @@ let backend_conv =
         match int_of_string_opt n with
         | Some nodes when nodes > 0 -> Ok (Server.Distributed { nodes })
         | Some _ | None -> Error (`Msg "node count must be a positive integer"))
-      | _ -> Error (`Msg (Printf.sprintf "unknown backend %S (single | dist:N | a5000 | 4090 | cufhe)" s)))
+      | _ -> Error (`Msg (Printf.sprintf "unknown platform %S (single | dist:N | a5000 | 4090 | cufhe)" s)))
   in
-  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Server.backend_name b))
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Server.sim_platform_name b))
 
 let workload_arg =
   Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,pytfhe list)).")
@@ -113,72 +143,85 @@ let estimate_cmd =
     in
     List.iter
       (fun b ->
-        Format.printf "  %-28s %12.2f s  (%.1fx single core)@." (Server.backend_name b)
+        Format.printf "  %-28s %12.2f s  (%.1fx single core)@." (Server.sim_platform_name b)
           (Server.estimate b compiled)
           (Server.speedup_over_single_core b compiled))
       backends
   in
-  let backends = Arg.(value & opt_all backend_conv [] & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Backend to price (repeatable).") in
+  let backends = Arg.(value & opt_all platform_conv [] & info [ "b"; "backend" ] ~docv:"PLATFORM" ~doc:"Simulated platform to price (repeatable).") in
   Cmd.v (Cmd.info "estimate" ~doc:"Estimate runtimes on the paper's platforms")
     Term.(const run $ workload_arg $ backends)
 
+(* Resolve --backend plus the --workers/--dist-workers aliases into an
+   exec_backend.  Without --backend the legacy inference applies:
+   --dist-workers selects multiprocess, --workers > 1 multicore. *)
+let exec_backend_of ~backend ~workers ~dist_workers =
+  match backend with
+  | Some `Cpu -> Server.Cpu
+  | Some `Par ->
+    Server.Multicore { workers = (match workers with Some w -> w | None -> 0) }
+  | Some `Dist ->
+    let w =
+      if dist_workers > 0 then dist_workers
+      else match workers with Some w -> w | None -> 2
+    in
+    Server.Multiprocess { workers = w; config = None }
+  | None ->
+    if dist_workers > 0 then Server.Multiprocess { workers = dist_workers; config = None }
+    else (
+      match workers with
+      | Some w when w > 1 -> Server.Multicore { workers = w }
+      | Some _ | None -> Server.Cpu)
+
 let run_cmd =
-  let run w seed encrypted workers dist_workers =
-    if workers < 1 then failwith "--workers must be >= 1";
+  let run w seed encrypted backend workers dist_workers trace metrics =
+    (match workers with Some w when w < 1 -> failwith "--workers must be >= 1" | _ -> ());
     if dist_workers < 0 then failwith "--dist-workers must be >= 1";
     let rng = Pytfhe_util.Rng.create ~seed () in
     if encrypted then begin
       if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
+      let exec = exec_backend_of ~backend ~workers ~dist_workers in
+      let obs = sink_for ~trace ~metrics in
       Format.printf "generating keys (test parameters)...@.";
       let client, cloud = Client.keygen ~params:Pytfhe_tfhe.Params.test ~seed () in
-      let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+      let compiled = Pipeline.compile ~obs ~name:w.W.name (w.W.circuit ()) in
       let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
       let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
       let cts = Client.encrypt_bits client ins in
-      if dist_workers > 0 then
-        Format.printf "evaluating %d gates homomorphically on %d worker process%s...@."
-          compiled.Pipeline.stats.Stats.gates dist_workers (if dist_workers = 1 then "" else "es")
-      else
-        Format.printf "evaluating %d gates homomorphically on %d domain%s...@."
-          compiled.Pipeline.stats.Stats.gates workers (if workers = 1 then "" else "s");
-      let outs, bootstraps, wall, extra =
-        if dist_workers > 0 then begin
-          let outs, stats = Server.evaluate_distributed ~workers:dist_workers cloud compiled cts in
-          ( outs,
-            stats.Pytfhe_backend.Dist_eval.bootstraps_executed,
-            stats.Pytfhe_backend.Dist_eval.wall_time,
-            Format.asprintf ", %d requests, %d B out / %d B in, %d worker%s lost"
-              stats.Pytfhe_backend.Dist_eval.requests_sent
-              stats.Pytfhe_backend.Dist_eval.bytes_to_workers
-              stats.Pytfhe_backend.Dist_eval.bytes_from_workers
-              stats.Pytfhe_backend.Dist_eval.workers_lost
-              (if stats.Pytfhe_backend.Dist_eval.workers_lost = 1 then "" else "s") )
-        end
-        else if workers = 1 then begin
-          let outs, stats = Server.evaluate cloud compiled cts in
-          ( outs,
-            stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed,
-            stats.Pytfhe_backend.Tfhe_eval.wall_time,
-            "" )
-        end
-        else begin
-          let outs, stats = Server.evaluate_parallel ~workers cloud compiled cts in
-          ( outs,
-            stats.Pytfhe_backend.Par_eval.bootstraps_executed,
-            stats.Pytfhe_backend.Par_eval.wall_time,
-            Format.asprintf ", %.2fx parallel (wave-sync ideal %.2fx)"
-              stats.Pytfhe_backend.Par_eval.achieved_speedup
-              stats.Pytfhe_backend.Par_eval.ideal_speedup )
-        end
+      Format.printf "evaluating %d gates homomorphically on the %s backend...@."
+        compiled.Pipeline.stats.Stats.gates (Server.exec_backend_name exec);
+      let outs, stats = Server.run ~obs exec cloud compiled cts in
+      let extra =
+        match stats.Executor.detail with
+        | Executor.Cpu_stats _ -> ""
+        | Executor.Multicore_stats p ->
+          Format.asprintf ", %.2fx parallel (wave-sync ideal %.2fx)"
+            p.Pytfhe_backend.Par_eval.achieved_speedup
+            p.Pytfhe_backend.Par_eval.ideal_speedup
+        | Executor.Multiprocess_stats d ->
+          Format.asprintf ", %d requests, %d B out / %d B in, %d worker%s lost"
+            d.Pytfhe_backend.Dist_eval.requests_sent
+            d.Pytfhe_backend.Dist_eval.bytes_to_workers
+            d.Pytfhe_backend.Dist_eval.bytes_from_workers
+            d.Pytfhe_backend.Dist_eval.workers_lost
+            (if d.Pytfhe_backend.Dist_eval.workers_lost = 1 then "" else "s")
       in
       let bits = Client.decrypt_bits client outs in
       let expected = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist ins in
       let ok = List.for_all2 (fun (_, e) g -> e = g) expected (Array.to_list bits) in
+      let bootstraps = stats.Executor.bootstraps_executed in
       Format.printf "bootstraps: %d, wall time: %.1fs (%.1f ms/gate%s), outputs %s@."
-        bootstraps wall
-        (1000.0 *. wall /. float_of_int (max 1 bootstraps))
+        bootstraps stats.Executor.wall_time
+        (1000.0 *. stats.Executor.wall_time /. float_of_int (max 1 bootstraps))
         extra
-        (if ok then "MATCH plaintext reference" else "MISMATCH")
+        (if ok then "MATCH plaintext reference" else "MISMATCH");
+      export_obs obs ~trace ~metrics
+        ~extra:
+          [
+            ("backend", Pytfhe_util.Json.String stats.Executor.backend);
+            ("workers", Pytfhe_util.Json.Number (float_of_int stats.Executor.workers));
+            ("wall_time_s", Pytfhe_util.Json.Number stats.Executor.wall_time);
+          ]
     end
     else begin
       Format.printf "functional verification of %s: %!" w.W.name;
@@ -189,8 +232,15 @@ let run_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let encrypted = Arg.(value & flag & info [ "encrypted" ] ~doc:"Run for real on TFHE ciphertexts (test parameters).") in
+  let backend =
+    Arg.(value
+         & opt (some (enum [ ("cpu", `Cpu); ("par", `Par); ("dist", `Dist) ])) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Executor: $(b,cpu) (sequential), $(b,par) (OCaml domains), $(b,dist) \
+                   (worker OS processes).  Default: inferred from --workers/--dist-workers.")
+  in
   let workers =
-    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
            ~doc:"Evaluate on $(docv) OCaml domains (with --encrypted; 1 = the sequential reference executor).")
   in
   let dist_workers =
@@ -199,7 +249,8 @@ let run_cmd =
                  Gate shards and ciphertexts travel over real socketpairs, as in the paper's Ray cluster.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
-    Term.(const run $ workload_arg $ seed $ encrypted $ workers $ dist_workers)
+    Term.(const run $ workload_arg $ seed $ encrypted $ backend $ workers $ dist_workers
+          $ trace_arg $ metrics_arg)
 
 let verilog_cmd =
   let run w out =
@@ -373,17 +424,20 @@ let encrypt_cmd =
   Cmd.v (Cmd.info "encrypt" ~doc:"Encrypt plaintext bits with the secret key") Term.(const run $ secret $ bits $ out)
 
 let eval_cmd =
-  let run cloud program input out =
+  let run cloud program input out trace metrics =
     let keyset = Server.load_cloud_keyset cloud in
     let bytes = Binary.read_file program in
     let cts = Pytfhe_core.Ciphertext_file.read input in
     Format.printf "evaluating %d instructions on %d input ciphertexts ...@."
       (Binary.instruction_count bytes) (Array.length cts);
+    let obs = sink_for ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
     (* the paper's executor: stream the 128-bit instructions directly *)
-    let outs = Pytfhe_backend.Stream_exec.run_encrypted keyset bytes cts in
+    let outs = Pytfhe_backend.Stream_exec.run_encrypted ~obs keyset bytes cts in
     Pytfhe_core.Ciphertext_file.write out outs;
-    Format.printf "done in %.1fs -> %s@." (Unix.gettimeofday () -. t0) out
+    Format.printf "done in %.1fs -> %s@." (Unix.gettimeofday () -. t0) out;
+    export_obs obs ~trace ~metrics
+      ~extra:[ ("backend", Pytfhe_util.Json.String "stream") ]
   in
   let cloud = Arg.(required & opt (some file) None & info [ "cloud" ] ~docv:"FILE" ~doc:"Cloud keyset (no secrets inside).") in
   let program = Arg.(required & opt (some file) None & info [ "program" ] ~docv:"FILE" ~doc:"Assembled PyTFHE binary.") in
@@ -391,7 +445,31 @@ let eval_cmd =
   let out = Arg.(value & opt string "output.ct" & info [ "o" ] ~docv:"FILE" ~doc:"Output ciphertext bundle.") in
   Cmd.v
     (Cmd.info "eval" ~doc:"Homomorphically evaluate a PyTFHE binary on a ciphertext bundle (server side)")
-    Term.(const run $ cloud $ program $ input $ out)
+    Term.(const run $ cloud $ program $ input $ out $ trace_arg $ metrics_arg)
+
+let trace_validate_cmd =
+  let run path =
+    let text =
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Pytfhe_util.Json.parse text with
+    | exception _ ->
+      Format.printf "%s: INVALID (not JSON)@." path;
+      exit 1
+    | json -> (
+      match Trace.validate_chrome json with
+      | Ok () -> Format.printf "%s: valid Chrome trace@." path
+      | Error msg ->
+        Format.printf "%s: INVALID (%s)@." path msg;
+        exit 1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON written by --trace.") in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:"Check that a file is a well-formed Chrome trace (spans sorted, non-overlapping per track)")
+    Term.(const run $ path)
 
 let decrypt_cmd =
   let run secret input =
@@ -416,5 +494,5 @@ let () =
           [
             list_cmd; compile_cmd; disasm_cmd; stat_cmd; estimate_cmd; run_cmd; verilog_cmd; json_cmd; dot_cmd; vcd_cmd; equiv_cmd;
             synth_cmd; keygen_cmd;
-            encrypt_cmd; eval_cmd; decrypt_cmd;
+            encrypt_cmd; eval_cmd; decrypt_cmd; trace_validate_cmd;
           ]))

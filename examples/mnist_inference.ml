@@ -56,7 +56,7 @@ let () =
   Format.printf "backend estimates (paper-calibrated cost model):@.";
   List.iter
     (fun backend ->
-      Format.printf "  %-28s %10.1f s  (%6.1fx single core)@." (Server.backend_name backend)
+      Format.printf "  %-28s %10.1f s  (%6.1fx single core)@." (Server.sim_platform_name backend)
         (Server.estimate backend compiled)
         (Server.speedup_over_single_core backend compiled))
     [

@@ -46,9 +46,9 @@ let () =
   Format.printf "server: evaluating %d bootstrapped gates homomorphically ...@."
     compiled.Pipeline.stats.Pytfhe_circuit.Stats.bootstraps;
   let t0 = Unix.gettimeofday () in
-  let response, stats = Server.evaluate cloud compiled request in
+  let response, stats = Server.run Server.Cpu cloud compiled request in
   Format.printf "server: done in %.1fs (%d bootstraps) — it never saw a plaintext@."
-    (Unix.gettimeofday () -. t0) stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed;
+    (Unix.gettimeofday () -. t0) stats.Pytfhe_backend.Executor.bootstraps_executed;
 
   let out_bits = Client.decrypt_bits client response in
   let total = ref 0 in

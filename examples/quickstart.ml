@@ -43,12 +43,12 @@ let () =
 
   (* 4. Server side: homomorphic evaluation with the cloud keyset only. *)
   let t0 = Unix.gettimeofday () in
-  let outputs, stats = Server.evaluate cloud_keyset compiled ciphertexts in
+  let outputs, stats = Server.run Server.Cpu cloud_keyset compiled ciphertexts in
   Format.printf "server: %d bootstrapped gates in %.2fs (%.1f ms/gate)@."
-    stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed
+    stats.Pytfhe_backend.Executor.bootstraps_executed
     (Unix.gettimeofday () -. t0)
-    (1000.0 *. stats.Pytfhe_backend.Tfhe_eval.wall_time
-    /. float_of_int (max 1 stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed));
+    (1000.0 *. stats.Pytfhe_backend.Executor.wall_time
+    /. float_of_int (max 1 stats.Pytfhe_backend.Executor.bootstraps_executed));
 
   (* 5. Client decrypts. *)
   let out_bits = Client.decrypt_bits client outputs in

@@ -41,6 +41,7 @@ module Netlist = Pytfhe_circuit.Netlist
 module Gate = Pytfhe_circuit.Gate
 module Levelize = Pytfhe_circuit.Levelize
 module Wire = Pytfhe_util.Wire
+module Trace = Pytfhe_obs.Trace
 open Pytfhe_tfhe
 
 (* ------------------------------------------------------------------ *)
@@ -109,6 +110,7 @@ type stats = {
   retries : int;
   reassignments : int;
   corrupt_frames : int;
+  heartbeat_misses : int;
   keyset_bytes : int;
   bytes_to_workers : int;
   bytes_from_workers : int;
@@ -117,6 +119,7 @@ type stats = {
   transfer_time : float;
   compute_time : float;
   wave_wall : float array;
+  wave_width : int array;
   wall_time : float;
 }
 
@@ -206,10 +209,16 @@ let worker_main fd =
   let hello = read_frame fd in
   let r = Wire.reader_of_string hello in
   Wire.read_magic r "DHEL";
-  let _index = Wire.read_i64 r in
+  let index = Wire.read_i64 r in
+  (* Tracing plumbing: the coordinator's epoch makes worker timestamps
+     directly comparable — both sides read the same machine clock. *)
+  let obs_on = Wire.read_bool r in
+  let obs_epoch = Wire.read_f64 r in
   let faults = Array.to_list (Wire.read_array r read_fault) in
   let ck = Gates.read_cloud_keyset r in
   let ctx = Gates.context ck in
+  let wsink = if obs_on then Trace.create ~epoch:obs_epoch () else Trace.null in
+  let wtr = Trace.new_track wsink ~name:(Printf.sprintf "worker %d" index) in
   (* ready: the keyset is parsed and the gate context built.  Also the
      coordinator's proof that the spawned binary really is a worker. *)
   let rdy = Buffer.create 8 in
@@ -247,13 +256,39 @@ let worker_main fd =
             | None -> raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
           gates
       in
-      let compute = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let compute = t1 -. t0 in
       let buf = Buffer.create 4096 in
       Wire.write_magic buf "DREP";
       Wire.write_i64 buf req_id;
       Wire.write_f64 buf compute;
       Wire.write_array buf Lwe.write_sample results;
       let reply = Buffer.to_bytes buf in
+      (* Ship collected spans in a DTRC frame *before* the reply, so the
+         coordinator has always consumed a shard's trace by the time it
+         accepts the shard — a worker dying right after DREP (or sending a
+         faulted reply) loses at most its own last spans, truncating the
+         trace but never corrupting it. *)
+      if Trace.enabled wsink then begin
+        let p = ck.Gates.cloud_params in
+        let boots = Array.length gates in
+        let ep = Trace.epoch wsink in
+        Trace.span wtr ~cat:"shard"
+          ~name:(Printf.sprintf "req %d (%d gates)" req_id boots)
+          ~t0:(t0 -. ep) ~t1:(t1 -. ep);
+        Trace.counter wtr ~name:"bootstraps" (float_of_int boots);
+        Trace.counter wtr ~name:"key_switches" (float_of_int boots);
+        Trace.counter wtr ~name:"ffts"
+          (float_of_int (boots * Exec_obs.ffts_per_bootstrap p));
+        match Trace.flush wsink with
+        | [] -> ()
+        | events ->
+          let tb = Buffer.create 1024 in
+          Wire.write_magic tb "DTRC";
+          Wire.write_i64 tb req_id;
+          Wire.write_array tb Trace.write_event (Array.of_list events);
+          ignore (write_frame fd (Buffer.to_bytes tb))
+      end;
       if List.exists (fun f -> f.action = Flip_reply) due then begin
         (* Framing stays intact; the payload magic is flipped, so the
            coordinator's parser must reject the frame and re-request. *)
@@ -303,12 +338,15 @@ type state = {
   net : Netlist.t;
   values : Lwe.sample option array;
   members : worker array;
+  obs : Trace.sink;
+  wtracks : int array;  (* coordinator-side track id per worker index *)
   mutable next_req : int;
   (* counters *)
   mutable requests_sent : int;
   mutable retries : int;
   mutable reassignments : int;
   mutable corrupt_frames : int;
+  mutable heartbeat_misses : int;
   mutable lost : int;
   mutable bytes_out : int;
   mutable bytes_in : int;
@@ -373,10 +411,12 @@ let spawn_worker ~index =
   Unix.close worker_fd;
   { w_index = index; pid; fd = coord_fd; alive = true; reaped = false }
 
-let hello_bytes ~index ~faults ~keyset_blob =
+let hello_bytes ~index ~obs ~faults ~keyset_blob =
   let buf = Buffer.create (String.length keyset_blob + 256) in
   Wire.write_magic buf "DHEL";
   Wire.write_i64 buf index;
+  Wire.write_bool buf (Trace.enabled obs);
+  Wire.write_f64 buf (Trace.epoch obs);
   Wire.write_array buf write_fault (Array.of_list faults);
   Buffer.add_string buf keyset_blob;
   Buffer.to_bytes buf
@@ -465,16 +505,38 @@ let on_ready st pending w =
     end
     else declare_lost st pending w
   in
+  (* One frame per call: a DTRC (optional worker trace, sent before its
+     DREP) is merged and the select loop comes back for the reply still
+     buffered on the socket. *)
+  let parse_trc payload =
+    match
+      let r = Wire.reader_of_string payload in
+      Wire.read_magic r "DTRC";
+      let _req_id = Wire.read_i64 r in
+      Wire.read_array r Trace.read_event
+    with
+    | events ->
+      Trace.inject st.obs ~track:st.wtracks.(w.w_index) (Array.to_list events)
+    | exception Wire.Corrupt _ ->
+      (* a mangled trace frame costs events, never the run *)
+      st.corrupt_frames <- st.corrupt_frames + 1
+  in
   match
     let deadline = Unix.gettimeofday () +. st.cfg.request_timeout in
     let payload = read_frame ~deadline w.fd in
     st.bytes_in <- st.bytes_in + String.length payload + 12;
-    let r = Wire.reader_of_string payload in
-    Wire.read_magic r "DREP";
-    let req_id = Wire.read_i64 r in
-    let compute = Wire.read_f64 r in
-    let samples = Wire.read_array r Lwe.read_sample in
-    (req_id, compute, samples)
+    if String.length payload >= 4 && String.sub payload 0 4 = "DTRC" then begin
+      parse_trc payload;
+      None
+    end
+    else begin
+      let r = Wire.reader_of_string payload in
+      Wire.read_magic r "DREP";
+      let req_id = Wire.read_i64 r in
+      let compute = Wire.read_f64 r in
+      let samples = Wire.read_array r Lwe.read_sample in
+      Some (req_id, compute, samples)
+    end
   with
   | exception Frame_closed -> declare_lost st pending w
   | exception Frame_timeout -> declare_lost st pending w
@@ -482,7 +544,8 @@ let on_ready st pending w =
     (match List.find_opt (fun q -> q.owner == w) !pending with
     | Some sh -> resend_corrupt sh
     | None -> declare_lost st pending w)
-  | req_id, compute, samples -> (
+  | None -> ()
+  | Some (req_id, compute, samples) -> (
     match List.find_opt (fun q -> q.owner == w && q.req_id = req_id) !pending with
     | None -> () (* stale reply from a superseded request: drop *)
     | Some sh ->
@@ -545,8 +608,10 @@ let eval_wave st wave_gates =
           (* heartbeat: catch crashed workers early, before their deadline *)
           List.iter
             (fun sh ->
-              if sh.owner.alive && not (process_running sh.owner) then
-                declare_lost st pending sh.owner)
+              if sh.owner.alive && not (process_running sh.owner) then begin
+                st.heartbeat_misses <- st.heartbeat_misses + 1;
+                declare_lost st pending sh.owner
+              end)
             !pending
         | ready, _, _ ->
           List.iter
@@ -560,8 +625,10 @@ let eval_wave st wave_gates =
           (* a descriptor died under select: sweep for dead owners *)
           List.iter
             (fun sh ->
-              if sh.owner.alive && not (process_running sh.owner) then
-                declare_lost st pending sh.owner)
+              if sh.owner.alive && not (process_running sh.owner) then begin
+                st.heartbeat_misses <- st.heartbeat_misses + 1;
+                declare_lost st pending sh.owner
+              end)
             !pending
       end
     done
@@ -583,7 +650,7 @@ let shutdown members =
       else reap w)
     members
 
-let run cfg cloud net inputs =
+let run ?(obs = Trace.null) cfg cloud net inputs =
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Dist_eval.run: input arity mismatch";
@@ -603,17 +670,24 @@ let run cfg cloud net inputs =
     Buffer.contents buf
   in
   let members = Array.init cfg.workers (fun i -> spawn_worker ~index:i) in
+  let wtracks =
+    Array.init cfg.workers (fun i ->
+        Trace.external_track obs ~name:(Printf.sprintf "worker %d" i))
+  in
   let st =
     {
       cfg;
       net;
       values = Array.make (Netlist.node_count net) None;
       members;
+      obs;
+      wtracks;
       next_req = 0;
       requests_sent = 0;
       retries = 0;
       reassignments = 0;
       corrupt_frames = 0;
+      heartbeat_misses = 0;
       lost = 0;
       bytes_out = 0;
       bytes_in = 0;
@@ -631,7 +705,7 @@ let run cfg cloud net inputs =
       Array.iter
         (fun w ->
           let faults = List.filter (fun f -> f.victim = w.w_index) cfg.faults in
-          let hello = hello_bytes ~index:w.w_index ~faults ~keyset_blob in
+          let hello = hello_bytes ~index:w.w_index ~obs ~faults ~keyset_blob in
           try
             let n = write_frame w.fd hello in
             st.bytes_out <- st.bytes_out + n
@@ -669,13 +743,25 @@ let run cfg cloud net inputs =
       let sched = Levelize.run net in
       let waves = Levelize.waves sched net in
       let wave_wall = Array.make (Array.length waves) 0.0 in
+      let wave_width =
+        Array.map (fun w -> Array.length w.Levelize.parallel) waves
+      in
       let bootstraps = ref 0 and nots = ref 0 in
+      let traced = Trace.enabled obs in
+      let ep = Trace.epoch obs in
+      let wave_tr = Trace.new_track obs ~name:"coordinator" in
+      if traced then Exec_obs.noise_gauges wave_tr cloud.Gates.cloud_params;
       (try
          Array.iteri
            (fun i wave ->
              let t0 = Unix.gettimeofday () in
+             let a0 = if traced then Exec_obs.alloc_words () else 0.0 in
+             let out0 = st.bytes_out and in0 = st.bytes_in in
+             let retries0 = st.retries and reassign0 = st.reassignments in
+             let corrupt0 = st.corrupt_frames and hb0 = st.heartbeat_misses in
              eval_wave st wave.Levelize.parallel;
              bootstraps := !bootstraps + Array.length wave.Levelize.parallel;
+             let nots0 = !nots in
              Array.iter
                (fun id ->
                  match Netlist.kind net id with
@@ -684,7 +770,35 @@ let run cfg cloud net inputs =
                    incr nots
                  | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
                wave.Levelize.inline;
-             wave_wall.(i) <- Unix.gettimeofday () -. t0)
+             let t1 = Unix.gettimeofday () in
+             wave_wall.(i) <- t1 -. t0;
+             if traced then begin
+               let width = Array.length wave.Levelize.parallel in
+               Trace.span wave_tr ~cat:"wave"
+                 ~name:(Printf.sprintf "wave %d" i)
+                 ~t0:(t0 -. ep) ~t1:(t1 -. ep);
+               (* bootstraps/key_switches/ffts come from the worker-side
+                  shard counters (shipped in DTRC frames), which count
+                  where the gates actually ran — a retried shard is
+                  re-counted by whichever worker redid it.  Emitting them
+                  here too would double every one of them. *)
+               Trace.counter wave_tr ~name:"nots" (float_of_int (!nots - nots0));
+               Trace.counter wave_tr ~name:"wave_width" (float_of_int width);
+               Trace.counter wave_tr ~name:"alloc_words"
+                 (Exec_obs.alloc_words () -. a0);
+               let c name v =
+                 Trace.counter wave_tr ~name (float_of_int v)
+               in
+               c "bytes_to_workers" (st.bytes_out - out0);
+               c "bytes_from_workers" (st.bytes_in - in0);
+               c "retries" (st.retries - retries0);
+               c "reassignments" (st.reassignments - reassign0);
+               c "corrupt_frames" (st.corrupt_frames - corrupt0);
+               c "heartbeat_misses" (st.heartbeat_misses - hb0);
+               (* the wave barrier just passed: every accepted shard's
+                  DTRC has been merged, nothing else is in flight *)
+               Trace.drain obs
+             end)
            waves
        with All_workers_lost ->
          failwith "Dist_eval.run: all workers lost (crashed or unresponsive)");
@@ -703,6 +817,7 @@ let run cfg cloud net inputs =
           retries = st.retries;
           reassignments = st.reassignments;
           corrupt_frames = st.corrupt_frames;
+          heartbeat_misses = st.heartbeat_misses;
           keyset_bytes = String.length keyset_blob;
           bytes_to_workers = st.bytes_out;
           bytes_from_workers = st.bytes_in;
@@ -711,13 +826,15 @@ let run cfg cloud net inputs =
           transfer_time = st.t_transfer;
           compute_time = st.t_compute;
           wave_wall;
+          wave_width;
           wall_time = Unix.gettimeofday () -. start;
         } ))
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "workers=%d (%d lost) bootstraps=%d nots=%d requests=%d retries=%d reassignments=%d \
-     corrupt=%d wall=%.3fs dispatch=%.3fs transfer=%.3fs compute=%.3fs sent=%dB recv=%dB"
+     corrupt=%d hb-misses=%d wall=%.3fs dispatch=%.3fs transfer=%.3fs compute=%.3fs \
+     sent=%dB recv=%dB"
     s.workers_started s.workers_lost s.bootstraps_executed s.nots_executed s.requests_sent
-    s.retries s.reassignments s.corrupt_frames s.wall_time s.dispatch_time s.transfer_time
-    s.compute_time s.bytes_to_workers s.bytes_from_workers
+    s.retries s.reassignments s.corrupt_frames s.heartbeat_misses s.wall_time
+    s.dispatch_time s.transfer_time s.compute_time s.bytes_to_workers s.bytes_from_workers

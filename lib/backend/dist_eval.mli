@@ -98,6 +98,9 @@ type stats = {
   retries : int;  (** Deadline extensions plus corrupt-frame re-sends. *)
   reassignments : int;  (** Shards moved to a surviving worker. *)
   corrupt_frames : int;  (** Replies rejected by the parser. *)
+  heartbeat_misses : int;
+      (** Times the [waitpid(WNOHANG)] heartbeat found a worker dead before
+          its request deadline expired. *)
   keyset_bytes : int;  (** Serialized cloud keyset size (shipped once per worker). *)
   bytes_to_workers : int;
   bytes_from_workers : int;
@@ -110,10 +113,12 @@ type stats = {
           transfer, frame parsing, barrier waits. *)
   compute_time : float;  (** Sum of worker-reported gate-evaluation seconds. *)
   wave_wall : float array;  (** Wall seconds per wave. *)
+  wave_width : int array;  (** Bootstrapped gates per wave. *)
   wall_time : float;
 }
 
 val run :
+  ?obs:Pytfhe_obs.Trace.sink ->
   config ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
@@ -122,6 +127,16 @@ val run :
 (** [run cfg cloud net inputs] forks [cfg.workers] processes and evaluates
     the program wave by wave across them, returning outputs in declaration
     order.  Raises [Invalid_argument] on input arity mismatch and [Failure]
-    if every worker is lost. *)
+    if every worker is lost.
+
+    With an enabled [obs] sink, the hello frame carries the sink's epoch
+    and each worker collects per-shard spans and crypto counters in a
+    local sink, shipping them back in an optional [DTRC] frame sent just
+    before each reply; the coordinator merges them onto per-worker tracks
+    and adds wave spans, wire-byte / retry / reassignment /
+    heartbeat-miss counters and the noise gauges on a ["coordinator"]
+    track.  A worker lost mid-wave truncates the trace (its unshipped
+    spans die with it) but never corrupts it — a malformed [DTRC] frame
+    is counted in [corrupt_frames] and dropped. *)
 
 val pp_stats : Format.formatter -> stats -> unit

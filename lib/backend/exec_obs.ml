@@ -1,0 +1,44 @@
+(* Shared probe helpers for the executors.
+
+   Every backend emits the same per-wave counter vocabulary so the flat
+   metrics export is comparable across Cpu / Multicore / Multiprocess:
+   [bootstraps], [key_switches], [ffts], [nots], [wave_width],
+   [alloc_words], plus two noise gauges sampled once per run from the
+   keyset's parameter set.
+
+   FFTs are counted analytically rather than by instrumenting the kernel:
+   one bootstrapped gate runs n CMUX iterations, and each external product
+   decomposes (k+1) polynomials into l parts, transforming each part
+   forward plus producing (k+1) inverse transforms — n·(k+1)·(l+1)
+   transforms of size ring_n per gate, a constant of the parameter set. *)
+
+open Pytfhe_tfhe
+module Trace = Pytfhe_obs.Trace
+
+let ffts_per_bootstrap (p : Params.t) =
+  p.lwe.n * (p.tlwe.k + 1) * (p.tgsw.l + 1)
+
+(* Bootstrapping refreshes noise, so these are constants of the parameter
+   set rather than per-gate measurements: the margin (1/8, the message
+   amplitude) over the worst-case phase stdev at the sign decision, and
+   the resulting per-gate failure probability. *)
+let noise_gauges tr (p : Params.t) =
+  let sigma = sqrt (Noise.worst_gate_input p).Noise.variance in
+  Trace.gauge tr ~name:"noise_margin_sigma"
+    (if sigma > 0. then 0.125 /. sigma else Float.max_float);
+  Trace.gauge tr ~name:"gate_failure_probability"
+    (Noise.gate_failure_probability p)
+
+let wave_counters tr (p : Params.t) ~bootstraps ~nots ~width ~alloc_words =
+  Trace.counter tr ~name:"bootstraps" (float_of_int bootstraps);
+  Trace.counter tr ~name:"key_switches" (float_of_int bootstraps);
+  Trace.counter tr ~name:"ffts"
+    (float_of_int (bootstraps * ffts_per_bootstrap p));
+  Trace.counter tr ~name:"nots" (float_of_int nots);
+  Trace.counter tr ~name:"wave_width" (float_of_int width);
+  Trace.counter tr ~name:"alloc_words" alloc_words
+
+(* [Gc.allocated_bytes] only reflects a domain's full minor heap after a
+   flush; good enough for a per-wave counter without perturbing the run
+   (same caveat as the micro bench). *)
+let alloc_words () = Gc.allocated_bytes () /. 8.

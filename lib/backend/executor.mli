@@ -1,0 +1,55 @@
+(** The unified executor API: one signature every real backend implements,
+    one stats record every caller consumes.
+
+    {!Tfhe_eval}, {!Par_eval} and {!Dist_eval} each grew their own run
+    function and mutually incompatible stats; this module packages them as
+    first-class modules of a common signature {!S} so callers — the
+    server, the CLI, the bench harness — select a backend as a value and
+    handle results uniformly.  Backend-specific numbers stay reachable
+    through {!type-stats.detail}. *)
+
+type detail =
+  | Cpu_stats of Tfhe_eval.stats
+  | Multicore_stats of Par_eval.stats
+  | Multiprocess_stats of Dist_eval.stats
+
+type stats = {
+  backend : string;  (** The implementing module's {!S.name}. *)
+  workers : int;  (** Domains or processes used; 1 for the CPU backend. *)
+  bootstraps_executed : int;
+  nots_executed : int;
+  wall_time : float;  (** End-to-end wall seconds. *)
+  wave_wall : float array;
+      (** Wall seconds per wave (empty where the backend did not execute
+          wave by wave — the untraced CPU walk). *)
+  wave_width : int array;  (** Bootstrapped gates per wave (ditto). *)
+  detail : detail;  (** The backend's full native stats. *)
+}
+
+module type S = sig
+  val name : string
+
+  val run :
+    ?obs:Pytfhe_obs.Trace.sink ->
+    Pytfhe_tfhe.Gates.cloud_keyset ->
+    Pytfhe_circuit.Netlist.t ->
+    Pytfhe_tfhe.Lwe.sample array ->
+    Pytfhe_tfhe.Lwe.sample array * stats
+end
+
+val cpu : (module S)
+(** {!Tfhe_eval} — sequential, the correctness baseline. *)
+
+val multicore : ?workers:int -> unit -> (module S)
+(** {!Par_eval} on [workers] domains (default
+    [Domain.recommended_domain_count ()]). *)
+
+val multiprocess : ?workers:int -> ?config:Dist_eval.config -> unit -> (module S)
+(** {!Dist_eval} on [config.workers] processes; [config] wins over
+    [workers] (default: [Dist_eval.config 2]).  The usual caveat applies:
+    the host executable must call {!Dist_eval.worker_entry} first in
+    main. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Uniform one-line rendering, followed by the backend's own [pp] where
+    it has one. *)

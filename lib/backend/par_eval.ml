@@ -14,6 +14,7 @@
 module Netlist = Pytfhe_circuit.Netlist
 module Gate = Pytfhe_circuit.Gate
 module Levelize = Pytfhe_circuit.Levelize
+module Trace = Pytfhe_obs.Trace
 open Pytfhe_tfhe
 
 type stats = {
@@ -138,7 +139,7 @@ let ideal_speedup (sched : Levelize.schedule) workers =
   in
   if rounds = 0 then 1.0 else float_of_int sched.Levelize.total_bootstraps /. float_of_int rounds
 
-let run ?workers cloud net inputs =
+let run ?workers ?(obs = Trace.null) cloud net inputs =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
@@ -165,7 +166,18 @@ let run ?workers cloud net inputs =
   let wave_wall = Array.make nwaves 0.0 in
   let wave_width = Array.map (fun w -> Array.length w.Levelize.parallel) waves in
   let nots = ref 0 in
-  let eval_chunk gates d =
+  (* Probe plumbing: on a disabled sink every track is the no-op dummy and
+     [traced] gates the handful of extra clock reads per wave; the per-gate
+     inner loop is untouched either way. *)
+  let traced = Trace.enabled obs in
+  let ep = Trace.epoch obs in
+  let dom_tracks =
+    Array.init workers (fun d ->
+        Trace.new_track obs ~name:(Printf.sprintf "domain %d" d))
+  in
+  let wave_tr = Trace.new_track obs ~name:"waves" in
+  if traced then Exec_obs.noise_gauges wave_tr cloud.Gates.cloud_params;
+  let eval_chunk w gates d =
     (* Static chunking: domain d owns the contiguous slice [lo, hi). *)
     let width = Array.length gates in
     let lo = d * width / workers and hi = (d + 1) * width / workers in
@@ -181,7 +193,13 @@ let run ?workers cloud net inputs =
           per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + 1
         | Netlist.Input _ | Netlist.Const _ -> assert false
       done;
-      per_domain_busy.(d) <- per_domain_busy.(d) +. (Unix.gettimeofday () -. t0)
+      let t1 = Unix.gettimeofday () in
+      per_domain_busy.(d) <- per_domain_busy.(d) +. (t1 -. t0);
+      if traced then
+        (* Safe without locks: each domain writes only its own track. *)
+        Trace.span dom_tracks.(d) ~cat:"chunk"
+          ~name:(Printf.sprintf "wave %d [%d,%d)" w lo hi)
+          ~t0:(t0 -. ep) ~t1:(t1 -. ep)
     end
   in
   let pool = pool_create (workers - 1) in
@@ -191,8 +209,10 @@ let run ?workers cloud net inputs =
       Array.iteri
         (fun w wave ->
           let t0 = Unix.gettimeofday () in
+          let a0 = if traced then Exec_obs.alloc_words () else 0.0 in
+          let nots0 = !nots in
           if Array.length wave.Levelize.parallel > 0 then
-            pool_run pool (eval_chunk wave.Levelize.parallel);
+            pool_run pool (eval_chunk w wave.Levelize.parallel);
           (* Noiseless NOTs ride along on the coordinating domain: they may
              read this wave's fresh results, and cost one vector negation. *)
           Array.iter
@@ -203,7 +223,22 @@ let run ?workers cloud net inputs =
                 incr nots
               | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
             wave.Levelize.inline;
-          wave_wall.(w) <- Unix.gettimeofday () -. t0)
+          let t1 = Unix.gettimeofday () in
+          wave_wall.(w) <- t1 -. t0;
+          if traced then begin
+            Trace.span wave_tr ~cat:"wave"
+              ~name:(Printf.sprintf "wave %d" w)
+              ~t0:(t0 -. ep) ~t1:(t1 -. ep);
+            Exec_obs.wave_counters wave_tr cloud.Gates.cloud_params
+              ~bootstraps:wave_width.(w) ~nots:(!nots - nots0)
+              ~width:wave_width.(w)
+              (* Coordinator-domain allocations only: [Gc.allocated_bytes]
+                 is per-domain in OCaml 5. *)
+              ~alloc_words:(Exec_obs.alloc_words () -. a0);
+            (* The pool barrier just passed: every helper domain is idle,
+               so their single-writer buffers are safe to collect. *)
+            Trace.drain obs
+          end)
         waves);
   let outputs =
     Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list

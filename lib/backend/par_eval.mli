@@ -34,6 +34,7 @@ type stats = {
 
 val run :
   ?workers:int ->
+  ?obs:Pytfhe_obs.Trace.sink ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
@@ -42,7 +43,13 @@ val run :
     [workers] domains (default: [Domain.recommended_domain_count ()]).
     [workers = 1] degenerates to sequential execution on the calling
     domain, with no domains spawned.  Raises [Invalid_argument] on input
-    arity mismatch or [workers < 1]. *)
+    arity mismatch or [workers < 1].
+
+    With an enabled [obs] sink, each domain writes chunk spans to its own
+    lock-free ["domain d"] track (drained by the coordinator at the wave
+    barrier, whose mutex handshake orders the buffers), and the
+    coordinator emits one span plus the standard counter set per wave on
+    a ["waves"] track. *)
 
 val ideal_speedup : Pytfhe_circuit.Levelize.schedule -> int -> float
 (** The wave-synchronous speedup bound reported in {!stats}, exposed for

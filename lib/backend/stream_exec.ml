@@ -1,23 +1,28 @@
 module Binary = Pytfhe_circuit.Binary
 module Gate = Pytfhe_circuit.Gate
+module Trace = Pytfhe_obs.Trace
 
 type 'v ops = {
   v_gate : Gate.t -> 'v -> 'v -> 'v;
   v_input : int -> 'v;
 }
 
-let run ops bytes =
+let run ?(obs = Trace.null) ops bytes =
   (* One pass over the instruction stream; the value table is indexed by
      the sequential gate numbering, so lookups are array reads.  The table
      grows geometrically: the header only declares the gate count, not the
      input count. *)
+  let traced = Trace.enabled obs in
+  let t_start = Trace.now obs in
   let table = ref [||] in
   let next = ref 1 in
   let input_ordinal = ref 0 in
   let gate_total = ref (-1) in
   let seen_gates = ref 0 in
+  let unary_gates = ref 0 in
   let first = ref true in
   let outputs = ref [] in
+  let output_count = ref 0 in
   let ensure index =
     if Array.length !table <= index then begin
       let bigger = Array.make (max (2 * Array.length !table) (index + 16)) None in
@@ -47,21 +52,59 @@ let run ops bytes =
       | Binary.Gate_inst { gate; in0; in1 } ->
         if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
         incr seen_gates;
+        if Gate.is_unary gate then incr unary_gates;
         if !seen_gates > !gate_total then
           failwith "Stream_exec: more gates than the header declared";
         ensure !next;
         !table.(!next) <- Some (ops.v_gate gate (fetch in0) (fetch in1));
         incr next
-      | Binary.Output_decl { index } -> outputs := fetch index :: !outputs);
+      | Binary.Output_decl { index } ->
+        incr output_count;
+        outputs := fetch index :: !outputs);
   if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+  if traced then begin
+    (* The stream has no wave structure — the whole single pass is one
+       span, with the instruction mix as counters. *)
+    let tr = Trace.new_track obs ~name:"stream" in
+    Trace.span tr ~cat:"run" ~name:"stream_exec" ~t0:t_start ~t1:(Trace.now obs);
+    Trace.counter tr ~name:"instructions"
+      (float_of_int (1 + !input_ordinal + !seen_gates + !output_count));
+    Trace.counter tr ~name:"inputs" (float_of_int !input_ordinal);
+    Trace.counter tr ~name:"bootstraps" (float_of_int (!seen_gates - !unary_gates));
+    Trace.counter tr ~name:"nots" (float_of_int !unary_gates);
+    Trace.counter tr ~name:"outputs" (float_of_int !output_count);
+    Trace.drain obs
+  end;
   Array.of_list (List.rev !outputs)
 
 let run_bits bytes ins =
   let ops = { v_gate = Gate.eval; v_input = (fun i -> ins.(i)) } in
   run ops bytes
 
-let run_encrypted cloud bytes cts =
+let run_encrypted ?(obs = Trace.null) cloud bytes cts =
   let ops =
     { v_gate = (fun g a b -> Tfhe_eval.gate_of g cloud a b); v_input = (fun i -> cts.(i)) }
   in
-  run ops bytes
+  if not (Trace.enabled obs) then run ops bytes
+  else begin
+    (* Crypto-cost probes ride on a wrapper so the untraced closure stays
+       allocation-identical to before. *)
+    let boots = ref 0 in
+    let counted =
+      { ops with
+        v_gate =
+          (fun g a b ->
+            if not (Gate.is_unary g) then incr boots;
+            ops.v_gate g a b);
+      }
+    in
+    let result = run ~obs counted bytes in
+    let params = cloud.Pytfhe_tfhe.Gates.cloud_params in
+    let tr = Trace.new_track obs ~name:"stream-crypto" in
+    Exec_obs.noise_gauges tr params;
+    Trace.counter tr ~name:"key_switches" (float_of_int !boots);
+    Trace.counter tr ~name:"ffts"
+      (float_of_int (!boots * Exec_obs.ffts_per_bootstrap params));
+    Trace.drain obs;
+    result
+  end

@@ -12,16 +12,20 @@ type 'v ops = {
   v_input : int -> 'v;  (** Fetch input [i] (in input-instruction order). *)
 }
 
-val run : 'v ops -> bytes -> 'v array
+val run : ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> bytes -> 'v array
 (** Execute an assembled binary over any value domain; returns the outputs
     in output-instruction order.  Raises [Failure] on malformed streams
-    (bad magic sizes, forward references, missing header). *)
+    (bad magic sizes, forward references, missing header).  With an
+    enabled [obs] sink, emits one span for the whole pass plus the
+    instruction-mix counters on a ["stream"] track. *)
 
 val run_bits : bytes -> bool array -> bool array
 (** Plaintext-bit instantiation. *)
 
 val run_encrypted :
+  ?obs:Pytfhe_obs.Trace.sink ->
   Pytfhe_tfhe.Gates.cloud_keyset -> bytes -> Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array
 (** Homomorphic instantiation: each gate instruction triggers one
-    bootstrapped-gate evaluation. *)
+    bootstrapped-gate evaluation.  Traced runs add key-switch/FFT counters
+    and the noise gauges on a ["stream-crypto"] track. *)

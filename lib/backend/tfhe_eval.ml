@@ -1,8 +1,16 @@
 module Netlist = Pytfhe_circuit.Netlist
 module Gate = Pytfhe_circuit.Gate
+module Levelize = Pytfhe_circuit.Levelize
+module Trace = Pytfhe_obs.Trace
 open Pytfhe_tfhe
 
-type stats = { bootstraps_executed : int; nots_executed : int; wall_time : float }
+type stats = {
+  bootstraps_executed : int;
+  nots_executed : int;
+  wall_time : float;
+  wave_wall : float array;
+  wave_width : int array;
+}
 
 let gate_of g =
   match g with
@@ -32,17 +40,28 @@ let apply_gate ctx g a b =
   | Gate.Orny -> Gates.orny_gate_in ctx a b
   | Gate.Oryn -> Gates.oryn_gate_in ctx a b
 
-let run cloud net inputs =
+let prepare net inputs ~who =
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
-    invalid_arg "Tfhe_eval.run: input arity mismatch";
-  let start = Unix.gettimeofday () in
-  let ctx = Gates.default_context cloud in
+    invalid_arg (who ^ ": input arity mismatch");
   let n = Netlist.node_count net in
   let values : Lwe.sample option array = Array.make n None in
   List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
+  values
+
+let collect net values =
+  Netlist.outputs net
+  |> List.map (fun (_, id) -> Option.get values.(id))
+  |> Array.of_list
+
+(* The untraced id-order walk: ids are topologically sorted by
+   construction, so a single pass suffices.  This is the hot path — it
+   must not pay for observability beyond the one [Trace.enabled] load in
+   [run]. *)
+let run_untraced cloud net values =
+  let ctx = Gates.default_context cloud in
   let bootstraps = ref 0 and nots = ref 0 in
-  for id = 0 to n - 1 do
+  for id = 0 to Netlist.node_count net - 1 do
     match Netlist.kind net id with
     | Netlist.Input _ -> ()
     | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
@@ -51,12 +70,68 @@ let run cloud net inputs =
       if Gate.is_unary g then incr nots else incr bootstraps;
       values.(id) <- Some (apply_gate ctx g va vb)
   done;
-  let outputs =
-    Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list
+  (!bootstraps, !nots, [||], [||])
+
+(* The traced walk evaluates wave by wave instead of in id order, so each
+   wave gets one well-delimited span.  Gate results depend only on the
+   operand ciphertexts, so any topological order produces identical
+   outputs — the traced-vs-untraced qcheck suite holds this to bit
+   exactness. *)
+let run_traced obs cloud net values =
+  let ctx = Gates.default_context cloud in
+  let sched = Levelize.run net in
+  let waves = Levelize.waves sched net in
+  let nwaves = Array.length waves in
+  let wave_wall = Array.make nwaves 0.0 in
+  let wave_width = Array.map (fun w -> Array.length w.Levelize.parallel) waves in
+  for id = 0 to Netlist.node_count net - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
+    | Netlist.Input _ | Netlist.Gate _ -> ()
+  done;
+  let tr = Trace.new_track obs ~name:"cpu" in
+  Exec_obs.noise_gauges tr cloud.Gates.cloud_params;
+  let bootstraps = ref 0 and nots = ref 0 in
+  Array.iteri
+    (fun w wave ->
+      let t0 = Trace.now obs in
+      let a0 = Exec_obs.alloc_words () in
+      let wb = ref 0 and wn = ref 0 in
+      let eval id =
+        match Netlist.kind net id with
+        | Netlist.Gate (g, a, b) ->
+          let va = Option.get values.(a) and vb = Option.get values.(b) in
+          if Gate.is_unary g then incr wn else incr wb;
+          values.(id) <- Some (apply_gate ctx g va vb)
+        | Netlist.Input _ | Netlist.Const _ -> assert false
+      in
+      Array.iter eval wave.Levelize.parallel;
+      Array.iter eval wave.Levelize.inline;
+      let t1 = Trace.now obs in
+      wave_wall.(w) <- t1 -. t0;
+      bootstraps := !bootstraps + !wb;
+      nots := !nots + !wn;
+      Trace.span tr ~cat:"wave" ~name:(Printf.sprintf "wave %d" w) ~t0 ~t1;
+      Exec_obs.wave_counters tr cloud.Gates.cloud_params ~bootstraps:!wb
+        ~nots:!wn
+        ~width:wave_width.(w)
+        ~alloc_words:(Exec_obs.alloc_words () -. a0);
+      Trace.drain obs)
+    waves;
+  (!bootstraps, !nots, wave_wall, wave_width)
+
+let run ?(obs = Trace.null) cloud net inputs =
+  let values = prepare net inputs ~who:"Tfhe_eval.run" in
+  let start = Unix.gettimeofday () in
+  let bootstraps, nots, wave_wall, wave_width =
+    if Trace.enabled obs then run_traced obs cloud net values
+    else run_untraced cloud net values
   in
-  ( outputs,
+  ( collect net values,
     {
-      bootstraps_executed = !bootstraps;
-      nots_executed = !nots;
+      bootstraps_executed = bootstraps;
+      nots_executed = nots;
       wall_time = Unix.gettimeofday () -. start;
+      wave_wall;
+      wave_width;
     } )

@@ -9,16 +9,26 @@ type stats = {
   bootstraps_executed : int;
   nots_executed : int;
   wall_time : float;  (** Seconds of real local compute. *)
+  wave_wall : float array;
+      (** Wall seconds per wave — only filled on traced runs (which
+          execute wave by wave); empty on the untraced id-order walk. *)
+  wave_width : int array;  (** Bootstrapped gates per wave (traced runs). *)
 }
 
 val run :
+  ?obs:Pytfhe_obs.Trace.sink ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * stats
 (** [run cloud net inputs] homomorphically evaluates every gate in
     topological order.  [inputs] follow the netlist's input declaration
-    order; outputs follow the output declaration order. *)
+    order; outputs follow the output declaration order.
+
+    With an enabled [obs] sink the walk switches from id order to the
+    levelized wave order — a different topological order of the same DAG,
+    so outputs are bit-exact either way — and emits one span plus the
+    standard counter set per wave on a ["cpu"] track. *)
 
 val gate_of : Pytfhe_circuit.Gate.t ->
   Pytfhe_tfhe.Gates.cloud_keyset -> Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample ->

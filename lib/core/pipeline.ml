@@ -3,6 +3,7 @@ module Stats = Pytfhe_circuit.Stats
 module Levelize = Pytfhe_circuit.Levelize
 module Binary = Pytfhe_circuit.Binary
 module Opt = Pytfhe_synth.Opt
+module Trace = Pytfhe_obs.Trace
 open Pytfhe_chiseltorch
 
 type compiled = {
@@ -14,21 +15,30 @@ type compiled = {
   opt_report : Opt.report option;
 }
 
-let compile ?(optimize = true) ~name net =
+let compile ?(obs = Trace.null) ?(optimize = true) ~name net =
+  (* One span per compile phase on a "compile" track; phases run strictly
+     sequentially, so the track's spans can never overlap. *)
+  let tr = Trace.new_track obs ~name:"compile" in
+  let phase pname f =
+    if not (Trace.enabled obs) then f ()
+    else begin
+      let t0 = Trace.now obs in
+      let result = f () in
+      Trace.span tr ~cat:"compile" ~name:pname ~t0 ~t1:(Trace.now obs);
+      result
+    end
+  in
   let netlist, opt_report =
     if optimize then
-      let optimized, report = Opt.optimize net in
+      let optimized, report = phase "optimize" (fun () -> Opt.optimize net) in
       (optimized, Some report)
     else (net, None)
   in
-  {
-    prog_name = name;
-    netlist;
-    binary = Binary.assemble netlist;
-    stats = Stats.compute netlist;
-    schedule = Levelize.run netlist;
-    opt_report;
-  }
+  let binary = phase "assemble" (fun () -> Binary.assemble netlist) in
+  let stats = phase "stats" (fun () -> Stats.compute netlist) in
+  let schedule = phase "levelize" (fun () -> Levelize.run netlist) in
+  Trace.drain obs;
+  { prog_name = name; netlist; binary; stats; schedule; opt_report }
 
 let compile_model ~name ~dtype ~input_shape model =
   let net = Netlist.create () in

@@ -17,8 +17,12 @@ type compiled = {
   opt_report : Pytfhe_synth.Opt.report option;  (** [None] if unoptimized. *)
 }
 
-val compile : ?optimize:bool -> name:string -> Pytfhe_circuit.Netlist.t -> compiled
-(** Optimize (default [true]), levelize and assemble a circuit. *)
+val compile :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?optimize:bool -> name:string -> Pytfhe_circuit.Netlist.t -> compiled
+(** Optimize (default [true]), levelize and assemble a circuit.  With an
+    enabled [obs] sink, emits one span per compile phase
+    (optimize/assemble/stats/levelize) on a ["compile"] track. *)
 
 val compile_model :
   name:string -> dtype:Pytfhe_chiseltorch.Dtype.t -> input_shape:int array ->

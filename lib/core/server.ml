@@ -1,16 +1,70 @@
 open Pytfhe_backend
 
-type backend =
+(* ------------------------------------------------------------------ *)
+(* Real execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type exec_backend =
+  | Cpu
+  | Multicore of { workers : int }
+  | Multiprocess of { workers : int; config : Dist_eval.config option }
+
+let exec_backend_name = function
+  | Cpu -> "cpu"
+  | Multicore { workers } ->
+    if workers = 0 then "multicore" else Printf.sprintf "multicore (%d workers)" workers
+  | Multiprocess { workers; config } ->
+    let w = match config with Some c -> c.Dist_eval.workers | None -> workers in
+    Printf.sprintf "multiprocess (%d workers)" w
+
+let executor = function
+  | Cpu -> Executor.cpu
+  | Multicore { workers } ->
+    if workers = 0 then Executor.multicore () else Executor.multicore ~workers ()
+  | Multiprocess { workers; config } ->
+    Executor.multiprocess ~workers ?config ()
+
+let run ?obs backend cloud compiled inputs =
+  let (module E : Executor.S) = executor backend in
+  E.run ?obs cloud compiled.Pipeline.netlist inputs
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model simulation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sim_platform =
   | Single_core
   | Distributed of { nodes : int }
   | Gpu of Cost_model.gpu
   | Gpu_cufhe of Cost_model.gpu
 
-let backend_name = function
+type backend = sim_platform
+
+let sim_platform_name = function
   | Single_core -> "single-core CPU"
   | Distributed { nodes } -> Printf.sprintf "distributed CPU (%d nodes)" nodes
   | Gpu g -> Printf.sprintf "GPU (%s)" g.Cost_model.gpu_name
   | Gpu_cufhe g -> Printf.sprintf "cuFHE (%s)" g.Cost_model.gpu_name
+
+let backend_name = sim_platform_name
+
+let estimate ?(cost = Cost_model.paper_cpu) platform compiled =
+  let sched = compiled.Pipeline.schedule in
+  match platform with
+  | Single_core ->
+    float_of_int sched.Pytfhe_circuit.Levelize.total_bootstraps *. cost.Cost_model.gate_time
+  | Distributed { nodes } -> (Sched_cpu.simulate { Sched_cpu.nodes; cost } sched).Sched_cpu.makespan
+  | Gpu g -> (Sched_gpu.simulate_pytfhe g ~cpu:cost sched).Sched_gpu.makespan
+  | Gpu_cufhe g -> (Sched_gpu.simulate_cufhe g ~cpu:cost sched).Sched_gpu.makespan
+
+let speedup_over_single_core ?cost platform compiled =
+  let single = estimate ?cost Single_core compiled in
+  let t = estimate ?cost platform compiled in
+  if t > 0.0 then single /. t else 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated entry points (pre-Executor API)                          *)
+(* ------------------------------------------------------------------ *)
 
 let evaluate cloud compiled inputs = Tfhe_eval.run cloud compiled.Pipeline.netlist inputs
 
@@ -21,19 +75,9 @@ let evaluate_distributed ?(workers = 2) ?config cloud compiled inputs =
   let cfg = match config with Some c -> c | None -> Dist_eval.config workers in
   Dist_eval.run cfg cloud compiled.Pipeline.netlist inputs
 
-let estimate ?(cost = Cost_model.paper_cpu) backend compiled =
-  let sched = compiled.Pipeline.schedule in
-  match backend with
-  | Single_core ->
-    float_of_int sched.Pytfhe_circuit.Levelize.total_bootstraps *. cost.Cost_model.gate_time
-  | Distributed { nodes } -> (Sched_cpu.simulate { Sched_cpu.nodes; cost } sched).Sched_cpu.makespan
-  | Gpu g -> (Sched_gpu.simulate_pytfhe g ~cpu:cost sched).Sched_gpu.makespan
-  | Gpu_cufhe g -> (Sched_gpu.simulate_cufhe g ~cpu:cost sched).Sched_gpu.makespan
-
-let speedup_over_single_core ?cost backend compiled =
-  let single = estimate ?cost Single_core compiled in
-  let t = estimate ?cost backend compiled in
-  if t > 0.0 then single /. t else 0.0
+(* ------------------------------------------------------------------ *)
+(* Keyset persistence                                                  *)
+(* ------------------------------------------------------------------ *)
 
 module Wire = Pytfhe_util.Wire
 

@@ -1,49 +1,104 @@
 (** The server side: execute compiled TFHE programs on ciphertexts.
 
-    [evaluate] is the real thing — every gate is a genuine bootstrapping
-    over LWE ciphertexts, single-core.  [estimate] prices a program on any
-    of the paper's platforms through the calibrated cost models (see
-    DESIGN.md for why the cluster and the GPUs are simulated). *)
+    Two orthogonal choices live here and are kept apart in the API:
 
-type backend =
+    - {!exec_backend} selects a {e real} executor — every gate is a
+      genuine bootstrapping over LWE ciphertexts — run through {!run},
+      which all backends implement behind one
+      {!Pytfhe_backend.Executor.S} signature;
+    - {!sim_platform} selects a {e priced} platform — {!estimate} replays
+      the schedule against the calibrated cost models of the paper's
+      cluster and GPUs (see DESIGN.md for the substitution rationale)
+      without executing anything. *)
+
+(** {2 Real execution} *)
+
+(** Which executor runs the program.  All three are bit-exact with each
+    other for any worker count. *)
+type exec_backend =
+  | Cpu  (** Sequential {!Pytfhe_backend.Tfhe_eval} on the calling thread. *)
+  | Multicore of { workers : int }
+      (** {!Pytfhe_backend.Par_eval} on OCaml 5 domains; [workers = 0]
+          means [Domain.recommended_domain_count ()]. *)
+  | Multiprocess of {
+      workers : int;
+      config : Pytfhe_backend.Dist_eval.config option;
+    }
+      (** {!Pytfhe_backend.Dist_eval} on worker OS processes; [config]
+          overrides [workers] when given.  The calling executable must
+          invoke {!Pytfhe_backend.Dist_eval.worker_entry} at the start of
+          main. *)
+
+val exec_backend_name : exec_backend -> string
+
+val executor : exec_backend -> (module Pytfhe_backend.Executor.S)
+(** The first-class executor module behind each variant. *)
+
+val run :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  exec_backend ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pipeline.compiled ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Executor.stats
+(** [run backend cloud compiled inputs] evaluates the program
+    homomorphically (inputs/outputs in declaration order) on the chosen
+    backend, returning the unified stats record.  Pass an enabled [obs]
+    sink to collect spans/counters/gauges — see
+    {!Pytfhe_obs.Trace} and [docs/observability.md]. *)
+
+(** {2 Cost-model simulation} *)
+
+(** A priced platform of the paper's evaluation — never executed here. *)
+type sim_platform =
   | Single_core
   | Distributed of { nodes : int }
   | Gpu of Pytfhe_backend.Cost_model.gpu
   | Gpu_cufhe of Pytfhe_backend.Cost_model.gpu  (** The cuFHE baseline executor. *)
 
-val backend_name : backend -> string
+type backend = sim_platform
+(** @deprecated Old name of {!sim_platform}, kept so existing callers
+    compile; it conflated simulated platforms with real executors (now
+    {!exec_backend}). *)
+
+val sim_platform_name : sim_platform -> string
+
+val backend_name : sim_platform -> string
+(** @deprecated Use {!sim_platform_name}. *)
+
+val estimate :
+  ?cost:Pytfhe_backend.Cost_model.cpu -> sim_platform -> Pipeline.compiled -> float
+(** Simulated wall-clock seconds for the program on the given platform
+    (default CPU calibration: the paper's). *)
+
+val speedup_over_single_core :
+  ?cost:Pytfhe_backend.Cost_model.cpu -> sim_platform -> Pipeline.compiled -> float
+
+(** {2 Deprecated entry points}
+
+    One-line wrappers over {!run}, kept for source compatibility; they
+    return each backend's native stats record instead of the unified
+    {!Pytfhe_backend.Executor.stats}. *)
 
 val evaluate :
   Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Tfhe_eval.stats
-(** Homomorphic evaluation (inputs/outputs in declaration order). *)
+(** @deprecated Use [run Cpu]. *)
 
 val evaluate_parallel :
   ?workers:int ->
   Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Par_eval.stats
-(** Like {!evaluate}, but wave-parallel across OCaml 5 domains
-    ({!Pytfhe_backend.Par_eval}).  Bit-exact with {!evaluate}; default
-    worker count is [Domain.recommended_domain_count ()]. *)
+(** @deprecated Use [run (Multicore _)]. *)
 
 val evaluate_distributed :
   ?workers:int ->
   ?config:Pytfhe_backend.Dist_eval.config ->
   Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Dist_eval.stats
-(** Like {!evaluate}, but sharded across real worker OS processes
-    ({!Pytfhe_backend.Dist_eval}).  Bit-exact with {!evaluate}; [workers]
-    defaults to 2 and is ignored when [config] is given.  The calling
-    executable must invoke {!Pytfhe_backend.Dist_eval.worker_entry} at the
-    start of main. *)
+(** @deprecated Use [run (Multiprocess _)]. *)
 
-val estimate :
-  ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
-(** Simulated wall-clock seconds for the program on the given backend
-    (default CPU calibration: the paper's). *)
-
-val speedup_over_single_core :
-  ?cost:Pytfhe_backend.Cost_model.cpu -> backend -> Pipeline.compiled -> float
+(** {2 Keyset persistence} *)
 
 val save_cloud_keyset : Pytfhe_tfhe.Gates.cloud_keyset -> string -> unit
 (** Persist the evaluation keys the client ships to the server. *)

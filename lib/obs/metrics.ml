@@ -1,0 +1,95 @@
+open Pytfhe_util
+
+type gauge_stats = { count : int; min : float; max : float; last : float }
+
+let by_name fold events =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun e -> fold tbl e) events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters events =
+  by_name
+    (fun tbl e ->
+      match e with
+      | Trace.Counter { name; value; _ } ->
+          let cur = try Hashtbl.find tbl name with Not_found -> 0. in
+          Hashtbl.replace tbl name (cur +. value)
+      | _ -> ())
+    events
+
+let gauges events =
+  by_name
+    (fun tbl e ->
+      match e with
+      | Trace.Gauge { name; value; _ } ->
+          let st =
+            try Hashtbl.find tbl name
+            with Not_found ->
+              { count = 0; min = infinity; max = neg_infinity; last = nan }
+          in
+          Hashtbl.replace tbl name
+            {
+              count = st.count + 1;
+              min = Float.min st.min value;
+              max = Float.max st.max value;
+              last = value;
+            }
+      | _ -> ())
+    events
+
+let span_totals events =
+  by_name
+    (fun tbl e ->
+      match e with
+      | Trace.Span { name; t0; t1; _ } ->
+          let n, total = try Hashtbl.find tbl name with Not_found -> (0, 0.) in
+          Hashtbl.replace tbl name (n + 1, total +. max 0. (t1 -. t0))
+      | _ -> ())
+    events
+
+let to_json ?(extra = []) sink =
+  let events = Trace.events sink in
+  let counters =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Number v)) (counters events))
+  in
+  let gauges =
+    Json.Obj
+      (List.map
+         (fun (k, g) ->
+           ( k,
+             Json.Obj
+               [
+                 ("count", Json.Number (float_of_int g.count));
+                 ("min", Json.Number g.min);
+                 ("max", Json.Number g.max);
+                 ("last", Json.Number g.last);
+               ] ))
+         (gauges events))
+  in
+  let spans =
+    Json.Obj
+      (List.map
+         (fun (k, (n, total)) ->
+           ( k,
+             Json.Obj
+               [
+                 ("count", Json.Number (float_of_int n));
+                 ("total_s", Json.Number total);
+               ] ))
+         (span_totals events))
+  in
+  Json.Obj
+    ([
+       ("counters", counters);
+       ("gauges", gauges);
+       ("spans", spans);
+       ("dropped_events", Json.Number (float_of_int (Trace.dropped sink)));
+     ]
+    @ extra)
+
+let write ?extra sink path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~indent:true (to_json ?extra sink)))

@@ -1,0 +1,27 @@
+(** Flat metrics export: aggregate everything a {!Trace.sink} collected
+    into one JSON object — counter totals (bootstraps, key switches,
+    FFTs, allocation words, bytes on the wire, retries, heartbeat
+    misses), gauge statistics (noise margins), and per-span-name time
+    totals — plus whatever backend-specific extras the caller supplies. *)
+
+type gauge_stats = { count : int; min : float; max : float; last : float }
+
+val counters : Trace.event list -> (string * float) list
+(** Counter totals summed by name, name-sorted. *)
+
+val gauges : Trace.event list -> (string * gauge_stats) list
+(** Gauge statistics by name, name-sorted. *)
+
+val span_totals : Trace.event list -> (string * (int * float)) list
+(** Per span name: (occurrences, total seconds), name-sorted. *)
+
+val to_json :
+  ?extra:(string * Pytfhe_util.Json.t) list ->
+  Trace.sink ->
+  Pytfhe_util.Json.t
+(** The metrics object: [{"counters": {...}, "gauges": {...},
+    "spans": {...}, "dropped_events": n, ...extra}]. *)
+
+val write :
+  ?extra:(string * Pytfhe_util.Json.t) list -> Trace.sink -> string -> unit
+(** Serialize {!to_json} to a file. *)

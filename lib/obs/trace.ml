@@ -1,0 +1,391 @@
+open Pytfhe_util
+
+type event =
+  | Span of { track : int; name : string; cat : string; t0 : float; t1 : float }
+  | Counter of { track : int; name : string; t : float; value : float }
+  | Gauge of { track : int; name : string; t : float; value : float }
+  | Instant of { track : int; name : string; t : float }
+
+(* One single-writer bounded buffer.  The owner appends with no locks;
+   the coordinator reads it only at a barrier where the owner is
+   quiescent (drain) — the barrier handshake is the happens-before
+   edge, exactly as for the Par_eval values array. *)
+type track_state = {
+  tid : int;
+  buf : event array;
+  mutable len : int;
+  mutable tdropped : int;
+}
+
+type track = No_track | Track of track_state
+
+type sink = {
+  enabled : bool;
+  epoch_at : float;
+  capacity : int;
+  mu : Mutex.t;
+  mutable tracks : track_state list;
+  mutable names : (int * string) list;
+  mutable next_id : int;
+  mutable drained : event list; (* newest first *)
+}
+
+let dummy = Instant { track = 0; name = ""; t = 0. }
+
+let null =
+  {
+    enabled = false;
+    epoch_at = 0.;
+    capacity = 0;
+    mu = Mutex.create ();
+    tracks = [];
+    names = [];
+    next_id = 0;
+    drained = [];
+  }
+
+let create ?(capacity = 65536) ?epoch () =
+  let epoch_at =
+    match epoch with Some e -> e | None -> Unix.gettimeofday ()
+  in
+  {
+    enabled = true;
+    epoch_at;
+    capacity = max 16 capacity;
+    mu = Mutex.create ();
+    tracks = [];
+    names = [];
+    next_id = 0;
+    drained = [];
+  }
+
+let enabled s = s.enabled
+let epoch s = s.epoch_at
+let now s = Unix.gettimeofday () -. s.epoch_at
+
+let locked s f =
+  Mutex.lock s.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+let fresh_id s ~name =
+  locked s (fun () ->
+      let id = s.next_id in
+      s.next_id <- id + 1;
+      s.names <- (id, name) :: s.names;
+      id)
+
+let new_track s ~name =
+  if not s.enabled then No_track
+  else
+    let id = fresh_id s ~name in
+    let st = { tid = id; buf = Array.make s.capacity dummy; len = 0; tdropped = 0 } in
+    locked s (fun () -> s.tracks <- st :: s.tracks);
+    Track st
+
+let external_track s ~name = if not s.enabled then 0 else fresh_id s ~name
+
+let append st e =
+  if st.len < Array.length st.buf then begin
+    st.buf.(st.len) <- e;
+    st.len <- st.len + 1
+  end
+  else st.tdropped <- st.tdropped + 1
+
+let span ?(cat = "exec") tr ~name ~t0 ~t1 =
+  match tr with
+  | No_track -> ()
+  | Track st -> append st (Span { track = st.tid; name; cat; t0; t1 })
+
+let stamp () = Unix.gettimeofday ()
+
+let counter tr ~name value =
+  match tr with
+  | No_track -> ()
+  | Track st ->
+      append st (Counter { track = st.tid; name; t = stamp (); value })
+
+let gauge tr ~name value =
+  match tr with
+  | No_track -> ()
+  | Track st -> append st (Gauge { track = st.tid; name; t = stamp (); value })
+
+let instant tr ~name =
+  match tr with
+  | No_track -> ()
+  | Track st -> append st (Instant { track = st.tid; name; t = stamp () })
+
+(* Probe sites stamp absolute time (one syscall, no sink lookup); the
+   drain rebases onto the sink's epoch so exports and injected worker
+   events share one clock. *)
+let rebase epoch_at e =
+  match e with
+  | Span _ -> e (* span t0/t1 come from [now], already epoch-relative *)
+  | Counter c -> Counter { c with t = c.t -. epoch_at }
+  | Gauge g -> Gauge { g with t = g.t -. epoch_at }
+  | Instant i -> Instant { i with t = i.t -. epoch_at }
+
+let drain s =
+  if s.enabled then
+    locked s (fun () ->
+        List.iter
+          (fun st ->
+            for i = 0 to st.len - 1 do
+              s.drained <- rebase s.epoch_at st.buf.(i) :: s.drained
+            done;
+            st.len <- 0)
+          s.tracks)
+
+let ts_of = function
+  | Span { t0; _ } -> t0
+  | Counter { t; _ } | Gauge { t; _ } | Instant { t; _ } -> t
+
+let sorted_events s =
+  List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) (List.rev s.drained)
+
+let events s =
+  if not s.enabled then []
+  else begin
+    drain s;
+    locked s (fun () -> sorted_events s)
+  end
+
+let flush s =
+  if not s.enabled then []
+  else begin
+    drain s;
+    locked s (fun () ->
+        let es = sorted_events s in
+        s.drained <- [];
+        es)
+  end
+
+let retrack track = function
+  | Span sp -> Span { sp with track }
+  | Counter c -> Counter { c with track }
+  | Gauge g -> Gauge { g with track }
+  | Instant i -> Instant { i with track }
+
+let inject s ~track es =
+  if s.enabled then
+    locked s (fun () ->
+        List.iter (fun e -> s.drained <- retrack track e :: s.drained) es)
+
+let dropped s =
+  locked s (fun () ->
+      List.fold_left (fun acc st -> acc + st.tdropped) 0 s.tracks)
+
+(* {2 Wire} *)
+
+let write_event w e =
+  match e with
+  | Span { track; name; cat; t0; t1 } ->
+      Wire.write_u8 w 0;
+      Wire.write_i64 w track;
+      Wire.write_string w name;
+      Wire.write_string w cat;
+      Wire.write_f64 w t0;
+      Wire.write_f64 w t1
+  | Counter { track; name; t; value } ->
+      Wire.write_u8 w 1;
+      Wire.write_i64 w track;
+      Wire.write_string w name;
+      Wire.write_f64 w t;
+      Wire.write_f64 w value
+  | Gauge { track; name; t; value } ->
+      Wire.write_u8 w 2;
+      Wire.write_i64 w track;
+      Wire.write_string w name;
+      Wire.write_f64 w t;
+      Wire.write_f64 w value
+  | Instant { track; name; t } ->
+      Wire.write_u8 w 3;
+      Wire.write_i64 w track;
+      Wire.write_string w name;
+      Wire.write_f64 w t
+
+let read_event r =
+  match Wire.read_u8 r with
+  | 0 ->
+      let track = Wire.read_i64 r in
+      let name = Wire.read_string r in
+      let cat = Wire.read_string r in
+      let t0 = Wire.read_f64 r in
+      let t1 = Wire.read_f64 r in
+      Span { track; name; cat; t0; t1 }
+  | 1 ->
+      let track = Wire.read_i64 r in
+      let name = Wire.read_string r in
+      let t = Wire.read_f64 r in
+      let value = Wire.read_f64 r in
+      Counter { track; name; t; value }
+  | 2 ->
+      let track = Wire.read_i64 r in
+      let name = Wire.read_string r in
+      let t = Wire.read_f64 r in
+      let value = Wire.read_f64 r in
+      Gauge { track; name; t; value }
+  | 3 ->
+      let track = Wire.read_i64 r in
+      let name = Wire.read_string r in
+      let t = Wire.read_f64 r in
+      Instant { track; name; t }
+  | tag -> raise (Wire.Corrupt (Printf.sprintf "trace event tag %d" tag))
+
+(* {2 Chrome trace_event export} *)
+
+let us t = Json.Number (t *. 1e6)
+
+let to_chrome s =
+  let es = events s in
+  let names = locked s (fun () -> List.rev s.names) in
+  let meta =
+    List.map
+      (fun (tid, tname) ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("ts", Json.Number 0.);
+            ("pid", Json.Number 1.);
+            ("tid", Json.Number (float_of_int tid));
+            ("args", Json.Obj [ ("name", Json.String tname) ]);
+          ])
+      names
+  in
+  (* Counters are increments at the probe site; the Chrome exporter turns
+     them into running totals per (track, name) series. *)
+  let totals = Hashtbl.create 16 in
+  let body =
+    List.map
+      (fun e ->
+        match e with
+        | Span { track; name; cat; t0; t1 } ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("cat", Json.String cat);
+                ("ph", Json.String "X");
+                ("ts", us t0);
+                ("dur", us (max 0. (t1 -. t0)));
+                ("pid", Json.Number 1.);
+                ("tid", Json.Number (float_of_int track));
+              ]
+        | Counter { track; name; t; value } ->
+            let key = (track, name) in
+            let total =
+              value +. (try Hashtbl.find totals key with Not_found -> 0.)
+            in
+            Hashtbl.replace totals key total;
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "C");
+                ("ts", us t);
+                ("pid", Json.Number 1.);
+                ("tid", Json.Number (float_of_int track));
+                ("args", Json.Obj [ ("value", Json.Number total) ]);
+              ]
+        | Gauge { track; name; t; value } ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "C");
+                ("ts", us t);
+                ("pid", Json.Number 1.);
+                ("tid", Json.Number (float_of_int track));
+                ("args", Json.Obj [ ("value", Json.Number value) ]);
+              ]
+        | Instant { track; name; t } ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "i");
+                ("ts", us t);
+                ("pid", Json.Number 1.);
+                ("tid", Json.Number (float_of_int track));
+                ("s", Json.String "t");
+              ])
+      es
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ body));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome s path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~indent:true (to_chrome s)))
+
+(* {2 Validation} *)
+
+let validate_chrome json =
+  let ( let* ) = Result.bind in
+  let* evs =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> Ok l
+    | Some _ -> Error "traceEvents is not a list"
+    | None -> Error "missing traceEvents"
+  in
+  let num field ev =
+    match Json.member field ev with
+    | Some (Json.Number f) -> Ok f
+    | _ -> Error (Printf.sprintf "event missing numeric %S" field)
+  in
+  let str field ev =
+    match Json.member field ev with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "event missing string %S" field)
+  in
+  (* per-tid list of complete spans, emission order *)
+  let spans = Hashtbl.create 16 in
+  let check_one ev =
+    match ev with
+    | Json.Obj _ ->
+        let* _name = str "name" ev in
+        let* ph = str "ph" ev in
+        let* _ts = num "ts" ev in
+        let* _pid = num "pid" ev in
+        let* tid = num "tid" ev in
+        if ph = "X" then
+          let* ts = num "ts" ev in
+          let* dur = num "dur" ev in
+          if dur < 0. then Error "complete event with negative dur"
+          else begin
+            let prev = try Hashtbl.find spans tid with Not_found -> [] in
+            Hashtbl.replace spans tid ((ts, dur) :: prev);
+            Ok ()
+          end
+        else Ok ()
+    | _ -> Error "traceEvents member is not an object"
+  in
+  let* () =
+    List.fold_left
+      (fun acc ev -> Result.bind acc (fun () -> check_one ev))
+      (Ok ()) evs
+  in
+  (* Per track: spans must be monotonic and non-overlapping.  Half a
+     microsecond of slack absorbs float rounding through the µs
+     conversion. *)
+  let eps = 0.5 in
+  Hashtbl.fold
+    (fun tid l acc ->
+      let* () = acc in
+      let rec go = function
+        | (ts0, d0) :: ((ts1, _) :: _ as rest) ->
+            if ts1 +. eps < ts0 then
+              Error
+                (Printf.sprintf "unsorted spans on tid %g: %g after %g" tid ts1
+                   ts0)
+            else if ts1 +. eps < ts0 +. d0 then
+              Error
+                (Printf.sprintf
+                   "overlapping spans on tid %g: [%g,%g] then start %g" tid ts0
+                   (ts0 +. d0) ts1)
+            else go rest
+        | _ -> Ok ()
+      in
+      go (List.rev l))
+    spans (Ok ())

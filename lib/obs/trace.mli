@@ -1,0 +1,109 @@
+(** Low-overhead tracing/metrics sink for every execution backend.
+
+    The observability layer the evaluation (paper Figs. 7–10) needs: span,
+    counter and gauge probes scattered through the executors, collected in
+    per-track ring buffers and exported as a Chrome [trace_event] JSON
+    (open in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto})
+    or aggregated into a flat metrics JSON (see {!Metrics}).
+
+    Concurrency model: one {e track} is owned by exactly one writer (the
+    coordinating thread, a worker domain, a worker process).  Writers
+    append to their own ring buffer with no locks; the coordinator calls
+    {!drain} at wave barriers — where every other writer is quiescent, so
+    the pool's barrier handshake is the happens-before edge — to move
+    events into the global list.  Track registration and drains take a
+    mutex; probes never do.
+
+    Cost model: a disabled sink ({!null}, or any probe behind
+    [if Trace.enabled sink]) costs one load of an immutable boolean.  The
+    [obs] bench experiment measures the end-to-end overhead of the
+    disabled probes on the micro gate benchmark and records it in
+    [BENCH_obs_overhead.json]. *)
+
+type event =
+  | Span of { track : int; name : string; cat : string; t0 : float; t1 : float }
+      (** A completed interval, [epoch]-relative seconds. *)
+  | Counter of { track : int; name : string; t : float; value : float }
+      (** A monotonic increment (the exporter accumulates running totals). *)
+  | Gauge of { track : int; name : string; t : float; value : float }
+      (** A sampled absolute value. *)
+  | Instant of { track : int; name : string; t : float }
+
+type sink
+type track
+
+val null : sink
+(** The disabled sink: every probe is a no-op behind one flag load. *)
+
+val create : ?capacity:int -> ?epoch:float -> unit -> sink
+(** An enabled sink.  [capacity] (default 65536) bounds each track's ring
+    buffer between drains; overflowing events are dropped and counted.
+    [epoch] (default: now, as [Unix.gettimeofday]) is the absolute time
+    all probe timestamps are relative to — a distributed worker passes the
+    coordinator's epoch (shipped in the hello frame) so both sides emit
+    directly comparable timestamps off the shared machine clock. *)
+
+val epoch : sink -> float
+(** The absolute [Unix.gettimeofday] origin of this sink's timestamps. *)
+
+val enabled : sink -> bool
+(** One load of an immutable field — the guard for every probe site. *)
+
+val now : sink -> float
+(** Seconds since the sink's epoch (what all probe timestamps use). *)
+
+val new_track : sink -> name:string -> track
+(** Register a writer-owned track (takes the registration mutex; call at
+    setup time, never on the hot path).  On {!null} returns a dummy track
+    whose probes are no-ops. *)
+
+val external_track : sink -> name:string -> int
+(** Reserve a track id for events produced elsewhere (a worker process)
+    and later merged with {!inject}. *)
+
+val span : ?cat:string -> track -> name:string -> t0:float -> t1:float -> unit
+val counter : track -> name:string -> float -> unit
+val gauge : track -> name:string -> float -> unit
+val instant : track -> name:string -> unit
+
+val drain : sink -> unit
+(** Move every track's buffered events into the sink's global list.  Only
+    the coordinator may call this, and only when all other writers are at
+    a barrier. *)
+
+val flush : sink -> event list
+(** {!drain}, then return {e and clear} all accumulated events in
+    chronological order — how a worker process hands its events to the
+    coordinator. *)
+
+val events : sink -> event list
+(** {!drain}, then return (without clearing) all events, chronological. *)
+
+val inject : sink -> track:int -> event list -> unit
+(** Merge externally collected events (re-stamped onto [track]).  The
+    timestamps are kept as-is: both sides of the socket share the machine
+    clock, and worker sinks are created against the coordinator's epoch
+    offset shipped in the hello frame (see {!Pytfhe_backend.Dist_eval}). *)
+
+val dropped : sink -> int
+(** Events lost to ring-buffer overflow across all tracks. *)
+
+val write_event : Pytfhe_util.Wire.writer -> event -> unit
+val read_event : Pytfhe_util.Wire.reader -> event
+(** Wire (de)serialization for the [DTRC] frame. *)
+
+(** {2 Chrome trace export} *)
+
+val to_chrome : sink -> Pytfhe_util.Json.t
+(** The [trace_event] JSON object ({["traceEvents"]} array of [X]/[C]/[i]
+    events plus [M] thread-name metadata, timestamps in microseconds). *)
+
+val write_chrome : sink -> string -> unit
+(** Serialize {!to_chrome} to a file. *)
+
+val validate_chrome : Pytfhe_util.Json.t -> (unit, string) result
+(** Schema check used by the exporter golden tests, the CLI
+    [trace-validate] command and CI: a [traceEvents] list whose members
+    carry [name]/[ph]/[ts]/[pid]/[tid], complete events carry a
+    non-negative [dur], and per track the complete spans are monotonic and
+    non-overlapping. *)

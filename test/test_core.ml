@@ -3,6 +3,7 @@ module Netlist = Pytfhe_circuit.Netlist
 module Gate = Pytfhe_circuit.Gate
 module Binary = Pytfhe_circuit.Binary
 module Stats = Pytfhe_circuit.Stats
+module Executor = Pytfhe_backend.Executor
 open Pytfhe_core
 open Pytfhe_chiseltorch
 
@@ -127,12 +128,13 @@ let test_end_to_end_encrypted_add () =
   List.iter
     (fun (x, y) ->
       let cts = Client.encrypt_bits client (Array.append (encode x) (encode y)) in
-      let outs, stats = Server.evaluate cloud compiled cts in
+      let outs, stats = Server.run Server.Cpu cloud compiled cts in
       let bits = Client.decrypt_bits client outs in
       let v = ref 0 in
       Array.iteri (fun i bit -> if bit then v := !v lor (1 lsl i)) bits;
       Alcotest.(check int) (Printf.sprintf "%d+%d" x y) ((x + y) land 0xF) !v;
-      Alcotest.(check bool) "did real bootstrapping" true (stats.Pytfhe_backend.Tfhe_eval.bootstraps_executed > 0))
+      Alcotest.(check bool) "did real bootstrapping" true (stats.Executor.bootstraps_executed > 0);
+      Alcotest.(check string) "unified stats name the backend" "cpu" stats.Executor.backend)
     [ (3, 4); (9, 9); (15, 1) ]
 
 
@@ -144,10 +146,22 @@ let test_evaluate_distributed_matches_sequential () =
   Pytfhe_hdl.Bus.output net "s" (Pytfhe_hdl.Arith.add net a b);
   let compiled = Pipeline.compile ~name:"add3" net in
   let cts = Client.encrypt_bits client [| true; false; true; false; true; false |] in
-  let seq_out, _ = Server.evaluate cloud compiled cts in
-  let outs, stats = Server.evaluate_distributed ~workers:2 cloud compiled cts in
+  let seq_out, _ = Server.run Server.Cpu cloud compiled cts in
+  let outs, stats =
+    Server.run (Server.Multiprocess { workers = 2; config = None }) cloud compiled cts
+  in
   Alcotest.(check bool) "bit-exact with sequential server path" true (outs = seq_out);
-  Alcotest.(check int) "two worker processes" 2 stats.Pytfhe_backend.Dist_eval.workers_started;
+  Alcotest.(check int) "two worker processes" 2 stats.Executor.workers;
+  (match stats.Executor.detail with
+  | Executor.Multiprocess_stats d ->
+    Alcotest.(check int) "detail carries the dist stats" 2 d.Pytfhe_backend.Dist_eval.workers_started
+  | _ -> Alcotest.fail "multiprocess run returned non-multiprocess detail");
+  (* the deprecated wrappers stay bit-exact with the unified entry point *)
+  let wrap_seq, _ = Server.evaluate cloud compiled cts in
+  let wrap_par, _ = Server.evaluate_parallel ~workers:2 cloud compiled cts in
+  let wrap_dist, _ = Server.evaluate_distributed ~workers:2 cloud compiled cts in
+  Alcotest.(check bool) "deprecated wrappers agree" true
+    (wrap_seq = seq_out && wrap_par = seq_out && wrap_dist = seq_out);
   Alcotest.(check (array bool)) "decrypts to 5+2=7 (LSB first)" [| true; true; true |]
     (Client.decrypt_bits client outs)
 
@@ -172,7 +186,7 @@ let test_protocol_files () =
   let client' = Client.load secret_path in
   let cloud' = Server.load_cloud_keyset cloud_path in
   Ciphertext_file.write ct_path (Client.encrypt_bits client' [| true; false |]);
-  let outs, _ = Server.evaluate cloud' compiled (Ciphertext_file.read ct_path) in
+  let outs, _ = Server.run Server.Cpu cloud' compiled (Ciphertext_file.read ct_path) in
   Ciphertext_file.write out_path outs;
   let bits = Client.decrypt_bits client (Ciphertext_file.read out_path) in
   Alcotest.(check (array bool)) "xor through files" [| true |] bits;
@@ -200,11 +214,19 @@ let test_server_estimates_ordering () =
     (Float.abs (Server.speedup_over_single_core (Server.Distributed { nodes = 4 }) c -. (single /. dist)) < 1e-9)
 
 let test_backend_names () =
-  Alcotest.(check string) "single" "single-core CPU" (Server.backend_name Server.Single_core);
+  Alcotest.(check string) "single" "single-core CPU" (Server.sim_platform_name Server.Single_core);
   Alcotest.(check string) "dist" "distributed CPU (4 nodes)"
-    (Server.backend_name (Server.Distributed { nodes = 4 }));
+    (Server.sim_platform_name (Server.Distributed { nodes = 4 }));
   Alcotest.(check bool) "gpu name mentions model" true
-    (String.length (Server.backend_name (Server.Gpu Pytfhe_backend.Cost_model.gpu_4090)) > 4)
+    (String.length (Server.sim_platform_name (Server.Gpu Pytfhe_backend.Cost_model.gpu_4090)) > 4);
+  (* the deprecated alias must keep answering the same strings *)
+  Alcotest.(check string) "backend_name alias" "single-core CPU"
+    (Server.backend_name Server.Single_core);
+  Alcotest.(check string) "exec cpu" "cpu" (Server.exec_backend_name Server.Cpu);
+  Alcotest.(check string) "exec multicore" "multicore (2 workers)"
+    (Server.exec_backend_name (Server.Multicore { workers = 2 }));
+  Alcotest.(check string) "exec multiprocess" "multiprocess (3 workers)"
+    (Server.exec_backend_name (Server.Multiprocess { workers = 3; config = None }))
 
 
 (* ------------------------------------------------------------------ *)
