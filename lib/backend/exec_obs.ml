@@ -42,3 +42,26 @@ let wave_counters tr (p : Params.t) ~bootstraps ~nots ~width ~alloc_words =
    flush; good enough for a per-wave counter without perturbing the run
    (same caveat as the micro bench). *)
 let alloc_words () = Gc.allocated_bytes () /. 8.
+
+(* Key-traffic units for the batched kernels: bytes of one
+   bootstrapping-key entry in FFT form and of one key-switch digit block.
+   Multiplying the batch counters by these gives the bytes actually
+   streamed from the keys, the quantity batching amortizes. *)
+let bsk_row_bytes (p : Params.t) = Bootstrap.row_bytes p
+
+let ks_block_bytes (p : Params.t) = (1 lsl p.ks.base_bit) * (p.lwe.n + 1) * 4
+
+(* Per-wave counters for the batched execution path, emitted in addition to
+   {!wave_counters} when a [?batch] executor runs traced.  [batch_fill] is
+   the mean occupancy of the launches in this wave (1.0 = every launch
+   full). *)
+let batch_wave_counters tr (p : Params.t) ~cap ~launches ~gates ~bsk_rows ~ks_blocks =
+  Trace.counter tr ~name:"batch_waves" 1.;
+  Trace.counter tr ~name:"batch_launches" (float_of_int launches);
+  if launches > 0 && cap > 0 then
+    Trace.counter tr ~name:"batch_fill"
+      (float_of_int gates /. float_of_int (launches * cap));
+  Trace.counter tr ~name:"bsk_bytes_streamed"
+    (float_of_int (bsk_rows * bsk_row_bytes p));
+  Trace.counter tr ~name:"ks_bytes_streamed"
+    (float_of_int (ks_blocks * ks_block_bytes p))

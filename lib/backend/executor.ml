@@ -19,6 +19,7 @@ module type S = sig
 
   val run :
     ?obs:Pytfhe_obs.Trace.sink ->
+    ?batch:int ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
@@ -29,8 +30,8 @@ let cpu : (module S) =
   (module struct
     let name = "cpu"
 
-    let run ?obs cloud net inputs =
-      let outputs, s = Tfhe_eval.run ?obs cloud net inputs in
+    let run ?obs ?batch cloud net inputs =
+      let outputs, s = Tfhe_eval.run ?obs ?batch cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -48,8 +49,8 @@ let multicore ?workers () : (module S) =
   (module struct
     let name = "multicore"
 
-    let run ?obs cloud net inputs =
-      let outputs, s = Par_eval.run ?workers ?obs cloud net inputs in
+    let run ?obs ?batch cloud net inputs =
+      let outputs, s = Par_eval.run ?workers ?batch ?obs cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -72,7 +73,11 @@ let multiprocess ?workers ?config () : (module S) =
   (module struct
     let name = "multiprocess"
 
-    let run ?obs cloud net inputs =
+    let run ?obs ?batch cloud net inputs =
+      (* The multiprocess executor ships gates over the wire one shard at a
+         time; key streaming happens worker-side, so the [?batch] knob is
+         accepted for signature uniformity but has no effect here. *)
+      ignore batch;
       let outputs, s = Dist_eval.run ?obs cfg cloud net inputs in
       ( outputs,
         {

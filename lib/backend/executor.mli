@@ -31,11 +31,17 @@ module type S = sig
 
   val run :
     ?obs:Pytfhe_obs.Trace.sink ->
+    ?batch:int ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
     Pytfhe_tfhe.Lwe.sample array * stats
 end
+(** [?batch:b] routes the backend through the key-streaming batched kernel
+    with sub-batches of at most [b] gates (see {!Tfhe_eval.run} and
+    {!Par_eval.run}); omitted means the scalar per-gate path.  Outputs are
+    ciphertext-bit-exact either way.  The multiprocess backend accepts the
+    knob for uniformity but ignores it (batching is worker-side there). *)
 
 val cpu : (module S)
 (** {!Tfhe_eval} — sequential, the correctness baseline. *)

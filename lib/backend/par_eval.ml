@@ -28,6 +28,10 @@ type stats = {
   wall_time : float;
   achieved_speedup : float;
   ideal_speedup : float;
+  batch_size : int;
+  batch_launches : int;
+  bsk_bytes_streamed : int;
+  ks_bytes_streamed : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -139,11 +143,14 @@ let ideal_speedup (sched : Levelize.schedule) workers =
   in
   if rounds = 0 then 1.0 else float_of_int sched.Levelize.total_bootstraps /. float_of_int rounds
 
-let run ?workers ?(obs = Trace.null) cloud net inputs =
+let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
   if workers < 1 then invalid_arg "Par_eval.run: workers must be >= 1";
+  (match batch with
+  | Some b when b < 1 -> invalid_arg "Par_eval.run: batch must be >= 1"
+  | Some _ | None -> ());
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Par_eval.run: input arity mismatch";
@@ -158,8 +165,31 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
     | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
     | Netlist.Input _ | Netlist.Gate _ -> ()
   done;
-  (* One private context per domain: contexts.(0) belongs to the caller. *)
-  let contexts = Array.init workers (fun _ -> Gates.context cloud) in
+  (* One private context per domain: contexts.(0) belongs to the caller.
+     Scalar contexts are only needed on the per-gate path, batch contexts
+     only on the batched one. *)
+  let contexts =
+    match batch with
+    | None -> Array.init workers (fun _ -> Gates.context cloud)
+    | Some _ -> [||]
+  in
+  let batch_ctxs =
+    match batch with
+    | None -> [||]
+    | Some b -> Array.init workers (fun _ -> Gates.batch_context cloud ~cap:b)
+  in
+  (* Only read at pool barriers, where the mutex handshake makes the helper
+     domains' counter updates visible. *)
+  let batch_totals () =
+    Array.fold_left
+      (fun (l, g, r, k) bc ->
+        let c = Gates.batch_counters bc in
+        ( l + c.Gates.batch_launches,
+          g + c.Gates.batch_gates,
+          r + c.Gates.bsk_rows,
+          k + c.Gates.ks_blocks ))
+      (0, 0, 0, 0) batch_ctxs
+  in
   let per_domain_bootstraps = Array.make workers 0 in
   let per_domain_busy = Array.make workers 0.0 in
   let nwaves = Array.length waves in
@@ -202,6 +232,45 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
           ~t0:(t0 -. ep) ~t1:(t1 -. ep)
     end
   in
+  (* The batched variant: same static chunking, but domain d walks its
+     slice in sub-batches of at most [b] gates through its private
+     key-streaming batch context.  Per gate the combine → bootstrap →
+     key-switch sequence is identical to the scalar chunk, so outputs stay
+     bit-exact regardless of workers × batch. *)
+  let lwe_n = cloud.Gates.cloud_params.Params.lwe.Params.n in
+  let eval_chunk_batched b w gates d =
+    let width = Array.length gates in
+    let lo = d * width / workers and hi = (d + 1) * width / workers in
+    if lo < hi then begin
+      let bc = batch_ctxs.(d) in
+      let t0 = Unix.gettimeofday () in
+      let pos = ref lo in
+      while !pos < hi do
+        let len = min b (hi - !pos) in
+        let base = !pos in
+        let combined =
+          Array.init len (fun i ->
+              match Netlist.kind net gates.(base + i) with
+              | Netlist.Gate (g, a, b') ->
+                let va = Option.get values.(a) and vb = Option.get values.(b') in
+                Gates.combine ~n:lwe_n (Tfhe_eval.plan_of g) va vb
+              | Netlist.Input _ | Netlist.Const _ -> assert false)
+        in
+        let outs = Gates.bootstrap_batch bc combined in
+        for i = 0 to len - 1 do
+          values.(gates.(base + i)) <- Some outs.(i)
+        done;
+        per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + len;
+        pos := base + len
+      done;
+      let t1 = Unix.gettimeofday () in
+      per_domain_busy.(d) <- per_domain_busy.(d) +. (t1 -. t0);
+      if traced then
+        Trace.span dom_tracks.(d) ~cat:"chunk"
+          ~name:(Printf.sprintf "wave %d [%d,%d)" w lo hi)
+          ~t0:(t0 -. ep) ~t1:(t1 -. ep)
+    end
+  in
   let pool = pool_create (workers - 1) in
   Fun.protect
     ~finally:(fun () -> pool_shutdown pool)
@@ -210,9 +279,13 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
         (fun w wave ->
           let t0 = Unix.gettimeofday () in
           let a0 = if traced then Exec_obs.alloc_words () else 0.0 in
+          let c0 = if traced then batch_totals () else (0, 0, 0, 0) in
           let nots0 = !nots in
           if Array.length wave.Levelize.parallel > 0 then
-            pool_run pool (eval_chunk w wave.Levelize.parallel);
+            pool_run pool
+              (match batch with
+              | None -> eval_chunk w wave.Levelize.parallel
+              | Some b -> eval_chunk_batched b w wave.Levelize.parallel);
           (* Noiseless NOTs ride along on the coordinating domain: they may
              read this wave's fresh results, and cost one vector negation. *)
           Array.iter
@@ -235,6 +308,14 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
               (* Coordinator-domain allocations only: [Gc.allocated_bytes]
                  is per-domain in OCaml 5. *)
               ~alloc_words:(Exec_obs.alloc_words () -. a0);
+            (match batch with
+            | Some b ->
+              let l0, g0, r0, k0 = c0 in
+              let l1, g1, r1, k1 = batch_totals () in
+              Exec_obs.batch_wave_counters wave_tr cloud.Gates.cloud_params ~cap:b
+                ~launches:(l1 - l0) ~gates:(g1 - g0) ~bsk_rows:(r1 - r0)
+                ~ks_blocks:(k1 - k0)
+            | None -> ());
             (* The pool barrier just passed: every helper domain is idle,
                so their single-writer buffers are safe to collect. *)
             Trace.drain obs
@@ -245,6 +326,8 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
   in
   let wall_time = Unix.gettimeofday () -. start in
   let busy = Array.fold_left ( +. ) 0.0 per_domain_busy in
+  let launches, _, rows, blocks = batch_totals () in
+  let p = cloud.Gates.cloud_params in
   ( outputs,
     {
       workers;
@@ -257,6 +340,10 @@ let run ?workers ?(obs = Trace.null) cloud net inputs =
       wall_time;
       achieved_speedup = (if wall_time > 0.0 then busy /. wall_time else 0.0);
       ideal_speedup = ideal_speedup sched workers;
+      batch_size = (match batch with Some b -> b | None -> 0);
+      batch_launches = launches;
+      bsk_bytes_streamed = rows * Exec_obs.bsk_row_bytes p;
+      ks_bytes_streamed = blocks * Exec_obs.ks_block_bytes p;
     } )
 
 let pp_stats fmt s =

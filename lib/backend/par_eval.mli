@@ -30,10 +30,17 @@ type stats = {
       (** Wave-synchronous bound for this DAG and worker count:
           total bootstraps / Σ ceil(width / workers).  What {!Sched_cpu}
           predicts with zero overheads. *)
+  batch_size : int;  (** The [?batch] capacity used; 0 on the scalar path. *)
+  batch_launches : int;  (** Batched kernel launches summed over domains. *)
+  bsk_bytes_streamed : int;
+      (** Bootstrapping-key bytes streamed by the batched kernels, summed
+          over domains; 0 on the scalar path. *)
+  ks_bytes_streamed : int;  (** Key-switch table bytes streamed; 0 scalar. *)
 }
 
 val run :
   ?workers:int ->
+  ?batch:int ->
   ?obs:Pytfhe_obs.Trace.sink ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
@@ -45,11 +52,18 @@ val run :
     domain, with no domains spawned.  Raises [Invalid_argument] on input
     arity mismatch or [workers < 1].
 
+    With [?batch:b] (b ≥ 1) each domain walks its static chunk of a wave
+    in sub-batches of at most [b] gates through a private key-streaming
+    batch context ({!Pytfhe_tfhe.Gates.batch_context}) instead of gate by
+    gate — the bootstrapping key is then streamed once per sub-batch per
+    domain.  Outputs remain bit-exact with the scalar path for any
+    workers × batch combination.
+
     With an enabled [obs] sink, each domain writes chunk spans to its own
     lock-free ["domain d"] track (drained by the coordinator at the wave
     barrier, whose mutex handshake orders the buffers), and the
     coordinator emits one span plus the standard counter set per wave on
-    a ["waves"] track. *)
+    a ["waves"] track (plus the batch counter set when batched). *)
 
 val ideal_speedup : Pytfhe_circuit.Levelize.schedule -> int -> float
 (** The wave-synchronous speedup bound reported in {!stats}, exposed for

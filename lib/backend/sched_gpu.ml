@@ -46,22 +46,45 @@ let simulate_cufhe (gpu : Cost_model.gpu) ~(cpu : Cost_model.cpu) sched =
     timeline;
   }
 
-(* Pack waves greedily into CUDA-Graph batches bounded by GPU memory. *)
+(* Pack waves greedily into CUDA-Graph batches bounded by GPU memory.  A
+   single wave wider than the bound is split across several batches (the
+   gates of one wave are mutually independent, so a split preserves the
+   schedule's dependencies) — previously such a wave was emitted as one
+   oversized batch, silently violating the memory cap. *)
 let batches_of ~max_batch_nodes sched =
+  if max_batch_nodes < 1 then invalid_arg "Sched_gpu.batches_of: max_batch_nodes must be >= 1";
   let batches = ref [] and current = ref [] and current_nodes = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      batches := List.rev !current :: !batches;
+      current := [];
+      current_nodes := 0
+    end
+  in
   Array.iter
     (fun width ->
-      if width > 0 then begin
-        if !current_nodes > 0 && !current_nodes + width > max_batch_nodes then begin
-          batches := List.rev !current :: !batches;
-          current := [];
-          current_nodes := 0
-        end;
-        current := width :: !current;
-        current_nodes := !current_nodes + width
-      end)
+      if width > 0 then
+        if width > max_batch_nodes then begin
+          (* Oversized wave: flush, then emit full-capacity slices; the
+             remainder keeps packing with the following waves. *)
+          flush ();
+          let remaining = ref width in
+          while !remaining > max_batch_nodes do
+            batches := [ max_batch_nodes ] :: !batches;
+            remaining := !remaining - max_batch_nodes
+          done;
+          if !remaining > 0 then begin
+            current := [ !remaining ];
+            current_nodes := !remaining
+          end
+        end
+        else begin
+          if !current_nodes > 0 && !current_nodes + width > max_batch_nodes then flush ();
+          current := width :: !current;
+          current_nodes := !current_nodes + width
+        end)
     sched.Levelize.widths;
-  if !current <> [] then batches := List.rev !current :: !batches;
+  flush ();
   List.rev !batches
 
 let simulate_pytfhe ?(max_batch_nodes = 200_000) (gpu : Cost_model.gpu) ~(cpu : Cost_model.cpu)

@@ -25,6 +25,14 @@ type result = {
   timeline : timeline_segment list;  (** Only populated for small programs. *)
 }
 
+val batches_of : max_batch_nodes:int -> Pytfhe_circuit.Levelize.schedule -> int list list
+(** The greedy wave-packing behind {!simulate_pytfhe}: each batch is a list
+    of wave widths whose sum never exceeds [max_batch_nodes].  A single
+    wave wider than the bound is split across consecutive batches (its
+    gates are mutually independent, so the split preserves dependencies);
+    the total node count is preserved.  Raises [Invalid_argument] when
+    [max_batch_nodes < 1]. *)
+
 val simulate_cufhe :
   Cost_model.gpu -> cpu:Cost_model.cpu -> Pytfhe_circuit.Levelize.schedule -> result
 

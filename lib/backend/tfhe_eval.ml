@@ -10,6 +10,10 @@ type stats = {
   wall_time : float;
   wave_wall : float array;
   wave_width : int array;
+  batch_size : int;
+  batch_launches : int;
+  bsk_bytes_streamed : int;
+  ks_bytes_streamed : int;
 }
 
 let gate_of g =
@@ -39,6 +43,22 @@ let apply_gate ctx g a b =
   | Gate.Andyn -> Gates.andyn_gate_in ctx a b
   | Gate.Orny -> Gates.orny_gate_in ctx a b
   | Gate.Oryn -> Gates.oryn_gate_in ctx a b
+
+(* The linear phase combination of a bootstrapped gate, as data — shared
+   with [Par_eval]'s batched path.  [Not] has no bootstrap, so no plan. *)
+let plan_of g =
+  match g with
+  | Gate.Nand -> Gates.nand_plan
+  | Gate.And -> Gates.and_plan
+  | Gate.Or -> Gates.or_plan
+  | Gate.Nor -> Gates.nor_plan
+  | Gate.Xnor -> Gates.xnor_plan
+  | Gate.Xor -> Gates.xor_plan
+  | Gate.Andny -> Gates.andny_plan
+  | Gate.Andyn -> Gates.andyn_plan
+  | Gate.Orny -> Gates.orny_plan
+  | Gate.Oryn -> Gates.oryn_plan
+  | Gate.Not -> invalid_arg "Tfhe_eval.plan_of: Not is not a bootstrapped gate"
 
 let prepare net inputs ~who =
   let input_list = Netlist.inputs net in
@@ -120,18 +140,118 @@ let run_traced obs cloud net values =
     waves;
   (!bootstraps, !nots, wave_wall, wave_width)
 
-let run ?(obs = Trace.null) cloud net inputs =
+(* The batched wave walk: every wave's bootstrapped gates run through the
+   key-streaming kernel in chunks of at most [batch] gates (the final chunk
+   of a wave may be short), NOTs inline after the wave's parallel phase.
+   Per gate the combine → bootstrap → key-switch sequence is identical to
+   the scalar walks, so outputs are ciphertext-bit-exact with them. *)
+let run_batched obs cloud net values ~batch =
+  let p = cloud.Gates.cloud_params in
+  let n = p.Params.lwe.Params.n in
+  let traced = Trace.enabled obs in
+  let bc = Gates.batch_context cloud ~cap:batch in
+  let sched = Levelize.run net in
+  let waves = Levelize.waves sched net in
+  let nwaves = Array.length waves in
+  let wave_wall = Array.make nwaves 0.0 in
+  let wave_width = Array.map (fun w -> Array.length w.Levelize.parallel) waves in
+  for id = 0 to Netlist.node_count net - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
+    | Netlist.Input _ | Netlist.Gate _ -> ()
+  done;
+  let tr = Trace.new_track obs ~name:"cpu" in
+  if traced then Exec_obs.noise_gauges tr p;
+  let bootstraps = ref 0 and nots = ref 0 in
+  Array.iteri
+    (fun w wave ->
+      let t0 = Trace.now obs in
+      let a0 = Exec_obs.alloc_words () in
+      let c0 = Gates.batch_counters bc in
+      let par = wave.Levelize.parallel in
+      let width = Array.length par in
+      let wb = ref 0 and wn = ref 0 in
+      let pos = ref 0 in
+      while !pos < width do
+        let len = min batch (width - !pos) in
+        let base = !pos in
+        let combined =
+          Array.init len (fun i ->
+              match Netlist.kind net par.(base + i) with
+              | Netlist.Gate (g, a, b) ->
+                let va = Option.get values.(a) and vb = Option.get values.(b) in
+                Gates.combine ~n (plan_of g) va vb
+              | Netlist.Input _ | Netlist.Const _ -> assert false)
+        in
+        let outs = Gates.bootstrap_batch bc combined in
+        for i = 0 to len - 1 do
+          values.(par.(base + i)) <- Some outs.(i)
+        done;
+        wb := !wb + len;
+        pos := !pos + len
+      done;
+      Array.iter
+        (fun id ->
+          match Netlist.kind net id with
+          | Netlist.Gate (g, a, _) when Gate.is_unary g ->
+            incr wn;
+            values.(id) <- Some (Lwe.neg (Option.get values.(a)))
+          | _ -> assert false)
+        wave.Levelize.inline;
+      let t1 = Trace.now obs in
+      wave_wall.(w) <- t1 -. t0;
+      bootstraps := !bootstraps + !wb;
+      nots := !nots + !wn;
+      if traced then begin
+        Trace.span tr ~cat:"wave" ~name:(Printf.sprintf "wave %d" w) ~t0 ~t1;
+        Exec_obs.wave_counters tr p ~bootstraps:!wb ~nots:!wn ~width
+          ~alloc_words:(Exec_obs.alloc_words () -. a0);
+        let c1 = Gates.batch_counters bc in
+        Exec_obs.batch_wave_counters tr p ~cap:batch
+          ~launches:(c1.Gates.batch_launches - c0.Gates.batch_launches)
+          ~gates:(c1.Gates.batch_gates - c0.Gates.batch_gates)
+          ~bsk_rows:(c1.Gates.bsk_rows - c0.Gates.bsk_rows)
+          ~ks_blocks:(c1.Gates.ks_blocks - c0.Gates.ks_blocks);
+        Trace.drain obs
+      end)
+    waves;
+  let c = Gates.batch_counters bc in
+  (!bootstraps, !nots, wave_wall, wave_width, c)
+
+let run ?(obs = Trace.null) ?batch cloud net inputs =
   let values = prepare net inputs ~who:"Tfhe_eval.run" in
   let start = Unix.gettimeofday () in
-  let bootstraps, nots, wave_wall, wave_width =
-    if Trace.enabled obs then run_traced obs cloud net values
-    else run_untraced cloud net values
-  in
-  ( collect net values,
-    {
-      bootstraps_executed = bootstraps;
-      nots_executed = nots;
-      wall_time = Unix.gettimeofday () -. start;
-      wave_wall;
-      wave_width;
-    } )
+  match batch with
+  | Some b ->
+    if b < 1 then invalid_arg "Tfhe_eval.run: batch must be >= 1";
+    let bootstraps, nots, wave_wall, wave_width, c = run_batched obs cloud net values ~batch:b in
+    let p = cloud.Gates.cloud_params in
+    ( collect net values,
+      {
+        bootstraps_executed = bootstraps;
+        nots_executed = nots;
+        wall_time = Unix.gettimeofday () -. start;
+        wave_wall;
+        wave_width;
+        batch_size = b;
+        batch_launches = c.Gates.batch_launches;
+        bsk_bytes_streamed = c.Gates.bsk_rows * Exec_obs.bsk_row_bytes p;
+        ks_bytes_streamed = c.Gates.ks_blocks * Exec_obs.ks_block_bytes p;
+      } )
+  | None ->
+    let bootstraps, nots, wave_wall, wave_width =
+      if Trace.enabled obs then run_traced obs cloud net values
+      else run_untraced cloud net values
+    in
+    ( collect net values,
+      {
+        bootstraps_executed = bootstraps;
+        nots_executed = nots;
+        wall_time = Unix.gettimeofday () -. start;
+        wave_wall;
+        wave_width;
+        batch_size = 0;
+        batch_launches = 0;
+        bsk_bytes_streamed = 0;
+        ks_bytes_streamed = 0;
+      } )

@@ -10,13 +10,24 @@ type stats = {
   nots_executed : int;
   wall_time : float;  (** Seconds of real local compute. *)
   wave_wall : float array;
-      (** Wall seconds per wave — only filled on traced runs (which
-          execute wave by wave); empty on the untraced id-order walk. *)
-  wave_width : int array;  (** Bootstrapped gates per wave (traced runs). *)
+      (** Wall seconds per wave — only filled on traced or batched runs
+          (which execute wave by wave); empty on the untraced id-order
+          walk. *)
+  wave_width : int array;  (** Bootstrapped gates per wave (traced/batched runs). *)
+  batch_size : int;  (** The [?batch] capacity used; 0 on the scalar path. *)
+  batch_launches : int;  (** Batched bootstrap kernel launches (0 scalar). *)
+  bsk_bytes_streamed : int;
+      (** Bytes of bootstrapping key streamed from memory by the batched
+          kernel ([Bootstrap] row counter × {!Exec_obs.bsk_row_bytes});
+          0 on the scalar path. *)
+  ks_bytes_streamed : int;
+      (** Bytes of key-switch table streamed by the batched kernel; 0 on
+          the scalar path. *)
 }
 
 val run :
   ?obs:Pytfhe_obs.Trace.sink ->
+  ?batch:int ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
@@ -28,7 +39,20 @@ val run :
     With an enabled [obs] sink the walk switches from id order to the
     levelized wave order — a different topological order of the same DAG,
     so outputs are bit-exact either way — and emits one span plus the
-    standard counter set per wave on a ["cpu"] track. *)
+    standard counter set per wave on a ["cpu"] track.
+
+    With [?batch:b] (b ≥ 1) each wave's bootstrapped gates run through the
+    key-streaming batch kernel in chunks of at most [b] gates: the
+    bootstrapping key and key-switch table are streamed from memory once
+    per chunk instead of once per gate.  Outputs are ciphertext-bit-exact
+    with the scalar path for every batch size; a traced batched run
+    additionally emits [batch_waves]/[batch_fill]/[bsk_bytes_streamed]/
+    [ks_bytes_streamed] counters per wave. *)
+
+val plan_of : Pytfhe_circuit.Gate.t -> Pytfhe_tfhe.Gates.combine_plan
+(** The linear phase combination of a bootstrapped IR gate (shared with
+    [Par_eval]'s batched path).  Raises [Invalid_argument] on [Not], which
+    is evaluated noiselessly. *)
 
 val gate_of : Pytfhe_circuit.Gate.t ->
   Pytfhe_tfhe.Gates.cloud_keyset -> Pytfhe_tfhe.Lwe.sample -> Pytfhe_tfhe.Lwe.sample ->

@@ -36,6 +36,7 @@ val executor : exec_backend -> (module Pytfhe_backend.Executor.S)
 
 val run :
   ?obs:Pytfhe_obs.Trace.sink ->
+  ?batch:int ->
   exec_backend ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pipeline.compiled ->
@@ -45,7 +46,10 @@ val run :
     homomorphically (inputs/outputs in declaration order) on the chosen
     backend, returning the unified stats record.  Pass an enabled [obs]
     sink to collect spans/counters/gauges — see
-    {!Pytfhe_obs.Trace} and [docs/observability.md]. *)
+    {!Pytfhe_obs.Trace} and [docs/observability.md].  [?batch:b] routes
+    the Cpu/Multicore backends through the key-streaming batched kernel
+    in sub-batches of at most [b] gates (bit-exact with the scalar path;
+    ignored by Multiprocess) — see [docs/perf.md]. *)
 
 (** {2 Cost-model simulation} *)
 

@@ -38,10 +38,19 @@ val forward : float array -> spectrum
 
 val backward_into : float array -> spectrum -> unit
 (** [backward_into p s] writes the polynomial whose spectrum is [s] into
-    [p].  [s] is left unspecified (it is used as scratch space). *)
+    [p].
+
+    {b Destructive:} the inverse transform runs in place on [s]'s arrays, so
+    after the call [s] no longer holds the spectrum — it is garbage scratch.
+    A caller that needs the spectral values again (e.g. a batched kernel
+    reusing spectra across gates) must either use the defensively-copying
+    {!backward} or {!spectrum_copy} the spectrum first.  The [Tgsw] hot path
+    is safe only because [Tgsw.product_spectra] fully recomputes its
+    accumulator spectra on every call. *)
 
 val backward : spectrum -> float array
-(** Allocating variant of {!backward_into}. *)
+(** Allocating variant of {!backward_into}; copies the spectrum first, so
+    [s] is preserved (non-destructive). *)
 
 val mul_add_into : spectrum -> spectrum -> spectrum -> unit
 (** [mul_add_into acc a b] accumulates the pointwise product [a · b] into

@@ -55,6 +55,100 @@ let blind_rotate_reference (p : Params.t) ws key ~testvect (s : Lwe.sample) =
   done;
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Batched blind rotation (key streaming)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A wave of B gates shares one pass over the bootstrapping key: the outer
+   loop walks the n TGSW entries once and the inner loop applies each
+   entry's CMux-rotate step to all B accumulators, so the key is streamed
+   from memory once per batch instead of once per gate.  Per accumulator
+   the operation sequence (entries 0..n−1, ascending, with the same rotation
+   amounts) is identical to the scalar {!blind_rotate_into}, and every
+   [Tgsw.cmux_rotate_into] call fully overwrites its workspace scratch, so
+   the batched path is ciphertext-bit-exact with the scalar one. *)
+type batch = {
+  bcap : int;
+  bws : Tgsw.workspace;
+  btestvect : Poly.torus_poly;
+  baccs : Tlwe.sample array;
+  (* Key-traffic accounting, drained by the executors' obs counters. *)
+  mutable bsk_rows_streamed : int;
+  mutable launches : int;
+  mutable gates_batched : int;
+}
+
+let batch_create (p : Params.t) ~cap =
+  if cap < 1 then invalid_arg "Bootstrap.batch_create: cap must be >= 1";
+  let n = p.tlwe.ring_n in
+  {
+    bcap = cap;
+    bws = Tgsw.workspace_create p;
+    btestvect = Array.make n 0;
+    baccs = Array.init cap (fun _ -> Tlwe.trivial p (Poly.zero n));
+    bsk_rows_streamed = 0;
+    launches = 0;
+    gates_batched = 0;
+  }
+
+let batch_capacity (bt : batch) = bt.bcap
+
+type batch_stats = { bsk_rows_streamed : int; launches : int; gates_batched : int }
+
+let batch_stats (bt : batch) : batch_stats =
+  {
+    bsk_rows_streamed = bt.bsk_rows_streamed;
+    launches = bt.launches;
+    gates_batched = bt.gates_batched;
+  }
+
+let batch_reset_stats (bt : batch) =
+  bt.bsk_rows_streamed <- 0;
+  bt.launches <- 0;
+  bt.gates_batched <- 0
+
+let row_bytes (p : Params.t) =
+  (* One bootstrapping-key entry in FFT form: (k+1)·l TGSW rows of (k+1)
+     component spectra, each N/2 complex bins at two 8-byte floats. *)
+  let rows = (p.tlwe.k + 1) * p.tgsw.l in
+  rows * (p.tlwe.k + 1) * (p.tlwe.ring_n / 2) * 16
+
+let blind_rotate_batch_into (p : Params.t) (bt : batch) key ~testvect (ss : Lwe.sample array)
+    ~count =
+  let n = p.tlwe.ring_n in
+  let n2 = 2 * n in
+  for b = 0 to count - 1 do
+    let acc = bt.baccs.(b) in
+    let barb = Torus.mod_switch_from ss.(b).Lwe.b ~msize:n2 in
+    Array.iter (fun m -> Array.fill m 0 n 0) acc.Tlwe.mask;
+    Poly.mul_by_xai_into acc.Tlwe.body ((n2 - barb) mod n2) testvect
+  done;
+  (* The loop interchange: key entry i is read once for the whole batch. *)
+  for i = 0 to Array.length key.bsk - 1 do
+    let touched = ref false in
+    for b = 0 to count - 1 do
+      let barai = Torus.mod_switch_from ss.(b).Lwe.a.(i) ~msize:n2 in
+      if barai <> 0 then begin
+        touched := true;
+        Tgsw.cmux_rotate_into p bt.bws key.bsk.(i) barai bt.baccs.(b)
+      end
+    done;
+    if !touched then bt.bsk_rows_streamed <- bt.bsk_rows_streamed + 1
+  done
+
+let batch_with p bt key ~mu (ss : Lwe.sample array) =
+  let count = Array.length ss in
+  if count = 0 then [||]
+  else begin
+    if count > bt.bcap then
+      invalid_arg "Bootstrap.batch_with: batch larger than the workspace capacity";
+    Array.fill bt.btestvect 0 (Array.length bt.btestvect) mu;
+    blind_rotate_batch_into p bt key ~testvect:bt.btestvect ss ~count;
+    bt.launches <- bt.launches + 1;
+    bt.gates_batched <- bt.gates_batched + count;
+    Array.init count (fun b -> Tlwe.extract_lwe p bt.baccs.(b))
+  end
+
 let bootstrap_with p ctx key ~mu s =
   (* The sign test vector is constant per call: refill the per-context
      buffer instead of allocating a ring-degree array on every gate, and

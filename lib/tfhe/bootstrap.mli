@@ -72,6 +72,46 @@ val bootstrap_with : Params.t -> context -> key -> mu:Torus.t -> Lwe.sample -> L
     beyond the extracted output ciphertext, and safe to call concurrently
     from several domains as long as each uses its own context. *)
 
+(** {2 Batched bootstrapping (key streaming)}
+
+    A wave of B gates shares one pass over the bootstrapping key: the batched
+    blind rotation walks the n TGSW key entries once and applies each entry's
+    CMux-rotate step to all B accumulators before moving on, so the
+    (tens-of-MB) key is streamed from memory once per batch instead of once
+    per gate.  The per-accumulator operation sequence is identical to the
+    scalar path, so the results are ciphertext-bit-exact with
+    {!bootstrap_with}. *)
+
+type batch
+(** A structure-of-arrays batch workspace: one shared TGSW workspace and
+    test-vector buffer plus [cap] accumulators.  Like {!context}, it is
+    single-threaded state — one per domain. *)
+
+val batch_create : Params.t -> cap:int -> batch
+(** Workspace for batches of up to [cap] ≥ 1 gates. *)
+
+val batch_capacity : batch -> int
+
+val batch_with : Params.t -> batch -> key -> mu:Torus.t -> Lwe.sample array -> Lwe.sample array
+(** Bootstrap every sample of the array (length ≤ the batch capacity) to
+    ±[mu] under the extracted key, streaming the bootstrapping key once for
+    the whole batch.  Element [i] of the result is bit-identical to
+    [bootstrap_with p ctx key ~mu ss.(i)]. *)
+
+type batch_stats = { bsk_rows_streamed : int; launches : int; gates_batched : int }
+(** Cumulative key-traffic accounting since the last reset:
+    [bsk_rows_streamed] counts bootstrapping-key entries read from memory
+    (each entry is {!row_bytes} wide in FFT form), [launches] counts
+    {!batch_with} calls and [gates_batched] the samples they processed. *)
+
+val batch_stats : batch -> batch_stats
+val batch_reset_stats : batch -> unit
+
+val row_bytes : Params.t -> int
+(** Bytes of one bootstrapping-key entry in FFT form ((k+1)²·l spectra of
+    N/2 complex bins at 16 bytes each) — the unit [bsk_rows_streamed] is
+    counted in. *)
+
 val key_bytes : Params.t -> int
 (** Serialized size of the bootstrapping key at 32 bits per torus element. *)
 

@@ -48,33 +48,48 @@ let bootstrap_in ctx combined =
   in
   Keyswitch.apply ctx.keyset.keyswitch_key extracted
 
-let binary_gate_in ctx ~const ~sign_a ~sign_b a b =
-  let n = ctx.keyset.cloud_params.lwe.n in
-  let acc = Lwe.trivial ~n const in
-  let acc = if sign_a > 0 then Lwe.add acc a else Lwe.sub acc a in
-  let acc = if sign_b > 0 then Lwe.add acc b else Lwe.sub acc b in
-  bootstrap_in ctx acc
+(* Every two-input gate is a linear phase combination followed by the same
+   sign bootstrap (mu = 1/8) and key switch.  The combination is captured as
+   a data value so the scalar and batched paths share it: torus arithmetic
+   is exact mod 2^32, so building the phase as const ± scale·a ± scale·b is
+   bit-identical however the additions are grouped. *)
+type combine_plan = {
+  plan_const : Torus.t;
+  plan_scale : int;
+  plan_sign_a : int;
+  plan_sign_b : int;
+}
 
-let nand_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:(-1) ~sign_b:(-1) a b
-let and_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:1 ~sign_b:1 a b
-let or_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:1 ~sign_b:1 a b
-let nor_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:(-1) ~sign_b:(-1) a b
-let andny_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:(-1) ~sign_b:1 a b
-let andyn_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 false) ~sign_a:1 ~sign_b:(-1) a b
-let orny_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:(-1) ~sign_b:1 a b
-let oryn_gate_in ctx a b = binary_gate_in ctx ~const:(mu8 true) ~sign_a:1 ~sign_b:(-1) a b
+let nand_plan = { plan_const = mu8 true; plan_scale = 1; plan_sign_a = -1; plan_sign_b = -1 }
+let and_plan = { plan_const = mu8 false; plan_scale = 1; plan_sign_a = 1; plan_sign_b = 1 }
+let or_plan = { plan_const = mu8 true; plan_scale = 1; plan_sign_a = 1; plan_sign_b = 1 }
+let nor_plan = { plan_const = mu8 false; plan_scale = 1; plan_sign_a = -1; plan_sign_b = -1 }
+let andny_plan = { plan_const = mu8 false; plan_scale = 1; plan_sign_a = -1; plan_sign_b = 1 }
+let andyn_plan = { plan_const = mu8 false; plan_scale = 1; plan_sign_a = 1; plan_sign_b = -1 }
+let orny_plan = { plan_const = mu8 true; plan_scale = 1; plan_sign_a = -1; plan_sign_b = 1 }
+let oryn_plan = { plan_const = mu8 true; plan_scale = 1; plan_sign_a = 1; plan_sign_b = -1 }
+let xor_plan = { plan_const = quarter true; plan_scale = 2; plan_sign_a = 1; plan_sign_b = 1 }
+let xnor_plan = { plan_const = quarter false; plan_scale = 2; plan_sign_a = -1; plan_sign_b = -1 }
 
-let xor_gate_in ctx a b =
-  let n = ctx.keyset.cloud_params.lwe.n in
-  let acc = Lwe.trivial ~n (quarter true) in
-  let acc = Lwe.add acc (Lwe.scale 2 (Lwe.add a b)) in
-  bootstrap_in ctx acc
+let combine ~n plan a b =
+  let scaled x = if plan.plan_scale = 1 then x else Lwe.scale plan.plan_scale x in
+  let acc = Lwe.trivial ~n plan.plan_const in
+  let acc = if plan.plan_sign_a > 0 then Lwe.add acc (scaled a) else Lwe.sub acc (scaled a) in
+  if plan.plan_sign_b > 0 then Lwe.add acc (scaled b) else Lwe.sub acc (scaled b)
 
-let xnor_gate_in ctx a b =
-  let n = ctx.keyset.cloud_params.lwe.n in
-  let acc = Lwe.trivial ~n (quarter false) in
-  let acc = Lwe.sub acc (Lwe.scale 2 (Lwe.add a b)) in
-  bootstrap_in ctx acc
+let binary_gate_in ctx plan a b =
+  bootstrap_in ctx (combine ~n:ctx.keyset.cloud_params.lwe.n plan a b)
+
+let nand_gate_in ctx a b = binary_gate_in ctx nand_plan a b
+let and_gate_in ctx a b = binary_gate_in ctx and_plan a b
+let or_gate_in ctx a b = binary_gate_in ctx or_plan a b
+let nor_gate_in ctx a b = binary_gate_in ctx nor_plan a b
+let andny_gate_in ctx a b = binary_gate_in ctx andny_plan a b
+let andyn_gate_in ctx a b = binary_gate_in ctx andyn_plan a b
+let orny_gate_in ctx a b = binary_gate_in ctx orny_plan a b
+let oryn_gate_in ctx a b = binary_gate_in ctx oryn_plan a b
+let xor_gate_in ctx a b = binary_gate_in ctx xor_plan a b
+let xnor_gate_in ctx a b = binary_gate_in ctx xnor_plan a b
 
 let nand_gate ck a b = nand_gate_in (default_context ck) a b
 let and_gate ck a b = and_gate_in (default_context ck) a b
@@ -87,20 +102,77 @@ let oryn_gate ck a b = oryn_gate_in (default_context ck) a b
 let xor_gate ck a b = xor_gate_in (default_context ck) a b
 let xnor_gate ck a b = xnor_gate_in (default_context ck) a b
 
-let mux_gate ck s x y =
-  let p = ck.cloud_params in
+let mux_gate_in ctx s x y =
+  let p = ctx.keyset.cloud_params in
   let n = p.lwe.n in
   let mu = Params.mu p in
   (* u1 = bootstrap(s AND x), u2 = bootstrap(¬s AND y), both under the
      extracted key; their sum plus 1/8 re-encodes the selected bit, and a
-     single key switch brings it home. *)
-  let and_sx = Lwe.add (Lwe.add (Lwe.trivial ~n (mu8 false)) s) x in
-  let u1 = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu and_sx in
-  let andny_sy = Lwe.add (Lwe.sub (Lwe.trivial ~n (mu8 false)) s) y in
-  let u2 = Bootstrap.bootstrap_wo_keyswitch p ck.bootstrap_key ~mu andny_sy in
+     single key switch brings it home.  Both blind rotations run through the
+     context scratch — u1 survives the second rotation because sample
+     extraction allocates a fresh ciphertext. *)
+  let and_sx = combine ~n and_plan s x in
+  let u1 = Bootstrap.bootstrap_with p ctx.scratch ctx.keyset.bootstrap_key ~mu and_sx in
+  let andny_sy = combine ~n andny_plan s y in
+  let u2 = Bootstrap.bootstrap_with p ctx.scratch ctx.keyset.bootstrap_key ~mu andny_sy in
   let extracted_n = Params.extracted_n p in
   let sum = Lwe.add (Lwe.add u1 u2) (Lwe.trivial ~n:extracted_n (mu8 true)) in
-  Keyswitch.apply ck.keyswitch_key sum
+  Keyswitch.apply ctx.keyset.keyswitch_key sum
+
+let mux_gate ck s x y = mux_gate_in (default_context ck) s x y
+
+(* ------------------------------------------------------------------ *)
+(* Batched wave execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Executor-facing wrapper over the Bootstrap/Keyswitch batch kernels: the
+   caller combines the phases of up to [cap] gates (all gate types share the
+   mu = 1/8 sign bootstrap, so a batch may mix types) and gets the
+   key-switched outputs back in one key-streaming pass per key. *)
+type batch_context = {
+  bkeyset : cloud_keyset;
+  bboot : Bootstrap.batch;
+  mutable ks_blocks : int;
+  mutable ks_launches : int;
+}
+
+let batch_context ck ~cap =
+  { bkeyset = ck; bboot = Bootstrap.batch_create ck.cloud_params ~cap; ks_blocks = 0;
+    ks_launches = 0 }
+
+let batch_capacity bc = Bootstrap.batch_capacity bc.bboot
+
+let bootstrap_batch bc (combined : Lwe.sample array) =
+  let p = bc.bkeyset.cloud_params in
+  let extracted = Bootstrap.batch_with p bc.bboot bc.bkeyset.bootstrap_key ~mu:(Params.mu p) combined in
+  if Array.length extracted = 0 then [||]
+  else begin
+    let out, blocks = Keyswitch.apply_batch bc.bkeyset.keyswitch_key extracted in
+    bc.ks_blocks <- bc.ks_blocks + blocks;
+    bc.ks_launches <- bc.ks_launches + 1;
+    out
+  end
+
+type batch_counters = {
+  batch_launches : int;  (** batched bootstrap kernel launches *)
+  batch_gates : int;  (** gates processed through those launches *)
+  bsk_rows : int;  (** bootstrapping-key entries streamed, unit {!Bootstrap.row_bytes} *)
+  ks_blocks : int;  (** key-switch table blocks streamed, unit {!Keyswitch.block_bytes} *)
+}
+
+let batch_counters bc =
+  let bs = Bootstrap.batch_stats bc.bboot in
+  {
+    batch_launches = bs.Bootstrap.launches;
+    batch_gates = bs.Bootstrap.gates_batched;
+    bsk_rows = bs.Bootstrap.bsk_rows_streamed;
+    ks_blocks = bc.ks_blocks;
+  }
+
+let reset_batch_counters bc =
+  Bootstrap.batch_reset_stats bc.bboot;
+  bc.ks_blocks <- 0;
+  bc.ks_launches <- 0
 
 module Wire = Pytfhe_util.Wire
 

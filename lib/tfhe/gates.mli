@@ -56,6 +56,38 @@ val mux_gate : cloud_keyset -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sam
 (** [mux s x y] = if s then x else y; two bootstrappings and one key
     switch, as in the reference library. *)
 
+(** {2 Gate combine plans}
+
+    Every two-input gate is the same pipeline: a linear phase combination
+    (captured by a {!combine_plan}), the sign bootstrap with μ = 1/8, and a
+    key switch.  Exposing the combination as data lets the batched executors
+    mix gate types in one bootstrap batch.  Torus arithmetic is exact
+    mod 2³², so {!combine} is bit-identical to the historical per-gate
+    combination code. *)
+
+type combine_plan = {
+  plan_const : Torus.t;  (** trivial offset added to the phase *)
+  plan_scale : int;  (** input scaling (2 for XOR/XNOR, else 1) *)
+  plan_sign_a : int;  (** +1 to add input a, −1 to subtract *)
+  plan_sign_b : int;  (** +1 to add input b, −1 to subtract *)
+}
+
+val nand_plan : combine_plan
+val and_plan : combine_plan
+val or_plan : combine_plan
+val nor_plan : combine_plan
+val andny_plan : combine_plan
+val andyn_plan : combine_plan
+val orny_plan : combine_plan
+val oryn_plan : combine_plan
+val xor_plan : combine_plan
+val xnor_plan : combine_plan
+
+val combine : n:int -> combine_plan -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** The linear phase combination [const ± scale·a ± scale·b] at LWE
+    dimension [n]; feed the result to {!bootstrap_in} (scalar) or
+    {!bootstrap_batch} (batched). *)
+
 (** {2 Per-thread evaluation contexts}
 
     The [cloud_keyset] variants above route every bootstrapping through the
@@ -87,6 +119,47 @@ val andny_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
 val andyn_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
 val orny_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
 val oryn_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample
+
+val mux_gate_in : context -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample
+(** {!mux_gate} through an explicit context: both blind rotations share the
+    context scratch (sample extraction allocates, so the first result
+    survives the second rotation), and one key switch finishes.  Bit-exact
+    with {!mux_gate}. *)
+
+(** {2 Batched wave execution}
+
+    A {!batch_context} wraps the {!Bootstrap.batch} key-streaming kernel and
+    the batched key switch for executor use: combine the phases of up to
+    [cap] gates (mixed gate types are fine — they all use the μ = 1/8 sign
+    bootstrap), then one {!bootstrap_batch} call streams the bootstrapping
+    key and the key-switch table once each for the whole batch.  Outputs are
+    ciphertext-bit-exact with the scalar [_in] gates.  Like {!context},
+    a batch context is private to one domain. *)
+
+type batch_context
+
+val batch_context : cloud_keyset -> cap:int -> batch_context
+(** Batch workspace for up to [cap] ≥ 1 gates per launch. *)
+
+val batch_capacity : batch_context -> int
+
+val bootstrap_batch : batch_context -> Lwe.sample array -> Lwe.sample array
+(** Sign-bootstrap + key-switch every already-combined ciphertext of the
+    array (length ≤ capacity; a short final batch is fine).  Element [i] is
+    bit-identical to [bootstrap_in ctx arr.(i)]. *)
+
+type batch_counters = {
+  batch_launches : int;  (** batched bootstrap kernel launches *)
+  batch_gates : int;  (** gates processed through those launches *)
+  bsk_rows : int;  (** bootstrapping-key entries streamed, unit {!Bootstrap.row_bytes} *)
+  ks_blocks : int;  (** key-switch table blocks streamed, unit {!Keyswitch.block_bytes} *)
+}
+
+val batch_counters : batch_context -> batch_counters
+(** Cumulative key-traffic counters since the last reset — the executors
+    drain these at wave barriers into the obs layer. *)
+
+val reset_batch_counters : batch_context -> unit
 
 val write_secret_keyset : Pytfhe_util.Wire.writer -> secret_keyset -> unit
 val read_secret_keyset : Pytfhe_util.Wire.reader -> secret_keyset

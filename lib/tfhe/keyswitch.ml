@@ -77,6 +77,63 @@ let apply key (s : Lwe.sample) =
   let b = apply_into key s ~a in
   { Lwe.a; b }
 
+(* Batched key switch by loop interchange: the (i, j) digit blocks of the
+   flat table are the outer loops and the batch members the inner one, so
+   each base × (out_n+1) block is streamed from memory once per batch
+   instead of once per member.  Per member the (i, j) visit order — and
+   therefore the exact sequence of torus subtractions — is unchanged from
+   [apply_into], so results are bit-identical.  Returns the number of
+   (i, j) blocks read (those with at least one nonzero digit in the batch),
+   for key-traffic accounting. *)
+let apply_batch_into key (ss : Lwe.sample array) ~count ~(a : int array array) ~(b : int array) =
+  if count > Array.length ss || count > Array.length a || count > Array.length b then
+    invalid_arg "Keyswitch.apply_batch_into: count exceeds buffer lengths";
+  let base = 1 lsl key.base_bit in
+  let prec_offset = 1 lsl (32 - 1 - (key.base_bit * key.ks_t)) in
+  let out_n = key.out_n in
+  let flat = key.flat in
+  for m = 0 to count - 1 do
+    if Array.length ss.(m).Lwe.a <> key.in_n then
+      invalid_arg "Keyswitch.apply_batch_into: input dimension mismatch";
+    if Array.length a.(m) <> out_n then
+      invalid_arg "Keyswitch.apply_batch_into: output buffer dimension mismatch";
+    Array.fill a.(m) 0 out_n 0;
+    b.(m) <- ss.(m).Lwe.b
+  done;
+  let blocks = ref 0 in
+  for i = 0 to key.in_n - 1 do
+    for j = 0 to key.ks_t - 1 do
+      let shift = 32 - ((j + 1) * key.base_bit) in
+      let touched = ref false in
+      for m = 0 to count - 1 do
+        let ai = (Array.unsafe_get (Array.unsafe_get ss m).Lwe.a i + prec_offset) land 0xFFFFFFFF in
+        let aij = (ai lsr shift) land (base - 1) in
+        if aij <> 0 then begin
+          touched := true;
+          let off = entry_off key i j aij in
+          let am = Array.unsafe_get a m in
+          for u = 0 to out_n - 1 do
+            Array.unsafe_set am u
+              (Torus.sub (Array.unsafe_get am u) (Array.unsafe_get flat (off + u)))
+          done;
+          Array.unsafe_set b m
+            (Torus.sub (Array.unsafe_get b m) (Array.unsafe_get flat (off + out_n)))
+        end
+      done;
+      if !touched then incr blocks
+    done
+  done;
+  !blocks
+
+let apply_batch key (ss : Lwe.sample array) =
+  let count = Array.length ss in
+  let a = Array.init count (fun _ -> Array.make key.out_n 0) in
+  let b = Array.make count 0 in
+  let blocks = apply_batch_into key ss ~count ~a ~b in
+  (Array.init count (fun m -> { Lwe.a = a.(m); b = b.(m) }), blocks)
+
+let block_bytes key = (1 lsl key.base_bit) * (key.out_n + 1) * 4
+
 let table_bytes key =
   let base = 1 lsl key.base_bit in
   key.in_n * key.ks_t * base * 4 * (key.out_n + 1)

@@ -25,6 +25,25 @@ val apply_into : key -> Lwe.sample -> a:int array -> Torus.t
     (length out_n) and returns the body.  Raises [Invalid_argument] when
     the input or the buffer dimension does not match the key. *)
 
+val apply_batch_into :
+  key -> Lwe.sample array -> count:int -> a:int array array -> b:int array -> int
+(** Batched {!apply_into} over the first [count] samples, by loop
+    interchange: the (i, j) digit blocks of the table are the outer loops
+    and the batch members the inner one, so each base × (out_n+1) block is
+    streamed from memory once per batch instead of once per member.  Per
+    member the digit visit order is unchanged, so [a.(m)]/[b.(m)] are
+    bit-identical to a scalar [apply_into] on [ss.(m)].  Returns the number
+    of blocks actually read (those with a nonzero digit somewhere in the
+    batch), in units of {!block_bytes}. *)
+
+val apply_batch : key -> Lwe.sample array -> Lwe.sample array * int
+(** Allocating wrapper over {!apply_batch_into}: key-switch the whole array
+    and also return the number of table blocks streamed. *)
+
+val block_bytes : key -> int
+(** Bytes of one (i, j) digit block of the table — the unit the
+    {!apply_batch_into} block count is measured in. *)
+
 val table_bytes : key -> int
 (** Serialized size of the key-switch table at 32 bits per torus element;
     part of the public "cloud key" the client ships to the server. *)

@@ -135,6 +135,9 @@ let external_product_add_into (p : Params.t) ws (g : fft_sample) ~src ~(acc : Tl
   product_spectra p ws g src;
   let k = p.tlwe.k in
   for comp = 0 to k do
+    (* backward_into destroys acc_spectra.(comp) — safe here because
+       product_spectra rebuilds every accumulator spectrum from scratch on
+       the next call (see the contract in negacyclic.mli). *)
     Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
     let target = if comp < k then acc.Tlwe.mask.(comp) else acc.Tlwe.body in
     Poly.add_of_floats_to target ws.result_float
@@ -145,6 +148,7 @@ let external_product_into (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample)
   product_spectra p ws g c;
   let k = p.tlwe.k in
   for comp = 0 to k do
+    (* Destroys acc_spectra.(comp); safe for the same reason as above. *)
     Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
     let target = if comp < k then dst.Tlwe.mask.(comp) else dst.Tlwe.body in
     Poly.of_floats_into target ws.result_float

@@ -183,6 +183,29 @@ let test_gpu_timelines () =
         (seg.Sched_gpu.t_end >= seg.Sched_gpu.t_start))
     (c.Sched_gpu.timeline @ p.Sched_gpu.timeline)
 
+let test_gpu_batches_of_splits_oversized_waves () =
+  (* Regression: a single wave wider than [max_batch_nodes] used to be
+     emitted as one oversized batch, silently violating the memory cap. *)
+  let sched = Levelize.run (wide_netlist ~width:25 ~depth:3) in
+  let bound = 10 in
+  let batches = Sched_gpu.batches_of ~max_batch_nodes:bound sched in
+  List.iter
+    (fun widths ->
+      Alcotest.(check bool) "batch within memory bound" true
+        (List.fold_left ( + ) 0 widths <= bound))
+    batches;
+  Alcotest.(check int) "total nodes preserved" sched.Levelize.total_bootstraps
+    (List.fold_left (fun acc ws -> acc + List.fold_left ( + ) 0 ws) 0 batches);
+  (* A bound the waves fit under exactly reproduces the greedy packing. *)
+  let loose = Sched_gpu.batches_of ~max_batch_nodes:1_000 sched in
+  Alcotest.(check int) "wide bound still covers every node" sched.Levelize.total_bootstraps
+    (List.fold_left (fun acc ws -> acc + List.fold_left ( + ) 0 ws) 0 loose);
+  Alcotest.(check bool) "rejects bound < 1" true
+    (try
+       ignore (Sched_gpu.batches_of ~max_batch_nodes:0 sched);
+       false
+     with Invalid_argument _ -> true)
+
 let test_gpu_batching_respects_memory_bound () =
   (* Exaggerate the per-launch overhead so the batching effect dominates:
      fewer, larger CUDA graphs amortize launches. *)
@@ -470,6 +493,7 @@ let () =
           Alcotest.test_case "4090 beats a5000" `Quick test_gpu_4090_faster_than_a5000;
           Alcotest.test_case "timelines" `Quick test_gpu_timelines;
           Alcotest.test_case "memory-bounded batching" `Quick test_gpu_batching_respects_memory_bound;
+          Alcotest.test_case "oversized wave split" `Quick test_gpu_batches_of_splits_oversized_waves;
           Alcotest.test_case "asap beats barriers" `Quick test_sched_asap_beats_barriers;
           Alcotest.test_case "asap chain lower bound" `Quick test_sched_asap_serial_chain_is_serial;
           Alcotest.test_case "type-batched cuFHE in between" `Quick test_gpu_batched_sits_between;

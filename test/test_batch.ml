@@ -1,0 +1,193 @@
+(* The batched key-streaming execution path (Bootstrap.batch_with /
+   Keyswitch.apply_batch / Gates.bootstrap_batch and the ?batch knob on the
+   executors).
+
+   The contract under test is bit-exactness: the batched kernel reorders the
+   *loop nest* (bootstrapping-key entry outermost, batch member innermost)
+   but not any per-gate operation sequence, so every batch size must produce
+   the very same ciphertexts as the scalar per-gate walk. *)
+
+module Rng = Pytfhe_util.Rng
+module Netlist = Pytfhe_circuit.Netlist
+module Levelize = Pytfhe_circuit.Levelize
+module Params = Pytfhe_tfhe.Params
+module Gates = Pytfhe_tfhe.Gates
+open Pytfhe_backend
+
+let keys = lazy (Gates.key_gen (Rng.create ~seed:909 ()) Params.test)
+
+(* ------------------------------------------------------------------ *)
+(* Gate-level batch kernel                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bootstrap_batch_matches_scalar () =
+  let sk, ck = Lazy.force keys in
+  let rng = Rng.create ~seed:88 () in
+  let ctx = Gates.context ck in
+  let bc = Gates.batch_context ck ~cap:4 in
+  Alcotest.(check int) "capacity" 4 (Gates.batch_capacity bc);
+  let n = ck.Gates.cloud_params.Params.lwe.Params.n in
+  let a = Gates.encrypt_bit rng sk true in
+  let b = Gates.encrypt_bit rng sk false in
+  (* Mixed gate types in one batch: they all share the sign bootstrap. *)
+  let plans = [| Gates.and_plan; Gates.xor_plan; Gates.nor_plan |] in
+  let combined = Array.map (fun pl -> Gates.combine ~n pl a b) plans in
+  let batched = Gates.bootstrap_batch bc combined in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) "batched element = scalar bootstrap" true
+        (batched.(i) = Gates.bootstrap_in ctx c))
+    combined;
+  let c = Gates.batch_counters bc in
+  Alcotest.(check int) "one launch" 1 c.Gates.batch_launches;
+  Alcotest.(check int) "three gates batched" 3 c.Gates.batch_gates;
+  Alcotest.(check bool) "bsk rows streamed, at most once per key entry" true
+    (c.Gates.bsk_rows > 0 && c.Gates.bsk_rows <= n);
+  Alcotest.(check bool) "ks blocks streamed" true (c.Gates.ks_blocks > 0);
+  Gates.reset_batch_counters bc;
+  let c = Gates.batch_counters bc in
+  Alcotest.(check int) "counters reset" 0
+    (c.Gates.batch_launches + c.Gates.batch_gates + c.Gates.bsk_rows + c.Gates.ks_blocks);
+  Alcotest.(check int) "empty batch is a no-op" 0
+    (Array.length (Gates.bootstrap_batch bc [||]));
+  Alcotest.(check bool) "rejects cap < 1" true
+    (try
+       ignore (Gates.batch_context ck ~cap:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects oversized batch" true
+    (try
+       ignore (Gates.bootstrap_batch bc (Array.make 5 a));
+       false
+     with Invalid_argument _ -> true)
+
+let test_mux_gate_in_matches_mux_gate () =
+  let sk, ck = Lazy.force keys in
+  let rng = Rng.create ~seed:77 () in
+  let ctx = Gates.context ck in
+  List.iter
+    (fun (s, x, y) ->
+      let cs = Gates.encrypt_bit rng sk s in
+      let cx = Gates.encrypt_bit rng sk x in
+      let cy = Gates.encrypt_bit rng sk y in
+      let via_keyset = Gates.mux_gate ck cs cx cy in
+      let via_ctx = Gates.mux_gate_in ctx cs cx cy in
+      Alcotest.(check bool) "ciphertext bit-exact with mux_gate" true (via_ctx = via_keyset);
+      Alcotest.(check bool) "mux truth table"
+        (if s then x else y)
+        (Gates.decrypt_bit sk via_ctx))
+    [ (false, false, true); (false, true, false); (true, true, false); (true, false, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Executor-level bit-exactness                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_batched_matches_scalar =
+  QCheck.Test.make
+    ~name:"batched cpu/multicore bit-exact with scalar for batch 1/3/8/widest-wave" ~count:4
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let sk, ck = Lazy.force keys in
+      let net = Gen_circuit.random ~seed:(1 + s1) () in
+      let rng = Rng.create ~seed:(2000 + s2) () in
+      let ins = Array.init (Netlist.input_count net) (fun _ -> Rng.bool rng) in
+      let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+      let scalar_out, _ = Tfhe_eval.run ck net cts in
+      let plain = Array.of_list (List.map snd (Plain_eval.run net ins)) in
+      if Array.map (Gates.decrypt_bit sk) scalar_out <> plain then
+        QCheck.Test.fail_report "scalar path disagrees with plain_eval";
+      let widest = Array.fold_left max 1 (Levelize.run net).Levelize.widths in
+      List.for_all
+        (fun b ->
+          let cpu_out, _ = Tfhe_eval.run ~batch:b ck net cts in
+          let par_out, _ = Par_eval.run ~workers:2 ~batch:b ck net cts in
+          cpu_out = scalar_out && par_out = scalar_out)
+        [ 1; 3; 8; widest ])
+
+let test_non_divisible_wave () =
+  let sk, ck = Lazy.force keys in
+  (* Waves of 5 gates with batch 3 split 3 + 2 — the short trailing
+     sub-batch must stay bit-exact and be counted as its own launch. *)
+  let net = Gen_circuit.wide ~width:5 ~depth:2 in
+  let rng = Rng.create ~seed:404 () in
+  let ins = Array.init 6 (fun _ -> Rng.bool rng) in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let scalar_out, _ = Tfhe_eval.run ck net cts in
+  let outs, st = Tfhe_eval.run ~batch:3 ck net cts in
+  Alcotest.(check bool) "ciphertexts identical" true (outs = scalar_out);
+  Alcotest.(check (array bool)) "decrypts to plain eval"
+    (Array.of_list (List.map snd (Plain_eval.run net ins)))
+    (Array.map (Gates.decrypt_bit sk) outs);
+  Alcotest.(check int) "batch size recorded" 3 st.Tfhe_eval.batch_size;
+  Alcotest.(check int) "two launches per 5-wide wave" 4 st.Tfhe_eval.batch_launches;
+  Alcotest.(check bool) "bsk traffic accounted" true (st.Tfhe_eval.bsk_bytes_streamed > 0);
+  Alcotest.(check bool) "ks traffic accounted" true (st.Tfhe_eval.ks_bytes_streamed > 0);
+  Alcotest.(check bool) "rejects batch < 1" true
+    (try
+       ignore (Tfhe_eval.run ~batch:0 ck net cts);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "par_eval rejects batch < 1" true
+    (try
+       ignore (Par_eval.run ~workers:2 ~batch:0 ck net cts);
+       false
+     with Invalid_argument _ -> true)
+
+let test_key_traffic_drops_with_batch () =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:8 ~depth:2 in
+  let rng = Rng.create ~seed:405 () in
+  let ins = Array.init 9 (fun _ -> Rng.bool rng) in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let out1, st1 = Tfhe_eval.run ~batch:1 ck net cts in
+  let out8, st8 = Tfhe_eval.run ~batch:8 ck net cts in
+  Alcotest.(check bool) "batch sizes agree on ciphertexts" true (out1 = out8);
+  (* Streaming the key once per 8-gate wave instead of once per gate must
+     cut accounted key traffic by far more than 2x. *)
+  Alcotest.(check bool) "bsk traffic drops at least 2x" true
+    (st1.Tfhe_eval.bsk_bytes_streamed >= 2 * st8.Tfhe_eval.bsk_bytes_streamed);
+  Alcotest.(check bool) "ks traffic drops too" true
+    (st1.Tfhe_eval.ks_bytes_streamed > st8.Tfhe_eval.ks_bytes_streamed)
+
+let test_executor_batch_knob () =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:3 ~depth:2 in
+  let rng = Rng.create ~seed:505 () in
+  let ins = Array.init 4 (fun _ -> Rng.bool rng) in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let module Cpu = (val Executor.cpu) in
+  let scalar_out, _ = Cpu.run ck net cts in
+  let outs, st = Cpu.run ~batch:2 ck net cts in
+  Alcotest.(check bool) "executor cpu batched bit-exact" true (outs = scalar_out);
+  (match st.Executor.detail with
+  | Executor.Cpu_stats s ->
+    Alcotest.(check int) "batch size surfaced through detail" 2 s.Tfhe_eval.batch_size
+  | _ -> Alcotest.fail "expected cpu stats");
+  let module Mc = (val Executor.multicore ~workers:2 ()) in
+  let outs, st = Mc.run ~batch:2 ck net cts in
+  Alcotest.(check bool) "executor multicore batched bit-exact" true (outs = scalar_out);
+  (match st.Executor.detail with
+  | Executor.Multicore_stats s ->
+    Alcotest.(check int) "multicore batch size surfaced" 2 s.Par_eval.batch_size;
+    Alcotest.(check bool) "multicore bsk traffic accounted" true
+      (s.Par_eval.bsk_bytes_streamed > 0)
+  | _ -> Alcotest.fail "expected multicore stats")
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "bootstrap_batch = scalar bootstraps" `Slow
+            test_bootstrap_batch_matches_scalar;
+          Alcotest.test_case "mux_gate_in = mux_gate" `Slow test_mux_gate_in_matches_mux_gate;
+        ] );
+      ( "executors",
+        [
+          QCheck_alcotest.to_alcotest test_batched_matches_scalar;
+          Alcotest.test_case "non-divisible wave" `Slow test_non_divisible_wave;
+          Alcotest.test_case "key traffic drops with batch" `Slow
+            test_key_traffic_drops_with_batch;
+          Alcotest.test_case "executor ?batch knob" `Slow test_executor_batch_knob;
+        ] );
+    ]

@@ -134,6 +134,31 @@ let test_spectrum_mul_add_accumulates () =
   let expected = Array.map2 ( +. ) (Negacyclic.polymul_naive a b) (Negacyclic.polymul_naive c d) in
   check_arrays_close "fma" 1e-6 expected got
 
+let test_backward_into_is_destructive () =
+  (* Pins the documented contract: [backward] preserves its input spectrum,
+     [backward_into] runs the inverse transform in place and leaves the
+     spectrum as garbage scratch.  Callers that reuse spectra (e.g. a
+     batched kernel) must rely on this distinction. *)
+  let rng = Rng.create ~seed:17 () in
+  let n = 32 in
+  let p = random_floats rng n 8.0 in
+  let s = Negacyclic.forward p in
+  let saved_re = Array.copy s.Negacyclic.s_re and saved_im = Array.copy s.Negacyclic.s_im in
+  let via_backward = Negacyclic.backward s in
+  Alcotest.(check bool) "backward preserves the spectrum (re)" true
+    (s.Negacyclic.s_re = saved_re);
+  Alcotest.(check bool) "backward preserves the spectrum (im)" true
+    (s.Negacyclic.s_im = saved_im);
+  (* The preserved spectrum still inverts correctly a second time. *)
+  let again = Negacyclic.backward s in
+  Alcotest.(check bool) "second inversion agrees" true (via_backward = again);
+  check_arrays_close "backward recovers p" 1e-9 p via_backward;
+  let got = Array.make n 0.0 in
+  Negacyclic.backward_into got s;
+  check_arrays_close "backward_into recovers p" 1e-9 p got;
+  Alcotest.(check bool) "backward_into destroys the spectrum" true
+    (s.Negacyclic.s_re <> saved_re || s.Negacyclic.s_im <> saved_im)
+
 let qcheck_negacyclic_commutes =
   QCheck.Test.make ~name:"negacyclic product commutes" ~count:50
     QCheck.(pair (list_of_size (Gen.return 32) (int_range (-50) 50))
@@ -204,6 +229,8 @@ let () =
           Alcotest.test_case "X^N = -1" `Quick test_negacyclic_wraparound_sign;
           Alcotest.test_case "exact on gadget-range integers" `Quick test_negacyclic_exact_on_integers;
           Alcotest.test_case "spectral fused multiply-add" `Quick test_spectrum_mul_add_accumulates;
+          Alcotest.test_case "backward_into destroys its spectrum" `Quick
+            test_backward_into_is_destructive;
           QCheck_alcotest.to_alcotest qcheck_negacyclic_commutes;
           QCheck_alcotest.to_alcotest qcheck_negacyclic_distributes;
           QCheck_alcotest.to_alcotest qcheck_negacyclic_roundtrip;
