@@ -1061,50 +1061,72 @@ let batch_bench () =
   Format.printf "  per-gate (scalar): %s  (%.1f gates/s)@." (human_time scalar_wall)
     (float_of_int bootstraps /. scalar_wall);
   let batch_sizes = [ 1; 4; 8 ] in
+  (* Three code paths over the identical schedule and ciphertexts: the
+     scalar walk (above), the record-per-gate batched walk, and the
+     struct-of-arrays batched walk — so the SoA layout change is attributed
+     separately from the key-streaming effect.  Every wall time is the best
+     of [reps] runs; comparing best-of-N against best-of-N keeps scheduler
+     jitter out of the throughput verdict. *)
+  let layouts = [ (false, "record"); (true, "soa") ] in
   let rows =
-    List.map
-      (fun b ->
-        let (outs, st), wall = best (fun () -> Tfhe_eval.run ~batch:b cloud net cts) in
-        let exact = outs = scalar_out in
-        let bsk_per_gate =
-          float_of_int st.Tfhe_eval.bsk_bytes_streamed /. float_of_int (max 1 bootstraps)
-        in
-        let ks_per_gate =
-          float_of_int st.Tfhe_eval.ks_bytes_streamed /. float_of_int (max 1 bootstraps)
-        in
-        (b, wall, exact, st, bsk_per_gate, ks_per_gate))
-      batch_sizes
+    List.concat_map
+      (fun (soa, label) ->
+        List.map
+          (fun b ->
+            let (outs, st), wall =
+              best (fun () -> Tfhe_eval.run ~batch:b ~soa cloud net cts)
+            in
+            let exact = outs = scalar_out in
+            let bsk_per_gate =
+              float_of_int st.Tfhe_eval.bsk_bytes_streamed /. float_of_int (max 1 bootstraps)
+            in
+            let ks_per_gate =
+              float_of_int st.Tfhe_eval.ks_bytes_streamed /. float_of_int (max 1 bootstraps)
+            in
+            (soa, label, b, wall, exact, st, bsk_per_gate, ks_per_gate))
+          batch_sizes)
+      layouts
   in
-  let bsk_at b =
-    let _, _, _, _, v, _ = List.find (fun (b', _, _, _, _, _) -> b' = b) rows in
+  let row ~soa b = List.find (fun (s, _, b', _, _, _, _, _) -> s = soa && b' = b) rows in
+  let wall_at ~soa b =
+    let _, _, _, w, _, _, _, _ = row ~soa b in
+    w
+  in
+  let bsk_at ~soa b =
+    let _, _, _, _, _, _, v, _ = row ~soa b in
     v
   in
-  Format.printf "@.%-7s %10s %12s %16s %16s %10s@." "BATCH" "WALL" "GATES/S" "BSK BYTES/GATE"
-    "KS BYTES/GATE" "BIT-EXACT";
+  Format.printf "@.%-8s %-7s %10s %12s %16s %16s %10s@." "LAYOUT" "BATCH" "WALL" "GATES/S"
+    "BSK BYTES/GATE" "KS BYTES/GATE" "BIT-EXACT";
   List.iter
-    (fun (b, wall, exact, _st, bsk_pg, ks_pg) ->
-      Format.printf "%-7d %10s %12.1f %16.0f %16.0f %10s@." b (human_time wall)
+    (fun (_soa, label, b, wall, exact, _st, bsk_pg, ks_pg) ->
+      Format.printf "%-8s %-7d %10s %12.1f %16.0f %16.0f %10s@." label b (human_time wall)
         (float_of_int bootstraps /. wall)
         bsk_pg ks_pg
         (if exact then "yes" else "NO"))
     rows;
-  let reduction4 = bsk_at 1 /. Float.max (bsk_at 4) 1.0 in
-  let _, wall1, _, _, _, _ = List.find (fun (b, _, _, _, _, _) -> b = 1) rows in
-  let _, wall4, _, _, _, _ = List.find (fun (b, _, _, _, _, _) -> b = 4) rows in
-  let all_exact = List.for_all (fun (_, _, e, _, _, _) -> e) rows in
-  (* The per-gate reference for the throughput criterion is the batch=1 run:
-     it streams the keys once per gate like the scalar walk but goes through
-     the same code path as batch=4, so the comparison isolates the
-     key-streaming effect from path-constant overheads (at smoke parameters
-     the whole bootstrapping key is cache-resident, making the effect small;
-     the full run is the meaningful measurement). *)
+  let reduction4 = bsk_at ~soa:true 1 /. Float.max (bsk_at ~soa:true 4) 1.0 in
+  let wall1 = wall_at ~soa:true 1 in
+  let wall4 = wall_at ~soa:true 4 in
+  let wall8 = wall_at ~soa:true 8 in
+  let record_wall4 = wall_at ~soa:false 4 in
+  let all_exact = List.for_all (fun (_, _, _, _, e, _, _, _) -> e) rows in
+  (* Both sides of the throughput criterion are best-of-[reps] wall times:
+     the SoA batch=4 run must beat both the scalar walk and the per-gate
+     batch=1 run (same code path, keys streamed once per gate), so the
+     verdict reflects the layout + key-streaming effect rather than a lucky
+     or unlucky single sample. *)
   let throughput_ok = wall4 <= Float.min wall1 scalar_wall *. 1.02 in
+  let speedup4 = scalar_wall /. wall4 in
+  let speedup8 = scalar_wall /. wall8 in
   Format.printf "@.bootstrap-key traffic at batch 4: %.2fx less than per-gate%s@." reduction4
     (if reduction4 >= 2.0 then "  (meets the 2x target)" else "  (BELOW the 2x target!)");
-  Format.printf "batched throughput: %.2fx vs scalar, %.2fx vs per-gate batch=1%s@."
-    (scalar_wall /. wall4) (wall1 /. wall4)
+  Format.printf
+    "SoA batched throughput: %.2fx vs scalar (x8: %.2fx), %.2fx vs per-gate batch=1, %.2fx vs \
+     record batch=4%s@."
+    speedup4 speedup8 (wall1 /. wall4) (record_wall4 /. wall4)
     (if throughput_ok then "" else "  (batched run is SLOWER than per-gate!)");
-  if not all_exact then Format.printf "WARNING: batched output differs from the scalar path!@.";
+  if not all_exact then Format.printf "ERROR: batched output differs from the scalar path!@.";
   (* The Fig. 9 analog on the model side: the same wave schedule priced as
      cuFHE per-gate launches vs fused CUDA-Graph batches. *)
   let gpu = Cost_model.gpu_a5000 in
@@ -1127,10 +1149,11 @@ let batch_bench () =
         ( "runs",
           Json.List
             (List.map
-               (fun (b, wall, exact, st, bsk_pg, ks_pg) ->
+               (fun (soa, _label, b, wall, exact, st, bsk_pg, ks_pg) ->
                  Json.Obj
                    [
                      ("batch", Json.Number (float_of_int b));
+                     ("soa", Json.Bool soa);
                      ("wall_s", Json.Number wall);
                      ("gates_per_s", Json.Number (float_of_int bootstraps /. wall));
                      ("bit_exact", Json.Bool exact);
@@ -1143,9 +1166,17 @@ let batch_bench () =
                rows) );
         ("bsk_traffic_reduction_at_4", Json.Number reduction4);
         ("bsk_reduction_meets_2x", Json.Bool (reduction4 >= 2.0));
+        (* best-of-N on both sides of every ratio below *)
+        ("batched_speedup_x4", Json.Number speedup4);
+        ("batched_speedup_x8", Json.Number speedup8);
+        ("soa_vs_record_x4", Json.Number (record_wall4 /. wall4));
+        ("throughput_margin", Json.Number speedup4);
         ("batched_throughput_ge_scalar", Json.Bool (wall4 <= scalar_wall));
         ("batched_throughput_ge_pergate", Json.Bool (wall4 <= wall1));
         ("all_bit_exact", Json.Bool all_exact);
+        (* CI smoke gate: SoA must be bit-exact and not slower than scalar
+           (10% jitter allowance — smoke parameters run in milliseconds). *)
+        ("soa_ok", Json.Bool (all_exact && wall4 <= scalar_wall *. 1.10));
         ( "gpu_model",
           Json.Obj
             [
@@ -1159,7 +1190,11 @@ let batch_bench () =
   (* Written in smoke mode too: CI runs `batch --smoke` and uploads it. *)
   let path = "BENCH_batch.json" in
   Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
-  Format.printf "@.wrote %s@." path
+  Format.printf "@.wrote %s@." path;
+  (* Bit-exactness is deterministic — a mismatch is a correctness bug, not
+     jitter — so it fails the bench run outright (after the artifact is on
+     disk for debugging). *)
+  if not all_exact then exit 1
 
 let all_experiments =
   [

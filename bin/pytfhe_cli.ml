@@ -174,11 +174,13 @@ let exec_backend_of ~backend ~workers ~dist_workers =
       | Some _ | None -> Server.Cpu)
 
 let run_cmd =
-  let run w seed encrypted backend workers dist_workers batch trace metrics =
+  let run w seed encrypted backend workers dist_workers batch soa trace metrics =
     (match workers with Some w when w < 1 -> failwith "--workers must be >= 1" | _ -> ());
     if dist_workers < 0 then failwith "--dist-workers must be >= 1";
     if batch < 0 then failwith "--batch must be >= 1";
+    if soa && batch = 0 then failwith "--soa requires --batch";
     let batch = if batch = 0 then None else Some batch in
+    let soa = if soa then Some true else None in
     let rng = Pytfhe_util.Rng.create ~seed () in
     if encrypted then begin
       if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
@@ -192,7 +194,7 @@ let run_cmd =
       let cts = Client.encrypt_bits client ins in
       Format.printf "evaluating %d gates homomorphically on the %s backend...@."
         compiled.Pipeline.stats.Stats.gates (Server.exec_backend_name exec);
-      let outs, stats = Server.run ~obs ?batch exec cloud compiled cts in
+      let outs, stats = Server.run ~obs ?batch ?soa exec cloud compiled cts in
       let extra =
         match stats.Executor.detail with
         | Executor.Cpu_stats _ -> ""
@@ -256,9 +258,15 @@ let run_cmd =
                  bootstrap kernel (with --encrypted; cpu and par backends; bit-exact with \
                  the per-gate path).  Default: per-gate execution.")
   in
+  let soa =
+    Arg.(value & flag & info [ "soa" ]
+           ~doc:"With --batch: run the sub-batches through the struct-of-arrays row kernels \
+                 on contiguous ciphertext waves (bit-exact with both the record-batched and \
+                 per-gate paths).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
     Term.(const run $ workload_arg $ seed $ encrypted $ backend $ workers $ dist_workers
-          $ batch $ trace_arg $ metrics_arg)
+          $ batch $ soa $ trace_arg $ metrics_arg)
 
 let verilog_cmd =
   let run w out =

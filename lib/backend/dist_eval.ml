@@ -91,15 +91,16 @@ type config = {
   backoff : float;
   heartbeat_interval : float;
   faults : fault list;
+  array_frames : bool;
 }
 
 let config ?(request_timeout = 60.0) ?(max_retries = 2) ?(backoff = 2.0)
-    ?(heartbeat_interval = 0.25) ?(faults = []) workers =
+    ?(heartbeat_interval = 0.25) ?(faults = []) ?(array_frames = true) workers =
   if workers < 1 then invalid_arg "Dist_eval.config: workers must be >= 1";
   if request_timeout <= 0.0 then invalid_arg "Dist_eval.config: request_timeout must be > 0";
   if max_retries < 0 then invalid_arg "Dist_eval.config: max_retries must be >= 0";
   if backoff < 1.0 then invalid_arg "Dist_eval.config: backoff must be >= 1";
-  { workers; request_timeout; max_retries; backoff; heartbeat_interval; faults }
+  { workers; request_timeout; max_retries; backoff; heartbeat_interval; faults; array_frames }
 
 type stats = {
   workers_started : int;
@@ -224,15 +225,24 @@ let worker_main fd =
   let rdy = Buffer.create 8 in
   Wire.write_magic rdy "DRDY";
   ignore (write_frame fd (Buffer.to_bytes rdy));
+  (* SoA request scratch, built on first DRQ2: the row-batched context and
+     a staging array for sub-batches of at most [worker_batch_cap] gates.
+     Legacy per-sample coordinators never pay for it. *)
+  let worker_batch_cap = 32 in
+  let soa_scratch =
+    lazy
+      (let n = ck.Gates.cloud_params.Params.lwe.Params.n in
+       (Gates.batch_context ck ~cap:worker_batch_cap, Lwe_array.create ~n worker_batch_cap))
+  in
   let served = ref 0 in
   let rec loop () =
     let payload = read_frame fd in
     if String.length payload < 4 then Unix._exit 4;
     (match String.sub payload 0 4 with
     | "DBYE" -> Unix._exit 0
-    | "DREQ" ->
+    | ("DREQ" | "DRQ2") as magic ->
       let r = Wire.reader_of_string payload in
-      Wire.read_magic r "DREQ";
+      Wire.read_magic r magic;
       let req_id = Wire.read_i64 r in
       incr served;
       let due = List.filter (fun f -> f.after_requests = !served) faults in
@@ -240,38 +250,87 @@ let worker_main fd =
         (* a genuine SIGKILL mid-wave: the request dies with us *)
         Unix.kill (Unix.getpid ()) Sys.sigkill;
       List.iter (fun f -> match f.action with Stall s -> Unix.sleepf s | _ -> ()) due;
-      let gates =
-        Wire.read_array r (fun r ->
-            let code = Wire.read_u8 r in
-            let a = Lwe.read_sample r in
-            let b = Lwe.read_sample r in
-            (code, a, b))
+      let boots, t0, t1, reply =
+        if magic = "DREQ" then begin
+          let gates =
+            Wire.read_array r (fun r ->
+                let code = Wire.read_u8 r in
+                let a = Lwe.read_sample r in
+                let b = Lwe.read_sample r in
+                (code, a, b))
+          in
+          let t0 = Unix.gettimeofday () in
+          let results =
+            Array.map
+              (fun (code, a, b) ->
+                match Gate.of_code code with
+                | Some g -> Tfhe_eval.apply_gate ctx g a b
+                | None ->
+                  raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
+              gates
+          in
+          let t1 = Unix.gettimeofday () in
+          let buf = Buffer.create 4096 in
+          Wire.write_magic buf "DREP";
+          Wire.write_i64 buf req_id;
+          Wire.write_f64 buf (t1 -. t0);
+          Wire.write_array buf Lwe.write_sample results;
+          (Array.length gates, t0, t1, Buffer.to_bytes buf)
+        end
+        else begin
+          (* The SoA shard: u8 gate codes, then the a- and b-operand waves as
+             two flat Lwe_array frames — one bounds-checked blit each instead
+             of per-sample framing.  Gates run through the row-batched
+             kernels, so the worker materializes no per-gate records either;
+             results are bit-exact with the scalar DREQ path. *)
+          let codes = Wire.read_array r Wire.read_u8 in
+          let va = Lwe_array.read r in
+          let vb = Lwe_array.read r in
+          let count = Array.length codes in
+          if Lwe_array.length va <> count || Lwe_array.length vb <> count then
+            raise (Wire.Corrupt "Dist_eval: array-frame operand count mismatch");
+          if Lwe_array.dim va <> Lwe_array.dim vb then
+            raise (Wire.Corrupt "Dist_eval: array-frame operand dimension mismatch");
+          let plans =
+            Array.map
+              (fun code ->
+                match Gate.of_code code with
+                | Some g when not (Gate.is_unary g) -> Tfhe_eval.plan_of g
+                | Some _ | None ->
+                  raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
+              codes
+          in
+          let bc, staging = Lazy.force soa_scratch in
+          let t0 = Unix.gettimeofday () in
+          let out = Lwe_array.create ~n:(Lwe_array.dim va) count in
+          let pos = ref 0 in
+          while !pos < count do
+            let len = min worker_batch_cap (count - !pos) in
+            let base = !pos in
+            for i = 0 to len - 1 do
+              Gates.combine_rows_into plans.(base + i) ~a:va ~arow:(base + i) ~b:vb
+                ~brow:(base + i) ~dst:staging ~drow:i
+            done;
+            let outs = Gates.bootstrap_batch_rows bc (Lwe_array.slice staging ~pos:0 ~len) in
+            Lwe_array.blit ~src:outs ~src_pos:0 ~dst:out ~dst_pos:base ~len;
+            pos := base + len
+          done;
+          let t1 = Unix.gettimeofday () in
+          let buf = Buffer.create 4096 in
+          Wire.write_magic buf "DRP2";
+          Wire.write_i64 buf req_id;
+          Wire.write_f64 buf (t1 -. t0);
+          Lwe_array.write buf out;
+          (count, t0, t1, Buffer.to_bytes buf)
+        end
       in
-      let t0 = Unix.gettimeofday () in
-      let results =
-        Array.map
-          (fun (code, a, b) ->
-            match Gate.of_code code with
-            | Some g -> Tfhe_eval.apply_gate ctx g a b
-            | None -> raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
-          gates
-      in
-      let t1 = Unix.gettimeofday () in
-      let compute = t1 -. t0 in
-      let buf = Buffer.create 4096 in
-      Wire.write_magic buf "DREP";
-      Wire.write_i64 buf req_id;
-      Wire.write_f64 buf compute;
-      Wire.write_array buf Lwe.write_sample results;
-      let reply = Buffer.to_bytes buf in
       (* Ship collected spans in a DTRC frame *before* the reply, so the
          coordinator has always consumed a shard's trace by the time it
-         accepts the shard — a worker dying right after DREP (or sending a
-         faulted reply) loses at most its own last spans, truncating the
-         trace but never corrupting it. *)
+         accepts the shard — a worker dying right after the reply (or
+         sending a faulted one) loses at most its own last spans,
+         truncating the trace but never corrupting it. *)
       if Trace.enabled wsink then begin
         let p = ck.Gates.cloud_params in
-        let boots = Array.length gates in
         let ep = Trace.epoch wsink in
         Trace.span wtr ~cat:"shard"
           ~name:(Printf.sprintf "req %d (%d gates)" req_id boots)
@@ -336,6 +395,7 @@ type shard = {
 type state = {
   cfg : config;
   net : Netlist.t;
+  lwe_n : int;
   values : Lwe.sample option array;
   members : worker array;
   obs : Trace.sink;
@@ -428,17 +488,42 @@ let send_shard st sh =
   st.next_req <- st.next_req + 1;
   sh.req_id <- st.next_req;
   let buf = Buffer.create 4096 in
-  Wire.write_magic buf "DREQ";
-  Wire.write_i64 buf sh.req_id;
-  Wire.write_array buf
-    (fun buf id ->
-      match Netlist.kind st.net id with
-      | Netlist.Gate (g, a, b) ->
-        Wire.write_u8 buf (Gate.to_code g);
-        Lwe.write_sample buf (Option.get st.values.(a));
-        Lwe.write_sample buf (Option.get st.values.(b))
-      | Netlist.Input _ | Netlist.Const _ -> assert false)
-    sh.gates;
+  if st.cfg.array_frames then begin
+    (* SoA request: gate codes, then the two operand waves packed as flat
+       Lwe_array frames — one bounds-checked blit per direction on the wire
+       instead of per-sample framing. *)
+    let count = Array.length sh.gates in
+    let va = Lwe_array.create ~n:st.lwe_n count in
+    let vb = Lwe_array.create ~n:st.lwe_n count in
+    let codes = Array.make count 0 in
+    Array.iteri
+      (fun i id ->
+        match Netlist.kind st.net id with
+        | Netlist.Gate (g, a, b) ->
+          codes.(i) <- Gate.to_code g;
+          Lwe_array.set va i (Option.get st.values.(a));
+          Lwe_array.set vb i (Option.get st.values.(b))
+        | Netlist.Input _ | Netlist.Const _ -> assert false)
+      sh.gates;
+    Wire.write_magic buf "DRQ2";
+    Wire.write_i64 buf sh.req_id;
+    Wire.write_array buf Wire.write_u8 codes;
+    Lwe_array.write buf va;
+    Lwe_array.write buf vb
+  end
+  else begin
+    Wire.write_magic buf "DREQ";
+    Wire.write_i64 buf sh.req_id;
+    Wire.write_array buf
+      (fun buf id ->
+        match Netlist.kind st.net id with
+        | Netlist.Gate (g, a, b) ->
+          Wire.write_u8 buf (Gate.to_code g);
+          Lwe.write_sample buf (Option.get st.values.(a));
+          Lwe.write_sample buf (Option.get st.values.(b))
+        | Netlist.Input _ | Netlist.Const _ -> assert false)
+      sh.gates
+  end;
   let n = write_frame w.fd (Buffer.to_bytes buf) in
   let now = Unix.gettimeofday () in
   st.bytes_out <- st.bytes_out + n;
@@ -528,6 +613,14 @@ let on_ready st pending w =
     if String.length payload >= 4 && String.sub payload 0 4 = "DTRC" then begin
       parse_trc payload;
       None
+    end
+    else if String.length payload >= 4 && String.sub payload 0 4 = "DRP2" then begin
+      let r = Wire.reader_of_string payload in
+      Wire.read_magic r "DRP2";
+      let req_id = Wire.read_i64 r in
+      let compute = Wire.read_f64 r in
+      let arr = Lwe_array.read r in
+      Some (req_id, compute, Lwe_array.to_samples arr)
     end
     else begin
       let r = Wire.reader_of_string payload in
@@ -678,6 +771,7 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
     {
       cfg;
       net;
+      lwe_n = cloud.Gates.cloud_params.Params.lwe.Params.n;
       values = Array.make (Netlist.node_count net) None;
       members;
       obs;

@@ -75,6 +75,12 @@ type config = {
   backoff : float;  (** Deadline multiplier per retry ([>= 1]). *)
   heartbeat_interval : float;  (** Liveness-poll period while waiting. *)
   faults : fault list;  (** Fault-injection schedule (tests only). *)
+  array_frames : bool;
+      (** Ship shards as struct-of-arrays [DRQ2]/[DRP2] frames (gate codes
+          plus two flat {!Pytfhe_tfhe.Lwe_array} operand waves, one
+          bounds-checked blit per direction) and evaluate them through the
+          worker's row-batched kernels.  [false] keeps the per-sample
+          [DREQ]/[DREP] framing.  Both are ciphertext-bit-exact. *)
 }
 
 val config :
@@ -83,11 +89,13 @@ val config :
   ?backoff:float ->
   ?heartbeat_interval:float ->
   ?faults:fault list ->
+  ?array_frames:bool ->
   int ->
   config
 (** [config workers] with defaults: 60 s timeout, 2 retries, 2x backoff,
-    0.25 s heartbeat, no faults.  Raises [Invalid_argument] on nonsense
-    ([workers < 1], non-positive timeout, [backoff < 1]). *)
+    0.25 s heartbeat, no faults, array frames on.  Raises
+    [Invalid_argument] on nonsense ([workers < 1], non-positive timeout,
+    [backoff < 1]). *)
 
 type stats = {
   workers_started : int;

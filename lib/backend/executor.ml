@@ -20,6 +20,7 @@ module type S = sig
   val run :
     ?obs:Pytfhe_obs.Trace.sink ->
     ?batch:int ->
+    ?soa:bool ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
@@ -30,8 +31,8 @@ let cpu : (module S) =
   (module struct
     let name = "cpu"
 
-    let run ?obs ?batch cloud net inputs =
-      let outputs, s = Tfhe_eval.run ?obs ?batch cloud net inputs in
+    let run ?obs ?batch ?soa cloud net inputs =
+      let outputs, s = Tfhe_eval.run ?obs ?batch ?soa cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -49,8 +50,8 @@ let multicore ?workers () : (module S) =
   (module struct
     let name = "multicore"
 
-    let run ?obs ?batch cloud net inputs =
-      let outputs, s = Par_eval.run ?workers ?batch ?obs cloud net inputs in
+    let run ?obs ?batch ?soa cloud net inputs =
+      let outputs, s = Par_eval.run ?workers ?batch ?soa ?obs cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -73,11 +74,13 @@ let multiprocess ?workers ?config () : (module S) =
   (module struct
     let name = "multiprocess"
 
-    let run ?obs ?batch cloud net inputs =
+    let run ?obs ?batch ?soa cloud net inputs =
       (* The multiprocess executor ships gates over the wire one shard at a
-         time; key streaming happens worker-side, so the [?batch] knob is
-         accepted for signature uniformity but has no effect here. *)
+         time; key streaming happens worker-side, so the [?batch] and [?soa]
+         knobs are accepted for signature uniformity but have no effect
+         here (the wire side of the layout is [config.array_frames]). *)
       ignore batch;
+      ignore soa;
       let outputs, s = Dist_eval.run ?obs cfg cloud net inputs in
       ( outputs,
         {

@@ -32,6 +32,7 @@ module type S = sig
   val run :
     ?obs:Pytfhe_obs.Trace.sink ->
     ?batch:int ->
+    ?soa:bool ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
@@ -39,9 +40,12 @@ module type S = sig
 end
 (** [?batch:b] routes the backend through the key-streaming batched kernel
     with sub-batches of at most [b] gates (see {!Tfhe_eval.run} and
-    {!Par_eval.run}); omitted means the scalar per-gate path.  Outputs are
-    ciphertext-bit-exact either way.  The multiprocess backend accepts the
-    knob for uniformity but ignores it (batching is worker-side there). *)
+    {!Par_eval.run}); omitted means the scalar per-gate path.
+    [?soa:true] additionally runs those sub-batches through the
+    struct-of-arrays row kernels on contiguous {!Pytfhe_tfhe.Lwe_array}
+    waves.  Outputs are ciphertext-bit-exact every way.  The multiprocess
+    backend accepts both knobs for uniformity but ignores them (batching
+    is worker-side there; the wire layout is [config.array_frames]). *)
 
 val cpu : (module S)
 (** {!Tfhe_eval} — sequential, the correctness baseline. *)

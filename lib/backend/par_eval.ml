@@ -143,7 +143,7 @@ let ideal_speedup (sched : Levelize.schedule) workers =
   in
   if rounds = 0 then 1.0 else float_of_int sched.Levelize.total_bootstraps /. float_of_int rounds
 
-let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
+let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
@@ -151,6 +151,7 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
   (match batch with
   | Some b when b < 1 -> invalid_arg "Par_eval.run: batch must be >= 1"
   | Some _ | None -> ());
+  let use_soa = soa && batch <> None in
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Par_eval.run: input arity mismatch";
@@ -158,11 +159,23 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
   let sched = Levelize.run net in
   let waves = Levelize.waves sched net in
   let n = Netlist.node_count net in
-  let values : Lwe.sample option array = Array.make n None in
-  List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
+  let lwe_n = cloud.Gates.cloud_params.Params.lwe.Params.n in
+  (* On the SoA batched path the whole value table is one flat struct of
+     arrays (node id = row); the record table shrinks to nothing.  Helper
+     domains write disjoint row ranges of the shared bigarrays, and the
+     pool's mutex handshake provides the inter-wave happens-before edge
+     exactly as it does for the record table. *)
+  let values : Lwe.sample option array = Array.make (if use_soa then 0 else n) None in
+  let svalues = Lwe_array.create ~n:lwe_n (if use_soa then n else 0) in
+  List.iteri
+    (fun i (_, id) ->
+      if use_soa then Lwe_array.set svalues id inputs.(i) else values.(id) <- Some inputs.(i))
+    input_list;
   for id = 0 to n - 1 do
     match Netlist.kind net id with
-    | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
+    | Netlist.Const b ->
+      if use_soa then Lwe_array.set svalues id (Gates.constant cloud b)
+      else values.(id) <- Some (Gates.constant cloud b)
     | Netlist.Input _ | Netlist.Gate _ -> ()
   done;
   (* One private context per domain: contexts.(0) belongs to the caller.
@@ -237,7 +250,6 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
      key-streaming batch context.  Per gate the combine → bootstrap →
      key-switch sequence is identical to the scalar chunk, so outputs stay
      bit-exact regardless of workers × batch. *)
-  let lwe_n = cloud.Gates.cloud_params.Params.lwe.Params.n in
   let eval_chunk_batched b w gates d =
     let width = Array.length gates in
     let lo = d * width / workers and hi = (d + 1) * width / workers in
@@ -271,6 +283,49 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
           ~t0:(t0 -. ep) ~t1:(t1 -. ep)
     end
   in
+  (* The SoA batched variant: one staging array covers the widest wave, and
+     domain d combines its slice [lo, hi) of gates straight into staging
+     rows [lo, hi) from the shared value table — no per-gate records.  Each
+     sub-batch is an O(1) slice view of the staging rows, runs through the
+     domain's private row-batched context, and the output rows are blitted
+     back to the value table.  Row ranges are disjoint across domains, so
+     the shared bigarrays need no locking beyond the wave barrier. *)
+  let wave_staging =
+    Lwe_array.create ~n:lwe_n
+      (if use_soa then max 1 (Array.fold_left max 1 wave_width) else 0)
+  in
+  let eval_chunk_soa b w gates d =
+    let width = Array.length gates in
+    let lo = d * width / workers and hi = (d + 1) * width / workers in
+    if lo < hi then begin
+      let bc = batch_ctxs.(d) in
+      let t0 = Unix.gettimeofday () in
+      for i = lo to hi - 1 do
+        match Netlist.kind net gates.(i) with
+        | Netlist.Gate (g, a, b') ->
+          Gates.combine_rows_into (Tfhe_eval.plan_of g) ~a:svalues ~arow:a ~b:svalues
+            ~brow:b' ~dst:wave_staging ~drow:i
+        | Netlist.Input _ | Netlist.Const _ -> assert false
+      done;
+      let pos = ref lo in
+      while !pos < hi do
+        let len = min b (hi - !pos) in
+        let base = !pos in
+        let outs = Gates.bootstrap_batch_rows bc (Lwe_array.slice wave_staging ~pos:base ~len) in
+        for i = 0 to len - 1 do
+          Lwe_array.blit ~src:outs ~src_pos:i ~dst:svalues ~dst_pos:gates.(base + i) ~len:1
+        done;
+        per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + len;
+        pos := base + len
+      done;
+      let t1 = Unix.gettimeofday () in
+      per_domain_busy.(d) <- per_domain_busy.(d) +. (t1 -. t0);
+      if traced then
+        Trace.span dom_tracks.(d) ~cat:"chunk"
+          ~name:(Printf.sprintf "wave %d [%d,%d)" w lo hi)
+          ~t0:(t0 -. ep) ~t1:(t1 -. ep)
+    end
+  in
   let pool = pool_create (workers - 1) in
   Fun.protect
     ~finally:(fun () -> pool_shutdown pool)
@@ -285,6 +340,7 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
             pool_run pool
               (match batch with
               | None -> eval_chunk w wave.Levelize.parallel
+              | Some b when use_soa -> eval_chunk_soa b w wave.Levelize.parallel
               | Some b -> eval_chunk_batched b w wave.Levelize.parallel);
           (* Noiseless NOTs ride along on the coordinating domain: they may
              read this wave's fresh results, and cost one vector negation. *)
@@ -292,7 +348,8 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
             (fun id ->
               match Netlist.kind net id with
               | Netlist.Gate (g, a, _) when Gate.is_unary g ->
-                values.(id) <- Some (Lwe.neg (Option.get values.(a)));
+                if use_soa then Lwe_array.neg_into ~dst:svalues ~drow:id ~src:svalues ~srow:a
+                else values.(id) <- Some (Lwe.neg (Option.get values.(a)));
                 incr nots
               | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
             wave.Levelize.inline;
@@ -322,7 +379,10 @@ let run ?workers ?batch ?(obs = Trace.null) cloud net inputs =
           end)
         waves);
   let outputs =
-    Netlist.outputs net |> List.map (fun (_, id) -> Option.get values.(id)) |> Array.of_list
+    Netlist.outputs net
+    |> List.map (fun (_, id) ->
+           if use_soa then Lwe_array.get svalues id else Option.get values.(id))
+    |> Array.of_list
   in
   let wall_time = Unix.gettimeofday () -. start in
   let busy = Array.fold_left ( +. ) 0.0 per_domain_busy in

@@ -41,6 +41,7 @@ type stats = {
 val run :
   ?workers:int ->
   ?batch:int ->
+  ?soa:bool ->
   ?obs:Pytfhe_obs.Trace.sink ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
@@ -56,8 +57,15 @@ val run :
     in sub-batches of at most [b] gates through a private key-streaming
     batch context ({!Pytfhe_tfhe.Gates.batch_context}) instead of gate by
     gate — the bootstrapping key is then streamed once per sub-batch per
-    domain.  Outputs remain bit-exact with the scalar path for any
-    workers × batch combination.
+    domain.  By default ([?soa:true]) the batched path keeps the whole
+    value table and the wave staging buffer in shared struct-of-arrays
+    {!Pytfhe_tfhe.Lwe_array}s: each domain combines its gate slice into a
+    disjoint row range of the staging array and runs the row-batched
+    kernels, with no per-gate record materialization; the wave barrier is
+    the only synchronisation needed.  [?soa:false] selects the older
+    record-per-gate batched chunks (kept for benchmark attribution).
+    Outputs remain bit-exact with the scalar path for any
+    workers × batch × layout combination.
 
     With an enabled [obs] sink, each domain writes chunk spans to its own
     lock-free ["domain d"] track (drained by the coordinator at the wave

@@ -218,15 +218,111 @@ let run_batched obs cloud net values ~batch =
   let c = Gates.batch_counters bc in
   (!bootstraps, !nots, wave_wall, wave_width, c)
 
-let run ?(obs = Trace.null) ?batch cloud net inputs =
-  let values = prepare net inputs ~who:"Tfhe_eval.run" in
+(* The struct-of-arrays batched walk: the whole value table is one flat
+   [Lwe_array] (node id = row), wave phases are combined straight into a
+   staging array, and each sub-batch runs through the row-batched
+   bootstrap + key-switch kernels — no per-gate record exists anywhere
+   between the inputs and the collected outputs.  Per gate the
+   combine → bootstrap → key-switch operation sequence is identical to the
+   record paths, so outputs stay ciphertext-bit-exact. *)
+let run_batched_soa obs cloud net inputs ~batch =
+  let p = cloud.Gates.cloud_params in
+  let n = p.Params.lwe.Params.n in
+  let input_list = Netlist.inputs net in
+  if Array.length inputs <> List.length input_list then
+    invalid_arg "Tfhe_eval.run: input arity mismatch";
+  let traced = Trace.enabled obs in
+  let bc = Gates.batch_context cloud ~cap:batch in
+  let sched = Levelize.run net in
+  let waves = Levelize.waves sched net in
+  let nwaves = Array.length waves in
+  let wave_wall = Array.make nwaves 0.0 in
+  let wave_width = Array.map (fun w -> Array.length w.Levelize.parallel) waves in
+  let values = Lwe_array.create ~n (Netlist.node_count net) in
+  List.iteri (fun i (_, id) -> Lwe_array.set values id inputs.(i)) input_list;
+  for id = 0 to Netlist.node_count net - 1 do
+    match Netlist.kind net id with
+    | Netlist.Const b -> Lwe_array.set values id (Gates.constant cloud b)
+    | Netlist.Input _ | Netlist.Gate _ -> ()
+  done;
+  let staging = Lwe_array.create ~n batch in
+  let tr = Trace.new_track obs ~name:"cpu" in
+  if traced then Exec_obs.noise_gauges tr p;
+  let bootstraps = ref 0 and nots = ref 0 in
+  Array.iteri
+    (fun w wave ->
+      let t0 = Trace.now obs in
+      let a0 = Exec_obs.alloc_words () in
+      let c0 = Gates.batch_counters bc in
+      let par = wave.Levelize.parallel in
+      let width = Array.length par in
+      let wb = ref 0 and wn = ref 0 in
+      let pos = ref 0 in
+      while !pos < width do
+        let len = min batch (width - !pos) in
+        let base = !pos in
+        for i = 0 to len - 1 do
+          match Netlist.kind net par.(base + i) with
+          | Netlist.Gate (g, a, b) ->
+            Gates.combine_rows_into (plan_of g) ~a:values ~arow:a ~b:values ~brow:b
+              ~dst:staging ~drow:i
+          | Netlist.Input _ | Netlist.Const _ -> assert false
+        done;
+        let outs = Gates.bootstrap_batch_rows bc (Lwe_array.slice staging ~pos:0 ~len) in
+        for i = 0 to len - 1 do
+          Lwe_array.blit ~src:outs ~src_pos:i ~dst:values ~dst_pos:par.(base + i) ~len:1
+        done;
+        wb := !wb + len;
+        pos := !pos + len
+      done;
+      Array.iter
+        (fun id ->
+          match Netlist.kind net id with
+          | Netlist.Gate (g, a, _) when Gate.is_unary g ->
+            incr wn;
+            Lwe_array.neg_into ~dst:values ~drow:id ~src:values ~srow:a
+          | _ -> assert false)
+        wave.Levelize.inline;
+      let t1 = Trace.now obs in
+      wave_wall.(w) <- t1 -. t0;
+      bootstraps := !bootstraps + !wb;
+      nots := !nots + !wn;
+      if traced then begin
+        Trace.span tr ~cat:"wave" ~name:(Printf.sprintf "wave %d" w) ~t0 ~t1;
+        Exec_obs.wave_counters tr p ~bootstraps:!wb ~nots:!wn ~width
+          ~alloc_words:(Exec_obs.alloc_words () -. a0);
+        let c1 = Gates.batch_counters bc in
+        Exec_obs.batch_wave_counters tr p ~cap:batch
+          ~launches:(c1.Gates.batch_launches - c0.Gates.batch_launches)
+          ~gates:(c1.Gates.batch_gates - c0.Gates.batch_gates)
+          ~bsk_rows:(c1.Gates.bsk_rows - c0.Gates.bsk_rows)
+          ~ks_blocks:(c1.Gates.ks_blocks - c0.Gates.ks_blocks);
+        Trace.drain obs
+      end)
+    waves;
+  let outputs =
+    Netlist.outputs net |> List.map (fun (_, id) -> Lwe_array.get values id) |> Array.of_list
+  in
+  let c = Gates.batch_counters bc in
+  (outputs, !bootstraps, !nots, wave_wall, wave_width, c)
+
+let run ?(obs = Trace.null) ?batch ?(soa = true) cloud net inputs =
   let start = Unix.gettimeofday () in
   match batch with
   | Some b ->
     if b < 1 then invalid_arg "Tfhe_eval.run: batch must be >= 1";
-    let bootstraps, nots, wave_wall, wave_width, c = run_batched obs cloud net values ~batch:b in
+    let outputs, bootstraps, nots, wave_wall, wave_width, c =
+      if soa then run_batched_soa obs cloud net inputs ~batch:b
+      else begin
+        let values = prepare net inputs ~who:"Tfhe_eval.run" in
+        let bootstraps, nots, wave_wall, wave_width, c =
+          run_batched obs cloud net values ~batch:b
+        in
+        (collect net values, bootstraps, nots, wave_wall, wave_width, c)
+      end
+    in
     let p = cloud.Gates.cloud_params in
-    ( collect net values,
+    ( outputs,
       {
         bootstraps_executed = bootstraps;
         nots_executed = nots;
@@ -239,6 +335,7 @@ let run ?(obs = Trace.null) ?batch cloud net inputs =
         ks_bytes_streamed = c.Gates.ks_blocks * Exec_obs.ks_block_bytes p;
       } )
   | None ->
+    let values = prepare net inputs ~who:"Tfhe_eval.run" in
     let bootstraps, nots, wave_wall, wave_width =
       if Trace.enabled obs then run_traced obs cloud net values
       else run_untraced cloud net values

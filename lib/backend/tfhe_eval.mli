@@ -28,6 +28,7 @@ type stats = {
 val run :
   ?obs:Pytfhe_obs.Trace.sink ->
   ?batch:int ->
+  ?soa:bool ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
@@ -44,10 +45,16 @@ val run :
     With [?batch:b] (b ≥ 1) each wave's bootstrapped gates run through the
     key-streaming batch kernel in chunks of at most [b] gates: the
     bootstrapping key and key-switch table are streamed from memory once
-    per chunk instead of once per gate.  Outputs are ciphertext-bit-exact
-    with the scalar path for every batch size; a traced batched run
-    additionally emits [batch_waves]/[batch_fill]/[bsk_bytes_streamed]/
-    [ks_bytes_streamed] counters per wave. *)
+    per chunk instead of once per gate.  By default ([?soa:true]) the
+    batched walk keeps the whole value table in one struct-of-arrays
+    {!Pytfhe_tfhe.Lwe_array} (node id = row) and runs the row-batched
+    kernels — no per-gate ciphertext record is materialized between the
+    inputs and the collected outputs.  [?soa:false] selects the older
+    record-per-gate batched walk (kept for benchmark attribution of the
+    layout change).  Outputs are ciphertext-bit-exact across scalar,
+    record-batched and SoA-batched paths for every batch size; a traced
+    batched run additionally emits [batch_waves]/[batch_fill]/
+    [bsk_bytes_streamed]/[ks_bytes_streamed] counters per wave. *)
 
 val plan_of : Pytfhe_circuit.Gate.t -> Pytfhe_tfhe.Gates.combine_plan
 (** The linear phase combination of a bootstrapped IR gate (shared with

@@ -24,9 +24,9 @@ let executor = function
   | Multiprocess { workers; config } ->
     Executor.multiprocess ~workers ?config ()
 
-let run ?obs ?batch backend cloud compiled inputs =
+let run ?obs ?batch ?soa backend cloud compiled inputs =
   let (module E : Executor.S) = executor backend in
-  E.run ?obs ?batch cloud compiled.Pipeline.netlist inputs
+  E.run ?obs ?batch ?soa cloud compiled.Pipeline.netlist inputs
 
 (* ------------------------------------------------------------------ *)
 (* Cost-model simulation                                               *)

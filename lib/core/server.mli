@@ -37,6 +37,7 @@ val executor : exec_backend -> (module Pytfhe_backend.Executor.S)
 val run :
   ?obs:Pytfhe_obs.Trace.sink ->
   ?batch:int ->
+  ?soa:bool ->
   exec_backend ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pipeline.compiled ->
@@ -48,8 +49,10 @@ val run :
     sink to collect spans/counters/gauges — see
     {!Pytfhe_obs.Trace} and [docs/observability.md].  [?batch:b] routes
     the Cpu/Multicore backends through the key-streaming batched kernel
-    in sub-batches of at most [b] gates (bit-exact with the scalar path;
-    ignored by Multiprocess) — see [docs/perf.md]. *)
+    in sub-batches of at most [b] gates; [?soa:true] runs those
+    sub-batches through the struct-of-arrays row kernels on contiguous
+    {!Pytfhe_tfhe.Lwe_array} waves (bit-exact with the scalar path
+    either way; both ignored by Multiprocess) — see [docs/perf.md]. *)
 
 (** {2 Cost-model simulation} *)
 

@@ -72,6 +72,7 @@ type batch = {
   bws : Tgsw.workspace;
   btestvect : Poly.torus_poly;
   baccs : Tlwe.sample array;
+  taccs : Trlwe_array.t;  (* flat SoA accumulators for the row-batched path *)
   (* Key-traffic accounting, drained by the executors' obs counters. *)
   mutable bsk_rows_streamed : int;
   mutable launches : int;
@@ -86,6 +87,7 @@ let batch_create (p : Params.t) ~cap =
     bws = Tgsw.workspace_create p;
     btestvect = Array.make n 0;
     baccs = Array.init cap (fun _ -> Tlwe.trivial p (Poly.zero n));
+    taccs = Trlwe_array.create p ~cap;
     bsk_rows_streamed = 0;
     launches = 0;
     gates_batched = 0;
@@ -147,6 +149,52 @@ let batch_with p bt key ~mu (ss : Lwe.sample array) =
     bt.launches <- bt.launches + 1;
     bt.gates_batched <- bt.gates_batched + count;
     Array.init count (fun b -> Tlwe.extract_lwe p bt.baccs.(b))
+  end
+
+(* The SoA variant of the batched rotation: the accumulators are rows of
+   one flat [Trlwe_array], so the interchanged inner loop sweeps contiguous
+   storage while key entry i stays resident.  The per-row operation
+   sequence (rotation amounts, CMux order, float conversions) is identical
+   to [blind_rotate_batch_into] — and therefore to the scalar walk. *)
+let blind_rotate_batch_rows (p : Params.t) (bt : batch) key ~testvect (src : Lwe_array.t) ~count
+    =
+  let n = p.tlwe.ring_n in
+  let n2 = 2 * n in
+  for b = 0 to count - 1 do
+    Trlwe_array.clear_masks bt.taccs b;
+    let barb = Torus.mod_switch_from (Lwe_array.body src b) ~msize:n2 in
+    Trlwe_array.rotate_body_from bt.taccs b ((n2 - barb) mod n2) testvect
+  done;
+  for i = 0 to Array.length key.bsk - 1 do
+    let touched = ref false in
+    for b = 0 to count - 1 do
+      let barai = Torus.mod_switch_from (Lwe_array.mask src b i) ~msize:n2 in
+      if barai <> 0 then begin
+        touched := true;
+        Tgsw.cmux_rotate_row_into p bt.bws key.bsk.(i) barai bt.taccs ~row:b
+      end
+    done;
+    if !touched then bt.bsk_rows_streamed <- bt.bsk_rows_streamed + 1
+  done
+
+let batch_rows_into p bt key ~mu ~(src : Lwe_array.t) ~(dst : Lwe_array.t) =
+  let count = Lwe_array.length src in
+  if count > 0 then begin
+    if count > bt.bcap then
+      invalid_arg "Bootstrap.batch_rows_into: batch larger than the workspace capacity";
+    if Lwe_array.dim src <> Array.length key.bsk then
+      invalid_arg "Bootstrap.batch_rows_into: input dimension does not match the key";
+    if Lwe_array.dim dst <> p.Params.tlwe.k * p.Params.tlwe.ring_n then
+      invalid_arg "Bootstrap.batch_rows_into: destination dimension is not the extracted one";
+    if Lwe_array.length dst < count then
+      invalid_arg "Bootstrap.batch_rows_into: destination shorter than the batch";
+    Array.fill bt.btestvect 0 (Array.length bt.btestvect) mu;
+    blind_rotate_batch_rows p bt key ~testvect:bt.btestvect src ~count;
+    bt.launches <- bt.launches + 1;
+    bt.gates_batched <- bt.gates_batched + count;
+    for b = 0 to count - 1 do
+      Trlwe_array.extract_row_into bt.taccs ~row:b dst ~drow:b
+    done
   end
 
 let bootstrap_with p ctx key ~mu s =

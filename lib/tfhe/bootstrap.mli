@@ -98,6 +98,17 @@ val batch_with : Params.t -> batch -> key -> mu:Torus.t -> Lwe.sample array -> L
     the whole batch.  Element [i] of the result is bit-identical to
     [bootstrap_with p ctx key ~mu ss.(i)]. *)
 
+val batch_rows_into :
+  Params.t -> batch -> key -> mu:Torus.t -> src:Lwe_array.t -> dst:Lwe_array.t -> unit
+(** The struct-of-arrays {!batch_with}: bootstrap every row of [src]
+    (dimension n, length ≤ capacity) to ±[mu] under the extracted key,
+    writing rows [0, length src) of [dst] (dimension k·N) — no per-gate
+    record materialization.  The accumulators live in a flat
+    {!Trlwe_array}, so the interchanged inner loop sweeps contiguous
+    storage while each bootstrapping-key entry stays resident.  Row [i] of
+    [dst] is bit-identical to [bootstrap_with p ctx key ~mu] of row [i] of
+    [src].  Raises [Invalid_argument] on shape mismatches. *)
+
 type batch_stats = { bsk_rows_streamed : int; launches : int; gates_batched : int }
 (** Cumulative key-traffic accounting since the last reset:
     [bsk_rows_streamed] counts bootstrapping-key entries read from memory

@@ -132,13 +132,23 @@ let mux_gate ck s x y = mux_gate_in (default_context ck) s x y
 type batch_context = {
   bkeyset : cloud_keyset;
   bboot : Bootstrap.batch;
+  bextract : Lwe_array.t;  (* cap rows of extracted (k·N) samples *)
+  bout : Lwe_array.t;  (* cap rows of key-switched (n) outputs *)
   mutable ks_blocks : int;
   mutable ks_launches : int;
 }
 
 let batch_context ck ~cap =
-  { bkeyset = ck; bboot = Bootstrap.batch_create ck.cloud_params ~cap; ks_blocks = 0;
-    ks_launches = 0 }
+  let p = ck.cloud_params in
+  let bboot = Bootstrap.batch_create p ~cap in
+  {
+    bkeyset = ck;
+    bboot;
+    bextract = Lwe_array.create ~n:(Params.extracted_n p) cap;
+    bout = Lwe_array.create ~n:p.lwe.n cap;
+    ks_blocks = 0;
+    ks_launches = 0;
+  }
 
 let batch_capacity bc = Bootstrap.batch_capacity bc.bboot
 
@@ -152,6 +162,32 @@ let bootstrap_batch bc (combined : Lwe.sample array) =
     bc.ks_launches <- bc.ks_launches + 1;
     out
   end
+
+(* The SoA wave pipeline: combined phase rows in, key-switched output rows
+   out, zero per-gate record materialization in between.  The returned
+   array is a view into the context's own scratch — valid until the next
+   [bootstrap_batch_rows] call on this context, so the caller blits the
+   rows it needs before relaunching. *)
+let bootstrap_batch_rows bc (src : Lwe_array.t) =
+  let count = Lwe_array.length src in
+  if count = 0 then Lwe_array.slice bc.bout ~pos:0 ~len:0
+  else begin
+    if count > batch_capacity bc then
+      invalid_arg "Gates.bootstrap_batch_rows: batch larger than the workspace capacity";
+    let p = bc.bkeyset.cloud_params in
+    let extracted = Lwe_array.slice bc.bextract ~pos:0 ~len:count in
+    Bootstrap.batch_rows_into p bc.bboot bc.bkeyset.bootstrap_key ~mu:(Params.mu p) ~src
+      ~dst:extracted;
+    let out = Lwe_array.slice bc.bout ~pos:0 ~len:count in
+    let blocks = Keyswitch.apply_batch_rows_into bc.bkeyset.keyswitch_key ~src:extracted ~dst:out in
+    bc.ks_blocks <- bc.ks_blocks + blocks;
+    bc.ks_launches <- bc.ks_launches + 1;
+    out
+  end
+
+let combine_rows_into plan ~a ~arow ~b ~brow ~dst ~drow =
+  Lwe_array.combine_into ~dst ~drow ~konst:plan.plan_const ~scale:plan.plan_scale
+    ~sign_a:plan.plan_sign_a ~a ~arow ~sign_b:plan.plan_sign_b ~b ~brow
 
 type batch_counters = {
   batch_launches : int;  (** batched bootstrap kernel launches *)

@@ -148,6 +148,28 @@ val bootstrap_batch : batch_context -> Lwe.sample array -> Lwe.sample array
     array (length ≤ capacity; a short final batch is fine).  Element [i] is
     bit-identical to [bootstrap_in ctx arr.(i)]. *)
 
+val bootstrap_batch_rows : batch_context -> Lwe_array.t -> Lwe_array.t
+(** The struct-of-arrays {!bootstrap_batch}: sign-bootstrap + key-switch
+    every row of an already-combined {!Lwe_array} (length ≤ capacity)
+    through the row-batched kernels, with no per-gate record
+    materialization.  Row [i] of the result is bit-identical to
+    [bootstrap_in ctx] of row [i].  The returned array is a slice of the
+    context's own output scratch — valid until the next call on this
+    context; blit the rows out before relaunching. *)
+
+val combine_rows_into :
+  combine_plan ->
+  a:Lwe_array.t ->
+  arow:int ->
+  b:Lwe_array.t ->
+  brow:int ->
+  dst:Lwe_array.t ->
+  drow:int ->
+  unit
+(** The row form of {!combine}: build a gate's phase combination directly
+    into a destination row ({!Lwe_array.combine_into} with the plan's
+    constants), bit-identical to the record path. *)
+
 type batch_counters = {
   batch_launches : int;  (** batched bootstrap kernel launches *)
   batch_gates : int;  (** gates processed through those launches *)

@@ -125,6 +125,86 @@ let apply_batch_into key (ss : Lwe.sample array) ~count ~(a : int array array) ~
   done;
   !blocks
 
+(* The SoA variant of [apply_batch_into]: sources and destinations are rows
+   of flat [Lwe_array]s, so while an (i, j) table block stays resident the
+   batch sweep touches contiguous rows and each row update is a unit-stride
+   run over the destination masks.  The per-member digit visit order is
+   unchanged, so every output row is bit-identical to a scalar
+   [apply_into]. *)
+let apply_batch_rows_into key ~(src : Lwe_array.t) ~(dst : Lwe_array.t) =
+  let count = Lwe_array.length src in
+  if Lwe_array.dim src <> key.in_n then
+    invalid_arg "Keyswitch.apply_batch_rows_into: input dimension mismatch";
+  if Lwe_array.dim dst <> key.out_n then
+    invalid_arg "Keyswitch.apply_batch_rows_into: output dimension mismatch";
+  if Lwe_array.length dst < count then
+    invalid_arg "Keyswitch.apply_batch_rows_into: destination shorter than the batch";
+  let base = 1 lsl key.base_bit in
+  let prec_offset = 1 lsl (32 - 1 - (key.base_bit * key.ks_t)) in
+  let out_n = key.out_n in
+  let in_n = key.in_n in
+  let flat = key.flat in
+  let smasks = src.Lwe_array.masks and sbodies = src.Lwe_array.bodies in
+  let dmasks = dst.Lwe_array.masks and dbodies = dst.Lwe_array.bodies in
+  (* Spelled as direct [Bigarray.Array1] / [Int32] primitive applications:
+     those are compiler intrinsics, so every element access compiles to a
+     raw load/store even without flambda.  Going through a function (even a
+     [@inline] one) leaves a call per element on this compiler, which
+     roughly doubles the cost of the memory-bound digit loop. *)
+  let[@inline] ld (ba : Pytfhe_util.Wire.i32_buffer) i =
+    Int32.to_int (Bigarray.Array1.unsafe_get ba i) land 0xFFFFFFFF
+  in
+  let[@inline] st (ba : Pytfhe_util.Wire.i32_buffer) i v =
+    Bigarray.Array1.unsafe_set ba i (Int32.of_int v)
+  in
+  (* The digit loop is memory bound, and an int32 bigarray access costs
+     roughly two int-array accesses even as a raw load — so stage the
+     source phases and the output accumulators in flat int arrays (one
+     conversion pass per direction) and run the hot loop entirely on the
+     OCaml heap, exactly like the record kernel.  The scratch is a few
+     hundred words per batch member, noise next to the table traffic. *)
+  let sa = Array.make (count * in_n) 0 in
+  let a = Array.make (count * out_n) 0 in
+  let b = Array.make count 0 in
+  for m = 0 to count - 1 do
+    let sm = m * in_n in
+    for i = 0 to in_n - 1 do
+      Array.unsafe_set sa (sm + i) (ld smasks (sm + i))
+    done;
+    b.(m) <- ld sbodies m
+  done;
+  let blocks = ref 0 in
+  for i = 0 to in_n - 1 do
+    for j = 0 to key.ks_t - 1 do
+      let shift = 32 - ((j + 1) * key.base_bit) in
+      let touched = ref false in
+      for m = 0 to count - 1 do
+        let ai = (Array.unsafe_get sa ((m * in_n) + i) + prec_offset) land 0xFFFFFFFF in
+        let aij = (ai lsr shift) land (base - 1) in
+        if aij <> 0 then begin
+          touched := true;
+          let off = entry_off key i j aij in
+          let dm = m * out_n in
+          for u = 0 to out_n - 1 do
+            Array.unsafe_set a (dm + u)
+              (Torus.sub (Array.unsafe_get a (dm + u)) (Array.unsafe_get flat (off + u)))
+          done;
+          Array.unsafe_set b m
+            (Torus.sub (Array.unsafe_get b m) (Array.unsafe_get flat (off + out_n)))
+        end
+      done;
+      if !touched then incr blocks
+    done
+  done;
+  for m = 0 to count - 1 do
+    let dm = m * out_n in
+    for u = 0 to out_n - 1 do
+      st dmasks (dm + u) (Array.unsafe_get a (dm + u))
+    done;
+    st dbodies m (Array.unsafe_get b m)
+  done;
+  !blocks
+
 let apply_batch key (ss : Lwe.sample array) =
   let count = Array.length ss in
   let a = Array.init count (fun _ -> Array.make key.out_n 0) in

@@ -36,6 +36,16 @@ val apply_batch_into :
     of blocks actually read (those with a nonzero digit somewhere in the
     batch), in units of {!block_bytes}. *)
 
+val apply_batch_rows_into : key -> src:Lwe_array.t -> dst:Lwe_array.t -> int
+(** The struct-of-arrays {!apply_batch_into}: key-switch every row of [src]
+    (dimension in_n) into the same-index row of [dst] (dimension out_n,
+    length ≥ length of [src]).  Same (i, j)-outer loop interchange — a
+    table block streams once per batch — but the batch sweep now touches
+    contiguous rows and each row update is a unit-stride run.  Output rows
+    are bit-identical to scalar {!apply_into}; returns blocks streamed in
+    units of {!block_bytes}.  Raises [Invalid_argument] on shape
+    mismatches. *)
+
 val apply_batch : key -> Lwe.sample array -> Lwe.sample array * int
 (** Allocating wrapper over {!apply_batch_into}: key-switch the whole array
     and also return the number of table blocks streamed. *)

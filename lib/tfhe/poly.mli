@@ -62,6 +62,13 @@ val to_floats_into : centred:bool -> float array -> int array -> unit
 (** In-place variant of {!to_floats}: fills the first argument.  Lengths
     must match. *)
 
+val torus_of_float : float -> Torus.t
+(** Round one real coefficient into a canonical torus element (modulo 2³²)
+    — the exact conversion {!of_floats} applies per coefficient, exposed so
+    the struct-of-arrays accumulator ({!Trlwe_array}) stays bit-identical
+    with the record path.  Marked [@inline]; in native code the float
+    argument is unboxed at every call site that consumes it directly. *)
+
 val of_floats : float array -> torus_poly
 (** Round real coefficients back into torus elements (modulo 2³²). *)
 

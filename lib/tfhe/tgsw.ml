@@ -168,6 +168,20 @@ let cmux_rotate_into (p : Params.t) ws (g : fft_sample) a (acc : Tlwe.sample) =
   Poly.mul_by_xai_minus_one_into rot.Tlwe.body a acc.Tlwe.body;
   external_product_add_into p ws g ~src:rot ~acc
 
+let cmux_rotate_row_into (p : Params.t) ws (g : fft_sample) a (tr : Trlwe_array.t) ~row =
+  (* The SoA analogue of [cmux_rotate_into]: the accumulator lives in a
+     flat [Trlwe_array] row instead of a [Tlwe.sample].  The rotation
+     difference still stages through [ws.rot] (the FFT pipeline consumes
+     record-shaped polynomials), and the spectral products are byte-for-byte
+     the same computation, so the row update is bit-identical to the record
+     path. *)
+  Trlwe_array.rotate_diff_into tr ~row a ws.rot;
+  product_spectra p ws g ws.rot;
+  for comp = 0 to p.tlwe.k do
+    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
+    Trlwe_array.add_floats_to tr ~row ~comp ws.result_float
+  done
+
 let cmux p ws g d1 d0 =
   let diff = Tlwe.copy d1 in
   Tlwe.sub_to diff d0;

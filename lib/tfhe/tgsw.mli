@@ -70,6 +70,13 @@ val cmux_rotate_into : Params.t -> workspace -> fft_sample -> int -> Tlwe.sample
     [cmux p ws g (Tlwe.mul_by_xai a acc) acc] with zero allocation.
     [a] must lie in [0, 2N). *)
 
+val cmux_rotate_row_into :
+  Params.t -> workspace -> fft_sample -> int -> Trlwe_array.t -> row:int -> unit
+(** {!cmux_rotate_into} with the accumulator living in a flat
+    {!Trlwe_array} row — the batched blind rotation's inner step.
+    Bit-identical to the record variant: the rotation difference stages
+    through the same workspace scratch and the same FFT pipeline. *)
+
 val cmux : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample -> Tlwe.sample
 (** [cmux p ws g d1 d0] homomorphically selects [d1] when [g] encrypts 1 and
     [d0] when it encrypts 0: d0 + g ⊡ (d1 − d0). *)

@@ -1,0 +1,54 @@
+(** Struct-of-arrays TRLWE accumulator storage for the batched blind
+    rotation.
+
+    [cap] accumulators as one flat torus-word array: row [r] holds its k
+    mask polynomials then its body polynomial back to back.  The batched
+    CMux recurrence keeps one bootstrapping-key entry resident while
+    sweeping the batch dimension, so the accumulators must be contiguous —
+    the TRLWE analogue of {!Lwe_array}, used as {!Bootstrap.batch}
+    scratch.  Unlike {!Lwe_array} the accumulators never cross the wire,
+    so the backing store is a plain [int array] (an int32 bigarray access
+    costs roughly two int-array accesses even as a raw load, and the
+    rotation loops are memory bound).
+
+    Every op mirrors its record-path counterpart coefficient for
+    coefficient and routes arithmetic through {!Torus} /
+    {!Poly.torus_of_float}, keeping the batched rotation
+    ciphertext-bit-exact with the scalar walk. *)
+
+type t
+
+val create : Params.t -> cap:int -> t
+(** Zero-filled storage for [cap ≥ 1] accumulators of the parameter set's
+    TRLWE shape. *)
+
+val capacity : t -> int
+
+val clear_masks : t -> int -> unit
+(** Zero the k mask polynomials of row [r] (the body is left alone — the
+    rotation overwrites it). *)
+
+val rotate_body_from : t -> int -> int -> Poly.torus_poly -> unit
+(** [rotate_body_from t r a p]: body of row [r] ← [X^a · p], the negacyclic
+    rotation of {!Poly.mul_by_xai_into} ([0 ≤ a < 2N]). *)
+
+val rotate_diff_into : t -> row:int -> int -> Tlwe.sample -> unit
+(** [rotate_diff_into t ~row a dst]: [dst ← (X^a − 1) · row], every
+    component, into the record-shaped workspace scratch the external
+    product consumes — {!Poly.mul_by_xai_minus_one_into} against the flat
+    row. *)
+
+val add_floats_to : t -> row:int -> comp:int -> float array -> unit
+(** Accumulate the rounded torus values of an FFT result into component
+    [comp] (k = the body) of row [row] — {!Poly.add_of_floats_to} against
+    the flat row, bit-identical via {!Poly.torus_of_float}. *)
+
+val extract_row_into : t -> row:int -> Lwe_array.t -> drow:int -> unit
+(** Sample-extract row [row] into row [drow] of an {!Lwe_array} of
+    dimension k·N — {!Tlwe.extract_lwe} without the record detour. *)
+
+val set_row : t -> int -> Tlwe.sample -> unit
+(** Store a record accumulator into row [r] (tests). *)
+
+val get_row : t -> int -> Tlwe.sample
+(** Materialize row [r] as a record (tests; allocates). *)

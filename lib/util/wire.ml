@@ -98,6 +98,32 @@ let read_f64_array r =
   let n = read_length r in
   Array.init n (fun _ -> read_f64 r)
 
+type i32_buffer = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Flat little-endian i32 blocks, the payload of the struct-of-arrays
+   ciphertext frames: one length header (element count), then n raw 4-byte
+   words.  Writing stages through one Bytes chunk so Buffer growth is
+   amortized; reading does a single bounds check up front instead of one
+   per element. *)
+let write_i32_bigarray buf (ba : i32_buffer) =
+  let n = Bigarray.Array1.dim ba in
+  write_length buf n;
+  let chunk = Bytes.create (4 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le chunk (4 * i) (Bigarray.Array1.unsafe_get ba i)
+  done;
+  Buffer.add_bytes buf chunk
+
+let read_i32_bigarray_into r (ba : i32_buffer) =
+  let n = read_length r in
+  if n <> Bigarray.Array1.dim ba then
+    corrupt "i32 block length %d does not match destination %d" n (Bigarray.Array1.dim ba);
+  need r (4 * n);
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set ba i (String.get_int32_le r.data (r.pos + (4 * i)))
+  done;
+  r.pos <- r.pos + (4 * n)
+
 let write_array buf f a =
   write_length buf (Array.length a);
   Array.iter (f buf) a

@@ -57,6 +57,20 @@ val read_f64_array : reader -> float array
 val write_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
 val read_array : reader -> (reader -> 'a) -> 'a array
 
+type i32_buffer = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The flat storage of the struct-of-arrays ciphertext containers. *)
+
+val write_i32_bigarray : writer -> i32_buffer -> unit
+(** Length-prefixed flat block of little-endian 32-bit words — the bulk
+    payload of array ciphertext frames.  One staging copy, no per-element
+    framing. *)
+
+val read_i32_bigarray_into : reader -> i32_buffer -> unit
+(** Fill the destination buffer from a block written by
+    {!write_i32_bigarray}.  Raises {!Corrupt} when the stored element count
+    does not equal the destination size or the payload is truncated; the
+    bounds are checked once for the whole block. *)
+
 val to_file : string -> writer -> unit
 (** Write the buffer to a file atomically enough for this tool (temp name +
     rename). *)

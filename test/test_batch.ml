@@ -8,13 +8,192 @@
    the very same ciphertexts as the scalar per-gate walk. *)
 
 module Rng = Pytfhe_util.Rng
+module Wire = Pytfhe_util.Wire
 module Netlist = Pytfhe_circuit.Netlist
 module Levelize = Pytfhe_circuit.Levelize
 module Params = Pytfhe_tfhe.Params
 module Gates = Pytfhe_tfhe.Gates
+module Lwe = Pytfhe_tfhe.Lwe
+module Lwe_array = Pytfhe_tfhe.Lwe_array
 open Pytfhe_backend
 
 let keys = lazy (Gates.key_gen (Rng.create ~seed:909 ()) Params.test)
+
+(* ------------------------------------------------------------------ *)
+(* Lwe_array storage                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform canonical torus values: every int32 bit pattern is a legal
+   ciphertext word, so storage tests need no crypto. *)
+let random_sample rng ~n =
+  { Lwe.a = Array.init n (fun _ -> Rng.bits32 rng land 0xFFFFFFFF); b = Rng.bits32 rng land 0xFFFFFFFF }
+
+let random_wave rng ~n len = Array.init len (fun _ -> random_sample rng ~n)
+
+let raises_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_lwe_array_roundtrip =
+  QCheck.Test.make ~name:"lwe_array of_samples/get/set/to_samples = identity" ~count:50
+    QCheck.(triple (int_range 1 17) (int_range 1 9) small_int)
+    (fun (n, len, seed) ->
+      let rng = Rng.create ~seed:(7000 + seed) () in
+      let wave = random_wave rng ~n len in
+      let t = Lwe_array.of_samples ~n wave in
+      if Lwe_array.length t <> len || Lwe_array.dim t <> n then
+        QCheck.Test.fail_report "shape lost";
+      if Lwe_array.to_samples t <> wave then QCheck.Test.fail_report "to_samples differs";
+      Array.iteri
+        (fun r s -> if Lwe_array.get t r <> s then QCheck.Test.fail_report "get differs")
+        wave;
+      (* Overwrite through set and read back through mask/body. *)
+      let s' = random_sample rng ~n in
+      let r = Rng.int rng len in
+      Lwe_array.set t r s';
+      if Lwe_array.get t r <> s' then QCheck.Test.fail_report "set/get differs";
+      Array.iteri
+        (fun i v -> if Lwe_array.mask t r i <> v then QCheck.Test.fail_report "mask read differs")
+        s'.Lwe.a;
+      Lwe_array.body t r = s'.Lwe.b)
+
+let test_lwe_array_row_ops =
+  QCheck.Test.make ~name:"lwe_array row ops bit-exact with Lwe record ops" ~count:50
+    QCheck.(triple (int_range 1 16) small_int (int_range ~-3 3))
+    (fun (n, seed, k) ->
+      let rng = Rng.create ~seed:(8000 + seed) () in
+      let wave = random_wave rng ~n 4 in
+      let t = Lwe_array.of_samples ~n wave in
+      let dst = Lwe_array.create ~n 4 in
+      Lwe_array.add_into ~dst ~drow:0 ~a:t ~arow:0 ~b:t ~brow:1;
+      if Lwe_array.get dst 0 <> Lwe.add wave.(0) wave.(1) then
+        QCheck.Test.fail_report "add_into differs";
+      Lwe_array.sub_into ~dst ~drow:1 ~a:t ~arow:2 ~b:t ~brow:3;
+      if Lwe_array.get dst 1 <> Lwe.sub wave.(2) wave.(3) then
+        QCheck.Test.fail_report "sub_into differs";
+      Lwe_array.scale_into ~dst ~drow:2 k ~src:t ~srow:1;
+      if Lwe_array.get dst 2 <> Lwe.scale k wave.(1) then
+        QCheck.Test.fail_report "scale_into differs";
+      Lwe_array.neg_into ~dst ~drow:3 ~src:t ~srow:0;
+      if Lwe_array.get dst 3 <> Lwe.neg wave.(0) then QCheck.Test.fail_report "neg_into differs";
+      (* The fused gate combine against the scalar reference, for every plan. *)
+      List.for_all
+        (fun plan ->
+          let reference = Gates.combine ~n plan wave.(0) wave.(1) in
+          Lwe_array.combine_into ~dst ~drow:0 ~konst:plan.Gates.plan_const
+            ~scale:plan.Gates.plan_scale ~sign_a:plan.Gates.plan_sign_a ~a:t ~arow:0
+            ~sign_b:plan.Gates.plan_sign_b ~b:t ~brow:1;
+          Lwe_array.get dst 0 = reference)
+        [
+          Gates.nand_plan;
+          Gates.and_plan;
+          Gates.or_plan;
+          Gates.nor_plan;
+          Gates.xor_plan;
+          Gates.xnor_plan;
+          Gates.andny_plan;
+          Gates.oryn_plan;
+        ])
+
+let test_lwe_array_aliasing =
+  QCheck.Test.make ~name:"lwe_array *_into safe when dst aliases sources" ~count:50
+    QCheck.(pair (int_range 1 16) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed:(8100 + seed) () in
+      let wave = random_wave rng ~n 3 in
+      (* dst row = a row: t.(0) <- t.(0) + t.(1). *)
+      let t = Lwe_array.of_samples ~n wave in
+      Lwe_array.add_into ~dst:t ~drow:0 ~a:t ~arow:0 ~b:t ~brow:1;
+      if Lwe_array.get t 0 <> Lwe.add wave.(0) wave.(1) then
+        QCheck.Test.fail_report "add_into onto own source row differs";
+      (* dst = both sources: t.(1) <- t.(1) - t.(1) through overlapping
+         slices of the same storage. *)
+      let s = Lwe_array.slice t ~pos:1 ~len:2 in
+      Lwe_array.sub_into ~dst:s ~drow:0 ~a:t ~arow:1 ~b:s ~brow:0;
+      if Lwe_array.get t 1 <> Lwe.sub wave.(1) wave.(1) then
+        QCheck.Test.fail_report "sub_into through overlapping slices differs";
+      (* In-place combine: dst row aliases input a. *)
+      let t2 = Lwe_array.of_samples ~n wave in
+      let plan = Gates.xor_plan in
+      let reference = Gates.combine ~n plan wave.(2) wave.(0) in
+      Lwe_array.combine_into ~dst:t2 ~drow:2 ~konst:plan.Gates.plan_const
+        ~scale:plan.Gates.plan_scale ~sign_a:plan.Gates.plan_sign_a ~a:t2 ~arow:2
+        ~sign_b:plan.Gates.plan_sign_b ~b:t2 ~brow:0;
+      Lwe_array.get t2 2 = reference)
+
+let test_lwe_array_slice_blit () =
+  let rng = Rng.create ~seed:606 () in
+  let n = 5 in
+  let wave = random_wave rng ~n 6 in
+  let t = Lwe_array.of_samples ~n wave in
+  (* Slices are aliasing views in both directions. *)
+  let s = Lwe_array.slice t ~pos:2 ~len:3 in
+  Alcotest.(check int) "slice length" 3 (Lwe_array.length s);
+  Alcotest.(check bool) "slice rows are parent rows" true
+    (Lwe_array.get s 0 = wave.(2) && Lwe_array.get s 2 = wave.(4));
+  let fresh = random_sample rng ~n in
+  Lwe_array.set s 1 fresh;
+  Alcotest.(check bool) "write through slice visible in parent" true (Lwe_array.get t 3 = fresh);
+  Lwe_array.set_trivial t 2 12345;
+  Alcotest.(check bool) "write through parent visible in slice" true
+    (Lwe_array.get s 0 = Lwe.trivial ~n 12345);
+  (* Whole-row blit. *)
+  let dst = Lwe_array.create ~n 4 in
+  Lwe_array.blit ~src:t ~src_pos:1 ~dst ~dst_pos:2 ~len:2;
+  Alcotest.(check bool) "blit copies rows" true
+    (Lwe_array.get dst 2 = Lwe_array.get t 1 && Lwe_array.get dst 3 = Lwe_array.get t 2);
+  Alcotest.(check bool) "blit leaves other rows" true (Lwe_array.get dst 0 = Lwe.trivial ~n 0);
+  (* Bounds and shape enforcement. *)
+  Alcotest.(check bool) "slice pos out of bounds" true
+    (raises_invalid (fun () -> Lwe_array.slice t ~pos:5 ~len:2));
+  Alcotest.(check bool) "slice negative" true
+    (raises_invalid (fun () -> Lwe_array.slice t ~pos:(-1) ~len:1));
+  Alcotest.(check bool) "get row out of bounds" true (raises_invalid (fun () -> Lwe_array.get t 6));
+  Alcotest.(check bool) "set dimension mismatch" true
+    (raises_invalid (fun () -> Lwe_array.set t 0 (random_sample rng ~n:(n + 1))));
+  Alcotest.(check bool) "blit dimension mismatch" true
+    (raises_invalid (fun () ->
+         Lwe_array.blit ~src:t ~src_pos:0 ~dst:(Lwe_array.create ~n:(n + 1) 4) ~dst_pos:0 ~len:1));
+  Alcotest.(check bool) "blit range out of bounds" true
+    (raises_invalid (fun () -> Lwe_array.blit ~src:t ~src_pos:5 ~dst ~dst_pos:0 ~len:2));
+  Alcotest.(check bool) "create rejects n < 1" true
+    (raises_invalid (fun () -> Lwe_array.create ~n:0 3))
+
+let test_lwe_array_wire () =
+  let rng = Rng.create ~seed:607 () in
+  let n = 7 in
+  let t = Lwe_array.of_samples ~n (random_wave rng ~n 5) in
+  let buf = Buffer.create 256 in
+  Lwe_array.write buf t;
+  let bytes = Buffer.contents buf in
+  let t' = Lwe_array.read (Wire.reader_of_string bytes) in
+  Alcotest.(check bool) "roundtrip preserves every row" true
+    (Lwe_array.to_samples t' = Lwe_array.to_samples t);
+  (* Re-serialization is byte-identical: the format has one encoding. *)
+  let buf2 = Buffer.create 256 in
+  Lwe_array.write buf2 t';
+  Alcotest.(check string) "re-encoding byte-identical" bytes (Buffer.contents buf2);
+  (* Truncations at every prefix length must raise Corrupt, never return. *)
+  let truncated_rejected =
+    List.for_all
+      (fun keep ->
+        try
+          ignore (Lwe_array.read (Wire.reader_of_string (String.sub bytes 0 keep)));
+          false
+        with Wire.Corrupt _ -> true)
+      [ 0; 3; 4; 12; 20; String.length bytes - 1 ]
+  in
+  Alcotest.(check bool) "every truncation raises Corrupt" true truncated_rejected;
+  (* A flipped magic byte must be rejected too. *)
+  let corrupt = Bytes.of_string bytes in
+  Bytes.set corrupt 0 'X';
+  Alcotest.(check bool) "corrupt magic raises" true
+    (try
+       ignore (Lwe_array.read (Wire.reader_of_string (Bytes.to_string corrupt)));
+       false
+     with Wire.Corrupt _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Gate-level batch kernel                                             *)
@@ -149,6 +328,31 @@ let test_key_traffic_drops_with_batch () =
   Alcotest.(check bool) "ks traffic drops too" true
     (st1.Tfhe_eval.ks_bytes_streamed > st8.Tfhe_eval.ks_bytes_streamed)
 
+(* The ?soa knob: both batched layouts (record staging and flat Lwe_array
+   waves) must produce the scalar walk's exact ciphertexts, on both the
+   sequential and the multicore executor.  The multiprocess executor's
+   array-frame path is covered in test_dist.ml. *)
+let test_soa_matches_record =
+  QCheck.Test.make ~name:"soa and record batched layouts bit-exact with scalar" ~count:3
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let sk, ck = Lazy.force keys in
+      let net = Gen_circuit.random ~seed:(11 + s1) () in
+      let rng = Rng.create ~seed:(3000 + s2) () in
+      let ins = Array.init (Netlist.input_count net) (fun _ -> Rng.bool rng) in
+      let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+      let scalar_out, _ = Tfhe_eval.run ck net cts in
+      let widest = Array.fold_left max 1 (Levelize.run net).Levelize.widths in
+      List.for_all
+        (fun b ->
+          let soa_out, _ = Tfhe_eval.run ~batch:b ~soa:true ck net cts in
+          let rec_out, _ = Tfhe_eval.run ~batch:b ~soa:false ck net cts in
+          let par_soa, _ = Par_eval.run ~workers:2 ~batch:b ~soa:true ck net cts in
+          let par_rec, _ = Par_eval.run ~workers:2 ~batch:b ~soa:false ck net cts in
+          soa_out = scalar_out && rec_out = scalar_out && par_soa = scalar_out
+          && par_rec = scalar_out)
+        [ 1; 3; 8; widest ])
+
 let test_executor_batch_knob () =
   let sk, ck = Lazy.force keys in
   let net = Gen_circuit.wide ~width:3 ~depth:2 in
@@ -176,6 +380,14 @@ let test_executor_batch_knob () =
 let () =
   Alcotest.run "batch"
     [
+      ( "lwe_array",
+        [
+          QCheck_alcotest.to_alcotest test_lwe_array_roundtrip;
+          QCheck_alcotest.to_alcotest test_lwe_array_row_ops;
+          QCheck_alcotest.to_alcotest test_lwe_array_aliasing;
+          Alcotest.test_case "slice and blit" `Quick test_lwe_array_slice_blit;
+          Alcotest.test_case "wire roundtrip and rejection" `Quick test_lwe_array_wire;
+        ] );
       ( "kernel",
         [
           Alcotest.test_case "bootstrap_batch = scalar bootstraps" `Slow
@@ -185,6 +397,7 @@ let () =
       ( "executors",
         [
           QCheck_alcotest.to_alcotest test_batched_matches_scalar;
+          QCheck_alcotest.to_alcotest test_soa_matches_record;
           Alcotest.test_case "non-divisible wave" `Slow test_non_divisible_wave;
           Alcotest.test_case "key traffic drops with batch" `Slow
             test_key_traffic_drops_with_batch;

@@ -74,6 +74,27 @@ let test_dist_stats_and_validation () =
     (try ignore (Dist_eval.run (Dist_eval.config 2) ck net (Array.sub cts 0 2)); false
      with Invalid_argument _ -> true)
 
+(* Both wire layouts — per-sample DREQ/DREP frames and struct-of-arrays
+   DRQ2/DRP2 frames — must produce the sequential executor's exact
+   ciphertexts.  Every other test in this file runs the array frames (the
+   default), so this is the legacy path's regression test, plus the check
+   that the two layouts agree with each other. *)
+let test_array_frames_toggle () =
+  let sk, ck = Lazy.force keys in
+  let net = Gen_circuit.wide ~width:5 ~depth:3 in
+  let rng = Rng.create ~seed:51 () in
+  let ins = random_bits rng 6 in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let seq_out = reference ck net cts in
+  let arr_out, arr_st = Dist_eval.run (Dist_eval.config ~array_frames:true 2) ck net cts in
+  let leg_out, leg_st = Dist_eval.run (Dist_eval.config ~array_frames:false 2) ck net cts in
+  Alcotest.(check bool) "array frames bit-exact" true (arr_out = seq_out);
+  Alcotest.(check bool) "legacy frames bit-exact" true (leg_out = seq_out);
+  Alcotest.(check int) "same bootstrap count" leg_st.Dist_eval.bootstraps_executed
+    arr_st.Dist_eval.bootstraps_executed;
+  Alcotest.(check bool) "both layouts moved bytes" true
+    (arr_st.Dist_eval.bytes_to_workers > 0 && leg_st.Dist_eval.bytes_to_workers > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -155,6 +176,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest test_cross_backend;
           Alcotest.test_case "stats and validation" `Slow test_dist_stats_and_validation;
+          Alcotest.test_case "array-frames toggle" `Slow test_array_frames_toggle;
         ] );
       ( "faults",
         [
