@@ -369,7 +369,7 @@ let smoke = ref false
    the multi-second test-parameter run. *)
 let smoke_params =
   Params.custom ~name:"micro-smoke" ~n:8 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:64 ~k:1
-    ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:4 ~ks_base_bit:2
+    ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:4 ~ks_base_bit:2 ()
 
 (* Wall time and allocated words per call.  A short warmup keeps one-time
    setup (FFT table construction, lazy initialization) out of the
@@ -517,6 +517,153 @@ let micro () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* `ntt` — exact double-prime NTT vs complex FFT                        *)
+(* ------------------------------------------------------------------ *)
+
+let ntt_bench () =
+  header "ntt — double-prime NTT vs complex FFT: transform micro, full gates, exactness";
+  let open Pytfhe_fft in
+  (* (a) Transform micro at the production ring size: one forward, one
+     backward, one full negacyclic product per backend.  The NTT pays two
+     modular passes (one per prime) against the FFT's single complex pass;
+     the interesting question is the constant, not the asymptotics. *)
+  let n = 1024 in
+  let iters = if !smoke then 100 else 2000 in
+  let rng = Rng.create ~seed:4242 () in
+  Negacyclic.precompute n;
+  Ntt.precompute n;
+  let ipoly = Array.init n (fun _ -> Rng.int rng 64 - 32) in
+  let tpoly = Array.init n (fun _ -> Rng.int rng (1 lsl 30) - (1 lsl 29)) in
+  let fa = Array.map float_of_int ipoly in
+  let fb = Array.map float_of_int tpoly in
+  let fpoly = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let fspec = Negacyclic.spectrum_create n in
+  let fback = Array.make n 0.0 in
+  let nspec = Ntt.spectrum_create n in
+  let nback = Array.make n 0 in
+  let micro_cases =
+    [
+      ("fft/forward", fun () -> Negacyclic.forward_into fspec fpoly);
+      ("fft/backward", fun () -> Negacyclic.backward_into fback fspec);
+      ("fft/polymul", fun () -> ignore (Negacyclic.polymul fa fb));
+      ("ntt/forward", fun () -> Ntt.forward_into nspec ipoly);
+      ("ntt/backward", fun () -> Ntt.backward_into nback nspec);
+      ("ntt/polymul", fun () -> ignore (Ntt.polymul ipoly tpoly));
+    ]
+  in
+  Format.printf "@.transform micro at N = %d:@." n;
+  Format.printf "%-20s %12s@." "PRIMITIVE" "TIME/OP";
+  let micro_results =
+    List.map
+      (fun (name, f) ->
+        let wall, _ = measure ~iters f in
+        Format.printf "%-20s %12s@." name (human_time wall);
+        (name, wall))
+      micro_cases
+  in
+  (* (b) Exactness: the NTT product must equal the schoolbook reference
+     coefficient for coefficient — including gadget-scale magnitudes. *)
+  let exact_vs_naive =
+    Ntt.polymul ipoly tpoly = Ntt.polymul_naive ipoly tpoly
+  in
+  Format.printf "@.ntt/polymul == schoolbook at gadget magnitudes: %b@." exact_vs_naive;
+  (* (c) Full bootstrapped gates under both transforms.  Keys are grown
+     from the same seed, so the FFT and NTT runs see identical key
+     material and identical input ciphertexts; at these magnitudes the
+     FFT's products round to exact integers, so the two gate outputs must
+     be bit-identical — that equality is the [ntt_ok] CI gate. *)
+  let gate_runs = ref [] in
+  let ntt_ok = ref true in
+  let gate_under (base : Params.t) =
+    let iters = if !smoke then 1 else 10 in
+    let outputs =
+      List.map
+        (fun kind ->
+          let p = Params.with_transform base kind in
+          let rng = Rng.create ~seed:9090 () in
+          Format.printf "  [%s/%s: generating keys ...]@?" base.Params.name
+            (Transform.kind_name kind);
+          let t0 = Unix.gettimeofday () in
+          let sk, ck = Gates.key_gen rng p in
+          Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
+          let a = Gates.encrypt_bit rng sk true in
+          let b = Gates.encrypt_bit rng sk false in
+          let ctx = Gates.context ck in
+          ignore (Gates.nand_gate_in ctx a b);
+          let wall, _ = measure ~warmup:0 ~iters (fun () -> ignore (Gates.nand_gate_in ctx a b)) in
+          Format.printf "  %s/%s NAND: %s/gate@." base.Params.name
+            (Transform.kind_name kind) (human_time wall);
+          let out = Gates.nand_gate_in ctx a b in
+          if not (Gates.decrypt_bit sk out) then begin
+            Format.printf "  %s/%s NAND DECRYPTS WRONG@." base.Params.name
+              (Transform.kind_name kind);
+            ntt_ok := false
+          end;
+          gate_runs :=
+            (base.Params.name, Transform.kind_name kind, wall) :: !gate_runs;
+          (kind, out))
+        [ Transform.Fft; Transform.Ntt ]
+    in
+    match outputs with
+    | [ (_, off); (_, ont) ] ->
+      let equal = off.Lwe.a = ont.Lwe.a && off.Lwe.b = ont.Lwe.b in
+      Format.printf "  %s: FFT and NTT gate outputs bit-equal: %b@." base.Params.name equal;
+      if not equal then ntt_ok := false
+    | _ -> assert false
+  in
+  gate_under Params.test;
+  gate_under Params.default_128;
+  let ntt_ok = !ntt_ok && exact_vs_naive in
+  let micro_time name = List.assoc name micro_results in
+  let gate_time pname kname =
+    let _, _, w = List.find (fun (p, k, _) -> p = pname && k = kname) !gate_runs in
+    w
+  in
+  let json =
+    Json.Obj
+      [
+        ("smoke", Json.Bool !smoke);
+        ("ring_n", Json.Number (float_of_int n));
+        ( "micro",
+          Json.List
+            (List.map
+               (fun (name, wall) ->
+                 Json.Obj [ ("name", Json.String name); ("time_s", Json.Number wall) ])
+               micro_results) );
+        ("ntt_polymul_exact", Json.Bool exact_vs_naive);
+        ( "gates",
+          Json.List
+            (List.map
+               (fun (pname, kname, wall) ->
+                 Json.Obj
+                   [
+                     ("params", Json.String pname);
+                     ("transform", Json.String kname);
+                     ("gate_time_s", Json.Number wall);
+                   ])
+               (List.rev !gate_runs)) );
+        ( "ntt_vs_fft_polymul_slowdown",
+          Json.Number (micro_time "ntt/polymul" /. Float.max (micro_time "fft/polymul") 1e-12) );
+        ( "ntt_vs_fft_gate_slowdown_test",
+          Json.Number
+            (gate_time Params.test.Params.name "ntt"
+            /. Float.max (gate_time Params.test.Params.name "fft") 1e-12) );
+        (* CI smoke gate: the NTT path must be exact against the schoolbook
+           reference, decrypt correctly, and produce gate outputs bit-equal
+           to the FFT's under both parameter sets. *)
+        ("ntt_ok", Json.Bool ntt_ok);
+      ]
+  in
+  (* Written in smoke mode too: CI runs `ntt --smoke` and uploads it. *)
+  let path = "BENCH_ntt.json" in
+  Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+  Format.printf "@.wrote %s@." path;
+  (* Exactness is deterministic — a mismatch is a correctness bug, not
+     jitter — so it fails the bench run outright (after the artifact is on
+     disk for debugging). *)
+  if not ntt_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -632,7 +779,7 @@ let params_explorer () =
         let p =
           Params.custom ~name:(Printf.sprintf "l%d-bg%d" l bg_bit) ~n:630
             ~lwe_stdev:(2.0 ** -15.0) ~ring_n:1024 ~k:1 ~tlwe_stdev:(2.0 ** -25.0) ~l ~bg_bit
-            ~ks_t:8 ~ks_base_bit:2
+            ~ks_t:8 ~ks_base_bit:2 ()
         in
         let prob = Noise.gate_failure_probability p in
         let marker =
@@ -1200,8 +1347,8 @@ let all_experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("table4", table4); ("ablation", ablation);
-    ("params", params_explorer); ("micro", micro); ("par", par); ("dist", dist); ("obs", obs_bench);
-    ("batch", batch_bench);
+    ("params", params_explorer); ("micro", micro); ("ntt", ntt_bench); ("par", par);
+    ("dist", dist); ("obs", obs_bench); ("batch", batch_bench);
   ]
 
 let () =

@@ -173,8 +173,30 @@ let exec_backend_of ~backend ~workers ~dist_workers =
       | Some w when w > 1 -> Server.Multicore { workers = w }
       | Some _ | None -> Server.Cpu)
 
+(* Shared --transform plumbing: selects the polynomial-product backend the
+   parameter set carries (and hence the keyset wire format). *)
+let transform_conv =
+  let parse s =
+    match Pytfhe_fft.Transform.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown transform %S (fft | ntt)" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Pytfhe_fft.Transform.kind_name k))
+
+let transform_arg =
+  Arg.(value
+       & opt (some transform_conv) None
+       & info [ "transform" ] ~docv:"T"
+           ~doc:"Polynomial-product backend: $(b,fft) (double-precision complex FFT; the \
+                 default) or $(b,ntt) (exact double-prime NTT — bit-reproducible across \
+                 machines).")
+
+let apply_transform params = function
+  | None -> params
+  | Some t -> Pytfhe_tfhe.Params.with_transform params t
+
 let run_cmd =
-  let run w seed encrypted backend workers dist_workers batch soa trace metrics =
+  let run w seed encrypted backend workers dist_workers batch soa transform trace metrics =
     (match workers with Some w when w < 1 -> failwith "--workers must be >= 1" | _ -> ());
     if dist_workers < 0 then failwith "--dist-workers must be >= 1";
     if batch < 0 then failwith "--batch must be >= 1";
@@ -186,8 +208,10 @@ let run_cmd =
       if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
       let exec = exec_backend_of ~backend ~workers ~dist_workers in
       let obs = sink_for ~trace ~metrics in
-      Format.printf "generating keys (test parameters)...@.";
-      let client, cloud = Client.keygen ~params:Pytfhe_tfhe.Params.test ~seed () in
+      let params = apply_transform Pytfhe_tfhe.Params.test transform in
+      Format.printf "generating keys (test parameters, %s transform)...@."
+        (Pytfhe_fft.Transform.kind_name params.Pytfhe_tfhe.Params.transform);
+      let client, cloud = Client.keygen ~params ~seed () in
       let compiled = Pipeline.compile ~obs ~name:w.W.name (w.W.circuit ()) in
       let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
       let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
@@ -266,7 +290,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
     Term.(const run $ workload_arg $ seed $ encrypted $ backend $ workers $ dist_workers
-          $ batch $ soa $ trace_arg $ metrics_arg)
+          $ batch $ soa $ transform_arg $ trace_arg $ metrics_arg)
 
 let verilog_cmd =
   let run w out =
@@ -400,7 +424,8 @@ let params_conv =
   Arg.conv (parse, fun fmt p -> Pytfhe_tfhe.Params.pp fmt p)
 
 let keygen_cmd =
-  let run params dir seed =
+  let run params transform dir seed =
+    let params = apply_transform params transform in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     Format.printf "generating keys for %a ...@." Pytfhe_tfhe.Params.pp params;
     let t0 = Unix.gettimeofday () in
@@ -417,7 +442,8 @@ let keygen_cmd =
   let dir = Arg.(value & opt string "keys" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.") in
   let params = Arg.(value & opt params_conv Pytfhe_tfhe.Params.test & info [ "params" ] ~doc:"Parameter set (test | default).") in
   let seed = Arg.(value & opt int 0xC11E47 & info [ "seed" ] ~doc:"Key generation seed.") in
-  Cmd.v (Cmd.info "keygen" ~doc:"Generate a secret/cloud keyset pair") Term.(const run $ params $ dir $ seed)
+  Cmd.v (Cmd.info "keygen" ~doc:"Generate a secret/cloud keyset pair")
+    Term.(const run $ params $ transform_arg $ dir $ seed)
 
 let bits_of_string s =
   String.to_seq s
@@ -440,8 +466,16 @@ let encrypt_cmd =
   Cmd.v (Cmd.info "encrypt" ~doc:"Encrypt plaintext bits with the secret key") Term.(const run $ secret $ bits $ out)
 
 let eval_cmd =
-  let run cloud program input out trace metrics =
+  let run cloud program input out transform trace metrics =
     let keyset = Server.load_cloud_keyset cloud in
+    (match transform with
+    | Some t when keyset.Pytfhe_tfhe.Gates.cloud_params.Pytfhe_tfhe.Params.transform <> t ->
+      failwith
+        (Printf.sprintf "--transform %s does not match the cloud keyset (built with %s)"
+           (Pytfhe_fft.Transform.kind_name t)
+           (Pytfhe_fft.Transform.kind_name
+              keyset.Pytfhe_tfhe.Gates.cloud_params.Pytfhe_tfhe.Params.transform))
+    | Some _ | None -> ());
     let bytes = Binary.read_file program in
     let cts = Pytfhe_core.Ciphertext_file.read input in
     Format.printf "evaluating %d instructions on %d input ciphertexts ...@."
@@ -461,7 +495,7 @@ let eval_cmd =
   let out = Arg.(value & opt string "output.ct" & info [ "o" ] ~docv:"FILE" ~doc:"Output ciphertext bundle.") in
   Cmd.v
     (Cmd.info "eval" ~doc:"Homomorphically evaluate a PyTFHE binary on a ciphertext bundle (server side)")
-    Term.(const run $ cloud $ program $ input $ out $ trace_arg $ metrics_arg)
+    Term.(const run $ cloud $ program $ input $ out $ transform_arg $ trace_arg $ metrics_arg)
 
 let trace_validate_cmd =
   let run path =

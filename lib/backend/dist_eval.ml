@@ -200,23 +200,47 @@ let read_frame ?(deadline = infinity) fd =
 (* Worker process                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* The worker is a stateless gate server: after the hello frame (identity,
-   fault schedule, cloud keyset) it answers DREQ frames — each a batch of
-   (gate, input ciphertext, input ciphertext) triples — with DREP frames
-   carrying the result ciphertexts plus the measured compute seconds.  All
-   exits go through Unix._exit: the child must never run the parent's
-   at_exit handlers or flush its inherited stdio buffers. *)
-let worker_main fd =
-  let hello = read_frame fd in
-  let r = Wire.reader_of_string hello in
+(* DHEL hello frame: worker identity, the coordinator's transform tag,
+   tracing plumbing (the coordinator's epoch makes worker timestamps
+   directly comparable — both sides read the same machine clock), the
+   fault schedule and the cloud keyset.  The explicit tag is validated
+   against the transform embedded in the keyset's own parameters: a
+   coordinator and worker that disagree about the polynomial-product
+   backend must fail the handshake with [Wire.Corrupt], not trade
+   ciphertexts whose spectra they would interpret differently. *)
+let parse_hello r =
   Wire.read_magic r "DHEL";
   let index = Wire.read_i64 r in
-  (* Tracing plumbing: the coordinator's epoch makes worker timestamps
-     directly comparable — both sides read the same machine clock. *)
+  let transform =
+    let code = Wire.read_u8 r in
+    match Pytfhe_fft.Transform.kind_of_code code with
+    | Some k -> k
+    | None ->
+      raise (Wire.Corrupt (Printf.sprintf "Dist_eval: unknown transform code %d" code))
+  in
   let obs_on = Wire.read_bool r in
   let obs_epoch = Wire.read_f64 r in
   let faults = Array.to_list (Wire.read_array r read_fault) in
   let ck = Gates.read_cloud_keyset r in
+  if ck.Gates.cloud_params.Params.transform <> transform then
+    raise (Wire.Corrupt "Dist_eval: transform mismatch between DHEL tag and keyset");
+  (index, obs_on, obs_epoch, faults, ck)
+
+(* The worker is a stateless gate server: after the hello frame (identity,
+   transform tag, fault schedule, cloud keyset) it answers DREQ frames —
+   each a batch of (gate, input ciphertext, input ciphertext) triples —
+   with DREP frames carrying the result ciphertexts plus the measured
+   compute seconds.  All exits go through Unix._exit: the child must never
+   run the parent's at_exit handlers or flush its inherited stdio
+   buffers. *)
+let worker_main fd =
+  let hello = read_frame fd in
+  let r = Wire.reader_of_string hello in
+  let index, obs_on, obs_epoch, faults, ck = parse_hello r in
+  (* Build the transform tables once, up front: the gate loop below must
+     never find them missing (a worker that built tables mid-request would
+     blow its first deadline on large rings). *)
+  Params.precompute ck.Gates.cloud_params;
   let ctx = Gates.context ck in
   let wsink = if obs_on then Trace.create ~epoch:obs_epoch () else Trace.null in
   let wtr = Trace.new_track wsink ~name:(Printf.sprintf "worker %d" index) in
@@ -471,10 +495,11 @@ let spawn_worker ~index =
   Unix.close worker_fd;
   { w_index = index; pid; fd = coord_fd; alive = true; reaped = false }
 
-let hello_bytes ~index ~obs ~faults ~keyset_blob =
+let hello_bytes ~index ~transform ~obs ~faults ~keyset_blob =
   let buf = Buffer.create (String.length keyset_blob + 256) in
   Wire.write_magic buf "DHEL";
   Wire.write_i64 buf index;
+  Wire.write_u8 buf (Pytfhe_fft.Transform.kind_code transform);
   Wire.write_bool buf (Trace.enabled obs);
   Wire.write_f64 buf (Trace.epoch obs);
   Wire.write_array buf write_fault (Array.of_list faults);
@@ -756,6 +781,11 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
     | Some h -> ( try Sys.set_signal Sys.sigpipe h with Invalid_argument _ -> ())
     | None -> ()
   in
+  (* Coordinator-side transform tables, built before any worker process is
+     spawned: the coordinator itself only reads/writes ciphertexts, but
+     [Gates.constant] and the tests touch the evaluation pipeline, and the
+     precompute must not race anything. *)
+  Params.precompute cloud.Gates.cloud_params;
   (* Ship the keyset once: serialize it up front, reuse the blob per worker. *)
   let keyset_blob =
     let buf = Buffer.create (1 lsl 20) in
@@ -799,7 +829,10 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
       Array.iter
         (fun w ->
           let faults = List.filter (fun f -> f.victim = w.w_index) cfg.faults in
-          let hello = hello_bytes ~index:w.w_index ~obs ~faults ~keyset_blob in
+          let hello =
+            hello_bytes ~index:w.w_index
+              ~transform:cloud.Gates.cloud_params.Params.transform ~obs ~faults ~keyset_blob
+          in
           try
             let n = write_frame w.fd hello in
             st.bytes_out <- st.bytes_out + n

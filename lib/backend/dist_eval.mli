@@ -148,3 +148,29 @@ val run :
     is counted in [corrupt_frames] and dropped. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Handshake internals}
+
+    The DHEL hello-frame builder and parser, exposed so the test suite can
+    pin the transform-negotiation contract without spawning processes. *)
+
+val hello_bytes :
+  index:int ->
+  transform:Pytfhe_fft.Transform.kind ->
+  obs:Pytfhe_obs.Trace.sink ->
+  faults:fault list ->
+  keyset_blob:string ->
+  Bytes.t
+(** The coordinator's DHEL frame payload: magic, worker index, the
+    coordinator's transform tag, tracing plumbing, fault schedule and the
+    serialized cloud keyset. *)
+
+val parse_hello :
+  Pytfhe_util.Wire.reader ->
+  int * bool * float * fault list * Pytfhe_tfhe.Gates.cloud_keyset
+(** Worker-side parse of a DHEL payload:
+    [(index, obs_on, obs_epoch, faults, keyset)].  Raises
+    [{!Pytfhe_util.Wire}.Corrupt] on an unknown transform code or when the
+    coordinator's transform tag disagrees with the transform recorded in
+    the keyset's own parameters — a coordinator/worker mismatch must fail
+    the handshake, not silently mis-evaluate. *)

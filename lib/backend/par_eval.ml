@@ -155,6 +155,11 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Par_eval.run: input arity mismatch";
+  (* Transform tables (FFT twiddles or NTT residue tables) are built once
+     here, before any worker domain exists: the caches are atomic
+     snapshot/CAS lists, so a helper domain racing a first build would
+     duplicate work and churn the cache mid-wave. *)
+  Params.precompute cloud.Gates.cloud_params;
   let start = Unix.gettimeofday () in
   let sched = Levelize.run net in
   let waves = Levelize.waves sched net in

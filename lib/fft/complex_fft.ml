@@ -69,6 +69,8 @@ let precompute n =
   if not (is_power_of_two n) then invalid_arg "Complex_fft.precompute: length not a power of two";
   if n > 1 then ignore (tables n)
 
+let tables_ready n = n <= 1 || assoc_size n (Atomic.get table_cache) <> None
+
 let bit_rev n =
   if not (is_power_of_two n) then invalid_arg "Complex_fft.bit_rev: length not a power of two";
   (tables n).rev

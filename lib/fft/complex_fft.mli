@@ -15,6 +15,9 @@ val precompute : int -> unit
 (** [precompute n] builds and caches the tables for [n]-point transforms
     ([n] must be a power of two).  Raises [Invalid_argument] otherwise. *)
 
+val tables_ready : int -> bool
+(** Whether the tables for [n]-point transforms are already cached. *)
+
 val transform : re:float array -> im:float array -> invert:bool -> unit
 (** [transform ~re ~im ~invert] replaces the complex vector [(re, im)] with
     its DFT ([invert = false], kernel e^{-2πi jk/n}) or inverse DFT

@@ -45,6 +45,9 @@ let precompute n =
   ignore (twist n);
   Complex_fft.precompute (n / 2)
 
+let tables_ready n =
+  assoc_size n (Atomic.get twist_cache) <> None && Complex_fft.tables_ready (n / 2)
+
 let spectrum_create n =
   if n < 2 || n land (n - 1) <> 0 then invalid_arg "Negacyclic.spectrum_create";
   { s_re = Array.make (n / 2) 0.0; s_im = Array.make (n / 2) 0.0 }

@@ -20,6 +20,10 @@ val precompute : int -> unit
     twiddle tables of the underlying [n/2]-point FFT ([n] must be a power of
     two ≥ 2).  Raises [Invalid_argument] otherwise. *)
 
+val tables_ready : int -> bool
+(** Whether the twist and twiddle tables for degree-[n] polynomials are
+    already cached. *)
+
 val spectrum_create : int -> spectrum
 (** [spectrum_create n] allocates a zero spectrum for polynomials of
     [n] coefficients ([n] must be a power of two). *)

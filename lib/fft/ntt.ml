@@ -1,0 +1,263 @@
+(* Exact negacyclic convolution over ℤ[X]/(Xᴺ + 1) via a double-prime
+   number-theoretic transform.
+
+   The coefficient arithmetic TFHE needs is integer products of
+   gadget-decomposition digits (|d| ≤ Bg/2) with centred torus words
+   (|t| < 2³¹), accumulated over (k+1)·l rows — magnitudes up to about
+   rows·N·(Bg/2)·2³¹ ≈ 2⁵⁰ for the default-128 set.  OCaml's native int is
+   63-bit, so instead of one 64-bit prime (whose butterflies would need
+   Int64 or 128-bit multiply-high tricks) we run the transform twice over
+   two ~30-bit NTT-friendly primes and recombine by CRT:
+
+     p1 = 998244353  = 119·2²³ + 1   (primitive root 3)
+     p2 = 1004535809 = 479·2²¹ + 1   (primitive root 3)
+
+   Every butterfly product is < 2⁶⁰ and every CRT intermediate is
+   < p1·p2 ≈ 2⁵⁹·⁸, so all arithmetic stays in native ints with no boxing.
+   The combined modulus M = p1·p2 leaves > 2⁸ headroom over the worst-case
+   product magnitude above, making the negacyclic product — and therefore
+   the whole blind rotation — exact, bit-identical across machines.
+
+   Shape mirrors {!Negacyclic}: a 2N-th root ψ twists the input (fused into
+   the bit-reversal scatter), an N-point cyclic NTT evaluates it, and the
+   inverse untwists by N⁻¹·ψ⁻ʲ.  The table cache is the same lock-free
+   snapshot/CAS scheme, with {!precompute} to fill it before worker domains
+   run transforms concurrently; {!builds} counts table constructions so
+   tests can assert none happen mid-flight. *)
+
+let p1 = 998244353
+let p2 = 1004535809
+let modulus = p1 * p2
+
+let[@inline] pow_mod b e p =
+  let b = ref (b mod p) and e = ref e and acc = ref 1 in
+  while !e > 0 do
+    if !e land 1 = 1 then acc := !acc * !b mod p;
+    b := !b * !b mod p;
+    e := !e asr 1
+  done;
+  !acc
+
+type prime_ctx = {
+  cp : int;  (* the prime *)
+  psi : int array;  (* ψʲ, fused into the forward bit-reversal scatter *)
+  inv_psi_n : int array;  (* N⁻¹·ψ⁻ʲ, fused into the inverse untwist pass *)
+  w_fwd : int array;  (* stage-major twiddles: slot half+j holds ω_len^j *)
+  w_inv : int array;
+}
+
+type tables = { t_n : int; rev : int array; c1 : prime_ctx; c2 : prime_ctx }
+
+let make_prime_ctx p n =
+  (* g = 3 is a primitive root of both primes. *)
+  let psi_root = pow_mod 3 ((p - 1) / (2 * n)) p in
+  let w = psi_root * psi_root mod p in
+  let inv_psi = pow_mod psi_root (p - 2) p in
+  let n_inv = pow_mod n (p - 2) p in
+  let psi = Array.make n 1 and inv_psi_n = Array.make n n_inv in
+  for j = 1 to n - 1 do
+    psi.(j) <- psi.(j - 1) * psi_root mod p;
+    inv_psi_n.(j) <- inv_psi_n.(j - 1) * inv_psi mod p
+  done;
+  let fill root =
+    let tw = Array.make n 0 in
+    let half = ref 1 in
+    while !half < n do
+      let w_len = pow_mod root (n / (2 * !half)) p in
+      tw.(!half) <- 1;
+      for j = 1 to !half - 1 do
+        tw.(!half + j) <- tw.(!half + j - 1) * w_len mod p
+      done;
+      half := !half * 2
+    done;
+    tw
+  in
+  { cp = p; psi; inv_psi_n; w_fwd = fill w; w_inv = fill (pow_mod w (p - 2) p) }
+
+let make_tables n =
+  let rev = Array.make n 0 in
+  let bits =
+    let b = ref 0 and v = ref n in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  in
+  for i = 0 to n - 1 do
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    rev.(i) <- !r
+  done;
+  { t_n = n; rev; c1 = make_prime_ctx p1 n; c2 = make_prime_ctx p2 n }
+
+(* Lock-free table cache: worker domains read an immutable snapshot list,
+   so the lazily-filled-Hashtbl race of a naive cache cannot happen.  The
+   build counter is bumped on every table construction — a precomputed
+   steady state must keep it flat. *)
+let cache : (int * tables) list Atomic.t = Atomic.make []
+let builds_counter = Atomic.make 0
+
+let rec assoc_size n = function
+  | [] -> None
+  | (m, t) :: rest -> if m = n then Some t else assoc_size n rest
+
+let check_degree who n =
+  if n < 2 || n land (n - 1) <> 0 then invalid_arg who;
+  (* 2N must divide p−1 for both primes; p2 = 479·2²¹ + 1 is the binding
+     one, so the largest supported ring degree is 2²⁰. *)
+  if 2 * n > 1 lsl 21 then invalid_arg (who ^ ": ring degree exceeds the NTT prime 2-adicity")
+
+let rec tables n =
+  let snapshot = Atomic.get cache in
+  match assoc_size n snapshot with
+  | Some t -> t
+  | None ->
+    check_degree "Ntt.tables" n;
+    Atomic.incr builds_counter;
+    let t = make_tables n in
+    if Atomic.compare_and_set cache snapshot ((n, t) :: snapshot) then t else tables n
+
+let precompute n =
+  check_degree "Ntt.precompute" n;
+  ignore (tables n)
+
+let tables_ready n = assoc_size n (Atomic.get cache) <> None
+let builds () = Atomic.get builds_counter
+
+type spectrum = { v1 : int array; v2 : int array }
+
+let spectrum_create n =
+  check_degree "Ntt.spectrum_create" n;
+  { v1 = Array.make n 0; v2 = Array.make n 0 }
+
+let spectrum_copy s = { v1 = Array.copy s.v1; v2 = Array.copy s.v2 }
+
+let spectrum_zero s =
+  Array.fill s.v1 0 (Array.length s.v1) 0;
+  Array.fill s.v2 0 (Array.length s.v2) 0
+
+(* Decimation-in-time butterflies over input already in bit-reversed
+   order; lazy reduction keeps one [mod] per butterfly (the multiply),
+   additions use conditional subtraction. *)
+let ntt_bitrev (a : int array) (tw : int array) p n =
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len asr 1 in
+    let i = ref 0 in
+    while !i < n do
+      let base = !i in
+      for j = 0 to half - 1 do
+        let u = Array.unsafe_get a (base + j) in
+        let v =
+          Array.unsafe_get a (base + j + half) * Array.unsafe_get tw (half + j) mod p
+        in
+        let x = u + v in
+        Array.unsafe_set a (base + j) (if x >= p then x - p else x);
+        let y = u - v in
+        Array.unsafe_set a (base + j + half) (if y < 0 then y + p else y)
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+let forward_into s (xs : int array) =
+  let n = Array.length xs in
+  if Array.length s.v1 <> n then invalid_arg "Ntt.forward_into: size mismatch";
+  let t = tables n in
+  let rev = t.rev in
+  let scatter (c : prime_ctx) (a : int array) =
+    let p = c.cp in
+    for j = 0 to n - 1 do
+      let r = Array.unsafe_get xs j mod p in
+      let r = if r < 0 then r + p else r in
+      Array.unsafe_set a (Array.unsafe_get rev j) (r * Array.unsafe_get c.psi j mod p)
+    done;
+    ntt_bitrev a c.w_fwd p n
+  in
+  scatter t.c1 s.v1;
+  scatter t.c2 s.v2
+
+let forward xs =
+  let s = spectrum_create (Array.length xs) in
+  forward_into s xs;
+  s
+
+(* Centred CRT lift: x ≡ c1 (mod p1), x ≡ c2 (mod p2), |x| ≤ M/2. *)
+let inv_p1_mod_p2 = pow_mod (p1 mod p2) (p2 - 2) p2
+
+let backward_into (out : int array) s =
+  let n = Array.length out in
+  if Array.length s.v1 <> n then invalid_arg "Ntt.backward_into: size mismatch";
+  let t = tables n in
+  let rev = t.rev in
+  let inverse (c : prime_ctx) (a : int array) =
+    (* Natural order in, so permute in place before the butterflies: the
+       spectrum arrays become scratch — the documented destructive
+       contract, shared with [Negacyclic.backward_into]. *)
+    for i = 0 to n - 1 do
+      let r = Array.unsafe_get rev i in
+      if i < r then begin
+        let tmp = Array.unsafe_get a i in
+        Array.unsafe_set a i (Array.unsafe_get a r);
+        Array.unsafe_set a r tmp
+      end
+    done;
+    ntt_bitrev a c.w_inv c.cp n
+  in
+  inverse t.c1 s.v1;
+  inverse t.c2 s.v2;
+  let u1 = t.c1.inv_psi_n and u2 = t.c2.inv_psi_n in
+  for j = 0 to n - 1 do
+    let c1 = Array.unsafe_get s.v1 j * Array.unsafe_get u1 j mod p1 in
+    let c2 = Array.unsafe_get s.v2 j * Array.unsafe_get u2 j mod p2 in
+    let d = (c2 - c1) mod p2 in
+    let d = if d < 0 then d + p2 else d in
+    let x = c1 + (p1 * (d * inv_p1_mod_p2 mod p2)) in
+    Array.unsafe_set out j (if 2 * x > modulus then x - modulus else x)
+  done
+
+let backward s =
+  let out = Array.make (Array.length s.v1) 0 in
+  backward_into out (spectrum_copy s);
+  out
+
+let mul_add_into acc a b =
+  let n = Array.length acc.v1 in
+  for j = 0 to n - 1 do
+    Array.unsafe_set acc.v1 j
+      ((Array.unsafe_get acc.v1 j
+       + (Array.unsafe_get a.v1 j * Array.unsafe_get b.v1 j))
+      mod p1);
+    Array.unsafe_set acc.v2 j
+      ((Array.unsafe_get acc.v2 j
+       + (Array.unsafe_get a.v2 j * Array.unsafe_get b.v2 j))
+      mod p2)
+  done
+
+let polymul a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Ntt.polymul: size mismatch";
+  let sa = forward a and sb = forward b in
+  let acc = spectrum_create n in
+  mul_add_into acc sa sb;
+  let out = Array.make n 0 in
+  backward_into out acc;
+  out
+
+let polymul_naive a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Ntt.polymul_naive: size mismatch";
+  let c = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then
+      for j = 0 to n - 1 do
+        let k = i + j in
+        if k < n then c.(k) <- c.(k) + (ai * b.(j)) else c.(k - n) <- c.(k - n) - (ai * b.(j))
+      done
+  done;
+  c

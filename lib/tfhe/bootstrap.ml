@@ -110,10 +110,13 @@ let batch_reset_stats (bt : batch) =
   bt.gates_batched <- 0
 
 let row_bytes (p : Params.t) =
-  (* One bootstrapping-key entry in FFT form: (k+1)·l TGSW rows of (k+1)
-     component spectra, each N/2 complex bins at two 8-byte floats. *)
+  (* One bootstrapping-key entry in evaluation form: (k+1)·l TGSW rows of
+     (k+1) component spectra — FFT: N/2 complex bins at two 8-byte floats;
+     NTT: N residues under each of the two ~30-bit primes at 4 bytes. *)
   let rows = (p.tlwe.k + 1) * p.tgsw.l in
-  rows * (p.tlwe.k + 1) * (p.tlwe.ring_n / 2) * 16
+  match p.transform with
+  | Pytfhe_fft.Transform.Fft -> rows * (p.tlwe.k + 1) * (p.tlwe.ring_n / 2) * 16
+  | Pytfhe_fft.Transform.Ntt -> rows * (p.tlwe.k + 1) * p.tlwe.ring_n * 8
 
 let blind_rotate_batch_into (p : Params.t) (bt : batch) key ~testvect (ss : Lwe.sample array)
     ~count =

@@ -119,9 +119,10 @@ val batch_stats : batch -> batch_stats
 val batch_reset_stats : batch -> unit
 
 val row_bytes : Params.t -> int
-(** Bytes of one bootstrapping-key entry in FFT form ((k+1)²·l spectra of
-    N/2 complex bins at 16 bytes each) — the unit [bsk_rows_streamed] is
-    counted in. *)
+(** Bytes of one bootstrapping-key entry in evaluation form — FFT:
+    (k+1)²·l spectra of N/2 complex bins at 16 bytes each; NTT: the same
+    spectra as N u32 residues under each of the two primes — the unit
+    [bsk_rows_streamed] is counted in. *)
 
 val key_bytes : Params.t -> int
 (** Serialized size of the bootstrapping key at 32 bits per torus element. *)

@@ -44,7 +44,32 @@ let key_switch (p : Params.t) b =
   let rounding = dropped *. dropped /. 12.0 in
   { variance = b.variance +. (n_in *. t *. sigma *. sigma) +. (n_in /. 2.0 *. rounding) }
 
-let gate_output p = key_switch p (blind_rotation p)
+let transform_error (p : Params.t) =
+  (* Numerical error of the polynomial-product backend itself, on top of
+     the algebraic CGGI bounds.  The NTT computes every product exactly in
+     ℤ[X]/(Xᴺ+1) before the mod-2³² reduction, so it contributes nothing.
+     The FFT accumulates rounding at double precision: each external
+     product sums (k+1)·l spectra of magnitude ≤ N·β·2³¹ (torus units
+     ≤ N·β/2), and the transform pipeline loses ~√(log₂ N) ulps per bin.
+     Modelled per output coefficient as δ·2⁻⁵³·√(log₂ N) with
+     δ = (k+1)·l·N·β/2, taken as an independent error on each of the n
+     CMux steps.  This is conservative but pessimistic by orders of
+     magnitude less than the gadget term, so it never flips a verdict —
+     its role is to make the FFT/NTT precision difference visible in the
+     budget. *)
+  match p.transform with
+  | Pytfhe_fft.Transform.Ntt -> { variance = 0.0 }
+  | Pytfhe_fft.Transform.Fft ->
+    let n = float_of_int p.lwe.n in
+    let big_n = float_of_int p.tlwe.ring_n in
+    let k = float_of_int p.tlwe.k in
+    let l = float_of_int p.tgsw.l in
+    let beta = float_of_int (Params.bg p) /. 2.0 in
+    let delta = (k +. 1.0) *. l *. big_n *. beta /. 2.0 in
+    let per_coeff = delta *. (2.0 ** -53.0) *. sqrt (log big_n /. log 2.0) in
+    { variance = n *. per_coeff *. per_coeff }
+
+let gate_output p = key_switch p (add (blind_rotation p) (transform_error p))
 
 let worst_gate_input p =
   (* Two gate outputs feed the next gate; XOR-style combinations scale the

@@ -31,8 +31,15 @@ val blind_rotation : Params.t -> budget
 val key_switch : Params.t -> budget -> budget
 (** Added variance of the key switch back to the small key. *)
 
+val transform_error : Params.t -> budget
+(** Numerical error contributed by the polynomial-product backend itself:
+    exactly zero for the NTT (products are exact in ℤ[X]/(Xᴺ+1) before the
+    mod-2³² reduction), and a small double-precision rounding model for
+    the FFT.  Folded into {!gate_output}. *)
+
 val gate_output : Params.t -> budget
-(** Predicted variance of any bootstrapped gate's output. *)
+(** Predicted variance of any bootstrapped gate's output, including the
+    backend's {!transform_error}. *)
 
 val worst_gate_input : Params.t -> budget
 (** Worst-case variance at the sign decision of the bootstrap across the

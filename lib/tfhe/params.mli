@@ -33,6 +33,10 @@ type t = {
   tlwe : tlwe;
   tgsw : tgsw;
   ks : keyswitch;
+  transform : Pytfhe_fft.Transform.kind;
+      (** Which polynomial transform the bootstrap runs on: the
+          double-precision complex FFT (fast, machine-dependent rounding)
+          or the exact double-prime NTT (bit-reproducible). *)
 }
 
 val default_128 : t
@@ -55,6 +59,16 @@ val ks_base : t -> int
 val mu : t -> Torus.t
 (** The gate-bootstrapping message amplitude 1/8. *)
 
+val with_transform : t -> Pytfhe_fft.Transform.kind -> t
+(** The same parameter set running on the other transform backend.
+    Combine with {!validate}: the NTT rejects gadget bounds that exceed
+    its modulus headroom. *)
+
+val precompute : t -> unit
+(** Build the selected transform's tables for this ring degree.  Executors
+    call it at startup, before worker domains or processes run transforms
+    concurrently — see {!Pytfhe_fft.Transform.precompute}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering of a parameter set. *)
 
@@ -68,11 +82,14 @@ val read : Pytfhe_util.Wire.reader -> t
 val equal : t -> t -> bool
 
 val custom :
+  ?transform:Pytfhe_fft.Transform.kind ->
   name:string -> n:int -> lwe_stdev:float -> ring_n:int -> k:int -> tlwe_stdev:float ->
-  l:int -> bg_bit:int -> ks_t:int -> ks_base_bit:int -> t
-(** Build a custom parameter set; raises [Invalid_argument] on structural
-    problems (see {!validate}).  Combine with [Noise.check] before use. *)
+  l:int -> bg_bit:int -> ks_t:int -> ks_base_bit:int -> unit -> t
+(** Build a custom parameter set ([?transform] defaults to [Fft]); raises
+    [Invalid_argument] on structural problems (see {!validate}).  Combine
+    with [Noise.check] before use. *)
 
 val validate : t -> (unit, string) result
 (** Structural sanity: positive dimensions, power-of-two ring degree,
-    decompositions that fit in 32 bits. *)
+    decompositions that fit in 32 bits, and — on the NTT backend — gadget
+    bounds within the CRT modulus headroom. *)

@@ -1,10 +1,14 @@
 module Rng = Pytfhe_util.Rng
 module Negacyclic = Pytfhe_fft.Negacyclic
+module Ntt = Pytfhe_fft.Ntt
+module Transform = Pytfhe_fft.Transform
 
 type sample = { rows : Tlwe.sample array }
 
-type fft_sample = { frows : Negacyclic.spectrum array array }
-(* frows.(r).(c): spectrum of component c (k masks then body) of row r. *)
+type fft_sample = { frows : Transform.domain array array }
+(* frows.(r).(c): evaluation-domain form (FFT spectrum or NTT residues,
+   per the parameter set's transform) of component c (k masks then body)
+   of row r. *)
 
 type gadget = {
   g_l : int;
@@ -32,10 +36,11 @@ let gadget (p : Params.t) =
 type workspace = {
   wgadget : gadget;  (* decomposition constants, computed once per workspace *)
   dec : Poly.int_poly array;  (* (k+1)*l decomposition digit polynomials *)
-  dec_float : float array;  (* staging buffer for the forward transform *)
-  dec_spectrum : Negacyclic.spectrum;
-  acc_spectra : Negacyclic.spectrum array;  (* k+1 accumulators *)
-  result_float : float array;
+  dec_float : float array;  (* FFT-path staging for the forward transform *)
+  dec_domain : Transform.domain;
+  acc_domains : Transform.domain array;  (* k+1 accumulators *)
+  result_float : float array;  (* FFT backward output *)
+  result_int : int array;  (* NTT backward output (exact signed) *)
   rot : Tlwe.sample;  (* (X^a − 1)·acc scratch for the blind-rotation step *)
 }
 
@@ -59,9 +64,10 @@ let encrypt_int rng (p : Params.t) key m =
 let to_fft (p : Params.t) s =
   let components (row : Tlwe.sample) =
     let polys = Array.append row.mask [| row.body |] in
-    Array.map (fun poly -> Negacyclic.forward (Poly.to_floats ~centred:true poly)) polys
+    Array.map
+      (fun poly -> Transform.forward_signed p.transform (Array.map Torus.to_signed poly))
+      polys
   in
-  ignore p;
   { frows = Array.map components s.rows }
 
 (* The single decomposition kernel both entry points share: digits of
@@ -93,17 +99,19 @@ let decompose (p : Params.t) (c : Tlwe.sample) =
 
 let workspace_create (p : Params.t) =
   let n = p.tlwe.ring_n in
-  (* Fill the trigonometric caches for this ring degree now, while we are
-     still single-threaded: workspaces are per-domain scratch, and the
-     transforms they feed must not fault in shared tables concurrently. *)
-  Negacyclic.precompute n;
+  (* Fill the selected transform's tables for this ring degree now, while
+     we are still single-threaded: workspaces are per-domain scratch, and
+     the transforms they feed must not fault in shared tables
+     concurrently. *)
+  Transform.precompute p.transform n;
   {
     wgadget = gadget p;
     dec = Array.init (rows_count p) (fun _ -> Array.make n 0);
     dec_float = Array.make n 0.0;
-    dec_spectrum = Negacyclic.spectrum_create n;
-    acc_spectra = Array.init (p.tlwe.k + 1) (fun _ -> Negacyclic.spectrum_create n);
+    dec_domain = Transform.create p.transform n;
+    acc_domains = Array.init (p.tlwe.k + 1) (fun _ -> Transform.create p.transform n);
     result_float = Array.make n 0.0;
+    result_int = Array.make n 0;
     rot = Tlwe.trivial p (Poly.zero n);
   }
 
@@ -111,23 +119,66 @@ let workspace_create (p : Params.t) =
 let decompose_into (p : Params.t) ws (c : Tlwe.sample) =
   decompose_rows ws.wgadget p.tlwe.k ws.dec c
 
-(* Decompose [src], push every digit row through the forward transform and
-   accumulate the row × bootstrapping-key products in the spectral domain.
-   Shared by all external-product entry points; leaves the k+1 component
-   spectra in [ws.acc_spectra]. *)
-let product_spectra (p : Params.t) ws (g : fft_sample) (src : Tlwe.sample) =
-  let n = p.tlwe.ring_n in
-  let k = p.tlwe.k in
-  decompose_into p ws src;
-  Array.iter Negacyclic.spectrum_zero ws.acc_spectra;
-  for r = 0 to rows_count p - 1 do
-    let digits = ws.dec.(r) in
+(* The dispatch layer proper: the only places the two transform backends
+   diverge are the digit-row forward (the FFT stages through floats, the
+   NTT consumes the integer digits directly) and the backward landing (the
+   FFT rounds floats, the NTT masks exact integers).  The FFT branches are
+   byte-identical to the historical code, so FFT-parameter ciphertexts are
+   unchanged by this layer. *)
+
+let forward_digits ws (digits : Poly.int_poly) =
+  match ws.dec_domain with
+  | Transform.Dfft s ->
+    let n = Array.length digits in
     for t = 0 to n - 1 do
       ws.dec_float.(t) <- float_of_int (Array.unsafe_get digits t)
     done;
-    Negacyclic.forward_into ws.dec_spectrum ws.dec_float;
+    Negacyclic.forward_into s ws.dec_float
+  | Transform.Dntt s -> Ntt.forward_into s digits
+
+(* backward_into destroys the accumulator domain — safe in all three
+   landing helpers because [product_spectra] rebuilds every accumulator
+   from scratch on the next call (see the contract in negacyclic.mli,
+   shared by ntt.mli). *)
+let backward_add ws comp (target : Poly.torus_poly) =
+  match ws.acc_domains.(comp) with
+  | Transform.Dfft s ->
+    Negacyclic.backward_into ws.result_float s;
+    Poly.add_of_floats_to target ws.result_float
+  | Transform.Dntt s ->
+    Ntt.backward_into ws.result_int s;
+    Poly.add_of_ints_to target ws.result_int
+
+let backward_set ws comp (target : Poly.torus_poly) =
+  match ws.acc_domains.(comp) with
+  | Transform.Dfft s ->
+    Negacyclic.backward_into ws.result_float s;
+    Poly.of_floats_into target ws.result_float
+  | Transform.Dntt s ->
+    Ntt.backward_into ws.result_int s;
+    Poly.of_ints_into target ws.result_int
+
+let backward_add_row ws comp (tr : Trlwe_array.t) ~row =
+  match ws.acc_domains.(comp) with
+  | Transform.Dfft s ->
+    Negacyclic.backward_into ws.result_float s;
+    Trlwe_array.add_floats_to tr ~row ~comp ws.result_float
+  | Transform.Dntt s ->
+    Ntt.backward_into ws.result_int s;
+    Trlwe_array.add_ints_to tr ~row ~comp ws.result_int
+
+(* Decompose [src], push every digit row through the forward transform and
+   accumulate the row × bootstrapping-key products in the evaluation
+   domain.  Shared by all external-product entry points; leaves the k+1
+   component accumulators in [ws.acc_domains]. *)
+let product_spectra (p : Params.t) ws (g : fft_sample) (src : Tlwe.sample) =
+  let k = p.tlwe.k in
+  decompose_into p ws src;
+  Array.iter Transform.zero ws.acc_domains;
+  for r = 0 to rows_count p - 1 do
+    forward_digits ws ws.dec.(r);
     for comp = 0 to k do
-      Negacyclic.mul_add_into ws.acc_spectra.(comp) ws.dec_spectrum g.frows.(r).(comp)
+      Transform.mul_add_into ws.acc_domains.(comp) ws.dec_domain g.frows.(r).(comp)
     done
   done
 
@@ -135,12 +186,7 @@ let external_product_add_into (p : Params.t) ws (g : fft_sample) ~src ~(acc : Tl
   product_spectra p ws g src;
   let k = p.tlwe.k in
   for comp = 0 to k do
-    (* backward_into destroys acc_spectra.(comp) — safe here because
-       product_spectra rebuilds every accumulator spectrum from scratch on
-       the next call (see the contract in negacyclic.mli). *)
-    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
-    let target = if comp < k then acc.Tlwe.mask.(comp) else acc.Tlwe.body in
-    Poly.add_of_floats_to target ws.result_float
+    backward_add ws comp (if comp < k then acc.Tlwe.mask.(comp) else acc.Tlwe.body)
   done
 
 let external_product_into (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample)
@@ -148,10 +194,7 @@ let external_product_into (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample)
   product_spectra p ws g c;
   let k = p.tlwe.k in
   for comp = 0 to k do
-    (* Destroys acc_spectra.(comp); safe for the same reason as above. *)
-    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
-    let target = if comp < k then dst.Tlwe.mask.(comp) else dst.Tlwe.body in
-    Poly.of_floats_into target ws.result_float
+    backward_set ws comp (if comp < k then dst.Tlwe.mask.(comp) else dst.Tlwe.body)
   done
 
 let external_product (p : Params.t) ws (g : fft_sample) (c : Tlwe.sample) =
@@ -178,8 +221,7 @@ let cmux_rotate_row_into (p : Params.t) ws (g : fft_sample) a (tr : Trlwe_array.
   Trlwe_array.rotate_diff_into tr ~row a ws.rot;
   product_spectra p ws g ws.rot;
   for comp = 0 to p.tlwe.k do
-    Negacyclic.backward_into ws.result_float ws.acc_spectra.(comp);
-    Trlwe_array.add_floats_to tr ~row ~comp ws.result_float
+    backward_add_row ws comp tr ~row
   done
 
 let cmux p ws g d1 d0 =
@@ -191,25 +233,57 @@ let cmux p ws g d1 d0 =
 
 module Wire = Pytfhe_util.Wire
 
+(* Two frame formats, selected by the value's own domain on write and by
+   the parameter set's transform on read: "GFFT" carries N/2 complex bins
+   as f64 pairs, "GNTT" carries N residues per prime as u32 arrays.  A
+   keyset whose embedded parameters disagree with its payload (version
+   skew, a coordinator on the other backend) therefore fails loudly with
+   [Wire.Corrupt] at the magic check instead of decrypting garbage. *)
+
 let write_fft buf s =
-  Wire.write_magic buf "GFFT";
-  let write_spectrum buf (sp : Negacyclic.spectrum) =
-    Wire.write_f64_array buf sp.Negacyclic.s_re;
-    Wire.write_f64_array buf sp.Negacyclic.s_im
+  (match s.frows.(0).(0) with
+  | Transform.Dfft _ -> Wire.write_magic buf "GFFT"
+  | Transform.Dntt _ -> Wire.write_magic buf "GNTT");
+  let write_domain buf = function
+    | Transform.Dfft (sp : Negacyclic.spectrum) ->
+      Wire.write_f64_array buf sp.Negacyclic.s_re;
+      Wire.write_f64_array buf sp.Negacyclic.s_im
+    | Transform.Dntt (sp : Ntt.spectrum) ->
+      Wire.write_u32_array buf sp.Ntt.v1;
+      Wire.write_u32_array buf sp.Ntt.v2
   in
-  Wire.write_array buf (fun buf row -> Wire.write_array buf write_spectrum row) s.frows
+  Wire.write_array buf (fun buf row -> Wire.write_array buf write_domain row) s.frows
 
 let read_fft (p : Params.t) r =
-  Wire.read_magic r "GFFT";
-  let half = p.tlwe.ring_n / 2 in
-  let read_spectrum r =
-    let s_re = Wire.read_f64_array r in
-    let s_im = Wire.read_f64_array r in
-    if Array.length s_re <> Array.length s_im then raise (Wire.Corrupt "spectrum length mismatch");
-    if Array.length s_re <> half then raise (Wire.Corrupt "spectrum does not match ring degree");
-    { Negacyclic.s_re; s_im }
+  let n = p.tlwe.ring_n in
+  let half = n / 2 in
+  (match p.transform with
+  | Transform.Fft -> Wire.read_magic r "GFFT"
+  | Transform.Ntt -> Wire.read_magic r "GNTT");
+  let read_domain r =
+    match p.transform with
+    | Transform.Fft ->
+      let s_re = Wire.read_f64_array r in
+      let s_im = Wire.read_f64_array r in
+      if Array.length s_re <> Array.length s_im then
+        raise (Wire.Corrupt "spectrum length mismatch");
+      if Array.length s_re <> half then raise (Wire.Corrupt "spectrum does not match ring degree");
+      Transform.Dfft { Negacyclic.s_re; s_im }
+    | Transform.Ntt ->
+      let v1 = Wire.read_u32_array r in
+      let v2 = Wire.read_u32_array r in
+      if Array.length v1 <> Array.length v2 then
+        raise (Wire.Corrupt "NTT residue length mismatch");
+      if Array.length v1 <> n then raise (Wire.Corrupt "NTT residues do not match ring degree");
+      Array.iter
+        (fun x -> if x >= Ntt.p1 then raise (Wire.Corrupt "NTT residue out of range (p1)"))
+        v1;
+      Array.iter
+        (fun x -> if x >= Ntt.p2 then raise (Wire.Corrupt "NTT residue out of range (p2)"))
+        v2;
+      Transform.Dntt { Ntt.v1; v2 }
   in
-  let frows = Wire.read_array r (fun r -> Wire.read_array r read_spectrum) in
+  let frows = Wire.read_array r (fun r -> Wire.read_array r read_domain) in
   if Array.length frows <> rows_count p then
     raise (Wire.Corrupt "TGSW row count does not match parameters");
   Array.iter

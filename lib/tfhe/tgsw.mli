@@ -3,10 +3,13 @@
     A TGSW sample encrypts a small integer m as (k+1)·l TRLWE rows
     Z + m·H, where H is the gadget matrix with entries 1/Bgʲ.  The external
     product TGSW ⊡ TRLWE — the engine of the CMux and hence of blind
-    rotation — is evaluated in the FFT domain.
+    rotation — is evaluated in the transform domain selected by the
+    parameter set: the double-precision complex FFT or the exact
+    double-prime NTT ({!Pytfhe_fft.Transform}).  This module is the
+    dispatch layer — nothing above it branches on the backend.
 
     The [_into] entry points below are the bootstrapped-gate hot path: every
-    buffer they touch (decomposition digits, FFT staging, spectral
+    buffer they touch (decomposition digits, transform staging, spectral
     accumulators and the TLWE rotation scratch) is owned by the
     {!workspace}, so a steady-state gate performs no ring-sized
     allocation. *)
@@ -14,9 +17,10 @@
 type sample = { rows : Tlwe.sample array }
 (** (k+1)·l TRLWE rows, row i·l+j carrying m/Bg^{j+1} on component i. *)
 
-type fft_sample
-(** A TGSW sample with every row polynomial pre-transformed; this is how
-    bootstrapping keys are stored. *)
+type fft_sample = { frows : Pytfhe_fft.Transform.domain array array }
+(** A TGSW sample with every row polynomial pre-transformed into the
+    parameter set's evaluation domain (FFT spectrum or NTT residues);
+    this is how bootstrapping keys are stored. *)
 
 type gadget
 (** Precomputed gadget-decomposition constants (offset, Bg/2, digit mask):
@@ -33,7 +37,8 @@ val encrypt_int : Pytfhe_util.Rng.t -> Params.t -> Tlwe.key -> int -> sample
 (** Fresh TGSW encryption of a small integer message. *)
 
 val to_fft : Params.t -> sample -> fft_sample
-(** Pre-transform all row polynomials. *)
+(** Pre-transform all row polynomials with the parameter set's selected
+    transform. *)
 
 val decompose : Params.t -> Tlwe.sample -> Poly.int_poly array
 (** Signed gadget decomposition of every component into l digits each in
@@ -45,7 +50,7 @@ val decompose_into : Params.t -> workspace -> Tlwe.sample -> unit
 
 val workspace_create : Params.t -> workspace
 (** Fresh scratch buffers for one evaluation thread.  Also precomputes the
-    FFT twist/twiddle tables for the parameter set's ring degree, so a
+    selected transform's tables for the parameter set's ring degree, so a
     workspace handed to a worker domain never mutates shared caches. *)
 
 val external_product : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample
@@ -75,18 +80,21 @@ val cmux_rotate_row_into :
 (** {!cmux_rotate_into} with the accumulator living in a flat
     {!Trlwe_array} row — the batched blind rotation's inner step.
     Bit-identical to the record variant: the rotation difference stages
-    through the same workspace scratch and the same FFT pipeline. *)
+    through the same workspace scratch and the same transform pipeline. *)
 
 val cmux : Params.t -> workspace -> fft_sample -> Tlwe.sample -> Tlwe.sample -> Tlwe.sample
 (** [cmux p ws g d1 d0] homomorphically selects [d1] when [g] encrypts 1 and
     [d0] when it encrypts 0: d0 + g ⊡ (d1 − d0). *)
 
 val write_fft : Pytfhe_util.Wire.writer -> fft_sample -> unit
-(** Bootstrapping-key rows in their frequency-domain form; doubles are
-    serialized bit-exactly so roundtrips are lossless. *)
+(** Bootstrapping-key rows in their evaluation-domain form, tagged "GFFT"
+    (f64 pairs, bit-exact doubles) or "GNTT" (u32 residues per prime)
+    according to the value's own domain. *)
 
 val read_fft : Params.t -> Pytfhe_util.Wire.reader -> fft_sample
-(** Reads one key row and validates its shape — row count (k+1)·l,
-    component count k+1 and spectrum length N/2 — against the parameter
-    set, raising [Wire.Corrupt] on any mismatch instead of failing later
-    with an index error. *)
+(** Reads one key row in the format the parameter set's transform selects
+    and validates its shape — magic ("GFFT"/"GNTT"), row count (k+1)·l,
+    component count k+1, spectrum length (N/2 bins or N residues, with
+    NTT residues range-checked per prime) — raising [Wire.Corrupt] on any
+    mismatch instead of failing later with an index error.  A payload
+    serialized under the other transform fails at the magic check. *)

@@ -132,6 +132,20 @@ let add_floats_to t ~row ~comp (f : float array) =
       (Torus.add (Array.unsafe_get d (off + i)) (torus_of_float (Array.unsafe_get f i)))
   done
 
+(* component(row, comp) += v mod 2^32: the NTT-path counterpart of
+   [add_floats_to] — coefficients arrive as exact signed integers, so the
+   reduction is a plain mask with no rounding. *)
+let add_ints_to t ~row ~comp (v : int array) =
+  check_row t row "Trlwe_array.add_ints_to";
+  if comp < 0 || comp > t.k then invalid_arg "Trlwe_array.add_ints_to: component out of range";
+  if Array.length v <> t.ring_n then invalid_arg "Trlwe_array.add_ints_to: size mismatch";
+  let d = t.data in
+  let off = comp_off t row comp in
+  for i = 0 to t.ring_n - 1 do
+    Array.unsafe_set d (off + i)
+      (Torus.add (Array.unsafe_get d (off + i)) (Torus.of_signed (Array.unsafe_get v i)))
+  done
+
 (* The extraction destination IS an int32 Bigarray ({!Lwe_array} is the
    wire format).  Spelled as direct annotated primitive applications so the
    stores compile to raw writes — a cross-module call to

@@ -43,6 +43,11 @@ val add_floats_to : t -> row:int -> comp:int -> float array -> unit
     [comp] (k = the body) of row [row] — {!Poly.add_of_floats_to} against
     the flat row, bit-identical via {!Poly.torus_of_float}. *)
 
+val add_ints_to : t -> row:int -> comp:int -> int array -> unit
+(** Accumulate exact signed integer coefficients (the NTT backward output)
+    into component [comp] of row [row] modulo 2³² —
+    {!Poly.add_of_ints_to} against the flat row. *)
+
 val extract_row_into : t -> row:int -> Lwe_array.t -> drow:int -> unit
 (** Sample-extract row [row] into row [drow] of an {!Lwe_array} of
     dimension k·N — {!Tlwe.extract_lwe} without the record detour. *)

@@ -165,6 +165,68 @@ let test_fault_all_workers_lost () =
   Alcotest.(check bool) "single worker crash raises Failure" true
     (try ignore (Dist_eval.run cfg ck net cts); false with Failure _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* DHEL transform negotiation                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Params = Pytfhe_tfhe.Params
+module Transform = Pytfhe_fft.Transform
+module Wire = Pytfhe_util.Wire
+
+(* A second keyset at the same parameters but with the NTT backend, so the
+   mismatch can be pinned in both directions. *)
+let ntt_keys =
+  lazy
+    (Gates.key_gen (Rng.create ~seed:909 ())
+       (Params.with_transform Pytfhe_tfhe.Params.test Transform.Ntt))
+
+let hello_for ~transform ck =
+  let buf = Buffer.create (1 lsl 16) in
+  Gates.write_cloud_keyset buf ck;
+  Bytes.to_string
+    (Dist_eval.hello_bytes ~index:0 ~transform ~obs:Pytfhe_obs.Trace.null ~faults:[]
+       ~keyset_blob:(Buffer.contents buf))
+
+let parses_to ~transform ck =
+  let _, _, _, _, ck' =
+    Dist_eval.parse_hello (Wire.reader_of_string (hello_for ~transform ck))
+  in
+  ck'.Gates.cloud_params.Params.transform
+
+let rejects_hello ~transform ck =
+  match Dist_eval.parse_hello (Wire.reader_of_string (hello_for ~transform ck)) with
+  | _ -> false
+  | exception Wire.Corrupt _ -> true
+
+(* A worker must reject a coordinator whose DHEL transform tag disagrees
+   with the transform recorded in the shipped keyset's own parameters —
+   in both directions — and accept both matched pairings. *)
+let test_dhel_transform_negotiation () =
+  let _, fft_ck = Lazy.force keys in
+  let _, ntt_ck = Lazy.force ntt_keys in
+  Alcotest.(check bool) "fft tag + fft keyset parses" true
+    (parses_to ~transform:Transform.Fft fft_ck = Transform.Fft);
+  Alcotest.(check bool) "ntt tag + ntt keyset parses" true
+    (parses_to ~transform:Transform.Ntt ntt_ck = Transform.Ntt);
+  Alcotest.(check bool) "ntt tag over fft keyset rejected" true
+    (rejects_hello ~transform:Transform.Ntt fft_ck);
+  Alcotest.(check bool) "fft tag over ntt keyset rejected" true
+    (rejects_hello ~transform:Transform.Fft ntt_ck)
+
+(* End-to-end under the NTT backend: the coordinator tags its own
+   transform, workers accept it, and the distributed run stays bit-exact
+   with the sequential executor. *)
+let test_dist_ntt_end_to_end () =
+  let sk, ck = Lazy.force ntt_keys in
+  let net = Gen_circuit.wide ~width:4 ~depth:2 in
+  let rng = Rng.create ~seed:77 () in
+  let ins = random_bits rng 5 in
+  let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+  let seq_out = reference ck net cts in
+  let outs, st = Dist_eval.run (Dist_eval.config 2) ck net cts in
+  Alcotest.(check bool) "ntt dist bit-exact with sequential" true (outs = seq_out);
+  Alcotest.(check int) "no workers lost" 0 st.Dist_eval.workers_lost
+
 (* Must run before anything else: in a spawned worker process this serves
    the gate protocol and never returns. *)
 let () = Dist_eval.worker_entry ()
@@ -185,5 +247,11 @@ let () =
           Alcotest.test_case "truncated reply frame" `Slow test_fault_truncated_frame;
           Alcotest.test_case "stalled worker retries" `Slow test_fault_stall_retries;
           Alcotest.test_case "all workers lost" `Slow test_fault_all_workers_lost;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "DHEL transform negotiation" `Quick
+            test_dhel_transform_negotiation;
+          Alcotest.test_case "ntt end to end" `Slow test_dist_ntt_end_to_end;
         ] );
     ]

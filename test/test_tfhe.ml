@@ -61,20 +61,20 @@ let qcheck_torus_signed_roundtrip =
 let test_params_custom_and_validate () =
   let good =
     Params.custom ~name:"custom" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
-      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2
+      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2 ()
   in
   Alcotest.(check bool) "custom validates" true (Params.validate good = Ok ());
   Alcotest.(check bool) "matches shipped test set" true (Params.equal good { Params.test with Params.name = "custom" });
   let rejects label f = Alcotest.(check bool) label true (try ignore (f ()); false with Invalid_argument _ -> true) in
   rejects "non-power-of-two N" (fun () ->
       Params.custom ~name:"bad" ~n:64 ~lwe_stdev:1e-5 ~ring_n:300 ~k:1 ~tlwe_stdev:1e-8 ~l:3
-        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2);
+        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2 ());
   rejects "gadget too wide" (fun () ->
       Params.custom ~name:"bad" ~n:64 ~lwe_stdev:1e-5 ~ring_n:256 ~k:1 ~tlwe_stdev:1e-8 ~l:8
-        ~bg_bit:5 ~ks_t:8 ~ks_base_bit:2);
+        ~bg_bit:5 ~ks_t:8 ~ks_base_bit:2 ());
   rejects "negative noise" (fun () ->
       Params.custom ~name:"bad" ~n:64 ~lwe_stdev:(-1.0) ~ring_n:256 ~k:1 ~tlwe_stdev:1e-8 ~l:3
-        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2)
+        ~bg_bit:6 ~ks_t:8 ~ks_base_bit:2 ())
 
 let test_params_shipped_sets_validate () =
   List.iter
@@ -620,6 +620,40 @@ let test_noise_prediction_matches_measurement () =
     true
     (ratio > 0.05 && ratio < 50.0)
 
+let test_noise_budget_per_transform () =
+  (* The NTT computes exactly in Z[X]/(X^N+1) mod 2^32, so its transform-error
+     term is zero; the FFT pays a rounding term that grows with the gadget
+     magnitude.  Both transforms must keep the shipped parameter sets safe. *)
+  List.iter
+    (fun p ->
+      let fft = Params.with_transform p Pytfhe_fft.Transform.Fft in
+      let ntt = Params.with_transform p Pytfhe_fft.Transform.Ntt in
+      Alcotest.(check (float 0.0))
+        (p.Params.name ^ " ntt transform error is exactly zero")
+        0.0 (Noise.transform_error ntt).Noise.variance;
+      Alcotest.(check bool)
+        (p.Params.name ^ " fft transform error is positive")
+        true
+        ((Noise.transform_error fft).Noise.variance > 0.0);
+      Alcotest.(check bool)
+        (p.Params.name ^ " ntt gate output no noisier than fft")
+        true
+        ((Noise.gate_output ntt).Noise.variance <= (Noise.gate_output fft).Noise.variance);
+      List.iter
+        (fun q ->
+          match Noise.check q with
+          | `Ok prob ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s failure negligible" p.Params.name
+                 (Pytfhe_fft.Transform.kind_name q.Params.transform))
+              true (prob < 1e-9)
+          | `Unsafe prob ->
+            Alcotest.failf "%s/%s unsafe: %g" p.Params.name
+              (Pytfhe_fft.Transform.kind_name q.Params.transform)
+              prob)
+        [ fft; ntt ])
+    [ Params.test; Params.default_128 ]
+
 
 (* ------------------------------------------------------------------ *)
 (* Failure injection                                                   *)
@@ -818,10 +852,10 @@ let test_read_fft_rejects_mismatched_params () =
   in
   corrupt "wrong ring degree"
     (Params.custom ~name:"other-ring" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:128 ~k:1
-       ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2);
+       ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2 ());
   corrupt "wrong gadget depth"
     (Params.custom ~name:"other-l" ~n:64 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
-       ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2);
+       ~tlwe_stdev:(2.0 ** -30.0) ~l:2 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2 ());
   (* Matching parameters must still read back. *)
   ignore (Tgsw.read_fft params (Wire.reader_of_string payload))
 
@@ -832,7 +866,7 @@ let test_bootstrap_read_rejects_mismatched_params () =
   let payload = Buffer.contents buf in
   let other =
     Params.custom ~name:"other-n" ~n:32 ~lwe_stdev:(2.0 ** -20.0) ~ring_n:256 ~k:1
-      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2
+      ~tlwe_stdev:(2.0 ** -30.0) ~l:3 ~bg_bit:6 ~ks_t:12 ~ks_base_bit:2 ()
   in
   Alcotest.(check bool) "wrong LWE dimension rejected" true
     (try
@@ -968,6 +1002,8 @@ let () =
           Alcotest.test_case "detects bad parameters" `Quick test_noise_detects_bad_parameters;
           Alcotest.test_case "failure probability monotone" `Quick test_noise_failure_probability_monotone;
           Alcotest.test_case "prediction vs measurement" `Slow test_noise_prediction_matches_measurement;
+          Alcotest.test_case "budget holds under both transforms" `Quick
+            test_noise_budget_per_transform;
         ] );
       ( "lut",
         [
