@@ -70,6 +70,13 @@ let platform_conv =
 let workload_arg =
   Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,pytfhe list)).")
 
+let lut_cover_arg =
+  Arg.(value & flag
+       & info [ "lut-cover" ]
+           ~doc:"Cover gate cones with programmable 2-/3-input LUT cells during synthesis \
+                 (one blind rotation per LUT, shared across same-input tables); typically \
+                 cuts the bootstrap count well below the classic gate library's.")
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -92,9 +99,9 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the registered workloads") Term.(const run $ verbose)
 
 let compile_cmd =
-  let run w out no_opt =
+  let run w out no_opt lut_cover =
     let t0 = Unix.gettimeofday () in
-    let compiled = Pipeline.compile ~optimize:(not no_opt) ~name:w.W.name (w.W.circuit ()) in
+    let compiled = Pipeline.compile ~optimize:(not no_opt) ~lut_cover ~name:w.W.name (w.W.circuit ()) in
     Format.printf "%a" Pipeline.pp_summary compiled;
     Format.printf "compiled in %.2fs@." (Unix.gettimeofday () -. t0);
     match out with
@@ -106,7 +113,7 @@ let compile_cmd =
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the PyTFHE binary here.") in
   let no_opt = Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the synthesis optimization passes.") in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a workload to a PyTFHE binary")
-    Term.(const run $ workload_arg $ out $ no_opt)
+    Term.(const run $ workload_arg $ out $ no_opt $ lut_cover_arg)
 
 let disasm_cmd =
   let run path limit =
@@ -123,12 +130,13 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a PyTFHE binary") Term.(const run $ path $ limit)
 
 let stat_cmd =
-  let run w =
-    let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+  let run w lut_cover =
+    let compiled = Pipeline.compile ~lut_cover ~name:w.W.name (w.W.circuit ()) in
     Format.printf "%a" Pipeline.pp_summary compiled;
     Format.printf "gate distribution:@.%a" Stats.pp_distribution compiled.Pipeline.stats
   in
-  Cmd.v (Cmd.info "stat" ~doc:"Print statistics for a compiled workload") Term.(const run $ workload_arg)
+  Cmd.v (Cmd.info "stat" ~doc:"Print statistics for a compiled workload")
+    Term.(const run $ workload_arg $ lut_cover_arg)
 
 let estimate_cmd =
   let run w backends =
@@ -196,7 +204,7 @@ let apply_transform params = function
   | Some t -> Pytfhe_tfhe.Params.with_transform params t
 
 let run_cmd =
-  let run w seed encrypted backend workers dist_workers batch soa transform trace metrics =
+  let run w seed encrypted backend workers dist_workers batch soa lut_cover transform trace metrics =
     (match workers with Some w when w < 1 -> failwith "--workers must be >= 1" | _ -> ());
     if dist_workers < 0 then failwith "--dist-workers must be >= 1";
     if batch < 0 then failwith "--batch must be >= 1";
@@ -212,7 +220,7 @@ let run_cmd =
       Format.printf "generating keys (test parameters, %s transform)...@."
         (Pytfhe_fft.Transform.kind_name params.Pytfhe_tfhe.Params.transform);
       let client, cloud = Client.keygen ~params ~seed () in
-      let compiled = Pipeline.compile ~obs ~name:w.W.name (w.W.circuit ()) in
+      let compiled = Pipeline.compile ~obs ~lut_cover ~name:w.W.name (w.W.circuit ()) in
       let n = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
       let ins = Array.init n (fun _ -> Pytfhe_util.Rng.bool rng) in
       let cts = Client.encrypt_bits client ins in
@@ -290,7 +298,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload (functionally, or homomorphically with --encrypted)")
     Term.(const run $ workload_arg $ seed $ encrypted $ backend $ workers $ dist_workers
-          $ batch $ soa $ transform_arg $ trace_arg $ metrics_arg)
+          $ batch $ soa $ lut_cover_arg $ transform_arg $ trace_arg $ metrics_arg)
 
 let verilog_cmd =
   let run w out =

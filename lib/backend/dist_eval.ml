@@ -276,21 +276,44 @@ let worker_main fd =
       List.iter (fun f -> match f.action with Stall s -> Unix.sleepf s | _ -> ()) due;
       let boots, t0, t1, reply =
         if magic = "DREQ" then begin
+          (* Record codes 0–127 are classic gates (two operand samples);
+             128+arity (129–131) are programmable LUT cells: a u8 truth
+             table then [arity] operand samples.  The coordinator ships
+             arity-1 operands already as classic views; arity-2/3 operands
+             arrive lutdom-encoded, exactly as [Gates.lut_cell_in] wants. *)
           let gates =
             Wire.read_array r (fun r ->
                 let code = Wire.read_u8 r in
-                let a = Lwe.read_sample r in
-                let b = Lwe.read_sample r in
-                (code, a, b))
+                if code >= 129 && code <= 131 then begin
+                  let arity = code - 128 in
+                  let table = Wire.read_u8 r in
+                  if table lsr (1 lsl arity) <> 0 then
+                    raise
+                      (Wire.Corrupt
+                         (Printf.sprintf "Dist_eval: lut%d table %#x out of range" arity
+                            table));
+                  let ops = Array.make arity (Lwe.read_sample r) in
+                  for i = 1 to arity - 1 do
+                    ops.(i) <- Lwe.read_sample r
+                  done;
+                  `Lut (arity, table, ops)
+                end
+                else begin
+                  let a = Lwe.read_sample r in
+                  let b = Lwe.read_sample r in
+                  `Gate (code, a, b)
+                end)
           in
           let t0 = Unix.gettimeofday () in
           let results =
             Array.map
-              (fun (code, a, b) ->
-                match Gate.of_code code with
-                | Some g -> Tfhe_eval.apply_gate ctx g a b
-                | None ->
-                  raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
+              (function
+                | `Gate (code, a, b) -> (
+                  match Gate.of_code code with
+                  | Some g -> Tfhe_eval.apply_gate ctx g a b
+                  | None ->
+                    raise (Wire.Corrupt (Printf.sprintf "Dist_eval: bad gate code %d" code)))
+                | `Lut (arity, table, ops) -> Gates.lut_cell_in ctx ~arity ~table ops)
               gates
           in
           let t1 = Unix.gettimeofday () in
@@ -513,7 +536,16 @@ let send_shard st sh =
   st.next_req <- st.next_req + 1;
   sh.req_id <- st.next_req;
   let buf = Buffer.create 4096 in
-  if st.cfg.array_frames then begin
+  let classic id = Tfhe_eval.classic_view st.net st.values id in
+  (* DRQ2's flat two-operand frames can't carry variable-arity LUT records;
+     a shard containing any LUT cell falls back to per-record DREQ framing
+     (classic-only shards keep the SoA fast path). *)
+  let shard_has_lut =
+    Array.exists
+      (fun id -> match Netlist.kind st.net id with Netlist.Lut _ -> true | _ -> false)
+      sh.gates
+  in
+  if st.cfg.array_frames && not shard_has_lut then begin
     (* SoA request: gate codes, then the two operand waves packed as flat
        Lwe_array frames — one bounds-checked blit per direction on the wire
        instead of per-sample framing. *)
@@ -526,9 +558,9 @@ let send_shard st sh =
         match Netlist.kind st.net id with
         | Netlist.Gate (g, a, b) ->
           codes.(i) <- Gate.to_code g;
-          Lwe_array.set va i (Option.get st.values.(a));
-          Lwe_array.set vb i (Option.get st.values.(b))
-        | Netlist.Input _ | Netlist.Const _ -> assert false)
+          Lwe_array.set va i (classic a);
+          Lwe_array.set vb i (classic b)
+        | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false)
       sh.gates;
     Wire.write_magic buf "DRQ2";
     Wire.write_i64 buf sh.req_id;
@@ -544,8 +576,18 @@ let send_shard st sh =
         match Netlist.kind st.net id with
         | Netlist.Gate (g, a, b) ->
           Wire.write_u8 buf (Gate.to_code g);
-          Lwe.write_sample buf (Option.get st.values.(a));
-          Lwe.write_sample buf (Option.get st.values.(b))
+          Lwe.write_sample buf (classic a);
+          Lwe.write_sample buf (classic b)
+        | Netlist.Lut { table; ins } ->
+          (* LUT record: code 128+arity, u8 table, then the operands.
+             Arity-1 cells bootstrap a classic operand (the view is
+             materialized here, coordinator-side); arity-2/3 operands are
+             Lut nodes by construction and ship lutdom-encoded. *)
+          let arity = Array.length ins in
+          Wire.write_u8 buf (128 + arity);
+          Wire.write_u8 buf table;
+          if arity = 1 then Lwe.write_sample buf (classic ins.(0))
+          else Array.iter (fun a -> Lwe.write_sample buf (Option.get st.values.(a))) ins
         | Netlist.Input _ | Netlist.Const _ -> assert false)
       sh.gates
   end;
@@ -865,7 +907,7 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
       for id = 0 to Netlist.node_count net - 1 do
         match Netlist.kind net id with
         | Netlist.Const b -> st.values.(id) <- Some (Gates.constant cloud b)
-        | Netlist.Input _ | Netlist.Gate _ -> ()
+        | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
       done;
       let sched = Levelize.run net in
       let waves = Levelize.waves sched net in
@@ -893,9 +935,11 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
                (fun id ->
                  match Netlist.kind net id with
                  | Netlist.Gate (g, a, _) when Gate.is_unary g ->
-                   st.values.(id) <- Some (Lwe.neg (Option.get st.values.(a)));
+                   st.values.(id) <-
+                     Some (Lwe.neg (Tfhe_eval.classic_view net st.values a));
                    incr nots
-                 | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
+                 | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ ->
+                   assert false)
                wave.Levelize.inline;
              let t1 = Unix.gettimeofday () in
              wave_wall.(i) <- t1 -. t0;
@@ -931,7 +975,7 @@ let run ?(obs = Trace.null) cfg cloud net inputs =
          failwith "Dist_eval.run: all workers lost (crashed or unresponsive)");
       let outputs =
         Netlist.outputs net
-        |> List.map (fun (_, id) -> Option.get st.values.(id))
+        |> List.map (fun (_, id) -> Tfhe_eval.classic_view net st.values id)
         |> Array.of_list
       in
       ( outputs,

@@ -181,8 +181,19 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
     | Netlist.Const b ->
       if use_soa then Lwe_array.set svalues id (Gates.constant cloud b)
       else values.(id) <- Some (Gates.constant cloud b)
-    | Netlist.Input _ | Netlist.Gate _ -> ()
+    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
   done;
+  (* Value accessors shared by the three chunk variants: [get_raw] returns
+     the stored (possibly lutdom) ciphertext, [get_classic] applies the
+     lutdom → classic view at classic use sites. *)
+  let get_raw id = if use_soa then Lwe_array.get svalues id else Option.get values.(id) in
+  let set_value id v =
+    if use_soa then Lwe_array.set svalues id v else values.(id) <- Some v
+  in
+  let get_classic id =
+    let v = get_raw id in
+    if Netlist.is_lut net id then Gates.lut_to_classic v else v
+  in
   (* One private context per domain: contexts.(0) belongs to the caller.
      Scalar contexts are only needed on the per-gate path, batch contexts
      only on the batched one. *)
@@ -236,10 +247,10 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
         let id = gates.(i) in
         match Netlist.kind net id with
         | Netlist.Gate (g, a, b) ->
-          let va = Option.get values.(a) and vb = Option.get values.(b) in
+          let va = get_classic a and vb = get_classic b in
           values.(id) <- Some (Tfhe_eval.apply_gate ctx g va vb);
           per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + 1
-        | Netlist.Input _ | Netlist.Const _ -> assert false
+        | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false
       done;
       let t1 = Unix.gettimeofday () in
       per_domain_busy.(d) <- per_domain_busy.(d) +. (t1 -. t0);
@@ -269,9 +280,9 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
           Array.init len (fun i ->
               match Netlist.kind net gates.(base + i) with
               | Netlist.Gate (g, a, b') ->
-                let va = Option.get values.(a) and vb = Option.get values.(b') in
+                let va = get_classic a and vb = get_classic b' in
                 Gates.combine ~n:lwe_n (Tfhe_eval.plan_of g) va vb
-              | Netlist.Input _ | Netlist.Const _ -> assert false)
+              | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false)
         in
         let outs = Gates.bootstrap_batch bc combined in
         for i = 0 to len - 1 do
@@ -308,9 +319,15 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
       for i = lo to hi - 1 do
         match Netlist.kind net gates.(i) with
         | Netlist.Gate (g, a, b') ->
-          Gates.combine_rows_into (Tfhe_eval.plan_of g) ~a:svalues ~arow:a ~b:svalues
-            ~brow:b' ~dst:wave_staging ~drow:i
-        | Netlist.Input _ | Netlist.Const _ -> assert false
+          if Netlist.is_lut net a || Netlist.is_lut net b' then
+            (* Lutdom operand: materialize the classic views and combine
+               through the record path into the staging row. *)
+            Lwe_array.set wave_staging i
+              (Gates.combine ~n:lwe_n (Tfhe_eval.plan_of g) (get_classic a) (get_classic b'))
+          else
+            Gates.combine_rows_into (Tfhe_eval.plan_of g) ~a:svalues ~arow:a ~b:svalues
+              ~brow:b' ~dst:wave_staging ~drow:i
+        | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false
       done;
       let pos = ref lo in
       while !pos < hi do
@@ -341,22 +358,59 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
           let a0 = if traced then Exec_obs.alloc_words () else 0.0 in
           let c0 = if traced then batch_totals () else (0, 0, 0, 0) in
           let nots0 = !nots in
-          if Array.length wave.Levelize.parallel > 0 then
+          let classic, luts = Tfhe_eval.partition_wave net wave.Levelize.parallel in
+          if Array.length classic > 0 then
             pool_run pool
               (match batch with
-              | None -> eval_chunk w wave.Levelize.parallel
-              | Some b when use_soa -> eval_chunk_soa b w wave.Levelize.parallel
-              | Some b -> eval_chunk_batched b w wave.Levelize.parallel);
+              | None -> eval_chunk w classic
+              | Some b when use_soa -> eval_chunk_soa b w classic
+              | Some b -> eval_chunk_batched b w classic);
+          (* LUT cells run after the wave's classic gates, chunked across the
+             same domain pool by rotation unit: every cell is written by
+             exactly one domain, and cells never split a rotation group, so
+             memoized rotations stay deterministic and outputs bit-exact with
+             the sequential executor for every worker count. *)
+          if Array.length luts > 0 then begin
+            let cells = Tfhe_eval.build_lut_cells net luts in
+            let total = Array.length cells in
+            pool_run pool (fun d ->
+                let lo = d * total / workers and hi = (d + 1) * total / workers in
+                if lo < hi then begin
+                  let t0 = Unix.gettimeofday () in
+                  let slice = Array.sub cells lo (hi - lo) in
+                  let rots =
+                    match batch with
+                    | None ->
+                      Tfhe_eval.run_lut_cells_scalar net ~get:get_raw ~set:set_value
+                        contexts.(d) slice
+                    | Some b ->
+                      Tfhe_eval.run_lut_cells net ~get:get_raw ~set:set_value batch_ctxs.(d)
+                        ~batch:b ~n:lwe_n slice
+                  in
+                  per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + rots;
+                  let t1 = Unix.gettimeofday () in
+                  per_domain_busy.(d) <- per_domain_busy.(d) +. (t1 -. t0);
+                  if traced then
+                    Trace.span dom_tracks.(d) ~cat:"chunk"
+                      ~name:(Printf.sprintf "wave %d luts [%d,%d)" w lo hi)
+                      ~t0:(t0 -. ep) ~t1:(t1 -. ep)
+                end)
+          end;
           (* Noiseless NOTs ride along on the coordinating domain: they may
              read this wave's fresh results, and cost one vector negation. *)
           Array.iter
             (fun id ->
               match Netlist.kind net id with
               | Netlist.Gate (g, a, _) when Gate.is_unary g ->
-                if use_soa then Lwe_array.neg_into ~dst:svalues ~drow:id ~src:svalues ~srow:a
-                else values.(id) <- Some (Lwe.neg (Option.get values.(a)));
+                if use_soa then begin
+                  if Netlist.is_lut net a then
+                    Lwe_array.set svalues id (Lwe.neg (get_classic a))
+                  else Lwe_array.neg_into ~dst:svalues ~drow:id ~src:svalues ~srow:a
+                end
+                else values.(id) <- Some (Lwe.neg (get_classic a));
                 incr nots
-              | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> assert false)
+              | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ ->
+                assert false)
             wave.Levelize.inline;
           let t1 = Unix.gettimeofday () in
           wave_wall.(w) <- t1 -. t0;
@@ -384,10 +438,7 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
           end)
         waves);
   let outputs =
-    Netlist.outputs net
-    |> List.map (fun (_, id) ->
-           if use_soa then Lwe_array.get svalues id else Option.get values.(id))
-    |> Array.of_list
+    Netlist.outputs net |> List.map (fun (_, id) -> get_classic id) |> Array.of_list
   in
   let wall_time = Unix.gettimeofday () -. start in
   let busy = Array.fold_left ( +. ) 0.0 per_domain_busy in

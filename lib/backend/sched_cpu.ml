@@ -165,7 +165,7 @@ let simulate_asap config net =
   for id = 0 to n - 1 do
     match N.kind net id with
     | N.Input _ | N.Const _ -> complete id 0.0
-    | N.Gate _ -> ()
+    | N.Gate _ | N.Lut _ -> ()
   done;
   (* Serialized submission: the dispatcher issues tasks as they become
      ready, paying submit_time each. *)
@@ -174,7 +174,10 @@ let simulate_asap config net =
     let ready, id = pop () in
     match N.kind net id with
     | N.Gate (g, _, _) when G.is_unary g -> complete id ready
-    | N.Gate _ ->
+    | N.Gate _ | N.Lut _ ->
+      (* A LUT cell is one blind rotation — priced like any bootstrapped
+         gate; rotation sharing is an executor optimization the cluster
+         model deliberately ignores. *)
       incr bootstraps;
       dispatcher := Float.max !dispatcher ready +. cost.Cost_model.submit_time;
       let start = Float.max (Float.max ready pool.(0)) !dispatcher in

@@ -1,17 +1,22 @@
 module Binary = Pytfhe_circuit.Binary
 module Gate = Pytfhe_circuit.Gate
+module Wire = Pytfhe_util.Wire
 module Trace = Pytfhe_obs.Trace
 
 type 'v ops = {
   v_gate : Gate.t -> 'v -> 'v -> 'v;
   v_input : int -> 'v;
+  v_lut : arity:int -> table:int -> 'v array -> 'v;
+  v_lut_view : 'v -> 'v;
 }
 
 let run ?(obs = Trace.null) ops bytes =
   (* One pass over the instruction stream; the value table is indexed by
      the sequential gate numbering, so lookups are array reads.  The table
      grows geometrically: the header only declares the gate count, not the
-     input count. *)
+     input count.  Each slot carries the value plus its encoding: LUT cells
+     produce lutdom-encoded values, which classic consumers (gates,
+     arity-1 LUT cells, outputs) read through [v_lut_view]. *)
   let traced = Trace.enabled obs in
   let t_start = Trace.now obs in
   let table = ref [||] in
@@ -20,6 +25,7 @@ let run ?(obs = Trace.null) ops bytes =
   let gate_total = ref (-1) in
   let seen_gates = ref 0 in
   let unary_gates = ref 0 in
+  let lut_cells = ref 0 in
   let first = ref true in
   let outputs = ref [] in
   let output_count = ref 0 in
@@ -33,8 +39,12 @@ let run ?(obs = Trace.null) ops bytes =
   let fetch index =
     if index < 1 || index >= !next then failwith "Stream_exec: reference to an unassigned index";
     match !table.(index) with
-    | Some v -> v
+    | Some cell -> cell
     | None -> failwith "Stream_exec: reference to an unassigned index"
+  in
+  let fetch_classic index =
+    let v, is_lut = fetch index in
+    if is_lut then ops.v_lut_view v else v
   in
   Binary.iter bytes (fun inst ->
       match inst with
@@ -46,7 +56,7 @@ let run ?(obs = Trace.null) ops bytes =
         if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
         if index <> !next then failwith "Stream_exec: non-sequential input index";
         ensure index;
-        !table.(index) <- Some (ops.v_input !input_ordinal);
+        !table.(index) <- Some (ops.v_input !input_ordinal, false);
         incr input_ordinal;
         incr next
       | Binary.Gate_inst { gate; in0; in1 } ->
@@ -56,11 +66,41 @@ let run ?(obs = Trace.null) ops bytes =
         if !seen_gates > !gate_total then
           failwith "Stream_exec: more gates than the header declared";
         ensure !next;
-        !table.(!next) <- Some (ops.v_gate gate (fetch in0) (fetch in1));
+        !table.(!next) <- Some (ops.v_gate gate (fetch_classic in0) (fetch_classic in1), false);
+        incr next
+      | Binary.Lut_inst { table = tbl; ins } ->
+        if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+        incr seen_gates;
+        incr lut_cells;
+        if !seen_gates > !gate_total then
+          failwith "Stream_exec: more gates than the header declared";
+        let arity = Array.length ins in
+        (* The decoder already bounds arity and table; what only the value
+           stream can check is the operand encoding: a multi-input cell
+           whose operand is not itself a LUT cell would blind-rotate a
+           classic ciphertext as if it were lutdom — structurally corrupt,
+           rejected before any value is computed.  Arity-1 cells take the
+           classic view of whatever they are fed. *)
+        let operands =
+          if arity = 1 then [| fetch_classic ins.(0) |]
+          else
+            Array.map
+              (fun idx ->
+                let v, is_lut = fetch idx in
+                if not is_lut then
+                  raise
+                    (Wire.Corrupt
+                       (Printf.sprintf
+                          "Stream_exec: lut%d operand %d is not lutdom-encoded" arity idx));
+                v)
+              ins
+        in
+        ensure !next;
+        !table.(!next) <- Some (ops.v_lut ~arity ~table:tbl operands, true);
         incr next
       | Binary.Output_decl { index } ->
         incr output_count;
-        outputs := fetch index :: !outputs);
+        outputs := fetch_classic index :: !outputs);
   if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
   if traced then begin
     (* The stream has no wave structure — the whole single pass is one
@@ -72,18 +112,39 @@ let run ?(obs = Trace.null) ops bytes =
     Trace.counter tr ~name:"inputs" (float_of_int !input_ordinal);
     Trace.counter tr ~name:"bootstraps" (float_of_int (!seen_gates - !unary_gates));
     Trace.counter tr ~name:"nots" (float_of_int !unary_gates);
+    Trace.counter tr ~name:"luts" (float_of_int !lut_cells);
     Trace.counter tr ~name:"outputs" (float_of_int !output_count);
     Trace.drain obs
   end;
   Array.of_list (List.rev !outputs)
 
+(* Plaintext LUT cell: lutdom and classic coincide (a bit is a bit), so the
+   view is the identity.  The message index m is the MSB-first operand
+   word, matching [Netlist.eval] and [Gates.lut2]/[lut3]. *)
+let plain_lut ~arity:_ ~table ops =
+  let m = Array.fold_left (fun acc b -> (acc lsl 1) lor Bool.to_int b) 0 ops in
+  (table lsr m) land 1 = 1
+
 let run_bits bytes ins =
-  let ops = { v_gate = Gate.eval; v_input = (fun i -> ins.(i)) } in
+  let ops =
+    {
+      v_gate = Gate.eval;
+      v_input = (fun i -> ins.(i));
+      v_lut = plain_lut;
+      v_lut_view = Fun.id;
+    }
+  in
   run ops bytes
 
 let run_encrypted ?(obs = Trace.null) cloud bytes cts =
+  let ctx = Pytfhe_tfhe.Gates.context cloud in
   let ops =
-    { v_gate = (fun g a b -> Tfhe_eval.gate_of g cloud a b); v_input = (fun i -> cts.(i)) }
+    {
+      v_gate = (fun g a b -> Tfhe_eval.gate_of g cloud a b);
+      v_input = (fun i -> cts.(i));
+      v_lut = (fun ~arity ~table ops -> Pytfhe_tfhe.Gates.lut_cell_in ctx ~arity ~table ops);
+      v_lut_view = Pytfhe_tfhe.Gates.lut_to_classic;
+    }
   in
   if not (Trace.enabled obs) then run ops bytes
   else begin
@@ -96,6 +157,10 @@ let run_encrypted ?(obs = Trace.null) cloud bytes cts =
           (fun g a b ->
             if not (Gate.is_unary g) then incr boots;
             ops.v_gate g a b);
+        v_lut =
+          (fun ~arity ~table operands ->
+            incr boots;
+            ops.v_lut ~arity ~table operands);
       }
     in
     let result = run ~obs counted bytes in

@@ -10,13 +10,21 @@
 type 'v ops = {
   v_gate : Pytfhe_circuit.Gate.t -> 'v -> 'v -> 'v;
   v_input : int -> 'v;  (** Fetch input [i] (in input-instruction order). *)
+  v_lut : arity:int -> table:int -> 'v array -> 'v;
+      (** Evaluate one programmable LUT cell.  Arity-1 cells receive a
+          classic operand; arity-2/3 cells receive lutdom operands.  The
+          result is lutdom-encoded. *)
+  v_lut_view : 'v -> 'v;  (** The free lutdom → classic view. *)
 }
 
 val run : ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> bytes -> 'v array
 (** Execute an assembled binary over any value domain; returns the outputs
     in output-instruction order.  Raises [Failure] on malformed streams
-    (bad magic sizes, forward references, missing header).  With an
-    enabled [obs] sink, emits one span for the whole pass plus the
+    (bad magic sizes, forward references, missing header) and
+    [Pytfhe_util.Wire.Corrupt] on structurally corrupt LUT records — a
+    multi-input cell whose operand is not lutdom-encoded (the per-record
+    field checks already live in the {!Pytfhe_circuit.Binary} decoder).
+    With an enabled [obs] sink, emits one span for the whole pass plus the
     instruction-mix counters on a ["stream"] track. *)
 
 val run_bits : bytes -> bool array -> bool array

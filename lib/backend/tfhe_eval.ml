@@ -69,10 +69,49 @@ let prepare net inputs ~who =
   List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
   values
 
+(* LUT cells produce lutdom-encoded ciphertexts; every classic consumer
+   (gate operand, NOT, primary output) reads them through the free
+   lutdom → classic view.  The view is a deterministic linear map, so
+   materialising it per use keeps all execution paths bit-exact. *)
+let classic_view net values id =
+  let v = Option.get values.(id) in
+  if Netlist.is_lut net id then Gates.lut_to_classic v else v
+
 let collect net values =
   Netlist.outputs net
-  |> List.map (fun (_, id) -> Option.get values.(id))
+  |> List.map (fun (_, id) -> classic_view net values id)
   |> Array.of_list
+
+(* Rotation memo key: multi-input cells over the same operand tuple share
+   one blind rotation (the indicators depend only on the operands). *)
+let lut_key ins =
+  let get i = if Array.length ins > i then ins.(i) else -1 in
+  (Array.length ins, ins.(0), get 1, get 2)
+
+(* Scalar evaluation of one LUT cell, with rotation sharing through
+   [rotations]. Returns the number of fresh rotations performed (0 or 1). *)
+let apply_lut_node net values ctx rotations id ~table ins =
+  let arity = Array.length ins in
+  if arity = 1 then begin
+    values.(id) <- Some (Gates.lut1_in ctx ~table (classic_view net values ins.(0)));
+    1
+  end
+  else begin
+    let key = lut_key ins in
+    let fresh = ref 0 in
+    let ind =
+      match Hashtbl.find_opt rotations key with
+      | Some ind -> ind
+      | None ->
+        let ops = Array.map (fun a -> Option.get values.(a)) ins in
+        let ind = Gates.lut_indicators_in ctx ~arity ops in
+        Hashtbl.add rotations key ind;
+        fresh := 1;
+        ind
+    in
+    values.(id) <- Some (Gates.lut_select_in ctx ~msize:(1 lsl arity) ~table ind);
+    !fresh
+  end
 
 (* The untraced id-order walk: ids are topologically sorted by
    construction, so a single pass suffices.  This is the hot path — it
@@ -80,15 +119,18 @@ let collect net values =
    [run]. *)
 let run_untraced cloud net values =
   let ctx = Gates.default_context cloud in
+  let rotations = Hashtbl.create 64 in
   let bootstraps = ref 0 and nots = ref 0 in
   for id = 0 to Netlist.node_count net - 1 do
     match Netlist.kind net id with
     | Netlist.Input _ -> ()
     | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
     | Netlist.Gate (g, a, b) ->
-      let va = Option.get values.(a) and vb = Option.get values.(b) in
+      let va = classic_view net values a and vb = classic_view net values b in
       if Gate.is_unary g then incr nots else incr bootstraps;
       values.(id) <- Some (apply_gate ctx g va vb)
+    | Netlist.Lut { table; ins } ->
+      bootstraps := !bootstraps + apply_lut_node net values ctx rotations id ~table ins
   done;
   (!bootstraps, !nots, [||], [||])
 
@@ -107,10 +149,11 @@ let run_traced obs cloud net values =
   for id = 0 to Netlist.node_count net - 1 do
     match Netlist.kind net id with
     | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
-    | Netlist.Input _ | Netlist.Gate _ -> ()
+    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
   done;
   let tr = Trace.new_track obs ~name:"cpu" in
   Exec_obs.noise_gauges tr cloud.Gates.cloud_params;
+  let rotations = Hashtbl.create 64 in
   let bootstraps = ref 0 and nots = ref 0 in
   Array.iteri
     (fun w wave ->
@@ -120,9 +163,11 @@ let run_traced obs cloud net values =
       let eval id =
         match Netlist.kind net id with
         | Netlist.Gate (g, a, b) ->
-          let va = Option.get values.(a) and vb = Option.get values.(b) in
+          let va = classic_view net values a and vb = classic_view net values b in
           if Gate.is_unary g then incr wn else incr wb;
           values.(id) <- Some (apply_gate ctx g va vb)
+        | Netlist.Lut { table; ins } ->
+          wb := !wb + apply_lut_node net values ctx rotations id ~table ins
         | Netlist.Input _ | Netlist.Const _ -> assert false
       in
       Array.iter eval wave.Levelize.parallel;
@@ -139,6 +184,113 @@ let run_traced obs cloud net values =
       Trace.drain obs)
     waves;
   (!bootstraps, !nots, wave_wall, wave_width)
+
+(* Wave-batched LUT cells.  Multi-input cells are grouped by operand tuple
+   in first-appearance (id) order — one rotation per group, every member
+   table selected from the shared indicators — and arity-1 cells become
+   sign jobs of the same mixed batch.  Works over get/set closures so the
+   record and SoA walks share it; the mixed-job kernel is bit-exact with
+   the scalar cells.  Returns the rotation count. *)
+type lut_cell_build =
+  | B_sign of { node : Netlist.id; table : int; operand : Netlist.id }
+  | B_group of {
+      ins : Netlist.id array;
+      mutable tables : int list;  (* reversed *)
+      mutable nodes : Netlist.id list;  (* reversed, aligned with tables *)
+    }
+
+let build_lut_cells net lut_ids =
+  let ds = ref [] in
+  let groups = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      match Netlist.kind net id with
+      | Netlist.Lut { table; ins } when Array.length ins = 1 ->
+        ds := B_sign { node = id; table; operand = ins.(0) } :: !ds
+      | Netlist.Lut { table; ins } -> (
+        let key = lut_key ins in
+        match Hashtbl.find_opt groups key with
+        | Some (B_group g) ->
+          g.tables <- table :: g.tables;
+          g.nodes <- id :: g.nodes
+        | Some (B_sign _) -> assert false
+        | None ->
+          let g = B_group { ins; tables = [ table ]; nodes = [ id ] } in
+          Hashtbl.add groups key g;
+          ds := g :: !ds)
+      | _ -> assert false)
+    lut_ids;
+  Array.of_list (List.rev !ds)
+
+(* Batched execution of built cells through the mixed-job kernel, in
+   launches of at most [batch] cells. *)
+let run_lut_cells net ~get ~set bc ~batch ~n ds =
+  let classic_of id =
+    let v = get id in
+    if Netlist.is_lut net id then Gates.lut_to_classic v else v
+  in
+  let total = Array.length ds in
+  let pos = ref 0 in
+  while !pos < total do
+    let len = min batch (total - !pos) in
+    let chunk = Array.sub ds !pos len in
+    let cells =
+      Array.map
+        (function
+          | B_sign { table; _ } -> Gates.sign_cell ~table
+          | B_group g ->
+            Gates.Cell_lut
+              { arity = Array.length g.ins; tables = Array.of_list (List.rev g.tables) })
+        chunk
+    in
+    let combined =
+      Array.map
+        (function
+          | B_sign { operand; _ } -> classic_of operand
+          | B_group g -> Gates.lut_combine ~n ~arity:(Array.length g.ins) (Array.map get g.ins))
+        chunk
+    in
+    let outs = Gates.bootstrap_batch_cells bc cells combined in
+    Array.iteri
+      (fun j d ->
+        match d with
+        | B_sign { node; _ } -> set node outs.(j).(0)
+        | B_group g -> List.iteri (fun k nid -> set nid outs.(j).(k)) (List.rev g.nodes))
+      chunk;
+    pos := !pos + len
+  done;
+  total
+
+(* Scalar execution of built cells: one indicator rotation per group,
+   one select + key switch per member.  Same operation sequence as the
+   batched kernel, hence bit-exact with it. *)
+let run_lut_cells_scalar net ~get ~set ctx ds =
+  let classic_of id =
+    let v = get id in
+    if Netlist.is_lut net id then Gates.lut_to_classic v else v
+  in
+  Array.iter
+    (function
+      | B_sign { node; table; operand } ->
+        set node (Gates.lut1_in ctx ~table (classic_of operand))
+      | B_group g ->
+        let arity = Array.length g.ins in
+        let ind = Gates.lut_indicators_in ctx ~arity (Array.map get g.ins) in
+        List.iter2
+          (fun nid table -> set nid (Gates.lut_select_in ctx ~msize:(1 lsl arity) ~table ind))
+          (List.rev g.nodes) (List.rev g.tables))
+    ds;
+  Array.length ds
+
+let run_wave_luts net ~get ~set bc ~batch ~n lut_ids =
+  if Array.length lut_ids = 0 then 0
+  else run_lut_cells net ~get ~set bc ~batch ~n (build_lut_cells net lut_ids)
+
+let partition_wave net par =
+  if Netlist.has_luts net then
+    ( Array.of_seq (Seq.filter (fun id -> not (Netlist.is_lut net id)) (Array.to_seq par)),
+      Array.of_seq (Seq.filter (fun id -> Netlist.is_lut net id) (Array.to_seq par)) )
+  else (par, [||])
 
 (* The batched wave walk: every wave's bootstrapped gates run through the
    key-streaming kernel in chunks of at most [batch] gates (the final chunk
@@ -158,7 +310,7 @@ let run_batched obs cloud net values ~batch =
   for id = 0 to Netlist.node_count net - 1 do
     match Netlist.kind net id with
     | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
-    | Netlist.Input _ | Netlist.Gate _ -> ()
+    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
   done;
   let tr = Trace.new_track obs ~name:"cpu" in
   if traced then Exec_obs.noise_gauges tr p;
@@ -168,34 +320,41 @@ let run_batched obs cloud net values ~batch =
       let t0 = Trace.now obs in
       let a0 = Exec_obs.alloc_words () in
       let c0 = Gates.batch_counters bc in
-      let par = wave.Levelize.parallel in
-      let width = Array.length par in
+      let classic, luts = partition_wave net wave.Levelize.parallel in
+      let width = Array.length wave.Levelize.parallel in
       let wb = ref 0 and wn = ref 0 in
       let pos = ref 0 in
-      while !pos < width do
-        let len = min batch (width - !pos) in
+      let cwidth = Array.length classic in
+      while !pos < cwidth do
+        let len = min batch (cwidth - !pos) in
         let base = !pos in
         let combined =
           Array.init len (fun i ->
-              match Netlist.kind net par.(base + i) with
+              match Netlist.kind net classic.(base + i) with
               | Netlist.Gate (g, a, b) ->
-                let va = Option.get values.(a) and vb = Option.get values.(b) in
+                let va = classic_view net values a and vb = classic_view net values b in
                 Gates.combine ~n (plan_of g) va vb
-              | Netlist.Input _ | Netlist.Const _ -> assert false)
+              | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false)
         in
         let outs = Gates.bootstrap_batch bc combined in
         for i = 0 to len - 1 do
-          values.(par.(base + i)) <- Some outs.(i)
+          values.(classic.(base + i)) <- Some outs.(i)
         done;
         wb := !wb + len;
         pos := !pos + len
       done;
+      wb :=
+        !wb
+        + run_wave_luts net
+            ~get:(fun id -> Option.get values.(id))
+            ~set:(fun id v -> values.(id) <- Some v)
+            bc ~batch ~n luts;
       Array.iter
         (fun id ->
           match Netlist.kind net id with
           | Netlist.Gate (g, a, _) when Gate.is_unary g ->
             incr wn;
-            values.(id) <- Some (Lwe.neg (Option.get values.(a)))
+            values.(id) <- Some (Lwe.neg (classic_view net values a))
           | _ -> assert false)
         wave.Levelize.inline;
       let t1 = Trace.now obs in
@@ -243,8 +402,15 @@ let run_batched_soa obs cloud net inputs ~batch =
   for id = 0 to Netlist.node_count net - 1 do
     match Netlist.kind net id with
     | Netlist.Const b -> Lwe_array.set values id (Gates.constant cloud b)
-    | Netlist.Input _ | Netlist.Gate _ -> ()
+    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
   done;
+  (* lutdom rows read at classic use sites go through the record-level
+     view; the linear maps are identical to the row kernels, so this
+     stays bit-exact *)
+  let soa_view id =
+    let v = Lwe_array.get values id in
+    if Netlist.is_lut net id then Gates.lut_to_classic v else v
+  in
   let staging = Lwe_array.create ~n batch in
   let tr = Trace.new_track obs ~name:"cpu" in
   if traced then Exec_obs.noise_gauges tr p;
@@ -254,33 +420,44 @@ let run_batched_soa obs cloud net inputs ~batch =
       let t0 = Trace.now obs in
       let a0 = Exec_obs.alloc_words () in
       let c0 = Gates.batch_counters bc in
-      let par = wave.Levelize.parallel in
-      let width = Array.length par in
+      let classic, luts = partition_wave net wave.Levelize.parallel in
+      let width = Array.length wave.Levelize.parallel in
       let wb = ref 0 and wn = ref 0 in
       let pos = ref 0 in
-      while !pos < width do
-        let len = min batch (width - !pos) in
+      let cwidth = Array.length classic in
+      while !pos < cwidth do
+        let len = min batch (cwidth - !pos) in
         let base = !pos in
         for i = 0 to len - 1 do
-          match Netlist.kind net par.(base + i) with
+          match Netlist.kind net classic.(base + i) with
           | Netlist.Gate (g, a, b) ->
-            Gates.combine_rows_into (plan_of g) ~a:values ~arow:a ~b:values ~brow:b
-              ~dst:staging ~drow:i
-          | Netlist.Input _ | Netlist.Const _ -> assert false
+            if Netlist.is_lut net a || Netlist.is_lut net b then
+              Lwe_array.set staging i (Gates.combine ~n (plan_of g) (soa_view a) (soa_view b))
+            else
+              Gates.combine_rows_into (plan_of g) ~a:values ~arow:a ~b:values ~brow:b
+                ~dst:staging ~drow:i
+          | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false
         done;
         let outs = Gates.bootstrap_batch_rows bc (Lwe_array.slice staging ~pos:0 ~len) in
         for i = 0 to len - 1 do
-          Lwe_array.blit ~src:outs ~src_pos:i ~dst:values ~dst_pos:par.(base + i) ~len:1
+          Lwe_array.blit ~src:outs ~src_pos:i ~dst:values ~dst_pos:classic.(base + i) ~len:1
         done;
         wb := !wb + len;
         pos := !pos + len
       done;
+      wb :=
+        !wb
+        + run_wave_luts net
+            ~get:(fun id -> Lwe_array.get values id)
+            ~set:(fun id v -> Lwe_array.set values id v)
+            bc ~batch ~n luts;
       Array.iter
         (fun id ->
           match Netlist.kind net id with
           | Netlist.Gate (g, a, _) when Gate.is_unary g ->
             incr wn;
-            Lwe_array.neg_into ~dst:values ~drow:id ~src:values ~srow:a
+            if Netlist.is_lut net a then Lwe_array.set values id (Lwe.neg (soa_view a))
+            else Lwe_array.neg_into ~dst:values ~drow:id ~src:values ~srow:a
           | _ -> assert false)
         wave.Levelize.inline;
       let t1 = Trace.now obs in
@@ -301,7 +478,7 @@ let run_batched_soa obs cloud net inputs ~batch =
       end)
     waves;
   let outputs =
-    Netlist.outputs net |> List.map (fun (_, id) -> Lwe_array.get values id) |> Array.of_list
+    Netlist.outputs net |> List.map (fun (_, id) -> soa_view id) |> Array.of_list
   in
   let c = Gates.batch_counters bc in
   (outputs, !bootstraps, !nots, wave_wall, wave_width, c)

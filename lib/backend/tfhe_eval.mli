@@ -72,3 +72,48 @@ val apply_gate :
 (** Same dispatch through an explicit per-thread evaluation context — the
     primitive {!Par_eval} runs on every worker domain.  [Not] ignores its
     second operand. *)
+
+(** {2 LUT-cell execution plumbing (shared with [Par_eval])}
+
+    LUT cells produce lutdom-encoded ciphertexts; classic consumers read
+    them through the free lutdom → classic view.  Multi-input cells over
+    the same operand tuple share one blind rotation: {!build_lut_cells}
+    groups a wave's cells deterministically (first-appearance order), and
+    the runners execute built cells — scalar or through the mixed-job
+    batch kernel, bit-exact with each other. *)
+
+type lut_cell_build
+
+val classic_view :
+  Pytfhe_circuit.Netlist.t -> Pytfhe_tfhe.Lwe.sample option array ->
+  Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample
+(** The node's value as a classic ciphertext (applies the lutdom view to
+    [Lut] nodes). *)
+
+val partition_wave :
+  Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.id array ->
+  Pytfhe_circuit.Netlist.id array * Pytfhe_circuit.Netlist.id array
+(** Split a wave's bootstrapped nodes into (classic gates, LUT cells),
+    both preserving order.  O(1) pass-through when the netlist has no
+    LUT cells. *)
+
+val build_lut_cells :
+  Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.id array -> lut_cell_build array
+(** Group a wave's LUT-cell node ids into rotation units: one unit per
+    arity-1 cell, one per distinct multi-input operand tuple. *)
+
+val run_lut_cells :
+  Pytfhe_circuit.Netlist.t ->
+  get:(Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample) ->
+  set:(Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample -> unit) ->
+  Pytfhe_tfhe.Gates.batch_context -> batch:int -> n:int -> lut_cell_build array -> int
+(** Execute built cells through the mixed-job batch kernel in launches of
+    at most [batch] cells; [n] is the LWE dimension.  Returns the number
+    of blind rotations performed (= number of cells). *)
+
+val run_lut_cells_scalar :
+  Pytfhe_circuit.Netlist.t ->
+  get:(Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample) ->
+  set:(Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample -> unit) ->
+  Pytfhe_tfhe.Gates.context -> lut_cell_build array -> int
+(** Scalar execution of built cells; bit-exact with {!run_lut_cells}. *)

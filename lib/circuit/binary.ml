@@ -1,13 +1,21 @@
+module Wire = Pytfhe_util.Wire
+
 type instruction =
   | Header of { gate_total : int }
   | Input_decl of { index : int }
   | Gate_inst of { gate : Gate.t; in0 : int; in1 : int }
+  | Lut_inst of { table : int; ins : int array }
   | Output_decl of { index : int }
 
 let all_ones_62 = 0x3FFFFFFFFFFFFFFF
 let tag_header = 0x0
 let tag_input = 0xF
 let tag_output = 0x3
+let tag_lut = 0xC
+
+(* LUT record B-field layout: arity in bits 0–1, table in 2–9, second and
+   third operands in 10–35 and 36–61 (26 bits each); in0 rides the A field. *)
+let lut_operand_mask = 0x3FFFFFF
 
 let encode_words a b tag =
   let b64 = Int64.of_int b in
@@ -32,13 +40,36 @@ let instruction_words = function
   | Header { gate_total } -> encode_words 0 gate_total tag_header
   | Input_decl { index } -> encode_words all_ones_62 index tag_input
   | Gate_inst { gate; in0; in1 } -> encode_words in0 in1 (Gate.to_code gate)
+  | Lut_inst { table; ins } ->
+    let arity = Array.length ins in
+    let in1 = if arity > 1 then ins.(1) else 0 in
+    let in2 = if arity > 2 then ins.(2) else 0 in
+    encode_words ins.(0) (arity lor (table lsl 2) lor (in1 lsl 10) lor (in2 lsl 36)) tag_lut
   | Output_decl { index } -> encode_words all_ones_62 index tag_output
+
+let decode_lut a b =
+  (* Malformed LUT records are data corruption, not programming errors:
+     they raise {!Wire.Corrupt} so executors reject hostile streams
+     gracefully. *)
+  let corrupt msg = raise (Wire.Corrupt ("Binary: " ^ msg)) in
+  let arity = b land 0x3 in
+  let table = (b lsr 2) land 0xFF in
+  let in1 = (b lsr 10) land lut_operand_mask in
+  let in2 = (b lsr 36) land lut_operand_mask in
+  if arity = 0 then corrupt "LUT record with arity 0";
+  if table >= 1 lsl (1 lsl arity) then
+    corrupt (Printf.sprintf "LUT table %#x too wide for arity %d" table arity);
+  if arity < 3 && in2 <> 0 then corrupt "nonzero reserved operand bits in LUT record";
+  if arity < 2 && in1 <> 0 then corrupt "nonzero reserved operand bits in LUT record";
+  let ins = Array.sub [| a; in1; in2 |] 0 arity in
+  Lut_inst { table; ins }
 
 let instruction_of_words lo hi =
   let a, b, tag = decode_words lo hi in
   if tag = tag_header && a = 0 then Header { gate_total = b }
   else if tag = tag_input && a = all_ones_62 then Input_decl { index = b }
   else if tag = tag_output && a = all_ones_62 then Output_decl { index = b }
+  else if tag = tag_lut then decode_lut a b
   else
     match Gate.of_code tag with
     | Some gate -> Gate_inst { gate; in0 = a; in1 = b }
@@ -48,6 +79,9 @@ let pp_instruction fmt = function
   | Header { gate_total } -> Format.fprintf fmt "header  gates=%d" gate_total
   | Input_decl { index } -> Format.fprintf fmt "input   -> %d" index
   | Gate_inst { gate; in0; in1 } -> Format.fprintf fmt "%-7s %d, %d" (Gate.name gate) in0 in1
+  | Lut_inst { table; ins } ->
+    Format.fprintf fmt "lut%d/%#-4x %s" (Array.length ins) table
+      (String.concat ", " (Array.to_list (Array.map string_of_int ins)))
   | Output_decl { index } -> Format.fprintf fmt "output  <- %d" index
 
 let emit buf inst =
@@ -59,9 +93,14 @@ let assemble net =
   let n = Netlist.node_count net in
   (* Liveness of constant nodes: they need materialisation only if used. *)
   let used = Array.make n false in
-  Netlist.iter_gates net (fun _ _ a b ->
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Gate (_, a, b) ->
       used.(a) <- true;
-      used.(b) <- true);
+      used.(b) <- true
+    | Netlist.Lut { ins; _ } -> Array.iter (fun a -> used.(a) <- true) ins
+    | Netlist.Input _ | Netlist.Const _ -> ()
+  done;
   List.iter (fun (_, id) -> used.(id) <- true) (Netlist.outputs net);
   let index_of = Array.make n (-1) in
   let next = ref 1 in
@@ -90,13 +129,26 @@ let assemble net =
   for id = 0 to n - 1 do
     match Netlist.kind net id with
     | Netlist.Const v -> materialise_const id v
-    | Netlist.Input _ | Netlist.Gate _ -> ()
+    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
   done;
   let gate_insts = ref (List.rev !const_gates) in
   let tail = ref [] in
-  Netlist.iter_gates net (fun id g a b ->
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Gate (g, a, b) ->
       assign id;
-      tail := Gate_inst { gate = g; in0 = index_of.(a); in1 = index_of.(b) } :: !tail);
+      tail := Gate_inst { gate = g; in0 = index_of.(a); in1 = index_of.(b) } :: !tail
+    | Netlist.Lut { table; ins } ->
+      assign id;
+      let mapped = Array.map (fun a -> index_of.(a)) ins in
+      Array.iteri
+        (fun j idx ->
+          if j > 0 && idx > lut_operand_mask then
+            failwith "Binary.assemble: LUT operand index exceeds the 26-bit record field")
+        mapped;
+      tail := Lut_inst { table; ins = mapped } :: !tail
+    | Netlist.Input _ | Netlist.Const _ -> ()
+  done;
   let gate_insts = !gate_insts @ List.rev !tail in
   emit buf (Header { gate_total = List.length gate_insts });
   List.iter (fun (_, id) -> emit buf (Input_decl { index = index_of.(id) })) inputs;
@@ -144,6 +196,13 @@ let parse bytes =
         incr next
       | Gate_inst { gate; in0; in1 } ->
         let id = Netlist.gate net gate (resolve in0) (resolve in1) in
+        Hashtbl.add table !next id;
+        incr next
+      | Lut_inst { table = lut_table; ins } ->
+        let id =
+          try Netlist.lut net ~table:lut_table (Array.map resolve ins)
+          with Invalid_argument msg -> raise (Pytfhe_util.Wire.Corrupt ("Binary.parse: " ^ msg))
+        in
         Hashtbl.add table !next id;
         incr next
       | Output_decl { index } ->

@@ -11,6 +11,12 @@
     - {b output}: A = all-ones, B = producing index, tag 0x3 — distinguished
       from an OR gate by the all-ones A field, which can never be a valid
       fan-in index.
+    - {b lut}: tag 0xC.  A = first operand index; B packs the arity in
+      bits 0–1, the truth table in bits 2–9, and the second and third
+      operand indices in bits 10–35 and 36–61 (26 bits each; unused
+      operand fields must be zero).  Decoding validates the record — an
+      arity of 0, a table wider than 2^2^arity, or nonzero reserved bits
+      raise [Pytfhe_util.Wire.Corrupt].
 
     Indices are assigned sequentially from 1 (inputs first, then gates), the
     "naming" scheme that makes DAG traversal a linear scan. *)
@@ -19,6 +25,7 @@ type instruction =
   | Header of { gate_total : int }
   | Input_decl of { index : int }
   | Gate_inst of { gate : Gate.t; in0 : int; in1 : int }
+  | Lut_inst of { table : int; ins : int array }
   | Output_decl of { index : int }
 
 val assemble : Netlist.t -> bytes
@@ -32,7 +39,9 @@ val disassemble : bytes -> instruction list
 
 val parse : bytes -> Netlist.t
 (** Rebuild a netlist (with construction-time optimizations disabled, so
-    the program round-trips bit-for-bit). *)
+    the program round-trips bit-for-bit).  Raises [Pytfhe_util.Wire.Corrupt]
+    on structurally invalid LUT records (e.g. a multi-input LUT whose
+    operand is not a LUT node). *)
 
 val instruction_count : bytes -> int
 (** Number of 128-bit instructions. *)

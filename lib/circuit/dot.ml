@@ -19,6 +19,12 @@ let export ?(max_nodes = 5000) ?(graph_name = "pytfhe") net =
       Buffer.add_string buf (Printf.sprintf "  n%d [shape=ellipse, label=%S];\n" id (Gate.name g));
       Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a id);
       if not (Gate.is_unary g) then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" b id)
+    | Netlist.Lut { table; ins } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [shape=hexagon, style=filled, fillcolor=gold, label=\"lut%d:%#x\"];\n" id
+           (Array.length ins) table);
+      Array.iter (fun a -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a id)) ins
     | Netlist.Input _ -> ()
   done;
   List.iteri

@@ -75,4 +75,17 @@ let swap = function
   | Orny -> Some Oryn
   | Oryn -> Some Orny
 
+let table_of = function
+  | Not -> None
+  | g ->
+    (* bit m = 2a + b of the table is g(a,b): the MSB-first convention of
+       the LUT cells *)
+    let bit a b = Bool.to_int (eval g a b) in
+    Some
+      ((bit true true lsl 3) lor (bit true false lsl 2) lor (bit false true lsl 1)
+      lor bit false false)
+
+let of_table tbl =
+  List.find_opt (fun g -> table_of g = Some tbl) all
+
 let pp fmt g = Format.pp_print_string fmt (name g)

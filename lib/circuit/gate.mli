@@ -44,4 +44,11 @@ val swap : t -> t option
 (** [swap g] is the gate [g'] with [g' (b, a) = g (a, b)] when one exists
     among the eleven types (e.g. [Andny ↔ Andyn]); [None] for [Not]. *)
 
+val table_of : t -> int option
+(** The 4-bit truth table of a binary gate — bit [2a+b] is [eval g a b],
+    the MSB-first message convention of the LUT cells; [None] for [Not]. *)
+
+val of_table : int -> t option
+(** The library gate realising a 4-bit table, when one exists. *)
+
 val pp : Format.formatter -> t -> unit

@@ -17,17 +17,25 @@ let run net =
     Pytfhe_util.Growable.set counts (l - 1) (Pytfhe_util.Growable.get counts (l - 1) + 1)
   in
   let total = ref 0 in
-  Netlist.iter_gates net (fun id g a b ->
+  let place id base =
+    let l = base + 1 in
+    level.(id) <- l;
+    if l > !depth then depth := l;
+    bump l;
+    incr total
+  in
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Input _ | Netlist.Const _ -> ()
+    | Netlist.Gate (g, a, b) ->
       let la = level.(a) and lb = level.(b) in
       let base = if la > lb then la else lb in
-      if Gate.is_unary g then level.(id) <- base
-      else begin
-        let l = base + 1 in
-        level.(id) <- l;
-        if l > !depth then depth := l;
-        bump l;
-        incr total
-      end);
+      if Gate.is_unary g then level.(id) <- base else place id base
+    | Netlist.Lut { ins; _ } ->
+      (* every LUT cell occupies a bootstrap slot in its wave; rotation
+         sharing between same-operand cells is the executors' business *)
+      place id (Array.fold_left (fun acc a -> max acc level.(a)) 0 ins)
+  done;
   { level; depth = !depth; widths = Pytfhe_util.Growable.to_array counts; total_bootstraps = !total }
 
 type wave = { parallel : Netlist.id array; inline : Netlist.id array }
@@ -36,17 +44,26 @@ let waves s net =
   let nw = s.depth + 1 in
   let par_count = Array.make nw 0 in
   let inl_count = Array.make nw 0 in
-  Netlist.iter_gates net (fun id g _ _ ->
+  (* Not gates are inline (free); everything else bootstrapped — LUT cells
+     included. *)
+  let visit f =
+    for id = 0 to Netlist.node_count net - 1 do
+      match Netlist.kind net id with
+      | Netlist.Input _ | Netlist.Const _ -> ()
+      | Netlist.Gate (g, _, _) -> f id (Gate.is_unary g)
+      | Netlist.Lut _ -> f id false
+    done
+  in
+  visit (fun id inl ->
       let l = s.level.(id) in
-      if Gate.is_unary g then inl_count.(l) <- inl_count.(l) + 1
-      else par_count.(l) <- par_count.(l) + 1);
+      if inl then inl_count.(l) <- inl_count.(l) + 1 else par_count.(l) <- par_count.(l) + 1);
   let parallel = Array.init nw (fun w -> Array.make par_count.(w) 0) in
   let inline = Array.init nw (fun w -> Array.make inl_count.(w) 0) in
   let par_fill = Array.make nw 0 in
   let inl_fill = Array.make nw 0 in
-  Netlist.iter_gates net (fun id g _ _ ->
+  visit (fun id inl ->
       let l = s.level.(id) in
-      if Gate.is_unary g then begin
+      if inl then begin
         inline.(l).(inl_fill.(l)) <- id;
         inl_fill.(l) <- inl_fill.(l) + 1
       end

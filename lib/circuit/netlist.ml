@@ -2,20 +2,35 @@ module Growable = Pytfhe_util.Growable
 
 type id = int
 
-type kind = Input of int | Const of bool | Gate of Gate.t * id * id
+type kind =
+  | Input of int
+  | Const of bool
+  | Gate of Gate.t * id * id
+  | Lut of { table : int; ins : id array }
 
 (* kind codes in the dense store *)
 let k_input = -1
 let k_const_false = -2
 let k_const_true = -3
 
+(* programmable LUT cells, by arity: code = -3 - arity *)
+let k_lut1 = -4
+let k_lut2 = -5
+let k_lut3 = -6
+let lut_code arity = -3 - arity
+let lut_arity_of_code code = -3 - code
+
 type t = {
   kinds : Growable.t;  (* gate code, or one of the negative markers *)
   in0 : Growable.t;  (* fan-in 0; input ordinal for inputs *)
   in1 : Growable.t;
+  in2 : Growable.t;  (* third LUT operand; 0 elsewhere *)
+  tbl : Growable.t;  (* LUT truth table; 0 elsewhere *)
   hash_consing : bool;
   fold_constants : bool;
   cse : (int * int * int, id) Hashtbl.t;
+  lut_cse : (int * int * int * int, id) Hashtbl.t;  (* (arity|table, a, b, c) *)
+  lut_rots : (int * int * int * int, unit) Hashtbl.t;  (* rotation groups (arity, a, b, c) *)
   mutable const_false : id;
   mutable const_true : id;
   mutable input_names : string list;  (* reversed *)
@@ -23,6 +38,9 @@ type t = {
   mutable outs : (string * id) list;  (* reversed *)
   mutable n_gates : int;
   mutable n_bootstraps : int;
+  mutable n_luts : int;
+  mutable n_reencodes : int;
+  mutable n_lut_groups : int;
 }
 
 let create ?(hash_consing = true) ?(fold_constants = true) () =
@@ -30,9 +48,13 @@ let create ?(hash_consing = true) ?(fold_constants = true) () =
     kinds = Growable.create ~capacity:1024 ();
     in0 = Growable.create ~capacity:1024 ();
     in1 = Growable.create ~capacity:1024 ();
+    in2 = Growable.create ~capacity:1024 ();
+    tbl = Growable.create ~capacity:1024 ();
     hash_consing;
     fold_constants;
     cse = Hashtbl.create 1024;
+    lut_cse = Hashtbl.create 64;
+    lut_rots = Hashtbl.create 64;
     const_false = -1;
     const_true = -1;
     input_names = [];
@@ -40,18 +62,36 @@ let create ?(hash_consing = true) ?(fold_constants = true) () =
     outs = [];
     n_gates = 0;
     n_bootstraps = 0;
+    n_luts = 0;
+    n_reencodes = 0;
+    n_lut_groups = 0;
   }
 
 let node_count t = Growable.length t.kinds
 let gate_count t = t.n_gates
 let bootstrap_count t = t.n_bootstraps
 let input_count t = t.n_inputs
+let lut_count t = t.n_luts
+let reencode_count t = t.n_reencodes
+let lut_group_count t = t.n_lut_groups
+let has_luts t = t.n_luts + t.n_reencodes > 0
 
 let push_node t code a b =
   let id = node_count t in
   Growable.push t.kinds code;
   Growable.push t.in0 a;
   Growable.push t.in1 b;
+  Growable.push t.in2 0;
+  Growable.push t.tbl 0;
+  id
+
+let push_lut_node t code a b c table =
+  let id = node_count t in
+  Growable.push t.kinds code;
+  Growable.push t.in0 a;
+  Growable.push t.in1 b;
+  Growable.push t.in2 c;
+  Growable.push t.tbl table;
   id
 
 let input t name =
@@ -76,10 +116,24 @@ let kind t id =
   | c when c = k_input -> Input (Growable.get t.in0 id)
   | c when c = k_const_false -> Const false
   | c when c = k_const_true -> Const true
+  | c when c = k_lut1 ->
+    Lut { table = Growable.get t.tbl id; ins = [| Growable.get t.in0 id |] }
+  | c when c = k_lut2 ->
+    Lut { table = Growable.get t.tbl id; ins = [| Growable.get t.in0 id; Growable.get t.in1 id |] }
+  | c when c = k_lut3 ->
+    Lut
+      {
+        table = Growable.get t.tbl id;
+        ins = [| Growable.get t.in0 id; Growable.get t.in1 id; Growable.get t.in2 id |];
+      }
   | code -> (
     match Gate.of_code code with
     | Some g -> Gate (g, Growable.get t.in0 id, Growable.get t.in1 id)
     | None -> assert false)
+
+let is_lut t id =
+  let c = Growable.get t.kinds id in
+  c = k_lut1 || c = k_lut2 || c = k_lut3
 
 let const_value t id =
   match Growable.get t.kinds id with
@@ -175,6 +229,96 @@ let mux t s x y =
   let nsy = gate t Gate.Andny s y in
   gate t Gate.Or sx nsy
 
+(* ------------------------------------------------------------------ *)
+(* Programmable LUT cells                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit_lut t ~table vars =
+  let k = Array.length vars in
+  let a = vars.(0) in
+  let b = if k > 1 then vars.(1) else 0 in
+  let c = if k > 2 then vars.(2) else 0 in
+  let record () =
+    let id = push_lut_node t (lut_code k) a b c table in
+    if k = 1 then begin
+      t.n_reencodes <- t.n_reencodes + 1;
+      t.n_bootstraps <- t.n_bootstraps + 1
+    end
+    else begin
+      t.n_luts <- t.n_luts + 1;
+      (* multi-input cells with the same operand tuple share one blind
+         rotation at execution time, so only the first of a group costs a
+         bootstrap *)
+      let key = (k, a, b, c) in
+      if not (Hashtbl.mem t.lut_rots key) then begin
+        Hashtbl.add t.lut_rots key ();
+        t.n_lut_groups <- t.n_lut_groups + 1;
+        t.n_bootstraps <- t.n_bootstraps + 1
+      end
+    end;
+    id
+  in
+  if t.hash_consing then begin
+    let key = ((table lsl 2) lor k, a, b, c) in
+    match Hashtbl.find_opt t.lut_cse key with
+    | Some id -> id
+    | None ->
+      let id = record () in
+      Hashtbl.add t.lut_cse key id;
+      id
+  end
+  else record ()
+
+let lut t ~table ins =
+  let arity = Array.length ins in
+  if arity < 1 || arity > 3 then invalid_arg "Netlist.lut: arity must be 1, 2 or 3";
+  let n = node_count t in
+  Array.iter (fun a -> if a < 0 || a >= n then invalid_arg "Netlist.lut: unknown fan-in") ins;
+  let tsize = 1 lsl (1 lsl arity) in
+  if table < 0 || table >= tsize then invalid_arg "Netlist.lut: table out of range for arity";
+  (* Canonical form: constant operands specialised away, duplicates merged,
+     the survivors sorted ascending, and the table re-indexed to match.
+     Constants are always folded — multi-input cells require lutdom
+     operands, and a constant has no lutdom node. *)
+  let vars =
+    Array.to_list ins
+    |> List.filter (fun i -> const_value t i = None)
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  let k = Array.length vars in
+  let table' = ref 0 in
+  for m = 0 to (1 lsl k) - 1 do
+    let value_of id =
+      match const_value t id with
+      | Some v -> v
+      | None ->
+        let j = ref 0 in
+        while vars.(!j) <> id do
+          incr j
+        done;
+        (m lsr (k - 1 - !j)) land 1 = 1
+    in
+    let m_orig = Array.fold_left (fun acc id -> (acc * 2) + Bool.to_int (value_of id)) 0 ins in
+    if (table lsr m_orig) land 1 = 1 then table' := !table' lor (1 lsl m)
+  done;
+  let table = !table' in
+  if k = 0 then const t (table land 1 = 1)
+  else if t.fold_constants && (table = 0 || table = (1 lsl (1 lsl k)) - 1) then
+    (* the respecialised function is constant *)
+    const t (table land 1 = 1)
+  else if t.fold_constants && k = 1 && table = 0b10 && is_lut t vars.(0) then
+    (* identity over an operand already in lutdom *)
+    vars.(0)
+  else begin
+    if k >= 2 then
+      Array.iter
+        (fun id ->
+          if not (is_lut t id) then
+            invalid_arg "Netlist.lut: multi-input LUT operands must be LUT nodes")
+        vars;
+    emit_lut t ~table vars
+  end
+
 let mark_output t name id =
   if id < 0 || id >= node_count t then invalid_arg "Netlist.mark_output: unknown node";
   t.outs <- (name, id) :: t.outs
@@ -211,6 +355,17 @@ let eval t ins =
     if code = k_input then values.(id) <- ins.(Growable.get t.in0 id)
     else if code = k_const_false then values.(id) <- false
     else if code = k_const_true then values.(id) <- true
+    else if code <= k_lut1 then begin
+      let arity = lut_arity_of_code code in
+      let operand j =
+        Growable.get (match j with 0 -> t.in0 | 1 -> t.in1 | _ -> t.in2) id
+      in
+      let m = ref 0 in
+      for j = 0 to arity - 1 do
+        m := (!m * 2) + Bool.to_int values.(operand j)
+      done;
+      values.(id) <- (Growable.get t.tbl id lsr !m) land 1 = 1
+    end
     else
       match Gate.of_code code with
       | Some g ->

@@ -18,6 +18,12 @@ type kind =
   | Input of int  (** Ordinal among the circuit's inputs. *)
   | Const of bool  (** A public constant. *)
   | Gate of Gate.t * id * id  (** [Not] stores its fan-in twice. *)
+  | Lut of { table : int; ins : id array }
+      (** Programmable LUT cell of arity 1–3.  Bit [m] of [table] is the
+          output for the operand assignment [m] read MSB-first
+          ([ins.(0)] is the message MSB).  Arity-1 cells take a classic
+          operand (a reencode when [table = 0b10]); multi-input cells
+          take lutdom operands, i.e. other [Lut] nodes. *)
 
 val create : ?hash_consing:bool -> ?fold_constants:bool -> unit -> t
 (** Fresh empty netlist; both optimizations default to [true]. *)
@@ -39,6 +45,19 @@ val mux : t -> id -> id -> id -> id
 (** [mux t s x y] = if s then x else y, lowered onto the 11-gate cell
     library as OR(AND(s,x), ANDNY(s,y)). *)
 
+val lut : t -> table:int -> id array -> id
+(** Add a programmable LUT cell over 1–3 existing nodes.  The node is
+    canonicalised before insertion: constant operands are always folded
+    into the table (multi-input cells require lutdom operands, which
+    constants cannot be), duplicate operands merged, and the survivors
+    sorted ascending with the table re-indexed to match — so cells that
+    compute over the same operand set share one operand tuple and hence
+    one blind rotation at execution time.  Under [fold_constants],
+    constant tables collapse to {!const} and the lutdom identity
+    ([table = 0b10] over a [Lut] operand) returns the operand.  Raises
+    [Invalid_argument] on arity ∉ 1–3, a table wider than 2^2^arity, an
+    unknown fan-in, or a non-[Lut] operand of a multi-input cell. *)
+
 val mark_output : t -> string -> id -> unit
 (** Register a named primary output. *)
 
@@ -49,9 +68,27 @@ val gate_count : t -> int
 (** Gates only (the quantity every PyTFHE experiment reports). *)
 
 val bootstrap_count : t -> int
-(** Gates that cost a bootstrapping (everything but [Not]). *)
+(** Blind rotations an execution performs: every gate but [Not], every
+    arity-1 LUT cell, and one per {e rotation group} — multi-input LUT
+    cells sharing an operand tuple share one rotation. *)
 
 val input_count : t -> int
+
+val lut_count : t -> int
+(** Multi-input (arity ≥ 2) LUT cells. *)
+
+val reencode_count : t -> int
+(** Arity-1 LUT cells (classic → lutdom conversions and sign cells). *)
+
+val lut_group_count : t -> int
+(** Distinct rotation groups among the multi-input LUT cells. *)
+
+val has_luts : t -> bool
+(** Whether any LUT cell is present (backends without LUT support use
+    this to refuse early). *)
+
+val is_lut : t -> id -> bool
+(** Whether a node is a LUT cell (its value is lutdom-encoded). *)
 
 val kind : t -> id -> kind
 (** Classify a node. Raises [Invalid_argument] on an unknown id. *)

@@ -4,6 +4,9 @@ type t = {
   outputs : int;
   gates : int;
   bootstraps : int;
+  luts : int;
+  reencodes : int;
+  lut_groups : int;
   per_gate : (Gate.t * int) list;
   depth : int;
   max_width : int;
@@ -24,6 +27,9 @@ let compute net =
     outputs = List.length (Netlist.outputs net);
     gates = Netlist.gate_count net;
     bootstraps = Netlist.bootstrap_count net;
+    luts = Netlist.lut_count net;
+    reencodes = Netlist.reencode_count net;
+    lut_groups = Netlist.lut_group_count net;
     per_gate;
     depth = sched.Levelize.depth;
     max_width = Levelize.max_width sched;
@@ -45,4 +51,7 @@ let pp fmt t =
     "nodes=%d inputs=%d outputs=%d gates=%d bootstraps=%d depth=%d max_width=%d avg_width=%.1f serial=%.1f%%@."
     t.nodes t.inputs t.outputs t.gates t.bootstraps t.depth t.max_width t.average_width
     (100.0 *. t.serial_fraction);
+  if t.luts + t.reencodes > 0 then
+    Format.fprintf fmt "  luts=%d (in %d rotation groups) reencodes=%d@." t.luts t.lut_groups
+      t.reencodes;
   pp_distribution fmt t

@@ -7,7 +7,12 @@ type t = {
   inputs : int;
   outputs : int;
   gates : int;
-  bootstraps : int;  (** Gates that cost a bootstrapping (all but NOT). *)
+  bootstraps : int;
+      (** Blind rotations an execution performs: all gates but NOT, every
+          arity-1 LUT cell, one per LUT rotation group. *)
+  luts : int;  (** Multi-input (arity ≥ 2) programmable LUT cells. *)
+  reencodes : int;  (** Arity-1 LUT cells (classic → lutdom conversions). *)
+  lut_groups : int;  (** Distinct rotation groups among the LUT cells. *)
   per_gate : (Gate.t * int) list;  (** Count per gate type, encoding order. *)
   depth : int;  (** Critical path in bootstrapped gates. *)
   max_width : int;

@@ -15,7 +15,7 @@ type compiled = {
   opt_report : Opt.report option;
 }
 
-let compile ?(obs = Trace.null) ?(optimize = true) ~name net =
+let compile ?(obs = Trace.null) ?(optimize = true) ?(lut_cover = false) ~name net =
   (* One span per compile phase on a "compile" track; phases run strictly
      sequentially, so the track's spans can never overlap. *)
   let tr = Trace.new_track obs ~name:"compile" in
@@ -29,7 +29,12 @@ let compile ?(obs = Trace.null) ?(optimize = true) ~name net =
     end
   in
   let netlist, opt_report =
-    if optimize then
+    if lut_cover then
+      (* The covering pass subsumes optimize: it rebuilds (fold, CSE,
+         inverter absorption, DCE) before and after covering. *)
+      let covered, report = phase "lut-cover" (fun () -> Opt.lut_cover net) in
+      (covered, Some report)
+    else if optimize then
       let optimized, report = phase "optimize" (fun () -> Opt.optimize net) in
       (optimized, Some report)
     else (net, None)

@@ -19,10 +19,15 @@ type compiled = {
 
 val compile :
   ?obs:Pytfhe_obs.Trace.sink ->
-  ?optimize:bool -> name:string -> Pytfhe_circuit.Netlist.t -> compiled
-(** Optimize (default [true]), levelize and assemble a circuit.  With an
-    enabled [obs] sink, emits one span per compile phase
-    (optimize/assemble/stats/levelize) on a ["compile"] track. *)
+  ?optimize:bool -> ?lut_cover:bool -> name:string -> Pytfhe_circuit.Netlist.t -> compiled
+(** Optimize (default [true]), levelize and assemble a circuit.  With
+    [~lut_cover:true] (default [false]) the synthesis phase runs
+    {!Pytfhe_synth.Opt.lut_cover} instead of plain {!Pytfhe_synth.Opt.optimize}:
+    gate cones collapse into programmable LUT cells, typically cutting the
+    bootstrap count well below the classic gate library's (the CLI exposes
+    this as [--lut-cover]).  With an enabled [obs] sink, emits one span per
+    compile phase (optimize or lut-cover/assemble/stats/levelize) on a
+    ["compile"] track. *)
 
 val compile_model :
   name:string -> dtype:Pytfhe_chiseltorch.Dtype.t -> input_shape:int array ->

@@ -48,6 +48,7 @@ let rebuild ?(hash_consing = true) ?(fold_constants = true) ?(absorb_not = true)
         | Netlist.Gate (_, a, b) ->
           live.(a) <- true;
           live.(b) <- true
+        | Netlist.Lut { ins; _ } -> Array.iter (fun a -> live.(a) <- true) ins
         | Netlist.Input _ | Netlist.Const _ -> ()
     done
   end;
@@ -59,7 +60,7 @@ let rebuild ?(hash_consing = true) ?(fold_constants = true) ?(absorb_not = true)
     (* If the (new) node is a NOT gate, return what it negates. *)
     match Netlist.kind fresh id with
     | Netlist.Gate (Gate.Not, x, _) -> Some x
-    | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ -> None
+    | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> None
   in
   let emit g a b =
     if not absorb_not then Netlist.gate fresh g a b
@@ -84,6 +85,11 @@ let rebuild ?(hash_consing = true) ?(fold_constants = true) ?(absorb_not = true)
       map.(id) <- Netlist.input fresh input_names.(id)
     | Netlist.Const v -> if live.(id) then map.(id) <- Netlist.const fresh v
     | Netlist.Gate (g, a, b) -> if live.(id) then map.(id) <- emit g map.(a) map.(b)
+    | Netlist.Lut { table; ins } ->
+      (* LUT cells pass through unchanged (inverter absorption belongs to
+         the covering pass, which owns table polarity). *)
+      if live.(id) then
+        map.(id) <- Netlist.lut fresh ~table (Array.map (fun a -> map.(a)) ins)
   done;
   List.iter (fun (name, id) -> Netlist.mark_output fresh name map.(id)) (Netlist.outputs net);
   fresh
@@ -98,6 +104,331 @@ let optimize net =
       gates_after = Netlist.gate_count optimized;
       bootstraps_before = Netlist.bootstrap_count net;
       bootstraps_after = Netlist.bootstrap_count optimized;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* LUT covering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let max_lut_arity = 3
+let cuts_per_node = 8
+
+(* A cut is a sorted array of leaf ids; every path from the root to the
+   primary inputs crosses the cut, so the root is a boolean function of
+   the leaves alone. *)
+let cut_key c =
+  match c with
+  | [| a |] -> (1, a, -1, -1)
+  | [| a; b |] -> (2, a, b, -1)
+  | [| a; b; c |] -> (3, a, b, c)
+  | _ -> assert false
+
+(* Sorted-unique union of two cuts; [None] past [max_lut_arity] leaves. *)
+let merge_cut a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make max_lut_arity 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let ok = ref true in
+  while !ok && (!i < la || !j < lb) do
+    let v =
+      if !i >= la then begin
+        let v = b.(!j) in
+        incr j; v
+      end
+      else if !j >= lb then begin
+        let v = a.(!i) in
+        incr i; v
+      end
+      else if a.(!i) < b.(!j) then begin
+        let v = a.(!i) in
+        incr i; v
+      end
+      else if a.(!i) > b.(!j) then begin
+        let v = b.(!j) in
+        incr j; v
+      end
+      else begin
+        let v = a.(!i) in
+        incr i; incr j; v
+      end
+    in
+    if !k >= max_lut_arity then ok := false
+    else begin
+      out.(!k) <- v;
+      incr k
+    end
+  done;
+  if !ok then Some (Array.sub out 0 !k) else None
+
+(* Bottom-up cut enumeration, [cuts_per_node] best (smallest first) kept
+   per node.  NOT gates are transparent — their operand's cuts pass
+   through, which is what lets table polarity absorb inverters for free.
+   Inputs, constants and existing LUT cells are always leaves. *)
+let enumerate_cuts net =
+  let n = Netlist.node_count net in
+  let cuts = Array.make n [] in
+  for id = 0 to n - 1 do
+    let merged =
+      match Netlist.kind net id with
+      | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> []
+      | Netlist.Gate (g, a, _) when Gate.is_unary g -> cuts.(a)
+      | Netlist.Gate (_, a, b) ->
+        List.concat_map
+          (fun ca -> List.filter_map (fun cb -> merge_cut ca cb) cuts.(b))
+          cuts.(a)
+    in
+    let seen = Hashtbl.create 16 in
+    let uniq =
+      List.filter
+        (fun c ->
+          let k = cut_key c in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        merged
+    in
+    let sorted =
+      List.sort
+        (fun x y ->
+          let c = compare (Array.length x) (Array.length y) in
+          if c <> 0 then c else compare x y)
+        uniq
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    cuts.(id) <- [| id |] :: take (cuts_per_node - 1) sorted
+  done;
+  cuts
+
+(* The root's truth table over [leaves] (MSB-first: leaf 0 indexes the top
+   message bit, matching [Netlist.lut]): plain cone simulation, one memo
+   per input vector. *)
+let cone_table net root leaves =
+  let k = Array.length leaves in
+  let leaf_pos id =
+    let p = ref (-1) in
+    Array.iteri (fun j l -> if l = id then p := j) leaves;
+    !p
+  in
+  let table = ref 0 in
+  for m = 0 to (1 lsl k) - 1 do
+    let memo = Hashtbl.create 16 in
+    let rec v id =
+      let p = leaf_pos id in
+      if p >= 0 then (m lsr (k - 1 - p)) land 1 = 1
+      else
+        match Hashtbl.find_opt memo id with
+        | Some b -> b
+        | None ->
+          let b =
+            match Netlist.kind net id with
+            | Netlist.Const b -> b
+            | Netlist.Gate (g, a, b') -> Gate.eval g (v a) (v b')
+            | Netlist.Input _ | Netlist.Lut _ ->
+              invalid_arg "Opt.lut_cover: cone escapes its cut"
+          in
+          Hashtbl.add memo id b;
+          b
+    in
+    if v root then table := !table lor (1 lsl m)
+  done;
+  !table
+
+let lut_cover net =
+  let gates_before = Netlist.gate_count net in
+  let bootstraps_before = Netlist.bootstrap_count net in
+  (* Clean slate first — fold, CSE, inverter absorption and DCE — so the
+     fan-out counts below reflect live structure only. *)
+  let net = rebuild net in
+  let n = Netlist.node_count net in
+  let cuts = enumerate_cuts net in
+  (* Live fan-out counts (references from gates, LUT cells and output
+     marks).  The covering pass maintains them incrementally: a committed
+     cover deletes its cone's exclusive interior. *)
+  let uses = Array.make n 0 in
+  for id = 0 to n - 1 do
+    match Netlist.kind net id with
+    | Netlist.Gate (g, a, b) ->
+      uses.(a) <- uses.(a) + 1;
+      if not (Gate.is_unary g) then uses.(b) <- uses.(b) + 1
+    | Netlist.Lut { ins; _ } -> Array.iter (fun a -> uses.(a) <- uses.(a) + 1) ins
+    | Netlist.Input _ | Netlist.Const _ -> ()
+  done;
+  List.iter (fun (_, id) -> uses.(id) <- uses.(id) + 1) (Netlist.outputs net);
+  let is_candidate id =
+    match Netlist.kind net id with
+    | Netlist.Gate (g, _, _) -> not (Gate.is_unary g)
+    | _ -> false
+  in
+  (* cut key -> all candidate roots whose function is expressible over the
+     cut's leaves.  Roots sharing a tuple ride one blind rotation, so they
+     are covered together. *)
+  let cut_roots = Hashtbl.create 256 in
+  for id = 0 to n - 1 do
+    if is_candidate id then
+      List.iter
+        (fun c ->
+          if Array.length c >= 2 then begin
+            let key = cut_key c in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt cut_roots key) in
+            Hashtbl.replace cut_roots key (id :: prev)
+          end)
+        cuts.(id)
+  done;
+  let covered : int array option array = Array.make n None in
+  let chosen_tuples = Hashtbl.create 64 in
+  let reencoded = Hashtbl.create 64 in
+  let is_lutdom id =
+    covered.(id) <> None
+    || (match Netlist.kind net id with Netlist.Lut _ -> true | _ -> false)
+  in
+  (* Tentatively cover every live uncovered root sharing cut [c]; the gain
+     is the bootstrap balance: gates whose execution disappears (the roots
+     plus their now-dead exclusive cone interior) against one blind
+     rotation per new tuple plus one reencode per classic leaf not already
+     converted.  Commits keep the fan-out decrements and register the
+     cover; dry runs and losing bids roll back. *)
+  let attempt c ~commit =
+    if Array.exists (fun l -> uses.(l) <= 0) c then min_int
+    else begin
+      let key = cut_key c in
+      let riders =
+        Option.value ~default:[] (Hashtbl.find_opt cut_roots key)
+        |> List.filter (fun r -> covered.(r) = None && uses.(r) > 0)
+        |> List.sort_uniq compare
+      in
+      if riders = [] then min_int
+      else begin
+        let in_cut id = Array.exists (Int.equal id) c in
+        let touched = Hashtbl.create 32 in
+        let dec id =
+          if not (Hashtbl.mem touched id) then Hashtbl.add touched id uses.(id);
+          uses.(id) <- uses.(id) - 1;
+          uses.(id) = 0
+        in
+        let rollback () = Hashtbl.iter (fun id u -> uses.(id) <- u) touched in
+        let pushed = Hashtbl.create 32 in
+        let stack = ref riders in
+        List.iter (fun r -> Hashtbl.replace pushed r ()) riders;
+        let saved = ref 0 in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | id :: tl ->
+            stack := tl;
+            (match Netlist.kind net id with
+            | Netlist.Gate (g, a, b) ->
+              if not (Gate.is_unary g) then incr saved;
+              let ops = if Gate.is_unary g then [ a ] else [ a; b ] in
+              List.iter
+                (fun a ->
+                  if not (in_cut a) then
+                    if
+                      dec a
+                      && (not (Hashtbl.mem pushed a))
+                      && covered.(a) = None
+                      && match Netlist.kind net a with Netlist.Gate _ -> true | _ -> false
+                    then begin
+                      Hashtbl.replace pushed a ();
+                      stack := a :: !stack
+                    end)
+                ops
+            | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false)
+        done;
+        (* Riders whose fan-outs all died in the cascade are cone-interior
+           to the others: they need no cell of their own. *)
+        let final_roots = List.filter (fun r -> uses.(r) > 0) riders in
+        let new_reencodes =
+          Array.fold_left
+            (fun acc l ->
+              if (not (is_lutdom l)) && not (Hashtbl.mem reencoded l) then acc + 1 else acc)
+            0 c
+        in
+        let rotation = if Hashtbl.mem chosen_tuples key then 0 else 1 in
+        let gain = !saved - rotation - new_reencodes in
+        if commit && gain >= 0 && final_roots <> [] then begin
+          Hashtbl.replace chosen_tuples key ();
+          Array.iter
+            (fun l ->
+              if is_lutdom l then uses.(l) <- uses.(l) + List.length final_roots
+              else if not (Hashtbl.mem reencoded l) then begin
+                Hashtbl.add reencoded l ();
+                uses.(l) <- uses.(l) + 1
+              end
+              else ())
+            c;
+          List.iter (fun r -> covered.(r) <- Some c) final_roots;
+          gain
+        end
+        else begin
+          rollback ();
+          if final_roots = [] then min_int else gain
+        end
+      end
+    end
+  in
+  for id = 0 to n - 1 do
+    if is_candidate id && covered.(id) = None && uses.(id) > 0 then begin
+      let best = ref None in
+      List.iter
+        (fun c ->
+          if Array.length c >= 2 then begin
+            let g = attempt c ~commit:false in
+            match !best with
+            | Some (bg, _) when bg >= g -> ()
+            | Some _ | None -> if g >= 0 then best := Some (g, c)
+          end)
+        cuts.(id);
+      match !best with
+      | Some (_, c) -> ignore (attempt c ~commit:true)
+      | None -> ()
+    end
+  done;
+  (* Re-emit: covered roots become LUT cells over their (lutdom) leaves,
+     classic leaves gain one shared reencode cell each, everything else
+     passes through.  The final rebuild drops the cone interiors that lost
+     their last fan-out. *)
+  let fresh = Netlist.create ~hash_consing:true ~fold_constants:true () in
+  let map = Array.make n (-1) in
+  let input_names = Array.make n "" in
+  List.iter (fun (name, id) -> input_names.(id) <- name) (Netlist.inputs net);
+  let reenc = Hashtbl.create 32 in
+  let lutdom_operand l =
+    let m = map.(l) in
+    if Netlist.is_lut fresh m then m
+    else
+      match Hashtbl.find_opt reenc m with
+      | Some x -> x
+      | None ->
+        let x = Netlist.lut fresh ~table:0b10 [| m |] in
+        Hashtbl.add reenc m x;
+        x
+  in
+  for id = 0 to n - 1 do
+    match covered.(id) with
+    | Some c ->
+      let table = cone_table net id c in
+      map.(id) <- Netlist.lut fresh ~table (Array.map lutdom_operand c)
+    | None -> (
+      match Netlist.kind net id with
+      | Netlist.Input _ -> map.(id) <- Netlist.input fresh input_names.(id)
+      | Netlist.Const v -> map.(id) <- Netlist.const fresh v
+      | Netlist.Gate (g, a, b) -> map.(id) <- Netlist.gate fresh g map.(a) map.(b)
+      | Netlist.Lut { table; ins } ->
+        map.(id) <- Netlist.lut fresh ~table (Array.map (fun a -> map.(a)) ins))
+  done;
+  List.iter (fun (name, id) -> Netlist.mark_output fresh name map.(id)) (Netlist.outputs net);
+  let out = rebuild fresh in
+  ( out,
+    {
+      gates_before;
+      gates_after = Netlist.gate_count out;
+      bootstraps_before;
+      bootstraps_after = Netlist.bootstrap_count out;
     } )
 
 let pp_report fmt r =

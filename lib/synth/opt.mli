@@ -33,6 +33,19 @@ val rebuild :
 val optimize : Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.t * report
 (** Run all passes and report the gate-count change. *)
 
+val lut_cover : Pytfhe_circuit.Netlist.t -> Pytfhe_circuit.Netlist.t * report
+(** Greedy programmable-LUT covering: enumerate 2-/3-input cuts per gate
+    (NOT gates are transparent — table polarity absorbs them for free),
+    then cover gates whose cone balance pays for itself: roots sharing a
+    leaf tuple ride one blind rotation, classic leaves cost one shared
+    reencode cell each, and a cover is committed only when the bootstraps
+    it removes (the roots plus their newly-dead exclusive cone interior)
+    meet or beat that price.  Runs {!rebuild} before and after, so the
+    result is also folded, hashed and dead-code-free.  Outputs compute the
+    same boolean functions; bootstrap counts ({!report}, or
+    [Pytfhe_circuit.Stats]) drop on LUT-friendly structures such as adder
+    and comparator chains. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val equivalent :

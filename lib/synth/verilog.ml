@@ -33,6 +33,11 @@ let expr_of_gate g a b =
   | Gate.Oryn -> Printf.sprintf "%s | ~%s" a b
 
 let export ?(module_name = "pytfhe_top") net =
+  (* The structural-Verilog subset is the 2-input gate library; programmable
+     LUT cells have no cell type there.  Export before covering, or not at
+     all. *)
+  if Netlist.has_luts net then
+    invalid_arg "Verilog.export: netlist contains LUT cells (no Verilog cell type)";
   let buf = Buffer.create 4096 in
   let names = Hashtbl.create 64 in
   let used = Hashtbl.create 64 in
@@ -75,7 +80,7 @@ let export ?(module_name = "pytfhe_top") net =
       match Netlist.kind net id with
       | Netlist.Const false -> "1'b0"
       | Netlist.Const true -> "1'b1"
-      | Netlist.Input _ | Netlist.Gate _ -> Printf.sprintf "n%d" id)
+      | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> Printf.sprintf "n%d" id)
   in
   Netlist.iter_gates net (fun id _ _ _ ->
       Buffer.add_string buf (Printf.sprintf "  wire n%d;\n" id));

@@ -14,7 +14,7 @@ let bit_of_node net id =
   match Netlist.kind net id with
   | Netlist.Const false -> Json.String "0"
   | Netlist.Const true -> Json.String "1"
-  | Netlist.Input _ | Netlist.Gate _ -> Json.Number (float_of_int (id + 2))
+  | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> Json.Number (float_of_int (id + 2))
 
 let cell_of_gate g =
   (* (yosys type, input port bindings given fan-ins a b) *)
@@ -32,6 +32,10 @@ let cell_of_gate g =
   | Gate.Orny -> ("$_ORNOT_", fun a b -> [ ("A", b); ("B", a) ])
 
 let export ?(module_name = "pytfhe_top") net =
+  (* Yosys's 2-input gate-level cell library has no programmable LUT cell;
+     export before covering, or not at all. *)
+  if Netlist.has_luts net then
+    invalid_arg "Yosys_json.export: netlist contains LUT cells (no yosys cell type)";
   let ports =
     List.map
       (fun (name, id) ->

@@ -118,17 +118,11 @@ let row_bytes (p : Params.t) =
   | Pytfhe_fft.Transform.Fft -> rows * (p.tlwe.k + 1) * (p.tlwe.ring_n / 2) * 16
   | Pytfhe_fft.Transform.Ntt -> rows * (p.tlwe.k + 1) * p.tlwe.ring_n * 8
 
-let blind_rotate_batch_into (p : Params.t) (bt : batch) key ~testvect (ss : Lwe.sample array)
-    ~count =
-  let n = p.tlwe.ring_n in
-  let n2 = 2 * n in
-  for b = 0 to count - 1 do
-    let acc = bt.baccs.(b) in
-    let barb = Torus.mod_switch_from ss.(b).Lwe.b ~msize:n2 in
-    Array.iter (fun m -> Array.fill m 0 n 0) acc.Tlwe.mask;
-    Poly.mul_by_xai_into acc.Tlwe.body ((n2 - barb) mod n2) testvect
-  done;
-  (* The loop interchange: key entry i is read once for the whole batch. *)
+(* The loop interchange: key entry i is read once for the whole batch.
+   Shared between the uniform-test-vector batch and the mixed-job batch —
+   per accumulator the CMux sequence is identical to the scalar walk. *)
+let batch_cmux_sweep (p : Params.t) (bt : batch) key (ss : Lwe.sample array) ~count =
+  let n2 = 2 * p.tlwe.ring_n in
   for i = 0 to Array.length key.bsk - 1 do
     let touched = ref false in
     for b = 0 to count - 1 do
@@ -140,6 +134,18 @@ let blind_rotate_batch_into (p : Params.t) (bt : batch) key ~testvect (ss : Lwe.
     done;
     if !touched then bt.bsk_rows_streamed <- bt.bsk_rows_streamed + 1
   done
+
+let blind_rotate_batch_into (p : Params.t) (bt : batch) key ~testvect (ss : Lwe.sample array)
+    ~count =
+  let n = p.tlwe.ring_n in
+  let n2 = 2 * n in
+  for b = 0 to count - 1 do
+    let acc = bt.baccs.(b) in
+    let barb = Torus.mod_switch_from ss.(b).Lwe.b ~msize:n2 in
+    Array.iter (fun m -> Array.fill m 0 n 0) acc.Tlwe.mask;
+    Poly.mul_by_xai_into acc.Tlwe.body ((n2 - barb) mod n2) testvect
+  done;
+  batch_cmux_sweep p bt key ss ~count
 
 let batch_with p bt key ~mu (ss : Lwe.sample array) =
   let count = Array.length ss in
@@ -238,3 +244,89 @@ let programmable (p : Params.t) key ~msize f s =
   let centred = { s with Lwe.b = Torus.add s.Lwe.b (Torus.mod_switch_to 1 ~msize:(4 * msize)) } in
   let rotated = blind_rotate p key ~testvect centred in
   Tlwe.extract_lwe p rotated
+
+(* ------------------------------------------------------------------ *)
+(* Indicator bootstrapping for LUT cells                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every 2-/3-input LUT cell runs the same table-independent rotation: the
+   test vector is a staircase whose top slot carries 1/16 (the lutdom unit)
+   and the table is applied afterwards, as a sum of extracted indicator
+   slots.  Extracting coefficient k·slot of the rotated accumulator yields
+   an encryption of [m = msize−1−k]/16: writing u = m + k, the read lands
+   on slot u for u ≤ msize−1 (positive sign, only u = msize−1 is hot) and
+   on slot u − msize with a negacyclic sign flip otherwise — where the
+   staircase is 0 because u − msize ≤ msize−2.  One blind rotation thus
+   serves any number of tables over the same inputs (multi-value
+   bootstrapping), and fusing nodes that share inputs is pure memoization:
+   the rotation is deterministic, so fused and unfused execution are
+   bit-identical. *)
+
+let lut_amplitude = Torus.mod_switch_to 1 ~msize:16
+
+let fill_lut_testvect (p : Params.t) ~msize tv =
+  let n = p.Params.tlwe.ring_n in
+  if msize <= 0 || n mod msize <> 0 then
+    invalid_arg "Bootstrap.fill_lut_testvect: msize must divide the ring degree";
+  let slot = n / msize in
+  Array.fill tv 0 ((msize - 1) * slot) 0;
+  Array.fill tv ((msize - 1) * slot) slot lut_amplitude
+
+(* The same in-slot centring as {!programmable}, applied to the body so the
+   scalar and batched paths build bit-identical rotation inputs. *)
+let lut_centre ~msize (s : Lwe.sample) =
+  { s with Lwe.b = Torus.add s.Lwe.b (Torus.mod_switch_to 1 ~msize:(4 * msize)) }
+
+let lut_extract_indicators (p : Params.t) ~msize acc =
+  let slot = p.Params.tlwe.ring_n / msize in
+  (* Index by message value m: indicator m sits at slot (msize−1−m)·slot. *)
+  Array.init msize (fun m -> Tlwe.extract_lwe_at p ~pos:((msize - 1 - m) * slot) acc)
+
+let lut_indicators (p : Params.t) ctx key ~msize s =
+  fill_lut_testvect p ~msize ctx.testvect;
+  blind_rotate_into p ctx.ws key ~testvect:ctx.testvect ~acc:ctx.acc (lut_centre ~msize s);
+  lut_extract_indicators p ~msize ctx.acc
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-job batched bootstrapping                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A wave can mix sign bootstraps (classic gates and arity-1 LUT cells,
+   each with its own ±mu) with indicator rotations (LUT cells); the key is
+   still streamed once for the whole batch.  Per member the operation
+   sequence is identical to the scalar path, so results stay bit-exact. *)
+
+type job = Job_sign of Torus.t | Job_lut of int  (** message-space size *)
+
+let batch_jobs (p : Params.t) (bt : batch) key (jobs : job array) (ss : Lwe.sample array) =
+  let count = Array.length ss in
+  if Array.length jobs <> count then invalid_arg "Bootstrap.batch_jobs: job/sample mismatch";
+  if count = 0 then [||]
+  else begin
+    if count > bt.bcap then
+      invalid_arg "Bootstrap.batch_jobs: batch larger than the workspace capacity";
+    let n = p.tlwe.ring_n in
+    let n2 = 2 * n in
+    for b = 0 to count - 1 do
+      let acc = bt.baccs.(b) in
+      Array.iter (fun m -> Array.fill m 0 n 0) acc.Tlwe.mask;
+      let body =
+        match jobs.(b) with
+        | Job_sign mu ->
+          Array.fill bt.btestvect 0 n mu;
+          ss.(b).Lwe.b
+        | Job_lut msize ->
+          fill_lut_testvect p ~msize bt.btestvect;
+          Torus.add ss.(b).Lwe.b (Torus.mod_switch_to 1 ~msize:(4 * msize))
+      in
+      let barb = Torus.mod_switch_from body ~msize:n2 in
+      Poly.mul_by_xai_into acc.Tlwe.body ((n2 - barb) mod n2) bt.btestvect
+    done;
+    batch_cmux_sweep p bt key ss ~count;
+    bt.launches <- bt.launches + 1;
+    bt.gates_batched <- bt.gates_batched + count;
+    Array.init count (fun b ->
+        match jobs.(b) with
+        | Job_sign _ -> [| Tlwe.extract_lwe p bt.baccs.(b) |]
+        | Job_lut msize -> lut_extract_indicators p ~msize bt.baccs.(b))
+  end

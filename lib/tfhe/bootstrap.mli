@@ -141,3 +141,50 @@ val programmable :
     μ ∈ [0, msize) in the half-torus encoding μ/(2·msize); the result (under
     the extracted key) carries the torus value [f μ].  [msize] must divide
     the ring degree N. *)
+
+(** {2 Indicator bootstrapping for LUT cells}
+
+    The circuit-level LUT cells all run one {e table-independent} rotation:
+    the test vector is a staircase whose top slot carries the lutdom unit
+    1/16, and extracting coefficient [(msize−1−m)·N/msize] of the rotated
+    accumulator yields an encryption of [\[message = m\]/16].  The table is
+    applied afterwards as a plain sum of indicators, so one blind rotation
+    serves any number of tables over the same inputs (multi-value
+    bootstrapping), and sharing a rotation between nodes with identical
+    inputs is pure memoization — bit-identical to rotating per node. *)
+
+val lut_amplitude : Torus.t
+(** The lutdom unit 1/16 carried by the staircase's hot slot. *)
+
+val fill_lut_testvect : Params.t -> msize:int -> Poly.torus_poly -> unit
+(** Overwrite a ring-degree buffer with the indicator staircase for a
+    message space of [msize] (which must divide N). *)
+
+val lut_centre : msize:int -> Lwe.sample -> Lwe.sample
+(** Add the in-slot centring 1/(4·msize) to the body — the exact torus op
+    both the scalar and batched rotations apply before mod-switching. *)
+
+val lut_extract_indicators : Params.t -> msize:int -> Tlwe.sample -> Lwe.sample array
+(** Extract the [msize] indicator slots of a rotated accumulator, indexed
+    by message value (element [m] encrypts [\[message = m\]/16]) — under the
+    extracted key, before any key switch. *)
+
+val lut_indicators : Params.t -> context -> key -> msize:int -> Lwe.sample -> Lwe.sample array
+(** One indicator rotation through a context: centre, rotate the staircase,
+    extract all [msize] indicators.  The input phase must carry the
+    combined LUT message m/(2·msize). *)
+
+(** {2 Mixed-job batched bootstrapping} *)
+
+type job =
+  | Job_sign of Torus.t  (** sign bootstrap to ±mu (classic gates, arity-1 LUT cells) *)
+  | Job_lut of int  (** indicator rotation for the given message-space size *)
+
+val batch_jobs : Params.t -> batch -> key -> job array -> Lwe.sample array -> Lwe.sample array array
+(** Heterogeneous {!batch_with}: run one blind rotation per member with a
+    per-member test vector, streaming the bootstrapping key once for the
+    whole batch.  Member [i]'s result is [\[| extracted \|]] for
+    [Job_sign mu] (bit-identical to [bootstrap_with ~mu]) and the indicator
+    array for [Job_lut msize] (bit-identical to {!lut_indicators}).
+    [Job_lut] members must arrive {e uncentred} — the centring is applied
+    inside, like {!lut_indicators} does. *)

@@ -254,3 +254,166 @@ let apply_lut ck ~msize ~table c =
   let f mu = half_torus_encode ~msize (((table.(mu) mod msize) + msize) mod msize) in
   let extracted = Bootstrap.programmable p ck.bootstrap_key ~msize f c in
   Keyswitch.apply ck.keyswitch_key extracted
+
+(* ------------------------------------------------------------------ *)
+(* Programmable LUT cells (lutdom encoding)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* LUT cells carry bits in the "lutdom" encoding b/16 ∈ {0, 1/16} instead of
+   the classic ±1/8: three lutdom bits combine as 4a+2b+c into a message
+   mod 8 whose phase never leaves the negacyclic half-torus, which is what
+   makes an arbitrary 3-input table one blind rotation.  A classic bit
+   enters lutdom through an arity-1 cell (one sign bootstrap); a lutdom bit
+   converts back to classic for free via [lut_to_classic]. *)
+
+let lut_unit = Bootstrap.lut_amplitude
+
+let encrypt_lut_bit rng sk bit =
+  Lwe.encrypt rng sk.lwe_key ~stdev:sk.params.Params.lwe.Params.lwe_stdev
+    (if bit then lut_unit else Torus.zero)
+
+let decrypt_lut_bit sk c = Torus.mod_switch_from (Lwe.phase sk.lwe_key c) ~msize:16 = 1
+
+let lut_constant ck bit =
+  Lwe.trivial ~n:ck.cloud_params.lwe.n (if bit then lut_unit else Torus.zero)
+
+let lut_to_classic c =
+  (* 4·(b/16) − 1/8 = ±1/8: exact, no bootstrap.  Works at any dimension. *)
+  let n = Array.length c.Lwe.a in
+  Lwe.sub (Lwe.scale 4 c) (Lwe.trivial ~n (Torus.mod_switch_to 1 ~msize:8))
+
+let lut_combine ~n ~arity (ops : Lwe.sample array) =
+  (* φ = Σ 2^(2−i)·opsᵢ: operand 0 is the message's MSB.  The weight is
+     independent of arity — lutdom carries bits at 1/16, so weight 2^(2−i)
+     places message m at m/(2·msize) for every msize = 2^arity, which the
+     doubled rotation modulus turns into exactly m slots.  Fixed operand
+     order and exact torus adds keep every execution path bit-identical. *)
+  if Array.length ops <> arity then invalid_arg "Gates.lut_combine: arity mismatch";
+  if arity < 1 || arity > 3 then invalid_arg "Gates.lut_combine: arity out of range";
+  let acc = ref (Lwe.trivial ~n Torus.zero) in
+  for i = 0 to arity - 1 do
+    let w = 1 lsl (2 - i) in
+    let scaled = if w = 1 then ops.(i) else Lwe.scale w ops.(i) in
+    acc := Lwe.add !acc scaled
+  done;
+  !acc
+
+(* Arity-1 cells are a sign bootstrap in disguise: the classic input decides
+   between table bits t₁ (input true) and t₀, via mu = (t₁−t₀)/32 and a
+   post-keyswitch offset (t₁+t₀)/32 — landing exactly on t/16 lutdom. *)
+let thirty_second v = Torus.mul_int v (Torus.mod_switch_to 1 ~msize:32)
+let lut1_mu ~table = thirty_second (((table lsr 1) land 1) - (table land 1))
+let lut1_post ~table = thirty_second (((table lsr 1) land 1) + (table land 1))
+
+let lut_select ~n ~msize ~table ind =
+  (* Σ indicators of the table's set bits, ascending message order. *)
+  let acc = ref (Lwe.trivial ~n Torus.zero) in
+  for m = 0 to msize - 1 do
+    if (table lsr m) land 1 = 1 then acc := Lwe.add !acc ind.(m)
+  done;
+  !acc
+
+let lut_indicators_in ctx ~arity ops =
+  let p = ctx.keyset.cloud_params in
+  let combined = lut_combine ~n:p.lwe.n ~arity ops in
+  Bootstrap.lut_indicators p ctx.scratch ctx.keyset.bootstrap_key ~msize:(1 lsl arity) combined
+
+let lut_select_in ctx ~msize ~table ind =
+  let p = ctx.keyset.cloud_params in
+  Keyswitch.apply ctx.keyset.keyswitch_key
+    (lut_select ~n:(Params.extracted_n p) ~msize ~table ind)
+
+let lut1_in ctx ~table c =
+  let p = ctx.keyset.cloud_params in
+  let u = Bootstrap.bootstrap_with p ctx.scratch ctx.keyset.bootstrap_key ~mu:(lut1_mu ~table) c in
+  Lwe.add (Keyswitch.apply ctx.keyset.keyswitch_key u) (Lwe.trivial ~n:p.lwe.n (lut1_post ~table))
+
+let reencode_in ctx c = lut1_in ctx ~table:0b10 c
+
+let lut2_in ctx ~table a b =
+  lut_select_in ctx ~msize:4 ~table (lut_indicators_in ctx ~arity:2 [| a; b |])
+
+let lut3_in ctx ~table a b c =
+  lut_select_in ctx ~msize:8 ~table (lut_indicators_in ctx ~arity:3 [| a; b; c |])
+
+let lut2_multi_in ctx ~tables a b =
+  let ind = lut_indicators_in ctx ~arity:2 [| a; b |] in
+  Array.map (fun table -> lut_select_in ctx ~msize:4 ~table ind) tables
+
+let lut3_multi_in ctx ~tables a b c =
+  let ind = lut_indicators_in ctx ~arity:3 [| a; b; c |] in
+  Array.map (fun table -> lut_select_in ctx ~msize:8 ~table ind) tables
+
+let lut_cell_in ctx ~arity ~table ops =
+  if Array.length ops <> arity then invalid_arg "Gates.lut_cell_in: operand count mismatch";
+  match arity with
+  | 1 -> lut1_in ctx ~table ops.(0)
+  | 2 | 3 -> lut_select_in ctx ~msize:(1 lsl arity) ~table (lut_indicators_in ctx ~arity ops)
+  | _ -> invalid_arg "Gates.lut_cell_in: arity must be 1, 2 or 3"
+
+let reencode ck c = reencode_in (default_context ck) c
+let lut1 ck ~table c = lut1_in (default_context ck) ~table c
+let lut2 ck ~table a b = lut2_in (default_context ck) ~table a b
+let lut3 ck ~table a b c = lut3_in (default_context ck) ~table a b c
+let lut2_multi ck ~tables a b = lut2_multi_in (default_context ck) ~tables a b
+let lut3_multi ck ~tables a b c = lut3_multi_in (default_context ck) ~tables a b c
+
+(* Batched LUT-cell execution: one mixed-job rotation batch (key streamed
+   once), selects in the extracted domain, then one flat key-switch batch
+   over every output.  Per cell the op sequence matches the scalar [_in]
+   path exactly, so outputs are bit-identical to it. *)
+type batch_cell =
+  | Cell_sign of { mu : Torus.t; post : Torus.t }
+  | Cell_lut of { arity : int; tables : int array }
+
+let sign_cell ~table = Cell_sign { mu = lut1_mu ~table; post = lut1_post ~table }
+
+let bootstrap_batch_cells bc (cells : batch_cell array) (combined : Lwe.sample array) =
+  let count = Array.length cells in
+  if Array.length combined <> count then
+    invalid_arg "Gates.bootstrap_batch_cells: cell/sample mismatch";
+  if count = 0 then [||]
+  else begin
+    let p = bc.bkeyset.cloud_params in
+    let jobs =
+      Array.map
+        (function
+          | Cell_sign { mu; _ } -> Bootstrap.Job_sign mu
+          | Cell_lut { arity; _ } -> Bootstrap.Job_lut (1 lsl arity))
+        cells
+    in
+    let extracted = Bootstrap.batch_jobs p bc.bboot bc.bkeyset.bootstrap_key jobs combined in
+    let en = Params.extracted_n p in
+    let selected =
+      Array.map2
+        (fun cell ind ->
+          match cell with
+          | Cell_sign _ -> [| ind.(0) |]
+          | Cell_lut { arity; tables } ->
+            let msize = 1 lsl arity in
+            Array.map (fun table -> lut_select ~n:en ~msize ~table ind) tables)
+        cells extracted
+    in
+    let flat = Array.concat (Array.to_list selected) in
+    let switched =
+      if Array.length flat = 0 then [||]
+      else begin
+        let out, blocks = Keyswitch.apply_batch bc.bkeyset.keyswitch_key flat in
+        bc.ks_blocks <- bc.ks_blocks + blocks;
+        bc.ks_launches <- bc.ks_launches + 1;
+        out
+      end
+    in
+    let n = p.lwe.n in
+    let pos = ref 0 in
+    Array.map2
+      (fun cell sel ->
+        let len = Array.length sel in
+        let out = Array.sub switched !pos len in
+        pos := !pos + len;
+        (match cell with
+        | Cell_sign { post; _ } -> out.(0) <- Lwe.add out.(0) (Lwe.trivial ~n post)
+        | Cell_lut _ -> ());
+        out)
+      cells selected
+  end

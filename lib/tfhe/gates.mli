@@ -205,3 +205,110 @@ val apply_lut : cloud_keyset -> msize:int -> table:int array -> Lwe.sample -> Lw
 (** [apply_lut ck ~msize ~table c] returns an encryption of
     [table.(μ) mod msize] with fresh noise (one bootstrapping + one key
     switch).  [Array.length table] must equal [msize]. *)
+
+(** {2 Programmable LUT cells}
+
+    First-class 1-/2-/3-input boolean LUT cells: any k-input function is one
+    blind rotation.  LUT cells carry bits in the {e lutdom} encoding
+    b/16 ∈ {0, 1/16} (not the classic ±1/8): 2/3 lutdom bits combine
+    linearly as 2a+b / 4a+2b+c into a message mod 4/8 — operand 0 is the
+    MSB — and the table, an [arity]-th power-of-two-bit integer whose bit m
+    is the output on message m, is applied as a sum of extracted indicator
+    slots of one table-independent staircase rotation (multi-value
+    bootstrapping: the [_multi] variants reuse one rotation for several
+    tables).  A classic bit enters lutdom through an arity-1 cell (one sign
+    bootstrap); lutdom converts back to classic for free
+    ({!lut_to_classic}). *)
+
+val lut_unit : Torus.t
+(** The lutdom unit 1/16 (a true bit's torus value). *)
+
+val encrypt_lut_bit : Pytfhe_util.Rng.t -> secret_keyset -> bool -> Lwe.sample
+(** Fresh lutdom encryption of a boolean (0 or 1/16). *)
+
+val decrypt_lut_bit : secret_keyset -> Lwe.sample -> bool
+(** Decode a lutdom bit (phase rounds to 1/16 ⇒ true). *)
+
+val lut_constant : cloud_keyset -> bool -> Lwe.sample
+(** Noiseless trivial lutdom encryption of a public bit. *)
+
+val lut_to_classic : Lwe.sample -> Lwe.sample
+(** Exact lutdom→classic view 4y − 1/8 = ±1/8; no bootstrap, any
+    dimension. *)
+
+val lut_combine : n:int -> arity:int -> Lwe.sample array -> Lwe.sample
+(** The linear message combination Σ 2^(2−i)·opsᵢ of lutdom operands
+    (operand 0 is the MSB) at LWE dimension [n]; feed it to the indicator
+    rotation.  The weight 2^(2−i) is independent of arity: lutdom bits sit
+    at 1/16, so it lands message m on m/(2·msize) — one rotation slot per
+    message step — for msize 2, 4 and 8 alike. *)
+
+val lut1_mu : table:int -> Torus.t
+(** Sign-bootstrap target (t₁−t₀)/32 of an arity-1 cell with 2-bit
+    [table]. *)
+
+val lut1_post : table:int -> Torus.t
+(** Post-key-switch offset (t₁+t₀)/32 of an arity-1 cell. *)
+
+val lut_select : n:int -> msize:int -> table:int -> Lwe.sample array -> Lwe.sample
+(** Sum the indicators of the table's set bits (ascending message order) at
+    dimension [n]; runs before the key switch. *)
+
+val lut_indicators_in : context -> arity:int -> Lwe.sample array -> Lwe.sample array
+(** Combine lutdom operands and run the indicator rotation: element [m]
+    encrypts [\[message = m\]/16] under the extracted key. *)
+
+val lut_select_in : context -> msize:int -> table:int -> Lwe.sample array -> Lwe.sample
+(** {!lut_select} + key switch: one finished lutdom output per table. *)
+
+val lut1_in : context -> table:int -> Lwe.sample -> Lwe.sample
+(** Arity-1 LUT cell: classic input, lutdom output, one sign bootstrap.
+    Table 0b10 is the plain classic→lutdom reencode. *)
+
+val reencode_in : context -> Lwe.sample -> Lwe.sample
+(** [lut1_in ~table:0b10]: classic bit → lutdom bit. *)
+
+val lut2_in : context -> table:int -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val lut3_in : context -> table:int -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val lut2_multi_in : context -> tables:int array -> Lwe.sample -> Lwe.sample -> Lwe.sample array
+
+val lut3_multi_in :
+  context -> tables:int array -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample array
+(** One blind rotation, one output per table (multi-value bootstrapping). *)
+
+val lut_cell_in : context -> arity:int -> table:int -> Lwe.sample array -> Lwe.sample
+(** Uniform executor entry: arity-1 cells take a classic operand, arity-2/3
+    cells take lutdom operands.  Raises [Invalid_argument] outside
+    arity 1–3 or on an operand-count mismatch. *)
+
+val reencode : cloud_keyset -> Lwe.sample -> Lwe.sample
+val lut1 : cloud_keyset -> table:int -> Lwe.sample -> Lwe.sample
+val lut2 : cloud_keyset -> table:int -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val lut3 : cloud_keyset -> table:int -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample
+val lut2_multi : cloud_keyset -> tables:int array -> Lwe.sample -> Lwe.sample -> Lwe.sample array
+
+val lut3_multi :
+  cloud_keyset -> tables:int array -> Lwe.sample -> Lwe.sample -> Lwe.sample -> Lwe.sample array
+
+(** {3 Batched LUT-cell execution}
+
+    The wave executors batch LUT cells through one mixed-job rotation (key
+    streamed once per batch), per-table selects, and one flat key-switch
+    batch — bit-identical to the scalar [_in] cells. *)
+
+type batch_cell =
+  | Cell_sign of { mu : Torus.t; post : Torus.t }
+      (** arity-1 cell: sign bootstrap to ±mu, then add [post] *)
+  | Cell_lut of { arity : int; tables : int array }
+      (** one indicator rotation, one output per table *)
+
+val sign_cell : table:int -> batch_cell
+(** The {!Cell_sign} of an arity-1 cell's 2-bit table. *)
+
+val bootstrap_batch_cells :
+  batch_context -> batch_cell array -> Lwe.sample array -> Lwe.sample array array
+(** [bootstrap_batch_cells bc cells combined]: element [i] of the result
+    holds cell [i]'s outputs (one per table; a single element for
+    [Cell_sign]).  [combined.(i)] is the cell's already-combined input —
+    the classic operand for [Cell_sign], the {!lut_combine} sum (uncentred)
+    for [Cell_lut].  Length ≤ the batch capacity. *)

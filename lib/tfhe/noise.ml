@@ -101,3 +101,39 @@ let gate_failure_probability p =
 let check p =
   let prob = gate_failure_probability p in
   if prob < 2.0 ** -32.0 then `Ok prob else `Unsafe prob
+
+(* ------------------------------------------------------------------ *)
+(* LUT-cell message-space margins                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lut_margin ~msize = 1.0 /. float_of_int (4 * msize)
+
+let lut_output p ~msize =
+  (* A LUT output is a sum of up to msize indicator slots of one rotated
+     accumulator; their errors are at worst fully counted once each, so the
+     conservative bound is msize rotation budgets through one key switch.
+     (Arity-1 cells are a plain sign bootstrap, msize = 1.) *)
+  let rotated = add (blind_rotation p) (transform_error p) in
+  key_switch p { variance = float_of_int msize *. rotated.variance }
+
+let lut_input p ~arity =
+  (* Worst operand load at the rotation's mod switch: [arity] lutdom
+     operands, each pessimistically a full 3-input LUT output, scaled by
+     the arity-independent message weights 2^(2−i) of [Gates.lut_combine]. *)
+  let out = lut_output p ~msize:8 in
+  let w2 = ref 0.0 in
+  for i = 0 to arity - 1 do
+    let w = float_of_int (1 lsl (2 - i)) in
+    w2 := !w2 +. (w *. w)
+  done;
+  mod_switch p { variance = !w2 *. out.variance }
+
+let lut_failure_probability p ~arity =
+  if arity <= 1 then
+    (* Reencode: a classic gate output at the ±1/8 sign decision. *)
+    failure_probability ~margin:0.125 (mod_switch p (gate_output p))
+  else failure_probability ~margin:(lut_margin ~msize:(1 lsl arity)) (lut_input p ~arity)
+
+let check_lut p ~arity =
+  let prob = lut_failure_probability p ~arity in
+  if prob < 2.0 ** -32.0 then `Ok prob else `Unsafe prob

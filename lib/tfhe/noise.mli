@@ -57,3 +57,30 @@ val gate_failure_probability : Params.t -> float
 val check : Params.t -> [ `Ok of float | `Unsafe of float ]
 (** [`Ok p] when the per-gate failure probability [p] is below 2⁻³²;
     [`Unsafe p] otherwise. *)
+
+(** {2 LUT-cell message-space margins}
+
+    LUT cells trade margin for expressiveness: an arity-k indicator
+    rotation decides among 2ᵏ message slots, so the distance to the nearest
+    slot boundary shrinks from the boolean 1/8 to 1/(4·2ᵏ).  These bounds
+    say whether a parameter set can afford that — the shipped
+    [Params.default_128] cannot at arity 3 ([`Unsafe]), which is why the
+    LUT bench and tests run at [Params.test]. *)
+
+val lut_margin : msize:int -> float
+(** Half-slot phase margin 1/(4·msize) of an indicator rotation. *)
+
+val lut_output : Params.t -> msize:int -> budget
+(** Conservative variance of a LUT-cell output: up to [msize] indicator
+    slots summed, through one key switch. *)
+
+val lut_input : Params.t -> arity:int -> budget
+(** Worst variance at the rotation's mod switch: [arity] weighted lutdom
+    operands, each pessimistically a full 3-input LUT output. *)
+
+val lut_failure_probability : Params.t -> arity:int -> float
+(** Per-cell probability that the rotation lands in the wrong message slot
+    (arity 1 degrades to the boolean sign decision). *)
+
+val check_lut : Params.t -> arity:int -> [ `Ok of float | `Unsafe of float ]
+(** [`Ok p] when the per-cell failure probability is below 2⁻³². *)

@@ -62,6 +62,22 @@ let extract_lwe (p : Params.t) s =
   done;
   { Lwe.a; b = s.body.(0) }
 
+let extract_lwe_at (p : Params.t) ~pos s =
+  let n = p.tlwe.ring_n in
+  let k = p.tlwe.k in
+  if pos < 0 || pos >= n then invalid_arg "Tlwe.extract_lwe_at: position out of range";
+  let a = Array.make (k * n) 0 in
+  for i = 0 to k - 1 do
+    let poly = s.mask.(i) in
+    for j = 0 to pos do
+      a.((i * n) + j) <- poly.(pos - j)
+    done;
+    for j = pos + 1 to n - 1 do
+      a.((i * n) + j) <- Torus.neg poly.(n + pos - j)
+    done
+  done;
+  { Lwe.a; b = s.body.(pos) }
+
 let extract_key key =
   let k = Array.length key.polys in
   let n = Array.length key.polys.(0) in

@@ -41,6 +41,12 @@ val mul_by_xai : int -> sample -> sample
 val extract_lwe : Params.t -> sample -> Lwe.sample
 (** Extract the constant coefficient as an LWE sample of dimension k·N. *)
 
+val extract_lwe_at : Params.t -> pos:int -> sample -> Lwe.sample
+(** Extract coefficient [pos] ∈ [0, N) as an LWE sample of dimension k·N
+    under the same extracted key as {!extract_lwe} (which is the [pos = 0]
+    case).  Multi-value bootstrapping reads several slots of one rotated
+    accumulator this way. *)
+
 val extract_key : key -> Lwe.key
 (** The LWE key matching {!extract_lwe}: the ring key's coefficients. *)
 

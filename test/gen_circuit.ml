@@ -38,6 +38,63 @@ let chain ~depth =
    [gates] gates whose kinds and fan-ins are drawn uniformly (Not reuses
    its single fan-in).  The [outputs] most recent nodes become primary
    outputs, so deep nodes stay live. *)
+(* Like {!random}, but the draw also emits programmable LUT cells: arity-1
+   reencode cells (classic operand, identity or negated table), and
+   arity-2/3 cells whose operands are reencoded on demand to satisfy the
+   Netlist invariant that multi-input LUT operands live in lutdom.  Classic
+   gates keep drawing from the full pool — including lutdom nodes, which
+   executors must view back to classic — and outputs are marked on the most
+   recent nodes of either encoding, so the classic-view boundary is
+   exercised at operands and outputs alike. *)
+let random_lut ?(inputs = 4) ?(gates = 14) ?(outputs = 4) ~seed () =
+  let rng = Rng.create ~seed () in
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let nodes = ref [] in
+  for i = 0 to inputs - 1 do
+    nodes := Netlist.input net (Printf.sprintf "i%d" i) :: !nodes
+  done;
+  nodes := Netlist.const net (Rng.bool rng) :: !nodes;
+  let pick () = List.nth !nodes (Rng.int rng (List.length !nodes)) in
+  (* A lutdom operand for a multi-input cell: an existing LUT node, or a
+     fresh reencode over a classic pick.  Reencoding a constant folds back
+     to a constant (no lutdom node exists for it), so redraw; the pool
+     always holds at least one non-constant input, so this terminates. *)
+  let rec lutdom () =
+    let x = pick () in
+    if Netlist.is_lut net x then x
+    else
+      let y = Netlist.lut net ~table:0b10 [| x |] in
+      if Netlist.is_lut net y then y else lutdom ()
+  in
+  let kinds = Array.of_list Gate.all in
+  for _ = 1 to gates do
+    let node =
+      match Rng.int rng 4 with
+      | 0 | 1 ->
+        let g = kinds.(Rng.int rng (Array.length kinds)) in
+        let a = pick () in
+        let b = if g = Gate.Not then a else pick () in
+        Netlist.gate net g a b
+      | 2 ->
+        (* arity-1 reencode: identity or negation of a classic view *)
+        Netlist.lut net ~table:(if Rng.bool rng then 0b10 else 0b01) [| pick () |]
+      | _ ->
+        let arity = 2 + Rng.int rng 2 in
+        let ins = Array.make arity (lutdom ()) in
+        for i = 1 to arity - 1 do
+          ins.(i) <- lutdom ()
+        done;
+        (* any truth table, including constant and degenerate ones — the
+           builder canonicalises duplicates and respecialises the table *)
+        Netlist.lut net ~table:(Rng.int rng (1 lsl (1 lsl arity))) ins
+    in
+    nodes := node :: !nodes
+  done;
+  List.iteri
+    (fun i id -> if i < outputs then Netlist.mark_output net (Printf.sprintf "o%d" i) id)
+    !nodes;
+  net
+
 let random ?(inputs = 4) ?(gates = 10) ?(outputs = 3) ~seed () =
   let rng = Rng.create ~seed () in
   let net = Netlist.create ~hash_consing:false ~fold_constants:false () in

@@ -311,8 +311,9 @@ let test_stream_exec_rejects_malformed () =
      of the 16-byte instruction size *)
   reject "truncated mid-instruction" [| true |] (Bytes.sub bytes 0 (Bytes.length bytes - 8));
   let all_ones = 0x3FFFFFFFFFFFFFFF in
-  (* tag 0xC is not a gate opcode (gates are 1-11) nor a declaration *)
-  reject0 "unknown instruction tag" (craft [ (0, 0, 0x0); (1, 2, 0xC) ]);
+  (* tag 0xD is not a gate opcode (gates are 1-11), a LUT record (0xC) nor
+     a declaration *)
+  reject0 "unknown instruction tag" (craft [ (0, 0, 0x0); (1, 2, 0xD) ]);
   (* a gate whose fan-in points past every assigned index *)
   reject "forward gate reference" [| true |]
     (craft [ (0, 1, 0x0); (all_ones, 1, 0xF); (5, 1, 6) ]);
@@ -322,6 +323,54 @@ let test_stream_exec_rejects_malformed () =
   (* duplicate header mid-stream *)
   reject "duplicate header" [| true |]
     (craft [ (0, 1, 0x0); (all_ones, 1, 0xF); (0, 1, 0x0); (1, 1, 6) ])
+
+(* Structurally corrupt LUT records (tag 0xC).  Every case must surface as
+   [Wire.Corrupt] — a graceful rejection of a hostile stream — and never as
+   an assertion failure, out-of-bounds access or silent wrong answer.  The
+   B-field layout under test: arity in bits 0-1, table in 2-9, second and
+   third operands in 10-35 and 36-61. *)
+let test_stream_exec_rejects_malformed_lut () =
+  let reject_corrupt label ins bytes =
+    Alcotest.(check bool) label true
+      (try
+         ignore (Stream_exec.run_bits bytes ins);
+         false
+       with Pytfhe_util.Wire.Corrupt _ -> true)
+  in
+  (* index 0 is the reserved null slot, so the first input lands at 1 *)
+  let header_and_input = [ (0, 1, 0x0); (0x3FFFFFFFFFFFFFFF, 1, 0xF) ] in
+  let lut b = craft (header_and_input @ [ (1, b, 0xC) ]) in
+  (* arity field 0: no such LUT record *)
+  reject_corrupt "lut arity 0" [| true |] (lut 0);
+  (* arity 1 admits 4 tables; 0b100 needs arity 2 *)
+  reject_corrupt "lut table too wide for arity" [| true |] (lut (1 lor (0b100 lsl 2)));
+  (* arity 1 must leave both extra operand fields zero *)
+  reject_corrupt "lut1 reserved in1 bits set" [| true |]
+    (lut (1 lor (0b10 lsl 2) lor (1 lsl 10)));
+  reject_corrupt "lut1 reserved in2 bits set" [| true |]
+    (lut (1 lor (0b10 lsl 2) lor (1 lsl 36)));
+  (* arity 2 must leave the third operand field zero *)
+  reject_corrupt "lut2 reserved in2 bits set" [| true |]
+    (lut (2 lor (0b0110 lsl 2) lor (1 lsl 36)));
+  (* structurally valid lut2, but both operands name the primary input —
+     a classic value, not a lutdom one: the executor must refuse rather
+     than misinterpret the encoding *)
+  reject_corrupt "lut2 operand not lutdom-encoded" [| true |]
+    (lut (2 lor (0b0110 lsl 2) lor (1 lsl 10)));
+  (* the same invariant through the netlist parser, with two distinct
+     classic operands (duplicates would canonicalise to arity 1):
+     Binary.parse reports corruption, not Invalid_argument *)
+  let two_input_lut2 =
+    craft
+      [ (0, 1, 0x0); (0x3FFFFFFFFFFFFFFF, 1, 0xF); (0x3FFFFFFFFFFFFFFF, 2, 0xF);
+        (1, 2 lor (0b0110 lsl 2) lor (2 lsl 10), 0xC) ]
+  in
+  reject_corrupt "lut2 over two classic inputs" [| true; false |] two_input_lut2;
+  Alcotest.(check bool) "Binary.parse lutdom invariant" true
+    (try
+       ignore (Pytfhe_circuit.Binary.parse two_input_lut2);
+       false
+     with Pytfhe_util.Wire.Corrupt _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Real encrypted execution                                            *)
@@ -468,6 +517,8 @@ let () =
           Alcotest.test_case "stream executor" `Quick test_stream_exec_matches_netlist;
           Alcotest.test_case "stream constants" `Quick test_stream_exec_handles_constants;
           Alcotest.test_case "stream rejects malformed" `Quick test_stream_exec_rejects_malformed;
+          Alcotest.test_case "stream rejects malformed LUT records" `Quick
+            test_stream_exec_rejects_malformed_lut;
           Alcotest.test_case "stream encrypted" `Slow test_stream_exec_encrypted;
           Alcotest.test_case "vcd export" `Quick test_vcd_export;
           Alcotest.test_case "vcd identifier scaling" `Quick test_vcd_identifiers_scale;

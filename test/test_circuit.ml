@@ -559,7 +559,7 @@ let qcheck_binary_structure =
             match inst with
             | Binary.Header _ -> (h + 1, i, g, o)
             | Binary.Input_decl _ -> (h, i + 1, g, o)
-            | Binary.Gate_inst _ -> (h, i, g + 1, o)
+            | Binary.Gate_inst _ | Binary.Lut_inst _ -> (h, i, g + 1, o)
             | Binary.Output_decl _ -> (h, i, g, o + 1))
           (0, 0, 0, 0) (Binary.disassemble bytes)
       in

@@ -50,6 +50,47 @@ let test_cross_backend =
           && st.Dist_eval.workers_lost = 0)
         [ 1; 2; 4 ])
 
+(* The LUT analog of the cross-backend suite, doubled: the same seeded
+   LUT-bearing DAG is run as generated AND after Opt.lut_cover, and every
+   executor — plain walk, streamed binary, sequential encrypted (per-gate,
+   batched, SoA), domain-parallel, multi-process — must reproduce the
+   original netlist's plaintext truth bit-for-bit on both versions. *)
+let test_cross_backend_lut =
+  QCheck.Test.make
+    ~name:"cross-backend LUT: original and lut_cover-ed bit-exact on all executors" ~count:2
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (s1, s2) ->
+      let sk, ck = Lazy.force keys in
+      let net = Gen_circuit.random_lut ~seed:(1 + s1) () in
+      let covered, _ = Pytfhe_synth.Opt.lut_cover net in
+      let rng = Rng.create ~seed:(3000 + s2) () in
+      let ins = random_bits rng (Netlist.input_count net) in
+      let truth = Array.of_list (List.map snd (Plain_eval.run net ins)) in
+      List.for_all
+        (fun n ->
+          let plain = Array.of_list (List.map snd (Plain_eval.run n ins)) in
+          if plain <> truth then QCheck.Test.fail_report "lut_cover changed the function";
+          let stream = Stream_exec.run_bits (Binary.assemble n) ins in
+          if stream <> truth then
+            QCheck.Test.fail_report "stream_exec disagrees with plain_eval on a LUT netlist";
+          let cts = Array.map (Gates.encrypt_bit rng sk) ins in
+          let seq_out = reference ck n cts in
+          if Array.map (Gates.decrypt_bit sk) seq_out <> truth then
+            QCheck.Test.fail_report "tfhe_eval disagrees with plain_eval on a LUT netlist";
+          let batched, _ = Tfhe_eval.run ~batch:3 ck n cts in
+          let soa, _ = Tfhe_eval.run ~batch:3 ~soa:true ck n cts in
+          if batched <> seq_out || soa <> seq_out then
+            QCheck.Test.fail_report "batched/SoA paths disagree on a LUT netlist";
+          List.for_all
+            (fun workers ->
+              let par_out, _ = Par_eval.run ~workers ck n cts in
+              let par_soa, _ = Par_eval.run ~workers ~batch:3 ~soa:true ck n cts in
+              let dist_out, st = Dist_eval.run (Dist_eval.config workers) ck n cts in
+              par_out = seq_out && par_soa = seq_out && dist_out = seq_out
+              && st.Dist_eval.workers_lost = 0)
+            [ 1; 2; 4 ])
+        [ net; covered ])
+
 let test_dist_stats_and_validation () =
   let sk, ck = Lazy.force keys in
   let net = Gen_circuit.wide ~width:4 ~depth:2 in
@@ -237,6 +278,7 @@ let () =
       ( "cross-backend",
         [
           QCheck_alcotest.to_alcotest test_cross_backend;
+          QCheck_alcotest.to_alcotest test_cross_backend_lut;
           Alcotest.test_case "stats and validation" `Slow test_dist_stats_and_validation;
           Alcotest.test_case "array-frames toggle" `Slow test_array_frames_toggle;
         ] );

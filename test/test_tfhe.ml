@@ -539,6 +539,85 @@ let test_lut_composes () =
     Alcotest.(check int) "2v+1 mod 4" (((2 * v) + 1) mod msize) (Gates.decrypt_message sk ~msize out)
   done
 
+let test_lut_table_composition () =
+  (* The composition law of programmable bootstrapping: applying the
+     composed table g∘f in ONE bootstrap must agree with chaining the two
+     bootstraps, for every message.  Random non-monotone tables make sure
+     the agreement is not an artifact of table shape. *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:65 () in
+  let msize = 8 in
+  let f = Array.init msize (fun _ -> Rng.int rng msize) in
+  let g = Array.init msize (fun _ -> Rng.int rng msize) in
+  let gf = Array.init msize (fun v -> g.(f.(v))) in
+  for v = 0 to msize - 1 do
+    let c = Gates.encrypt_message rng sk ~msize v in
+    let chained = Gates.apply_lut ck ~msize ~table:g (Gates.apply_lut ck ~msize ~table:f c) in
+    let fused = Gates.apply_lut ck ~msize ~table:gf c in
+    Alcotest.(check int)
+      (Printf.sprintf "g(f(%d)) chained" v)
+      g.(f.(v))
+      (Gates.decrypt_message sk ~msize chained);
+    Alcotest.(check int)
+      (Printf.sprintf "g∘f fused at %d" v)
+      g.(f.(v))
+      (Gates.decrypt_message sk ~msize fused)
+  done
+
+let test_lut_deep_chain_noise () =
+  (* The LUT analog of the 60-gate chain regression: each programmable
+     bootstrap must output fresh noise, so a long chain of table lookups
+     stays decryptable at every step.  A full-cycle permutation visits all
+     eight messages, so every table slot (and every rotation distance) is
+     exercised along the way. *)
+  let sk = secret () and ck = cloud () in
+  let rng = Rng.create ~seed:66 () in
+  let msize = 8 in
+  let perm = [| 3; 6; 1; 4; 0; 7; 2; 5 |] in
+  let ct = ref (Gates.encrypt_message rng sk ~msize 5) and pt = ref 5 in
+  for step = 1 to 40 do
+    ct := Gates.apply_lut ck ~msize ~table:perm !ct;
+    pt := perm.(!pt);
+    Alcotest.(check int)
+      (Printf.sprintf "step %d decrypts correctly" step)
+      !pt
+      (Gates.decrypt_message sk ~msize !ct)
+  done
+
+let test_noise_lut_margins () =
+  (* The LUT message-space terms of the noise model.  Margins halve as the
+     message space doubles; failure probability grows with arity (more
+     slots, tighter margins, noisier combined inputs); the shipped test
+     parameters afford all three arities while [default_128] cannot afford
+     arity 3 — the documented reason the LUT suites run at [Params.test]. *)
+  Alcotest.(check (float 1e-12)) "boolean msize-2 margin is 1/8" 0.125
+    (Noise.lut_margin ~msize:2);
+  Alcotest.(check (float 1e-12)) "msize-4 margin is 1/16" 0.0625 (Noise.lut_margin ~msize:4);
+  Alcotest.(check (float 1e-12)) "msize-8 margin is 1/32" 0.03125 (Noise.lut_margin ~msize:8);
+  let p1 = Noise.lut_failure_probability params ~arity:1 in
+  let p2 = Noise.lut_failure_probability params ~arity:2 in
+  let p3 = Noise.lut_failure_probability params ~arity:3 in
+  Alcotest.(check bool) "failure grows with arity" true (p1 <= p2 && p2 <= p3);
+  List.iter
+    (fun arity ->
+      match Noise.check_lut params ~arity with
+      | `Ok prob ->
+        Alcotest.(check bool)
+          (Printf.sprintf "test params afford arity %d" arity)
+          true (prob < 2.0 ** -32.0)
+      | `Unsafe prob -> Alcotest.failf "test params unsafe at arity %d: %g" arity prob)
+    [ 1; 2; 3 ];
+  (match Noise.check_lut Params.default_128 ~arity:3 with
+  | `Unsafe _ -> ()
+  | `Ok prob -> Alcotest.failf "default_128 arity 3 unexpectedly safe: %g" prob);
+  (* inputs noisier than the cells they feed: combining weighted lutdom
+     operands can only add variance *)
+  Alcotest.(check bool) "arity-3 input noisier than arity-2" true
+    ((Noise.lut_input params ~arity:3).Noise.variance
+    >= (Noise.lut_input params ~arity:2).Noise.variance);
+  Alcotest.(check bool) "lut output variance positive" true
+    ((Noise.lut_output params ~msize:8).Noise.variance > 0.0)
+
 let test_lut_validates () =
   let ck = cloud () in
   let c = Lwe.trivial ~n:params.Params.lwe.Params.n 0 in
@@ -1004,6 +1083,7 @@ let () =
           Alcotest.test_case "prediction vs measurement" `Slow test_noise_prediction_matches_measurement;
           Alcotest.test_case "budget holds under both transforms" `Quick
             test_noise_budget_per_transform;
+          Alcotest.test_case "lut message-space margins" `Quick test_noise_lut_margins;
         ] );
       ( "lut",
         [
@@ -1011,6 +1091,9 @@ let () =
           Alcotest.test_case "square mod 8" `Slow test_lut_square;
           Alcotest.test_case "relu-like table" `Slow test_lut_relu_like;
           Alcotest.test_case "composition refreshes noise" `Slow test_lut_composes;
+          Alcotest.test_case "table composition g∘f fuses" `Slow test_lut_table_composition;
+          Alcotest.test_case "40-lookup chain keeps noise budget" `Slow
+            test_lut_deep_chain_noise;
           Alcotest.test_case "validates arguments" `Quick test_lut_validates;
         ] );
       ( "in-place-hot-path",
