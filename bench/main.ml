@@ -1120,7 +1120,10 @@ let obs_bench () =
     best (fun () ->
         let s = Trace.create () in
         last_sink := s;
-        ignore (Pytfhe_backend.Tfhe_eval.run ~obs:s cloud net ins))
+        ignore
+          (Pytfhe_backend.Tfhe_eval.run
+             ~opts:(Pytfhe_backend.Exec_opts.of_flags ~obs:s ())
+             cloud net ins))
   in
   let evs = Trace.events !last_sink in
   let nevents = List.length evs in
@@ -1222,7 +1225,10 @@ let batch_bench () =
         List.map
           (fun b ->
             let (outs, st), wall =
-              best (fun () -> Tfhe_eval.run ~batch:b ~soa cloud net cts)
+              best (fun () ->
+                  Tfhe_eval.run
+                    ~opts:(Pytfhe_backend.Exec_opts.of_flags ~batch:b ~soa ())
+                    cloud net cts)
             in
             let exact = outs = scalar_out in
             let bsk_per_gate =
@@ -1470,12 +1476,232 @@ let lut_bench () =
      (after the artifact is on disk for debugging). *)
   if not lut_ok then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Service — FHE-as-a-service load generator: open-loop arrivals at
+   swept offered load against the persistent server, measuring p50/p99
+   latency, throughput and cross-request batch fill                      *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Pytfhe_service.Service
+module Service_client = Pytfhe_service.Service_client
+module Quantile = Pytfhe_obs.Quantile
+
+(* A fully serial XOR chain exposes exactly one ready gate per wave, so a
+   batch fill above 1.0 on chain-only traffic is reachable only by the
+   scheduler packing gates of concurrent requests into one launch — the
+   acceptance gate this bench asserts. *)
+let service_chain ~depth =
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let rec go x n = if n = 0 then x else go (Netlist.gate net Gate.Xor x b) (n - 1) in
+  Netlist.mark_output net "o" (go a depth);
+  net
+
+let service_wide ~width ~depth =
+  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
+  let inputs = Array.init (width + 1) (fun i -> Netlist.input net (Printf.sprintf "i%d" i)) in
+  let layer = ref (Array.init width (fun i -> inputs.(i))) in
+  for _ = 1 to depth do
+    layer :=
+      Array.mapi (fun i x -> Netlist.gate net Gate.Xor x inputs.((i + 1) mod (width + 1))) !layer
+  done;
+  Array.iteri (fun i x -> Netlist.mark_output net (Printf.sprintf "o%d" i) x) !layer;
+  net
+
+let service_bench () =
+  header "service — persistent server under open-loop load (cross-request packing)";
+  let p = if !smoke then smoke_params else Params.test in
+  let chain_depth = if !smoke then 12 else 96 in
+  let wide_depth = if !smoke then 2 else 6 in
+  Format.printf "parameters: %a@." Params.pp p;
+  Format.printf "  [generating keys ...]@?";
+  let t0 = Unix.gettimeofday () in
+  let client, cloud = Client.keygen ~params:p ~seed:7001 () in
+  Format.printf " %.1fs@." (Unix.gettimeofday () -. t0);
+  let client_id = Client.client_id client in
+  let chain_c =
+    Pipeline.compile ~optimize:false ~name:"svc-chain" (service_chain ~depth:chain_depth)
+  in
+  let wide_c =
+    Pipeline.compile ~optimize:false ~name:"svc-wide" (service_wide ~width:4 ~depth:wide_depth)
+  in
+  let rng = Rng.create ~seed:7002 () in
+  (* Calibrate the per-request service time once, standalone, to anchor the
+     offered-load sweep in multiples of the server's nominal capacity. *)
+  let time_one compiled =
+    let n = Netlist.input_count compiled.Pipeline.netlist in
+    let cts = Client.encrypt_bits client (Array.init n (fun _ -> Rng.bool rng)) in
+    let t0 = Unix.gettimeofday () in
+    let _ = Server.run Server.Cpu cloud compiled cts in
+    Unix.gettimeofday () -. t0
+  in
+  let t_req = 0.5 *. (time_one chain_c +. time_one wide_c) in
+  let nominal_rps = 1.0 /. t_req in
+  Format.printf "calibration: %.1f ms/request standalone (nominal %.1f req/s)@." (1000.0 *. t_req)
+    nominal_rps;
+  (* One server per load level, so the joined stats (latency quantiles,
+     batch fill, queue high-water) cover exactly that level. *)
+  let run_level ~label ~rate progs =
+    let count = Array.length progs in
+    let prepared =
+      Array.map
+        (fun compiled ->
+          let n = Netlist.input_count compiled.Pipeline.netlist in
+          let ins = Array.init n (fun _ -> Rng.bool rng) in
+          (compiled, ins, Client.encrypt_bits client ins))
+        progs
+    in
+    let port = Atomic.make 0 in
+    let dom =
+      Domain.spawn (fun () ->
+          Service.serve
+            ~config:{ Service.default_config with port = 0 }
+            ~ready:(fun bound -> Atomic.set port bound)
+            ())
+    in
+    while Atomic.get port = 0 do
+      Unix.sleepf 0.001
+    done;
+    let c = Service_client.connect ~port:(Atomic.get port) () in
+    Service_client.register c ~client_id cloud;
+    let sid = Service_client.open_session c ~client_id p in
+    (* Open-loop arrival: request i is due at t0 + i/rate whether or not
+       the server is keeping up; [None] is a burst (all due at t0). *)
+    let t0 = Unix.gettimeofday () in
+    let reqs =
+      Array.mapi
+        (fun i (compiled, _, cts) ->
+          (match rate with
+          | Some r ->
+            let due = t0 +. (float_of_int i /. r) in
+            let slack = due -. Unix.gettimeofday () in
+            if slack > 0.0 then Unix.sleepf slack
+          | None -> ());
+          Service_client.submit c ~session:sid ~name:compiled.Pipeline.prog_name
+            ~program:compiled.Pipeline.binary ~inputs:cts)
+        prepared
+    in
+    let outcomes = Array.map (fun req -> Service_client.await ~timeout:300.0 c req) reqs in
+    let wall = Unix.gettimeofday () -. t0 in
+    Service_client.shutdown c;
+    Service_client.close c;
+    let stats = Domain.join dom in
+    (* Correctness on every request: the reply decrypts to the plaintext
+       evaluation AND is ciphertext-bit-exact with a direct per-tenant
+       Server.run of the same program on the same inputs. *)
+    let ok = ref true in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Service_client.Failed { code; message } ->
+          ok := false;
+          Format.printf "  request %d FAILED (%s: %s)@." i
+            (Service.string_of_error_code code)
+            message
+        | Service_client.Done { outputs; _ } ->
+          let compiled, ins, cts = prepared.(i) in
+          let ref_out, _ = Server.run Server.Cpu cloud compiled cts in
+          let expected =
+            Array.of_list (List.map snd (Plain_eval.run compiled.Pipeline.netlist ins))
+          in
+          if outputs <> ref_out then begin
+            ok := false;
+            Format.printf "  request %d NOT bit-exact with Server.run@." i
+          end;
+          if Client.decrypt_bits client outputs <> expected then begin
+            ok := false;
+            Format.printf "  request %d decrypts WRONG@." i
+          end)
+      outcomes;
+    let throughput = float_of_int stats.Service.requests_completed /. wall in
+    let lat = stats.Service.latency in
+    Format.printf
+      "%-12s %3d reqs at %s: %6.2f req/s  p50 %s  p99 %s  fill %.2f (%d launches, peak queue %d)%s@."
+      label count
+      (match rate with Some r -> Printf.sprintf "%6.2f req/s offered" r | None -> "burst")
+      throughput (human_time lat.Quantile.p50) (human_time lat.Quantile.p99)
+      stats.Service.batch_fill stats.Service.batch_launches stats.Service.max_queue_depth
+      (if !ok then "" else "  [CORRECTNESS FAILURE]");
+    let json =
+      Json.Obj
+        [
+          ("label", Json.String label);
+          ("offered_rps", match rate with Some r -> Json.Number r | None -> Json.Null);
+          ("requests", Json.Number (float_of_int count));
+          ("completed", Json.Number (float_of_int stats.Service.requests_completed));
+          ("failed", Json.Number (float_of_int stats.Service.requests_failed));
+          ("wall_s", Json.Number wall);
+          ("throughput_rps", Json.Number throughput);
+          ("latency", Quantile.summary_json lat);
+          ("batch_launches", Json.Number (float_of_int stats.Service.batch_launches));
+          ("batched_gates", Json.Number (float_of_int stats.Service.batched_gates));
+          ("batch_fill", Json.Number stats.Service.batch_fill);
+          ("max_queue_depth", Json.Number (float_of_int stats.Service.max_queue_depth));
+        ]
+    in
+    (json, stats, throughput, !ok)
+  in
+  let reqs_per_level = if !smoke then 6 else 16 in
+  let mixed n = Array.init n (fun i -> if i mod 2 = 0 then chain_c else wide_c) in
+  let sweep = if !smoke then [ 0.5; 2.0 ] else [ 0.25; 0.5; 1.0; 2.0 ] in
+  let swept =
+    List.map
+      (fun mult ->
+        run_level
+          ~label:(Printf.sprintf "mixed-%.2gx" mult)
+          ~rate:(Some (mult *. nominal_rps))
+          (mixed reqs_per_level))
+      sweep
+  in
+  (* The acceptance gate: a burst of serial chains from one keyset.  Each
+     chain contributes one ready gate per wave, so any fill above 1.0 here
+     is cross-request packing and nothing else. *)
+  let burst_n = if !smoke then 4 else 8 in
+  let burst_json, burst_stats, burst_tp, burst_ok =
+    run_level ~label:"chain-burst" ~rate:None (Array.make burst_n chain_c)
+  in
+  let all_ok = burst_ok && List.for_all (fun (_, _, _, ok) -> ok) swept in
+  let p99 = burst_stats.Service.latency.Quantile.p99 in
+  let fill_ok = burst_stats.Service.batch_fill > 1.0 in
+  let service_ok =
+    all_ok && burst_tp > 0.0 && Float.is_finite p99 && fill_ok
+    && burst_stats.Service.requests_failed = 0
+  in
+  Format.printf "@.chain-burst fill %.2f with %d concurrent same-keyset requests: %s@."
+    burst_stats.Service.batch_fill burst_n
+    (if fill_ok then "cross-request packing confirmed"
+     else "NO cross-request packing (gate FAILS)");
+  let json =
+    Json.Obj
+      [
+        ("params", Json.String p.Params.name);
+        ("smoke", Json.Bool !smoke);
+        ("backend", Json.String burst_stats.Service.backend);
+        ("calibration_s_per_request", Json.Number t_req);
+        ("nominal_rps", Json.Number nominal_rps);
+        ("levels", Json.List (List.map (fun (j, _, _, _) -> j) swept @ [ burst_json ]));
+        ("burst_batch_fill", Json.Number burst_stats.Service.batch_fill);
+        ("burst_concurrency", Json.Number (float_of_int burst_n));
+        ("service_ok", Json.Bool service_ok);
+      ]
+  in
+  (* Written in smoke mode too: CI runs `service --smoke` and uploads it. *)
+  let path = "BENCH_service.json" in
+  Out_channel.with_open_text path (fun oc -> output_string oc (Json.to_string ~indent:true json));
+  Format.printf "@.wrote %s@." path;
+  (* Correctness and the packing win are deterministic; latency jitter is
+     not part of the gate.  Fail the run outright after the artifact is on
+     disk for debugging. *)
+  if not service_ok then exit 1
+
 let all_experiments =
   [
     ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("table4", table4); ("ablation", ablation);
     ("params", params_explorer); ("micro", micro); ("ntt", ntt_bench); ("par", par);
     ("dist", dist); ("obs", obs_bench); ("batch", batch_bench); ("lut", lut_bench);
+    ("service", service_bench);
   ]
 
 let () =

@@ -11,6 +11,9 @@ module Binary = Pytfhe_circuit.Binary
 module Stats = Pytfhe_circuit.Stats
 module Cost_model = Pytfhe_backend.Cost_model
 module Executor = Pytfhe_backend.Executor
+module Exec_opts = Pytfhe_backend.Exec_opts
+module Service = Pytfhe_service.Service
+module Service_client = Pytfhe_service.Service_client
 module Trace = Pytfhe_obs.Trace
 module Metrics = Pytfhe_obs.Metrics
 
@@ -226,7 +229,9 @@ let run_cmd =
       let cts = Client.encrypt_bits client ins in
       Format.printf "evaluating %d gates homomorphically on the %s backend...@."
         compiled.Pipeline.stats.Stats.gates (Server.exec_backend_name exec);
-      let outs, stats = Server.run ~obs ?batch ?soa exec cloud compiled cts in
+      let outs, stats =
+        Server.run ~opts:(Exec_opts.of_flags ~obs ?batch ?soa ()) exec cloud compiled cts
+      in
       let extra =
         match stats.Executor.detail with
         | Executor.Cpu_stats _ -> ""
@@ -491,7 +496,9 @@ let eval_cmd =
     let obs = sink_for ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
     (* the paper's executor: stream the 128-bit instructions directly *)
-    let outs = Pytfhe_backend.Stream_exec.run_encrypted ~obs keyset bytes cts in
+    let outs =
+      Pytfhe_backend.Stream_exec.run_encrypted ~opts:(Exec_opts.of_flags ~obs ()) keyset bytes cts
+    in
     Pytfhe_core.Ciphertext_file.write out outs;
     Format.printf "done in %.1fs -> %s@." (Unix.gettimeofday () -. t0) out;
     export_obs obs ~trace ~metrics
@@ -529,6 +536,126 @@ let trace_validate_cmd =
        ~doc:"Check that a file is a well-formed Chrome trace (spans sorted, non-overlapping per track)")
     Term.(const run $ path)
 
+(* ------------------------------------------------------------------ *)
+(* FHE-as-a-service: serve / submit                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Round-trippable executor names shared with Server.exec_backend_name,
+   so `pytfhe serve --backend dist:4` prints back exactly "dist:4". *)
+let exec_conv =
+  let parse s =
+    match Server.exec_backend_of_name s with Ok b -> Ok b | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Server.exec_backend_name b))
+
+let serve_cmd =
+  let run host port backend batch max_active max_queue =
+    if batch < 1 then failwith "--batch must be >= 1";
+    let config =
+      { Service.default_config with Service.host; port; backend; max_active; max_queue }
+    in
+    let opts = { Service.default_opts with Exec_opts.batch = Some batch } in
+    let stats =
+      Service.serve ~opts ~config
+        ~ready:(fun p ->
+          Format.printf "pytfhe service listening on %s:%d (backend %s, batch %d)@." host p
+            (Server.exec_backend_name backend)
+            batch;
+          Format.print_flush ())
+        ()
+    in
+    Format.printf
+      "service stopped: %d keysets, %d sessions, %d/%d requests completed/failed, %d launches, batch fill %.2f@."
+      stats.Service.keysets_registered stats.Service.sessions_opened
+      stats.Service.requests_completed stats.Service.requests_failed
+      stats.Service.batch_launches stats.Service.batch_fill
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.") in
+  let port = Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks an ephemeral port, printed on startup).") in
+  let backend =
+    Arg.(value & opt exec_conv Server.Cpu
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Executor: $(b,cpu) (in-process cross-request batch scheduler), \
+                   $(b,par)/$(b,par:N) or $(b,dist)/$(b,dist:N) (pass-through, one request \
+                   at a time through that executor).")
+  in
+  let batch = Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc:"Batched-bootstrap capacity of the cross-request scheduler.") in
+  let max_active = Arg.(value & opt int 32 & info [ "max-active" ] ~docv:"N" ~doc:"Concurrently executing request bound.") in
+  let max_queue = Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N" ~doc:"Admission queue bound (excess submissions fail busy).") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent multi-tenant FHE service (register keysets, submit programs; \
+             see docs/service.md)")
+    Term.(const run $ host $ port $ backend $ batch $ max_active $ max_queue)
+
+let submit_cmd =
+  let run w host port client_id seed count shutdown =
+    if count < 1 then failwith "--count must be >= 1";
+    if w.W.heavy then failwith "workload too large for real encrypted execution; use a light one";
+    let rng = Pytfhe_util.Rng.create ~seed () in
+    Format.printf "generating keys (test parameters)...@.";
+    let client, cloud = Client.keygen ~params:Pytfhe_tfhe.Params.test ~seed () in
+    let client_id = match client_id with Some id -> id | None -> Client.client_id client in
+    let compiled = Pipeline.compile ~name:w.W.name (w.W.circuit ()) in
+    let n_in = Pytfhe_circuit.Netlist.input_count compiled.Pipeline.netlist in
+    let c = Service_client.connect ~host ~port () in
+    Fun.protect ~finally:(fun () -> Service_client.close c) @@ fun () ->
+    Service_client.register c ~client_id cloud;
+    let session = Service_client.open_session c ~client_id Pytfhe_tfhe.Params.test in
+    Format.printf "registered %s, session %d; submitting %d x %s (%d gates)...@." client_id
+      session count w.W.name compiled.Pipeline.stats.Stats.gates;
+    let jobs =
+      Array.init count (fun i ->
+          let ins = Array.init n_in (fun _ -> Pytfhe_util.Rng.bool rng) in
+          let cts = Client.encrypt_bits client ins in
+          let req =
+            Service_client.submit c ~session
+              ~name:(Printf.sprintf "%s#%d" w.W.name i)
+              ~program:compiled.Pipeline.binary ~inputs:cts
+          in
+          (req, ins))
+    in
+    let ok = ref true in
+    Array.iter
+      (fun (req, ins) ->
+        match Service_client.await c req with
+        | Service_client.Done { outputs; queue_delay; exec_wall; bootstraps } ->
+          let bits = Client.decrypt_bits client outputs in
+          let expected = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist ins in
+          let m = List.for_all2 (fun (_, e) g -> e = g) expected (Array.to_list bits) in
+          if not m then ok := false;
+          Format.printf "request %d: %d bootstraps, %.3fs queued + %.3fs exec, outputs %s@."
+            req bootstraps queue_delay exec_wall
+            (if m then "MATCH plaintext reference" else "MISMATCH")
+        | Service_client.Failed { code; message } ->
+          ok := false;
+          Format.printf "request %d: FAILED (%s: %s)@." req
+            (Service.string_of_error_code code)
+            message)
+      jobs;
+    if shutdown then begin
+      Format.printf "sending shutdown@.";
+      Service_client.shutdown c
+    end;
+    if not !ok then exit 1
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Service address.") in
+  let port = Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Service port.") in
+  let client_id =
+    Arg.(value & opt (some string) None
+         & info [ "client-id" ] ~docv:"ID"
+             ~doc:"Tenant identity to register the cloud keyset under (default: a digest of \
+                   the generated secret keyset).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (keys and inputs).") in
+  let count = Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Submit $(docv) independent copies (exercises cross-request batching).") in
+  let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Shut the server down after the replies arrive.") in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Register a keyset with a running service, submit encrypted workload requests and \
+             verify the decrypted replies")
+    Term.(const run $ workload_arg $ host $ port $ client_id $ seed $ count $ shutdown)
+
 let decrypt_cmd =
   let run secret input =
     let client = Client.load secret in
@@ -552,5 +679,5 @@ let () =
           [
             list_cmd; compile_cmd; disasm_cmd; stat_cmd; estimate_cmd; run_cmd; verilog_cmd; json_cmd; dot_cmd; vcd_cmd; equiv_cmd;
             synth_cmd; keygen_cmd;
-            encrypt_cmd; eval_cmd; decrypt_cmd; trace_validate_cmd;
+            encrypt_cmd; eval_cmd; decrypt_cmd; trace_validate_cmd; serve_cmd; submit_cmd;
           ]))

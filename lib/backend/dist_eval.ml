@@ -125,76 +125,17 @@ type stats = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Framing: 4-byte magic + 8-byte LE length + payload                  *)
+(* Framing: shared PTFD envelope (see Framing)                         *)
 (* ------------------------------------------------------------------ *)
 
-let frame_magic = "PTFD"
-let max_frame = 1 lsl 30
+let frame_magic = Framing.frame_magic
 
-exception Frame_closed
-exception Frame_timeout
+exception Frame_closed = Framing.Frame_closed
+exception Frame_timeout = Framing.Frame_timeout
 
-let rec write_all fd buf pos len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd buf pos len with
-      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
-      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-        raise Frame_closed
-    in
-    write_all fd buf (pos + n) (len - n)
-  end
-
-(* Read exactly [len] bytes, or raise: [Frame_timeout] once [deadline]
-   passes (the peer stalled mid-frame), [Frame_closed] on EOF (the peer
-   died mid-frame).  [deadline = infinity] blocks indefinitely. *)
-let read_exact ~deadline fd bytes off len =
-  let off = ref off and remaining = ref len in
-  while !remaining > 0 do
-    let ready =
-      if deadline = infinity then true
-      else begin
-        let now = Unix.gettimeofday () in
-        if now >= deadline then raise Frame_timeout;
-        match Unix.select [ fd ] [] [] (Float.min (deadline -. now) 0.5) with
-        | [], _, _ -> false
-        | _ -> true
-      end
-    in
-    if ready then begin
-      let n =
-        try Unix.read fd bytes !off !remaining with
-        | Unix.Unix_error (Unix.EINTR, _, _) -> -1
-        | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
-      in
-      if n = 0 then raise Frame_closed;
-      if n > 0 then begin
-        off := !off + n;
-        remaining := !remaining - n
-      end
-    end
-  done
-
-let write_frame fd payload =
-  let len = Bytes.length payload in
-  let header = Bytes.create 12 in
-  Bytes.blit_string frame_magic 0 header 0 4;
-  Bytes.set_int64_le header 4 (Int64.of_int len);
-  write_all fd header 0 12;
-  write_all fd payload 0 len;
-  12 + len
-
-let read_frame ?(deadline = infinity) fd =
-  let header = Bytes.create 12 in
-  read_exact ~deadline fd header 0 12;
-  if Bytes.sub_string header 0 4 <> frame_magic then
-    raise (Wire.Corrupt "Dist_eval: bad frame magic");
-  let len = Int64.to_int (Bytes.get_int64_le header 4) in
-  if len < 0 || len > max_frame then
-    raise (Wire.Corrupt (Printf.sprintf "Dist_eval: implausible frame length %d" len));
-  let payload = Bytes.create len in
-  read_exact ~deadline fd payload 0 len;
-  Bytes.unsafe_to_string payload
+let write_all = Framing.write_all
+let write_frame = Framing.write_frame
+let read_frame = Framing.read_frame
 
 (* ------------------------------------------------------------------ *)
 (* Worker process                                                      *)
@@ -810,7 +751,7 @@ let shutdown members =
       else reap w)
     members
 
-let run ?(obs = Trace.null) cfg cloud net inputs =
+let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
   let input_list = Netlist.inputs net in
   if Array.length inputs <> List.length input_list then
     invalid_arg "Dist_eval.run: input arity mismatch";
@@ -1009,3 +950,7 @@ let pp_stats fmt s =
     s.workers_started s.workers_lost s.bootstraps_executed s.nots_executed s.requests_sent
     s.retries s.reassignments s.corrupt_frames s.heartbeat_misses s.wall_time
     s.dispatch_time s.transfer_time s.compute_time s.bytes_to_workers s.bytes_from_workers
+
+let run ?(opts = Exec_opts.default) cfg cloud net inputs =
+  Exec_opts.check_scalar_only ~who:"Dist_eval.run" opts;
+  run_legacy ~obs:opts.Exec_opts.obs cfg cloud net inputs

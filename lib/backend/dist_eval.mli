@@ -126,7 +126,7 @@ type stats = {
 }
 
 val run :
-  ?obs:Pytfhe_obs.Trace.sink ->
+  ?opts:Exec_opts.t ->
   config ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
@@ -145,7 +145,21 @@ val run :
     heartbeat-miss counters and the noise gauges on a ["coordinator"]
     track.  A worker lost mid-wave truncates the trace (its unshipped
     spans die with it) but never corrupts it — a malformed [DTRC] frame
-    is counted in [corrupt_frames] and dropped. *)
+    is counted in [corrupt_frames] and dropped.
+
+    Batching is worker-side here ([config.array_frames] selects the wire
+    layout), so a caller passing [opts.batch] or a non-default [opts.soa]
+    raises [Invalid_argument] — the knobs used to be documented-ignored,
+    which silently dropped a requested optimization. *)
+
+val run_legacy :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  config ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pytfhe_circuit.Netlist.t ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** @deprecated The pre-{!Exec_opts} signature, kept for one release. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -65,3 +65,29 @@ let batch_wave_counters tr (p : Params.t) ~cap ~launches ~gates ~bsk_rows ~ks_bl
     (float_of_int (bsk_rows * bsk_row_bytes p));
   Trace.counter tr ~name:"ks_bytes_streamed"
     (float_of_int (ks_blocks * ks_block_bytes p))
+
+(* Scheduler-tick counters for the FHE-as-a-service layer: admission-queue
+   depth, cross-request batch occupancy — [service_batch_fill] is mean
+   gates per launch, so a value above 1.0 on serial-chain workloads means
+   gates from different requests really shared a bootstrap wave — and
+   per-tenant wire traffic. *)
+let service_counters tr ~queue_depth ~active ~launches ~gates ~cap =
+  Trace.counter tr ~name:"service_queue_depth" (float_of_int queue_depth);
+  Trace.counter tr ~name:"service_active_requests" (float_of_int active);
+  Trace.counter tr ~name:"service_batch_launches" (float_of_int launches);
+  if launches > 0 then begin
+    Trace.counter tr ~name:"service_batch_gates" (float_of_int gates);
+    Trace.counter tr ~name:"service_batch_fill"
+      (float_of_int gates /. float_of_int launches);
+    if cap > 0 then
+      Trace.counter tr ~name:"service_batch_occupancy"
+        (float_of_int gates /. float_of_int (launches * cap))
+  end
+
+let tenant_bytes tr ~id ~bytes_in ~bytes_out =
+  Trace.counter tr
+    ~name:(Printf.sprintf "service_bytes_in[%s]" id)
+    (float_of_int bytes_in);
+  Trace.counter tr
+    ~name:(Printf.sprintf "service_bytes_out[%s]" id)
+    (float_of_int bytes_out)

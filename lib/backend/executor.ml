@@ -1,3 +1,11 @@
+type opts = Exec_opts.t = {
+  obs : Pytfhe_obs.Trace.sink;
+  batch : int option;
+  soa : bool;
+}
+
+let default_opts = Exec_opts.default
+
 type detail =
   | Cpu_stats of Tfhe_eval.stats
   | Multicore_stats of Par_eval.stats
@@ -18,9 +26,7 @@ module type S = sig
   val name : string
 
   val run :
-    ?obs:Pytfhe_obs.Trace.sink ->
-    ?batch:int ->
-    ?soa:bool ->
+    ?opts:opts ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
@@ -31,8 +37,8 @@ let cpu : (module S) =
   (module struct
     let name = "cpu"
 
-    let run ?obs ?batch ?soa cloud net inputs =
-      let outputs, s = Tfhe_eval.run ?obs ?batch ?soa cloud net inputs in
+    let run ?opts cloud net inputs =
+      let outputs, s = Tfhe_eval.run ?opts cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -48,10 +54,10 @@ let cpu : (module S) =
 
 let multicore ?workers () : (module S) =
   (module struct
-    let name = "multicore"
+    let name = "par"
 
-    let run ?obs ?batch ?soa cloud net inputs =
-      let outputs, s = Par_eval.run ?workers ?batch ?soa ?obs cloud net inputs in
+    let run ?opts cloud net inputs =
+      let outputs, s = Par_eval.run ?workers ?opts cloud net inputs in
       ( outputs,
         {
           backend = name;
@@ -72,16 +78,15 @@ let multiprocess ?workers ?config () : (module S) =
     | None -> Dist_eval.config (match workers with Some w -> w | None -> 2)
   in
   (module struct
-    let name = "multiprocess"
+    let name = "dist"
 
-    let run ?obs ?batch ?soa cloud net inputs =
-      (* The multiprocess executor ships gates over the wire one shard at a
-         time; key streaming happens worker-side, so the [?batch] and [?soa]
-         knobs are accepted for signature uniformity but have no effect
-         here (the wire side of the layout is [config.array_frames]). *)
-      ignore batch;
-      ignore soa;
-      let outputs, s = Dist_eval.run ?obs cfg cloud net inputs in
+    (* The multiprocess executor ships gates over the wire one shard at a
+       time; key streaming happens worker-side, so a requested
+       [opts.batch]/non-default [opts.soa] raises Invalid_argument in
+       [Dist_eval.run] instead of being silently dropped (the wire side
+       of the layout is [config.array_frames]). *)
+    let run ?opts cloud net inputs =
+      let outputs, s = Dist_eval.run ?opts cfg cloud net inputs in
       ( outputs,
         {
           backend = name;

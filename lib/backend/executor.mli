@@ -1,12 +1,34 @@
 (** The unified executor API: one signature every real backend implements,
-    one stats record every caller consumes.
+    one stats record every caller consumes, one options record every
+    caller passes.
 
     {!Tfhe_eval}, {!Par_eval} and {!Dist_eval} each grew their own run
     function and mutually incompatible stats; this module packages them as
     first-class modules of a common signature {!S} so callers — the
-    server, the CLI, the bench harness — select a backend as a value and
-    handle results uniformly.  Backend-specific numbers stay reachable
-    through {!type-stats.detail}. *)
+    server, the CLI, the bench harness, the service scheduler — select a
+    backend as a value and handle results uniformly.  Backend-specific
+    numbers stay reachable through {!type-stats.detail}. *)
+
+type opts = Exec_opts.t = {
+  obs : Pytfhe_obs.Trace.sink;
+      (** Tracing sink; {!Pytfhe_obs.Trace.null} disables all probes. *)
+  batch : int option;
+      (** [Some b] routes batching-capable executors through the
+          key-streaming batched kernel in sub-batches of at most [b]
+          gates; [None] is the scalar per-gate path. *)
+  soa : bool;
+      (** Batched runs keep values in struct-of-arrays
+          {!Pytfhe_tfhe.Lwe_array}s and use the row kernels (the
+          default); [false] selects the record-per-gate batched walk.
+          Ignored without [batch]. *)
+}
+(** The consolidated execution options, replacing the [?obs ?batch ?soa]
+    flag triple that used to be threaded through every layer.  Build one
+    by updating {!default_opts}:
+    [{ Executor.default_opts with batch = Some 8 }]. *)
+
+val default_opts : opts
+(** [{ obs = Trace.null; batch = None; soa = true }]. *)
 
 type detail =
   | Cpu_stats of Tfhe_eval.stats
@@ -30,35 +52,30 @@ module type S = sig
   val name : string
 
   val run :
-    ?obs:Pytfhe_obs.Trace.sink ->
-    ?batch:int ->
-    ?soa:bool ->
+    ?opts:opts ->
     Pytfhe_tfhe.Gates.cloud_keyset ->
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
     Pytfhe_tfhe.Lwe.sample array * stats
 end
-(** [?batch:b] routes the backend through the key-streaming batched kernel
-    with sub-batches of at most [b] gates (see {!Tfhe_eval.run} and
-    {!Par_eval.run}); omitted means the scalar per-gate path.
-    [?soa:true] additionally runs those sub-batches through the
-    struct-of-arrays row kernels on contiguous {!Pytfhe_tfhe.Lwe_array}
-    waves.  Outputs are ciphertext-bit-exact every way.  The multiprocess
-    backend accepts both knobs for uniformity but ignores them (batching
-    is worker-side there; the wire layout is [config.array_frames]). *)
+(** Outputs are ciphertext-bit-exact across all implementations, batch
+    sizes and layouts.  The multiprocess backend raises
+    [Invalid_argument] when [opts] asks for batch or a non-default SoA
+    layout (batching is worker-side there; the wire layout is
+    [config.array_frames]). *)
 
 val cpu : (module S)
-(** {!Tfhe_eval} — sequential, the correctness baseline. *)
+(** {!Tfhe_eval} — sequential, the correctness baseline.  Name ["cpu"]. *)
 
 val multicore : ?workers:int -> unit -> (module S)
 (** {!Par_eval} on [workers] domains (default
-    [Domain.recommended_domain_count ()]). *)
+    [Domain.recommended_domain_count ()]).  Name ["par"]. *)
 
 val multiprocess : ?workers:int -> ?config:Dist_eval.config -> unit -> (module S)
 (** {!Dist_eval} on [config.workers] processes; [config] wins over
-    [workers] (default: [Dist_eval.config 2]).  The usual caveat applies:
-    the host executable must call {!Dist_eval.worker_entry} first in
-    main. *)
+    [workers] (default: [Dist_eval.config 2]).  Name ["dist"].  The usual
+    caveat applies: the host executable must call
+    {!Dist_eval.worker_entry} first in main. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** Uniform one-line rendering, followed by the backend's own [pp] where

@@ -143,7 +143,7 @@ let ideal_speedup (sched : Levelize.schedule) workers =
   in
   if rounds = 0 then 1.0 else float_of_int sched.Levelize.total_bootstraps /. float_of_int rounds
 
-let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
+let run_legacy ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
   let workers =
     match workers with Some w -> w | None -> Domain.recommended_domain_count ()
   in
@@ -461,6 +461,10 @@ let run ?workers ?batch ?(soa = true) ?(obs = Trace.null) cloud net inputs =
       bsk_bytes_streamed = rows * Exec_obs.bsk_row_bytes p;
       ks_bytes_streamed = blocks * Exec_obs.ks_block_bytes p;
     } )
+
+let run ?workers ?(opts = Exec_opts.default) cloud net inputs =
+  run_legacy ?workers ?batch:opts.Exec_opts.batch ~soa:opts.Exec_opts.soa
+    ~obs:opts.Exec_opts.obs cloud net inputs
 
 let pp_stats fmt s =
   Format.fprintf fmt

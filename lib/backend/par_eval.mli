@@ -40,15 +40,15 @@ type stats = {
 
 val run :
   ?workers:int ->
-  ?batch:int ->
-  ?soa:bool ->
-  ?obs:Pytfhe_obs.Trace.sink ->
+  ?opts:Exec_opts.t ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * stats
 (** [run ~workers cloud net inputs] evaluates the program wave by wave on
     [workers] domains (default: [Domain.recommended_domain_count ()]).
+    The [batch] / [soa] / [obs] knobs discussed below ride in [?opts]
+    (default {!Exec_opts.default}).
     [workers = 1] degenerates to sequential execution on the calling
     domain, with no domains spawned.  Raises [Invalid_argument] on input
     arity mismatch or [workers < 1].
@@ -72,6 +72,17 @@ val run :
     barrier, whose mutex handshake orders the buffers), and the
     coordinator emits one span plus the standard counter set per wave on
     a ["waves"] track (plus the batch counter set when batched). *)
+
+val run_legacy :
+  ?workers:int ->
+  ?batch:int ->
+  ?soa:bool ->
+  ?obs:Pytfhe_obs.Trace.sink ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pytfhe_circuit.Netlist.t ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** @deprecated The pre-{!Exec_opts} flag triple, kept for one release. *)
 
 val ideal_speedup : Pytfhe_circuit.Levelize.schedule -> int -> float
 (** The wave-synchronous speedup bound reported in {!stats}, exposed for

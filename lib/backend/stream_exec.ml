@@ -10,7 +10,7 @@ type 'v ops = {
   v_lut_view : 'v -> 'v;
 }
 
-let run ?(obs = Trace.null) ops bytes =
+let run_legacy ?(obs = Trace.null) ops bytes =
   (* One pass over the instruction stream; the value table is indexed by
      the sequential gate numbering, so lookups are array reads.  The table
      grows geometrically: the header only declares the gate count, not the
@@ -134,9 +134,9 @@ let run_bits bytes ins =
       v_lut_view = Fun.id;
     }
   in
-  run ops bytes
+  run_legacy ops bytes
 
-let run_encrypted ?(obs = Trace.null) cloud bytes cts =
+let run_encrypted_legacy ?(obs = Trace.null) cloud bytes cts =
   let ctx = Pytfhe_tfhe.Gates.context cloud in
   let ops =
     {
@@ -146,7 +146,7 @@ let run_encrypted ?(obs = Trace.null) cloud bytes cts =
       v_lut_view = Pytfhe_tfhe.Gates.lut_to_classic;
     }
   in
-  if not (Trace.enabled obs) then run ops bytes
+  if not (Trace.enabled obs) then run_legacy ops bytes
   else begin
     (* Crypto-cost probes ride on a wrapper so the untraced closure stays
        allocation-identical to before. *)
@@ -163,7 +163,7 @@ let run_encrypted ?(obs = Trace.null) cloud bytes cts =
             ops.v_lut ~arity ~table operands);
       }
     in
-    let result = run ~obs counted bytes in
+    let result = run_legacy ~obs counted bytes in
     let params = cloud.Pytfhe_tfhe.Gates.cloud_params in
     let tr = Trace.new_track obs ~name:"stream-crypto" in
     Exec_obs.noise_gauges tr params;
@@ -173,3 +173,11 @@ let run_encrypted ?(obs = Trace.null) cloud bytes cts =
     Trace.drain obs;
     result
   end
+
+let run ?(opts = Exec_opts.default) ops bytes =
+  Exec_opts.check_scalar_only ~who:"Stream_exec.run" opts;
+  run_legacy ~obs:opts.Exec_opts.obs ops bytes
+
+let run_encrypted ?(opts = Exec_opts.default) cloud bytes cts =
+  Exec_opts.check_scalar_only ~who:"Stream_exec.run_encrypted" opts;
+  run_encrypted_legacy ~obs:opts.Exec_opts.obs cloud bytes cts

@@ -17,23 +17,35 @@ type 'v ops = {
   v_lut_view : 'v -> 'v;  (** The free lutdom → classic view. *)
 }
 
-val run : ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> bytes -> 'v array
+val run : ?opts:Exec_opts.t -> 'v ops -> bytes -> 'v array
 (** Execute an assembled binary over any value domain; returns the outputs
     in output-instruction order.  Raises [Failure] on malformed streams
     (bad magic sizes, forward references, missing header) and
     [Pytfhe_util.Wire.Corrupt] on structurally corrupt LUT records — a
     multi-input cell whose operand is not lutdom-encoded (the per-record
     field checks already live in the {!Pytfhe_circuit.Binary} decoder).
-    With an enabled [obs] sink, emits one span for the whole pass plus the
-    instruction-mix counters on a ["stream"] track. *)
+    With an enabled [opts.obs] sink, emits one span for the whole pass plus
+    the instruction-mix counters on a ["stream"] track.  The stream walk is
+    inherently scalar: [opts.batch]/non-default [opts.soa] raise
+    [Invalid_argument] rather than being silently dropped. *)
 
 val run_bits : bytes -> bool array -> bool array
 (** Plaintext-bit instantiation. *)
 
 val run_encrypted :
-  ?obs:Pytfhe_obs.Trace.sink ->
+  ?opts:Exec_opts.t ->
   Pytfhe_tfhe.Gates.cloud_keyset -> bytes -> Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array
 (** Homomorphic instantiation: each gate instruction triggers one
     bootstrapped-gate evaluation.  Traced runs add key-switch/FFT counters
-    and the noise gauges on a ["stream-crypto"] track. *)
+    and the noise gauges on a ["stream-crypto"] track.  Same
+    [Invalid_argument] contract as {!run} for the batch/soa knobs. *)
+
+val run_legacy : ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> bytes -> 'v array
+(** @deprecated The pre-{!Exec_opts} signature, kept for one release. *)
+
+val run_encrypted_legacy :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  Pytfhe_tfhe.Gates.cloud_keyset -> bytes -> Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array
+(** @deprecated The pre-{!Exec_opts} signature, kept for one release. *)

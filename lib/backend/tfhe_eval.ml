@@ -483,7 +483,7 @@ let run_batched_soa obs cloud net inputs ~batch =
   let c = Gates.batch_counters bc in
   (outputs, !bootstraps, !nots, wave_wall, wave_width, c)
 
-let run ?(obs = Trace.null) ?batch ?(soa = true) cloud net inputs =
+let run_legacy ?(obs = Trace.null) ?batch ?(soa = true) cloud net inputs =
   let start = Unix.gettimeofday () in
   match batch with
   | Some b ->
@@ -529,3 +529,7 @@ let run ?(obs = Trace.null) ?batch ?(soa = true) cloud net inputs =
         bsk_bytes_streamed = 0;
         ks_bytes_streamed = 0;
       } )
+
+let run ?(opts = Exec_opts.default) cloud net inputs =
+  run_legacy ~obs:opts.Exec_opts.obs ?batch:opts.Exec_opts.batch
+    ~soa:opts.Exec_opts.soa cloud net inputs

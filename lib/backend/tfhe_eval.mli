@@ -26,16 +26,16 @@ type stats = {
 }
 
 val run :
-  ?obs:Pytfhe_obs.Trace.sink ->
-  ?batch:int ->
-  ?soa:bool ->
+  ?opts:Exec_opts.t ->
   Pytfhe_tfhe.Gates.cloud_keyset ->
   Pytfhe_circuit.Netlist.t ->
   Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * stats
 (** [run cloud net inputs] homomorphically evaluates every gate in
     topological order.  [inputs] follow the netlist's input declaration
-    order; outputs follow the output declaration order.
+    order; outputs follow the output declaration order.  Execution knobs
+    ride in [?opts] (default {!Exec_opts.default}); below, [obs] / [batch]
+    / [soa] name its fields.
 
     With an enabled [obs] sink the walk switches from id order to the
     levelized wave order — a different topological order of the same DAG,
@@ -55,6 +55,17 @@ val run :
     record-batched and SoA-batched paths for every batch size; a traced
     batched run additionally emits [batch_waves]/[batch_fill]/
     [bsk_bytes_streamed]/[ks_bytes_streamed] counters per wave. *)
+
+val run_legacy :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?batch:int ->
+  ?soa:bool ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pytfhe_circuit.Netlist.t ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** @deprecated The pre-{!Exec_opts} flag triple, kept for one release;
+    [run_legacy ?obs ?batch ?soa] ≡ [run ~opts:(Exec_opts.of_flags ...)]. *)
 
 val plan_of : Pytfhe_circuit.Gate.t -> Pytfhe_tfhe.Gates.combine_plan
 (** The linear phase combination of a bootstrapped IR gate (shared with

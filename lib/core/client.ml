@@ -30,6 +30,11 @@ let decrypt_value t dtype cs =
 let cloud_key_bytes t =
   Bootstrap.key_bytes (params t) + Keyswitch.table_bytes t.keyswitch
 
+let client_id t =
+  let buf = Buffer.create 4096 in
+  Gates.write_secret_keyset buf t.secret;
+  String.sub (Digest.to_hex (Digest.string (Buffer.contents buf))) 0 16
+
 module Wire = Pytfhe_util.Wire
 
 let save t path =

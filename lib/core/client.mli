@@ -26,6 +26,13 @@ val encrypt_value : t -> Pytfhe_chiseltorch.Dtype.t -> float -> Lwe.sample array
 
 val decrypt_value : t -> Pytfhe_chiseltorch.Dtype.t -> Lwe.sample array -> float
 
+val client_id : t -> string
+(** A stable 16-hex-char tenant identity derived from (but not revealing)
+    the secret keyset — the default [client_id] the CLI registers keysets
+    under with the FHE-as-a-service server.  Deterministic across
+    {!save}/{!load} round-trips.  It is an {e identifier}, not an
+    authenticator: the service trusts ids as namespace labels only. *)
+
 val cloud_key_bytes : t -> int
 (** Serialized size of the public evaluation keys (bootstrapping plus key
     switching) — the "few megabytes" the paper contrasts with CKKS rotation

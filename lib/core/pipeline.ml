@@ -45,6 +45,17 @@ let compile ?(obs = Trace.null) ?(optimize = true) ?(lut_cover = false) ~name ne
   Trace.drain obs;
   { prog_name = name; netlist; binary; stats; schedule; opt_report }
 
+let of_binary ~name binary =
+  let netlist = Binary.parse binary in
+  {
+    prog_name = name;
+    netlist;
+    binary;
+    stats = Stats.compute netlist;
+    schedule = Levelize.run netlist;
+    opt_report = None;
+  }
+
 let compile_model ~name ~dtype ~input_shape model =
   let net = Netlist.create () in
   let x = Tensor.input net "x" dtype input_shape in

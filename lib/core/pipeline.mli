@@ -29,6 +29,15 @@ val compile :
     compile phase (optimize or lut-cover/assemble/stats/levelize) on a
     ["compile"] track. *)
 
+val of_binary : name:string -> bytes -> compiled
+(** Rehydrate a compiled program from an assembled PyTFHE binary — the
+    ingestion path of the FHE-as-a-service server, whose clients submit
+    programs as binaries, not netlists.  Recomputes stats and the BFS
+    schedule from the parsed netlist; [opt_report] is [None] (synthesis
+    happened, if at all, on the submitting side).  Raises
+    [Pytfhe_util.Wire.Corrupt] on structurally corrupt LUT records and
+    [Failure] on malformed streams, like {!Pytfhe_circuit.Binary.parse}. *)
+
 val compile_model :
   name:string -> dtype:Pytfhe_chiseltorch.Dtype.t -> input_shape:int array ->
   Pytfhe_chiseltorch.Nn.model -> compiled

@@ -9,13 +9,36 @@ type exec_backend =
   | Multicore of { workers : int }
   | Multiprocess of { workers : int; config : Dist_eval.config option }
 
+(* Round-trippable names: [exec_backend_of_name (exec_backend_name b)]
+   recovers [b] (modulo an explicit [config], which has no spelling), and
+   the spellings are exactly what the CLI's [--backend] flag accepts, so
+   "serve --backend dist" and the bench artifacts agree on names. *)
 let exec_backend_name = function
   | Cpu -> "cpu"
   | Multicore { workers } ->
-    if workers = 0 then "multicore" else Printf.sprintf "multicore (%d workers)" workers
+    if workers = 0 then "par" else Printf.sprintf "par:%d" workers
   | Multiprocess { workers; config } ->
     let w = match config with Some c -> c.Dist_eval.workers | None -> workers in
-    Printf.sprintf "multiprocess (%d workers)" w
+    Printf.sprintf "dist:%d" w
+
+let exec_backend_of_name s =
+  let workers_of tail ~who =
+    match int_of_string_opt tail with
+    | Some w when w >= 1 -> Ok w
+    | _ -> Error (Printf.sprintf "%s: worker count must be a positive integer, got %S" who tail)
+  in
+  match String.split_on_char ':' s with
+  | [ "cpu" ] -> Ok Cpu
+  | [ "par" ] -> Ok (Multicore { workers = 0 })
+  | [ "par"; w ] ->
+    Result.map (fun workers -> Multicore { workers }) (workers_of w ~who:"par")
+  | [ "dist" ] -> Ok (Multiprocess { workers = 2; config = None })
+  | [ "dist"; w ] ->
+    Result.map (fun workers -> Multiprocess { workers; config = None }) (workers_of w ~who:"dist")
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown backend %S (expected cpu, par, par:N, dist or dist:N)" s)
 
 let executor = function
   | Cpu -> Executor.cpu
@@ -24,9 +47,12 @@ let executor = function
   | Multiprocess { workers; config } ->
     Executor.multiprocess ~workers ?config ()
 
-let run ?obs ?batch ?soa backend cloud compiled inputs =
+let run ?opts backend cloud compiled inputs =
   let (module E : Executor.S) = executor backend in
-  E.run ?obs ?batch ?soa cloud compiled.Pipeline.netlist inputs
+  E.run ?opts cloud compiled.Pipeline.netlist inputs
+
+let run_legacy ?obs ?batch ?soa backend cloud compiled inputs =
+  run ~opts:(Exec_opts.of_flags ?obs ?batch ?soa ()) backend cloud compiled inputs
 
 (* ------------------------------------------------------------------ *)
 (* Cost-model simulation                                               *)
@@ -38,7 +64,6 @@ type sim_platform =
   | Gpu of Cost_model.gpu
   | Gpu_cufhe of Cost_model.gpu
 
-type backend = sim_platform
 
 let sim_platform_name = function
   | Single_core -> "single-core CPU"
@@ -46,7 +71,6 @@ let sim_platform_name = function
   | Gpu g -> Printf.sprintf "GPU (%s)" g.Cost_model.gpu_name
   | Gpu_cufhe g -> Printf.sprintf "cuFHE (%s)" g.Cost_model.gpu_name
 
-let backend_name = sim_platform_name
 
 let estimate ?(cost = Cost_model.paper_cpu) platform compiled =
   let sched = compiled.Pipeline.schedule in
@@ -61,19 +85,6 @@ let speedup_over_single_core ?cost platform compiled =
   let single = estimate ?cost Single_core compiled in
   let t = estimate ?cost platform compiled in
   if t > 0.0 then single /. t else 0.0
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated entry points (pre-Executor API)                          *)
-(* ------------------------------------------------------------------ *)
-
-let evaluate cloud compiled inputs = Tfhe_eval.run cloud compiled.Pipeline.netlist inputs
-
-let evaluate_parallel ?workers cloud compiled inputs =
-  Par_eval.run ?workers cloud compiled.Pipeline.netlist inputs
-
-let evaluate_distributed ?(workers = 2) ?config cloud compiled inputs =
-  let cfg = match config with Some c -> c | None -> Dist_eval.config workers in
-  Dist_eval.run cfg cloud compiled.Pipeline.netlist inputs
 
 (* ------------------------------------------------------------------ *)
 (* Keyset persistence                                                  *)

@@ -30,11 +30,42 @@ type exec_backend =
           main. *)
 
 val exec_backend_name : exec_backend -> string
+(** The backend's canonical spelling — ["cpu"], ["par"], ["par:4"],
+    ["dist:2"] — chosen to round-trip through {!exec_backend_of_name} and
+    to match the CLI's [--backend] argument and the bench artifacts.
+    (An explicit [Multiprocess config] renders as [dist:N]; the rest of
+    the config has no spelling.) *)
+
+val exec_backend_of_name : string -> (exec_backend, string) result
+(** Parse a backend spelling: [cpu], [par], [par:N], [dist], [dist:N]
+    (bare [dist] means 2 workers).  [Error] carries a human-readable
+    message listing the accepted forms. *)
 
 val executor : exec_backend -> (module Pytfhe_backend.Executor.S)
 (** The first-class executor module behind each variant. *)
 
 val run :
+  ?opts:Pytfhe_backend.Executor.opts ->
+  exec_backend ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  Pipeline.compiled ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Executor.stats
+(** [run backend cloud compiled inputs] evaluates the program
+    homomorphically (inputs/outputs in declaration order) on the chosen
+    backend, returning the unified stats record.  Execution knobs ride in
+    [?opts] (default {!Pytfhe_backend.Executor.default_opts}): an enabled
+    [opts.obs] sink collects spans/counters/gauges (see
+    {!Pytfhe_obs.Trace} and [docs/observability.md]); [opts.batch = Some b]
+    routes the Cpu/Multicore backends through the key-streaming batched
+    kernel in sub-batches of at most [b] gates, and [opts.soa] (default
+    [true]) runs those sub-batches through the struct-of-arrays row
+    kernels on contiguous {!Pytfhe_tfhe.Lwe_array} waves (bit-exact with
+    the scalar path either way) — see [docs/perf.md].  Multiprocess
+    raises [Invalid_argument] on the batch/soa knobs instead of silently
+    dropping them. *)
+
+val run_legacy :
   ?obs:Pytfhe_obs.Trace.sink ->
   ?batch:int ->
   ?soa:bool ->
@@ -43,16 +74,8 @@ val run :
   Pipeline.compiled ->
   Pytfhe_tfhe.Lwe.sample array ->
   Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Executor.stats
-(** [run backend cloud compiled inputs] evaluates the program
-    homomorphically (inputs/outputs in declaration order) on the chosen
-    backend, returning the unified stats record.  Pass an enabled [obs]
-    sink to collect spans/counters/gauges — see
-    {!Pytfhe_obs.Trace} and [docs/observability.md].  [?batch:b] routes
-    the Cpu/Multicore backends through the key-streaming batched kernel
-    in sub-batches of at most [b] gates; [?soa:true] runs those
-    sub-batches through the struct-of-arrays row kernels on contiguous
-    {!Pytfhe_tfhe.Lwe_array} waves (bit-exact with the scalar path
-    either way; both ignored by Multiprocess) — see [docs/perf.md]. *)
+(** @deprecated The pre-[Executor.opts] flag triple, kept for one
+    release; equivalent to [run ~opts:{ obs; batch; soa }]. *)
 
 (** {2 Cost-model simulation} *)
 
@@ -63,15 +86,7 @@ type sim_platform =
   | Gpu of Pytfhe_backend.Cost_model.gpu
   | Gpu_cufhe of Pytfhe_backend.Cost_model.gpu  (** The cuFHE baseline executor. *)
 
-type backend = sim_platform
-(** @deprecated Old name of {!sim_platform}, kept so existing callers
-    compile; it conflated simulated platforms with real executors (now
-    {!exec_backend}). *)
-
 val sim_platform_name : sim_platform -> string
-
-val backend_name : sim_platform -> string
-(** @deprecated Use {!sim_platform_name}. *)
 
 val estimate :
   ?cost:Pytfhe_backend.Cost_model.cpu -> sim_platform -> Pipeline.compiled -> float
@@ -80,30 +95,6 @@ val estimate :
 
 val speedup_over_single_core :
   ?cost:Pytfhe_backend.Cost_model.cpu -> sim_platform -> Pipeline.compiled -> float
-
-(** {2 Deprecated entry points}
-
-    One-line wrappers over {!run}, kept for source compatibility; they
-    return each backend's native stats record instead of the unified
-    {!Pytfhe_backend.Executor.stats}. *)
-
-val evaluate :
-  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
-  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Tfhe_eval.stats
-(** @deprecated Use [run Cpu]. *)
-
-val evaluate_parallel :
-  ?workers:int ->
-  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
-  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Par_eval.stats
-(** @deprecated Use [run (Multicore _)]. *)
-
-val evaluate_distributed :
-  ?workers:int ->
-  ?config:Pytfhe_backend.Dist_eval.config ->
-  Pytfhe_tfhe.Gates.cloud_keyset -> Pipeline.compiled -> Pytfhe_tfhe.Lwe.sample array ->
-  Pytfhe_tfhe.Lwe.sample array * Pytfhe_backend.Dist_eval.stats
-(** @deprecated Use [run (Multiprocess _)]. *)
 
 (** {2 Keyset persistence} *)
 

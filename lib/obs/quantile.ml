@@ -1,0 +1,59 @@
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let empty_summary =
+  { count = 0; mean = nan; p50 = nan; p90 = nan; p99 = nan; max = nan }
+
+(* Nearest-rank on a sorted copy: exact, O(n log n), fine for the sample
+   counts a bench or a service stats frame deals in.  q is clamped to
+   [0, 1]; the empty array yields nan (JSON-exported as null downstream,
+   "p99 finite" gates catch it). *)
+let of_samples samples ~q =
+  let n = Array.length samples in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+  end
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then empty_summary
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let at q =
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+    in
+    {
+      count = n;
+      mean = Array.fold_left ( +. ) 0.0 sorted /. float_of_int n;
+      p50 = at 0.5;
+      p90 = at 0.9;
+      p99 = at 0.99;
+      max = sorted.(n - 1);
+    }
+  end
+
+let summary_json s =
+  let open Pytfhe_util.Json in
+  let num v = if Float.is_nan v then Null else Number v in
+  Obj
+    [
+      ("count", Number (float_of_int s.count));
+      ("mean", num s.mean);
+      ("p50", num s.p50);
+      ("p90", num s.p90);
+      ("p99", num s.p99);
+      ("max", num s.max);
+    ]

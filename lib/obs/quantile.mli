@@ -1,0 +1,29 @@
+(** Exact sample quantiles for latency reporting.
+
+    The service layer and the bench harness both summarize per-request
+    latencies as p50/p90/p99; this is the one shared implementation
+    (nearest-rank on a sorted copy — exact, no sketching), so the numbers
+    in a [SSTA] stats frame and in [BENCH_service.json] mean the same
+    thing. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val empty_summary : summary
+(** [count = 0], every statistic [nan]. *)
+
+val of_samples : float array -> q:float -> float
+(** Nearest-rank quantile ([q] clamped to [0, 1]); [nan] on the empty
+    array.  Does not mutate its argument. *)
+
+val summarize : float array -> summary
+
+val summary_json : summary -> Pytfhe_util.Json.t
+(** [{"count": n, "mean": ..., "p50": ..., "p90": ..., "p99": ...,
+    "max": ...}]; [nan] statistics render as [null]. *)

@@ -1,0 +1,57 @@
+module Wire = Pytfhe_util.Wire
+
+type entry = {
+  keyset : Gates.cloud_keyset;
+  registered_at : float;
+  generation : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable generations : int;  (* Total registrations ever, for generation stamps. *)
+}
+
+let create () = { table = Hashtbl.create 16; generations = 0 }
+
+let max_id_len = 64
+
+let validate_id id =
+  let ok_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '-' || c = '_' || c = '.'
+  in
+  if String.length id = 0 || String.length id > max_id_len then
+    raise
+      (Wire.Corrupt
+         (Printf.sprintf "Keyring: client id must be 1..%d chars, got %d" max_id_len
+            (String.length id)));
+  String.iter
+    (fun c ->
+      if not (ok_char c) then
+        raise (Wire.Corrupt (Printf.sprintf "Keyring: invalid client id character %C" c)))
+    id
+
+let register t ~id ~now keyset =
+  validate_id id;
+  t.generations <- t.generations + 1;
+  Hashtbl.replace t.table id
+    { keyset; registered_at = now; generation = t.generations }
+
+let find t id = Hashtbl.find_opt t.table id
+
+let keyset t id = Option.map (fun e -> e.keyset) (find t id)
+
+let evict t id =
+  if Hashtbl.mem t.table id then begin
+    Hashtbl.remove t.table id;
+    true
+  end
+  else false
+
+let mem t id = Hashtbl.mem t.table id
+let count t = Hashtbl.length t.table
+
+let ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort String.compare

@@ -1,0 +1,46 @@
+(** A registry of cloud keysets keyed by client id — the multi-tenant key
+    store of the FHE-as-a-service server.
+
+    The TFHE key-management model (the [SecretKey]/[CloudKey] split): a
+    tenant generates both keysets locally, registers only the {e cloud}
+    keyset (bootstrapping key + key-switch table + parameters) under its
+    client id, and the secret keyset never crosses the wire.  Eviction
+    drops the entry; the service layer fails that tenant's in-flight
+    requests, nobody else's.
+
+    Not thread-safe: the service owns one registry on its scheduler
+    thread. *)
+
+type t
+
+type entry = {
+  keyset : Gates.cloud_keyset;
+  registered_at : float;  (** Caller-supplied clock at registration. *)
+  generation : int;
+      (** 1-based registration sequence number across the registry's
+          lifetime; a re-registered id gets a fresh generation, letting
+          sessions opened against the old keyset be told apart. *)
+}
+
+val create : unit -> t
+
+val max_id_len : int
+(** 64. *)
+
+val validate_id : string -> unit
+(** Client ids are 1..{!max_id_len} chars of [[A-Za-z0-9._-]].  Raises
+    {!Pytfhe_util.Wire.Corrupt} otherwise — ids arrive off the wire, and a
+    malformed one is a protocol error, not a programming error. *)
+
+val register : t -> id:string -> now:float -> Gates.cloud_keyset -> unit
+(** Register (or replace) the keyset under [id].  Validates the id. *)
+
+val find : t -> string -> entry option
+val keyset : t -> string -> Gates.cloud_keyset option
+val evict : t -> string -> bool
+(** [true] if the id was present. *)
+
+val mem : t -> string -> bool
+val count : t -> int
+val ids : t -> string list
+(** Sorted. *)

@@ -19,6 +19,9 @@ open Pytfhe_backend
 
 let keys = lazy (Gates.key_gen (Rng.create ~seed:909 ()) Params.test)
 
+(* The consolidated execution-options record, built from the old flags. *)
+let bopts ?batch ?soa () = Exec_opts.of_flags ?batch ?soa ()
+
 (* ------------------------------------------------------------------ *)
 (* Lwe_array storage                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -278,8 +281,8 @@ let test_batched_matches_scalar =
       let widest = Array.fold_left max 1 (Levelize.run net).Levelize.widths in
       List.for_all
         (fun b ->
-          let cpu_out, _ = Tfhe_eval.run ~batch:b ck net cts in
-          let par_out, _ = Par_eval.run ~workers:2 ~batch:b ck net cts in
+          let cpu_out, _ = Tfhe_eval.run ~opts:(bopts ~batch:b ()) ck net cts in
+          let par_out, _ = Par_eval.run ~workers:2 ~opts:(bopts ~batch:b ()) ck net cts in
           cpu_out = scalar_out && par_out = scalar_out)
         [ 1; 3; 8; widest ])
 
@@ -292,7 +295,7 @@ let test_non_divisible_wave () =
   let ins = Array.init 6 (fun _ -> Rng.bool rng) in
   let cts = Array.map (Gates.encrypt_bit rng sk) ins in
   let scalar_out, _ = Tfhe_eval.run ck net cts in
-  let outs, st = Tfhe_eval.run ~batch:3 ck net cts in
+  let outs, st = Tfhe_eval.run ~opts:(bopts ~batch:3 ()) ck net cts in
   Alcotest.(check bool) "ciphertexts identical" true (outs = scalar_out);
   Alcotest.(check (array bool)) "decrypts to plain eval"
     (Array.of_list (List.map snd (Plain_eval.run net ins)))
@@ -303,12 +306,12 @@ let test_non_divisible_wave () =
   Alcotest.(check bool) "ks traffic accounted" true (st.Tfhe_eval.ks_bytes_streamed > 0);
   Alcotest.(check bool) "rejects batch < 1" true
     (try
-       ignore (Tfhe_eval.run ~batch:0 ck net cts);
+       ignore (Tfhe_eval.run ~opts:(bopts ~batch:0 ()) ck net cts);
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "par_eval rejects batch < 1" true
     (try
-       ignore (Par_eval.run ~workers:2 ~batch:0 ck net cts);
+       ignore (Par_eval.run ~workers:2 ~opts:(bopts ~batch:0 ()) ck net cts);
        false
      with Invalid_argument _ -> true)
 
@@ -318,8 +321,8 @@ let test_key_traffic_drops_with_batch () =
   let rng = Rng.create ~seed:405 () in
   let ins = Array.init 9 (fun _ -> Rng.bool rng) in
   let cts = Array.map (Gates.encrypt_bit rng sk) ins in
-  let out1, st1 = Tfhe_eval.run ~batch:1 ck net cts in
-  let out8, st8 = Tfhe_eval.run ~batch:8 ck net cts in
+  let out1, st1 = Tfhe_eval.run ~opts:(bopts ~batch:1 ()) ck net cts in
+  let out8, st8 = Tfhe_eval.run ~opts:(bopts ~batch:8 ()) ck net cts in
   Alcotest.(check bool) "batch sizes agree on ciphertexts" true (out1 = out8);
   (* Streaming the key once per 8-gate wave instead of once per gate must
      cut accounted key traffic by far more than 2x. *)
@@ -345,10 +348,10 @@ let test_soa_matches_record =
       let widest = Array.fold_left max 1 (Levelize.run net).Levelize.widths in
       List.for_all
         (fun b ->
-          let soa_out, _ = Tfhe_eval.run ~batch:b ~soa:true ck net cts in
-          let rec_out, _ = Tfhe_eval.run ~batch:b ~soa:false ck net cts in
-          let par_soa, _ = Par_eval.run ~workers:2 ~batch:b ~soa:true ck net cts in
-          let par_rec, _ = Par_eval.run ~workers:2 ~batch:b ~soa:false ck net cts in
+          let soa_out, _ = Tfhe_eval.run ~opts:(bopts ~batch:b ~soa:true ()) ck net cts in
+          let rec_out, _ = Tfhe_eval.run ~opts:(bopts ~batch:b ~soa:false ()) ck net cts in
+          let par_soa, _ = Par_eval.run ~workers:2 ~opts:(bopts ~batch:b ~soa:true ()) ck net cts in
+          let par_rec, _ = Par_eval.run ~workers:2 ~opts:(bopts ~batch:b ~soa:false ()) ck net cts in
           soa_out = scalar_out && rec_out = scalar_out && par_soa = scalar_out
           && par_rec = scalar_out)
         [ 1; 3; 8; widest ])
@@ -361,14 +364,14 @@ let test_executor_batch_knob () =
   let cts = Array.map (Gates.encrypt_bit rng sk) ins in
   let module Cpu = (val Executor.cpu) in
   let scalar_out, _ = Cpu.run ck net cts in
-  let outs, st = Cpu.run ~batch:2 ck net cts in
+  let outs, st = Cpu.run ~opts:(bopts ~batch:2 ()) ck net cts in
   Alcotest.(check bool) "executor cpu batched bit-exact" true (outs = scalar_out);
   (match st.Executor.detail with
   | Executor.Cpu_stats s ->
     Alcotest.(check int) "batch size surfaced through detail" 2 s.Tfhe_eval.batch_size
   | _ -> Alcotest.fail "expected cpu stats");
   let module Mc = (val Executor.multicore ~workers:2 ()) in
-  let outs, st = Mc.run ~batch:2 ck net cts in
+  let outs, st = Mc.run ~opts:(bopts ~batch:2 ()) ck net cts in
   Alcotest.(check bool) "executor multicore batched bit-exact" true (outs = scalar_out);
   (match st.Executor.detail with
   | Executor.Multicore_stats s ->

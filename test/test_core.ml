@@ -156,12 +156,13 @@ let test_evaluate_distributed_matches_sequential () =
   | Executor.Multiprocess_stats d ->
     Alcotest.(check int) "detail carries the dist stats" 2 d.Pytfhe_backend.Dist_eval.workers_started
   | _ -> Alcotest.fail "multiprocess run returned non-multiprocess detail");
-  (* the deprecated wrappers stay bit-exact with the unified entry point *)
-  let wrap_seq, _ = Server.evaluate cloud compiled cts in
-  let wrap_par, _ = Server.evaluate_parallel ~workers:2 cloud compiled cts in
-  let wrap_dist, _ = Server.evaluate_distributed ~workers:2 cloud compiled cts in
-  Alcotest.(check bool) "deprecated wrappers agree" true
-    (wrap_seq = seq_out && wrap_par = seq_out && wrap_dist = seq_out);
+  (* the deprecated flag-triple wrapper stays bit-exact with ?opts *)
+  let wrap_seq, _ = Server.run_legacy Server.Cpu cloud compiled cts in
+  let wrap_par, _ =
+    Server.run_legacy ~batch:2 (Server.Multicore { workers = 2 }) cloud compiled cts
+  in
+  Alcotest.(check bool) "deprecated run_legacy agrees" true
+    (wrap_seq = seq_out && wrap_par = seq_out);
   Alcotest.(check (array bool)) "decrypts to 5+2=7 (LSB first)" [| true; true; true |]
     (Client.decrypt_bits client outs)
 
@@ -219,14 +220,31 @@ let test_backend_names () =
     (Server.sim_platform_name (Server.Distributed { nodes = 4 }));
   Alcotest.(check bool) "gpu name mentions model" true
     (String.length (Server.sim_platform_name (Server.Gpu Pytfhe_backend.Cost_model.gpu_4090)) > 4);
-  (* the deprecated alias must keep answering the same strings *)
-  Alcotest.(check string) "backend_name alias" "single-core CPU"
-    (Server.backend_name Server.Single_core);
+  (* executor names round-trip through the CLI parser *)
   Alcotest.(check string) "exec cpu" "cpu" (Server.exec_backend_name Server.Cpu);
-  Alcotest.(check string) "exec multicore" "multicore (2 workers)"
+  Alcotest.(check string) "exec multicore" "par:2"
     (Server.exec_backend_name (Server.Multicore { workers = 2 }));
-  Alcotest.(check string) "exec multiprocess" "multiprocess (3 workers)"
-    (Server.exec_backend_name (Server.Multiprocess { workers = 3; config = None }))
+  Alcotest.(check string) "exec multiprocess" "dist:3"
+    (Server.exec_backend_name (Server.Multiprocess { workers = 3; config = None }));
+  List.iter
+    (fun b ->
+      match Server.exec_backend_of_name (Server.exec_backend_name b) with
+      | Ok b' ->
+        Alcotest.(check string) "name round-trips" (Server.exec_backend_name b)
+          (Server.exec_backend_name b')
+      | Error e -> Alcotest.fail e)
+    [
+      Server.Cpu;
+      Server.Multicore { workers = 0 };
+      Server.Multicore { workers = 4 };
+      Server.Multiprocess { workers = 2; config = None };
+    ];
+  (match Server.exec_backend_of_name "dist" with
+  | Ok (Server.Multiprocess { workers = 2; _ }) -> ()
+  | _ -> Alcotest.fail "bare dist should parse to 2 workers");
+  (match Server.exec_backend_of_name "gpu" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend name must be rejected")
 
 
 (* ------------------------------------------------------------------ *)

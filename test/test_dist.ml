@@ -18,6 +18,8 @@ let keys = lazy (Gates.key_gen (Rng.create ~seed:909 ()) Pytfhe_tfhe.Params.test
 
 let random_bits rng n = Array.init n (fun _ -> Rng.bool rng)
 
+let bopts ?batch ?soa () = Exec_opts.of_flags ?batch ?soa ()
+
 (* Sequential encrypted reference plus plaintext truth for [net]/[ins]. *)
 let reference ck net cts = fst (Tfhe_eval.run ck net cts)
 
@@ -77,14 +79,14 @@ let test_cross_backend_lut =
           let seq_out = reference ck n cts in
           if Array.map (Gates.decrypt_bit sk) seq_out <> truth then
             QCheck.Test.fail_report "tfhe_eval disagrees with plain_eval on a LUT netlist";
-          let batched, _ = Tfhe_eval.run ~batch:3 ck n cts in
-          let soa, _ = Tfhe_eval.run ~batch:3 ~soa:true ck n cts in
+          let batched, _ = Tfhe_eval.run ~opts:(bopts ~batch:3 ()) ck n cts in
+          let soa, _ = Tfhe_eval.run ~opts:(bopts ~batch:3 ~soa:true ()) ck n cts in
           if batched <> seq_out || soa <> seq_out then
             QCheck.Test.fail_report "batched/SoA paths disagree on a LUT netlist";
           List.for_all
             (fun workers ->
               let par_out, _ = Par_eval.run ~workers ck n cts in
-              let par_soa, _ = Par_eval.run ~workers ~batch:3 ~soa:true ck n cts in
+              let par_soa, _ = Par_eval.run ~workers ~opts:(bopts ~batch:3 ~soa:true ()) ck n cts in
               let dist_out, st = Dist_eval.run (Dist_eval.config workers) ck n cts in
               par_out = seq_out && par_soa = seq_out && dist_out = seq_out
               && st.Dist_eval.workers_lost = 0)

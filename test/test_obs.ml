@@ -60,7 +60,9 @@ let test_traced_bit_exact =
         (fun backend ->
           let untraced, _ = Server.run backend ck compiled cts in
           let obs = Trace.create () in
-          let traced, st = Server.run ~obs backend ck compiled cts in
+          let traced, st =
+            Server.run ~opts:{ Executor.default_opts with obs } backend ck compiled cts
+          in
           let waves = Array.length st.Executor.wave_width in
           let spans = List.length (wave_spans (Trace.events obs)) in
           if untraced <> ref_out then
@@ -262,7 +264,7 @@ let test_dist_crash_trace () =
       ~faults:[ { Dist_eval.victim = 1; after_requests = 2; action = Dist_eval.Crash } ]
       3
   in
-  let outs, st = Dist_eval.run ~obs cfg ck net cts in
+  let outs, st = Dist_eval.run ~opts:{ Executor.default_opts with obs } cfg ck net cts in
   Alcotest.(check bool) "bit-exact despite crash" true (outs = seq_out);
   Alcotest.(check int) "one worker lost" 1 st.Dist_eval.workers_lost;
   let evs = Trace.events obs in
@@ -278,7 +280,9 @@ let test_dist_traced_stats () =
   let ins = random_bits rng 5 in
   let cts = Array.map (Gates.encrypt_bit rng sk) ins in
   let obs = Trace.create () in
-  let _, st = Dist_eval.run ~obs (Dist_eval.config 2) ck net cts in
+  let _, st =
+    Dist_eval.run ~opts:{ Executor.default_opts with obs } (Dist_eval.config 2) ck net cts
+  in
   let evs = Trace.events obs in
   let shard_spans =
     List.filter (function Trace.Span { cat = "shard"; _ } -> true | _ -> false) evs

@@ -1,0 +1,323 @@
+(* FHE-as-a-service tests.
+
+   The load-bearing properties: (1) concurrent multi-tenant sessions are
+   ciphertext-bit-exact with a per-tenant Server.run of the same program,
+   (2) malformed or mismatched handshakes are rejected without killing
+   other sessions (payload errors draw an SERR; only envelope corruption
+   closes the one offending connection), and (3) evicting a keyset fails
+   exactly that tenant's requests, after which the tenant can re-register
+   and run again. *)
+
+module Rng = Pytfhe_util.Rng
+module Wire = Pytfhe_util.Wire
+module Netlist = Pytfhe_circuit.Netlist
+module Params = Pytfhe_tfhe.Params
+module Transform = Pytfhe_fft.Transform
+module Framing = Pytfhe_backend.Framing
+module Executor = Pytfhe_backend.Executor
+module Plain_eval = Pytfhe_backend.Plain_eval
+module Pipeline = Pytfhe_core.Pipeline
+module Server = Pytfhe_core.Server
+module Client = Pytfhe_core.Client
+module Service = Pytfhe_service.Service
+module Service_client = Pytfhe_service.Service_client
+
+(* Key generation dominates these tests; share one pair per tenant. *)
+let tenant_a = lazy (Client.keygen ~params:Params.test ~seed:71 ())
+let tenant_b = lazy (Client.keygen ~params:Params.test ~seed:72 ())
+
+(* Run [f port] against a live server on an ephemeral port, then shut the
+   server down and return [(f's result, final server stats)]. *)
+let with_server ?(config = Service.default_config) f =
+  let port = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Service.serve ~config ~ready:(Atomic.set port) ()) in
+  while Atomic.get port = 0 do
+    Domain.cpu_relax ()
+  done;
+  let p = Atomic.get port in
+  let shut () =
+    try
+      let c = Service_client.connect ~port:p () in
+      Service_client.shutdown c;
+      Service_client.close c
+    with _ -> ()
+  in
+  match f p with
+  | result ->
+    shut ();
+    (result, Domain.join d)
+  | exception e ->
+    shut ();
+    ignore (Domain.join d);
+    raise e
+
+let compiled_wide =
+  lazy (Pipeline.compile ~optimize:false ~name:"svc-wide" (Gen_circuit.wide ~width:4 ~depth:3))
+
+let submit_compiled c ~session ~name compiled cts =
+  Service_client.submit c ~session ~name ~program:compiled.Pipeline.binary ~inputs:cts
+
+let expect_done = function
+  | Service_client.Done { outputs; bootstraps; _ } -> (outputs, bootstraps)
+  | Service_client.Failed { code; message } ->
+    Alcotest.failf "request failed (%s: %s)" (Service.string_of_error_code code) message
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent multi-tenant sessions, bit-exact vs per-tenant Server.run *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_tenant_bit_exact () =
+  let client_a, cloud_a = Lazy.force tenant_a in
+  let client_b, cloud_b = Lazy.force tenant_b in
+  let compiled = Lazy.force compiled_wide in
+  let n_in = Netlist.input_count compiled.Pipeline.netlist in
+  let rng = Rng.create ~seed:4242 () in
+  let job client () =
+    let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+    (ins, Client.encrypt_bits client ins)
+  in
+  let jobs_a = Array.init 2 (fun _ -> job client_a ()) in
+  let jobs_b = Array.init 2 (fun _ -> job client_b ()) in
+  let (), stats =
+    with_server (fun port ->
+        let ca = Service_client.connect ~port () in
+        let cb = Service_client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () ->
+            Service_client.close ca;
+            Service_client.close cb)
+          (fun () ->
+            let id_a = Client.client_id client_a and id_b = Client.client_id client_b in
+            Service_client.register ca ~client_id:id_a cloud_a;
+            Service_client.register cb ~client_id:id_b cloud_b;
+            let sa = Service_client.open_session ca ~client_id:id_a Params.test in
+            let sb = Service_client.open_session cb ~client_id:id_b Params.test in
+            (* Interleave the submissions so both tenants are in flight
+               concurrently, then await out of order. *)
+            let reqs =
+              Array.init 4 (fun i ->
+                  let c, s, (_, cts) =
+                    if i mod 2 = 0 then (ca, sa, jobs_a.(i / 2)) else (cb, sb, jobs_b.(i / 2))
+                  in
+                  (c, submit_compiled c ~session:s ~name:(Printf.sprintf "j%d" i) compiled cts))
+            in
+            Array.iteri
+              (fun i (c, req) ->
+                let outputs, bootstraps = expect_done (Service_client.await ~timeout:60.0 c req) in
+                let client, (ins, cts) =
+                  if i mod 2 = 0 then (client_a, jobs_a.(i / 2)) else (client_b, jobs_b.(i / 2))
+                in
+                let cloud = if i mod 2 = 0 then cloud_a else cloud_b in
+                let ref_out, _ = Server.run Server.Cpu cloud compiled cts in
+                Alcotest.(check bool)
+                  (Printf.sprintf "request %d bit-exact with per-tenant Server.run" i)
+                  true
+                  (outputs = ref_out);
+                Alcotest.(check (array bool))
+                  (Printf.sprintf "request %d decrypts to plain eval" i)
+                  (Array.of_list
+                     (List.map snd (Plain_eval.run compiled.Pipeline.netlist ins)))
+                  (Client.decrypt_bits client outputs);
+                Alcotest.(check bool) "bootstraps counted" true (bootstraps > 0))
+              reqs))
+  in
+  Alcotest.(check int) "two keysets registered" 2 stats.Service.keysets_registered;
+  Alcotest.(check int) "two sessions opened" 2 stats.Service.sessions_opened;
+  Alcotest.(check int) "four requests completed" 4 stats.Service.requests_completed;
+  Alcotest.(check int) "no failures" 0 stats.Service.requests_failed;
+  Alcotest.(check bool) "batched launches happened" true (stats.Service.batch_launches > 0);
+  Alcotest.(check int) "per-request latencies sampled" 4 stats.Service.latency.Pytfhe_obs.Quantile.count;
+  Alcotest.(check bool) "per-tenant traffic accounted" true
+    (Array.length stats.Service.tenants = 2
+    && Array.for_all (fun t -> t.Service.bytes_in > 0 && t.Service.bytes_out > 0) stats.Service.tenants)
+
+(* ------------------------------------------------------------------ *)
+(* Handshake rejection and failure isolation                           *)
+(* ------------------------------------------------------------------ *)
+
+let corrupts f = match f () with _ -> false | exception Wire.Corrupt _ -> true
+
+let test_handshake_rejection () =
+  let client_a, cloud_a = Lazy.force tenant_a in
+  let compiled = Lazy.force compiled_wide in
+  let n_in = Netlist.input_count compiled.Pipeline.netlist in
+  let rng = Rng.create ~seed:5151 () in
+  let (), stats =
+    with_server (fun port ->
+        let ca = Service_client.connect ~port () in
+        Fun.protect ~finally:(fun () -> Service_client.close ca) @@ fun () ->
+        let id_a = Client.client_id client_a in
+        Service_client.register ca ~client_id:id_a cloud_a;
+        let sa = Service_client.open_session ca ~client_id:id_a Params.test in
+        (* Each rejection below is a payload-level error on a throwaway
+           connection: the server answers SERR and the error surfaces
+           client-side as Wire.Corrupt. *)
+        let on_throwaway f =
+          let c = Service_client.connect ~port () in
+          Fun.protect ~finally:(fun () -> Service_client.close c) (fun () -> f c)
+        in
+        Alcotest.(check bool) "wrong transform tag rejected" true
+          (on_throwaway (fun c ->
+               let wrong =
+                 match Params.test.Params.transform with
+                 | Transform.Fft -> Transform.Ntt
+                 | Transform.Ntt -> Transform.Fft
+               in
+               corrupts (fun () ->
+                   Service_client.register ~transform:wrong c ~client_id:"tag-mismatch" cloud_a)));
+        Alcotest.(check bool) "unknown client id rejected" true
+          (on_throwaway (fun c ->
+               corrupts (fun () -> Service_client.open_session c ~client_id:"nobody" Params.test)));
+        Alcotest.(check bool) "malformed client id rejected" true
+          (on_throwaway (fun c ->
+               corrupts (fun () -> Service_client.register c ~client_id:"no spaces!" cloud_a)));
+        (* Unknown message magic inside a valid envelope: SERR, and the
+           connection survives to serve a well-formed stats call. *)
+        on_throwaway (fun c ->
+            let buf = Buffer.create 16 in
+            Wire.write_magic buf "ZZZZ";
+            let payload = Buffer.to_bytes buf in
+            let frame = Buffer.create 32 in
+            Buffer.add_string frame Framing.frame_magic;
+            Buffer.add_int64_le frame (Int64.of_int (Bytes.length payload));
+            Buffer.add_bytes frame payload;
+            Service_client.send_raw c (Buffer.to_bytes frame);
+            Alcotest.(check bool) "unknown magic draws SERR" true
+              (corrupts (fun () -> Service_client.stats c));
+            Alcotest.(check bool) "connection survives the payload error" true
+              (Service.(ignore (Service_client.stats c).backend);
+               true));
+        (* Envelope corruption: the server closes that connection only. *)
+        let cx = Service_client.connect ~port () in
+        Service_client.send_raw cx (Bytes.of_string "XXXXXXXXXXXXXXXXXXXX");
+        Alcotest.(check bool) "corrupt envelope closes the connection" true
+          (match Service_client.stats cx with
+          | _ -> false
+          | exception Framing.Frame_closed -> true
+          | exception Unix.Unix_error _ -> true);
+        Service_client.close cx;
+        (* The established tenant session kept working through all of it. *)
+        let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+        let cts = Client.encrypt_bits client_a ins in
+        let req = submit_compiled ca ~session:sa ~name:"survivor" compiled cts in
+        let outputs, _ = expect_done (Service_client.await ~timeout:60.0 ca req) in
+        let ref_out, _ = Server.run Server.Cpu cloud_a compiled cts in
+        Alcotest.(check bool) "survivor request bit-exact" true (outputs = ref_out))
+  in
+  Alcotest.(check int) "one request completed" 1 stats.Service.requests_completed;
+  Alcotest.(check int) "rejections admitted no requests" 1 stats.Service.requests_admitted
+
+(* ------------------------------------------------------------------ *)
+(* Keyset eviction fails only that tenant                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_evict_fails_only_that_tenant () =
+  let client_a, cloud_a = Lazy.force tenant_a in
+  let client_b, cloud_b = Lazy.force tenant_b in
+  (* Tenant A's program is a long serial chain: one ready gate at a time,
+     hundreds of scheduler launches, so the eviction lands mid-flight. *)
+  let chain = Pipeline.compile ~optimize:false ~name:"svc-chain" (Gen_circuit.chain ~depth:600) in
+  let wide = Lazy.force compiled_wide in
+  let rng = Rng.create ~seed:6161 () in
+  let (), stats =
+    with_server (fun port ->
+        let ca = Service_client.connect ~port () in
+        let cb = Service_client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () ->
+            Service_client.close ca;
+            Service_client.close cb)
+          (fun () ->
+            let id_a = Client.client_id client_a and id_b = Client.client_id client_b in
+            Service_client.register ca ~client_id:id_a cloud_a;
+            Service_client.register cb ~client_id:id_b cloud_b;
+            let sa = Service_client.open_session ca ~client_id:id_a Params.test in
+            let sb = Service_client.open_session cb ~client_id:id_b Params.test in
+            let ins_a =
+              Array.init (Netlist.input_count chain.Pipeline.netlist) (fun _ -> Rng.bool rng)
+            in
+            let cts_a = Client.encrypt_bits client_a ins_a in
+            let ins_b =
+              Array.init (Netlist.input_count wide.Pipeline.netlist) (fun _ -> Rng.bool rng)
+            in
+            let cts_b = Client.encrypt_bits client_b ins_b in
+            let req_a = submit_compiled ca ~session:sa ~name:"long-chain" chain cts_a in
+            let req_b = submit_compiled cb ~session:sb ~name:"bystander" wide cts_b in
+            Alcotest.(check bool) "evict acknowledges a registered keyset" true
+              (Service_client.evict ca ~client_id:id_a);
+            (match Service_client.await ~timeout:60.0 ca req_a with
+            | Service_client.Failed { code = Service.Evicted; _ } -> ()
+            | Service_client.Failed { code; message } ->
+              Alcotest.failf "wrong failure (%s: %s)" (Service.string_of_error_code code) message
+            | Service_client.Done _ -> Alcotest.fail "evicted request completed");
+            let outputs_b, _ = expect_done (Service_client.await ~timeout:60.0 cb req_b) in
+            Alcotest.(check (array bool)) "bystander tenant unaffected"
+              (Array.of_list (List.map snd (Plain_eval.run wide.Pipeline.netlist ins_b)))
+              (Client.decrypt_bits client_b outputs_b);
+            (* The evicted tenant's session is dead, but re-registering
+               brings the tenant back. *)
+            Alcotest.(check bool) "stale session rejected" true
+              (match submit_compiled ca ~session:sa ~name:"stale" wide cts_b with
+              | req -> (
+                match Service_client.await ~timeout:60.0 ca req with
+                | Service_client.Failed { code = Service.Unknown; _ } -> true
+                | _ -> false)
+              | exception Wire.Corrupt _ -> true);
+            Service_client.register ca ~client_id:id_a cloud_a;
+            let sa' = Service_client.open_session ca ~client_id:id_a Params.test in
+            let ins' =
+              Array.init (Netlist.input_count wide.Pipeline.netlist) (fun _ -> Rng.bool rng)
+            in
+            let cts' = Client.encrypt_bits client_a ins' in
+            let req' = submit_compiled ca ~session:sa' ~name:"reborn" wide cts' in
+            let outputs', _ = expect_done (Service_client.await ~timeout:60.0 ca req') in
+            Alcotest.(check (array bool)) "re-registered tenant runs again"
+              (Array.of_list (List.map snd (Plain_eval.run wide.Pipeline.netlist ins')))
+              (Client.decrypt_bits client_a outputs')))
+  in
+  Alcotest.(check int) "one eviction recorded" 1 stats.Service.keysets_evicted;
+  Alcotest.(check bool) "evicted request counted as failed" true
+    (stats.Service.requests_failed >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Stats wire codec                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_roundtrip () =
+  let s =
+    {
+      Service.backend = "cpu";
+      keysets_registered = 3;
+      keysets_evicted = 1;
+      sessions_opened = 4;
+      requests_admitted = 9;
+      requests_completed = 7;
+      requests_failed = 2;
+      batch_launches = 40;
+      batched_gates = 90;
+      batch_fill = 2.25;
+      lut_rotations = 5;
+      queue_depth = 1;
+      active_requests = 2;
+      max_queue_depth = 6;
+      latency = Pytfhe_obs.Quantile.summarize [| 0.1; 0.2; 0.3 |];
+      tenants = [| { Service.id = "alice"; bytes_in = 100; bytes_out = 50 } |];
+    }
+  in
+  let buf = Buffer.create 256 in
+  Service.write_stats buf s;
+  let s' = Service.read_stats (Wire.reader_of_string (Buffer.contents buf)) in
+  Alcotest.(check bool) "stats survive the wire" true (s = s')
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "multi-tenant bit-exact" `Quick test_multi_tenant_bit_exact;
+          Alcotest.test_case "handshake rejection" `Quick test_handshake_rejection;
+          Alcotest.test_case "evict fails only that tenant" `Quick
+            test_evict_fails_only_that_tenant;
+          Alcotest.test_case "stats wire roundtrip" `Quick test_stats_roundtrip;
+        ] );
+    ]
