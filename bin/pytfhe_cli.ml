@@ -102,21 +102,62 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the registered workloads") Term.(const run $ verbose)
 
 let compile_cmd =
-  let run w out no_opt lut_cover =
+  let module Netlist = Pytfhe_circuit.Netlist in
+  let run w out no_opt lut_cover stream window =
     let t0 = Unix.gettimeofday () in
-    let compiled = Pipeline.compile ~optimize:(not no_opt) ~lut_cover ~name:w.W.name (w.W.circuit ()) in
-    Format.printf "%a" Pipeline.pp_summary compiled;
-    Format.printf "compiled in %.2fs@." (Unix.gettimeofday () -. t0);
-    match out with
-    | Some path ->
-      Binary.write_file path compiled.Pipeline.binary;
-      Format.printf "wrote %s (%d bytes)@." path (Bytes.length compiled.Pipeline.binary)
-    | None -> ()
+    if stream then begin
+      if lut_cover then failwith "--stream skips the synthesis phase; it cannot combine with --lut-cover";
+      let path = match out with Some p -> p | None -> w.W.name ^ ".pytfhe" in
+      (* Streaming wants a builder, not a finished netlist; replaying the
+         workload's circuit through [Netlist.instantiate] gives one while
+         keeping the registry's [circuit ()] contract unchanged. *)
+      let src = w.W.circuit () in
+      let builder dst =
+        let args =
+          Array.of_list
+            (List.map (fun (name, _) -> Netlist.input dst name) (Netlist.inputs src))
+        in
+        let map = Netlist.instantiate dst ~template:src ~args in
+        List.iter (fun (name, id) -> Netlist.mark_output dst name map.(id)) (Netlist.outputs src)
+      in
+      let r = Pipeline.compile_stream_to_file ?window ~name:w.W.name ~path builder in
+      Format.printf "streamed %d gates (%d bootstrapped), %d waves, %d bytes to %s in %.2fs@."
+        r.Pipeline.gates r.Pipeline.bootstraps r.Pipeline.depth r.Pipeline.bytes_emitted path
+        (Unix.gettimeofday () -. t0);
+      match window with
+      | Some win ->
+        Format.printf "CSE window %d: peak %d live entries, %d evicted@." win r.Pipeline.cse_peak
+          r.Pipeline.cse_evicted
+      | None -> ()
+    end
+    else begin
+      let compiled = Pipeline.compile ~optimize:(not no_opt) ~lut_cover ~name:w.W.name (w.W.circuit ()) in
+      Format.printf "%a" Pipeline.pp_summary compiled;
+      Format.printf "compiled in %.2fs@." (Unix.gettimeofday () -. t0);
+      match out with
+      | Some path ->
+        Binary.write_file path compiled.Pipeline.binary;
+        Format.printf "wrote %s (%d bytes)@." path (Bytes.length compiled.Pipeline.binary)
+      | None -> ()
+    end
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the PyTFHE binary here.") in
   let no_opt = Arg.(value & flag & info [ "no-opt" ] ~doc:"Skip the synthesis optimization passes.") in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Emit the binary incrementally while the circuit is constructed \
+                   (bounded-memory path; implies $(b,--no-opt), writes to $(b,-o) or \
+                   $(i,WORKLOAD).pytfhe).")
+  in
+  let window =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:"With $(b,--stream): bound the construction-time CSE tables to $(docv) \
+                   recent entries (unbounded by default).")
+  in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a workload to a PyTFHE binary")
-    Term.(const run $ workload_arg $ out $ no_opt $ lut_cover_arg)
+    Term.(const run $ workload_arg $ out $ no_opt $ lut_cover_arg $ stream $ window)
 
 let disasm_cmd =
   let run path limit =
@@ -479,7 +520,7 @@ let encrypt_cmd =
   Cmd.v (Cmd.info "encrypt" ~doc:"Encrypt plaintext bits with the secret key") Term.(const run $ secret $ bits $ out)
 
 let eval_cmd =
-  let run cloud program input out transform trace metrics =
+  let run cloud program input out stream transform trace metrics =
     let keyset = Server.load_cloud_keyset cloud in
     (match transform with
     | Some t when keyset.Pytfhe_tfhe.Gates.cloud_params.Pytfhe_tfhe.Params.transform <> t ->
@@ -489,15 +530,29 @@ let eval_cmd =
            (Pytfhe_fft.Transform.kind_name
               keyset.Pytfhe_tfhe.Gates.cloud_params.Pytfhe_tfhe.Params.transform))
     | Some _ | None -> ());
-    let bytes = Binary.read_file program in
     let cts = Pytfhe_core.Ciphertext_file.read input in
-    Format.printf "evaluating %d instructions on %d input ciphertexts ...@."
-      (Binary.instruction_count bytes) (Array.length cts);
     let obs = sink_for ~trace ~metrics in
     let t0 = Unix.gettimeofday () in
     (* the paper's executor: stream the 128-bit instructions directly *)
     let outs =
-      Pytfhe_backend.Stream_exec.run_encrypted ~opts:(Exec_opts.of_flags ~obs ()) keyset bytes cts
+      if stream then begin
+        (* Pull the program from disk chunk by chunk — the binary is never
+           resident, so a program bigger than memory still evaluates. *)
+        Format.printf "evaluating %s (streamed) on %d input ciphertexts ...@." program
+          (Array.length cts);
+        In_channel.with_open_bin program (fun ic ->
+            let outs, _ =
+              Pytfhe_backend.Stream_exec.run_encrypted_stream
+                ~opts:(Exec_opts.of_flags ~obs ()) keyset (Binary.read_source ic) cts
+            in
+            outs)
+      end
+      else begin
+        let bytes = Binary.read_file program in
+        Format.printf "evaluating %d instructions on %d input ciphertexts ...@."
+          (Binary.instruction_count bytes) (Array.length cts);
+        Pytfhe_backend.Stream_exec.run_encrypted ~opts:(Exec_opts.of_flags ~obs ()) keyset bytes cts
+      end
     in
     Pytfhe_core.Ciphertext_file.write out outs;
     Format.printf "done in %.1fs -> %s@." (Unix.gettimeofday () -. t0) out;
@@ -508,9 +563,16 @@ let eval_cmd =
   let program = Arg.(required & opt (some file) None & info [ "program" ] ~docv:"FILE" ~doc:"Assembled PyTFHE binary.") in
   let input = Arg.(required & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc:"Input ciphertext bundle.") in
   let out = Arg.(value & opt string "output.ct" & info [ "o" ] ~docv:"FILE" ~doc:"Output ciphertext bundle.") in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Pull the program from disk chunk by chunk instead of loading it resident \
+                   (pairs with $(b,pytfhe compile --stream); required for binaries larger \
+                   than memory).")
+  in
   Cmd.v
     (Cmd.info "eval" ~doc:"Homomorphically evaluate a PyTFHE binary on a ciphertext bundle (server side)")
-    Term.(const run $ cloud $ program $ input $ out $ transform_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ cloud $ program $ input $ out $ stream $ transform_arg $ trace_arg $ metrics_arg)
 
 let trace_validate_cmd =
   let run path =

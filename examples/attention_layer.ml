@@ -9,12 +9,18 @@ module Rng = Pytfhe_util.Rng
 open Pytfhe_core
 open Pytfhe_chiseltorch
 
-let () =
-  let hidden =
-    match Array.to_list Sys.argv with
-    | _ :: "--hidden" :: h :: _ -> int_of_string h
-    | _ -> 32
+(* Positionally independent flag lookup: "--hidden 64" is recognized
+   anywhere in argv, not only as the first argument. *)
+let flag_value name default =
+  let rec go = function
+    | f :: v :: _ when f = name -> v
+    | _ :: rest -> go rest
+    | [] -> default
   in
+  go (List.tl (Array.to_list Sys.argv))
+
+let () =
+  let hidden = int_of_string (flag_value "--hidden" "32") in
   let seq_len = 8 in
   Format.printf "= Self-attention (seq %d, hidden %d) =@." seq_len hidden;
   let cfg = { Attention.seq_len; hidden } in

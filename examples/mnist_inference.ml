@@ -13,12 +13,18 @@ module Rng = Pytfhe_util.Rng
 open Pytfhe_core
 open Pytfhe_chiseltorch
 
-let () =
-  let size =
-    match Array.to_list Sys.argv with
-    | _ :: "--size" :: s :: _ -> s
-    | _ -> "s"
+(* Positionally independent flag lookup: "--size m" is recognized anywhere
+   in argv, not only as the first argument. *)
+let flag_value name default =
+  let rec go = function
+    | f :: v :: _ when f = name -> v
+    | _ :: rest -> go rest
+    | [] -> default
   in
+  go (List.tl (Array.to_list Sys.argv))
+
+let () =
+  let size = flag_value "--size" "s" in
   let name = "mnist_" ^ size in
   let workload =
     match Pytfhe_vipbench.Suite.find name with
@@ -39,8 +45,12 @@ let () =
   let rng = Rng.create ~seed:7 () in
   let dtype = Dtype.Fixed { width = 8; frac = 4 } in
   let n_inputs = Netlist.input_count compiled.Pipeline.netlist in
-  let image = Array.init (n_inputs / 8) (fun _ -> Rng.int rng 256) in
-  let bits = Array.concat (Array.to_list (Array.map (fun p -> Array.init 8 (fun i -> (p asr i) land 1 = 1)) image)) in
+  (* One input wire per pixel bit.  Round the pixel count up so a trailing
+     partial byte still gets bits ([n_inputs / 8] silently dropped them
+     whenever the input count was not a multiple of 8, and the evaluator
+     then rejected the short array). *)
+  let image = Array.init ((n_inputs + 7) / 8) (fun _ -> Rng.int rng 256) in
+  let bits = Array.init n_inputs (fun i -> (image.(i / 8) asr (i mod 8)) land 1 = 1) in
   let outputs = Pytfhe_backend.Plain_eval.run compiled.Pipeline.netlist bits in
   let logits =
     List.init 10 (fun k ->
@@ -48,10 +58,21 @@ let () =
         List.iteri (fun i (_, bit) -> if i / 8 = k && bit then v := !v lor (1 lsl (i mod 8))) outputs;
         Dtype.decode dtype !v)
   in
-  let best = ref 0 in
-  List.iteri (fun i l -> if l > List.nth logits !best then best := i) logits;
+  (* Single fold, first class wins ties — the List.nth version was O(n²)
+     and compared against a moving reference. *)
+  let best =
+    match logits with
+    | [] -> 0
+    | first :: rest ->
+      let _, best, _ =
+        List.fold_left
+          (fun (i, bi, bv) l -> if l > bv then (i + 1, i, l) else (i + 1, bi, bv))
+          (1, 0, first) rest
+      in
+      best
+  in
   Format.printf "logits: %s@." (String.concat " " (List.map (Printf.sprintf "%+.2f") logits));
-  Format.printf "predicted class: %d@.@." !best;
+  Format.printf "predicted class: %d@.@." best;
 
   Format.printf "backend estimates (paper-calibrated cost model):@.";
   List.iter

@@ -371,8 +371,20 @@ type worker = {
   mutable reaped : bool;
 }
 
+(* One unit of shard work, with operands already resolved to ciphertexts —
+   exactly what the DREQ wire format carries, so shards are netlist-free
+   and the same dispatch path serves both the materialised and the
+   streaming executor. *)
+type shard_item =
+  | S_gate of { code : int; a : Lwe.sample; b : Lwe.sample }
+      (** Classic bootstrapped gate; operands are classic views. *)
+  | S_lut of { arity : int; table : int; ops : Lwe.sample array }
+      (** LUT cell; arity-1 operand is a classic view, arity-2/3 operands
+          are raw lutdom ciphertexts. *)
+
 type shard = {
-  gates : Netlist.id array;
+  items : shard_item array;
+  dsts : int array;  (* destination keys, fed to [state.put] with results *)
   mutable owner : worker;
   mutable req_id : int;
   mutable deadline : float;
@@ -382,9 +394,8 @@ type shard = {
 
 type state = {
   cfg : config;
-  net : Netlist.t;
   lwe_n : int;
-  values : Lwe.sample option array;
+  mutable put : int -> Lwe.sample -> unit;  (* result writeback, per run *)
   members : worker array;
   obs : Trace.sink;
   wtracks : int array;  (* coordinator-side track id per worker index *)
@@ -477,32 +488,29 @@ let send_shard st sh =
   st.next_req <- st.next_req + 1;
   sh.req_id <- st.next_req;
   let buf = Buffer.create 4096 in
-  let classic id = Tfhe_eval.classic_view st.net st.values id in
   (* DRQ2's flat two-operand frames can't carry variable-arity LUT records;
      a shard containing any LUT cell falls back to per-record DREQ framing
      (classic-only shards keep the SoA fast path). *)
   let shard_has_lut =
-    Array.exists
-      (fun id -> match Netlist.kind st.net id with Netlist.Lut _ -> true | _ -> false)
-      sh.gates
+    Array.exists (function S_lut _ -> true | S_gate _ -> false) sh.items
   in
   if st.cfg.array_frames && not shard_has_lut then begin
     (* SoA request: gate codes, then the two operand waves packed as flat
        Lwe_array frames — one bounds-checked blit per direction on the wire
        instead of per-sample framing. *)
-    let count = Array.length sh.gates in
+    let count = Array.length sh.items in
     let va = Lwe_array.create ~n:st.lwe_n count in
     let vb = Lwe_array.create ~n:st.lwe_n count in
     let codes = Array.make count 0 in
     Array.iteri
-      (fun i id ->
-        match Netlist.kind st.net id with
-        | Netlist.Gate (g, a, b) ->
-          codes.(i) <- Gate.to_code g;
-          Lwe_array.set va i (classic a);
-          Lwe_array.set vb i (classic b)
-        | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ -> assert false)
-      sh.gates;
+      (fun i item ->
+        match item with
+        | S_gate { code; a; b } ->
+          codes.(i) <- code;
+          Lwe_array.set va i a;
+          Lwe_array.set vb i b
+        | S_lut _ -> assert false)
+      sh.items;
     Wire.write_magic buf "DRQ2";
     Wire.write_i64 buf sh.req_id;
     Wire.write_array buf Wire.write_u8 codes;
@@ -513,24 +521,19 @@ let send_shard st sh =
     Wire.write_magic buf "DREQ";
     Wire.write_i64 buf sh.req_id;
     Wire.write_array buf
-      (fun buf id ->
-        match Netlist.kind st.net id with
-        | Netlist.Gate (g, a, b) ->
-          Wire.write_u8 buf (Gate.to_code g);
-          Lwe.write_sample buf (classic a);
-          Lwe.write_sample buf (classic b)
-        | Netlist.Lut { table; ins } ->
-          (* LUT record: code 128+arity, u8 table, then the operands.
-             Arity-1 cells bootstrap a classic operand (the view is
-             materialized here, coordinator-side); arity-2/3 operands are
-             Lut nodes by construction and ship lutdom-encoded. *)
-          let arity = Array.length ins in
+      (fun buf item ->
+        match item with
+        | S_gate { code; a; b } ->
+          Wire.write_u8 buf code;
+          Lwe.write_sample buf a;
+          Lwe.write_sample buf b
+        | S_lut { arity; table; ops } ->
+          (* LUT record: code 128+arity, u8 table, then the operands
+             (arity-1: classic view; arity-2/3: lutdom-encoded). *)
           Wire.write_u8 buf (128 + arity);
           Wire.write_u8 buf table;
-          if arity = 1 then Lwe.write_sample buf (classic ins.(0))
-          else Array.iter (fun a -> Lwe.write_sample buf (Option.get st.values.(a))) ins
-        | Netlist.Input _ | Netlist.Const _ -> assert false)
-      sh.gates
+          Array.iter (fun a -> Lwe.write_sample buf a) ops)
+      sh.items
   end;
   let n = write_frame w.fd (Buffer.to_bytes buf) in
   let now = Unix.gettimeofday () in
@@ -650,34 +653,36 @@ let on_ready st pending w =
     match List.find_opt (fun q -> q.owner == w && q.req_id = req_id) !pending with
     | None -> () (* stale reply from a superseded request: drop *)
     | Some sh ->
-      if Array.length samples <> Array.length sh.gates then resend_corrupt sh
+      if Array.length samples <> Array.length sh.items then resend_corrupt sh
       else begin
-        Array.iteri (fun i id -> st.values.(id) <- Some samples.(i)) sh.gates;
+        Array.iteri (fun i dst -> st.put dst samples.(i)) sh.dsts;
         let now = Unix.gettimeofday () in
         st.t_compute <- st.t_compute +. compute;
         st.t_transfer <- st.t_transfer +. Float.max 0.0 (now -. sh.sent_at -. compute);
         pending := List.filter (fun q -> q != sh) !pending
       end)
 
-let shards_of gates k =
-  let width = Array.length gates in
+let shards_of items dsts k =
+  let width = Array.length items in
   let k = max 1 (min k width) in
   Array.init k (fun d ->
       let lo = d * width / k and hi = (d + 1) * width / k in
-      Array.sub gates lo (hi - lo))
+      (Array.sub items lo (hi - lo), Array.sub dsts lo (hi - lo)))
 
-let eval_wave st wave_gates =
-  if Array.length wave_gates > 0 then begin
+(* Fan one wave's items out over the live workers and run the select loop
+   until every shard has been answered (results land through [st.put]). *)
+let dispatch st wave_items wave_dsts =
+  if Array.length wave_items > 0 then begin
     let live = live_workers st in
     if live = [] then raise All_workers_lost;
-    let chunks = shards_of wave_gates (List.length live) in
+    let chunks = shards_of wave_items wave_dsts (List.length live) in
     let owners = Array.of_list live in
     let pending = ref [] in
     Array.iteri
-      (fun d gates ->
+      (fun d (items, dsts) ->
         let sh =
-          { gates; owner = owners.(d); req_id = 0; deadline = infinity; attempts = 0;
-            sent_at = 0.0 }
+          { items; dsts; owner = owners.(d); req_id = 0; deadline = infinity;
+            attempts = 0; sent_at = 0.0 }
         in
         pending := sh :: !pending)
       chunks;
@@ -751,10 +756,20 @@ let shutdown members =
       else reap w)
     members
 
-let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
-  let input_list = Netlist.inputs net in
-  if Array.length inputs <> List.length input_list then
-    invalid_arg "Dist_eval.run: input arity mismatch";
+(* A live worker pool plus its dispatch state: the startup half of a run
+   (sigpipe, transform tables, spawn, hello, DRDY barrier), reusable by
+   both the materialised and the streaming executor. *)
+type session = {
+  s_cloud : Gates.cloud_keyset;
+  s_st : state;
+  s_members : worker array;
+  s_keyset_bytes : int;
+  s_started : float;  (* wall clock when the session began *)
+  s_startup : float;  (* seconds to bring the pool up *)
+  s_restore : unit -> unit;
+}
+
+let session_start ?(obs = Trace.null) cfg cloud =
   let start = Unix.gettimeofday () in
   let previous_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
@@ -783,9 +798,8 @@ let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
   let st =
     {
       cfg;
-      net;
       lwe_n = cloud.Gates.cloud_params.Params.lwe.Params.n;
-      values = Array.make (Netlist.node_count net) None;
+      put = (fun _ _ -> ());
       members;
       obs;
       wtracks;
@@ -803,53 +817,100 @@ let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
       t_compute = 0.0;
     }
   in
+  (try
+     (* hello: worker identity + fault schedule + the cloud keyset *)
+     Array.iter
+       (fun w ->
+         let faults = List.filter (fun f -> f.victim = w.w_index) cfg.faults in
+         let hello =
+           hello_bytes ~index:w.w_index
+             ~transform:cloud.Gates.cloud_params.Params.transform ~obs ~faults ~keyset_blob
+         in
+         try
+           let n = write_frame w.fd hello in
+           st.bytes_out <- st.bytes_out + n
+         with Frame_closed ->
+           st.lost <- st.lost + 1;
+           kill_worker w)
+       members;
+     (* DRDY barrier: every worker parses the keyset (in parallel) and
+        acknowledges.  A spawned binary that is not actually a worker —
+        the host forgot to call [worker_entry] — answers with garbage or
+        silence and is culled here, before any gate is risked on it. *)
+     let ready_deadline = Unix.gettimeofday () +. Float.max 60.0 cfg.request_timeout in
+     Array.iter
+       (fun w ->
+         if w.alive then
+         match read_frame ~deadline:ready_deadline w.fd with
+         | payload when String.length payload >= 4 && String.sub payload 0 4 = "DRDY" ->
+           st.bytes_in <- st.bytes_in + String.length payload + 12
+         | _ | (exception Frame_closed) | (exception Frame_timeout)
+         | (exception Wire.Corrupt _) ->
+           st.lost <- st.lost + 1;
+           kill_worker w)
+       members;
+     if live_workers st = [] then
+       failwith
+         "Dist_eval.run: no worker came up — does the host executable call \
+          Dist_eval.worker_entry at the start of main?"
+   with exn ->
+     shutdown members;
+     restore_sigpipe ();
+     raise exn);
+  {
+    s_cloud = cloud;
+    s_st = st;
+    s_members = members;
+    s_keyset_bytes = String.length keyset_blob;
+    s_started = start;
+    s_startup = Unix.gettimeofday () -. start;
+    s_restore = restore_sigpipe;
+  }
+
+let session_shutdown s =
+  shutdown s.s_members;
+  s.s_restore ()
+
+let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
+  let input_list = Netlist.inputs net in
+  if Array.length inputs <> List.length input_list then
+    invalid_arg "Dist_eval.run: input arity mismatch";
+  let session = session_start ~obs cfg cloud in
+  let st = session.s_st in
+  let start = session.s_started in
   Fun.protect
-    ~finally:(fun () ->
-      shutdown members;
-      restore_sigpipe ())
+    ~finally:(fun () -> session_shutdown session)
     (fun () ->
-      (* hello: worker identity + fault schedule + the cloud keyset *)
-      Array.iter
-        (fun w ->
-          let faults = List.filter (fun f -> f.victim = w.w_index) cfg.faults in
-          let hello =
-            hello_bytes ~index:w.w_index
-              ~transform:cloud.Gates.cloud_params.Params.transform ~obs ~faults ~keyset_blob
-          in
-          try
-            let n = write_frame w.fd hello in
-            st.bytes_out <- st.bytes_out + n
-          with Frame_closed ->
-            st.lost <- st.lost + 1;
-            kill_worker w)
-        members;
-      (* DRDY barrier: every worker parses the keyset (in parallel) and
-         acknowledges.  A spawned binary that is not actually a worker —
-         the host forgot to call [worker_entry] — answers with garbage or
-         silence and is culled here, before any gate is risked on it. *)
-      let ready_deadline = Unix.gettimeofday () +. Float.max 60.0 cfg.request_timeout in
-      Array.iter
-        (fun w ->
-          if w.alive then
-          match read_frame ~deadline:ready_deadline w.fd with
-          | payload when String.length payload >= 4 && String.sub payload 0 4 = "DRDY" ->
-            st.bytes_in <- st.bytes_in + String.length payload + 12
-          | _ | (exception Frame_closed) | (exception Frame_timeout)
-          | (exception Wire.Corrupt _) ->
-            st.lost <- st.lost + 1;
-            kill_worker w)
-        members;
-      if live_workers st = [] then
-        failwith
-          "Dist_eval.run: no worker came up — does the host executable call \
-           Dist_eval.worker_entry at the start of main?";
-      let startup_time = Unix.gettimeofday () -. start in
-      List.iteri (fun i (_, id) -> st.values.(id) <- Some inputs.(i)) input_list;
+      let startup_time = session.s_startup in
+      let values = Array.make (Netlist.node_count net) None in
+      st.put <- (fun id v -> values.(id) <- Some v);
+      List.iteri (fun i (_, id) -> values.(id) <- Some inputs.(i)) input_list;
       for id = 0 to Netlist.node_count net - 1 do
         match Netlist.kind net id with
-        | Netlist.Const b -> st.values.(id) <- Some (Gates.constant cloud b)
+        | Netlist.Const b -> values.(id) <- Some (Gates.constant cloud b)
         | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
       done;
+      (* Shard items carry resolved operands: the classic view for gate
+         fan-ins and arity-1 cells, raw lutdom ciphertexts for multi-input
+         cell operands — the same resolution [send_shard] used to do
+         in-line when shards still referenced the netlist. *)
+      let classic id = Tfhe_eval.classic_view net values id in
+      let items_of_wave par =
+        Array.map
+          (fun id ->
+            match Netlist.kind net id with
+            | Netlist.Gate (g, a, b) ->
+              S_gate { code = Gate.to_code g; a = classic a; b = classic b }
+            | Netlist.Lut { table; ins } ->
+              let arity = Array.length ins in
+              let ops =
+                if arity = 1 then [| classic ins.(0) |]
+                else Array.map (fun a -> Option.get values.(a)) ins
+              in
+              S_lut { arity; table; ops }
+            | Netlist.Input _ | Netlist.Const _ -> assert false)
+          par
+      in
       let sched = Levelize.run net in
       let waves = Levelize.waves sched net in
       let wave_wall = Array.make (Array.length waves) 0.0 in
@@ -869,15 +930,14 @@ let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
              let out0 = st.bytes_out and in0 = st.bytes_in in
              let retries0 = st.retries and reassign0 = st.reassignments in
              let corrupt0 = st.corrupt_frames and hb0 = st.heartbeat_misses in
-             eval_wave st wave.Levelize.parallel;
+             dispatch st (items_of_wave wave.Levelize.parallel) wave.Levelize.parallel;
              bootstraps := !bootstraps + Array.length wave.Levelize.parallel;
              let nots0 = !nots in
              Array.iter
                (fun id ->
                  match Netlist.kind net id with
                  | Netlist.Gate (g, a, _) when Gate.is_unary g ->
-                   st.values.(id) <-
-                     Some (Lwe.neg (Tfhe_eval.classic_view net st.values a));
+                   values.(id) <- Some (Lwe.neg (classic a));
                    incr nots
                  | Netlist.Gate _ | Netlist.Input _ | Netlist.Const _ | Netlist.Lut _ ->
                    assert false)
@@ -916,7 +976,7 @@ let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
          failwith "Dist_eval.run: all workers lost (crashed or unresponsive)");
       let outputs =
         Netlist.outputs net
-        |> List.map (fun (_, id) -> Tfhe_eval.classic_view net st.values id)
+        |> List.map (fun (_, id) -> classic id)
         |> Array.of_list
       in
       ( outputs,
@@ -930,7 +990,7 @@ let run_legacy ?(obs = Trace.null) cfg cloud net inputs =
           reassignments = st.reassignments;
           corrupt_frames = st.corrupt_frames;
           heartbeat_misses = st.heartbeat_misses;
-          keyset_bytes = String.length keyset_blob;
+          keyset_bytes = session.s_keyset_bytes;
           bytes_to_workers = st.bytes_out;
           bytes_from_workers = st.bytes_in;
           startup_time;
@@ -954,3 +1014,86 @@ let pp_stats fmt s =
 let run ?(opts = Exec_opts.default) cfg cloud net inputs =
   Exec_opts.check_scalar_only ~who:"Dist_eval.run" opts;
   run_legacy ~obs:opts.Exec_opts.obs cfg cloud net inputs
+
+(* --- Streaming execution --------------------------------------------------
+
+   Distributed execution of a streamed binary: the segmented wave driver
+   resolves operands as the stream arrives, and each wave's tasks convert
+   directly into shard items — the DREQ wire format always carried resolved
+   ciphertexts, so the worker protocol is unchanged and workers stay
+   netlist-free either way.  Fault tolerance (deadlines, retries,
+   reassignment, heartbeats) is the same [dispatch] loop as [run]. *)
+
+let run_stream ?(opts = Exec_opts.default) ?window cfg cloud read inputs =
+  Exec_opts.check_scalar_only ~who:"Dist_eval.run_stream" opts;
+  let obs = opts.Exec_opts.obs in
+  let session = session_start ~obs cfg cloud in
+  let st = session.s_st in
+  Fun.protect
+    ~finally:(fun () -> session_shutdown session)
+    (fun () ->
+      (* The driver evaluates inline NOTs coordinator-side; a scalar
+         context exists only as the safety net behind [v_lut], which the
+         wave contract never exercises. *)
+      let ctx = lazy (Gates.context cloud) in
+      let run_wave tasks =
+        let total = Array.length tasks in
+        let items =
+          Array.map
+            (function
+              | Stream_exec.T_gate { gate; a; b } ->
+                S_gate { code = Gate.to_code gate; a; b }
+              | Stream_exec.T_lut { arity; table; operands; _ } ->
+                S_lut { arity; table; ops = operands })
+            tasks
+        in
+        let out = Array.make total None in
+        st.put <- (fun i v -> out.(i) <- Some v);
+        dispatch st items (Array.init total Fun.id);
+        Array.map (function Some v -> v | None -> assert false) out
+      in
+      let ops =
+        {
+          Stream_exec.v_gate =
+            (fun g a b ->
+              match g with
+              | Gate.Not -> Lwe.neg a
+              | _ -> Tfhe_eval.apply_gate (Lazy.force ctx) g a b);
+          v_input =
+            (fun i ->
+              if i >= Array.length inputs then
+                invalid_arg "Dist_eval.run_stream: wrong number of inputs for the stream"
+              else inputs.(i));
+          v_lut =
+            (fun ~arity ~table ops ->
+              Gates.lut_cell_in (Lazy.force ctx) ~arity ~table ops);
+          v_lut_view = Gates.lut_to_classic;
+        }
+      in
+      let outputs, ws =
+        try Stream_exec.run_waves ~obs ?window ~run_wave ops read
+        with All_workers_lost ->
+          failwith "Dist_eval.run_stream: all workers lost (crashed or unresponsive)"
+      in
+      ( outputs,
+        {
+          workers_started = cfg.workers;
+          workers_lost = st.lost;
+          bootstraps_executed = ws.Stream_exec.bootstraps_run;
+          nots_executed = ws.Stream_exec.nots_run;
+          requests_sent = st.requests_sent;
+          retries = st.retries;
+          reassignments = st.reassignments;
+          corrupt_frames = st.corrupt_frames;
+          heartbeat_misses = st.heartbeat_misses;
+          keyset_bytes = session.s_keyset_bytes;
+          bytes_to_workers = st.bytes_out;
+          bytes_from_workers = st.bytes_in;
+          startup_time = session.s_startup;
+          dispatch_time = st.t_dispatch;
+          transfer_time = st.t_transfer;
+          compute_time = st.t_compute;
+          wave_wall = ws.Stream_exec.wave_wall;
+          wave_width = ws.Stream_exec.wave_widths;
+          wall_time = Unix.gettimeofday () -. session.s_started;
+        } ))

@@ -152,6 +152,24 @@ val run :
     raises [Invalid_argument] — the knobs used to be documented-ignored,
     which silently dropped a requested optimization. *)
 
+val run_stream :
+  ?opts:Exec_opts.t ->
+  ?window:int ->
+  config ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  (unit -> bytes option) ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** Distributed execution of a streamed binary through
+    {!Stream_exec.run_waves}: the coordinator never materialises a
+    netlist — each wave's resolved-operand tasks convert directly into
+    shard requests (the wire format is unchanged, so workers are
+    oblivious), with the same fault tolerance as {!run}.  Outputs are
+    ciphertext-bit-exact with {!run} for any worker count and any
+    [window].  [stats.wave_width] / [stats.wave_wall] cover executed
+    waves in order rather than netlist levels.  Same [Invalid_argument]
+    contract as {!run} for the batch/soa knobs. *)
+
 val run_legacy :
   ?obs:Pytfhe_obs.Trace.sink ->
   config ->

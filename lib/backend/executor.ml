@@ -31,6 +31,14 @@ module type S = sig
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
     Pytfhe_tfhe.Lwe.sample array * stats
+
+  val run_stream :
+    ?opts:opts ->
+    ?window:int ->
+    Pytfhe_tfhe.Gates.cloud_keyset ->
+    (unit -> bytes option) ->
+    Pytfhe_tfhe.Lwe.sample array ->
+    Pytfhe_tfhe.Lwe.sample array * stats
 end
 
 let cpu : (module S) =
@@ -39,6 +47,20 @@ let cpu : (module S) =
 
     let run ?opts cloud net inputs =
       let outputs, s = Tfhe_eval.run ?opts cloud net inputs in
+      ( outputs,
+        {
+          backend = name;
+          workers = 1;
+          bootstraps_executed = s.Tfhe_eval.bootstraps_executed;
+          nots_executed = s.Tfhe_eval.nots_executed;
+          wall_time = s.Tfhe_eval.wall_time;
+          wave_wall = s.Tfhe_eval.wave_wall;
+          wave_width = s.Tfhe_eval.wave_width;
+          detail = Cpu_stats s;
+        } )
+
+    let run_stream ?opts ?window cloud read inputs =
+      let outputs, s = Stream_exec.run_encrypted_stream ?opts ?window cloud read inputs in
       ( outputs,
         {
           backend = name;
@@ -69,6 +91,20 @@ let multicore ?workers () : (module S) =
           wave_width = s.Par_eval.wave_width;
           detail = Multicore_stats s;
         } )
+
+    let run_stream ?opts ?window cloud read inputs =
+      let outputs, s = Par_eval.run_stream ?workers ?opts ?window cloud read inputs in
+      ( outputs,
+        {
+          backend = name;
+          workers = s.Par_eval.workers;
+          bootstraps_executed = s.Par_eval.bootstraps_executed;
+          nots_executed = s.Par_eval.nots_executed;
+          wall_time = s.Par_eval.wall_time;
+          wave_wall = s.Par_eval.wave_wall;
+          wave_width = s.Par_eval.wave_width;
+          detail = Multicore_stats s;
+        } )
   end)
 
 let multiprocess ?workers ?config () : (module S) =
@@ -87,6 +123,20 @@ let multiprocess ?workers ?config () : (module S) =
        of the layout is [config.array_frames]). *)
     let run ?opts cloud net inputs =
       let outputs, s = Dist_eval.run ?opts cfg cloud net inputs in
+      ( outputs,
+        {
+          backend = name;
+          workers = s.Dist_eval.workers_started;
+          bootstraps_executed = s.Dist_eval.bootstraps_executed;
+          nots_executed = s.Dist_eval.nots_executed;
+          wall_time = s.Dist_eval.wall_time;
+          wave_wall = s.Dist_eval.wave_wall;
+          wave_width = s.Dist_eval.wave_width;
+          detail = Multiprocess_stats s;
+        } )
+
+    let run_stream ?opts ?window cloud read inputs =
+      let outputs, s = Dist_eval.run_stream ?opts ?window cfg cloud read inputs in
       ( outputs,
         {
           backend = name;

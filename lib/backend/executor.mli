@@ -57,6 +57,21 @@ module type S = sig
     Pytfhe_circuit.Netlist.t ->
     Pytfhe_tfhe.Lwe.sample array ->
     Pytfhe_tfhe.Lwe.sample array * stats
+
+  val run_stream :
+    ?opts:opts ->
+    ?window:int ->
+    Pytfhe_tfhe.Gates.cloud_keyset ->
+    (unit -> bytes option) ->
+    Pytfhe_tfhe.Lwe.sample array ->
+    Pytfhe_tfhe.Lwe.sample array * stats
+  (** Execute a streamed binary pulled from a chunked source, without
+      materialising a netlist, through {!Stream_exec.run_waves} (segment
+      size [window] queued bootstraps; see
+      {!Pytfhe_circuit.Binary.read_source} for a file-backed source).
+      Outputs are ciphertext-bit-exact with [run] over the parsed
+      netlist.  [stats.wave_width]/[wave_wall] cover executed waves in
+      order; [opts.soa] is ignored on the streaming path. *)
 end
 (** Outputs are ciphertext-bit-exact across all implementations, batch
     sizes and layouts.  The multiprocess backend raises

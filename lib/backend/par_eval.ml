@@ -466,6 +466,168 @@ let run ?workers ?(opts = Exec_opts.default) cloud net inputs =
   run_legacy ?workers ?batch:opts.Exec_opts.batch ~soa:opts.Exec_opts.soa
     ~obs:opts.Exec_opts.obs cloud net inputs
 
+(* --- Streaming execution --------------------------------------------------
+
+   Multicore execution of a streamed binary through the segmented wave
+   driver: each wave's resolved-operand tasks are fanned out over the
+   domain pool — classic gates statically chunked (scalar or through
+   per-domain batch contexts), LUT rotation units distributed whole so each
+   group's indicator rotation happens exactly once.  The per-gate operation
+   sequence matches [run], so outputs are ciphertext-bit-exact with it (and
+   with [Tfhe_eval]) for any worker count and any window. *)
+
+let run_stream ?workers ?(opts = Exec_opts.default) ?window cloud read inputs =
+  let workers =
+    match workers with Some w -> w | None -> Domain.recommended_domain_count ()
+  in
+  if workers < 1 then invalid_arg "Par_eval.run_stream: workers must be >= 1";
+  let batch = opts.Exec_opts.batch in
+  (match batch with
+  | Some b when b < 1 -> invalid_arg "Par_eval.run_stream: batch must be >= 1"
+  | Some _ | None -> ());
+  (* Transform tables must exist before any helper domain does — see
+     [run_legacy]. *)
+  Params.precompute cloud.Gates.cloud_params;
+  let start = Unix.gettimeofday () in
+  let obs = opts.Exec_opts.obs in
+  let p = cloud.Gates.cloud_params in
+  let lwe_n = p.Params.lwe.Params.n in
+  let contexts = Array.init workers (fun _ -> Gates.context cloud) in
+  let batch_ctxs =
+    match batch with
+    | None -> [||]
+    | Some b -> Array.init workers (fun _ -> Gates.batch_context cloud ~cap:b)
+  in
+  let batch_totals () =
+    Array.fold_left
+      (fun (l, r, k) bc ->
+        let c = Gates.batch_counters bc in
+        (l + c.Gates.batch_launches, r + c.Gates.bsk_rows, k + c.Gates.ks_blocks))
+      (0, 0, 0) batch_ctxs
+  in
+  let per_domain_bootstraps = Array.make workers 0 in
+  let per_domain_busy = Array.make workers 0.0 in
+  let pool = pool_create (workers - 1) in
+  let run_wave tasks =
+    let total = Array.length tasks in
+    let out = Array.make total None in
+    let gate_idx = ref [] and lut_idx = ref [] in
+    Array.iteri
+      (fun i t ->
+        match t with
+        | Stream_exec.T_gate _ -> gate_idx := i :: !gate_idx
+        | Stream_exec.T_lut _ -> lut_idx := i :: !lut_idx)
+      tasks;
+    let gates = Array.of_list (List.rev !gate_idx) in
+    let cwidth = Array.length gates in
+    if cwidth > 0 then
+      pool_run pool (fun d ->
+          let lo = d * cwidth / workers and hi = (d + 1) * cwidth / workers in
+          if lo < hi then begin
+            let t0 = Unix.gettimeofday () in
+            (match batch with
+            | None ->
+              let ctx = contexts.(d) in
+              for i = lo to hi - 1 do
+                match tasks.(gates.(i)) with
+                | Stream_exec.T_gate { gate; a; b } ->
+                  out.(gates.(i)) <- Some (Tfhe_eval.apply_gate ctx gate a b)
+                | Stream_exec.T_lut _ -> assert false
+              done
+            | Some b ->
+              let bc = batch_ctxs.(d) in
+              let pos = ref lo in
+              while !pos < hi do
+                let len = min b (hi - !pos) in
+                let base = !pos in
+                let combined =
+                  Array.init len (fun i ->
+                      match tasks.(gates.(base + i)) with
+                      | Stream_exec.T_gate { gate; a; b } ->
+                        Gates.combine ~n:lwe_n (Tfhe_eval.plan_of gate) a b
+                      | Stream_exec.T_lut _ -> assert false)
+                in
+                let outs = Gates.bootstrap_batch bc combined in
+                for i = 0 to len - 1 do
+                  out.(gates.(base + i)) <- Some outs.(i)
+                done;
+                pos := !pos + len
+              done);
+            per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + (hi - lo);
+            per_domain_busy.(d) <- per_domain_busy.(d) +. (Unix.gettimeofday () -. t0)
+          end);
+    let cells = Stream_exec.stream_lut_cells tasks (List.rev !lut_idx) in
+    let ncells = Array.length cells in
+    if ncells > 0 then
+      pool_run pool (fun d ->
+          let lo = d * ncells / workers and hi = (d + 1) * ncells / workers in
+          if lo < hi then begin
+            let t0 = Unix.gettimeofday () in
+            let ctx = contexts.(d) in
+            for c = lo to hi - 1 do
+              match cells.(c) with
+              | Stream_exec.C_sign { idx; table; operand } ->
+                out.(idx) <- Some (Gates.lut1_in ctx ~table operand)
+              | Stream_exec.C_group g ->
+                let ind = Gates.lut_indicators_in ctx ~arity:g.arity g.raws in
+                List.iter2
+                  (fun idx table ->
+                    out.(idx) <-
+                      Some (Gates.lut_select_in ctx ~msize:(1 lsl g.arity) ~table ind))
+                  (List.rev g.idxs) (List.rev g.tables)
+            done;
+            per_domain_bootstraps.(d) <- per_domain_bootstraps.(d) + (hi - lo);
+            per_domain_busy.(d) <- per_domain_busy.(d) +. (Unix.gettimeofday () -. t0)
+          end);
+    Array.map (function Some v -> v | None -> assert false) out
+  in
+  let ctx_caller = contexts.(0) in
+  let ops =
+    {
+      Stream_exec.v_gate = (fun g a b -> Tfhe_eval.apply_gate ctx_caller g a b);
+      v_input =
+        (fun i ->
+          if i >= Array.length inputs then
+            invalid_arg "Par_eval.run_stream: wrong number of inputs for the stream"
+          else inputs.(i));
+      v_lut =
+        (fun ~arity ~table ops -> Gates.lut_cell_in ctx_caller ~arity ~table ops);
+      v_lut_view = Gates.lut_to_classic;
+    }
+  in
+  let outputs, ws =
+    Fun.protect
+      ~finally:(fun () -> pool_shutdown pool)
+      (fun () -> Stream_exec.run_waves ~obs ?window ~run_wave ops read)
+  in
+  let wall_time = Unix.gettimeofday () -. start in
+  let busy = Array.fold_left ( +. ) 0.0 per_domain_busy in
+  let launches, rows, blocks = batch_totals () in
+  let rounds =
+    Array.fold_left
+      (fun acc w -> if w > 0 then acc + ((w + workers - 1) / workers) else acc)
+      0 ws.Stream_exec.wave_widths
+  in
+  ( outputs,
+    {
+      workers;
+      bootstraps_executed = ws.Stream_exec.bootstraps_run;
+      nots_executed = ws.Stream_exec.nots_run;
+      per_domain_bootstraps;
+      per_domain_busy;
+      wave_wall = ws.Stream_exec.wave_wall;
+      wave_width = ws.Stream_exec.wave_widths;
+      wall_time;
+      achieved_speedup = (if wall_time > 0.0 then busy /. wall_time else 0.0);
+      ideal_speedup =
+        (if rounds = 0 then 1.0
+         else float_of_int ws.Stream_exec.bootstraps_run /. float_of_int rounds);
+      batch_size = (match batch with Some b -> b | None -> 0);
+      batch_launches = launches;
+      bsk_bytes_streamed = rows * Exec_obs.bsk_row_bytes p;
+      ks_bytes_streamed = blocks * Exec_obs.ks_block_bytes p;
+    } )
+
 let pp_stats fmt s =
   Format.fprintf fmt
     "workers=%d bootstraps=%d nots=%d wall=%.3fs speedup=%.2fx (wave-sync ideal %.2fx)@ per-domain bootstraps: %a"

@@ -73,6 +73,24 @@ val run :
     coordinator emits one span plus the standard counter set per wave on
     a ["waves"] track (plus the batch counter set when batched). *)
 
+val run_stream :
+  ?workers:int ->
+  ?opts:Exec_opts.t ->
+  ?window:int ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  (unit -> bytes option) ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * stats
+(** Multicore execution of a streamed binary through
+    {!Stream_exec.run_waves}: no netlist is materialised; each wave's
+    classic gates are statically chunked over the pool (scalar, or
+    per-domain batched when [opts.batch] is set) and LUT rotation units are
+    distributed whole.  Outputs are ciphertext-bit-exact with {!run} for
+    any worker count and any [window].  [opts.soa] is ignored — the wave
+    driver's value table is per-slot by construction.  [stats.wave_width] /
+    [stats.wave_wall] cover executed waves in order rather than netlist
+    levels, and [stats.ideal_speedup] is computed over those widths. *)
+
 val run_legacy :
   ?workers:int ->
   ?batch:int ->

@@ -10,7 +10,7 @@ type 'v ops = {
   v_lut_view : 'v -> 'v;
 }
 
-let run_legacy ?(obs = Trace.null) ops bytes =
+let run_insts ?(obs = Trace.null) ops iter_insts =
   (* One pass over the instruction stream; the value table is indexed by
      the sequential gate numbering, so lookups are array reads.  The table
      grows geometrically: the header only declares the gate count, not the
@@ -46,7 +46,12 @@ let run_legacy ?(obs = Trace.null) ops bytes =
     let v, is_lut = fetch index in
     if is_lut then ops.v_lut_view v else v
   in
-  Binary.iter bytes (fun inst ->
+  (* A streamed binary's header carries the sentinel instead of a count;
+     the gate-budget check only applies to exact headers. *)
+  let over_budget () =
+    !gate_total <> Binary.streamed_gate_total && !seen_gates > !gate_total
+  in
+  iter_insts (fun inst ->
       match inst with
       | Binary.Header { gate_total = g } ->
         if not !first then failwith "Stream_exec: duplicate header";
@@ -63,7 +68,7 @@ let run_legacy ?(obs = Trace.null) ops bytes =
         if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
         incr seen_gates;
         if Gate.is_unary gate then incr unary_gates;
-        if !seen_gates > !gate_total then
+        if over_budget () then
           failwith "Stream_exec: more gates than the header declared";
         ensure !next;
         !table.(!next) <- Some (ops.v_gate gate (fetch_classic in0) (fetch_classic in1), false);
@@ -72,7 +77,7 @@ let run_legacy ?(obs = Trace.null) ops bytes =
         if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
         incr seen_gates;
         incr lut_cells;
-        if !seen_gates > !gate_total then
+        if over_budget () then
           failwith "Stream_exec: more gates than the header declared";
         let arity = Array.length ins in
         (* The decoder already bounds arity and table; what only the value
@@ -117,6 +122,254 @@ let run_legacy ?(obs = Trace.null) ops bytes =
     Trace.drain obs
   end;
   Array.of_list (List.rev !outputs)
+
+let run_legacy ?obs ops bytes = run_insts ?obs ops (Binary.iter bytes)
+let run_source ?obs ops read = run_insts ?obs ops (Binary.iter_source read)
+
+(* --- Segmented wave driver ------------------------------------------------
+
+   The streaming counterpart of the levelized executors: instructions are
+   consumed as they arrive, but bootstrapped work is queued by wave (level =
+   1 + max operand level within the current segment) and handed to a backend
+   [run_wave] callback one wave at a time, so batching/parallel backends see
+   the same wave structure a materialised netlist would give them.  Once the
+   queued bootstrap count reaches [window], the segment is flushed level by
+   level — peak queued work stays bounded no matter how large the stream is.
+
+   NOT gates are noiseless: one whose operand is already computed is
+   evaluated inline immediately; one that reads a still-pending wave is
+   queued after that wave's parallel phase, in arrival order, exactly like
+   [Levelize.waves]. *)
+
+type pending =
+  | P_gate of { gate : Gate.t; in0 : int; in1 : int; dst : int }
+  | P_lut of { table : int; ins : int array; dst : int }
+
+type 'v task =
+  | T_gate of { gate : Gate.t; a : 'v; b : 'v }
+  | T_lut of { arity : int; table : int; operands : 'v array; ins : int array }
+
+type wave_stats = {
+  segments_run : int;
+  waves_run : int;
+  bootstraps_run : int;
+  nots_run : int;
+  wave_widths : int array;
+  wave_wall : float array;
+}
+
+let run_waves ?(obs = Trace.null) ?(window = 1 lsl 15) ~run_wave ops read =
+  if window < 1 then invalid_arg "Stream_exec.run_waves: window must be positive";
+  let t_start = Trace.now obs in
+  (* Slot table: value (None while pending), lutdom flag, segment level
+     (-1 unassigned, 0 computed, >0 pending in the current segment). *)
+  let cap = ref 16 in
+  let values = ref (Array.make !cap None) in
+  let is_lut = ref (Array.make !cap false) in
+  let levels = ref (Array.make !cap (-1)) in
+  let ensure index =
+    if index >= !cap then begin
+      let bigger = max (2 * !cap) (index + 16) in
+      let v = Array.make bigger None and l = Array.make bigger false
+      and lv = Array.make bigger (-1) in
+      Array.blit !values 0 v 0 !cap;
+      Array.blit !is_lut 0 l 0 !cap;
+      Array.blit !levels 0 lv 0 !cap;
+      values := v;
+      is_lut := l;
+      levels := lv;
+      cap := bigger
+    end
+  in
+  let next = ref 1 in
+  let input_ordinal = ref 0 in
+  let gate_total = ref (-1) in
+  let seen_gates = ref 0 in
+  let first = ref true in
+  let outputs = ref [] in
+  let level_of index =
+    if index < 1 || index >= !next || !levels.(index) < 0 then
+      failwith "Stream_exec: reference to an unassigned index";
+    !levels.(index)
+  in
+  let classic index =
+    match !values.(index) with
+    | Some v -> if !is_lut.(index) then ops.v_lut_view v else v
+    | None -> failwith "Stream_exec: reference to an unassigned index"
+  in
+  let raw index =
+    match !values.(index) with
+    | Some v -> v
+    | None -> failwith "Stream_exec: reference to an unassigned index"
+  in
+  (* Segment queues, one parallel + one inline list per level (index l-1),
+     built in reverse arrival order. *)
+  let seg_par = ref (Array.make 8 []) in
+  let seg_inl = ref (Array.make 8 []) in
+  let seg_depth = ref 0 in
+  let seg_boots = ref 0 in
+  let seg_ensure l =
+    if l > Array.length !seg_par then begin
+      let bigger = max (2 * Array.length !seg_par) l in
+      let p = Array.make bigger [] and i = Array.make bigger [] in
+      Array.blit !seg_par 0 p 0 (Array.length !seg_par);
+      Array.blit !seg_inl 0 i 0 (Array.length !seg_inl);
+      seg_par := p;
+      seg_inl := i
+    end
+  in
+  let segments = ref 0 in
+  let waves = ref 0 in
+  let boots = ref 0 in
+  let nots = ref 0 in
+  let widths = ref [] in
+  let walls = ref [] in
+  let task_of = function
+    | P_gate { gate; in0; in1; _ } -> T_gate { gate; a = classic in0; b = classic in1 }
+    | P_lut { table; ins; _ } ->
+      let arity = Array.length ins in
+      let operands =
+        if arity = 1 then [| classic ins.(0) |] else Array.map raw ins
+      in
+      T_lut { arity; table; operands; ins }
+  in
+  let dst_of = function P_gate { dst; _ } -> dst | P_lut { dst; _ } -> dst in
+  let flush () =
+    if !seg_depth > 0 then begin
+      incr segments;
+      for l = 1 to !seg_depth do
+        let par = List.rev !seg_par.(l - 1) and inl = List.rev !seg_inl.(l - 1) in
+        !seg_par.(l - 1) <- [];
+        !seg_inl.(l - 1) <- [];
+        if par <> [] then begin
+          incr waves;
+          let t0 = Unix.gettimeofday () in
+          let tasks = Array.of_list (List.map task_of par) in
+          let results = run_wave tasks in
+          if Array.length results <> Array.length tasks then
+            failwith "Stream_exec: wave runner returned the wrong number of results";
+          List.iteri
+            (fun i p ->
+              let dst = dst_of p in
+              !values.(dst) <- Some results.(i);
+              !levels.(dst) <- 0)
+            par;
+          boots := !boots + Array.length tasks;
+          widths := Array.length tasks :: !widths;
+          walls := (Unix.gettimeofday () -. t0) :: !walls
+        end;
+        List.iter
+          (fun (in0, dst) ->
+            let v = classic in0 in
+            !values.(dst) <- Some (ops.v_gate Gate.Not v v);
+            !levels.(dst) <- 0;
+            incr nots)
+          inl
+      done;
+      seg_depth := 0;
+      seg_boots := 0
+    end
+  in
+  let require_header () =
+    if !gate_total < 0 then failwith "Stream_exec: missing header instruction"
+  in
+  let count_gate () =
+    incr seen_gates;
+    if !gate_total <> Binary.streamed_gate_total && !seen_gates > !gate_total then
+      failwith "Stream_exec: more gates than the header declared"
+  in
+  let queue_parallel l p =
+    seg_ensure l;
+    !seg_par.(l - 1) <- p :: !seg_par.(l - 1);
+    if l > !seg_depth then seg_depth := l;
+    incr seg_boots;
+    !levels.(!next) <- l;
+    incr next;
+    if !seg_boots >= window then flush ()
+  in
+  Binary.iter_source read (fun inst ->
+      match inst with
+      | Binary.Header { gate_total = g } ->
+        if not !first then failwith "Stream_exec: duplicate header";
+        first := false;
+        gate_total := g
+      | Binary.Input_decl { index } ->
+        require_header ();
+        if index <> !next then failwith "Stream_exec: non-sequential input index";
+        ensure index;
+        !values.(index) <- Some (ops.v_input !input_ordinal);
+        !levels.(index) <- 0;
+        incr input_ordinal;
+        incr next
+      | Binary.Gate_inst { gate; in0; in1 } ->
+        require_header ();
+        count_gate ();
+        ensure !next;
+        if Gate.is_unary gate then begin
+          let base = level_of in0 in
+          if base = 0 then begin
+            let v = classic in0 in
+            !values.(!next) <- Some (ops.v_gate gate v v);
+            !levels.(!next) <- 0;
+            incr nots;
+            incr next
+          end
+          else begin
+            seg_ensure base;
+            !seg_inl.(base - 1) <- (in0, !next) :: !seg_inl.(base - 1);
+            !levels.(!next) <- base;
+            incr next
+          end
+        end
+        else begin
+          let la = level_of in0 and lb = level_of in1 in
+          queue_parallel (1 + max la lb) (P_gate { gate; in0; in1; dst = !next })
+        end
+      | Binary.Lut_inst { table; ins } ->
+        require_header ();
+        count_gate ();
+        ensure !next;
+        let arity = Array.length ins in
+        let base = ref 0 in
+        Array.iter
+          (fun idx ->
+            let l = level_of idx in
+            if arity > 1 && not !is_lut.(idx) then
+              raise
+                (Wire.Corrupt
+                   (Printf.sprintf
+                      "Stream_exec: lut%d operand %d is not lutdom-encoded" arity idx));
+            if l > !base then base := l)
+          ins;
+        !is_lut.(!next) <- true;
+        queue_parallel (1 + !base) (P_lut { table; ins; dst = !next })
+      | Binary.Output_decl { index } ->
+        require_header ();
+        ignore (level_of index);
+        outputs := index :: !outputs);
+  if !gate_total < 0 then failwith "Stream_exec: missing header instruction";
+  flush ();
+  let result = Array.of_list (List.rev_map classic !outputs) in
+  let stats =
+    {
+      segments_run = !segments;
+      waves_run = !waves;
+      bootstraps_run = !boots;
+      nots_run = !nots;
+      wave_widths = Array.of_list (List.rev !widths);
+      wave_wall = Array.of_list (List.rev !walls);
+    }
+  in
+  if Trace.enabled obs then begin
+    let tr = Trace.new_track obs ~name:"stream-waves" in
+    Trace.span tr ~cat:"run" ~name:"stream_waves" ~t0:t_start ~t1:(Trace.now obs);
+    Trace.counter tr ~name:"segments" (float_of_int stats.segments_run);
+    Trace.counter tr ~name:"waves" (float_of_int stats.waves_run);
+    Trace.counter tr ~name:"bootstraps" (float_of_int stats.bootstraps_run);
+    Trace.counter tr ~name:"nots" (float_of_int stats.nots_run);
+    Trace.drain obs
+  end;
+  (result, stats)
 
 (* Plaintext LUT cell: lutdom and classic coincide (a bit is a bit), so the
    view is the identity.  The message index m is the MSB-first operand
@@ -181,3 +434,184 @@ let run ?(opts = Exec_opts.default) ops bytes =
 let run_encrypted ?(opts = Exec_opts.default) cloud bytes cts =
   Exec_opts.check_scalar_only ~who:"Stream_exec.run_encrypted" opts;
   run_encrypted_legacy ~obs:opts.Exec_opts.obs cloud bytes cts
+
+(* --- Encrypted streaming through the wave driver --------------------------
+
+   Single-process encrypted execution of a streamed binary: bootstrapped
+   work arrives as resolved-operand tasks one wave at a time, so no netlist
+   is ever materialised.  Per gate/cell the operation sequence matches the
+   [Tfhe_eval] netlist walks (combine → bootstrap → key switch, indicator
+   rotations shared within a wave), so outputs are ciphertext-bit-exact
+   with them — rotation sharing does not cross wave boundaries here, which
+   cannot change values because indicator rotations are deterministic. *)
+
+module Gates = Pytfhe_tfhe.Gates
+module Lwe = Pytfhe_tfhe.Lwe
+module Params = Pytfhe_tfhe.Params
+
+type stream_cell =
+  | C_sign of { idx : int; table : int; operand : Lwe.sample }
+  | C_group of {
+      mutable idxs : int list;  (* reversed *)
+      mutable tables : int list;  (* reversed, aligned with idxs *)
+      arity : int;
+      raws : Lwe.sample array;
+    }
+
+(* Group a wave's LUT tasks by operand tuple, first-appearance order, like
+   [Tfhe_eval.build_lut_cells] does over netlist ids. *)
+let stream_lut_cells tasks lut_idx =
+  let ds = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      match tasks.(i) with
+      | T_lut { arity = 1; table; operands; _ } ->
+        ds := C_sign { idx = i; table; operand = operands.(0) } :: !ds
+      | T_lut { arity; table; operands; ins } -> (
+        let key = Tfhe_eval.lut_key ins in
+        match Hashtbl.find_opt groups key with
+        | Some (C_group g) ->
+          g.idxs <- i :: g.idxs;
+          g.tables <- table :: g.tables
+        | Some (C_sign _) -> assert false
+        | None ->
+          let g = C_group { idxs = [ i ]; tables = [ table ]; arity; raws = operands } in
+          Hashtbl.add groups key g;
+          ds := g :: !ds)
+      | T_gate _ -> assert false)
+    lut_idx;
+  Array.of_list (List.rev !ds)
+
+let stream_runner_scalar ctx tasks =
+  let rotations = Hashtbl.create 16 in
+  Array.map
+    (function
+      | T_gate { gate; a; b } -> Tfhe_eval.apply_gate ctx gate a b
+      | T_lut { arity = 1; table; operands; _ } -> Gates.lut1_in ctx ~table operands.(0)
+      | T_lut { arity; table; operands; ins } ->
+        let key = Tfhe_eval.lut_key ins in
+        let ind =
+          match Hashtbl.find_opt rotations key with
+          | Some ind -> ind
+          | None ->
+            let ind = Gates.lut_indicators_in ctx ~arity operands in
+            Hashtbl.add rotations key ind;
+            ind
+        in
+        Gates.lut_select_in ctx ~msize:(1 lsl arity) ~table ind)
+    tasks
+
+let stream_runner_batched bc ~batch ~n tasks =
+  let total = Array.length tasks in
+  let out = Array.make total None in
+  let gate_idx = ref [] and lut_idx = ref [] in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | T_gate _ -> gate_idx := i :: !gate_idx
+      | T_lut _ -> lut_idx := i :: !lut_idx)
+    tasks;
+  let gates = Array.of_list (List.rev !gate_idx) in
+  let cwidth = Array.length gates in
+  let pos = ref 0 in
+  while !pos < cwidth do
+    let len = min batch (cwidth - !pos) in
+    let base = !pos in
+    let combined =
+      Array.init len (fun i ->
+          match tasks.(gates.(base + i)) with
+          | T_gate { gate; a; b } -> Gates.combine ~n (Tfhe_eval.plan_of gate) a b
+          | T_lut _ -> assert false)
+    in
+    let outs = Gates.bootstrap_batch bc combined in
+    for i = 0 to len - 1 do
+      out.(gates.(base + i)) <- Some outs.(i)
+    done;
+    pos := !pos + len
+  done;
+  let cells = stream_lut_cells tasks (List.rev !lut_idx) in
+  let ncells = Array.length cells in
+  let pos = ref 0 in
+  while !pos < ncells do
+    let len = min batch (ncells - !pos) in
+    let chunk = Array.sub cells !pos len in
+    let kinds =
+      Array.map
+        (function
+          | C_sign { table; _ } -> Gates.sign_cell ~table
+          | C_group g ->
+            Gates.Cell_lut { arity = g.arity; tables = Array.of_list (List.rev g.tables) })
+        chunk
+    in
+    let combined =
+      Array.map
+        (function
+          | C_sign { operand; _ } -> operand
+          | C_group g -> Gates.lut_combine ~n ~arity:g.arity g.raws)
+        chunk
+    in
+    let outs = Gates.bootstrap_batch_cells bc kinds combined in
+    Array.iteri
+      (fun j d ->
+        match d with
+        | C_sign { idx; _ } -> out.(idx) <- Some outs.(j).(0)
+        | C_group g -> List.iteri (fun k i -> out.(i) <- Some outs.(j).(k)) (List.rev g.idxs))
+      chunk;
+    pos := !pos + len
+  done;
+  Array.map (function Some v -> v | None -> assert false) out
+
+let encrypted_stream_ops ctx inputs ~who =
+  {
+    v_gate = (fun g a b -> Tfhe_eval.apply_gate ctx g a b);
+    v_input =
+      (fun i ->
+        if i >= Array.length inputs then
+          invalid_arg (who ^ ": wrong number of inputs for the stream")
+        else inputs.(i));
+    (* The wave driver routes bootstrapped cells through [run_wave]; this
+       is only a safety net should that contract ever loosen. *)
+    v_lut = (fun ~arity ~table ops -> Gates.lut_cell_in ctx ~arity ~table ops);
+    v_lut_view = Gates.lut_to_classic;
+  }
+
+let run_encrypted_stream ?(opts = Exec_opts.default) ?window cloud read cts =
+  let start = Unix.gettimeofday () in
+  let obs = opts.Exec_opts.obs in
+  let p = cloud.Gates.cloud_params in
+  let ctx = Gates.context cloud in
+  let ops = encrypted_stream_ops ctx cts ~who:"Stream_exec.run_encrypted_stream" in
+  let bc_counters = ref None in
+  let run_wave =
+    match opts.Exec_opts.batch with
+    | None -> stream_runner_scalar ctx
+    | Some b ->
+      if b < 1 then invalid_arg "Stream_exec.run_encrypted_stream: batch must be >= 1";
+      let bc = Gates.batch_context cloud ~cap:b in
+      bc_counters := Some (fun () -> Gates.batch_counters bc);
+      stream_runner_batched bc ~batch:b ~n:p.Params.lwe.Params.n
+  in
+  let outputs, ws = run_waves ~obs ?window ~run_wave ops read in
+  let batch_size = match opts.Exec_opts.batch with Some b -> b | None -> 0 in
+  let launches, bsk, ks =
+    match !bc_counters with
+    | None -> (0, 0, 0)
+    | Some counters ->
+      let c = counters () in
+      ( c.Gates.batch_launches,
+        c.Gates.bsk_rows * Exec_obs.bsk_row_bytes p,
+        c.Gates.ks_blocks * Exec_obs.ks_block_bytes p )
+  in
+  ( outputs,
+    {
+      Tfhe_eval.bootstraps_executed = ws.bootstraps_run;
+      nots_executed = ws.nots_run;
+      wall_time = Unix.gettimeofday () -. start;
+      wave_wall = ws.wave_wall;
+      wave_width = ws.wave_widths;
+      batch_size;
+      batch_launches = launches;
+      bsk_bytes_streamed = bsk;
+      ks_bytes_streamed = ks;
+    } )

@@ -41,6 +41,94 @@ val run_encrypted :
     and the noise gauges on a ["stream-crypto"] track.  Same
     [Invalid_argument] contract as {!run} for the batch/soa knobs. *)
 
+val run_source :
+  ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> (unit -> bytes option) -> 'v array
+(** Like {!run}, pulling the binary from a chunked source
+    ({!Pytfhe_circuit.Binary.iter_source}) instead of a resident byte
+    buffer — the executor for streamed compilations, where the binary is
+    produced wave by wave and never materialised.  Headers carrying
+    {!Pytfhe_circuit.Binary.streamed_gate_total} skip the gate-budget
+    check. *)
+
+(** {1 Segmented wave driver}
+
+    The streaming counterpart of the levelized executors.  Instructions are
+    consumed as they arrive; bootstrapped gates and LUT cells are queued by
+    wave (level = 1 + max operand level within the current segment) and
+    handed to a backend callback one wave at a time, so batching and
+    parallel backends see the same wave structure a materialised netlist
+    would give them — without the netlist.  When the queued bootstrap count
+    reaches [window] the segment flushes level by level, bounding peak
+    queued work.  NOT gates are evaluated inline (immediately when their
+    operand is computed, after the producing wave otherwise), matching
+    {!Pytfhe_circuit.Levelize.waves} semantics. *)
+
+type 'v task =
+  | T_gate of { gate : Pytfhe_circuit.Gate.t; a : 'v; b : 'v }
+      (** One bootstrapped binary gate; operands are classic views, already
+          resolved. *)
+  | T_lut of { arity : int; table : int; operands : 'v array; ins : int array }
+      (** One LUT cell; arity-1 operands are classic views, arity-2/3 are
+          raw lutdom values.  [ins] are the stream indices of the operands —
+          tasks of one wave sharing the same [ins] may share blind
+          rotations. *)
+
+type wave_stats = {
+  segments_run : int;
+  waves_run : int;
+  bootstraps_run : int;
+  nots_run : int;
+  wave_widths : int array;  (** Tasks per executed wave, in order. *)
+  wave_wall : float array;  (** Wall seconds per executed wave. *)
+}
+
+val run_waves :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?window:int ->
+  run_wave:('v task array -> 'v array) ->
+  'v ops ->
+  (unit -> bytes option) ->
+  'v array * wave_stats
+(** Execute a streamed binary wave by wave.  [run_wave] must return one
+    result per task, in task order.  [ops.v_gate] is only consulted for
+    inline NOT gates and [ops.v_lut] never — bootstrapped work goes through
+    [run_wave].  Default [window] is 32768 queued bootstraps per segment.
+    Error contract matches {!run}. *)
+
+(** Rotation units of one wave's LUT tasks, for encrypted wave runners:
+    one [C_sign] per arity-1 cell, one [C_group] per distinct multi-input
+    operand tuple (lists reversed, aligned).  [idx]/[idxs] are task
+    positions in the wave. *)
+type stream_cell =
+  | C_sign of { idx : int; table : int; operand : Pytfhe_tfhe.Lwe.sample }
+  | C_group of {
+      mutable idxs : int list;
+      mutable tables : int list;
+      arity : int;
+      raws : Pytfhe_tfhe.Lwe.sample array;
+    }
+
+val stream_lut_cells :
+  Pytfhe_tfhe.Lwe.sample task array -> int list -> stream_cell array
+(** Group the LUT tasks at the given positions (in order) into rotation
+    units, first-appearance order — the streaming counterpart of
+    {!Tfhe_eval.build_lut_cells}. *)
+
+val run_encrypted_stream :
+  ?opts:Exec_opts.t ->
+  ?window:int ->
+  Pytfhe_tfhe.Gates.cloud_keyset ->
+  (unit -> bytes option) ->
+  Pytfhe_tfhe.Lwe.sample array ->
+  Pytfhe_tfhe.Lwe.sample array * Tfhe_eval.stats
+(** Single-process encrypted execution of a streamed binary through
+    {!run_waves}: scalar per-wave when [opts.batch] is unset, through the
+    key-streaming batch kernel otherwise (LUT cells grouped by operand
+    tuple for rotation sharing, as in {!Tfhe_eval}).  Outputs are
+    ciphertext-bit-exact with {!Tfhe_eval.run} over the materialised
+    netlist.  [opts.soa] is ignored — the wave driver's value table is
+    per-slot by construction. *)
+
 val run_legacy : ?obs:Pytfhe_obs.Trace.sink -> 'v ops -> bytes -> 'v array
 (** @deprecated The pre-{!Exec_opts} signature, kept for one release. *)
 

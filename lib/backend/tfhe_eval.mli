@@ -95,6 +95,11 @@ val apply_gate :
 
 type lut_cell_build
 
+val lut_key : int array -> int * int * int * int
+(** The rotation-sharing key of a LUT cell's operand tuple — (arity, op0,
+    op1 or -1, op2 or -1).  Cells agreeing on this key may share one blind
+    rotation. *)
+
 val classic_view :
   Pytfhe_circuit.Netlist.t -> Pytfhe_tfhe.Lwe.sample option array ->
   Pytfhe_circuit.Netlist.id -> Pytfhe_tfhe.Lwe.sample

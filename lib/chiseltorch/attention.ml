@@ -11,15 +11,15 @@ let random_weights rng cfg =
   in
   { wq = matrix (); wk = matrix (); wv = matrix () }
 
-let build net cfg w x =
+let build ?(reuse = false) net cfg w x =
   if Tensor.shape x <> [| cfg.seq_len; cfg.hidden |] then
     invalid_arg "Attention.build: input must be seq_len x hidden";
-  let q = Tensor.matmul_const net x w.wq in
-  let k = Tensor.matmul_const net x w.wk in
-  let v = Tensor.matmul_const net x w.wv in
+  let q = Tensor.matmul_const ~reuse net x w.wq in
+  let k = Tensor.matmul_const ~reuse net x w.wk in
+  let v = Tensor.matmul_const ~reuse net x w.wv in
   (* Scores = Q·Kᵀ / √d, then the ReLU normalisation standing in for
      softmax (see the interface documentation). *)
-  let scores = Tensor.matmul net q (Tensor.transpose k) in
+  let scores = Tensor.matmul ~reuse net q (Tensor.transpose k) in
   let scaled = Tensor.mul_scalar net scores (1.0 /. sqrt (float_of_int cfg.hidden)) in
   let attn = Tensor.relu net scaled in
-  Tensor.matmul net attn v
+  Tensor.matmul ~reuse net attn v

@@ -24,6 +24,9 @@ val random_weights : Pytfhe_util.Rng.t -> config -> weights
 (** Synthetic projection matrices (the evaluation is shape-driven; see
     DESIGN.md on the data substitution). *)
 
-val build : Pytfhe_circuit.Netlist.t -> config -> weights -> Tensor.t -> Tensor.t
+val build : ?reuse:bool -> Pytfhe_circuit.Netlist.t -> config -> weights -> Tensor.t -> Tensor.t
 (** [build net cfg w x] applies one self-attention layer to the
-    [seq_len × hidden] input tensor. *)
+    [seq_len × hidden] input tensor.  With [~reuse:true] the projections
+    and score/value matmuls go through {!Tensor.template} reuse — the
+    per-column and dot-product sub-circuits are built once and
+    instantiated per row/element (see {!Tensor.matmul}). *)

@@ -215,14 +215,110 @@ let circuit_ops dtype =
     o_copy = (fun _ v -> v);
   }
 
-let apply net layer x =
+let apply_direct net layer x =
   let dtype = Tensor.dtype x in
   let ops = { (circuit_ops dtype) with o_zero_pattern = Scalar.const net dtype 0.0 } in
   let data = Array.init (Tensor.numel x) (Tensor.get_flat x) in
   let out = apply_generic ops net layer (Tensor.shape x) data in
   Tensor.create dtype (output_shape layer (Tensor.shape x)) out
 
-let run net model x = List.fold_left (fun acc layer -> apply net layer acc) x model
+(* Template-reuse lowering for the convolutions: an output channel's
+   kernel weights are shared across every spatial position, so the
+   window dot product is built once per channel ({!Tensor.template}) and
+   replayed per position, instead of re-derived out_h*out_w times.  The
+   accumulation order matches [apply_generic] exactly, so results are
+   bit-identical to the direct lowering. *)
+let apply_conv_reuse net layer x =
+  let dtype = Tensor.dtype x in
+  let wbits = Dtype.width dtype in
+  let shape = Tensor.shape x in
+  let out_shape = output_shape layer shape in
+  let data = Array.init (Tensor.numel x) (Tensor.get_flat x) in
+  let bias_of bias o = match bias with Some b -> b.(o) | None -> 0.0 in
+  match layer with
+  | Conv1d { in_ch; kernel; stride; weights; bias; out_ch } ->
+    let l = shape.(1) in
+    let out_l = out_shape.(1) in
+    let tpls =
+      Array.init out_ch (fun o ->
+          Tensor.template ~arity:(in_ch * kernel) ~width:wbits (fun tnet ins ->
+              let acc = ref (Scalar.const tnet dtype (bias_of bias o)) in
+              for c = 0 to in_ch - 1 do
+                for d = 0 to kernel - 1 do
+                  let w = weights.((o * in_ch * kernel) + (c * kernel) + d) in
+                  acc :=
+                    Scalar.add tnet dtype !acc (Scalar.mul_scalar tnet dtype ins.((c * kernel) + d) w)
+                done
+              done;
+              !acc))
+    in
+    let out =
+      Array.init (out_ch * out_l) (fun flat ->
+          let o = flat / out_l and i = flat mod out_l in
+          let window =
+            Array.init (in_ch * kernel) (fun ci ->
+                let c = ci / kernel and d = ci mod kernel in
+                data.((c * l) + (i * stride) + d))
+          in
+          Tensor.instance net tpls.(o) window)
+    in
+    Tensor.create dtype out_shape out
+  | Conv2d { in_ch; kernel; stride; padding; weights; bias; out_ch } ->
+    let h = shape.(1) + (2 * padding) and w = shape.(2) + (2 * padding) in
+    let padded =
+      if padding = 0 then data
+      else begin
+        let zero = Scalar.const net dtype 0.0 in
+        Array.init (in_ch * h * w) (fun flat ->
+            let c = flat / (h * w) in
+            let rem = flat mod (h * w) in
+            let i = (rem / w) - padding and j = (rem mod w) - padding in
+            if i < 0 || i >= shape.(1) || j < 0 || j >= shape.(2) then zero
+            else data.((c * shape.(1) * shape.(2)) + (i * shape.(2)) + j))
+      end
+    in
+    let out_h = out_shape.(1) and out_w = out_shape.(2) in
+    let tpls =
+      Array.init out_ch (fun o ->
+          Tensor.template ~arity:(in_ch * kernel * kernel) ~width:wbits (fun tnet ins ->
+              let acc = ref (Scalar.const tnet dtype (bias_of bias o)) in
+              for c = 0 to in_ch - 1 do
+                for di = 0 to kernel - 1 do
+                  for dj = 0 to kernel - 1 do
+                    let wt =
+                      weights.((o * in_ch * kernel * kernel) + (c * kernel * kernel) + (di * kernel) + dj)
+                    in
+                    acc :=
+                      Scalar.add tnet dtype !acc
+                        (Scalar.mul_scalar tnet dtype ins.((c * kernel * kernel) + (di * kernel) + dj) wt)
+                  done
+                done
+              done;
+              !acc))
+    in
+    let out =
+      Array.init (out_ch * out_h * out_w) (fun flat ->
+          let o = flat / (out_h * out_w) in
+          let rem = flat mod (out_h * out_w) in
+          let i = rem / out_w and j = rem mod out_w in
+          let window =
+            Array.init (in_ch * kernel * kernel) (fun ci ->
+                let c = ci / (kernel * kernel) in
+                let crem = ci mod (kernel * kernel) in
+                let di = crem / kernel and dj = crem mod kernel in
+                padded.((c * h * w) + (((i * stride) + di) * w) + (j * stride) + dj))
+          in
+          Tensor.instance net tpls.(o) window)
+    in
+    Tensor.create dtype out_shape out
+  | _ -> invalid_arg "Nn.apply_conv_reuse: convolution layers only"
+
+let apply ?(reuse = false) net layer x =
+  match layer with
+  | (Conv1d _ | Conv2d _) when reuse -> apply_conv_reuse net layer x
+  | _ -> apply_direct net layer x
+
+let run ?reuse net model x = List.fold_left (fun acc layer -> apply ?reuse net layer acc) x model
 
 let reference_ops dtype =
   {

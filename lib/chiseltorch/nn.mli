@@ -61,11 +61,17 @@ type ('v, 'ctx) ops = {
 val apply_generic : ('v, 'ctx) ops -> 'ctx -> layer -> int array -> 'v array -> 'v array
 (** One layer over an arbitrary value algebra. *)
 
-val apply : Netlist.t -> layer -> Tensor.t -> Tensor.t
-(** Instantiate the layer's circuit. *)
+val apply : ?reuse:bool -> Netlist.t -> layer -> Tensor.t -> Tensor.t
+(** Instantiate the layer's circuit.  With [~reuse:true] (default
+    [false]) the convolutions build each output channel's window dot
+    product once as a {!Tensor.template} and replay it per spatial
+    position — bit-identical results, with the scalar lowering run
+    [out_ch] times instead of [out_ch * positions] times, and sharing
+    that survives a windowed (streaming) netlist.  Other layers ignore
+    the flag. *)
 
-val run : Netlist.t -> model -> Tensor.t -> Tensor.t
-(** Instantiate a whole model. *)
+val run : ?reuse:bool -> Netlist.t -> model -> Tensor.t -> Tensor.t
+(** Instantiate a whole model ([reuse] as in {!apply}). *)
 
 val reference : model -> Dtype.t -> int array -> int array -> int array
 (** [reference model dtype shape input_patterns] evaluates the model on

@@ -150,33 +150,85 @@ let dot net a b =
   | [| n |], [| m |] when n = m -> sum net (mul net a b)
   | _ -> invalid_arg "Tensor.dot: 1-D tensors of equal length"
 
-let matmul net a b =
+(* ------------------------------------------------------------------ *)
+(* Shape-aware template reuse                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A sub-circuit built once over fresh inputs in a scratch netlist and
+   replayed per argument tuple via [Netlist.instantiate].  The repeated
+   shapes of tensor programs — a conv kernel window, a matmul dot product
+   — are identical sub-circuits differing only in their operands, so the
+   scalar lowering (carry chains, constant-multiplier decomposition)
+   runs once instead of once per instance, and a windowed (streaming)
+   netlist never depends on its CSE tables to recover the sharing. *)
+type template = { t_net : Netlist.t; t_out : Bus.t }
+
+let template ~arity ~width body =
+  let t_net = Netlist.create () in
+  let ins = Array.init arity (fun i -> Bus.input t_net (Printf.sprintf "t.%d" i) width) in
+  { t_net; t_out = body t_net ins }
+
+let instance net tpl args =
+  let flat = Array.concat (Array.to_list args) in
+  let map = Netlist.instantiate net ~template:tpl.t_net ~args:flat in
+  Array.map (fun b -> map.(b)) tpl.t_out
+
+let matmul ?(reuse = false) net a b =
   match (a.shape, b.shape) with
   | [| n; k |], [| k'; m |] when k = k' ->
+    let row i = Array.init k (fun x -> a.data.((i * k) + x)) in
+    let col j = Array.init k (fun x -> b.data.((x * m) + j)) in
     let data =
-      Array.init (n * m) (fun flat ->
-          let i = flat / m and j = flat mod m in
-          let row = Array.init k (fun x -> a.data.((i * k) + x)) in
-          let col = Array.init k (fun x -> b.data.((x * m) + j)) in
-          let products = Array.map2 (fun x y -> Scalar.mul net a.dtype x y) row col in
-          (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
+      if reuse then begin
+        (* The dot product of two k-vectors is the same sub-circuit at
+           every (i, j) — one template, n*m instances. *)
+        let tpl =
+          template ~arity:(2 * k) ~width:(Dtype.width a.dtype) (fun tnet ins ->
+              let products = Array.init k (fun x -> Scalar.mul tnet a.dtype ins.(x) ins.(k + x)) in
+              (reduce Scalar.add tnet { a with shape = [| k |]; data = products }).data.(0))
+        in
+        Array.init (n * m) (fun flat ->
+            let i = flat / m and j = flat mod m in
+            instance net tpl (Array.append (row i) (col j)))
+      end
+      else
+        Array.init (n * m) (fun flat ->
+            let i = flat / m and j = flat mod m in
+            let products = Array.map2 (fun x y -> Scalar.mul net a.dtype x y) (row i) (col j) in
+            (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
     in
     { a with shape = [| n; m |]; data }
   | _ -> invalid_arg "Tensor.matmul: inner dimensions must agree"
 
-let matmul_const net a weights =
+let matmul_const ?(reuse = false) net a weights =
   match a.shape with
   | [| n; k |] ->
     let rows = Array.length weights in
     if rows <> k then invalid_arg "Tensor.matmul_const: inner dimensions must agree";
     let m = Array.length weights.(0) in
     let data =
-      Array.init (n * m) (fun flat ->
-          let i = flat / m and j = flat mod m in
-          let products =
-            Array.init k (fun x -> Scalar.mul_scalar net a.dtype a.data.((i * k) + x) weights.(x).(j))
-          in
-          (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
+      if reuse then begin
+        (* A weight column is shared by every input row — one template
+           per column, n instances each. *)
+        let tpls =
+          Array.init m (fun j ->
+              template ~arity:k ~width:(Dtype.width a.dtype) (fun tnet ins ->
+                  let products =
+                    Array.init k (fun x -> Scalar.mul_scalar tnet a.dtype ins.(x) weights.(x).(j))
+                  in
+                  (reduce Scalar.add tnet { a with shape = [| k |]; data = products }).data.(0)))
+        in
+        Array.init (n * m) (fun flat ->
+            let i = flat / m and j = flat mod m in
+            instance net tpls.(j) (Array.init k (fun x -> a.data.((i * k) + x))))
+      end
+      else
+        Array.init (n * m) (fun flat ->
+            let i = flat / m and j = flat mod m in
+            let products =
+              Array.init k (fun x -> Scalar.mul_scalar net a.dtype a.data.((i * k) + x) weights.(x).(j))
+            in
+            (reduce Scalar.add net { a with shape = [| k |]; data = products }).data.(0))
     in
     { a with shape = [| n; m |]; data }
   | _ -> invalid_arg "Tensor.matmul_const: 2-D tensor expected"

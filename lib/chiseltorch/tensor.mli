@@ -77,12 +77,38 @@ val argmin : Netlist.t -> t -> t
 val dot : Netlist.t -> t -> t -> t
 (** Inner product of two 1-D tensors. *)
 
-val matmul : Netlist.t -> t -> t -> t
-(** 2-D × 2-D matrix product. *)
+val matmul : ?reuse:bool -> Netlist.t -> t -> t -> t
+(** 2-D × 2-D matrix product.  With [~reuse:true] the k-element dot
+    product is built once as a {!template} and instantiated per output
+    element — same circuit function, but the scalar lowering runs once
+    and the sharing survives a windowed (streaming) netlist whose CSE
+    tables evict. *)
 
-val matmul_const : Netlist.t -> t -> float array array -> t
+val matmul_const : ?reuse:bool -> Netlist.t -> t -> float array array -> t
 (** Multiply by a public weight matrix (rows × cols, applied on the right):
-    uses constant multipliers. *)
+    uses constant multipliers.  [~reuse:true] builds one template per
+    weight column and replays it for every input row. *)
+
+(** {2 Shape-aware template reuse}
+
+    Tensor programs repeat the same sub-circuit with different operands —
+    a conv kernel window at every spatial position, a matmul dot product
+    at every output element.  A [template] captures that sub-circuit once
+    in a scratch netlist; {!instance} replays it per operand tuple
+    through {!Pytfhe_circuit.Netlist.instantiate}, so the destination's
+    construction-time optimizations still apply (constant arguments fold
+    through the whole instance). *)
+
+type template
+
+val template : arity:int -> width:int -> (Netlist.t -> Bus.t array -> Bus.t) -> template
+(** [template ~arity ~width body] hands [body] a fresh netlist with
+    [arity] input buses of [width] bits and records the bus it returns. *)
+
+val instance : Netlist.t -> template -> Bus.t array -> Bus.t
+(** Replay the template over concrete argument buses (same arity and
+    widths as the template's inputs).  Raises [Invalid_argument] on an
+    arity/width mismatch. *)
 
 val div : Netlist.t -> t -> t -> t
 (** Element-wise encrypted division (see {!Scalar.div} for semantics). *)

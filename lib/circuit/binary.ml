@@ -89,72 +89,172 @@ let emit buf inst =
   Buffer.add_int64_le buf lo;
   Buffer.add_int64_le buf hi
 
-let assemble net =
-  let n = Netlist.node_count net in
-  (* Liveness of constant nodes: they need materialisation only if used. *)
-  let used = Array.make n false in
-  for id = 0 to n - 1 do
-    match Netlist.kind net id with
-    | Netlist.Gate (_, a, b) ->
-      used.(a) <- true;
-      used.(b) <- true
-    | Netlist.Lut { ins; _ } -> Array.iter (fun a -> used.(a) <- true) ins
-    | Netlist.Input _ | Netlist.Const _ -> ()
-  done;
-  List.iter (fun (_, id) -> used.(id) <- true) (Netlist.outputs net);
-  let index_of = Array.make n (-1) in
-  let next = ref 1 in
-  let assign id =
-    index_of.(id) <- !next;
-    incr next
-  in
-  let buf = Buffer.create 1024 in
-  let inputs = Netlist.inputs net in
-  let const_gates = ref [] in
-  let materialise_const id value =
-    if used.(id) then begin
-      match inputs with
-      | [] -> failwith "Binary.assemble: live constants but no inputs to derive them from"
-      | (_, first_input) :: _ ->
-        (* XOR(i,i) = 0, XNOR(i,i) = 1. *)
-        let g = if value then Gate.Xnor else Gate.Xor in
-        let src = index_of.(first_input) in
-        assign id;
-        const_gates := Gate_inst { gate = g; in0 = src; in1 = src } :: !const_gates
+(* A streamed binary's header cannot know the final gate count up front, so
+   it carries this sentinel; executors treat it as "unknown" and skip the
+   gate-budget check.  Buffered producers backpatch the real count. *)
+let streamed_gate_total = all_ones_62
+
+let patch_header bytes gate_total =
+  if Bytes.length bytes < 16 then failwith "Binary.patch_header: no header instruction";
+  let lo, hi = instruction_words (Header { gate_total }) in
+  Bytes.set_int64_le bytes 0 lo;
+  Bytes.set_int64_le bytes 8 hi
+
+(* ------------------------------------------------------------------ *)
+(* Streaming assembler                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Emits the instruction stream node by node, in netlist id order, as
+   construction proceeds — peak memory is one output chunk, not the whole
+   binary.  Index assignment is identical to the one-shot [assemble] for
+   input-first netlists (the only kind the frontends build): inputs and
+   gates take consecutive stream indices in id order, and a constant
+   materialises at its own id slot as XOR/XNOR over the first input.
+   Nodes created before any input exists are deferred and flushed when the
+   first input arrives; a netlist whose outputs never gain an index (live
+   constants, no inputs) is rejected at [finish]. *)
+module Emit = struct
+  type t = {
+    net : Netlist.t;
+    write : bytes -> unit;
+    chunk : int;  (* flush threshold in bytes *)
+    buf : Buffer.t;
+    mutable index_of : int array;  (* netlist id -> stream index; -1 unassigned *)
+    mutable next : int;  (* next stream index *)
+    mutable first_input : int;  (* stream index of the first input; -1 until seen *)
+    mutable deferred : int list;  (* reversed ids awaiting the first input *)
+    mutable gate_total : int;
+    mutable bytes_emitted : int;
+    mutable finished : bool;
+  }
+
+  let create ?(chunk = 1 lsl 16) ~write net =
+    let e =
+      {
+        net;
+        write;
+        chunk = max chunk 16;
+        buf = Buffer.create 4096;
+        index_of = Array.make 1024 (-1);
+        next = 1;
+        first_input = -1;
+        deferred = [];
+        gate_total = 0;
+        bytes_emitted = 0;
+        finished = false;
+      }
+    in
+    emit e.buf (Header { gate_total = streamed_gate_total });
+    e
+
+  let maybe_flush e =
+    if Buffer.length e.buf >= e.chunk then begin
+      e.bytes_emitted <- e.bytes_emitted + Buffer.length e.buf;
+      e.write (Buffer.to_bytes e.buf);
+      Buffer.clear e.buf
     end
-  in
-  List.iter (fun (_, id) -> assign id) inputs;
-  (* Constants come right after the inputs so every later gate can refer to
-     them. *)
-  for id = 0 to n - 1 do
-    match Netlist.kind net id with
-    | Netlist.Const v -> materialise_const id v
-    | Netlist.Input _ | Netlist.Gate _ | Netlist.Lut _ -> ()
-  done;
-  let gate_insts = ref (List.rev !const_gates) in
-  let tail = ref [] in
-  for id = 0 to n - 1 do
-    match Netlist.kind net id with
+
+  let index_of e id =
+    if id < Array.length e.index_of then e.index_of.(id) else -1
+
+  let assign e id =
+    let n = Array.length e.index_of in
+    if id >= n then begin
+      let grown = Array.make (max (2 * n) (id + 1)) (-1) in
+      Array.blit e.index_of 0 grown 0 n;
+      e.index_of <- grown
+    end;
+    let index = e.next in
+    e.index_of.(id) <- index;
+    e.next <- index + 1;
+    index
+
+  let rec note e id =
+    if e.finished then invalid_arg "Binary.Emit.note: emitter already finished";
+    match Netlist.kind e.net id with
+    | Netlist.Input _ ->
+      let index = assign e id in
+      emit e.buf (Input_decl { index });
+      maybe_flush e;
+      if e.first_input < 0 then begin
+        e.first_input <- index;
+        let pending = List.rev e.deferred in
+        e.deferred <- [];
+        List.iter (note e) pending
+      end
+    | Netlist.Const v ->
+      if e.first_input < 0 then e.deferred <- id :: e.deferred
+      else begin
+        (* XOR(i,i) = 0, XNOR(i,i) = 1. *)
+        ignore (assign e id);
+        let g = if v then Gate.Xnor else Gate.Xor in
+        emit e.buf (Gate_inst { gate = g; in0 = e.first_input; in1 = e.first_input });
+        e.gate_total <- e.gate_total + 1;
+        maybe_flush e
+      end
     | Netlist.Gate (g, a, b) ->
-      assign id;
-      tail := Gate_inst { gate = g; in0 = index_of.(a); in1 = index_of.(b) } :: !tail
+      if index_of e a < 0 || index_of e b < 0 then e.deferred <- id :: e.deferred
+      else begin
+        let in0 = index_of e a and in1 = index_of e b in
+        ignore (assign e id);
+        emit e.buf (Gate_inst { gate = g; in0; in1 });
+        e.gate_total <- e.gate_total + 1;
+        maybe_flush e
+      end
     | Netlist.Lut { table; ins } ->
-      assign id;
-      let mapped = Array.map (fun a -> index_of.(a)) ins in
-      Array.iteri
-        (fun j idx ->
-          if j > 0 && idx > lut_operand_mask then
-            failwith "Binary.assemble: LUT operand index exceeds the 26-bit record field")
-        mapped;
-      tail := Lut_inst { table; ins = mapped } :: !tail
-    | Netlist.Input _ | Netlist.Const _ -> ()
+      if Array.exists (fun a -> index_of e a < 0) ins then e.deferred <- id :: e.deferred
+      else begin
+        let mapped = Array.map (fun a -> index_of e a) ins in
+        Array.iteri
+          (fun j idx ->
+            if j > 0 && idx > lut_operand_mask then
+              failwith "Binary.assemble: LUT operand index exceeds the 26-bit record field")
+          mapped;
+        ignore (assign e id);
+        emit e.buf (Lut_inst { table; ins = mapped });
+        e.gate_total <- e.gate_total + 1;
+        maybe_flush e
+      end
+
+  let attach e = Netlist.set_observer e.net (note e)
+
+  let finish e =
+    if e.finished then invalid_arg "Binary.Emit.finish: emitter already finished";
+    e.finished <- true;
+    (* Deferred gates reference constants in an input-less netlist; deferred
+       constants are fatal only when something observable needs them. *)
+    let deferred_live =
+      List.exists (fun id -> match Netlist.kind e.net id with Netlist.Const _ -> false | _ -> true)
+        e.deferred
+      || List.exists (fun (_, id) -> index_of e id < 0) (Netlist.outputs e.net)
+    in
+    if deferred_live then
+      failwith "Binary.assemble: live constants but no inputs to derive them from";
+    List.iter
+      (fun (_, id) ->
+        let index = index_of e id in
+        if index < 0 then failwith "Binary.assemble: output references an unemitted node";
+        emit e.buf (Output_decl { index }))
+      (Netlist.outputs e.net);
+    e.bytes_emitted <- e.bytes_emitted + Buffer.length e.buf;
+    e.write (Buffer.to_bytes e.buf);
+    Buffer.clear e.buf;
+    e.gate_total
+
+  let bytes_emitted e = e.bytes_emitted + Buffer.length e.buf
+  let gate_total e = e.gate_total
+end
+
+let assemble net =
+  let out = Buffer.create 1024 in
+  let e = Emit.create ~chunk:max_int ~write:(Buffer.add_bytes out) net in
+  for id = 0 to Netlist.node_count net - 1 do
+    Emit.note e id
   done;
-  let gate_insts = !gate_insts @ List.rev !tail in
-  emit buf (Header { gate_total = List.length gate_insts });
-  List.iter (fun (_, id) -> emit buf (Input_decl { index = index_of.(id) })) inputs;
-  List.iter (emit buf) gate_insts;
-  List.iter (fun (_, id) -> emit buf (Output_decl { index = index_of.(id) })) (Netlist.outputs net);
-  Buffer.to_bytes buf
+  let gate_total = Emit.finish e in
+  let bytes = Buffer.to_bytes out in
+  patch_header bytes gate_total;
+  bytes
 
 let instruction_count bytes =
   let len = Bytes.length bytes in
@@ -173,43 +273,73 @@ let disassemble bytes =
   | _ -> failwith "Binary.disassemble: missing header instruction");
   insts
 
+(* Incremental netlist rebuilder over an instruction stream.  Stream indices
+   are sequential from 1, so the index → id table is a dense growable vector
+   rather than a hashtable — O(1) with no boxing at multi-million-gate
+   scale. *)
+module Parser = struct
+  module Growable = Pytfhe_util.Growable
+
+  type t = {
+    net : Netlist.t;
+    table : Growable.t;  (* position index-1 holds the netlist id *)
+    mutable saw_header : bool;
+    mutable n_inputs : int;
+    mutable n_outputs : int;
+  }
+
+  let create () =
+    {
+      net = Netlist.create ~hash_consing:false ~fold_constants:false ();
+      table = Growable.create ~capacity:1024 ();
+      saw_header = false;
+      n_inputs = 0;
+      n_outputs = 0;
+    }
+
+  let resolve p index =
+    if index >= 1 && index <= Growable.length p.table then Growable.get p.table (index - 1)
+    else failwith (Printf.sprintf "Binary.parse: forward or dangling reference %d" index)
+
+  let feed p inst =
+    (match inst with
+    | Header _ -> ()
+    | _ ->
+      if not p.saw_header then failwith "Binary.parse: missing header instruction");
+    match inst with
+    | Header _ -> p.saw_header <- true
+    | Input_decl { index } ->
+      if index <> Growable.length p.table + 1 then
+        failwith "Binary.parse: non-sequential input index";
+      let id = Netlist.input p.net (Printf.sprintf "in%d" p.n_inputs) in
+      p.n_inputs <- p.n_inputs + 1;
+      Growable.push p.table id
+    | Gate_inst { gate; in0; in1 } ->
+      Growable.push p.table (Netlist.gate p.net gate (resolve p in0) (resolve p in1))
+    | Lut_inst { table = lut_table; ins } ->
+      let id =
+        try Netlist.lut p.net ~table:lut_table (Array.map (resolve p) ins)
+        with Invalid_argument msg -> raise (Pytfhe_util.Wire.Corrupt ("Binary.parse: " ^ msg))
+      in
+      Growable.push p.table id
+    | Output_decl { index } ->
+      Netlist.mark_output p.net (Printf.sprintf "out%d" p.n_outputs) (resolve p index);
+      p.n_outputs <- p.n_outputs + 1
+
+  let finish p =
+    if not p.saw_header then failwith "Binary.parse: missing header instruction";
+    p.net
+end
+
 let parse bytes =
-  let insts = disassemble bytes in
-  let net = Netlist.create ~hash_consing:false ~fold_constants:false () in
-  let table = Hashtbl.create 1024 in
-  let resolve index =
-    match Hashtbl.find_opt table index with
-    | Some id -> id
-    | None -> failwith (Printf.sprintf "Binary.parse: forward or dangling reference %d" index)
-  in
-  let next = ref 1 in
-  let n_inputs = ref 0 and n_outputs = ref 0 in
-  List.iter
-    (fun inst ->
-      match inst with
-      | Header _ -> ()
-      | Input_decl { index } ->
-        if index <> !next then failwith "Binary.parse: non-sequential input index";
-        let id = Netlist.input net (Printf.sprintf "in%d" !n_inputs) in
-        incr n_inputs;
-        Hashtbl.add table index id;
-        incr next
-      | Gate_inst { gate; in0; in1 } ->
-        let id = Netlist.gate net gate (resolve in0) (resolve in1) in
-        Hashtbl.add table !next id;
-        incr next
-      | Lut_inst { table = lut_table; ins } ->
-        let id =
-          try Netlist.lut net ~table:lut_table (Array.map resolve ins)
-          with Invalid_argument msg -> raise (Pytfhe_util.Wire.Corrupt ("Binary.parse: " ^ msg))
-        in
-        Hashtbl.add table !next id;
-        incr next
-      | Output_decl { index } ->
-        Netlist.mark_output net (Printf.sprintf "out%d" !n_outputs) (resolve index);
-        incr n_outputs)
-    insts;
-  net
+  let p = Parser.create () in
+  let count = instruction_count bytes in
+  if count = 0 then failwith "Binary.disassemble: empty stream";
+  for i = 0 to count - 1 do
+    Parser.feed p
+      (instruction_of_words (Bytes.get_int64_le bytes (16 * i)) (Bytes.get_int64_le bytes ((16 * i) + 8)))
+  done;
+  Parser.finish p
 
 let write_file path bytes =
   let oc = open_out_bin path in
@@ -233,3 +363,56 @@ let iter bytes f =
   for i = 0 to count - 1 do
     f (instruction_of_words (Bytes.get_int64_le bytes (16 * i)) (Bytes.get_int64_le bytes ((16 * i) + 8)))
   done
+
+let iter_source read f =
+  (* Chunks arrive with arbitrary framing; a partial 16-byte instruction is
+     carried across chunk boundaries in [pending]. *)
+  let pending = Bytes.create 16 in
+  let fill = ref 0 in
+  let any = ref false in
+  let feed chunk =
+    let len = Bytes.length chunk in
+    let pos = ref 0 in
+    if !fill > 0 then begin
+      let take = min (16 - !fill) len in
+      Bytes.blit chunk 0 pending !fill take;
+      fill := !fill + take;
+      pos := take;
+      if !fill = 16 then begin
+        f (instruction_of_words (Bytes.get_int64_le pending 0) (Bytes.get_int64_le pending 8));
+        any := true;
+        fill := 0
+      end
+    end;
+    while len - !pos >= 16 do
+      f (instruction_of_words (Bytes.get_int64_le chunk !pos) (Bytes.get_int64_le chunk (!pos + 8)));
+      any := true;
+      pos := !pos + 16
+    done;
+    let rest = len - !pos in
+    if rest > 0 then begin
+      Bytes.blit chunk !pos pending 0 rest;
+      fill := rest
+    end
+  in
+  let rec loop () =
+    match read () with
+    | Some chunk ->
+      feed chunk;
+      loop ()
+    | None ->
+      if !fill <> 0 then failwith "Binary: truncated instruction stream";
+      if not !any then failwith "Binary.iter_source: empty stream"
+  in
+  loop ()
+
+let parse_source read =
+  let p = Parser.create () in
+  iter_source read (Parser.feed p);
+  Parser.finish p
+
+let read_source ?(chunk = 1 lsl 16) ic =
+  let buf = Bytes.create chunk in
+  fun () ->
+    let n = input ic buf 0 chunk in
+    if n = 0 then None else Some (Bytes.sub buf 0 n)

@@ -33,6 +33,47 @@ val assemble : Netlist.t -> bytes
     input (XOR(i,i) / XNOR(i,i)); raises [Failure] if the netlist has live
     constants but no inputs. *)
 
+val streamed_gate_total : int
+(** Header sentinel (all-ones) carried by streamed binaries whose producer
+    could not know the final gate count; executors treat it as "unknown"
+    and skip the gate-budget check. *)
+
+val patch_header : bytes -> int -> unit
+(** Overwrite the header's gate count in place — how buffered streaming
+    producers turn a sentinel header into an exact one. *)
+
+(** Streaming assembler: emits the instruction stream node by node in
+    netlist id order, flushing chunks to a sink, so the binary never has to
+    be resident in full.  For input-first netlists the output is
+    byte-identical to {!assemble} (modulo the header, which starts as
+    {!streamed_gate_total} — backpatch via {!patch_header} when the sink is
+    seekable). *)
+module Emit : sig
+  type t
+
+  val create : ?chunk:int -> write:(bytes -> unit) -> Netlist.t -> t
+  (** Emits the (sentinel) header immediately.  [write] receives chunks of
+      roughly [chunk] bytes (default 64 KiB). *)
+
+  val note : t -> Netlist.id -> unit
+  (** Emit the instruction for one node.  Must be called in ascending id
+      order over every node of the netlist; {!attach} does this
+      automatically for nodes created after it.  Nodes preceding the first
+      input are deferred and flushed once an input exists. *)
+
+  val attach : t -> unit
+  (** Install {!note} as the netlist's observer, so every node constructed
+      from now on is emitted as a side effect of construction. *)
+
+  val finish : t -> int
+  (** Emit the output declarations, flush, and return the true gate total
+      (for {!patch_header}).  Raises [Failure] like {!assemble} when live
+      constants have no input to derive from. *)
+
+  val bytes_emitted : t -> int
+  val gate_total : t -> int
+end
+
 val disassemble : bytes -> instruction list
 (** Decode an instruction stream.  Raises [Failure] on malformed input
     (bad length, missing header, unknown tag, index out of range). *)
@@ -55,3 +96,18 @@ val iter : bytes -> (instruction -> unit) -> unit
 (** Streaming decode: apply the callback to each instruction in order
     without materialising a list (used by the streaming executor on
     multi-million-gate programs). *)
+
+val iter_source : (unit -> bytes option) -> (instruction -> unit) -> unit
+(** Like {!iter} over a pull source: [read ()] returns the next chunk of
+    the stream (arbitrary framing — instructions may straddle chunks) or
+    [None] at end of stream.  Raises [Failure] on a truncated trailing
+    instruction or an empty stream. *)
+
+val parse_source : (unit -> bytes option) -> Netlist.t
+(** Like {!parse} over a pull source — the netlist is rebuilt
+    incrementally, so only the dense netlist store (not the binary) is ever
+    resident. *)
+
+val read_source : ?chunk:int -> in_channel -> unit -> bytes option
+(** A pull source over an open channel, reading [chunk]-byte blocks
+    (default 64 KiB) — plug into {!iter_source}/{!parse_source}. *)

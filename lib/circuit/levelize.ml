@@ -38,6 +38,65 @@ let run net =
   done;
   { level; depth = !depth; widths = Pytfhe_util.Growable.to_array counts; total_bootstraps = !total }
 
+(* Incremental levelizer: the same placement rule as [run], maintained node
+   by node as construction proceeds, so a streaming compiler knows each
+   node's level (and the evolving widths profile) without a final sweep. *)
+module Inc = struct
+  module Growable = Pytfhe_util.Growable
+
+  type t = {
+    net : Netlist.t;
+    levels : Growable.t;  (* per node, 0 for inputs/constants *)
+    counts : Growable.t;  (* counts.(l-1): bootstrapped nodes in wave l *)
+    mutable depth : int;
+    mutable total : int;
+    mutable upto : int;  (* next id to consume *)
+  }
+
+  let create net =
+    { net; levels = Growable.create ~capacity:1024 (); counts = Growable.create ~capacity:64 ();
+      depth = 0; total = 0; upto = 0 }
+
+  let bump t l =
+    while Growable.length t.counts < l do
+      Growable.push t.counts 0
+    done;
+    Growable.set t.counts (l - 1) (Growable.get t.counts (l - 1) + 1)
+
+  let note t id =
+    if id <> t.upto then invalid_arg "Levelize.Inc.note: ids must arrive in order";
+    t.upto <- id + 1;
+    let place base =
+      let l = base + 1 in
+      Growable.push t.levels l;
+      if l > t.depth then t.depth <- l;
+      bump t l;
+      t.total <- t.total + 1
+    in
+    match Netlist.kind t.net id with
+    | Netlist.Input _ | Netlist.Const _ -> Growable.push t.levels 0
+    | Netlist.Gate (g, a, b) ->
+      let la = Growable.get t.levels a and lb = Growable.get t.levels b in
+      let base = if la > lb then la else lb in
+      if Gate.is_unary g then Growable.push t.levels base else place base
+    | Netlist.Lut { ins; _ } ->
+      place (Array.fold_left (fun acc a -> max acc (Growable.get t.levels a)) 0 ins)
+
+  let catch_up t =
+    while t.upto < Netlist.node_count t.net do
+      note t t.upto
+    done
+
+  let level t id = Growable.get t.levels id
+  let depth t = t.depth
+  let total_bootstraps t = t.total
+
+  let schedule t =
+    catch_up t;
+    { level = Growable.to_array t.levels; depth = t.depth;
+      widths = Growable.to_array t.counts; total_bootstraps = t.total }
+end
+
 type wave = { parallel : Netlist.id array; inline : Netlist.id array }
 
 let waves s net =

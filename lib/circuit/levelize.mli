@@ -20,6 +20,35 @@ type schedule = {
 val run : Netlist.t -> schedule
 (** Levelize a netlist in one topological sweep. *)
 
+(** Incremental levelization for the streaming compiler: the placement rule
+    of {!run}, maintained node by node as construction proceeds, so each
+    node's wave is known the moment it is built and no final sweep over the
+    whole DAG is needed. *)
+module Inc : sig
+  type t
+
+  val create : Netlist.t -> t
+
+  val note : t -> Netlist.id -> unit
+  (** Place one node.  Ids must arrive in ascending order starting at 0
+      (raise [Invalid_argument] otherwise) — i.e. straight from
+      {!Netlist.set_observer}. *)
+
+  val catch_up : t -> unit
+  (** Place every node built since the last call ([note] driven by a loop
+      rather than an observer). *)
+
+  val level : t -> Netlist.id -> int
+  (** Level of an already-placed node. *)
+
+  val depth : t -> int
+  val total_bootstraps : t -> int
+
+  val schedule : t -> schedule
+  (** Snapshot as a {!schedule} (after an implicit {!catch_up}); agrees
+      exactly with [run net] over the same netlist. *)
+end
+
 type wave = {
   parallel : Netlist.id array;
       (** Bootstrapped gates of this level, ascending id.  Their fan-ins all

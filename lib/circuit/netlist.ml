@@ -28,9 +28,16 @@ type t = {
   tbl : Growable.t;  (* LUT truth table; 0 elsewhere *)
   hash_consing : bool;
   fold_constants : bool;
+  window : int;  (* CSE-table entry bound; 0 = unbounded *)
   cse : (int * int * int, id) Hashtbl.t;
   lut_cse : (int * int * int * int, id) Hashtbl.t;  (* (arity|table, a, b, c) *)
   lut_rots : (int * int * int * int, unit) Hashtbl.t;  (* rotation groups (arity, a, b, c) *)
+  cse_q : (int * int * int) Queue.t;  (* insertion order, for FIFO eviction *)
+  lut_cse_q : (int * int * int * int) Queue.t;
+  lut_rots_q : (int * int * int * int) Queue.t;
+  mutable cse_peak : int;
+  mutable cse_evicted : int;
+  mutable observer : (id -> unit) option;
   mutable const_false : id;
   mutable const_true : id;
   mutable input_names : string list;  (* reversed *)
@@ -43,7 +50,8 @@ type t = {
   mutable n_lut_groups : int;
 }
 
-let create ?(hash_consing = true) ?(fold_constants = true) () =
+let create ?(hash_consing = true) ?(fold_constants = true) ?(window = 0) () =
+  if window < 0 then invalid_arg "Netlist.create: negative window";
   {
     kinds = Growable.create ~capacity:1024 ();
     in0 = Growable.create ~capacity:1024 ();
@@ -52,9 +60,16 @@ let create ?(hash_consing = true) ?(fold_constants = true) () =
     tbl = Growable.create ~capacity:1024 ();
     hash_consing;
     fold_constants;
+    window;
     cse = Hashtbl.create 1024;
     lut_cse = Hashtbl.create 64;
     lut_rots = Hashtbl.create 64;
+    cse_q = Queue.create ();
+    lut_cse_q = Queue.create ();
+    lut_rots_q = Queue.create ();
+    cse_peak = 0;
+    cse_evicted = 0;
+    observer = None;
     const_false = -1;
     const_true = -1;
     input_names = [];
@@ -66,6 +81,32 @@ let create ?(hash_consing = true) ?(fold_constants = true) () =
     n_reencodes = 0;
     n_lut_groups = 0;
   }
+
+let set_observer t f = t.observer <- Some f
+let cse_live t = Hashtbl.length t.cse + Hashtbl.length t.lut_cse + Hashtbl.length t.lut_rots
+let cse_peak t = t.cse_peak
+let cse_evicted t = t.cse_evicted
+
+(* Bookkeeping after any hash-table insertion: enforce the FIFO window and
+   track the high-water mark.  Keys are unique per table (insertion happens
+   only on a miss), so one queue entry corresponds to one live binding. *)
+let note_cse_add t =
+  if t.window > 0 then begin
+    if Queue.length t.cse_q > t.window then begin
+      Hashtbl.remove t.cse (Queue.pop t.cse_q);
+      t.cse_evicted <- t.cse_evicted + 1
+    end;
+    if Queue.length t.lut_cse_q > t.window then begin
+      Hashtbl.remove t.lut_cse (Queue.pop t.lut_cse_q);
+      t.cse_evicted <- t.cse_evicted + 1
+    end;
+    if Queue.length t.lut_rots_q > t.window then begin
+      Hashtbl.remove t.lut_rots (Queue.pop t.lut_rots_q);
+      t.cse_evicted <- t.cse_evicted + 1
+    end
+  end;
+  let live = cse_live t in
+  if live > t.cse_peak then t.cse_peak <- live
 
 let node_count t = Growable.length t.kinds
 let gate_count t = t.n_gates
@@ -83,6 +124,7 @@ let push_node t code a b =
   Growable.push t.in1 b;
   Growable.push t.in2 0;
   Growable.push t.tbl 0;
+  (match t.observer with Some f -> f id | None -> ());
   id
 
 let push_lut_node t code a b c table =
@@ -92,6 +134,7 @@ let push_lut_node t code a b c table =
   Growable.push t.in1 b;
   Growable.push t.in2 c;
   Growable.push t.tbl table;
+  (match t.observer with Some f -> f id | None -> ());
   id
 
 let input t name =
@@ -178,6 +221,8 @@ let rec emit_gate t g a b =
       t.n_gates <- t.n_gates + 1;
       if code <> Gate.to_code Gate.Not then t.n_bootstraps <- t.n_bootstraps + 1;
       Hashtbl.add t.cse (code, a, b) id;
+      if t.window > 0 then Queue.push (code, a, b) t.cse_q;
+      note_cse_add t;
       id
   end
   else begin
@@ -252,6 +297,8 @@ let emit_lut t ~table vars =
       let key = (k, a, b, c) in
       if not (Hashtbl.mem t.lut_rots key) then begin
         Hashtbl.add t.lut_rots key ();
+        if t.window > 0 then Queue.push key t.lut_rots_q;
+        note_cse_add t;
         t.n_lut_groups <- t.n_lut_groups + 1;
         t.n_bootstraps <- t.n_bootstraps + 1
       end
@@ -265,6 +312,8 @@ let emit_lut t ~table vars =
     | None ->
       let id = record () in
       Hashtbl.add t.lut_cse key id;
+      if t.window > 0 then Queue.push key t.lut_cse_q;
+      note_cse_add t;
       id
   end
   else record ()
@@ -318,6 +367,41 @@ let lut t ~table ins =
         vars;
     emit_lut t ~table vars
   end
+
+(* Replay every node of [template] into [t], substituting [args] for the
+   template's primary inputs (by ordinal).  The replay goes through the
+   ordinary [gate]/[lut] builders, so the destination's construction-time
+   optimizations (folding against constant arguments, structural hashing,
+   windowing) all apply.  Returns the template-id → destination-id map. *)
+let instantiate t ~template ~args =
+  if Array.length args <> template.n_inputs then
+    invalid_arg "Netlist.instantiate: argument count does not match template inputs";
+  let n = node_count t in
+  Array.iter
+    (fun a -> if a < 0 || a >= n then invalid_arg "Netlist.instantiate: unknown argument node")
+    args;
+  let tn = node_count template in
+  let map = Array.make tn (-1) in
+  for id = 0 to tn - 1 do
+    let code = Growable.get template.kinds id in
+    map.(id) <-
+      (if code = k_input then args.(Growable.get template.in0 id)
+       else if code = k_const_false then const t false
+       else if code = k_const_true then const t true
+       else if code <= k_lut1 then begin
+         let arity = lut_arity_of_code code in
+         let operand j =
+           Growable.get (match j with 0 -> template.in0 | 1 -> template.in1 | _ -> template.in2) id
+         in
+         let ins = Array.init arity (fun j -> map.(operand j)) in
+         lut t ~table:(Growable.get template.tbl id) ins
+       end
+       else
+         match Gate.of_code code with
+         | Some g -> gate t g map.(Growable.get template.in0 id) map.(Growable.get template.in1 id)
+         | None -> assert false)
+  done;
+  map
 
 let mark_output t name id =
   if id < 0 || id >= node_count t then invalid_arg "Netlist.mark_output: unknown node";

@@ -25,8 +25,42 @@ type kind =
           operand (a reencode when [table = 0b10]); multi-input cells
           take lutdom operands, i.e. other [Lut] nodes. *)
 
-val create : ?hash_consing:bool -> ?fold_constants:bool -> unit -> t
-(** Fresh empty netlist; both optimizations default to [true]. *)
+val create : ?hash_consing:bool -> ?fold_constants:bool -> ?window:int -> unit -> t
+(** Fresh empty netlist; both optimizations default to [true].  A positive
+    [window] bounds each of the structural-hashing tables (gate CSE, LUT CSE
+    and rotation groups) to at most [window] entries, evicting the oldest
+    binding FIFO-style once the bound is exceeded — the streaming compiler's
+    memory-bounding policy.  Eviction is conservative: a re-emitted
+    sub-expression whose table entry was evicted is rebuilt (and a rotation
+    group whose key was evicted is re-counted), never mis-shared, so the
+    circuit function is unaffected.  [window = 0] (the default) keeps the
+    tables unbounded. *)
+
+val set_observer : t -> (id -> unit) -> unit
+(** Install a callback fired once for every newly allocated node (inputs and
+    constants included), immediately after it lands in the dense store.  The
+    streaming assembler uses this to emit instructions as construction
+    proceeds.  Replaces any previous observer. *)
+
+val cse_live : t -> int
+(** Current total entries across the three structural-hashing tables. *)
+
+val cse_peak : t -> int
+(** High-water mark of {!cse_live} — the quantity the window bounds. *)
+
+val cse_evicted : t -> int
+(** Entries evicted so far under a positive window. *)
+
+val instantiate : t -> template:t -> args:id array -> id array
+(** [instantiate t ~template ~args] replays every node of [template] into
+    [t], substituting [args.(i)] for the template's [i]-th primary input.
+    The replay goes through the ordinary {!gate}/{!lut} builders, so the
+    destination's construction-time optimizations apply (a constant
+    argument folds through the whole instance).  Returns the
+    template-id → destination-id map, so callers translate template output
+    buses with one array lookup per wire.  Raises [Invalid_argument] when
+    [args] does not match the template's input count or names an unknown
+    node. *)
 
 val input : t -> string -> id
 (** Declare a primary input. *)

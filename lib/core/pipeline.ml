@@ -45,7 +45,17 @@ let compile ?(obs = Trace.null) ?(optimize = true) ?(lut_cover = false) ~name ne
   Trace.drain obs;
   { prog_name = name; netlist; binary; stats; schedule; opt_report }
 
-let of_binary ~name binary =
+let of_binary ?max_bytes ~name binary =
+  (* Admission control happens on the raw length, before a single
+     instruction is decoded — an oversized submission must not cost the
+     service a parse. *)
+  (match max_bytes with
+  | Some cap when Bytes.length binary > cap ->
+    raise
+      (Pytfhe_util.Wire.Corrupt
+         (Printf.sprintf "Pipeline.of_binary: program is %d bytes, over the %d-byte admission cap"
+            (Bytes.length binary) cap))
+  | _ -> ());
   let netlist = Binary.parse binary in
   {
     prog_name = name;
@@ -55,6 +65,97 @@ let of_binary ~name binary =
     schedule = Levelize.run netlist;
     opt_report = None;
   }
+
+let of_binary_source ~name read =
+  let netlist = Binary.parse_source read in
+  (* The source is gone once pulled; re-assemble the canonical binary from
+     the parsed netlist (byte-identical to the submitted stream modulo the
+     header sentinel, which re-assembly resolves to the exact count). *)
+  let binary = Binary.assemble netlist in
+  {
+    prog_name = name;
+    netlist;
+    binary;
+    stats = Stats.compute netlist;
+    schedule = Levelize.run netlist;
+    opt_report = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stream_report = {
+  gates : int;
+  bootstraps : int;
+  depth : int;
+  max_width : int;
+  node_count : int;
+  bytes_emitted : int;
+  cse_peak : int;
+  cse_evicted : int;
+  stream_schedule : Levelize.schedule;
+}
+
+let compile_stream ?(obs = Trace.null) ?hash_consing ?fold_constants ?window ?chunk ~name ~sink
+    builder =
+  let tr = Trace.new_track obs ~name:"compile" in
+  let t0 = Trace.now obs in
+  let net = Netlist.create ?hash_consing ?fold_constants ?window () in
+  let emit = Binary.Emit.create ?chunk ~write:sink net in
+  let inc = Levelize.Inc.create net in
+  (* One observer drives both incremental passes: the moment a node lands
+     in the store it is levelized and its instruction emitted, so neither
+     pass ever re-walks the DAG and the binary is never resident. *)
+  Netlist.set_observer net (fun id ->
+      Binary.Emit.note emit id;
+      Levelize.Inc.note inc id);
+  builder net;
+  let gates = Binary.Emit.finish emit in
+  let stream_schedule = Levelize.Inc.schedule inc in
+  if Trace.enabled obs then begin
+    Trace.span tr ~cat:"compile" ~name:(name ^ ":stream") ~t0 ~t1:(Trace.now obs);
+    Trace.drain obs
+  end;
+  {
+    gates;
+    bootstraps = stream_schedule.Levelize.total_bootstraps;
+    depth = stream_schedule.Levelize.depth;
+    max_width = Levelize.max_width stream_schedule;
+    node_count = Netlist.node_count net;
+    bytes_emitted = Binary.Emit.bytes_emitted emit;
+    cse_peak = Netlist.cse_peak net;
+    cse_evicted = Netlist.cse_evicted net;
+    stream_schedule;
+  }
+
+let compile_stream_to_bytes ?obs ?hash_consing ?fold_constants ?window ?chunk ~name builder =
+  let buf = Buffer.create 4096 in
+  let report =
+    compile_stream ?obs ?hash_consing ?fold_constants ?window ?chunk ~name
+      ~sink:(Buffer.add_bytes buf) builder
+  in
+  let bytes = Buffer.to_bytes buf in
+  Binary.patch_header bytes report.gates;
+  (bytes, report)
+
+let compile_stream_to_file ?obs ?hash_consing ?fold_constants ?window ?chunk ~name ~path builder =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let report =
+        compile_stream ?obs ?hash_consing ?fold_constants ?window ?chunk ~name
+          ~sink:(output_bytes oc) builder
+      in
+      (* The sink is seekable: rewrite the sentinel header with the exact
+         gate total, so the file round-trips through [of_binary] with a
+         working gate-budget check. *)
+      let hdr = Bytes.make 16 '\000' in
+      Binary.patch_header hdr report.gates;
+      seek_out oc 0;
+      output_bytes oc hdr;
+      report)
 
 let compile_model ~name ~dtype ~input_shape model =
   let net = Netlist.create () in

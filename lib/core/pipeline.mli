@@ -29,14 +29,105 @@ val compile :
     compile phase (optimize or lut-cover/assemble/stats/levelize) on a
     ["compile"] track. *)
 
-val of_binary : name:string -> bytes -> compiled
+val of_binary : ?max_bytes:int -> name:string -> bytes -> compiled
 (** Rehydrate a compiled program from an assembled PyTFHE binary — the
     ingestion path of the FHE-as-a-service server, whose clients submit
     programs as binaries, not netlists.  Recomputes stats and the BFS
     schedule from the parsed netlist; [opt_report] is [None] (synthesis
-    happened, if at all, on the submitting side).  Raises
+    happened, if at all, on the submitting side).  With [?max_bytes], a
+    binary longer than the cap is rejected with
+    [Pytfhe_util.Wire.Corrupt] {e before} any instruction is decoded —
+    the service's admission check against oversized submissions.  Raises
     [Pytfhe_util.Wire.Corrupt] on structurally corrupt LUT records and
     [Failure] on malformed streams, like {!Pytfhe_circuit.Binary.parse}. *)
+
+val of_binary_source : name:string -> (unit -> bytes option) -> compiled
+(** Like {!of_binary} over a chunked pull source
+    ({!Pytfhe_circuit.Binary.parse_source}): the submitted stream is
+    parsed incrementally, so the client's binary is never resident in
+    full during ingestion.  The returned [binary] is the canonical
+    re-assembly of the parsed netlist — byte-identical to the submitted
+    stream except that a sentinel (streamed) header resolves to the exact
+    gate count. *)
+
+(** {2 Streaming compilation}
+
+    The bounded-memory path for paper-scale programs: the builder
+    callback constructs the circuit into a windowed netlist while an
+    observer levelizes each node incrementally
+    ({!Pytfhe_circuit.Levelize.Inc}) and emits its binary instruction to
+    the sink ({!Pytfhe_circuit.Binary.Emit}) — the full binary is never
+    resident, CSE tables stay bounded by [window], and no whole-DAG
+    sweep runs at the end. *)
+
+type stream_report = {
+  gates : int;  (** Exact gate total (what a buffered header backpatch records). *)
+  bootstraps : int;
+  depth : int;  (** Waves = critical path in bootstrapped gates. *)
+  max_width : int;  (** Peak exploitable parallelism. *)
+  node_count : int;
+  bytes_emitted : int;  (** Binary bytes pushed to the sink. *)
+  cse_peak : int;  (** High-water mark of the structural-hashing tables. *)
+  cse_evicted : int;  (** Entries evicted under a positive [window]. *)
+  stream_schedule : Pytfhe_circuit.Levelize.schedule;
+      (** Full schedule snapshot, for backend cost models
+          ({!Pytfhe_backend.Sched_gpu} batching and the like). *)
+}
+
+val compile_stream :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?hash_consing:bool ->
+  ?fold_constants:bool ->
+  ?window:int ->
+  ?chunk:int ->
+  name:string ->
+  sink:(bytes -> unit) ->
+  (Pytfhe_circuit.Netlist.t -> unit) ->
+  stream_report
+(** [compile_stream ~name ~sink builder] hands [builder] a fresh netlist
+    (construction-time optimizations on by default; [window] bounds the
+    CSE tables as in {!Pytfhe_circuit.Netlist.create}) and streams the
+    assembled binary to [sink] in chunks of roughly [chunk] bytes
+    (default 64 KiB) as construction proceeds.  The emitted header
+    carries {!Pytfhe_circuit.Binary.streamed_gate_total} — executors
+    treat the count as unknown; buffered or seekable sinks can backpatch
+    it with {!Pytfhe_circuit.Binary.patch_header} and [report.gates]
+    (which {!compile_stream_to_bytes} / {!compile_stream_to_file} do).
+    No synthesis pass runs — streaming trades whole-program optimization
+    for bounded memory, relying on the construction-time optimizations
+    and frontend-level template reuse instead.  The byte stream is
+    identical (modulo the header) to [compile ~optimize:false] over a
+    netlist built identically.  With an enabled [obs] sink, emits one
+    ["<name>:stream"] span on the ["compile"] track. *)
+
+val compile_stream_to_bytes :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?hash_consing:bool ->
+  ?fold_constants:bool ->
+  ?window:int ->
+  ?chunk:int ->
+  name:string ->
+  (Pytfhe_circuit.Netlist.t -> unit) ->
+  bytes * stream_report
+(** {!compile_stream} into a buffer, with the header backpatched to the
+    exact gate total — the drop-in replacement for
+    [compile ~optimize:false] when the caller wants the bytes (and the
+    differential tests' reference). *)
+
+val compile_stream_to_file :
+  ?obs:Pytfhe_obs.Trace.sink ->
+  ?hash_consing:bool ->
+  ?fold_constants:bool ->
+  ?window:int ->
+  ?chunk:int ->
+  name:string ->
+  path:string ->
+  (Pytfhe_circuit.Netlist.t -> unit) ->
+  stream_report
+(** {!compile_stream} into a file, seeking back to backpatch the header
+    once the gate total is known.  Peak memory is one chunk plus the
+    windowed netlist — the path for programs whose binaries do not fit
+    in memory. *)
 
 val compile_model :
   name:string -> dtype:Pytfhe_chiseltorch.Dtype.t -> input_shape:int array ->

@@ -182,6 +182,7 @@ type config = {
   backlog : int;
   max_active : int;
   max_queue : int;
+  max_program_bytes : int;
   backend : Server.exec_backend;
   idle_timeout : float;
 }
@@ -193,6 +194,7 @@ let default_config =
     backlog = 16;
     max_active = 32;
     max_queue = 256;
+    max_program_bytes = 1 lsl 26;
     backend = Server.Cpu;
     idle_timeout = 0.05;
   }
@@ -681,7 +683,9 @@ let handle_frame st conn payload =
         let name = Wire.read_string r in
         let program = Wire.read_string r in
         let inputs = Wire.read_array r Lwe.read_sample in
-        let compiled = Pipeline.of_binary ~name (Bytes.of_string program) in
+        let compiled =
+          Pipeline.of_binary ~max_bytes:st.cfg.max_program_bytes ~name (Bytes.of_string program)
+        in
         let net = compiled.Pipeline.netlist in
         if List.length (Netlist.inputs net) <> Array.length inputs then
           raise

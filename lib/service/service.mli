@@ -78,6 +78,13 @@ type config = {
   backlog : int;
   max_active : int;  (** Bound on concurrently-executing requests. *)
   max_queue : int;  (** Admission queue bound; excess draws [Busy]. *)
+  max_program_bytes : int;
+      (** Largest program binary accepted in an [SREQ] (default 64 MiB).
+          An oversized submission draws [Corrupt] {e before} the server
+          decodes a single instruction of it
+          ({!Pytfhe_core.Pipeline.of_binary}'s [max_bytes] check) — size
+          is the one property admission control can judge without paying
+          for a parse. *)
   backend : Pytfhe_core.Server.exec_backend;
       (** {!Pytfhe_core.Server.Cpu} (default) runs the cross-request
           packing scheduler in-process.  [Multicore]/[Multiprocess] are

@@ -280,6 +280,45 @@ let test_evict_fails_only_that_tenant () =
     (stats.Service.requests_failed >= 1)
 
 (* ------------------------------------------------------------------ *)
+(* Program-size admission cap                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_program_size_cap () =
+  let client_a, cloud_a = Lazy.force tenant_a in
+  let compiled = Lazy.force compiled_wide in
+  let n_in = Netlist.input_count compiled.Pipeline.netlist in
+  let rng = Rng.create ~seed:99 () in
+  let ins = Array.init n_in (fun _ -> Rng.bool rng) in
+  let cts = Client.encrypt_bits client_a ins in
+  (* One byte under the program's size: the submission must be rejected
+     before the server decodes a single instruction. *)
+  let cap = Bytes.length compiled.Pipeline.binary - 1 in
+  let (), stats =
+    with_server
+      ~config:{ Service.default_config with Service.max_program_bytes = cap }
+      (fun port ->
+        let c = Service_client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Service_client.close c)
+          (fun () ->
+            let id = Client.client_id client_a in
+            Service_client.register c ~client_id:id cloud_a;
+            let s = Service_client.open_session c ~client_id:id Params.test in
+            let req = submit_compiled c ~session:s ~name:"oversized" compiled cts in
+            (match Service_client.await ~timeout:60.0 c req with
+            | Service_client.Failed { code = Service.Corrupt; message } ->
+              Alcotest.(check bool) "error names the admission cap" true
+                (try
+                   ignore (Str.search_forward (Str.regexp_string "admission cap") message 0);
+                   true
+                 with Not_found -> false)
+            | Service_client.Failed { code; message } ->
+              Alcotest.failf "wrong error (%s: %s)" (Service.string_of_error_code code) message
+            | Service_client.Done _ -> Alcotest.fail "oversized program accepted")))
+  in
+  Alcotest.(check int) "nothing executed" 0 stats.Service.requests_completed
+
+(* ------------------------------------------------------------------ *)
 (* Stats wire codec                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -318,6 +357,7 @@ let () =
           Alcotest.test_case "handshake rejection" `Quick test_handshake_rejection;
           Alcotest.test_case "evict fails only that tenant" `Quick
             test_evict_fails_only_that_tenant;
+          Alcotest.test_case "program-size admission cap" `Quick test_program_size_cap;
           Alcotest.test_case "stats wire roundtrip" `Quick test_stats_roundtrip;
         ] );
     ]
